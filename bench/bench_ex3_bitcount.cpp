@@ -1,0 +1,177 @@
+/**
+ * @file
+ * EX3 + FIG11 — Example 3 (BITCOUNT1): explicit barrier
+ * synchronization of four data-dependent inner loops.
+ *
+ * Series: cycles vs bit density and N, XIMD (4 streams + ALL-sync
+ * barrier) against a serial VLIW (one element at a time, cost ~ sum
+ * of loop lengths) and a lockstep VLIW (four elements bit-by-bit,
+ * cost ~ max loop length but with an OR-reduction tax per bit).
+ */
+
+#include "bench_util.hh"
+
+#include "core/vliw_machine.hh"
+#include "core/ximd_machine.hh"
+#include "support/random.hh"
+#include "workloads/bitcount.hh"
+#include "workloads/reference.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::bench;
+using namespace ximd::workloads;
+
+std::vector<Word>
+makeData(std::size_t n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Word> data(n);
+    for (auto &v : data) {
+        v = 0;
+        for (int bit = 0; bit < 24; ++bit)
+            if (rng.chance(density))
+                v |= 1u << bit;
+    }
+    return data;
+}
+
+template <typename M>
+void
+verify(M &m, const std::vector<Word> &data)
+{
+    const Word b0 = m.program().symbolOrDie("B0");
+    const auto expect = referenceBitcountCumulative(data);
+    for (std::size_t i = 0; i <= data.size(); ++i) {
+        if (m.peekMem(b0 + static_cast<Addr>(i)) != expect[i]) {
+            std::cerr << "bitcount mismatch at B[" << i << "]\n";
+            std::exit(1);
+        }
+    }
+}
+
+void
+printTables()
+{
+    std::cout << "# EX3/FIG11: BITCOUNT1 — barrier-synchronized "
+                 "streams vs VLIW\n";
+
+    section("density sweep (N = 64)");
+    Table t({{"density", 9},
+             {"XIMD", 8},
+             {"VLIW-serial", 13},
+             {"VLIW-lockstep", 15},
+             {"vs serial", 11},
+             {"vs lockstep", 13},
+             {"busy-wait", 11}});
+    t.header();
+    for (double density : {0.1, 0.3, 0.5, 0.8}) {
+        const auto data = makeData(64, density, 11);
+        XimdMachine x(bitcountXimd(data));
+        VliwMachine s(bitcountVliwSerial(data));
+        VliwMachine l(bitcountVliwLockstep(data));
+        x.run();
+        s.run();
+        l.run();
+        verify(x, data);
+        verify(s, data);
+        verify(l, data);
+        t.row({fixed(density, 1), num(x.cycle()), num(s.cycle()),
+               num(l.cycle()),
+               ratio(double(s.cycle()) / double(x.cycle())),
+               ratio(double(l.cycle()) / double(x.cycle())),
+               num(x.stats().busyWaitCycles())});
+    }
+
+    section("size sweep (density 0.5)");
+    Table t2({{"N", 7},
+              {"XIMD", 8},
+              {"VLIW-serial", 13},
+              {"VLIW-lockstep", 15},
+              {"vs serial", 11},
+              {"vs lockstep", 13}});
+    t2.header();
+    for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+        const auto data = makeData(n, 0.5, n);
+        XimdMachine x(bitcountXimd(data));
+        VliwMachine s(bitcountVliwSerial(data));
+        VliwMachine l(bitcountVliwLockstep(data));
+        x.run();
+        s.run();
+        l.run();
+        verify(x, data);
+        t2.row({num(n), num(x.cycle()), num(s.cycle()), num(l.cycle()),
+                ratio(double(s.cycle()) / double(x.cycle())),
+                ratio(double(l.cycle()) / double(x.cycle()))});
+    }
+
+    section("skew sensitivity (N = 64: one heavy element per group)");
+    Table t3({{"pattern", 22},
+              {"XIMD", 8},
+              {"VLIW-serial", 13},
+              {"vs serial", 11}});
+    t3.header();
+    for (const auto &[name, heavyBits, lightBits] :
+         {std::tuple{"uniform light (4b)", 4, 4},
+          std::tuple{"1 heavy (24b) + 3x4b", 24, 4},
+          std::tuple{"uniform heavy (24b)", 24, 24}}) {
+        Rng rng(3);
+        std::vector<Word> data(64);
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const int bits = (i % 4 == 0) ? heavyBits : lightBits;
+            Word v = 0;
+            for (int b = 0; b < bits; ++b)
+                v |= 1u << rng.range(0, 23);
+            data[i] = v;
+        }
+        XimdMachine x(bitcountXimd(data));
+        VliwMachine s(bitcountVliwSerial(data));
+        x.run();
+        s.run();
+        verify(x, data);
+        t3.row({name, num(x.cycle()), num(s.cycle()),
+                ratio(double(s.cycle()) / double(x.cycle()))});
+    }
+    std::cout << "shape: the XIMD group costs the *longest* inner "
+                 "loop (threads wait at\nthe barrier), the serial "
+                 "VLIW costs the *sum*; the gap narrows when one\n"
+                 "element per group dominates.\n";
+
+    section("FIG11 control structure (N = 16, density 0.5)");
+    {
+        const auto data = makeData(16, 0.5, 5);
+        XimdMachine x(bitcountXimd(data));
+        x.run();
+        std::cout << "partition histogram (streams -> cycles):\n";
+        for (const auto &[streams, cycles] :
+             x.stats().partitionHistogram())
+            std::cout << "  " << streams << " -> " << cycles << "\n";
+        std::cout << "mean streams: "
+                  << fixed(x.stats().meanStreams(), 2)
+                  << "  (Figure 11: fork into 4 threads at the first "
+                     "data-dependent branch,\n   join at the 4-way "
+                     "barrier)\n";
+    }
+}
+
+void
+simulateBitcount(benchmark::State &state)
+{
+    const auto data = makeData(static_cast<std::size_t>(state.range(0)),
+                               0.5, 1);
+    Program prog = bitcountXimd(data);
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        XimdMachine m(prog);
+        m.run();
+        cycles += m.cycle();
+    }
+    state.counters["machine_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(simulateBitcount)->Arg(64)->Arg(1024)->ArgName("N");
+
+} // namespace
+
+XIMD_BENCH_MAIN(printTables)

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: table printing and the
+ * common main() shape (print the reproduction tables, then run the
+ * google-benchmark timing loops).
+ */
+
+#ifndef XIMD_BENCH_BENCH_UTIL_HH
+#define XIMD_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/str.hh"
+
+namespace ximd::bench {
+
+/** Fixed-width table writer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::pair<std::string, int>> cols)
+        : cols_(std::move(cols))
+    {
+    }
+
+    void
+    header() const
+    {
+        for (const auto &[name, width] : cols_)
+            std::cout << padLeft(name, static_cast<std::size_t>(width));
+        std::cout << "\n";
+    }
+
+    void
+    row(const std::vector<std::string> &cells) const
+    {
+        for (std::size_t i = 0; i < cells.size() && i < cols_.size();
+             ++i)
+            std::cout << padLeft(
+                cells[i], static_cast<std::size_t>(cols_[i].second));
+        std::cout << "\n";
+    }
+
+  private:
+    std::vector<std::pair<std::string, int>> cols_;
+};
+
+inline std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+inline std::string
+ratio(double v)
+{
+    return fixed(v, 2) + "x";
+}
+
+inline void
+section(const std::string &title)
+{
+    std::cout << "\n## " << title << "\n\n";
+}
+
+} // namespace ximd::bench
+
+/** Standard bench main: tables first, then timing loops. */
+#define XIMD_BENCH_MAIN(printTables)                                  \
+    int main(int argc, char **argv)                                   \
+    {                                                                 \
+        printTables();                                                \
+        ::benchmark::Initialize(&argc, argv);                         \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))     \
+            return 1;                                                 \
+        ::benchmark::RunSpecifiedBenchmarks();                        \
+        ::benchmark::Shutdown();                                      \
+        return 0;                                                     \
+    }
+
+#endif // XIMD_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 12: two concurrent processes exchanging six values through
+ * multiple non-blocking synchronizations on the sync-signal bus,
+ * compared against a lock-step barrier version and a memory-flag
+ * version — under several I/O arrival patterns.
+ */
+
+#include <iostream>
+
+#include "core/ximd_machine.hh"
+#include "support/str.hh"
+#include "workloads/nonblocking.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::workloads;
+
+struct VariantResult
+{
+    Cycle total;    ///< All FUs halted.
+    Cycle outBDone; ///< P1's data fully written to OUTB.
+};
+
+VariantResult
+runVariant(Program prog, const std::vector<Cycle> &arrA,
+           const std::vector<Cycle> &arrB)
+{
+    XimdMachine m(std::move(prog));
+    ScriptedInputPort inA("INA"), inB("INB");
+    OutputPort outA("OUTA"), outB("OUTB");
+    for (unsigned i = 0; i < kNonblockingValues; ++i) {
+        inA.schedule(arrA[i], 11 + i); // a, b, c
+        inB.schedule(arrB[i], 21 + i); // x, y, z
+    }
+    const auto &p = m.program();
+    m.attachDevice(p.symbolOrDie("INA"), p.symbolOrDie("INA"), &inA);
+    m.attachDevice(p.symbolOrDie("INB"), p.symbolOrDie("INB"), &inB);
+    m.attachDevice(p.symbolOrDie("OUTA"), p.symbolOrDie("OUTA"),
+                   &outA);
+    m.attachDevice(p.symbolOrDie("OUTB"), p.symbolOrDie("OUTB"),
+                   &outB);
+    const RunResult r = m.run(1'000'000);
+    if (!r.ok() || outA.records().size() != 3 ||
+        outB.records().size() != 3) {
+        std::cerr << "variant failed: " << r.faultMessage << "\n";
+        std::exit(1);
+    }
+    return {r.cycles, outB.records().back().cycle};
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Scenario
+    {
+        const char *name;
+        std::vector<Cycle> arrA, arrB;
+    };
+    const Scenario scenarios[] = {
+        {"immediate (all at cycle 0)", {0, 0, 0}, {0, 0, 0}},
+        {"uniform spacing", {10, 20, 30}, {10, 20, 30}},
+        {"B very late", {0, 5, 10}, {100, 105, 110}},
+        {"interleaved skew", {5, 60, 65}, {50, 55, 120}},
+    };
+
+    std::cout << "Figure 12 workload. 'total' = every FU halted "
+                 "(bounded by the last\nport arrival in every "
+                 "variant); 'P1 out' = cycle the a,b,c data\n"
+                 "finished appearing on OUTB — where non-blocking "
+                 "synchronization shines\nwhen the other process is "
+                 "slow.\n\n";
+    std::cout << padRight("arrival pattern", 28);
+    for (const char *col :
+         {"sync total", "sync P1out", "barr total", "barr P1out",
+          "mflg total", "mflg P1out"})
+        std::cout << padLeft(col, 11);
+    std::cout << "\n";
+
+    for (const Scenario &s : scenarios) {
+        const auto nb = runVariant(nonblockingXimd(), s.arrA, s.arrB);
+        const auto ls = runVariant(lockstepBarrier(), s.arrA, s.arrB);
+        const auto mf = runVariant(memoryFlagXimd(), s.arrA, s.arrB);
+        std::cout << padRight(s.name, 28);
+        for (Cycle c : {nb.total, nb.outBDone, ls.total, ls.outBDone,
+                        mf.total, mf.outBDone})
+            std::cout << padLeft(std::to_string(c), 11);
+        std::cout << "\n";
+    }
+
+    std::cout << "\nSection 3.4's claims, visible above: (1) with "
+                 "'B very late', the\nnon-blocking version drains "
+                 "P1's outputs while process 2 is still\nwaiting for "
+                 "x — the barrier version blocks them behind the "
+                 "stage-0\nbarrier; (2) sync-bit tests (1 cycle) beat "
+                 "memory flags (3-cycle\npoll loops) across the "
+                 "board.\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduce the paper's Figure 10: the cycle-by-cycle address trace of
+ * the MINMAX program (Example 2) on the sample data IZ() = (5,3,4,7).
+ *
+ * MINMAX searches an array for its minimum and maximum concurrently.
+ * Each loop iteration contains two data-dependent conditional
+ * branches; the XIMD executes both in one cycle by forking into the
+ * partition {0,1}{2}{3} and joining one cycle later.
+ */
+
+#include <iostream>
+
+#include "core/ximd_machine.hh"
+#include "workloads/kernels.hh"
+
+int
+main()
+{
+    using namespace ximd;
+
+    MachineConfig cfg;
+    cfg.recordTrace = true;
+
+    // terminate=false keeps the paper's implicit "Continue." at
+    // address 0a:, so the trace matches Figure 10 address-for-address.
+    XimdMachine machine(workloads::minmaxPaper(/*terminate=*/false),
+                        cfg);
+    for (int i = 0; i < 14; ++i)
+        machine.step();
+
+    std::cout << "MINMAX on IZ() = (5, 3, 4, 7)  [paper Figure 10]\n\n"
+              << machine.trace().formatted() << "\n";
+
+    std::cout << "min = " << wordToInt(machine.readRegByName("min"))
+              << "  (paper: 3)\n";
+    std::cout << "max = " << wordToInt(machine.readRegByName("max"))
+              << "  (paper: 7)\n\n";
+
+    std::cout << "Partition histogram (streams -> cycles):\n";
+    for (const auto &[streams, cycles] :
+         machine.stats().partitionHistogram())
+        std::cout << "  " << streams << " -> " << cycles << "\n";
+    std::cout << "\nThe three-stream cycles (3, 6, 9, 12) are the "
+                 "fork cycles where the\nmin-update and max-update "
+                 "branches resolve independently.\n";
+    return 0;
+}

@@ -1,0 +1,559 @@
+#include "asm/assembler.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace ximd {
+
+namespace {
+
+/** Assembly context built up across the two passes. */
+class AsmContext
+{
+  public:
+    explicit AsmContext(std::string_view source);
+
+    Program assemble();
+
+  private:
+    struct RawRow
+    {
+        std::string text;
+        int line;
+    };
+
+    [[noreturn]] void err(int line, const std::string &msg) const;
+
+    void firstPass();
+    void handleDirective(std::string_view body, int line);
+
+    InstRow parseRow(const RawRow &raw);
+    Parcel parseParcel(std::string_view text, InstAddr addr, FuId fu,
+                       int line);
+    ControlOp parseCtrl(std::string_view text, InstAddr addr, int line);
+    DataOp parseData(std::string_view text, int line);
+    Operand parseOperand(std::string_view text, int line);
+    RegId parseRegister(std::string_view text, int line);
+    InstAddr parseTarget(std::string_view text, int line);
+    Word parseIntValue(std::string_view text, int line);
+    long long parseIntLiteral(std::string_view text, int line,
+                              bool *ok = nullptr);
+
+    std::vector<std::string> lines_;
+    std::map<std::string, Word, std::less<>> consts_;
+    std::map<std::string, RegId, std::less<>> regs_;
+    std::vector<bool> regUsed_;
+    std::map<std::string, InstAddr, std::less<>> labels_;
+    std::vector<RawRow> rows_;
+    std::vector<std::pair<Addr, Word>> memInit_;
+    std::vector<std::pair<RegId, Word>> regInit_;
+    FuId width_ = 0;
+    int widthLine_ = 0;
+    Program prog_{1};
+};
+
+AsmContext::AsmContext(std::string_view source)
+    : regUsed_(kNumRegisters, false)
+{
+    // Builtin constants used throughout the paper's examples.
+    consts_["maxint"] = 0x7FFFFFFFu;
+    consts_["minint"] = 0x80000000u;
+
+    for (std::string_view raw : split(source, '\n')) {
+        // Strip comments.
+        std::size_t pos = raw.find("//");
+        if (pos != std::string_view::npos)
+            raw = raw.substr(0, pos);
+        lines_.emplace_back(raw);
+    }
+}
+
+void
+AsmContext::err(int line, const std::string &msg) const
+{
+    fatal("asm line ", line, ": ", msg);
+}
+
+void
+AsmContext::firstPass()
+{
+    bool sawDirectiveAfterRows = false;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const int line = static_cast<int>(i) + 1;
+        std::string_view text = trim(lines_[i]);
+        if (text.empty())
+            continue;
+
+        if (text[0] == '.') {
+            if (!rows_.empty())
+                sawDirectiveAfterRows = true;
+            handleDirective(text, line);
+            continue;
+        }
+
+        // One or more labels may prefix a row on the same line:
+        //   "loop:  -> loop ; iadd k,#1,k"
+        while (true) {
+            std::size_t colon = text.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            std::string_view head = trim(text.substr(0, colon));
+            // A label must be a single identifier; otherwise the ':'
+            // belongs to something else (there is nothing else in this
+            // grammar, so reject weird heads).
+            if (head.empty() ||
+                head.find_first_of(" \t,;|#") != std::string_view::npos)
+                break;
+            const auto addr = static_cast<InstAddr>(rows_.size());
+            if (labels_.count(std::string(head)))
+                err(line, "label '" + std::string(head) +
+                              "' redefined");
+            labels_.emplace(std::string(head), addr);
+            text = trim(text.substr(colon + 1));
+            if (text.empty())
+                break;
+        }
+        if (text.empty())
+            continue;
+        rows_.push_back({std::string(text), line});
+    }
+    if (width_ == 0)
+        fatal("asm: missing .fus directive");
+    if (sawDirectiveAfterRows) {
+        // Permitted (constants may be declared late), but register and
+        // width declarations must precede use; width is checked above.
+    }
+}
+
+void
+AsmContext::handleDirective(std::string_view body, int line)
+{
+    std::istringstream is{std::string(body)};
+    std::string word;
+    is >> word;
+
+    if (word == ".fus") {
+        unsigned n = 0;
+        if (!(is >> n) || n == 0 || n > kMaxFus)
+            err(line, ".fus expects a count in 1.." +
+                          std::to_string(kMaxFus));
+        if (width_ != 0)
+            err(line, "duplicate .fus directive");
+        if (!rows_.empty())
+            err(line, ".fus must precede instruction rows");
+        width_ = n;
+        widthLine_ = line;
+        return;
+    }
+
+    if (word == ".reg") {
+        std::string name;
+        if (!(is >> name))
+            err(line, ".reg expects a name");
+        if (name.size() >= 2 && name[0] == 'r' &&
+            name.find_first_not_of("0123456789", 1) == std::string::npos)
+            err(line, "register name '" + name +
+                          "' collides with rN numeric form");
+        if (regs_.count(name))
+            err(line, "register '" + name + "' redefined");
+        long long idx = -1;
+        std::string idxTok;
+        if (is >> idxTok) {
+            bool ok = false;
+            idx = parseIntLiteral(idxTok, line, &ok);
+            if (!ok || idx < 0 || idx >= kNumRegisters)
+                err(line, "bad register index '" + idxTok + "'");
+        } else {
+            // Auto-allocate the lowest unused register.
+            for (RegId r = 0; r < kNumRegisters; ++r) {
+                if (!regUsed_[r]) {
+                    idx = r;
+                    break;
+                }
+            }
+            if (idx < 0)
+                err(line, "register file exhausted");
+        }
+        regUsed_[static_cast<std::size_t>(idx)] = true;
+        regs_.emplace(name, static_cast<RegId>(idx));
+        return;
+    }
+
+    if (word == ".const") {
+        std::string name, valTok;
+        if (!(is >> name >> valTok))
+            err(line, ".const expects a name and a value");
+        if (consts_.count(name))
+            err(line, "constant '" + name + "' redefined");
+        consts_.emplace(name, parseIntValue(valTok, line));
+        return;
+    }
+
+    if (word == ".init" || word == ".initf") {
+        std::string name, valTok;
+        if (!(is >> name >> valTok))
+            err(line, word + " expects a register name and a value");
+        auto it = regs_.find(name);
+        if (it == regs_.end())
+            err(line, "unknown register '" + name +
+                          "' (declare with .reg first)");
+        Word v;
+        if (word == ".initf") {
+            char *end = nullptr;
+            const float f = std::strtof(valTok.c_str(), &end);
+            if (end == valTok.c_str() || *end != '\0')
+                err(line, "bad float literal '" + valTok + "'");
+            v = floatToWord(f);
+        } else {
+            v = parseIntValue(valTok, line);
+        }
+        regInit_.emplace_back(it->second, v);
+        return;
+    }
+
+    if (word == ".word" || word == ".float") {
+        std::string addrTok;
+        if (!(is >> addrTok))
+            err(line, word + " expects an address");
+        Addr addr = parseIntValue(addrTok, line);
+        std::string valTok;
+        bool any = false;
+        while (is >> valTok) {
+            any = true;
+            Word v;
+            if (word == ".float") {
+                char *end = nullptr;
+                const float f =
+                    std::strtof(valTok.c_str(), &end);
+                if (end == valTok.c_str() || *end != '\0')
+                    err(line, "bad float literal '" + valTok + "'");
+                v = floatToWord(f);
+            } else {
+                v = parseIntValue(valTok, line);
+            }
+            memInit_.emplace_back(addr++, v);
+        }
+        if (!any)
+            err(line, word + " expects at least one value");
+        return;
+    }
+
+    err(line, "unknown directive '" + std::string(word) + "'");
+}
+
+Word
+AsmContext::parseIntValue(std::string_view text, int line)
+{
+    bool ok = false;
+    const long long v = parseIntLiteral(text, line, &ok);
+    if (ok) {
+        if (v < -2147483648LL || v > 4294967295LL)
+            err(line, "integer '" + std::string(text) +
+                          "' does not fit in 32 bits");
+        return static_cast<Word>(static_cast<std::uint64_t>(v));
+    }
+    auto it = consts_.find(text);
+    if (it == consts_.end())
+        err(line, "undefined constant '" + std::string(text) + "'");
+    return it->second;
+}
+
+long long
+AsmContext::parseIntLiteral(std::string_view text, int line, bool *ok)
+{
+    const std::string s(text);
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 0);
+    const bool good = end != s.c_str() && *end == '\0';
+    if (ok) {
+        *ok = good;
+        return good ? v : 0;
+    }
+    if (!good)
+        err(line, "bad integer literal '" + s + "'");
+    return v;
+}
+
+InstAddr
+AsmContext::parseTarget(std::string_view text, int line)
+{
+    auto it = labels_.find(text);
+    if (it != labels_.end())
+        return it->second;
+    bool ok = false;
+    const long long v = parseIntLiteral(text, line, &ok);
+    if (ok && v >= 0 && v < static_cast<long long>(rows_.size()))
+        return static_cast<InstAddr>(v);
+    if (ok)
+        err(line, "branch target " + std::string(text) +
+                      " out of range");
+    err(line, "undefined label '" + std::string(text) + "'");
+}
+
+RegId
+AsmContext::parseRegister(std::string_view text, int line)
+{
+    if (text.size() >= 2 && text[0] == 'r' &&
+        text.find_first_not_of("0123456789", 1) ==
+            std::string_view::npos) {
+        const long long v = parseIntLiteral(text.substr(1), line);
+        if (v < 0 || v >= kNumRegisters)
+            err(line, "register " + std::string(text) + " out of range");
+        return static_cast<RegId>(v);
+    }
+    auto it = regs_.find(text);
+    if (it == regs_.end())
+        err(line, "unknown register '" + std::string(text) + "'");
+    return it->second;
+}
+
+Operand
+AsmContext::parseOperand(std::string_view text, int line)
+{
+    text = trim(text);
+    if (text.empty())
+        err(line, "empty operand");
+    if (text[0] == '#') {
+        std::string_view lit = text.substr(1);
+        if (lit.empty())
+            err(line, "empty immediate");
+        // Float immediates contain a '.' (hex literals never do).
+        if (lit.find('.') != std::string_view::npos) {
+            const std::string s(lit);
+            char *end = nullptr;
+            const float f = std::strtof(s.c_str(), &end);
+            if (end == s.c_str() || *end != '\0')
+                err(line, "bad float immediate '" + s + "'");
+            return Operand::immFloat(f);
+        }
+        return Operand::imm(parseIntValue(lit, line));
+    }
+    return Operand::reg(parseRegister(text, line));
+}
+
+DataOp
+AsmContext::parseData(std::string_view text, int line)
+{
+    text = trim(text);
+    if (text.empty())
+        return DataOp::nop();
+
+    std::size_t sp = text.find_first_of(" \t");
+    std::string_view mnemonic =
+        sp == std::string_view::npos ? text : text.substr(0, sp);
+    auto opc = parseOpcode(toLower(mnemonic));
+    if (!opc)
+        err(line, "unknown mnemonic '" + std::string(mnemonic) + "'");
+
+    std::vector<Operand> ops;
+    std::vector<std::string_view> opTexts;
+    if (sp != std::string_view::npos) {
+        for (std::string_view f : split(text.substr(sp + 1), ',')) {
+            f = trim(f);
+            if (f.empty())
+                err(line, "empty operand in '" + std::string(text) +
+                              "'");
+            opTexts.push_back(f);
+        }
+    }
+
+    const OpInfo &info = opInfo(*opc);
+    const std::size_t expected =
+        static_cast<std::size_t>(info.numSrcs) + (info.hasDest ? 1 : 0);
+    if (opTexts.size() != expected)
+        err(line, std::string(info.name) + " expects " +
+                      std::to_string(expected) + " operands, got " +
+                      std::to_string(opTexts.size()));
+
+    DataOp d;
+    d.op = *opc;
+    if (info.numSrcs >= 1)
+        d.a = parseOperand(opTexts[0], line);
+    if (info.numSrcs >= 2)
+        d.b = parseOperand(opTexts[1], line);
+    if (info.hasDest)
+        d.dest = parseRegister(trim(opTexts.back()), line);
+    d.validate();
+    return d;
+}
+
+ControlOp
+AsmContext::parseCtrl(std::string_view text, InstAddr addr, int line)
+{
+    text = trim(text);
+    if (text.empty()) {
+        // Default: fall through to the next row.
+        if (addr + 1 >= rows_.size())
+            err(line, "fall-through past end of program (add an "
+                      "explicit branch or halt)");
+        return ControlOp::jump(addr + 1);
+    }
+
+    std::istringstream is{std::string(text)};
+    std::string tok;
+    is >> tok;
+
+    if (tok == "halt") {
+        std::string extra;
+        if (is >> extra)
+            err(line, "halt takes no operands");
+        return ControlOp::halt();
+    }
+
+    if (tok == "->") {
+        std::string target;
+        if (!(is >> target))
+            err(line, "-> expects a target");
+        std::string extra;
+        if (is >> extra)
+            err(line, "unexpected token '" + extra + "' after target");
+        return ControlOp::jump(parseTarget(target, line));
+    }
+
+    if (tok == "if") {
+        std::string cond, t1, t2;
+        if (!(is >> cond >> t1 >> t2))
+            err(line, "if expects: condition target1 target2");
+        std::string extra;
+        if (is >> extra)
+            err(line, "unexpected token '" + extra + "'");
+        const InstAddr a1 = parseTarget(t1, line);
+        const InstAddr a2 = parseTarget(t2, line);
+
+        const std::string c = toLower(cond);
+        auto parseMask = [&](std::string_view inner) -> std::uint32_t {
+            std::uint32_t mask = 0;
+            for (std::string_view f : split(inner, ',')) {
+                f = trim(f);
+                const long long v = parseIntLiteral(f, line);
+                if (v < 0 || v >= static_cast<long long>(width_))
+                    err(line, "mask FU index out of range");
+                mask |= 1u << v;
+            }
+            if (mask == 0)
+                err(line, "empty FU mask");
+            return mask;
+        };
+
+        if (startsWith(c, "cc")) {
+            const long long v = parseIntLiteral(c.substr(2), line);
+            if (v < 0 || v >= static_cast<long long>(width_))
+                err(line, "condition code index out of range");
+            return ControlOp::onCc(static_cast<unsigned>(v), a1, a2);
+        }
+        if (startsWith(c, "ss")) {
+            const long long v = parseIntLiteral(c.substr(2), line);
+            if (v < 0 || v >= static_cast<long long>(width_))
+                err(line, "sync signal index out of range");
+            return ControlOp::onSync(static_cast<unsigned>(v), a1, a2);
+        }
+        if (c == "all")
+            return ControlOp::onAllSync(a1, a2);
+        if (c == "any")
+            return ControlOp::onAnySync(a1, a2);
+        if (startsWith(c, "all(") && c.back() == ')')
+            return ControlOp::onAllSync(
+                a1, a2, parseMask(c.substr(4, c.size() - 5)));
+        if (startsWith(c, "any(") && c.back() == ')')
+            return ControlOp::onAnySync(
+                a1, a2, parseMask(c.substr(4, c.size() - 5)));
+        err(line, "unknown branch condition '" + cond + "'");
+    }
+
+    err(line, "unrecognized control operation '" + std::string(text) +
+                  "'");
+}
+
+Parcel
+AsmContext::parseParcel(std::string_view text, InstAddr addr, FuId fu,
+                        int line)
+{
+    (void)fu;
+    auto fields = split(text, ';');
+    if (fields.size() > 3)
+        err(line, "parcel has more than three ';' fields");
+
+    Parcel p;
+    p.ctrl = parseCtrl(fields.empty() ? "" : fields[0], addr, line);
+    p.data = parseData(fields.size() > 1 ? fields[1] : "", line);
+    std::string_view syncText =
+        fields.size() > 2 ? trim(fields[2]) : "";
+    if (syncText.empty() || toLower(syncText) == "busy")
+        p.sync = SyncVal::Busy;
+    else if (toLower(syncText) == "done")
+        p.sync = SyncVal::Done;
+    else
+        err(line, "bad sync field '" + std::string(syncText) + "'");
+    return p;
+}
+
+InstRow
+AsmContext::parseRow(const RawRow &raw)
+{
+    const auto addr = static_cast<InstAddr>(&raw - rows_.data());
+    auto cells = splitOn(raw.text, "||");
+    if (cells.size() != width_)
+        err(raw.line, "row has " + std::to_string(cells.size()) +
+                          " parcels; .fus is " + std::to_string(width_));
+    InstRow row;
+    row.reserve(width_);
+    for (FuId fu = 0; fu < width_; ++fu)
+        row.push_back(parseParcel(cells[fu], addr, fu, raw.line));
+    return row;
+}
+
+Program
+AsmContext::assemble()
+{
+    firstPass();
+
+    prog_ = Program(width_);
+    for (const auto &[addr, value] : memInit_)
+        prog_.addMemInit(addr, value);
+    for (const auto &[reg, value] : regInit_)
+        prog_.addRegInit(reg, value);
+    for (const RawRow &raw : rows_)
+        prog_.addRow(parseRow(raw));
+
+    for (const auto &[name, addr] : labels_) {
+        if (addr >= prog_.size())
+            fatal("label '", name, "' points past the last row");
+        prog_.setLabel(name, addr);
+    }
+    for (const auto &[name, value] : consts_)
+        prog_.setSymbol(name, value);
+    for (const auto &[name, reg] : regs_)
+        prog_.nameRegister(name, reg);
+
+    prog_.validate();
+    return std::move(prog_);
+}
+
+} // namespace
+
+Program
+assembleString(std::string_view source)
+{
+    AsmContext ctx(source);
+    return ctx.assemble();
+}
+
+Program
+assembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open assembly file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return assembleString(buf.str());
+}
+
+} // namespace ximd

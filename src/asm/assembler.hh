@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Assembler for XIMD programs in the paper's listing notation.
+ *
+ * The source format mirrors Figure 9 ("Example Code Format"): each
+ * instruction-memory address holds one parcel per FU; a parcel is a
+ * control operation, a data operation and a sync field.
+ *
+ * Grammar (line oriented; `//` starts a comment):
+ *
+ *   .fus N                    number of functional units (before rows)
+ *   .reg NAME [INDEX]         bind a symbolic register (auto index if
+ *                             omitted); NAME must not look like rN
+ *   .const NAME VALUE         named integer constant
+ *   .word ADDR V0 V1 ...      initial memory words at ADDR
+ *   .float ADDR F0 F1 ...     initial memory floats at ADDR
+ *   .init NAME VALUE          initial integer value of register NAME
+ *   .initf NAME VALUE         initial float value of register NAME
+ *   LABEL:                    label the next instruction row
+ *   P0 || P1 || ... || Pn-1   one instruction row, one parcel per FU
+ *
+ * Parcel P: `CTRL ; DATA ; SYNC` — all three fields optional:
+ *
+ *   CTRL:  -> TARGET
+ *          if ccK T1 T2
+ *          if ssK T1 T2
+ *          if all T1 T2         (barrier over every FU)
+ *          if all(0,2,5) T1 T2  (masked barrier, paper section 3.3)
+ *          if any T1 T2
+ *          if any(0,2,5) T1 T2
+ *          halt
+ *          (empty: falls through as `-> <next row>`)
+ *   DATA:  MNEMONIC OP,OP[,OP]  — registers by name or rN; immediates
+ *          as #INT, #0xHEX, #FLOAT (contains '.'), or #CONSTNAME;
+ *          builtins #maxint and #minint. (empty: nop)
+ *   SYNC:  busy | done          (empty: busy)
+ *
+ * TARGET is a label or an absolute row number. Errors carry the source
+ * line number and throw FatalError.
+ */
+
+#ifndef XIMD_ASM_ASSEMBLER_HH
+#define XIMD_ASM_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hh"
+
+namespace ximd {
+
+/** Assemble XIMD assembly text into a validated Program. */
+Program assembleString(std::string_view source);
+
+/** Assemble the file at @p path. */
+Program assembleFile(const std::string &path);
+
+} // namespace ximd
+
+#endif // XIMD_ASM_ASSEMBLER_HH

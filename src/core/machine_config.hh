@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Configuration shared by the XIMD (xsim) and VLIW (vsim) machines.
+ */
+
+#ifndef XIMD_CORE_MACHINE_CONFIG_HH
+#define XIMD_CORE_MACHINE_CONFIG_HH
+
+#include <cstddef>
+
+#include "sim/register_file.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Machine parameters. The FU count comes from the program's width. */
+struct MachineConfig
+{
+    /** Words of idealized shared memory. */
+    std::size_t memWords = 1u << 20;
+
+    /** Handling of architecturally-undefined same-cycle write races. */
+    ConflictPolicy conflictPolicy = ConflictPolicy::Fault;
+
+    /** Record a Figure-10-style address trace while running. */
+    bool recordTrace = false;
+
+    /** Track the SSET partition each cycle (cheap; on by default). */
+    bool trackPartitions = true;
+
+    /**
+     * Ablation switch: evaluate sync-signal branch conditions against
+     * the *previous* cycle's SS values (registered distribution)
+     * instead of the paper's combinational same-cycle distribution
+     * (Figure 8). Costs one extra cycle per barrier join.
+     */
+    bool registeredSync = false;
+
+    /**
+     * Data-path write-back latency in cycles. 1 is the research
+     * model (results visible the next cycle); 3 models the hardware
+     * prototype's "3-stage Data Path Pipeline (Operand Fetch -
+     * Execute - Write Back)" of section 4.3. The control path stays
+     * non-pipelined, as in the prototype. Code must be compiled for
+     * the chosen latency (CodegenOptions::rawLatency).
+     */
+    unsigned resultLatency = 1;
+
+    /** Default cycle budget for run(); guards runaway programs. */
+    Cycle defaultMaxCycles = 100'000'000;
+
+    /**
+     * Prototype cycle time used to convert cycle counts into MIPS /
+     * MFLOPS. Section 4.3: "An initial performance analysis predicts a
+     * cycle time of 85ns."
+     */
+    double cycleTimeNs = 85.0;
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_MACHINE_CONFIG_HH

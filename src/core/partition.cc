@@ -1,0 +1,112 @@
+#include "core/partition.hh"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+PartitionTracker::PartitionTracker(FuId numFus)
+    : numFus_(numFus), ssetIds_(numFus, 0)
+{
+    XIMD_ASSERT(numFus > 0 && numFus <= kMaxFus, "bad FU count ", numFus);
+}
+
+void
+PartitionTracker::update(const std::vector<FuControl> &controls)
+{
+    XIMD_ASSERT(controls.size() == numFus_,
+                "control vector size mismatch");
+
+    // Normalized grouping key: (kind, index, mask, t1, t2). For
+    // unconditional branches only the resolved next PC matters.
+    using Key = std::tuple<int, unsigned, std::uint32_t, InstAddr,
+                           InstAddr>;
+    std::map<Key, int> groups;
+
+    for (FuId fu = 0; fu < numFus_; ++fu) {
+        const FuControl &c = controls[fu];
+        if (!c.live || c.halted) {
+            ssetIds_[fu] = -1;
+            continue;
+        }
+        Key key;
+        if (c.op.isConditional()) {
+            key = {static_cast<int>(c.op.kind), c.op.index, c.op.mask,
+                   c.op.t1, c.op.t2};
+        } else {
+            key = {static_cast<int>(CondKind::Always), 0, 0, c.nextPc,
+                   c.nextPc};
+        }
+        auto [it, inserted] =
+            groups.emplace(key, static_cast<int>(groups.size()));
+        ssetIds_[fu] = it->second;
+    }
+    renumber();
+}
+
+void
+PartitionTracker::renumber()
+{
+    // Dense ids in order of first appearance (lowest member FU first).
+    std::map<int, int> assigned;
+    int next = 0;
+    for (FuId fu = 0; fu < numFus_; ++fu) {
+        const int id = ssetIds_[fu];
+        if (id < 0)
+            continue;
+        auto it = assigned.find(id);
+        if (it == assigned.end())
+            it = assigned.emplace(id, next++).first;
+        ssetIds_[fu] = it->second;
+    }
+}
+
+int
+PartitionTracker::ssetOf(FuId fu) const
+{
+    XIMD_ASSERT(fu < numFus_, "FU index out of range");
+    return ssetIds_[fu];
+}
+
+unsigned
+PartitionTracker::numSsets() const
+{
+    int maxId = -1;
+    for (int id : ssetIds_)
+        if (id > maxId)
+            maxId = id;
+    return static_cast<unsigned>(maxId + 1);
+}
+
+bool
+PartitionTracker::sameSset(FuId a, FuId b) const
+{
+    XIMD_ASSERT(a < numFus_ && b < numFus_, "FU index out of range");
+    return ssetIds_[a] >= 0 && ssetIds_[a] == ssetIds_[b];
+}
+
+std::string
+PartitionTracker::formatted() const
+{
+    std::ostringstream os;
+    const unsigned n = numSsets();
+    for (unsigned s = 0; s < n; ++s) {
+        os << "{";
+        bool first = true;
+        for (FuId fu = 0; fu < numFus_; ++fu) {
+            if (ssetIds_[fu] == static_cast<int>(s)) {
+                if (!first)
+                    os << ",";
+                os << fu;
+                first = false;
+            }
+        }
+        os << "}";
+    }
+    return os.str();
+}
+
+} // namespace ximd

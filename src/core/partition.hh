@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SSET / partition tracking.
+ *
+ * Section 2.4 of the paper: "SSET: A Synchronous Set of Functional
+ * Units ... describes a set of one or more XIMD functional units which
+ * are currently executing a single program thread. ... Formally, two
+ * functional units are in the same SSET at time t, if given the program
+ * and the control state of one FU, the control state of the other FU
+ * can be uniquely determined. Partition: An XIMD processor can be
+ * operating as one or more SSETs."
+ *
+ * Operational refinement implemented here (validated cycle-for-cycle
+ * against the paper's Figure 10 trace): after each cycle, FUs are
+ * grouped by the control behaviour they executed —
+ *
+ *   key(FU) = (Always, nextPC)                  for unconditional
+ *   key(FU) = (kind, index/mask, T1, T2)        for conditional
+ *
+ * Every XIMD-1 condition source (any CCk, any SSk, ALL, ANY) is a
+ * globally shared signal, so equal conditional keys imply equal next
+ * PCs — deterministic linkage. Distinct conditional keys mean the
+ * relative state became data dependent, so the FUs fork into different
+ * SSETs even when their next PCs coincide (Figure 10, cycle 9:
+ * partition {0,1}{2}{3} with all four FUs at address 03:).
+ *
+ * Halted FUs leave the partition; the set notation and stream counts
+ * cover live FUs only.
+ */
+
+#ifndef XIMD_CORE_PARTITION_HH
+#define XIMD_CORE_PARTITION_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/control_op.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Tracks the machine's SSET partition across cycles. */
+class PartitionTracker
+{
+  public:
+    explicit PartitionTracker(FuId numFus);
+
+    /** Control behaviour one FU executed this cycle. */
+    struct FuControl
+    {
+        bool live = false;        ///< FU executed a parcel this cycle.
+        bool halted = false;      ///< FU halted this cycle.
+        ControlOp op;             ///< Executed control fields.
+        InstAddr nextPc = 0;      ///< Resolved next address.
+    };
+
+    /** Fold one cycle's executed control behaviour into the partition. */
+    void update(const std::vector<FuControl> &controls);
+
+    /** SSET id of @p fu (-1 when halted). Ids are dense from 0. */
+    int ssetOf(FuId fu) const;
+
+    /** Number of SSETs (instruction streams) among live FUs. */
+    unsigned numSsets() const;
+
+    /** True when @p a and @p b are live and in the same SSET. */
+    bool sameSset(FuId a, FuId b) const;
+
+    /** Paper set notation, e.g. "{0,1}{2}{3,6,7}{4,5}". */
+    std::string formatted() const;
+
+  private:
+    void renumber();
+
+    FuId numFus_;
+    std::vector<int> ssetIds_; ///< per FU; -1 == halted.
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_PARTITION_HH

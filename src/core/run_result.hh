@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Outcome of a simulation run, shared by xsim and vsim.
+ */
+
+#ifndef XIMD_CORE_RUN_RESULT_HH
+#define XIMD_CORE_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Why a run() stopped. */
+enum class StopReason : std::uint8_t {
+    Halted,    ///< Every instruction stream executed a halt.
+    MaxCycles, ///< Cycle budget exhausted (program likely wedged).
+    Fault,     ///< Architecturally-undefined behaviour detected.
+};
+
+/** Outcome of a run() call. */
+struct RunResult
+{
+    StopReason reason = StopReason::Halted;
+    Cycle cycles = 0;
+    std::string faultMessage; ///< Non-empty iff reason == Fault.
+
+    bool ok() const { return reason == StopReason::Halted; }
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_RUN_RESULT_HH

@@ -1,0 +1,118 @@
+#include "core/stats.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace ximd {
+
+RunStats::RunStats(FuId numFus)
+    : numFus_(numFus)
+{
+    XIMD_ASSERT(numFus > 0 && numFus <= kMaxFus, "bad FU count ", numFus);
+}
+
+void
+RunStats::countParcel(OpClass cls)
+{
+    ++parcels_;
+    ++classCounts_[static_cast<std::size_t>(cls)];
+}
+
+void
+RunStats::countConditionalBranch(bool taken)
+{
+    ++condBranches_;
+    if (taken)
+        ++takenBranches_;
+}
+
+std::uint64_t
+RunStats::byClass(OpClass cls) const
+{
+    return classCounts_[static_cast<std::size_t>(cls)];
+}
+
+std::uint64_t
+RunStats::dataOps() const
+{
+    return parcels_ - nops();
+}
+
+std::uint64_t
+RunStats::flops() const
+{
+    return byClass(OpClass::FloatAlu) + byClass(OpClass::FloatCompare);
+}
+
+double
+RunStats::meanStreams() const
+{
+    Cycle total = 0;
+    double weighted = 0.0;
+    for (const auto &[streams, cycles] : partitionCycles_) {
+        total += cycles;
+        weighted += static_cast<double>(streams) *
+                    static_cast<double>(cycles);
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+double
+RunStats::utilization() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    return static_cast<double>(dataOps()) /
+           (static_cast<double>(cycles_) * numFus_);
+}
+
+double
+RunStats::mips(double cycleNs) const
+{
+    if (cycles_ == 0 || cycleNs <= 0.0)
+        return 0.0;
+    const double seconds = static_cast<double>(cycles_) * cycleNs * 1e-9;
+    return static_cast<double>(dataOps()) / seconds / 1e6;
+}
+
+double
+RunStats::mflops(double cycleNs) const
+{
+    if (cycles_ == 0 || cycleNs <= 0.0)
+        return 0.0;
+    const double seconds = static_cast<double>(cycles_) * cycleNs * 1e-9;
+    return static_cast<double>(flops()) / seconds / 1e6;
+}
+
+std::string
+RunStats::formatted() const
+{
+    std::ostringstream os;
+    os << "cycles:             " << cycles_ << "\n"
+       << "parcels executed:   " << parcels_ << "\n"
+       << "data ops:           " << dataOps() << "\n"
+       << "  int alu:          " << byClass(OpClass::IntAlu) << "\n"
+       << "  int compare:      " << byClass(OpClass::IntCompare) << "\n"
+       << "  float alu:        " << byClass(OpClass::FloatAlu) << "\n"
+       << "  float compare:    " << byClass(OpClass::FloatCompare) << "\n"
+       << "  convert:          " << byClass(OpClass::Convert) << "\n"
+       << "  loads:            " << byClass(OpClass::MemLoad) << "\n"
+       << "  stores:           " << byClass(OpClass::MemStore) << "\n"
+       << "nops:               " << nops() << "\n"
+       << "cond branches:      " << condBranches_
+       << " (taken " << takenBranches_ << ")\n"
+       << "busy-wait FU-cycles:" << busyWaitCycles_ << "\n"
+       << "utilization:        " << fixed(utilization() * 100.0, 1)
+       << "%\n"
+       << "mean streams:       " << fixed(meanStreams(), 2) << "\n";
+    if (!partitionCycles_.empty()) {
+        os << "partition histogram (streams -> cycles):\n";
+        for (const auto &[streams, cycles] : partitionCycles_)
+            os << "  " << streams << " -> " << cycles << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ximd

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-run statistics collected by both simulators.
+ *
+ * Mirrors what the paper's xsim was built for (section 4.1): "measuring
+ * performance" and "measuring the effectiveness of the XIMD
+ * architectural model" — cycle counts, operation mix, busy-wait
+ * overhead, and the dynamic partition behaviour.
+ */
+
+#ifndef XIMD_CORE_STATS_HH
+#define XIMD_CORE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Counters accumulated over one simulation run. */
+class RunStats
+{
+  public:
+    explicit RunStats(FuId numFus);
+
+    FuId numFus() const { return numFus_; }
+
+    /// @name Accumulators (called by the machines).
+    /// @{
+    void countCycle() { ++cycles_; }
+    void countParcel(OpClass cls);
+    void countConditionalBranch(bool taken);
+    void countBusyWait() { ++busyWaitCycles_; }
+    void countPartition(unsigned numSsets) { ++partitionCycles_[numSsets]; }
+    /// @}
+
+    /// @name Results.
+    /// @{
+    Cycle cycles() const { return cycles_; }
+
+    /** Parcels executed by live FUs (includes nops). */
+    std::uint64_t parcels() const { return parcels_; }
+
+    /** Non-nop data operations executed. */
+    std::uint64_t dataOps() const;
+
+    /** Executed parcels whose data op was a nop. */
+    std::uint64_t nops() const { return byClass(OpClass::Nop); }
+
+    /** Executed data ops of class @p cls. */
+    std::uint64_t byClass(OpClass cls) const;
+
+    /** Floating-point operations (FloatAlu + FloatCompare). */
+    std::uint64_t flops() const;
+
+    std::uint64_t conditionalBranches() const { return condBranches_; }
+    std::uint64_t takenBranches() const { return takenBranches_; }
+
+    /** FU-cycles spent spinning at one address on a condition. */
+    std::uint64_t busyWaitCycles() const { return busyWaitCycles_; }
+
+    /** Cycles spent with each SSET count (1 == pure VLIW mode). */
+    const std::map<unsigned, Cycle> &partitionHistogram() const
+    {
+        return partitionCycles_;
+    }
+
+    /** Mean number of concurrent instruction streams. */
+    double meanStreams() const;
+
+    /** Useful-op density: dataOps / (cycles * numFus). */
+    double utilization() const;
+
+    /** Millions of useful instructions per second at @p cycleNs. */
+    double mips(double cycleNs) const;
+
+    /** Millions of float operations per second at @p cycleNs. */
+    double mflops(double cycleNs) const;
+    /// @}
+
+    /** Multi-line human-readable summary. */
+    std::string formatted() const;
+
+  private:
+    FuId numFus_;
+    Cycle cycles_ = 0;
+    std::uint64_t parcels_ = 0;
+    std::array<std::uint64_t, 8> classCounts_{};
+    std::uint64_t condBranches_ = 0;
+    std::uint64_t takenBranches_ = 0;
+    std::uint64_t busyWaitCycles_ = 0;
+    std::map<unsigned, Cycle> partitionCycles_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_STATS_HH

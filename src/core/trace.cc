@@ -1,0 +1,55 @@
+#include "core/trace.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace ximd {
+
+const TraceEntry &
+Trace::entry(std::size_t i) const
+{
+    XIMD_ASSERT(i < entries_.size(), "trace entry ", i, " out of range");
+    return entries_[i];
+}
+
+std::string
+Trace::formatted() const
+{
+    std::ostringstream os;
+    if (entries_.empty())
+        return "(empty trace)\n";
+    const std::size_t fus = entries_.front().pcs.size();
+
+    os << padRight("Cycle", 10);
+    for (std::size_t fu = 0; fu < fus; ++fu)
+        os << padRight("FU" + std::to_string(fu), 5);
+    os << padRight("CondCodes", 11) << "Partition\n";
+
+    for (const TraceEntry &e : entries_) {
+        os << padRight("Cycle " + std::to_string(e.cycle), 10);
+        for (std::size_t fu = 0; fu < fus; ++fu) {
+            std::string cell =
+                e.live[fu] ? hex2(e.pcs[fu]) + ":" : "--";
+            os << padRight(cell, 5);
+        }
+        os << padRight(e.condCodes, 11) << e.partition << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Trace::compact() const
+{
+    std::ostringstream os;
+    for (const TraceEntry &e : entries_) {
+        os << e.cycle << " |";
+        for (std::size_t fu = 0; fu < e.pcs.size(); ++fu)
+            os << " " << (e.live[fu] ? hex2(e.pcs[fu]) : "--");
+        os << " | " << e.condCodes << " | " << e.partition << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ximd

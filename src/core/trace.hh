@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Address-trace recording in the format of the paper's Figure 10.
+ *
+ * Each entry captures the beginning-of-cycle machine state: the PC of
+ * every live FU, the condition-code registers "as they exist at the
+ * beginning of each cycle", and the current partition in set notation.
+ */
+
+#ifndef XIMD_CORE_TRACE_HH
+#define XIMD_CORE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ximd {
+
+/** One cycle's beginning-of-cycle snapshot. */
+struct TraceEntry
+{
+    Cycle cycle = 0;
+    std::vector<InstAddr> pcs;  ///< Per FU; meaningful iff live[fu].
+    std::vector<bool> live;     ///< FU executed a parcel this cycle.
+    std::string condCodes;      ///< e.g. "TTFX".
+    std::string partition;      ///< e.g. "{0,1}{2}{3}".
+};
+
+/** A recorded address trace. */
+class Trace
+{
+  public:
+    void append(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+    void clear() { entries_.clear(); }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    const TraceEntry &entry(std::size_t i) const;
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+
+    /**
+     * Render as the paper's Figure 10 table:
+     *
+     *   Cycle     FU0  FU1  FU2  FU3  CondCodes  Partition
+     *   Cycle 0   00:  00:  00:  00:  XXXX       {0,1,2,3}
+     */
+    std::string formatted() const;
+
+    /**
+     * Compact one-line-per-cycle form used by golden-trace tests:
+     * "0 | 00 00 00 00 | XXXX | {0,1,2,3}". Halted FUs print "--".
+     */
+    std::string compact() const;
+
+  private:
+    std::vector<TraceEntry> entries_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_TRACE_HH

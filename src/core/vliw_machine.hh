@@ -1,0 +1,105 @@
+/**
+ * @file
+ * vsim — the companion VLIW simulator (paper section 4.1).
+ *
+ * "A companion simulator, vsim, simulates a VLIW processor with similar
+ * characteristics." The data path is identical to the XIMD-1 machine
+ * (same FUs, global register file, idealized memory, per-FU condition
+ * codes feeding a single sequencer — Figure 4). The control path is a
+ * single sequencer: one program counter; one control operation per
+ * instruction.
+ *
+ * A VLIW program is expressed as an ordinary Program whose control
+ * fields are read from FU0's parcel (the paper's examples duplicate the
+ * control fields into every parcel; vsim accepts either form but
+ * rejects sync-signal conditions, which do not exist on a VLIW).
+ */
+
+#ifndef XIMD_CORE_VLIW_MACHINE_HH
+#define XIMD_CORE_VLIW_MACHINE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/run_result.hh"
+#include "core/stats.hh"
+#include "core/trace.hh"
+#include "isa/program.hh"
+#include "sim/cond_codes.hh"
+#include "sim/memory.hh"
+#include "sim/register_file.hh"
+#include "sim/write_pipeline.hh"
+
+namespace ximd {
+
+/** The VLIW simulator: XIMD datapath, single instruction stream. */
+class VliwMachine
+{
+  public:
+    /**
+     * Build a machine around @p program. Throws FatalError when any
+     * parcel uses a sync-signal branch condition or a non-BUSY sync
+     * field — those mechanisms do not exist on a VLIW.
+     */
+    explicit VliwMachine(Program program, MachineConfig config = {});
+
+    /// @name Pre-run setup.
+    /// @{
+    Memory &memory() { return mem_; }
+    RegisterFile &registers() { return regs_; }
+    CondCodeFile &condCodes() { return ccs_; }
+    void attachDevice(Addr lo, Addr hi, IoDevice *device);
+    /// @}
+
+    /// @name Execution.
+    /// @{
+    bool step();
+    RunResult run(Cycle maxCycles = 0);
+    /// @}
+
+    /// @name Observation.
+    /// @{
+    const Program &program() const { return program_; }
+    FuId numFus() const { return program_.width(); }
+    Cycle cycle() const { return cycle_; }
+    InstAddr pc() const { return pc_; }
+    bool halted() const { return halted_; }
+    bool faulted() const { return faulted_; }
+    const std::string &faultMessage() const { return faultMsg_; }
+
+    const RunStats &stats() const { return stats_; }
+    const Trace &trace() const { return trace_; }
+
+    Word readReg(RegId r) const { return regs_.peek(r); }
+    Word readRegByName(const std::string &name) const;
+    Word peekMem(Addr addr) const { return mem_.peek(addr); }
+    /// @}
+
+  private:
+    void applyMemInit();
+    void validateVliwProgram() const;
+    void fault(const std::string &msg);
+
+    Program program_;
+    MachineConfig config_;
+
+    RegisterFile regs_;
+    Memory mem_;
+    CondCodeFile ccs_;
+    WritePipeline pipe_;
+
+    InstAddr pc_ = 0;
+    bool halted_ = false;
+
+    Cycle cycle_ = 0;
+    bool faulted_ = false;
+    std::string faultMsg_;
+
+    Trace trace_;
+    RunStats stats_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_VLIW_MACHINE_HH

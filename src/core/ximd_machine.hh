@@ -1,0 +1,135 @@
+/**
+ * @file
+ * xsim — the cycle-accurate XIMD-1 machine (paper section 4.1).
+ *
+ * Structure follows Figure 2 of the paper: a global register file and
+ * idealized shared memory serve N homogeneous universal FUs, each with
+ * its own program counter and sequencer. Condition codes are registered
+ * and globally visible; synchronization signals are instruction fields
+ * distributed combinationally.
+ *
+ * Cycle semantics (pinned down in DESIGN.md and verified against the
+ * paper's Figure 10 trace):
+ *
+ *   1. fetch: every live FU fetches the parcel addressed by its PC;
+ *   2. the sync bus takes each live parcel's SS field (halted: DONE);
+ *   3. execute: data ops read beginning-of-cycle registers/memory and
+ *      queue their writes;
+ *   4. sequence: control ops select the next PC from beginning-of-cycle
+ *      CC values and current-cycle SS values;
+ *   5. commit: queued register / memory / CC writes become visible;
+ *      write-write races on one register or address fault;
+ *   6. partition tracking, trace recording, statistics.
+ *
+ * A program fault (divide by zero, write race, address out of range)
+ * stops the machine with StopReason::Fault and the message preserved.
+ */
+
+#ifndef XIMD_CORE_XIMD_MACHINE_HH
+#define XIMD_CORE_XIMD_MACHINE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/partition.hh"
+#include "core/run_result.hh"
+#include "core/stats.hh"
+#include "core/trace.hh"
+#include "isa/program.hh"
+#include "sim/cond_codes.hh"
+#include "sim/memory.hh"
+#include "sim/register_file.hh"
+#include "sim/sync_bus.hh"
+#include "sim/write_pipeline.hh"
+
+namespace ximd {
+
+/** The XIMD-1 simulator. */
+class XimdMachine
+{
+  public:
+    /**
+     * Build a machine around @p program (validated on entry). The FU
+     * count is the program's width. Initial-memory requests recorded
+     * in the program are applied.
+     */
+    explicit XimdMachine(Program program, MachineConfig config = {});
+
+    /// @name Pre-run setup.
+    /// @{
+    Memory &memory() { return mem_; }
+    RegisterFile &registers() { return regs_; }
+    CondCodeFile &condCodes() { return ccs_; }
+
+    /** Map @p device at [lo, hi]; forwards to Memory::attachDevice. */
+    void attachDevice(Addr lo, Addr hi, IoDevice *device);
+    /// @}
+
+    /// @name Execution.
+    /// @{
+    /**
+     * Execute one cycle.
+     * @return false when nothing ran (all FUs halted or faulted).
+     */
+    bool step();
+
+    /** Run until halt/fault or @p maxCycles (0: config default). */
+    RunResult run(Cycle maxCycles = 0);
+    /// @}
+
+    /// @name Observation.
+    /// @{
+    const Program &program() const { return program_; }
+    FuId numFus() const { return program_.width(); }
+    Cycle cycle() const { return cycle_; }
+    InstAddr pc(FuId fu) const;
+    bool halted(FuId fu) const;
+    bool allHalted() const;
+    bool faulted() const { return faulted_; }
+    const std::string &faultMessage() const { return faultMsg_; }
+
+    const RunStats &stats() const { return stats_; }
+    const Trace &trace() const { return trace_; }
+    const PartitionTracker &partitions() const { return partition_; }
+
+    /** Read a register by number. */
+    Word readReg(RegId r) const { return regs_.peek(r); }
+
+    /** Read a register by its symbolic program name; fatal if unknown. */
+    Word readRegByName(const std::string &name) const;
+
+    /** Read a memory word (RAM only). */
+    Word peekMem(Addr addr) const { return mem_.peek(addr); }
+    /// @}
+
+  private:
+    void applyMemInit();
+    void fault(const std::string &msg);
+
+    Program program_;
+    MachineConfig config_;
+
+    RegisterFile regs_;
+    Memory mem_;
+    CondCodeFile ccs_;
+    WritePipeline pipe_;
+    SyncBus sync_;
+    /** Previous-cycle SS values, used when config_.registeredSync. */
+    std::vector<SyncVal> syncPrev_;
+
+    std::vector<InstAddr> pcs_;
+    std::vector<bool> haltedFus_;
+
+    Cycle cycle_ = 0;
+    bool faulted_ = false;
+    std::string faultMsg_;
+
+    PartitionTracker partition_;
+    Trace trace_;
+    RunStats stats_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_XIMD_MACHINE_HH

@@ -1,0 +1,144 @@
+#include "isa/control_op.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace ximd {
+
+ControlOp
+ControlOp::jump(InstAddr t)
+{
+    ControlOp c;
+    c.kind = CondKind::Always;
+    c.t1 = t;
+    c.t2 = t;
+    return c;
+}
+
+ControlOp
+ControlOp::onCc(unsigned cc, InstAddr t1, InstAddr t2)
+{
+    XIMD_ASSERT(cc < kMaxFus, "condition-code index out of range: ", cc);
+    ControlOp c;
+    c.kind = CondKind::CcTrue;
+    c.index = static_cast<std::uint8_t>(cc);
+    c.t1 = t1;
+    c.t2 = t2;
+    return c;
+}
+
+ControlOp
+ControlOp::onSync(unsigned fu, InstAddr t1, InstAddr t2)
+{
+    XIMD_ASSERT(fu < kMaxFus, "sync-signal index out of range: ", fu);
+    ControlOp c;
+    c.kind = CondKind::SyncDone;
+    c.index = static_cast<std::uint8_t>(fu);
+    c.t1 = t1;
+    c.t2 = t2;
+    return c;
+}
+
+ControlOp
+ControlOp::onAllSync(InstAddr t1, InstAddr t2, std::uint32_t mask)
+{
+    XIMD_ASSERT(mask != 0, "barrier mask must include at least one FU");
+    ControlOp c;
+    c.kind = CondKind::AllSync;
+    c.mask = mask;
+    c.t1 = t1;
+    c.t2 = t2;
+    return c;
+}
+
+ControlOp
+ControlOp::onAnySync(InstAddr t1, InstAddr t2, std::uint32_t mask)
+{
+    XIMD_ASSERT(mask != 0, "any-sync mask must include at least one FU");
+    ControlOp c;
+    c.kind = CondKind::AnySync;
+    c.mask = mask;
+    c.t1 = t1;
+    c.t2 = t2;
+    return c;
+}
+
+ControlOp
+ControlOp::halt()
+{
+    ControlOp c;
+    c.kind = CondKind::Halt;
+    return c;
+}
+
+bool
+ControlOp::operator==(const ControlOp &other) const
+{
+    if (kind != other.kind)
+        return false;
+    switch (kind) {
+      case CondKind::Halt:
+        return true;
+      case CondKind::Always:
+        return t1 == other.t1;
+      case CondKind::CcTrue:
+      case CondKind::SyncDone:
+        return index == other.index && t1 == other.t1 && t2 == other.t2;
+      case CondKind::AllSync:
+      case CondKind::AnySync:
+        return mask == other.mask && t1 == other.t1 && t2 == other.t2;
+    }
+    return false;
+}
+
+std::string
+ControlOp::toString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case CondKind::Always:
+        os << "-> " << hex2(t1) << ":";
+        break;
+      case CondKind::CcTrue:
+        os << "if cc" << unsigned(index) << " " << hex2(t1) << ":|"
+           << hex2(t2) << ":";
+        break;
+      case CondKind::SyncDone:
+        os << "if ss" << unsigned(index) << " " << hex2(t1) << ":|"
+           << hex2(t2) << ":";
+        break;
+      case CondKind::AllSync:
+      case CondKind::AnySync: {
+        os << "if " << (kind == CondKind::AllSync ? "all" : "any");
+        if (mask != ~0u) {
+            os << "(";
+            bool first = true;
+            for (FuId i = 0; i < kMaxFus; ++i) {
+                if (mask & (1u << i)) {
+                    if (!first)
+                        os << ",";
+                    os << i;
+                    first = false;
+                }
+            }
+            os << ")";
+        }
+        os << " " << hex2(t1) << ":|" << hex2(t2) << ":";
+        break;
+      }
+      case CondKind::Halt:
+        os << "halt";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+syncValName(SyncVal v)
+{
+    return v == SyncVal::Done ? "DONE" : "BUSY";
+}
+
+} // namespace ximd

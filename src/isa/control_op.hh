@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The per-parcel control operation and synchronization field.
+ *
+ * Figure 8 of the paper: each FU's control-path fields hold two branch
+ * targets T1/T2 and a condition-selection criteria field; there is no
+ * PC incrementer. The defined control operations (section 2.2):
+ *
+ *   Target 1 / Target 2              unconditional branch
+ *   Branch on (CCk == TRUE)          one condition code
+ *   Branch on (SSk == DONE)          one sync signal
+ *   Branch on ALL(SS == DONE)        barrier condition
+ *   Branch on ANY(SS == DONE)        any-sync condition
+ *
+ * Section 3.3 notes the barrier "can be generalized to include
+ * synchronizations between only some of the program threads"; the
+ * ALL/ANY conditions therefore carry an FU mask (all-ones by default).
+ *
+ * A Halt kind is added so programs can terminate an FU; the paper's
+ * examples simply run off the listing ("Continue."), which a simulator
+ * must make explicit.
+ */
+
+#ifndef XIMD_ISA_CONTROL_OP_HH
+#define XIMD_ISA_CONTROL_OP_HH
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Condition-selection criteria for the branch-target multiplexer. */
+enum class CondKind : std::uint8_t {
+    Always,     ///< Unconditional branch to t1.
+    CcTrue,     ///< t1 when CC[index] == TRUE else t2.
+    SyncDone,   ///< t1 when SS[index] == DONE else t2.
+    AllSync,    ///< t1 when all masked SS == DONE else t2.
+    AnySync,    ///< t1 when any masked SS == DONE else t2.
+    Halt,       ///< Stop this functional unit.
+};
+
+/** Per-parcel synchronization signal value (section 2.2). */
+enum class SyncVal : std::uint8_t { Busy, Done };
+
+/** One control operation: condition + two explicit branch targets. */
+struct ControlOp
+{
+    CondKind kind = CondKind::Always;
+    std::uint8_t index = 0;   ///< CC or SS index (CcTrue / SyncDone).
+    std::uint32_t mask = ~0u; ///< FU mask for AllSync / AnySync.
+    InstAddr t1 = 0;          ///< Taken / unconditional target.
+    InstAddr t2 = 0;          ///< Fall-back target.
+
+    /** Unconditional branch ("-> t"). */
+    static ControlOp jump(InstAddr t);
+
+    /** Branch on condition code: if CC[cc] then t1 else t2. */
+    static ControlOp onCc(unsigned cc, InstAddr t1, InstAddr t2);
+
+    /** Branch on sync signal: if SS[fu] == DONE then t1 else t2. */
+    static ControlOp onSync(unsigned fu, InstAddr t1, InstAddr t2);
+
+    /** Barrier: if all masked SS == DONE then t1 else t2. */
+    static ControlOp onAllSync(InstAddr t1, InstAddr t2,
+                               std::uint32_t mask = ~0u);
+
+    /** Any-sync: if any masked SS == DONE then t1 else t2. */
+    static ControlOp onAnySync(InstAddr t1, InstAddr t2,
+                               std::uint32_t mask = ~0u);
+
+    /** Stop the executing FU. */
+    static ControlOp halt();
+
+    bool isConditional() const
+    {
+        return kind != CondKind::Always && kind != CondKind::Halt;
+    }
+    bool isHalt() const { return kind == CondKind::Halt; }
+
+    bool operator==(const ControlOp &other) const;
+
+    /**
+     * Paper-style rendering: "-> 05:", "if cc2 08:|02:",
+     * "if all 11:|10:", "halt".
+     */
+    std::string toString() const;
+};
+
+/** Render a sync value as the paper does: "BUSY" / "DONE". */
+std::string syncValName(SyncVal v);
+
+} // namespace ximd
+
+#endif // XIMD_ISA_CONTROL_OP_HH

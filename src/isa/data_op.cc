@@ -1,0 +1,123 @@
+#include "isa/data_op.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+DataOp
+DataOp::make(Opcode op, Operand a, Operand b, RegId dest)
+{
+    DataOp d;
+    d.op = op;
+    d.a = a;
+    d.b = b;
+    d.dest = dest;
+    d.validate();
+    return d;
+}
+
+DataOp
+DataOp::makeUnary(Opcode op, Operand a, RegId dest)
+{
+    DataOp d;
+    d.op = op;
+    d.a = a;
+    d.dest = dest;
+    d.validate();
+    return d;
+}
+
+DataOp
+DataOp::makeCompare(Opcode op, Operand a, Operand b)
+{
+    DataOp d;
+    d.op = op;
+    d.a = a;
+    d.b = b;
+    d.validate();
+    return d;
+}
+
+DataOp
+DataOp::makeLoad(Operand a, Operand b, RegId dest)
+{
+    DataOp d;
+    d.op = Opcode::Load;
+    d.a = a;
+    d.b = b;
+    d.dest = dest;
+    d.validate();
+    return d;
+}
+
+DataOp
+DataOp::makeStore(Operand value, Operand addr)
+{
+    DataOp d;
+    d.op = Opcode::Store;
+    d.a = value;
+    d.b = addr;
+    d.validate();
+    return d;
+}
+
+DataOp
+DataOp::nop()
+{
+    return DataOp{};
+}
+
+void
+DataOp::validate() const
+{
+    const OpInfo &info = opInfo(op);
+    if (info.numSrcs >= 1 && a.isNone())
+        fatal("operation '", info.name, "' is missing source operand a");
+    if (info.numSrcs >= 2 && b.isNone())
+        fatal("operation '", info.name, "' is missing source operand b");
+    if (info.numSrcs < 2 && !b.isNone())
+        fatal("operation '", info.name, "' takes no second source");
+    if (info.numSrcs < 1 && !a.isNone())
+        fatal("operation '", info.name, "' takes no source operands");
+    if (info.hasDest && dest >= kNumRegisters)
+        fatal("operation '", info.name, "' destination register r", dest,
+              " out of range");
+}
+
+bool
+DataOp::operator==(const DataOp &other) const
+{
+    if (op != other.op || a != other.a || b != other.b)
+        return false;
+    if (hasDest() && dest != other.dest)
+        return false;
+    return true;
+}
+
+std::string
+DataOp::toString() const
+{
+    const OpInfo &info = opInfo(op);
+    if (op == Opcode::Nop)
+        return "nop";
+    std::ostringstream os;
+    os << info.name << " ";
+    bool first = true;
+    auto emit = [&](const std::string &s) {
+        if (!first)
+            os << ",";
+        os << s;
+        first = false;
+    };
+    if (info.numSrcs >= 1)
+        emit(a.toString());
+    if (info.numSrcs >= 2)
+        emit(b.toString());
+    if (info.hasDest)
+        emit("r" + std::to_string(dest));
+    return os.str();
+}
+
+} // namespace ximd

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A single 3-address data-path operation, one per instruction parcel.
+ *
+ * The shapes follow Figure 7 of the paper:
+ *   binary alu:   op  a, b, d     (a op b -> d)
+ *   unary alu:    op  a, d
+ *   compare:      op  a, b        (sets CC of the executing FU)
+ *   load:         load a, b, d    (M(a+b) -> d)
+ *   store:        store a, b      (a -> M(b))
+ */
+
+#ifndef XIMD_ISA_DATA_OP_HH
+#define XIMD_ISA_DATA_OP_HH
+
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/operand.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+/** One data operation: opcode, up to two sources, optional dest reg. */
+struct DataOp
+{
+    Opcode op = Opcode::Nop;
+    Operand a;          ///< Source operand A (value source for store).
+    Operand b;          ///< Source operand B (address source for store).
+    RegId dest = 0;     ///< Destination register; valid iff hasDest().
+
+    DataOp() = default;
+
+    /** Binary op with destination: op a, b -> dest. */
+    static DataOp make(Opcode op, Operand a, Operand b, RegId dest);
+
+    /** Unary op with destination: op a -> dest. */
+    static DataOp makeUnary(Opcode op, Operand a, RegId dest);
+
+    /** Compare (no destination): op a, b -> CC. */
+    static DataOp makeCompare(Opcode op, Operand a, Operand b);
+
+    /** load a, b, dest: M(a+b) -> dest. */
+    static DataOp makeLoad(Operand a, Operand b, RegId dest);
+
+    /** store a, b: a -> M(b). */
+    static DataOp makeStore(Operand value, Operand addr);
+
+    /** The canonical no-op. */
+    static DataOp nop();
+
+    bool isNop() const { return op == Opcode::Nop; }
+    bool hasDest() const { return opInfo(op).hasDest; }
+
+    /**
+     * Check operand shape against the opcode descriptor.
+     * Throws FatalError on malformed operations (e.g. a compare with a
+     * destination source missing, or a binary op with an absent source).
+     */
+    void validate() const;
+
+    bool operator==(const DataOp &other) const;
+
+    /** Assembler rendering, e.g. "iadd r1,#4,r2" or "nop". */
+    std::string toString() const;
+};
+
+} // namespace ximd
+
+#endif // XIMD_ISA_DATA_OP_HH

@@ -1,0 +1,90 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "support/str.hh"
+
+namespace ximd {
+
+std::string
+formatOperand(const Program &prog, const Operand &op,
+              const DisasmOptions &opts)
+{
+    if (op.isReg() && opts.useRegNames) {
+        if (auto name = prog.regName(op.regId()))
+            return *name;
+    }
+    return op.toString();
+}
+
+std::string
+formatDataOp(const Program &prog, const DataOp &op,
+             const DisasmOptions &opts)
+{
+    if (op.isNop())
+        return "nop";
+    const OpInfo &info = opInfo(op.op);
+    std::ostringstream os;
+    os << info.name << " ";
+    bool first = true;
+    auto emit = [&](const std::string &s) {
+        if (!first)
+            os << ",";
+        os << s;
+        first = false;
+    };
+    if (info.numSrcs >= 1)
+        emit(formatOperand(prog, op.a, opts));
+    if (info.numSrcs >= 2)
+        emit(formatOperand(prog, op.b, opts));
+    if (info.hasDest) {
+        Operand d = Operand::reg(op.dest);
+        emit(formatOperand(prog, d, opts));
+    }
+    return os.str();
+}
+
+std::string
+formatParcel(const Program &prog, const Parcel &parcel,
+             const DisasmOptions &opts)
+{
+    std::string s = parcel.ctrl.toString() + " ; " +
+                    formatDataOp(prog, parcel.data, opts);
+    if (opts.showSync && parcel.sync == SyncVal::Done)
+        s += " ; done";
+    return s;
+}
+
+std::string
+formatProgram(const Program &prog, const DisasmOptions &opts)
+{
+    std::ostringstream os;
+    // Determine whether any parcel uses a non-default sync value so the
+    // sync line can be omitted for pure VLIW-mode listings, exactly as
+    // the paper omits it in Examples 1 and 2.
+    bool any_sync = false;
+    for (InstAddr a = 0; a < prog.size() && !any_sync; ++a)
+        for (FuId fu = 0; fu < prog.width() && !any_sync; ++fu)
+            any_sync = prog.row(a)[fu].sync == SyncVal::Done;
+
+    for (InstAddr a = 0; a < prog.size(); ++a) {
+        if (auto lbl = prog.labelAt(a))
+            os << *lbl << ":\n";
+        os << hex2(a) << ": ";
+        const InstRow &row = prog.row(a);
+        for (FuId fu = 0; fu < prog.width(); ++fu) {
+            if (fu > 0)
+                os << " || ";
+            std::string ctrl = row[fu].ctrl.toString();
+            std::string data = formatDataOp(prog, row[fu].data, opts);
+            std::string cell = ctrl + " ; " + data;
+            if (opts.showSync && any_sync)
+                cell += " ; " + toLower(syncValName(row[fu].sync));
+            os << padRight(cell, opts.columnWidth);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ximd

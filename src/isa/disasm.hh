@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Disassembler: renders programs in the paper's listing format
+ * (Figure 9): per-address rows of boxed parcels, the control operation
+ * on top, the data operation below, and the sync field when any parcel
+ * in the program uses DONE.
+ */
+
+#ifndef XIMD_ISA_DISASM_HH
+#define XIMD_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace ximd {
+
+/** Options controlling listing appearance. */
+struct DisasmOptions
+{
+    bool useRegNames = true;   ///< Substitute symbolic register names.
+    bool showSync = true;      ///< Show SS fields (when any is DONE).
+    unsigned columnWidth = 22; ///< Minimum per-FU column width.
+};
+
+/** Render one operand, substituting register names when enabled. */
+std::string formatOperand(const Program &prog, const Operand &op,
+                          const DisasmOptions &opts = {});
+
+/** Render one data op with symbolic registers. */
+std::string formatDataOp(const Program &prog, const DataOp &op,
+                         const DisasmOptions &opts = {});
+
+/** Render one parcel: "ctrl ; data ; sync". */
+std::string formatParcel(const Program &prog, const Parcel &parcel,
+                         const DisasmOptions &opts = {});
+
+/** Render a full program listing in the paper's row format. */
+std::string formatProgram(const Program &prog,
+                          const DisasmOptions &opts = {});
+
+} // namespace ximd
+
+#endif // XIMD_ISA_DISASM_HH

@@ -1,0 +1,99 @@
+#include "isa/operand.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+Operand
+Operand::reg(RegId r)
+{
+    XIMD_ASSERT(r < kNumRegisters, "register index out of range: ", r);
+    Operand o;
+    o.kind_ = Kind::Reg;
+    o.value_ = r;
+    return o;
+}
+
+Operand
+Operand::imm(Word raw)
+{
+    Operand o;
+    o.kind_ = Kind::Imm;
+    o.value_ = raw;
+    return o;
+}
+
+Operand
+Operand::immInt(SWord v)
+{
+    return imm(intToWord(v));
+}
+
+Operand
+Operand::immFloat(float v)
+{
+    Operand o = imm(floatToWord(v));
+    o.floatHint_ = true;
+    return o;
+}
+
+Operand
+Operand::none()
+{
+    return Operand{};
+}
+
+RegId
+Operand::regId() const
+{
+    XIMD_ASSERT(isReg(), "regId() on non-register operand");
+    return static_cast<RegId>(value_);
+}
+
+Word
+Operand::immValue() const
+{
+    XIMD_ASSERT(isImm(), "immValue() on non-immediate operand");
+    return value_;
+}
+
+bool
+Operand::operator==(const Operand &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    if (kind_ == Kind::None)
+        return true;
+    return value_ == other.value_;
+}
+
+std::string
+Operand::toString() const
+{
+    switch (kind_) {
+      case Kind::None:
+        return "";
+      case Kind::Reg:
+        return "r" + std::to_string(value_);
+      case Kind::Imm:
+        break;
+    }
+    std::ostringstream os;
+    if (floatHint_) {
+        os << "#" << wordToFloat(value_);
+        // Keep float literals distinguishable from ints on round-trip.
+        if (os.str().find('.') == std::string::npos &&
+            os.str().find('e') == std::string::npos &&
+            os.str().find("inf") == std::string::npos &&
+            os.str().find("nan") == std::string::npos) {
+            os << ".0";
+        }
+    } else {
+        os << "#" << wordToInt(value_);
+    }
+    return os.str();
+}
+
+} // namespace ximd

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Source operands of an XIMD-1 data operation.
+ *
+ * Per section 2.2, "the three operands may be registers or constants".
+ * An operand is therefore either a global-register reference or an
+ * immediate 32-bit word. Immediates written as float literals carry a
+ * display hint so the disassembler can round-trip them.
+ */
+
+#ifndef XIMD_ISA_OPERAND_HH
+#define XIMD_ISA_OPERAND_HH
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace ximd {
+
+/** A register or immediate source operand. */
+class Operand
+{
+  public:
+    enum class Kind : std::uint8_t { None, Reg, Imm };
+
+    /** Default: the absent operand (unary ops, nop). */
+    Operand() = default;
+
+    /** Make a register operand. */
+    static Operand reg(RegId r);
+
+    /** Make an immediate from a raw 32-bit pattern. */
+    static Operand imm(Word raw);
+
+    /** Make an integer immediate. */
+    static Operand immInt(SWord v);
+
+    /** Make a float immediate (sets the float display hint). */
+    static Operand immFloat(float v);
+
+    /** Make the explicit "no operand" value. */
+    static Operand none();
+
+    Kind kind() const { return kind_; }
+    bool isReg() const { return kind_ == Kind::Reg; }
+    bool isImm() const { return kind_ == Kind::Imm; }
+    bool isNone() const { return kind_ == Kind::None; }
+
+    /** Register index; only valid when isReg(). */
+    RegId regId() const;
+
+    /** Raw immediate bits; only valid when isImm(). */
+    Word immValue() const;
+
+    /** True when this immediate was written as a float literal. */
+    bool isFloatHint() const { return floatHint_; }
+
+    bool operator==(const Operand &other) const;
+    bool operator!=(const Operand &other) const = default;
+
+    /** Assembler rendering: "r12", "#-3", "#1.5", or "" for None. */
+    std::string toString() const;
+
+  private:
+    Kind kind_ = Kind::None;
+    Word value_ = 0;        // reg index or immediate bits
+    bool floatHint_ = false;
+};
+
+} // namespace ximd
+
+#endif // XIMD_ISA_OPERAND_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The instruction parcel — the unit of control in an XIMD machine.
+ *
+ * Section 2.4: "Instruction Parcel: The set of instruction fields which
+ * control each FU. This includes the fields for the control path, data
+ * path, and synchronization signals for each FU. Each instruction
+ * parcel is independent. Eight instruction parcels comprise one
+ * instruction, whether or not they were issued from the same physical
+ * address."
+ */
+
+#ifndef XIMD_ISA_PARCEL_HH
+#define XIMD_ISA_PARCEL_HH
+
+#include "isa/control_op.hh"
+#include "isa/data_op.hh"
+
+namespace ximd {
+
+/** One parcel: control op + data op + sync field for one FU. */
+struct Parcel
+{
+    ControlOp ctrl;             ///< Next-address selection.
+    DataOp data;                ///< Data-path operation.
+    SyncVal sync = SyncVal::Busy; ///< SS value emitted this cycle.
+
+    Parcel() = default;
+
+    Parcel(ControlOp c, DataOp d, SyncVal s = SyncVal::Busy)
+        : ctrl(c), data(d), sync(s) {}
+
+    bool operator==(const Parcel &other) const
+    {
+        return ctrl == other.ctrl && data == other.data &&
+               sync == other.sync;
+    }
+};
+
+} // namespace ximd
+
+#endif // XIMD_ISA_PARCEL_HH

@@ -1,0 +1,134 @@
+#include "sched/codegen.hh"
+
+#include "sched/list_scheduler.hh"
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+namespace {
+
+Operand
+lowerValue(const IrValue &v, RegId regBase)
+{
+    if (v.isImm())
+        return Operand::imm(v.imm);
+    if (v.isVreg())
+        return Operand::reg(static_cast<RegId>(regBase + v.vreg));
+    return Operand::none();
+}
+
+DataOp
+lowerOp(const IrOp &op, RegId regBase)
+{
+    DataOp d;
+    d.op = op.op;
+    const OpInfo &info = opInfo(op.op);
+    if (info.numSrcs >= 1)
+        d.a = lowerValue(op.a, regBase);
+    if (info.numSrcs >= 2)
+        d.b = lowerValue(op.b, regBase);
+    if (info.hasDest)
+        d.dest = static_cast<RegId>(regBase + op.dest);
+    d.validate();
+    return d;
+}
+
+} // namespace
+
+CodegenResult
+generateCode(const IrProgram &prog, const CodegenOptions &opts)
+{
+    prog.validate();
+    if (opts.regBase + prog.numVregs > kNumRegisters)
+        fatal("register file exhausted: ", prog.numVregs,
+              " vregs at base ", opts.regBase);
+
+    // Pass 1: schedule every block and lay out addresses.
+    std::vector<BlockSchedule> schedules;
+    std::map<std::string, InstAddr> blockAddr;
+    InstAddr next = 0;
+    for (const IrBlock &b : prog.blocks) {
+        schedules.push_back(
+            scheduleBlock(b, opts.width, opts.rawLatency));
+        blockAddr[b.name] = next;
+        next += schedules.back().numRows();
+    }
+
+    // Pass 2: emit parcels.
+    CodegenResult result;
+    result.program = Program(opts.width);
+    result.blockAddr = blockAddr;
+    Program &out = result.program;
+
+    for (std::size_t bi = 0; bi < prog.blocks.size(); ++bi) {
+        const IrBlock &b = prog.blocks[bi];
+        const BlockSchedule &sched = schedules[bi];
+        const InstAddr base = blockAddr[b.name];
+        const unsigned rows = sched.numRows();
+
+        // Where did the branch compare land?
+        FuId compareFu = 0;
+        if (b.term.kind == Terminator::Kind::CondBranch) {
+            bool found = false;
+            for (unsigned c = 0; c < rows && !found; ++c) {
+                const auto &cyc = sched.cycles[c];
+                for (std::size_t s = 0; s < cyc.size(); ++s) {
+                    if (cyc[s] == b.term.compareIdx) {
+                        compareFu = static_cast<FuId>(s);
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            XIMD_ASSERT(found, "branch compare missing from schedule");
+        }
+
+        for (unsigned c = 0; c < rows; ++c) {
+            ControlOp ctrl;
+            if (c + 1 < rows) {
+                ctrl = ControlOp::jump(base + c + 1);
+            } else {
+                switch (b.term.kind) {
+                  case Terminator::Kind::Halt:
+                    ctrl = ControlOp::halt();
+                    break;
+                  case Terminator::Kind::Jump:
+                    ctrl = ControlOp::jump(blockAddr.at(b.term.taken));
+                    break;
+                  case Terminator::Kind::CondBranch:
+                    ctrl = ControlOp::onCc(
+                        compareFu, blockAddr.at(b.term.taken),
+                        blockAddr.at(b.term.fallthrough));
+                    break;
+                }
+            }
+            InstRow row;
+            const auto &cyc = sched.cycles[c];
+            for (FuId fu = 0; fu < opts.width; ++fu) {
+                DataOp d = DataOp::nop();
+                if (fu < cyc.size())
+                    d = lowerOp(b.ops[static_cast<std::size_t>(
+                                    cyc[fu])],
+                                opts.regBase);
+                row.push_back(Parcel(ctrl, d));
+            }
+            out.addRow(std::move(row));
+        }
+        out.setLabel(b.name, base);
+    }
+
+    for (const auto &[v, value] : prog.vregInit)
+        out.addRegInit(static_cast<RegId>(opts.regBase + v), value);
+    for (const auto &[a, value] : prog.memInit)
+        out.addMemInit(a, value);
+    if (opts.nameVregs) {
+        for (VregId v = 0; v < prog.numVregs; ++v)
+            out.nameRegister("v" + std::to_string(v),
+                             static_cast<RegId>(opts.regBase + v));
+    }
+
+    out.validate();
+    return result;
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Code generator: scheduled IR -> executable XIMD Program.
+ *
+ * The output is VLIW-style code (identical control fields in every
+ * parcel, no sync signals), so it runs identically on xsim and vsim —
+ * exactly what the paper's retargetable VLIW compiler produced for
+ * each thread (section 4.2).
+ *
+ * Register allocation maps vreg v to physical register regBase + v.
+ * With 256 global registers and threads compiled into disjoint bases,
+ * this direct map never spills for the thread sizes the tiling study
+ * uses; graph-coloring reuse is future work.
+ */
+
+#ifndef XIMD_SCHED_CODEGEN_HH
+#define XIMD_SCHED_CODEGEN_HH
+
+#include <map>
+#include <string>
+
+#include "isa/program.hh"
+#include "sched/ir.hh"
+
+namespace ximd::sched {
+
+/** Code-generation parameters. */
+struct CodegenOptions
+{
+    FuId width = kDefaultFus; ///< Functional units to schedule for.
+    RegId regBase = 0;        ///< First physical register to use.
+    bool nameVregs = true;    ///< Bind "v<N>" register names.
+
+    /**
+     * Data-path result latency to compile for; must match the target
+     * machine's MachineConfig::resultLatency (1 = research model,
+     * 3 = the section 4.3 pipelined prototype).
+     */
+    unsigned rawLatency = 1;
+};
+
+/** Code-generation output. */
+struct CodegenResult
+{
+    Program program;
+    std::map<std::string, InstAddr> blockAddr; ///< Block start rows.
+
+    CodegenResult() : program(1) {}
+};
+
+/**
+ * Compile @p prog for options @p opts.
+ * Throws FatalError when the register file cannot hold the vregs.
+ */
+CodegenResult generateCode(const IrProgram &prog,
+                           const CodegenOptions &opts = {});
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_CODEGEN_HH

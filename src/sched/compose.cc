@@ -1,0 +1,202 @@
+#include "sched/compose.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/codegen.hh"
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+Composed
+composeThreads(const std::vector<IrProgram> &threads,
+               const PackResult &packing, FuId machineWidth,
+               RegId regsPerThread)
+{
+    if (machineWidth == 0 || machineWidth > kMaxFus)
+        fatal("composeThreads: bad machine width ", machineWidth);
+    if (packing.placements.size() != threads.size())
+        fatal("composeThreads: packing covers ",
+              packing.placements.size(), " of ", threads.size(),
+              " threads");
+
+    // Synchronization-signal discipline: a masked start barrier reads
+    // every masked FU's 1-bit SS, and an FU parked at *another*
+    // barrier also drives DONE. Two concurrent barriers are therefore
+    // only unambiguous when their masks never mix, which the composer
+    // guarantees by requiring every pair of placements to occupy
+    // EQUAL or DISJOINT column ranges (tiles with equal ranges stack
+    // and run strictly in sequence; disjoint ranges never interact).
+    for (std::size_t i = 0; i < packing.placements.size(); ++i) {
+        for (std::size_t j = i + 1; j < packing.placements.size();
+             ++j) {
+            const Placement &a = packing.placements[i];
+            const Placement &b = packing.placements[j];
+            const bool equal =
+                a.col == b.col && a.width == b.width;
+            const bool disjoint = a.col + a.width <= b.col ||
+                                  b.col + b.width <= a.col;
+            if (!equal && !disjoint)
+                fatal("composeThreads: threads ", a.threadId, " and ",
+                      b.threadId, " occupy partially overlapping "
+                      "column ranges; start-barrier sync signals "
+                      "would alias (use a laminar packing)");
+        }
+    }
+
+    const auto numThreads = threads.size();
+    const unsigned k = static_cast<unsigned>(numThreads);
+    const unsigned h = packing.totalHeight;
+    const InstAddr bodyBase = 1 + k;          // after dispatch+barriers
+    const InstAddr finalBarrier = bodyBase + h;
+    const InstAddr haltRow = finalBarrier + 1;
+
+    Composed out;
+    out.program = Program(machineWidth);
+    out.finalBarrier = finalBarrier;
+    Program &prog = out.program;
+
+    // Pre-size the grid with never-executed halt filler.
+    const Parcel filler(ControlOp::halt(), DataOp::nop());
+    for (InstAddr r = 0; r < haltRow + 1; ++r)
+        prog.addUniformRow(filler);
+
+    // Compile each thread at its packed width.
+    struct Compiled
+    {
+        const Placement *place = nullptr;
+        CodegenResult code;
+    };
+    std::vector<Compiled> compiled(numThreads);
+    for (const Placement &p : packing.placements) {
+        const auto t = static_cast<std::size_t>(p.threadId);
+        if (t >= numThreads)
+            fatal("composeThreads: placement for unknown thread ",
+                  p.threadId);
+        if (threads[t].numVregs > regsPerThread)
+            fatal("thread ", p.threadId, " needs ",
+                  threads[t].numVregs, " vregs; only ", regsPerThread,
+                  " reserved per thread");
+        CodegenOptions opts;
+        opts.width = p.width;
+        opts.regBase = static_cast<RegId>(t * regsPerThread);
+        opts.nameVregs = false;
+        compiled[t].place = &p;
+        compiled[t].code = generateCode(threads[t], opts);
+        if (compiled[t].code.program.size() != p.height)
+            fatal("thread ", p.threadId, " compiled to ",
+                  compiled[t].code.program.size(),
+                  " rows but was packed as ", p.height);
+    }
+
+    // Per-column tile chains, ordered by packed row.
+    std::vector<std::vector<std::size_t>> chain(machineWidth);
+    for (std::size_t t = 0; t < numThreads; ++t) {
+        const Placement &p = *compiled[t].place;
+        for (FuId c = p.col; c < p.col + p.width; ++c)
+            chain[c].push_back(t);
+    }
+    for (auto &col : chain) {
+        std::sort(col.begin(), col.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return compiled[a].place->row <
+                             compiled[b].place->row;
+                  });
+    }
+
+    auto barrierRowOf = [&](std::size_t t) {
+        return static_cast<InstAddr>(1 + t);
+    };
+    auto bodyStartOf = [&](std::size_t t) {
+        return bodyBase + compiled[t].place->row;
+    };
+    /** Where column @p c goes after finishing thread @p t. */
+    auto nextTarget = [&](FuId c, std::size_t t) -> InstAddr {
+        const auto &col = chain[c];
+        for (std::size_t i = 0; i < col.size(); ++i)
+            if (col[i] == t)
+                return i + 1 < col.size() ? barrierRowOf(col[i + 1])
+                                          : finalBarrier;
+        panic("thread ", t, " missing from column ", c, " chain");
+    };
+
+    // Dispatch row: each FU heads for its first tile's barrier.
+    for (FuId c = 0; c < machineWidth; ++c) {
+        const InstAddr target =
+            chain[c].empty() ? finalBarrier : barrierRowOf(chain[c][0]);
+        prog.parcel(0, c) = Parcel(ControlOp::jump(target),
+                                   DataOp::nop());
+    }
+
+    // Start-barrier rows: thread t's columns wait for each other.
+    for (std::size_t t = 0; t < numThreads; ++t) {
+        const Placement &p = *compiled[t].place;
+        std::uint32_t mask = 0;
+        for (FuId c = p.col; c < p.col + p.width; ++c)
+            mask |= 1u << c;
+        for (FuId c = p.col; c < p.col + p.width; ++c) {
+            prog.parcel(barrierRowOf(t), c) =
+                Parcel(ControlOp::onAllSync(bodyStartOf(t),
+                                            barrierRowOf(t), mask),
+                       DataOp::nop(), SyncVal::Done);
+        }
+    }
+
+    // Relocate tile bodies into the grid.
+    for (std::size_t t = 0; t < numThreads; ++t) {
+        const Placement &p = *compiled[t].place;
+        const Program &src = compiled[t].code.program;
+        const InstAddr base = bodyStartOf(t);
+        for (InstAddr a = 0; a < src.size(); ++a) {
+            for (FuId fu = 0; fu < p.width; ++fu) {
+                Parcel parcel = src.parcel(a, fu);
+                ControlOp &ctrl = parcel.ctrl;
+                if (ctrl.isHalt()) {
+                    // End of thread: continue down this column.
+                    ctrl = ControlOp::jump(
+                        nextTarget(p.col + fu, t));
+                } else {
+                    ctrl.t1 += base;
+                    if (ctrl.isConditional())
+                        ctrl.t2 += base;
+                    else
+                        ctrl.t2 = ctrl.t1;
+                    if (ctrl.kind == CondKind::CcTrue)
+                        ctrl.index =
+                            static_cast<std::uint8_t>(ctrl.index +
+                                                      p.col);
+                }
+                prog.parcel(base + a, p.col + fu) = parcel;
+            }
+        }
+        // Thread state initializers, relocated registers included.
+        for (const auto &[reg, value] : src.regInit())
+            prog.addRegInit(reg, value);
+        for (const auto &[addr, value] : src.memInit())
+            prog.addMemInit(addr, value);
+
+        ComposedThread info;
+        info.threadId = static_cast<int>(t);
+        info.col = p.col;
+        info.width = p.width;
+        info.barrierRow = barrierRowOf(t);
+        info.bodyStart = base;
+        info.bodyRows = p.height;
+        info.regBase = static_cast<RegId>(t * regsPerThread);
+        out.threads.push_back(info);
+    }
+
+    // Final whole-machine barrier, then halt.
+    for (FuId c = 0; c < machineWidth; ++c) {
+        prog.parcel(finalBarrier, c) =
+            Parcel(ControlOp::onAllSync(haltRow, finalBarrier),
+                   DataOp::nop(), SyncVal::Done);
+        prog.parcel(haltRow, c) = Parcel(ControlOp::halt(),
+                                         DataOp::nop());
+    }
+
+    prog.validate();
+    return out;
+}
+
+} // namespace ximd::sched

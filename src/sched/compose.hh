@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Thread composition: turn a packed set of compiled threads into one
+ * runnable XIMD program.
+ *
+ * This realizes the run-time side of Figure 13: tiles placed at
+ * different columns execute concurrently as separate SSETs; tiles
+ * stacked in the same columns execute sequentially on those FUs. The
+ * generated layout is:
+ *
+ *   row 0                    dispatch: each FU jumps to the entry of
+ *                            the first tile in its column
+ *   rows 1 .. K              per-thread start barriers (masked
+ *                            ALL-sync over the thread's columns, so a
+ *                            thread starts only when every FU it
+ *                            needs has finished its predecessor tile)
+ *   rows K+1 .. K+H          the packed tile bodies, at their packed
+ *                            (row, column) positions — overlapping
+ *                            tiles share instruction rows, which is
+ *                            the whole point of the packing
+ *   row K+H+1                final whole-machine barrier
+ *   row K+H+2                halt
+ *
+ * Threads must be independent (no data flow between them; disjoint
+ * memory and disjoint registers — enforced by per-thread register
+ * bases). Inter-thread dependencies would add precedence constraints
+ * to the packer, which the paper leaves open as well.
+ */
+
+#ifndef XIMD_SCHED_COMPOSE_HH
+#define XIMD_SCHED_COMPOSE_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "sched/packer.hh"
+
+namespace ximd::sched {
+
+/** Where each thread landed in the composed program. */
+struct ComposedThread
+{
+    int threadId = -1;
+    FuId col = 0;
+    FuId width = 1;
+    InstAddr barrierRow = 0; ///< The thread's start barrier.
+    InstAddr bodyStart = 0;  ///< First body row.
+    unsigned bodyRows = 0;
+    RegId regBase = 0;
+};
+
+/** Composition output. */
+struct Composed
+{
+    Program program;
+    std::vector<ComposedThread> threads;
+    InstAddr finalBarrier = 0;
+
+    Composed() : program(1) {}
+};
+
+/**
+ * Compose @p threads according to @p packing.
+ *
+ * @param threads       one IrProgram per thread (ids = indices).
+ * @param packing       a validated packing of those threads.
+ * @param machineWidth  FU count of the target machine.
+ * @param regsPerThread physical registers reserved per thread
+ *                      (thread t gets base t * regsPerThread).
+ */
+Composed composeThreads(const std::vector<IrProgram> &threads,
+                        const PackResult &packing, FuId machineWidth,
+                        RegId regsPerThread = 24);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_COMPOSE_HH

@@ -1,0 +1,111 @@
+#include "sched/ddg.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+Ddg::Ddg(const IrBlock &block, unsigned rawLatency)
+    : numNodes_(static_cast<int>(block.ops.size())),
+      preds_(block.ops.size()), succs_(block.ops.size())
+{
+    XIMD_ASSERT(rawLatency >= 1, "bad result latency");
+    const int raw = static_cast<int>(rawLatency);
+    const auto &ops = block.ops;
+    const int n = numNodes_;
+
+    auto reads = [&](int i, VregId v) {
+        const IrOp &op = ops[static_cast<std::size_t>(i)];
+        return (op.a.isVreg() && op.a.vreg == v) ||
+               (op.b.isVreg() && op.b.vreg == v);
+    };
+    auto writes = [&](int i, VregId v) {
+        const IrOp &op = ops[static_cast<std::size_t>(i)];
+        return opInfo(op.op).hasDest && op.dest == v;
+    };
+
+    for (int j = 0; j < n; ++j) {
+        const IrOp &later = ops[static_cast<std::size_t>(j)];
+        for (int i = 0; i < j; ++i) {
+            const IrOp &earlier = ops[static_cast<std::size_t>(i)];
+
+            // Register dependences.
+            if (opInfo(earlier.op).hasDest) {
+                const VregId d = earlier.dest;
+                if (reads(j, d))
+                    addEdge(i, j, raw); // RAW
+                if (writes(j, d))
+                    addEdge(i, j, 1); // WAW: retire in issue order
+            }
+            if (opInfo(later.op).hasDest && reads(i, later.dest))
+                addEdge(i, j, 0); // WAR
+
+            // Memory dependences (no alias analysis).
+            const bool eStore = earlier.isStore();
+            const bool lStore = later.isStore();
+            const bool eLoad = earlier.isLoad();
+            const bool lLoad = later.isLoad();
+            if (eStore && lStore)
+                addEdge(i, j, 1); // store-store: same-addr race
+            else if (eStore && lLoad)
+                addEdge(i, j, raw); // RAW through memory
+            else if (eLoad && lStore)
+                addEdge(i, j, 0); // WAR through memory
+        }
+    }
+    computeHeights();
+}
+
+void
+Ddg::addEdge(int from, int to, int latency)
+{
+    XIMD_ASSERT(from >= 0 && from < numNodes_ && to >= 0 &&
+                    to < numNodes_ && from != to,
+                "bad DDG edge ", from, " -> ", to);
+    edges_.push_back({from, to, latency});
+    succs_[static_cast<std::size_t>(from)].push_back(
+        {from, to, latency});
+    preds_[static_cast<std::size_t>(to)].push_back({from, to, latency});
+}
+
+const std::vector<DdgEdge> &
+Ddg::preds(int n) const
+{
+    XIMD_ASSERT(n >= 0 && n < numNodes_, "node out of range");
+    return preds_[static_cast<std::size_t>(n)];
+}
+
+const std::vector<DdgEdge> &
+Ddg::succs(int n) const
+{
+    XIMD_ASSERT(n >= 0 && n < numNodes_, "node out of range");
+    return succs_[static_cast<std::size_t>(n)];
+}
+
+void
+Ddg::computeHeights()
+{
+    heights_.assign(static_cast<std::size_t>(numNodes_), 0);
+    // Nodes are in program order, so edges always point forward;
+    // a reverse sweep computes longest path to any sink.
+    for (int i = numNodes_ - 1; i >= 0; --i) {
+        int h = 0;
+        for (const DdgEdge &e : succs_[static_cast<std::size_t>(i)])
+            h = std::max(h,
+                         e.latency +
+                             heights_[static_cast<std::size_t>(e.to)]);
+        heights_[static_cast<std::size_t>(i)] = h;
+    }
+}
+
+int
+Ddg::criticalPathLength() const
+{
+    int best = 0;
+    for (int h : heights_)
+        best = std::max(best, h);
+    return best;
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Data-dependence graph over one basic block.
+ *
+ * Edge latencies reflect the XIMD-1 cycle discipline (reads observe
+ * beginning-of-cycle state, writes commit L-1 cycles after issue,
+ * where L is the datapath's result latency — 1 for the research
+ * model, 3 for the pipelined prototype of section 4.3):
+ *
+ *   RAW (reg):  latency L  — the value is visible L cycles later.
+ *   WAR (reg):  latency 0  — the writer may share (or precede the
+ *               visibility of) the reader's cycle.
+ *   WAW (reg):  latency 1  — write-backs retire in issue order as
+ *               long as issues are one cycle apart.
+ *   memory:     store-to-load latency L; store-store 1; load-store 0
+ *               (conservative, no alias analysis); load-load
+ *               reorders freely.
+ */
+
+#ifndef XIMD_SCHED_DDG_HH
+#define XIMD_SCHED_DDG_HH
+
+#include <vector>
+
+#include "sched/ir.hh"
+
+namespace ximd::sched {
+
+/** One dependence edge: from -> to with a minimum cycle distance. */
+struct DdgEdge
+{
+    int from;
+    int to;
+    int latency; ///< schedule[to] >= schedule[from] + latency
+};
+
+/** Dependence graph for the ops of one IrBlock. */
+class Ddg
+{
+  public:
+    /** Build the graph for @p block at result latency @p rawLatency. */
+    explicit Ddg(const IrBlock &block, unsigned rawLatency = 1);
+
+    int numNodes() const { return numNodes_; }
+
+    const std::vector<DdgEdge> &edges() const { return edges_; }
+
+    /** Predecessor edge list of node @p n. */
+    const std::vector<DdgEdge> &preds(int n) const;
+
+    /** Successor edge list of node @p n. */
+    const std::vector<DdgEdge> &succs(int n) const;
+
+    /**
+     * Critical-path height of each node: the longest latency path
+     * from the node to any sink. Used as the list-scheduling priority.
+     */
+    const std::vector<int> &heights() const { return heights_; }
+
+    /** Longest path length through the whole block. */
+    int criticalPathLength() const;
+
+  private:
+    void addEdge(int from, int to, int latency);
+    void computeHeights();
+
+    int numNodes_;
+    std::vector<DdgEdge> edges_;
+    std::vector<std::vector<DdgEdge>> preds_;
+    std::vector<std::vector<DdgEdge>> succs_;
+    std::vector<int> heights_;
+};
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_DDG_HH

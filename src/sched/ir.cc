@@ -1,0 +1,426 @@
+#include "sched/ir.hh"
+
+#include <map>
+
+#include "sim/datapath.hh"
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+const IrBlock *
+IrProgram::findBlock(const std::string &name) const
+{
+    for (const IrBlock &b : blocks)
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+void
+IrProgram::validate() const
+{
+    if (blocks.empty())
+        fatal("IR program has no blocks");
+
+    std::map<std::string, int> byName;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const IrBlock &b = blocks[i];
+        if (b.name.empty())
+            fatal("IR block ", i, " has no name");
+        if (!byName.emplace(b.name, static_cast<int>(i)).second)
+            fatal("duplicate IR block name '", b.name, "'");
+    }
+
+    auto checkValue = [&](const IrValue &v, const IrBlock &b) {
+        if (v.isVreg() && (v.vreg < 0 || v.vreg >= numVregs))
+            fatal("block '", b.name, "': vreg ", v.vreg,
+                  " out of range");
+    };
+
+    for (const IrBlock &b : blocks) {
+        for (const IrOp &op : b.ops) {
+            const OpInfo &info = opInfo(op.op);
+            if (info.numSrcs >= 1 && op.a.isNone())
+                fatal("block '", b.name, "': '", info.name,
+                      "' missing source a");
+            if (info.numSrcs >= 2 && op.b.isNone())
+                fatal("block '", b.name, "': '", info.name,
+                      "' missing source b");
+            checkValue(op.a, b);
+            checkValue(op.b, b);
+            if (info.hasDest &&
+                (op.dest < 0 || op.dest >= numVregs))
+                fatal("block '", b.name, "': '", info.name,
+                      "' bad destination vreg ", op.dest);
+            if (!info.hasDest && op.dest != kNoVreg)
+                fatal("block '", b.name, "': '", info.name,
+                      "' cannot have a destination");
+        }
+        const Terminator &t = b.term;
+        switch (t.kind) {
+          case Terminator::Kind::Halt:
+            break;
+          case Terminator::Kind::Jump:
+            if (!byName.count(t.taken))
+                fatal("block '", b.name, "': jump to unknown block '",
+                      t.taken, "'");
+            break;
+          case Terminator::Kind::CondBranch:
+            if (!byName.count(t.taken) || !byName.count(t.fallthrough))
+                fatal("block '", b.name,
+                      "': branch to unknown block");
+            if (t.compareIdx < 0 ||
+                t.compareIdx >= static_cast<int>(b.ops.size()) ||
+                !b.ops[t.compareIdx].isCompare())
+                fatal("block '", b.name,
+                      "': branch condition is not a compare in this "
+                      "block");
+            break;
+        }
+    }
+
+    for (const auto &[v, value] : vregInit) {
+        (void)value;
+        if (v < 0 || v >= numVregs)
+            fatal("vreg initializer out of range: ", v);
+    }
+}
+
+VregId
+IrBuilder::newVreg()
+{
+    return prog_.numVregs++;
+}
+
+void
+IrBuilder::startBlock(const std::string &name)
+{
+    if (open_)
+        fatal("IR block '", prog_.blocks.back().name,
+              "' not terminated before starting '", name, "'");
+    IrBlock b;
+    b.name = name;
+    prog_.blocks.push_back(std::move(b));
+    open_ = true;
+}
+
+IrBlock &
+IrBuilder::cur()
+{
+    if (!open_)
+        fatal("no open IR block");
+    return prog_.blocks.back();
+}
+
+IrValue
+IrBuilder::emit(Opcode op, IrValue a, IrValue b)
+{
+    const VregId dest = newVreg();
+    emitTo(dest, op, a, b);
+    return IrValue::reg(dest);
+}
+
+void
+IrBuilder::emitTo(VregId dest, Opcode op, IrValue a, IrValue b)
+{
+    if (!opInfo(op).hasDest)
+        fatal("emitTo: '", opInfo(op).name, "' has no destination");
+    IrOp o;
+    o.op = op;
+    o.a = a;
+    o.b = b;
+    o.dest = dest;
+    cur().ops.push_back(o);
+}
+
+int
+IrBuilder::emitCompare(Opcode op, IrValue a, IrValue b)
+{
+    if (!setsCondCode(op))
+        fatal("emitCompare: '", opInfo(op).name, "' is not a compare");
+    IrOp o;
+    o.op = op;
+    o.a = a;
+    o.b = b;
+    cur().ops.push_back(o);
+    return static_cast<int>(cur().ops.size()) - 1;
+}
+
+void
+IrBuilder::emitStore(IrValue value, IrValue addr)
+{
+    IrOp o;
+    o.op = Opcode::Store;
+    o.a = value;
+    o.b = addr;
+    cur().ops.push_back(o);
+}
+
+IrValue
+IrBuilder::emitLoad(IrValue a, IrValue b)
+{
+    IrOp o;
+    o.op = Opcode::Load;
+    o.a = a;
+    o.b = b;
+    o.dest = newVreg();
+    cur().ops.push_back(o);
+    return IrValue::reg(o.dest);
+}
+
+void
+IrBuilder::jump(const std::string &target)
+{
+    Terminator t;
+    t.kind = Terminator::Kind::Jump;
+    t.taken = target;
+    cur().term = t;
+    open_ = false;
+}
+
+void
+IrBuilder::branch(int compareIdx, const std::string &taken,
+                  const std::string &fallthrough)
+{
+    Terminator t;
+    t.kind = Terminator::Kind::CondBranch;
+    t.compareIdx = compareIdx;
+    t.taken = taken;
+    t.fallthrough = fallthrough;
+    cur().term = t;
+    open_ = false;
+}
+
+void
+IrBuilder::halt()
+{
+    Terminator t;
+    t.kind = Terminator::Kind::Halt;
+    cur().term = t;
+    open_ = false;
+}
+
+void
+IrBuilder::setInit(VregId v, Word value)
+{
+    prog_.vregInit.emplace_back(v, value);
+}
+
+void
+IrBuilder::setMemInit(Addr addr, Word value)
+{
+    prog_.memInit.emplace_back(addr, value);
+}
+
+IrProgram
+IrBuilder::finish()
+{
+    if (open_)
+        fatal("IR block '", prog_.blocks.back().name,
+              "' not terminated");
+    prog_.validate();
+    return std::move(prog_);
+}
+
+IrProgram
+mergeStraightLineBlocks(IrProgram prog)
+{
+    prog.validate();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Predecessor counts by block name.
+        std::map<std::string, int> predCount;
+        for (const IrBlock &b : prog.blocks) {
+            switch (b.term.kind) {
+              case Terminator::Kind::Jump:
+                ++predCount[b.term.taken];
+                break;
+              case Terminator::Kind::CondBranch:
+                ++predCount[b.term.taken];
+                ++predCount[b.term.fallthrough];
+                break;
+              case Terminator::Kind::Halt:
+                break;
+            }
+        }
+
+        for (std::size_t i = 0; i < prog.blocks.size() && !changed;
+             ++i) {
+            IrBlock &a = prog.blocks[i];
+            if (a.term.kind != Terminator::Kind::Jump)
+                continue;
+            const std::string target = a.term.taken;
+            if (target == a.name)
+                continue; // self-loop
+            if (target == prog.blocks.front().name)
+                continue; // entry must stay a block head
+            if (predCount[target] != 1)
+                continue;
+
+            // Find and splice the target block.
+            for (std::size_t j = 0; j < prog.blocks.size(); ++j) {
+                if (prog.blocks[j].name != target)
+                    continue;
+                IrBlock b = std::move(prog.blocks[j]);
+                prog.blocks.erase(
+                    prog.blocks.begin() +
+                    static_cast<std::ptrdiff_t>(j));
+                // `a` may have been invalidated by the erase.
+                IrBlock &a2 =
+                    prog.blocks[j < i ? i - 1 : i];
+                const int offset =
+                    static_cast<int>(a2.ops.size());
+                a2.ops.insert(a2.ops.end(), b.ops.begin(),
+                              b.ops.end());
+                a2.term = b.term;
+                if (a2.term.kind == Terminator::Kind::CondBranch)
+                    a2.term.compareIdx += offset;
+                changed = true;
+                break;
+            }
+        }
+    }
+    prog.validate();
+    return prog;
+}
+
+namespace {
+
+/** Evaluator for one IR op; defers arithmetic to the FU datapath so
+ *  the interpreter and the simulators agree bit-for-bit. */
+class IrEval : public ExecContext
+{
+  public:
+    IrEval(std::vector<Word> &vregs, std::vector<Word> &mem)
+        : vregs_(vregs), mem_(mem)
+    {
+    }
+
+    Word
+    value(const IrValue &v) const
+    {
+        if (v.isImm())
+            return v.imm;
+        XIMD_ASSERT(v.isVreg(), "reading absent IR value");
+        return vregs_[static_cast<std::size_t>(v.vreg)];
+    }
+
+    /** Execute @p op; returns the compare outcome for compares. */
+    bool
+    exec(const IrOp &op)
+    {
+        // Lower the IR op to a DataOp with pre-resolved immediate
+        // sources and run it through the shared datapath.
+        DataOp d;
+        d.op = op.op;
+        const OpInfo &info = opInfo(op.op);
+        if (info.numSrcs >= 1)
+            d.a = Operand::imm(value(op.a));
+        if (info.numSrcs >= 2)
+            d.b = Operand::imm(value(op.b));
+        d.dest = 0;
+        dest_ = op.dest;
+        cc_ = false;
+        executeDataOp(d, *this);
+        return cc_;
+    }
+
+    // ExecContext: effects land straight in the IR state.
+    Word
+    readOperand(const Operand &o) override
+    {
+        return o.immValue();
+    }
+
+    Word
+    loadMem(Addr addr) override
+    {
+        checkAddr(addr);
+        return mem_[addr];
+    }
+
+    void
+    storeMem(Addr addr, Word v) override
+    {
+        checkAddr(addr);
+        mem_[addr] = v;
+    }
+
+    void
+    writeReg(RegId, Word v) override
+    {
+        XIMD_ASSERT(dest_ >= 0, "IR op writes without a dest vreg");
+        vregs_[static_cast<std::size_t>(dest_)] = v;
+    }
+
+    void writeCc(bool v) override { cc_ = v; }
+
+  private:
+    void
+    checkAddr(Addr addr) const
+    {
+        if (addr >= mem_.size())
+            fatal("IR interpreter: memory address ", addr,
+                  " out of range");
+    }
+
+    std::vector<Word> &vregs_;
+    std::vector<Word> &mem_;
+    VregId dest_ = kNoVreg;
+    bool cc_ = false;
+};
+
+} // namespace
+
+std::vector<Word>
+interpretIr(const IrProgram &prog, std::vector<Word> &memory,
+            std::uint64_t maxSteps)
+{
+    prog.validate();
+    std::vector<Word> vregs(
+        static_cast<std::size_t>(prog.numVregs), 0);
+    for (const auto &[v, val] : prog.vregInit)
+        vregs[static_cast<std::size_t>(v)] = val;
+    for (const auto &[a, val] : prog.memInit) {
+        if (a >= memory.size())
+            fatal("IR memory initializer out of range: ", a);
+        memory[a] = val;
+    }
+
+    std::map<std::string, const IrBlock *> byName;
+    for (const IrBlock &b : prog.blocks)
+        byName[b.name] = &b;
+
+    IrEval eval(vregs, memory);
+    const IrBlock *block = &prog.blocks.front();
+    std::uint64_t steps = 0;
+    while (true) {
+        bool lastCompare = false;
+        std::vector<bool> compareResults(block->ops.size(), false);
+        for (std::size_t i = 0; i < block->ops.size(); ++i) {
+            if (++steps > maxSteps)
+                fatal("IR interpreter: step budget exhausted");
+            const bool cc = eval.exec(block->ops[i]);
+            compareResults[i] = cc;
+            lastCompare = cc;
+        }
+        (void)lastCompare;
+        const Terminator &t = block->term;
+        if (t.kind == Terminator::Kind::Halt)
+            break;
+        const std::string &next =
+            t.kind == Terminator::Kind::Jump
+                ? t.taken
+                : (compareResults[static_cast<std::size_t>(
+                       t.compareIdx)]
+                       ? t.taken
+                       : t.fallthrough);
+        block = byName.at(next);
+    }
+    return vregs;
+}
+
+} // namespace ximd::sched

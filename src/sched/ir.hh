@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Compiler intermediate representation.
+ *
+ * The paper's compilation strategy (section 4.2) feeds program threads
+ * through "a retargetable VLIW compiler ... compiled several times
+ * with varying resource constraints". This IR is that compiler's
+ * input: a small CFG of basic blocks over virtual registers, with
+ * compare results consumed by block terminators.
+ *
+ * Virtual registers are mutable (no SSA restriction) so loop counters
+ * can be expressed naturally; the dependence graph (ddg.hh) inserts
+ * the required RAW/WAR/WAW edges.
+ */
+
+#ifndef XIMD_SCHED_IR_HH
+#define XIMD_SCHED_IR_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "support/types.hh"
+
+namespace ximd::sched {
+
+/** A virtual register id. */
+using VregId = int;
+inline constexpr VregId kNoVreg = -1;
+
+/** A source value: virtual register or immediate. */
+struct IrValue
+{
+    enum class Kind : std::uint8_t { None, Vreg, Imm };
+
+    Kind kind = Kind::None;
+    VregId vreg = kNoVreg;
+    Word imm = 0;
+
+    static IrValue none() { return {}; }
+
+    static IrValue
+    reg(VregId v)
+    {
+        IrValue x;
+        x.kind = Kind::Vreg;
+        x.vreg = v;
+        return x;
+    }
+
+    static IrValue
+    immInt(SWord v)
+    {
+        IrValue x;
+        x.kind = Kind::Imm;
+        x.imm = intToWord(v);
+        return x;
+    }
+
+    static IrValue
+    immRaw(Word v)
+    {
+        IrValue x;
+        x.kind = Kind::Imm;
+        x.imm = v;
+        return x;
+    }
+
+    static IrValue
+    immFloat(float v)
+    {
+        IrValue x;
+        x.kind = Kind::Imm;
+        x.imm = floatToWord(v);
+        return x;
+    }
+
+    bool isVreg() const { return kind == Kind::Vreg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** One IR operation. Shapes follow the ISA (data_op.hh). */
+struct IrOp
+{
+    Opcode op = Opcode::Nop;
+    IrValue a;
+    IrValue b;
+    VregId dest = kNoVreg; ///< kNoVreg for compares/stores.
+
+    bool isCompare() const { return setsCondCode(op); }
+    bool isLoad() const { return op == Opcode::Load; }
+    bool isStore() const { return op == Opcode::Store; }
+};
+
+/** Block terminator. */
+struct Terminator
+{
+    enum class Kind : std::uint8_t { Jump, CondBranch, Halt };
+
+    Kind kind = Kind::Halt;
+    /** Index (into the block's ops) of the compare feeding the branch;
+     *  CondBranch only. */
+    int compareIdx = -1;
+    std::string taken;       ///< CondBranch: target when TRUE; Jump: target.
+    std::string fallthrough; ///< CondBranch: target when FALSE.
+};
+
+/** One basic block. */
+struct IrBlock
+{
+    std::string name;
+    std::vector<IrOp> ops;
+    Terminator term;
+};
+
+/** A compiled unit: blocks in layout order, entry first. */
+struct IrProgram
+{
+    std::vector<IrBlock> blocks;
+    int numVregs = 0;
+    /** Initial values for vregs (inputs), applied before execution. */
+    std::vector<std::pair<VregId, Word>> vregInit;
+    /** Initial memory contents. */
+    std::vector<std::pair<Addr, Word>> memInit;
+
+    const IrBlock *findBlock(const std::string &name) const;
+
+    /** Structural checks; throws FatalError on malformed programs. */
+    void validate() const;
+};
+
+/** Convenience builder. */
+class IrBuilder
+{
+  public:
+    /** Allocate a fresh virtual register. */
+    VregId newVreg();
+
+    /** Begin a block; ops/terminator calls apply to it. */
+    void startBlock(const std::string &name);
+
+    /** Append `op a, b -> dest` (dest freshly allocated). */
+    IrValue emit(Opcode op, IrValue a, IrValue b = IrValue::none());
+
+    /** Append `op a, b -> dest` into an existing vreg. */
+    void emitTo(VregId dest, Opcode op, IrValue a,
+                IrValue b = IrValue::none());
+
+    /** Append a compare; returns its op index for branch(). */
+    int emitCompare(Opcode op, IrValue a, IrValue b);
+
+    /** Append `store value -> M(addr)`. */
+    void emitStore(IrValue value, IrValue addr);
+
+    /** Append `load M(a+b) -> dest` (fresh dest). */
+    IrValue emitLoad(IrValue a, IrValue b);
+
+    /** Terminate the current block. */
+    void jump(const std::string &target);
+    void branch(int compareIdx, const std::string &taken,
+                const std::string &fallthrough);
+    void halt();
+
+    /** Request vreg = value before execution. */
+    void setInit(VregId v, Word value);
+
+    /** Request memory[addr] = value before execution. */
+    void setMemInit(Addr addr, Word value);
+
+    /** Finish: validates and returns the program. */
+    IrProgram finish();
+
+  private:
+    IrBlock &cur();
+
+    IrProgram prog_;
+    bool open_ = false;
+};
+
+/**
+ * Straighten the CFG: whenever block A ends in an unconditional jump
+ * to block B and B has no other predecessors (and is not the entry),
+ * append B's ops to A and take B's terminator. Runs to a fixpoint.
+ *
+ * This is the block-granularity core of the region-enlarging
+ * transformations the paper's compiler relies on (Trace Scheduling,
+ * Percolation Scheduling, section 1.2): the list scheduler only
+ * exploits parallelism within a block, so merging straight-line
+ * chains directly tightens schedules and tiles.
+ */
+IrProgram mergeStraightLineBlocks(IrProgram prog);
+
+/**
+ * Reference interpreter: runs the IR directly (sequentially, one op at
+ * a time) against a plain memory image. Used as the oracle for
+ * codegen, pipelining and composition tests.
+ *
+ * @param prog      the program (validated).
+ * @param memory    memory image, modified in place.
+ * @param maxSteps  op-execution budget; FatalError when exhausted.
+ * @return          final vreg values.
+ */
+std::vector<Word> interpretIr(const IrProgram &prog,
+                              std::vector<Word> &memory,
+                              std::uint64_t maxSteps = 10'000'000);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_IR_HH

@@ -1,0 +1,100 @@
+#include "sched/list_scheduler.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+BlockSchedule
+scheduleBlock(const IrBlock &block, FuId width, unsigned rawLatency)
+{
+    if (width == 0 || width > kMaxFus)
+        fatal("scheduleBlock: bad width ", width);
+    if (rawLatency < 1)
+        fatal("scheduleBlock: bad result latency ", rawLatency);
+
+    const int n = static_cast<int>(block.ops.size());
+    Ddg ddg(block, rawLatency);
+
+    BlockSchedule sched;
+    std::vector<int> cycleOf(static_cast<std::size_t>(n), -1);
+    std::vector<int> unscheduledPreds(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i)
+        unscheduledPreds[static_cast<std::size_t>(i)] =
+            static_cast<int>(ddg.preds(i).size());
+
+    int scheduled = 0;
+    int cycle = 0;
+    while (scheduled < n) {
+        sched.cycles.emplace_back();
+        // Re-scan after every issue so that latency-0 (WAR) successors
+        // of ops issued this very cycle can share the row.
+        while (sched.cycles.back().size() <
+               static_cast<std::size_t>(width)) {
+            int pick = -1;
+            for (int i = 0; i < n; ++i) {
+                if (cycleOf[static_cast<std::size_t>(i)] >= 0)
+                    continue;
+                bool ok = true;
+                for (const DdgEdge &e : ddg.preds(i)) {
+                    const int pc =
+                        cycleOf[static_cast<std::size_t>(e.from)];
+                    if (pc < 0 || pc + e.latency > cycle) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (!ok)
+                    continue;
+                // Highest critical path wins; program order breaks
+                // ties (strict > keeps the earlier op).
+                if (pick < 0 ||
+                    ddg.heights()[static_cast<std::size_t>(i)] >
+                        ddg.heights()[static_cast<std::size_t>(pick)])
+                    pick = i;
+            }
+            if (pick < 0)
+                break; // nothing else fits this cycle
+            sched.cycles.back().push_back(pick);
+            cycleOf[static_cast<std::size_t>(pick)] = cycle;
+            ++scheduled;
+        }
+        ++cycle;
+        XIMD_ASSERT(cycle < 4 * n + 16,
+                    "list scheduler failed to converge");
+    }
+
+    if (sched.cycles.empty())
+        sched.cycles.emplace_back(); // terminator needs a row
+
+    // With a pipelined datapath (rawLatency > 1), results issued near
+    // the block's end must be written back before control can leave
+    // the block: a successor block may read them on its first row.
+    // Pad with drain rows so the last issue is rawLatency-1 rows
+    // before the final (terminator) row.
+    if (rawLatency > 1) {
+        int lastIssue = -1;
+        for (int c = 0; c < static_cast<int>(sched.cycles.size());
+             ++c)
+            if (!sched.cycles[static_cast<std::size_t>(c)].empty())
+                lastIssue = c;
+        while (static_cast<int>(sched.cycles.size()) - 1 <
+               lastIssue + static_cast<int>(rawLatency) - 1)
+            sched.cycles.emplace_back();
+    }
+
+    // A conditional branch reads a registered CC: its compare result
+    // must have written back (rawLatency cycles) by the final row.
+    if (block.term.kind == Terminator::Kind::CondBranch) {
+        const int cmpCycle =
+            cycleOf[static_cast<std::size_t>(block.term.compareIdx)];
+        XIMD_ASSERT(cmpCycle >= 0, "compare not scheduled");
+        while (static_cast<int>(sched.cycles.size()) - 1 <
+               cmpCycle + static_cast<int>(rawLatency))
+            sched.cycles.emplace_back();
+    }
+    return sched;
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Resource-constrained list scheduler for one basic block.
+ *
+ * The classic algorithm: ready ops are issued by decreasing critical-
+ * path height into cycles of at most `width` slots. Latency-0 edges
+ * (WAR) allow issue in the same cycle as the predecessor; latency-1
+ * edges (RAW/WAW and memory) force the next cycle, matching the
+ * XIMD-1 end-of-cycle commit semantics.
+ *
+ * The block's terminator is not a node: a conditional branch requires
+ * its compare to be scheduled at least one cycle before the block's
+ * final row (condition codes are registered), which the scheduler
+ * enforces by extending the schedule if needed.
+ */
+
+#ifndef XIMD_SCHED_LIST_SCHEDULER_HH
+#define XIMD_SCHED_LIST_SCHEDULER_HH
+
+#include <vector>
+
+#include "sched/ddg.hh"
+#include "sched/ir.hh"
+
+namespace ximd::sched {
+
+/** Schedule of one block: per-cycle lists of op indices. */
+struct BlockSchedule
+{
+    /** cycles[c] = ops issued in cycle c (at most `width` each). */
+    std::vector<std::vector<int>> cycles;
+
+    /** Rows the block occupies (>= cycles.size(), see below). */
+    unsigned
+    numRows() const
+    {
+        return static_cast<unsigned>(cycles.size());
+    }
+};
+
+/**
+ * List-schedule @p block for @p width functional units at data-path
+ * result latency @p rawLatency (1 = research model, 3 = the
+ * section 4.3 pipelined prototype).
+ *
+ * Guarantees on the result:
+ *  - every op appears exactly once;
+ *  - no cycle holds more than @p width ops;
+ *  - all DDG latencies respected;
+ *  - for a CondBranch terminator, the compare op's result is visible
+ *    (rawLatency cycles after issue) by the last row — trailing rows
+ *    are added when necessary;
+ *  - at least one row, so the terminator has a home.
+ */
+BlockSchedule scheduleBlock(const IrBlock &block, FuId width,
+                            unsigned rawLatency = 1);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_LIST_SCHEDULER_HH

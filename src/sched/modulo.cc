@@ -1,0 +1,204 @@
+#include "sched/modulo.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+namespace {
+
+/** Lower one PipeVal for an instance executing with register set s. */
+Operand
+lowerVal(const PipeVal &v, const PipelineLoop &loop, unsigned set)
+{
+    switch (v.kind) {
+      case PipeVal::Kind::None:
+        return Operand::none();
+      case PipeVal::Kind::Imm:
+        return Operand::imm(v.imm);
+      case PipeVal::Kind::Induction:
+        return Operand::reg(loop.inductionReg);
+      case PipeVal::Kind::Local:
+        return Operand::reg(static_cast<RegId>(
+            loop.localBase +
+            set * static_cast<unsigned>(loop.numLocals) +
+            static_cast<unsigned>(v.local)));
+    }
+    panic("lowerVal: bad kind");
+}
+
+DataOp
+lowerOp(const PipeOp &op, const PipelineLoop &loop, unsigned set)
+{
+    DataOp d;
+    d.op = op.op;
+    const OpInfo &info = opInfo(op.op);
+    if (info.numSrcs >= 1)
+        d.a = lowerVal(op.a, loop, set);
+    if (info.numSrcs >= 2)
+        d.b = lowerVal(op.b, loop, set);
+    if (info.hasDest) {
+        if (op.destLocal < 0 || op.destLocal >= loop.numLocals)
+            fatal("pipeline op '", info.name, "' has bad destination "
+                  "local ", op.destLocal);
+        d.dest = static_cast<RegId>(
+            loop.localBase +
+            set * static_cast<unsigned>(loop.numLocals) +
+            static_cast<unsigned>(op.destLocal));
+    }
+    d.validate();
+    return d;
+}
+
+} // namespace
+
+Program
+pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
+{
+    const auto n_ops = loop.body.size();
+    if (n_ops == 0)
+        fatal("pipelineLoop: empty body");
+    if (n_ops + 2 > width)
+        fatal("pipelineLoop: ", n_ops, " body ops + induction + exit "
+              "test exceed width ", width, " (II = 1 infeasible; use "
+              "the list-scheduled loop instead)");
+    if (loop.tripCount < 1)
+        fatal("pipelineLoop: tripCount must be >= 1");
+
+    // ASAP levels over the iteration-local dataflow; def before use,
+    // single definition per local.
+    std::vector<int> defLevel(
+        static_cast<std::size_t>(loop.numLocals), -1);
+    std::vector<bool> defined(
+        static_cast<std::size_t>(loop.numLocals), false);
+    std::vector<int> level(n_ops, 0);
+    std::vector<bool> readsInduction(n_ops, false);
+
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        const PipeOp &op = loop.body[i];
+        int lvl = 0;
+        for (const PipeVal *v : {&op.a, &op.b}) {
+            if (v->kind == PipeVal::Kind::Induction)
+                readsInduction[i] = true;
+            if (v->kind != PipeVal::Kind::Local)
+                continue;
+            if (v->local < 0 || v->local >= loop.numLocals ||
+                !defined[static_cast<std::size_t>(v->local)])
+                fatal("pipeline op ", i, " reads local ", v->local,
+                      " before its definition");
+            lvl = std::max(
+                lvl, defLevel[static_cast<std::size_t>(v->local)] + 1);
+        }
+        level[i] = lvl;
+        if (op.destLocal >= 0) {
+            if (op.destLocal >= loop.numLocals)
+                fatal("pipeline op ", i, " bad dest local");
+            if (defined[static_cast<std::size_t>(op.destLocal)])
+                fatal("pipeline local ", op.destLocal,
+                      " defined twice (locals are single-assignment)");
+            defined[static_cast<std::size_t>(op.destLocal)] = true;
+            defLevel[static_cast<std::size_t>(op.destLocal)] = lvl;
+        }
+        if (readsInduction[i] && lvl != 0)
+            fatal("pipeline op ", i, " reads the induction variable "
+                  "at stage ", lvl, "; only stage 0 sees the correct "
+                  "value");
+    }
+
+    int maxLevel = 0;
+    for (std::size_t i = 0; i < n_ops; ++i)
+        maxLevel = std::max(maxLevel, level[i]);
+    const unsigned depth = static_cast<unsigned>(maxLevel) + 1;
+
+    // Sink stores to the final stage so over-issued iterations never
+    // reach memory.
+    for (std::size_t i = 0; i < n_ops; ++i)
+        if (loop.body[i].op == Opcode::Store)
+            level[i] = maxLevel;
+
+    const unsigned E = std::max(1u, depth - 1);
+    const unsigned P = depth == 1 ? 0 : E; // prologue rows
+
+    if (loop.tripCount + depth < 3)
+        fatal("pipelineLoop: tripCount too small for the exit test "
+              "(need tripCount + depth >= 3)");
+
+    // Register layout checks.
+    const unsigned regsNeeded =
+        loop.localBase + E * static_cast<unsigned>(loop.numLocals);
+    if (regsNeeded > kNumRegisters)
+        fatal("pipelineLoop: needs ", regsNeeded, " registers");
+    if (loop.inductionReg >= loop.localBase &&
+        loop.inductionReg < regsNeeded)
+        fatal("pipelineLoop: induction register collides with the "
+              "local sets");
+
+    const Word kend = loop.tripCount + depth - 2;
+    const FuId incSlot = static_cast<FuId>(n_ops);
+    const FuId cmpSlot = static_cast<FuId>(n_ops + 1);
+    const InstAddr lend = P + E;
+
+    Program out(width);
+
+    // Build one row: ops whose instance (level d, set) lands here.
+    // `include(d)` decides whether stage d is active in this row;
+    // `setOf(d)` names the register set for that stage's instance.
+    auto makeRow = [&](ControlOp ctrl, auto include, auto setOf) {
+        InstRow row(width, Parcel(ctrl, DataOp::nop()));
+        for (std::size_t i = 0; i < n_ops; ++i) {
+            const unsigned d = static_cast<unsigned>(level[i]);
+            if (!include(d))
+                continue;
+            row[i] = Parcel(ctrl,
+                            lowerOp(loop.body[i], loop, setOf(d)));
+        }
+        row[incSlot] = Parcel(
+            ctrl, DataOp::make(Opcode::Iadd,
+                               Operand::reg(loop.inductionReg),
+                               Operand::immInt(1),
+                               loop.inductionReg));
+        row[cmpSlot] = Parcel(
+            ctrl, DataOp::makeCompare(Opcode::Eq,
+                                      Operand::reg(loop.inductionReg),
+                                      Operand::imm(kend)));
+        return row;
+    };
+
+    // Prologue rows t = 0..P-1: stage d active once t >= d; the
+    // instance at stage d belongs to iteration t-d+1, set (t-d) mod E.
+    for (unsigned t = 0; t < P; ++t) {
+        out.addRow(makeRow(
+            ControlOp::jump(t + 1), [&](unsigned d) { return d <= t; },
+            [&](unsigned d) { return (t - d) % E; }));
+    }
+
+    // Kernel rows r = 0..E-1 (addresses P+r): all stages active; the
+    // stage-d instance uses set (r-d) mod E (P is a multiple of E).
+    for (unsigned r = 0; r < E; ++r) {
+        const InstAddr next = P + (r + 1) % E;
+        out.addRow(makeRow(
+            ControlOp::onCc(cmpSlot, lend, next),
+            [&](unsigned) { return true; },
+            [&](unsigned d) { return (r + E - d % E) % E; }));
+        out.setLabel("K" + std::to_string(r), P + r);
+    }
+
+    out.addUniformRow(Parcel(ControlOp::halt(), DataOp::nop()));
+    out.setLabel("LEND", lend);
+    out.addRegInit(loop.inductionReg, 1);
+    out.setSymbol("KEND", kend);
+
+    if (info) {
+        info->depth = depth;
+        info->expansion = E;
+        info->prologueRows = P;
+        info->kernelRows = E;
+        info->expectedCycles = loop.tripCount + depth;
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Software pipelining by modulo scheduling (initiation interval 1).
+ *
+ * Section 3.1 of the paper: "Software Pipelining can be used
+ * effectively to schedule multiple iterations of this loop in
+ * parallel" (Livermore Loop 12). This module turns a restricted
+ * counted-loop description into a pipelined XIMD/VLIW program that
+ * starts a new iteration every cycle:
+ *
+ *   - levels (pipeline stages) are the ASAP depths over the
+ *     iteration-local dataflow; all operations have 1-cycle latency;
+ *   - iteration-local values get E = max(1, D-1) register copies
+ *     (modulo variable expansion), where D is the pipeline depth;
+ *   - the kernel is E rows long; every row increments the induction
+ *     variable, tests the exit condition, and carries one op per
+ *     (body op, stage) pair that lands on that row;
+ *   - stores are sunk to the last stage so the loop can over-issue
+ *     D-1 speculative iterations past the trip count without writing
+ *     memory (pad input arrays by D-1 elements).
+ *
+ * Restrictions (checked, FatalError otherwise):
+ *   - body ops + 2 (induction increment, exit compare) must fit in
+ *     the machine width, so II = 1 is resource-feasible;
+ *   - each iteration-local value is defined at most once;
+ *   - the induction variable may only be read at stage 0;
+ *   - no loop-carried dependence except the induction variable
+ *     (caller guarantees memory independence across iterations);
+ *   - tripCount >= 1.
+ *
+ * II > 1 (resource-constrained) modulo scheduling is future work; the
+ * naive list-scheduled loop (codegen.hh) covers that case.
+ */
+
+#ifndef XIMD_SCHED_MODULO_HH
+#define XIMD_SCHED_MODULO_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ximd::sched {
+
+/** A source value inside the pipelined loop body. */
+struct PipeVal
+{
+    enum class Kind : std::uint8_t { None, Induction, Local, Imm };
+
+    Kind kind = Kind::None;
+    int local = -1;
+    Word imm = 0;
+
+    static PipeVal none() { return {}; }
+
+    static PipeVal
+    induction()
+    {
+        PipeVal v;
+        v.kind = Kind::Induction;
+        return v;
+    }
+
+    static PipeVal
+    localVal(int l)
+    {
+        PipeVal v;
+        v.kind = Kind::Local;
+        v.local = l;
+        return v;
+    }
+
+    static PipeVal
+    immRaw(Word w)
+    {
+        PipeVal v;
+        v.kind = Kind::Imm;
+        v.imm = w;
+        return v;
+    }
+
+    static PipeVal immInt(SWord s) { return immRaw(intToWord(s)); }
+};
+
+/** One loop-body operation. */
+struct PipeOp
+{
+    Opcode op = Opcode::Nop;
+    PipeVal a;
+    PipeVal b;
+    int destLocal = -1; ///< -1 for stores.
+};
+
+/** A counted loop: body executed for induction k = 1..tripCount. */
+struct PipelineLoop
+{
+    std::vector<PipeOp> body;
+    int numLocals = 0;
+    Word tripCount = 0;
+
+    /** Physical register for the induction variable. */
+    RegId inductionReg = 0;
+
+    /** First physical register for the expanded local copies. */
+    RegId localBase = 8;
+};
+
+/** Pipeline metadata, exposed for tests and benches. */
+struct PipelineInfo
+{
+    unsigned depth = 0;      ///< D: number of stages.
+    unsigned expansion = 0;  ///< E: register copies per local.
+    unsigned prologueRows = 0;
+    unsigned kernelRows = 0;
+    Cycle expectedCycles = 0; ///< tripCount + D - 1 cycles + halt.
+};
+
+/**
+ * Generate the pipelined program (single instruction stream, runs on
+ * both xsim and vsim). @p info, when non-null, receives the pipeline
+ * shape.
+ */
+Program pipelineLoop(const PipelineLoop &loop, FuId width,
+                     PipelineInfo *info = nullptr);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_MODULO_HH

@@ -1,0 +1,398 @@
+#include "sched/packer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+namespace {
+
+/** Skyline: next free row per column. */
+class Skyline
+{
+  public:
+    explicit Skyline(FuId width) : tops_(width, 0) {}
+
+    FuId width() const { return static_cast<FuId>(tops_.size()); }
+
+    /** Landing row for a tile of @p w columns at column @p col. */
+    unsigned
+    landingRow(FuId col, FuId w) const
+    {
+        unsigned row = 0;
+        for (FuId c = col; c < col + w; ++c)
+            row = std::max(row, tops_[c]);
+        return row;
+    }
+
+    /** Wasted FU-rows below the tile if placed at (col, row). */
+    unsigned
+    waste(FuId col, FuId w, unsigned row) const
+    {
+        unsigned wasted = 0;
+        for (FuId c = col; c < col + w; ++c)
+            wasted += row - tops_[c];
+        return wasted;
+    }
+
+    void
+    place(FuId col, FuId w, unsigned row, unsigned h)
+    {
+        for (FuId c = col; c < col + w; ++c)
+            tops_[c] = row + h;
+    }
+
+    unsigned
+    height() const
+    {
+        return *std::max_element(tops_.begin(), tops_.end());
+    }
+
+  private:
+    std::vector<unsigned> tops_;
+};
+
+const Tile &
+minAreaFitting(const TileSet &set, FuId machineWidth)
+{
+    const Tile *best = nullptr;
+    for (const Tile &t : set.impls) {
+        if (t.width > machineWidth)
+            continue;
+        if (!best || t.area() < best->area())
+            best = &t;
+    }
+    if (!best)
+        fatal("thread ", set.threadId, " has no tile fitting width ",
+              machineWidth);
+    return *best;
+}
+
+Placement
+toPlacement(const Tile &t, FuId col, unsigned row)
+{
+    Placement p;
+    p.threadId = t.threadId;
+    p.width = t.width;
+    p.height = t.height;
+    p.col = col;
+    p.row = row;
+    return p;
+}
+
+/** Greedy bottom-left insertion of @p tile into @p sky. */
+Placement
+bottomLeft(Skyline &sky, const Tile &tile)
+{
+    unsigned bestRow = ~0u;
+    FuId bestCol = 0;
+    for (FuId col = 0; col + tile.width <= sky.width(); ++col) {
+        const unsigned row = sky.landingRow(col, tile.width);
+        if (row < bestRow) {
+            bestRow = row;
+            bestCol = col;
+        }
+    }
+    sky.place(bestCol, tile.width, bestRow, tile.height);
+    return toPlacement(tile, bestCol, bestRow);
+}
+
+void
+sortPlacementsByThread(PackResult &r)
+{
+    std::sort(r.placements.begin(), r.placements.end(),
+              [](const Placement &a, const Placement &b) {
+                  return a.threadId < b.threadId;
+              });
+}
+
+} // namespace
+
+PackResult
+packStacked(const std::vector<TileSet> &sets, FuId machineWidth)
+{
+    PackResult result;
+    result.strategy = "stacked-full-width";
+    unsigned row = 0;
+    for (const TileSet &set : sets) {
+        if (machineWidth > set.heightAtWidth.size())
+            fatal("packStacked: tiles not generated at width ",
+                  machineWidth);
+        Placement p;
+        p.threadId = set.threadId;
+        p.width = machineWidth;
+        p.height = set.heightAt(machineWidth);
+        p.col = 0;
+        p.row = row;
+        result.placements.push_back(p);
+        row += p.height;
+    }
+    result.totalHeight = row;
+    return result;
+}
+
+PackResult
+packFirstFit(const std::vector<TileSet> &sets, FuId machineWidth)
+{
+    PackResult result;
+    result.strategy = "first-fit-decreasing";
+
+    std::vector<const Tile *> chosen;
+    for (const TileSet &set : sets)
+        chosen.push_back(&minAreaFitting(set, machineWidth));
+    std::stable_sort(chosen.begin(), chosen.end(),
+                     [](const Tile *a, const Tile *b) {
+                         return a->height > b->height;
+                     });
+
+    Skyline sky(machineWidth);
+    for (const Tile *t : chosen) {
+        // First fit: leftmost column whose landing row equals the
+        // minimum over all columns.
+        unsigned bestRow = ~0u;
+        for (FuId col = 0; col + t->width <= machineWidth; ++col)
+            bestRow = std::min(bestRow, sky.landingRow(col, t->width));
+        for (FuId col = 0; col + t->width <= machineWidth; ++col) {
+            if (sky.landingRow(col, t->width) == bestRow) {
+                sky.place(col, t->width, bestRow, t->height);
+                result.placements.push_back(
+                    toPlacement(*t, col, bestRow));
+                break;
+            }
+        }
+    }
+    result.totalHeight = sky.height();
+    sortPlacementsByThread(result);
+    return result;
+}
+
+PackResult
+packSkyline(const std::vector<TileSet> &sets, FuId machineWidth)
+{
+    PackResult result;
+    result.strategy = "skyline-best-fit";
+
+    // Process threads by decreasing minimum area (big rocks first).
+    std::vector<const TileSet *> order;
+    for (const TileSet &s : sets)
+        order.push_back(&s);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const TileSet *a, const TileSet *b) {
+                         return minAreaFitting(*a, machineWidth).area() >
+                                minAreaFitting(*b, machineWidth).area();
+                     });
+
+    Skyline sky(machineWidth);
+    for (const TileSet *set : order) {
+        const Tile *bestTile = nullptr;
+        FuId bestCol = 0;
+        unsigned bestRow = 0;
+        // Score: lowest resulting top edge, then least waste, then
+        // smallest area.
+        std::uint64_t bestScore = ~0ull;
+        for (const Tile &t : set->impls) {
+            if (t.width > machineWidth)
+                continue;
+            for (FuId col = 0; col + t.width <= machineWidth; ++col) {
+                const unsigned row = sky.landingRow(col, t.width);
+                const unsigned top = row + t.height;
+                const unsigned waste = sky.waste(col, t.width, row);
+                const std::uint64_t score =
+                    (static_cast<std::uint64_t>(top) << 40) |
+                    (static_cast<std::uint64_t>(waste) << 16) |
+                    t.area();
+                if (score < bestScore) {
+                    bestScore = score;
+                    bestTile = &t;
+                    bestCol = col;
+                    bestRow = row;
+                }
+            }
+        }
+        XIMD_ASSERT(bestTile, "no feasible tile for thread ",
+                    set->threadId);
+        sky.place(bestCol, bestTile->width, bestRow,
+                  bestTile->height);
+        result.placements.push_back(
+            toPlacement(*bestTile, bestCol, bestRow));
+    }
+    result.totalHeight = sky.height();
+    sortPlacementsByThread(result);
+    return result;
+}
+
+PackResult
+packExhaustive(const std::vector<TileSet> &sets, FuId machineWidth)
+{
+    // Combination count guard.
+    std::uint64_t combos = 1;
+    for (const TileSet &s : sets)
+        combos *= s.impls.size();
+    std::uint64_t perms = 1;
+    for (std::size_t i = 2; i <= sets.size(); ++i)
+        perms *= i;
+    if (combos * perms > 2'000'000)
+        fatal("packExhaustive: instance too large (",
+              combos * perms, " combinations)");
+
+    std::vector<std::size_t> implIdx(sets.size(), 0);
+    std::vector<std::size_t> order(sets.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    PackResult best;
+    best.strategy = "exhaustive-bottom-left";
+    best.totalHeight = ~0u;
+
+    while (true) {
+        // Try every thread order for this tile choice.
+        std::vector<std::size_t> perm = order;
+        std::sort(perm.begin(), perm.end());
+        do {
+            Skyline sky(machineWidth);
+            PackResult cur;
+            bool feasible = true;
+            for (std::size_t idx : perm) {
+                const Tile &t = sets[idx].impls[implIdx[idx]];
+                if (t.width > machineWidth) {
+                    feasible = false;
+                    break;
+                }
+                cur.placements.push_back(bottomLeft(sky, t));
+            }
+            if (feasible) {
+                cur.totalHeight = sky.height();
+                if (cur.totalHeight < best.totalHeight) {
+                    cur.strategy = best.strategy;
+                    sortPlacementsByThread(cur);
+                    best = cur;
+                }
+            }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+
+        // Advance the tile-choice odometer.
+        std::size_t i = 0;
+        for (; i < sets.size(); ++i) {
+            if (++implIdx[i] < sets[i].impls.size())
+                break;
+            implIdx[i] = 0;
+        }
+        if (i == sets.size())
+            break;
+    }
+    if (best.totalHeight == ~0u)
+        fatal("packExhaustive: no feasible packing");
+    return best;
+}
+
+PackResult
+packBalancedGroups(const std::vector<TileSet> &sets, FuId machineWidth)
+{
+    PackResult best;
+    best.strategy = "balanced-groups";
+    best.totalHeight = ~0u;
+
+    for (FuId g = 1; g <= machineWidth; ++g) {
+        if (machineWidth % g != 0)
+            continue;
+        const FuId gw = machineWidth / g; // group width
+        if (gw > sets.front().heightAtWidth.size())
+            continue; // tiles were not generated this wide
+
+        // Every thread compiled at exactly the group width, so all
+        // placements in a group share one column range.
+        std::vector<unsigned> chosenHeight;
+        for (const TileSet &set : sets)
+            chosenHeight.push_back(set.heightAt(gw));
+
+        // Longest-processing-time assignment onto g groups.
+        std::vector<std::size_t> order(sets.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return chosenHeight[a] > chosenHeight[b];
+                         });
+        std::vector<unsigned> groupHeight(g, 0);
+        PackResult cur;
+        cur.strategy = best.strategy;
+        for (std::size_t idx : order) {
+            const auto grp = static_cast<std::size_t>(
+                std::min_element(groupHeight.begin(),
+                                 groupHeight.end()) -
+                groupHeight.begin());
+            Placement p;
+            p.threadId = sets[idx].threadId;
+            p.width = gw;
+            p.height = chosenHeight[idx];
+            p.col = static_cast<FuId>(grp) * gw;
+            p.row = groupHeight[grp];
+            cur.placements.push_back(p);
+            groupHeight[grp] += chosenHeight[idx];
+        }
+        cur.totalHeight = *std::max_element(groupHeight.begin(),
+                                            groupHeight.end());
+        if (cur.totalHeight < best.totalHeight) {
+            sortPlacementsByThread(cur);
+            best = cur;
+        }
+    }
+    if (best.totalHeight == ~0u)
+        fatal("packBalancedGroups: no feasible grouping");
+    return best;
+}
+
+unsigned
+validatePacking(const PackResult &result,
+                const std::vector<TileSet> &sets, FuId machineWidth)
+{
+    if (result.placements.size() != sets.size())
+        fatal("packing places ", result.placements.size(),
+              " tiles for ", sets.size(), " threads");
+
+    std::vector<bool> seen(sets.size(), false);
+    unsigned height = 0;
+    for (const Placement &p : result.placements) {
+        if (p.threadId < 0 ||
+            p.threadId >= static_cast<int>(sets.size()))
+            fatal("placement names unknown thread ", p.threadId);
+        if (seen[static_cast<std::size_t>(p.threadId)])
+            fatal("thread ", p.threadId, " placed twice");
+        seen[static_cast<std::size_t>(p.threadId)] = true;
+        if (p.col + p.width > machineWidth)
+            fatal("thread ", p.threadId, " exceeds machine width");
+        // The placement must correspond to a compilable shape of the
+        // thread: a saved Pareto tile or any exact-width compile.
+        const TileSet &set = sets[static_cast<std::size_t>(p.threadId)];
+        bool known = false;
+        for (const Tile &t : set.impls)
+            known |= t.width == p.width && t.height == p.height;
+        if (!known && p.width <= set.heightAtWidth.size())
+            known = set.heightAt(p.width) == p.height;
+        if (!known)
+            fatal("thread ", p.threadId,
+                  " placed with an unknown tile shape");
+        height = std::max(height, p.row + p.height);
+    }
+    // Pairwise overlap.
+    for (std::size_t i = 0; i < result.placements.size(); ++i) {
+        for (std::size_t j = i + 1; j < result.placements.size();
+             ++j) {
+            const Placement &a = result.placements[i];
+            const Placement &b = result.placements[j];
+            const bool colOverlap =
+                a.col < b.col + b.width && b.col < a.col + a.width;
+            const bool rowOverlap =
+                a.row < b.row + b.height && b.row < a.row + a.height;
+            if (colOverlap && rowOverlap)
+                fatal("threads ", a.threadId, " and ", b.threadId,
+                      " overlap");
+        }
+    }
+    if (height != result.totalHeight)
+        fatal("recorded packing height ", result.totalHeight,
+              " differs from actual ", height);
+    return height;
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tile packing (Figure 13): "a packing algorithm is used to schedule
+ * one implementation of each thread within a larger space representing
+ * the entire instruction memory."
+ *
+ * The space is a strip of fixed width (the machine's FU count) and
+ * unbounded height (instruction-memory rows); the packer chooses one
+ * tile per thread, a column, and a starting row, minimizing the total
+ * height — the static code density objective the paper illustrates.
+ * The paper notes "it is still unknown which placement algorithm will
+ * work best"; three are provided so they can be compared:
+ *
+ *   packStacked    — baseline: every thread at full machine width,
+ *                    stacked vertically (no packing; what a plain
+ *                    VLIW compiler would emit).
+ *   packFirstFit   — pick each thread's minimum-area tile, sort by
+ *                    height, place with first-fit on a skyline.
+ *   packSkyline    — best-fit skyline with on-line tile (width)
+ *                    selection: every (tile, column) option is scored
+ *                    by resulting top edge, then wasted area.
+ *   packExhaustive — optimal for small instances: all tile choices ×
+ *                    thread orders, each placed bottom-left greedily.
+ */
+
+#ifndef XIMD_SCHED_PACKER_HH
+#define XIMD_SCHED_PACKER_HH
+
+#include <string>
+#include <vector>
+
+#include "sched/tile.hh"
+
+namespace ximd::sched {
+
+/** One placed tile. */
+struct Placement
+{
+    int threadId = -1;
+    FuId width = 1;
+    unsigned height = 0;
+    FuId col = 0;      ///< Leftmost FU column.
+    unsigned row = 0;  ///< First instruction row.
+};
+
+/** A complete packing. */
+struct PackResult
+{
+    std::string strategy;
+    std::vector<Placement> placements; ///< One per thread.
+    unsigned totalHeight = 0;
+
+    /** FU-rows occupied / FU-rows available. */
+    double
+    utilization(FuId machineWidth) const
+    {
+        if (totalHeight == 0)
+            return 0.0;
+        unsigned used = 0;
+        for (const Placement &p : placements)
+            used += p.width * p.height;
+        return static_cast<double>(used) /
+               (static_cast<double>(machineWidth) * totalHeight);
+    }
+};
+
+PackResult packStacked(const std::vector<TileSet> &sets,
+                       FuId machineWidth);
+PackResult packFirstFit(const std::vector<TileSet> &sets,
+                        FuId machineWidth);
+PackResult packSkyline(const std::vector<TileSet> &sets,
+                       FuId machineWidth);
+PackResult packExhaustive(const std::vector<TileSet> &sets,
+                          FuId machineWidth);
+
+/**
+ * Laminar packing: split the strip into g equal column groups (for
+ * every g that divides machineWidth), compile every thread at the
+ * group width, assign threads to groups longest-processing-time
+ * first, and keep the best g. Every pair of placements has equal or
+ * disjoint column ranges, so the result is always composable into a
+ * runnable program (compose.hh) — groups execute concurrently as
+ * separate SSETs.
+ */
+PackResult packBalancedGroups(const std::vector<TileSet> &sets,
+                              FuId machineWidth);
+
+/**
+ * Check structural validity: one placement per thread, tiles inside
+ * the strip, pairwise non-overlapping, recorded height correct.
+ * Throws FatalError on violation; returns the height.
+ */
+unsigned validatePacking(const PackResult &result,
+                         const std::vector<TileSet> &sets,
+                         FuId machineWidth);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_PACKER_HH

@@ -1,0 +1,49 @@
+#include "sched/tile.hh"
+
+#include "sched/list_scheduler.hh"
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+unsigned
+staticHeight(const IrProgram &thread, FuId width)
+{
+    unsigned rows = 0;
+    for (const IrBlock &b : thread.blocks)
+        rows += scheduleBlock(b, width).numRows();
+    return rows;
+}
+
+std::vector<TileSet>
+generateTiles(const std::vector<IrProgram> &threads, FuId maxWidth)
+{
+    if (maxWidth == 0 || maxWidth > kMaxFus)
+        fatal("generateTiles: bad maximum width ", maxWidth);
+    if (threads.empty())
+        fatal("generateTiles: no threads");
+
+    std::vector<TileSet> sets;
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        threads[t].validate();
+        TileSet set;
+        set.threadId = static_cast<int>(t);
+        unsigned best = ~0u;
+        for (FuId w = 1; w <= maxWidth; ++w) {
+            const unsigned h = staticHeight(threads[t], w);
+            set.heightAtWidth.push_back(h);
+            if (h >= best)
+                continue; // dominated: wider but not shorter
+            best = h;
+            Tile tile;
+            tile.threadId = static_cast<int>(t);
+            tile.width = w;
+            tile.height = h;
+            set.impls.push_back(tile);
+        }
+        XIMD_ASSERT(!set.impls.empty(), "no tiles for thread ", t);
+        sets.push_back(std::move(set));
+    }
+    return sets;
+}
+
+} // namespace ximd::sched

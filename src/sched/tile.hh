@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tile generation for the paper's compilation strategy (Figure 13).
+ *
+ * "Each thread is compiled several times with varying resource
+ * constraints ... Each can be modeled as a rectangle or tile whose
+ * width is the required number of functional units and whose length
+ * is the static code size. The best set of tiles for each thread is
+ * saved."
+ */
+
+#ifndef XIMD_SCHED_TILE_HH
+#define XIMD_SCHED_TILE_HH
+
+#include <vector>
+
+#include "sched/ir.hh"
+
+namespace ximd::sched {
+
+/** One compiled implementation choice of a thread. */
+struct Tile
+{
+    int threadId = -1;
+    FuId width = 1;      ///< FUs required.
+    unsigned height = 0; ///< Static instruction rows.
+
+    unsigned area() const { return width * height; }
+};
+
+/** The saved tile choices for one thread. */
+struct TileSet
+{
+    int threadId = -1;
+    std::vector<Tile> impls; ///< Pareto-optimal, by increasing width.
+
+    /** Static height at every width 1..maxWidth (index w-1), kept so
+     *  packers can request an exact width even when the Pareto set
+     *  dropped it as dominated. */
+    std::vector<unsigned> heightAtWidth;
+
+    /** Height of this thread compiled at exactly @p w. */
+    unsigned
+    heightAt(FuId w) const
+    {
+        return heightAtWidth.at(w - 1);
+    }
+};
+
+/**
+ * Compile every thread at widths 1..maxWidth and keep the Pareto-
+ * optimal tiles (wider implementations that do not reduce the height
+ * are discarded, exactly the "best set of tiles" of Figure 13).
+ */
+std::vector<TileSet> generateTiles(const std::vector<IrProgram> &threads,
+                                   FuId maxWidth);
+
+/** Static height of @p thread compiled at @p width (sum over blocks). */
+unsigned staticHeight(const IrProgram &thread, FuId width);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_TILE_HH

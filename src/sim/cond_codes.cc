@@ -1,0 +1,75 @@
+#include "sim/cond_codes.hh"
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+CondCodeFile::CondCodeFile(FuId numFus)
+    : cur_(numFus, false), everWritten_(numFus, false)
+{
+    if (numFus == 0 || numFus > kMaxFus)
+        fatal("condition-code file size ", numFus,
+              " outside supported range 1..", kMaxFus);
+}
+
+void
+CondCodeFile::checkIndex(FuId fu) const
+{
+    if (fu >= cur_.size())
+        fatal("condition code cc", fu, " out of range (", cur_.size(),
+              " FUs)");
+}
+
+bool
+CondCodeFile::read(FuId fu) const
+{
+    checkIndex(fu);
+    return cur_[fu];
+}
+
+void
+CondCodeFile::queueWrite(FuId fu, bool value)
+{
+    checkIndex(fu);
+    pending_.push_back({fu, value});
+}
+
+void
+CondCodeFile::commit()
+{
+    for (const auto &p : pending_) {
+        cur_[p.fu] = p.value;
+        everWritten_[p.fu] = true;
+    }
+    pending_.clear();
+}
+
+void
+CondCodeFile::squash()
+{
+    pending_.clear();
+}
+
+void
+CondCodeFile::poke(FuId fu, bool value)
+{
+    checkIndex(fu);
+    cur_[fu] = value;
+    everWritten_[fu] = true;
+}
+
+std::string
+CondCodeFile::formatted() const
+{
+    std::string s;
+    s.reserve(cur_.size());
+    for (FuId i = 0; i < cur_.size(); ++i) {
+        if (!everWritten_[i])
+            s += 'X';
+        else
+            s += cur_[i] ? 'T' : 'F';
+    }
+    return s;
+}
+
+} // namespace ximd

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-FU condition-code registers.
+ *
+ * Section 2.2: "Each functional unit also contains one condition code
+ * register CCi. This register can hold one of two values, TRUE or
+ * FALSE. Compare operations set or clear the condition code register
+ * corresponding to the functional unit which executes the operation.
+ * Other operations leave the condition code register unchanged."
+ *
+ * CC values are registered state: a branch in cycle t observes the CC
+ * values as they existed at the *beginning* of cycle t (verified
+ * against the paper's Figure 10 address trace). Writes queued during a
+ * cycle become visible after commit().
+ */
+
+#ifndef XIMD_SIM_COND_CODES_HH
+#define XIMD_SIM_COND_CODES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ximd {
+
+/** The distributed condition-code register file. */
+class CondCodeFile
+{
+  public:
+    explicit CondCodeFile(FuId numFus);
+
+    FuId numFus() const { return static_cast<FuId>(cur_.size()); }
+
+    /** Beginning-of-cycle value of CC[fu]. */
+    bool read(FuId fu) const;
+
+    /** Queue FU @p fu's compare result; visible after commit(). */
+    void queueWrite(FuId fu, bool value);
+
+    /** Make queued writes visible. */
+    void commit();
+
+    /** Discard queued writes. */
+    void squash();
+
+    /** Test/debug: set a CC immediately. */
+    void poke(FuId fu, bool value);
+
+    /**
+     * Render as the paper's Figure 10 does: one character per FU,
+     * 'T' / 'F', or 'X' for CCs never written yet.
+     */
+    std::string formatted() const;
+
+  private:
+    void checkIndex(FuId fu) const;
+
+    std::vector<bool> cur_;
+    std::vector<bool> everWritten_;
+    struct Pending
+    {
+        FuId fu;
+        bool value;
+    };
+    std::vector<Pending> pending_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_SIM_COND_CODES_HH

@@ -1,0 +1,63 @@
+#include "sim/io_port.hh"
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+ScriptedInputPort::ScriptedInputPort(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+ScriptedInputPort::schedule(Cycle cycle, Word value)
+{
+    if (value == 0)
+        fatal("input port '", name_, "': scheduled value must be "
+              "non-zero (zero means 'not ready', per the paper's "
+              "polling protocol)");
+    if (!queue_.empty() && queue_.back().arrival > cycle)
+        fatal("input port '", name_, "': arrivals must be scheduled in "
+              "non-decreasing cycle order");
+    queue_.push_back({cycle, value});
+}
+
+Word
+ScriptedInputPort::read(Addr, Cycle now)
+{
+    if (queue_.empty() || queue_.front().arrival > now) {
+        ++emptyPolls_;
+        return 0;
+    }
+    const Word v = queue_.front().value;
+    queue_.pop_front();
+    ++consumed_;
+    return v;
+}
+
+void
+ScriptedInputPort::write(Addr, Word, Cycle)
+{
+    ++ignoredWrites_;
+}
+
+OutputPort::OutputPort(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Word
+OutputPort::read(Addr, Cycle)
+{
+    // Reading an output port returns the most recently written word,
+    // or 0 when nothing has been written yet.
+    return records_.empty() ? 0 : records_.back().value;
+}
+
+void
+OutputPort::write(Addr, Word value, Cycle now)
+{
+    records_.push_back({now, value});
+}
+
+} // namespace ximd

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Memory-mapped I/O devices with bounded-nondeterministic timing.
+ *
+ * Section 3.4 / Figure 12 of the paper: "Each process reads some data
+ * from an I/O port until the port returns a non-zero, valid value."
+ * The arrival time is outside compiler control. We model this with a
+ * scripted input port: each value carries an arrival cycle; loads
+ * before arrival return 0, the first load at-or-after arrival returns
+ * (and consumes) the value. An output port records every word written
+ * together with its cycle, so tests and benches can check ordering and
+ * latency.
+ */
+
+#ifndef XIMD_SIM_IO_PORT_HH
+#define XIMD_SIM_IO_PORT_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Interface for devices mapped into the shared address space. */
+class IoDevice
+{
+  public:
+    virtual ~IoDevice() = default;
+
+    /** Combinational read of @p offset within the device window. */
+    virtual Word read(Addr offset, Cycle now) = 0;
+
+    /** End-of-cycle write to @p offset within the device window. */
+    virtual void write(Addr offset, Word value, Cycle now) = 0;
+
+    /** Human-readable name for diagnostics. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Input port delivering scripted values at scripted cycles.
+ *
+ * Reads at any offset behave identically (the port is one word wide;
+ * the window is usually a single address). A read before the head
+ * value's arrival cycle returns 0; a read at or after it returns the
+ * value and pops it. Writes are ignored (and counted, for tests).
+ */
+class ScriptedInputPort : public IoDevice
+{
+  public:
+    explicit ScriptedInputPort(std::string name);
+
+    /** Schedule @p value (must be non-zero) to arrive at @p cycle. */
+    void schedule(Cycle cycle, Word value);
+
+    Word read(Addr offset, Cycle now) override;
+    void write(Addr offset, Word value, Cycle now) override;
+    std::string name() const override { return name_; }
+
+    /** Number of reads that polled before data was ready. */
+    std::uint64_t emptyPolls() const { return emptyPolls_; }
+
+    /** Number of values consumed so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /** True when all scheduled values have been consumed. */
+    bool drained() const { return queue_.empty(); }
+
+  private:
+    struct Item
+    {
+        Cycle arrival;
+        Word value;
+    };
+
+    std::string name_;
+    std::deque<Item> queue_;
+    std::uint64_t emptyPolls_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t ignoredWrites_ = 0;
+};
+
+/** Output port recording every written word with its cycle. */
+class OutputPort : public IoDevice
+{
+  public:
+    explicit OutputPort(std::string name);
+
+    Word read(Addr offset, Cycle now) override;
+    void write(Addr offset, Word value, Cycle now) override;
+    std::string name() const override { return name_; }
+
+    struct Record
+    {
+        Cycle cycle;
+        Word value;
+    };
+
+    /** All words written, in commit order. */
+    const std::vector<Record> &records() const { return records_; }
+
+  private:
+    std::string name_;
+    std::vector<Record> records_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_SIM_IO_PORT_HH

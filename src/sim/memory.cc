@@ -1,0 +1,123 @@
+#include "sim/memory.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+Memory::Memory(std::size_t words, ConflictPolicy policy)
+    : words_(words, 0), policy_(policy)
+{
+    if (words == 0)
+        fatal("memory must contain at least one word");
+}
+
+void
+Memory::attachDevice(Addr lo, Addr hi, IoDevice *device)
+{
+    XIMD_ASSERT(device != nullptr, "null device");
+    if (lo > hi)
+        fatal("device '", device->name(), "': window [", lo, ", ", hi,
+              "] is empty");
+    checkAddr(hi);
+    for (const auto &w : windows_) {
+        if (lo <= w.hi && w.lo <= hi)
+            fatal("device '", device->name(), "' window [", lo, ", ", hi,
+                  "] overlaps '", w.device->name(), "' [", w.lo, ", ",
+                  w.hi, "]");
+    }
+    windows_.push_back({lo, hi, device});
+}
+
+void
+Memory::checkAddr(Addr addr) const
+{
+    if (addr >= words_.size())
+        fatal("memory address ", addr, " out of range (", words_.size(),
+              " words)");
+}
+
+const Memory::DeviceWindow *
+Memory::findWindow(Addr addr) const
+{
+    for (const auto &w : windows_)
+        if (addr >= w.lo && addr <= w.hi)
+            return &w;
+    return nullptr;
+}
+
+Word
+Memory::load(Addr addr, Cycle now)
+{
+    checkAddr(addr);
+    ++loads_;
+    if (const DeviceWindow *w = findWindow(addr))
+        return w->device->read(addr - w->lo, now);
+    return words_[addr];
+}
+
+void
+Memory::queueStore(Addr addr, Word value, FuId fu)
+{
+    checkAddr(addr);
+    pending_.push_back({addr, value, fu});
+}
+
+void
+Memory::commit(Cycle now)
+{
+    if (pending_.empty())
+        return;
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingStore &x, const PendingStore &y) {
+                         if (x.addr != y.addr)
+                             return x.addr < y.addr;
+                         return x.fu < y.fu;
+                     });
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+        const auto &prev = pending_[i - 1];
+        const auto &cur = pending_[i];
+        if (prev.addr == cur.addr && prev.fu != cur.fu &&
+            policy_ == ConflictPolicy::Fault) {
+            pending_.clear();
+            fatal("memory write conflict: FU", prev.fu, " and FU",
+                  cur.fu, " both store to address ", cur.addr,
+                  " this cycle");
+        }
+    }
+    Addr last_addr = 0;
+    bool have_last = false;
+    for (const auto &s : pending_) {
+        if (have_last && s.addr == last_addr)
+            continue;
+        if (const DeviceWindow *w = findWindow(s.addr))
+            w->device->write(s.addr - w->lo, s.value, now);
+        else
+            words_[s.addr] = s.value;
+        ++stores_;
+        last_addr = s.addr;
+        have_last = true;
+    }
+    pending_.clear();
+}
+
+void
+Memory::poke(Addr addr, Word value)
+{
+    checkAddr(addr);
+    if (findWindow(addr))
+        fatal("poke() into device window at address ", addr);
+    words_[addr] = value;
+}
+
+Word
+Memory::peek(Addr addr) const
+{
+    checkAddr(addr);
+    if (findWindow(addr))
+        fatal("peek() into device window at address ", addr);
+    return words_[addr];
+}
+
+} // namespace ximd

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The idealized shared memory of the XIMD-1 research model.
+ *
+ * Section 2.3: "Each functional unit can read or write to memory every
+ * cycle. All ports use a single shared address space. Memory operations
+ * complete in one cycle. Multiple writes to the same location in one
+ * cycle are undefined."
+ *
+ * The memory is word-addressed. Loads observe beginning-of-cycle
+ * contents; stores are queued and committed at end of cycle, with
+ * same-address conflict detection. Address windows can be claimed by
+ * IoDevice instances (section 3.4's I/O ports); device reads happen
+ * combinationally during execute, device writes at commit.
+ */
+
+#ifndef XIMD_SIM_MEMORY_HH
+#define XIMD_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/io_port.hh"
+#include "sim/register_file.hh" // ConflictPolicy
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Word-addressed shared memory with device windows. */
+class Memory
+{
+  public:
+    explicit Memory(std::size_t words,
+                    ConflictPolicy policy = ConflictPolicy::Fault);
+
+    std::size_t size() const { return words_.size(); }
+
+    /**
+     * Attach @p device to the address window [lo, hi] (inclusive).
+     * Windows must not overlap each other. The device receives offsets
+     * relative to @p lo. The device is not owned.
+     */
+    void attachDevice(Addr lo, Addr hi, IoDevice *device);
+
+    /** Load a word (beginning-of-cycle value, or device read). */
+    Word load(Addr addr, Cycle now);
+
+    /** Queue a store from @p fu; committed at end of cycle. */
+    void queueStore(Addr addr, Word value, FuId fu);
+
+    /** Commit queued stores; detects same-address conflicts. */
+    void commit(Cycle now);
+
+    /** Discard queued stores (used on machine fault). */
+    void squash() { pending_.clear(); }
+
+    /** Test/debug: write a word immediately (RAM only). */
+    void poke(Addr addr, Word value);
+
+    /** Test/debug: read a word without side effects (RAM only). */
+    Word peek(Addr addr) const;
+
+    /** Total loads performed. */
+    std::uint64_t loadCount() const { return loads_; }
+
+    /** Total stores committed. */
+    std::uint64_t storeCount() const { return stores_; }
+
+  private:
+    struct DeviceWindow
+    {
+        Addr lo;
+        Addr hi;
+        IoDevice *device;
+    };
+
+    struct PendingStore
+    {
+        Addr addr;
+        Word value;
+        FuId fu;
+    };
+
+    void checkAddr(Addr addr) const;
+    const DeviceWindow *findWindow(Addr addr) const;
+
+    std::vector<Word> words_;
+    ConflictPolicy policy_;
+    std::vector<DeviceWindow> windows_;
+    std::vector<PendingStore> pending_;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace ximd
+
+#endif // XIMD_SIM_MEMORY_HH

@@ -1,0 +1,83 @@
+#include "sim/register_file.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+RegisterFile::RegisterFile(RegId count, ConflictPolicy policy)
+    : count_(count), policy_(policy), regs_(count, 0)
+{
+    if (count == 0)
+        fatal("register file must contain at least one register");
+}
+
+void
+RegisterFile::checkIndex(RegId r) const
+{
+    if (r >= count_)
+        fatal("register r", r, " out of range (file has ", count_,
+              " registers)");
+}
+
+Word
+RegisterFile::read(RegId r) const
+{
+    checkIndex(r);
+    ++reads_;
+    return regs_[r];
+}
+
+void
+RegisterFile::queueWrite(RegId r, Word value, FuId fu)
+{
+    checkIndex(r);
+    pending_.push_back({r, value, fu});
+}
+
+void
+RegisterFile::commit()
+{
+    if (pending_.empty())
+        return;
+    // Detect same-register conflicts between distinct FUs.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingWrite &x, const PendingWrite &y) {
+                         if (x.reg != y.reg)
+                             return x.reg < y.reg;
+                         return x.fu < y.fu;
+                     });
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+        const auto &prev = pending_[i - 1];
+        const auto &cur = pending_[i];
+        if (prev.reg == cur.reg && prev.fu != cur.fu &&
+            policy_ == ConflictPolicy::Fault) {
+            pending_.clear();
+            fatal("register write conflict: FU", prev.fu, " and FU",
+                  cur.fu, " both write r", cur.reg, " this cycle");
+        }
+    }
+    // LowestFuWins: later (higher-FU) writes to the same register are
+    // skipped; under Fault we only reach here conflict-free.
+    RegId last_reg = 0;
+    bool have_last = false;
+    for (const auto &w : pending_) {
+        if (have_last && w.reg == last_reg)
+            continue;
+        regs_[w.reg] = w.value;
+        ++writes_;
+        last_reg = w.reg;
+        have_last = true;
+    }
+    pending_.clear();
+}
+
+void
+RegisterFile::poke(RegId r, Word value)
+{
+    checkIndex(r);
+    regs_[r] = value;
+}
+
+} // namespace ximd

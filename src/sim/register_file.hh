@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The global multi-ported register file.
+ *
+ * XIMD-1 (section 2.2): 256 global registers; "the register file
+ * simultaneously supports two reads and one write per functional unit
+ * for a total of 16 reads and 8 writes per cycle". The prototype
+ * realizes this as the custom 24-port chip of section 4.4.
+ *
+ * Cycle discipline: reads during a cycle observe beginning-of-cycle
+ * values; writes are queued and committed at end of cycle. Two FUs
+ * writing the same register in one cycle is undefined behaviour in the
+ * architecture; the simulator detects it and, by default, faults.
+ */
+
+#ifndef XIMD_SIM_REGISTER_FILE_HH
+#define XIMD_SIM_REGISTER_FILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Policy for architecturally-undefined same-cycle write conflicts. */
+enum class ConflictPolicy : std::uint8_t {
+    Fault,      ///< Throw FatalError (default; surfaces program bugs).
+    LowestFuWins, ///< Deterministic arbitration: lowest FU id commits.
+};
+
+/** The global register file with end-of-cycle write commit. */
+class RegisterFile
+{
+  public:
+    explicit RegisterFile(RegId count = kNumRegisters,
+                          ConflictPolicy policy = ConflictPolicy::Fault);
+
+    RegId count() const { return count_; }
+
+    /** Read the beginning-of-cycle value of register @p r. */
+    Word read(RegId r) const;
+
+    /** Queue a write from @p fu; visible after commit(). */
+    void queueWrite(RegId r, Word value, FuId fu);
+
+    /** Apply all queued writes; detects same-register conflicts. */
+    void commit();
+
+    /** Discard queued writes (used on machine fault). */
+    void squash() { pending_.clear(); }
+
+    /** Test/debug: set a register immediately. */
+    void poke(RegId r, Word value);
+
+    /** Test/debug: alias of read(). */
+    Word peek(RegId r) const { return read(r); }
+
+    /** Total architectural reads observed. */
+    std::uint64_t readCount() const { return reads_; }
+
+    /** Total committed writes. */
+    std::uint64_t writeCount() const { return writes_; }
+
+  private:
+    struct PendingWrite
+    {
+        RegId reg;
+        Word value;
+        FuId fu;
+    };
+
+    void checkIndex(RegId r) const;
+
+    RegId count_;
+    ConflictPolicy policy_;
+    std::vector<Word> regs_;
+    std::vector<PendingWrite> pending_;
+    mutable std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace ximd
+
+#endif // XIMD_SIM_REGISTER_FILE_HH

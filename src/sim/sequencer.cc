@@ -1,0 +1,40 @@
+#include "sim/sequencer.hh"
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+NextPc
+evaluateControlOp(const ControlOp &op, const CondCodeFile &ccs,
+                  const SyncBus &ss)
+{
+    NextPc next;
+    bool cond;
+    switch (op.kind) {
+      case CondKind::Halt:
+        next.halt = true;
+        return next;
+      case CondKind::Always:
+        cond = true;
+        break;
+      case CondKind::CcTrue:
+        cond = ccs.read(op.index);
+        break;
+      case CondKind::SyncDone:
+        cond = ss.get(op.index) == SyncVal::Done;
+        break;
+      case CondKind::AllSync:
+        cond = ss.allDone(op.mask);
+        break;
+      case CondKind::AnySync:
+        cond = ss.anyDone(op.mask);
+        break;
+      default:
+        panic("evaluateControlOp: bad condition kind");
+    }
+    next.taken = cond;
+    next.pc = cond ? op.t1 : op.t2;
+    return next;
+}
+
+} // namespace ximd

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The per-FU instruction sequencer (Figure 8 of the paper).
+ *
+ * Each FU's next-state function delta_i selects between the parcel's
+ * two explicit branch targets by evaluating the condition-selection
+ * criteria against the distributed condition codes (registered,
+ * beginning-of-cycle values) and synchronization signals (combinational
+ * current-cycle values).
+ */
+
+#ifndef XIMD_SIM_SEQUENCER_HH
+#define XIMD_SIM_SEQUENCER_HH
+
+#include "isa/control_op.hh"
+#include "sim/cond_codes.hh"
+#include "sim/sync_bus.hh"
+
+namespace ximd {
+
+/** Result of evaluating a control operation. */
+struct NextPc
+{
+    bool halt = false;  ///< The FU stops after this cycle.
+    bool taken = false; ///< Condition evaluated TRUE (t1 selected).
+    InstAddr pc = 0;    ///< Next instruction address (when !halt).
+};
+
+/**
+ * Evaluate one control operation.
+ *
+ * @param op   the parcel's control fields.
+ * @param ccs  condition codes (beginning-of-cycle values).
+ * @param ss   sync signals (current-cycle values).
+ */
+NextPc evaluateControlOp(const ControlOp &op, const CondCodeFile &ccs,
+                         const SyncBus &ss);
+
+} // namespace ximd
+
+#endif // XIMD_SIM_SEQUENCER_HH

@@ -1,0 +1,85 @@
+#include "sim/sync_bus.hh"
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+SyncBus::SyncBus(FuId numFus)
+    : vals_(numFus, SyncVal::Done)
+{
+    if (numFus == 0 || numFus > kMaxFus)
+        fatal("sync bus size ", numFus, " outside supported range 1..",
+              kMaxFus);
+}
+
+void
+SyncBus::beginCycle()
+{
+    for (auto &v : vals_)
+        v = SyncVal::Done;
+}
+
+void
+SyncBus::checkIndex(FuId fu) const
+{
+    if (fu >= vals_.size())
+        fatal("sync signal ss", fu, " out of range (", vals_.size(),
+              " FUs)");
+}
+
+void
+SyncBus::set(FuId fu, SyncVal v)
+{
+    checkIndex(fu);
+    vals_[fu] = v;
+}
+
+SyncVal
+SyncBus::get(FuId fu) const
+{
+    checkIndex(fu);
+    return vals_[fu];
+}
+
+std::uint32_t
+SyncBus::effectiveMask(std::uint32_t mask) const
+{
+    const FuId n = numFus();
+    const std::uint32_t all =
+        n >= 32 ? ~0u : ((1u << n) - 1u);
+    return mask & all;
+}
+
+bool
+SyncBus::allDone(std::uint32_t mask) const
+{
+    const std::uint32_t m = effectiveMask(mask);
+    XIMD_ASSERT(m != 0, "barrier mask selects no existing FU");
+    for (FuId i = 0; i < numFus(); ++i)
+        if ((m & (1u << i)) && vals_[i] != SyncVal::Done)
+            return false;
+    return true;
+}
+
+bool
+SyncBus::anyDone(std::uint32_t mask) const
+{
+    const std::uint32_t m = effectiveMask(mask);
+    XIMD_ASSERT(m != 0, "any-sync mask selects no existing FU");
+    for (FuId i = 0; i < numFus(); ++i)
+        if ((m & (1u << i)) && vals_[i] == SyncVal::Done)
+            return true;
+    return false;
+}
+
+std::string
+SyncBus::formatted() const
+{
+    std::string s;
+    s.reserve(vals_.size());
+    for (SyncVal v : vals_)
+        s += v == SyncVal::Done ? 'D' : 'B';
+    return s;
+}
+
+} // namespace ximd

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The synchronization-signal distribution bus.
+ *
+ * Section 2.2 / Figure 8: every instruction parcel carries a two-valued
+ * synchronization field SSi (BUSY / DONE) that is "distributed to the
+ * other functional units for use in process synchronization". The SS
+ * value is an *instruction field*, not a register: the hardware wires
+ * it combinationally into every FU's branch-condition PAL, so a branch
+ * evaluated in cycle t sees the SS values emitted by the parcels
+ * executing in cycle t.
+ *
+ * Halted FUs have no executing parcel; their SS reads DONE so that
+ * whole-machine barriers cannot deadlock on dead units (programs that
+ * need finer control use masked barriers).
+ */
+
+#ifndef XIMD_SIM_SYNC_BUS_HH
+#define XIMD_SIM_SYNC_BUS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/control_op.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+/** Current-cycle SS values of every FU. */
+class SyncBus
+{
+  public:
+    explicit SyncBus(FuId numFus);
+
+    FuId numFus() const { return static_cast<FuId>(vals_.size()); }
+
+    /** Reset all signals to DONE at the start of a cycle. */
+    void beginCycle();
+
+    /** Drive FU @p fu's signal for the current cycle. */
+    void set(FuId fu, SyncVal v);
+
+    /** Current-cycle value of SS[fu]. */
+    SyncVal get(FuId fu) const;
+
+    /** True when every masked, existing FU signals DONE. */
+    bool allDone(std::uint32_t mask = ~0u) const;
+
+    /** True when at least one masked, existing FU signals DONE. */
+    bool anyDone(std::uint32_t mask = ~0u) const;
+
+    /** One char per FU: 'D' or 'B'. */
+    std::string formatted() const;
+
+  private:
+    void checkIndex(FuId fu) const;
+
+    /** Restrict @p mask to FUs that exist. */
+    std::uint32_t effectiveMask(std::uint32_t mask) const;
+
+    std::vector<SyncVal> vals_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_SIM_SYNC_BUS_HH

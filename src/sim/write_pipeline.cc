@@ -1,0 +1,73 @@
+#include "sim/write_pipeline.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+WritePipeline::WritePipeline(unsigned latency)
+    : latency_(latency)
+{
+    if (latency < 1 || latency > 16)
+        fatal("write pipeline latency ", latency,
+              " outside supported range 1..16");
+}
+
+bool
+WritePipeline::empty() const
+{
+    return regs_.empty() && ccs_.empty() && mems_.empty();
+}
+
+void
+WritePipeline::pushReg(Cycle now, RegId reg, Word value, FuId fu)
+{
+    regs_.push_back({due(now), reg, value, fu});
+}
+
+void
+WritePipeline::pushCc(Cycle now, FuId fu, bool value)
+{
+    ccs_.push_back({due(now), fu, value});
+}
+
+void
+WritePipeline::pushStore(Cycle now, Addr addr, Word value, FuId fu)
+{
+    mems_.push_back({due(now), addr, value, fu});
+}
+
+void
+WritePipeline::drainInto(Cycle now, RegisterFile &regs, Memory &mem,
+                         CondCodeFile &ccs)
+{
+    auto take = [&](auto &vec, auto &&apply) {
+        for (const auto &w : vec)
+            if (w.due == now)
+                apply(w);
+        vec.erase(std::remove_if(vec.begin(), vec.end(),
+                                 [&](const auto &w) {
+                                     return w.due <= now;
+                                 }),
+                  vec.end());
+    };
+    take(regs_, [&](const RegWrite &w) {
+        regs.queueWrite(w.reg, w.value, w.fu);
+    });
+    take(ccs_,
+         [&](const CcWrite &w) { ccs.queueWrite(w.fu, w.value); });
+    take(mems_, [&](const MemWrite &w) {
+        mem.queueStore(w.addr, w.value, w.fu);
+    });
+}
+
+void
+WritePipeline::squash()
+{
+    regs_.clear();
+    ccs_.clear();
+    mems_.clear();
+}
+
+} // namespace ximd

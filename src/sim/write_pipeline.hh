@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Delayed write-back pipeline for the prototype's 3-stage datapath.
+ *
+ * Section 4.3: the hardware prototype differs from the research model
+ * by a "3-stage Data Path Pipeline (Operand Fetch - Execute - Write
+ * Back)" with a non-pipelined control path. We model this with a
+ * configurable result latency L: an operation issued in cycle t makes
+ * its register / condition-code / memory write visible at the
+ * beginning of cycle t + L (L = 1 is the research model's end-of-
+ * cycle commit). The control path stays single-cycle: branches still
+ * take effect the next cycle, reading whatever CC values have been
+ * written back so far — exactly why latency-1 code is miscompiled for
+ * the prototype and the compiler must be told (CodegenOptions::
+ * rawLatency).
+ *
+ * Memory reads are modeled at issue time (idealized memory); only the
+ * write-back side is delayed. Same-cycle write-back races fault
+ * through the usual RegisterFile/Memory conflict detection.
+ */
+
+#ifndef XIMD_SIM_WRITE_PIPELINE_HH
+#define XIMD_SIM_WRITE_PIPELINE_HH
+
+#include <vector>
+
+#include "sim/cond_codes.hh"
+#include "sim/memory.hh"
+#include "sim/register_file.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+/** In-flight write-backs, bucketed by due cycle. */
+class WritePipeline
+{
+  public:
+    /** @param latency  cycles from issue to visibility (>= 1). */
+    explicit WritePipeline(unsigned latency);
+
+    unsigned latency() const { return latency_; }
+
+    /** True when nothing is in flight. */
+    bool empty() const;
+
+    /// @name Issue-time capture (during cycle @p now).
+    /// @{
+    void pushReg(Cycle now, RegId reg, Word value, FuId fu);
+    void pushCc(Cycle now, FuId fu, bool value);
+    void pushStore(Cycle now, Addr addr, Word value, FuId fu);
+    /// @}
+
+    /**
+     * Move every write due at the end of cycle @p now into the
+     * architectural structures (which then commit them as usual).
+     */
+    void drainInto(Cycle now, RegisterFile &regs, Memory &mem,
+                   CondCodeFile &ccs);
+
+    /** Drop all in-flight writes (machine fault). */
+    void squash();
+
+  private:
+    struct RegWrite
+    {
+        Cycle due;
+        RegId reg;
+        Word value;
+        FuId fu;
+    };
+    struct CcWrite
+    {
+        Cycle due;
+        FuId fu;
+        bool value;
+    };
+    struct MemWrite
+    {
+        Cycle due;
+        Addr addr;
+        Word value;
+        FuId fu;
+    };
+
+    Cycle due(Cycle now) const { return now + latency_ - 1; }
+
+    unsigned latency_;
+    std::vector<RegWrite> regs_;
+    std::vector<CcWrite> ccs_;
+    std::vector<MemWrite> mems_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_SIM_WRITE_PIPELINE_HH

@@ -1,0 +1,62 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace ximd {
+
+namespace {
+std::atomic<bool> quietMode{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+namespace {
+
+std::string
+decorate(const char *tag, const char *file, int line,
+         const std::string &msg)
+{
+    std::ostringstream os;
+    os << tag << ": " << msg;
+    if (file)
+        os << " @ " << file << ":" << line;
+    return os.str();
+}
+
+} // namespace
+
+void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(decorate("fatal", file, line, msg));
+}
+
+void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(decorate("panic", file, line, msg));
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    if (!quietMode.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (!quietMode.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace ximd

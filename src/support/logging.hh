@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, gem5-style.
+ *
+ * Two error channels are distinguished (following the gem5 convention):
+ *
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does — a simulator bug. Throws PanicError.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (malformed program, out-of-range address, bad
+ *              configuration). Throws FatalError.
+ *
+ * Both throw exceptions rather than aborting so that library users (and
+ * the test suite) can observe and recover from failures.
+ *
+ * warn()/inform() print advisory messages to stderr and never stop the
+ * simulation.
+ */
+
+#ifndef XIMD_SUPPORT_LOGGING_HH
+#define XIMD_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ximd {
+
+/** Thrown on user-caused errors (bad program, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Thrown on internal invariant violations (simulator bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Stream a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void throwFatal(const char *file, int line,
+                             const std::string &msg);
+[[noreturn]] void throwPanic(const char *file, int line,
+                             const std::string &msg);
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+} // namespace detail
+
+/** Report a user error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::throwFatal(nullptr, 0,
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a simulator bug and throw PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::throwPanic(nullptr, 0,
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational message to stderr; execution continues. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Suppress or re-enable warn()/inform() output globally.
+ * Used by benchmarks that run millions of cycles.
+ */
+void setQuiet(bool quiet);
+
+/**
+ * Internal invariant check; throws PanicError when @p cond is false.
+ * Unlike assert(), stays active in release builds: simulator results
+ * are meaningless if invariants are broken.
+ */
+#define XIMD_ASSERT(cond, ...)                                           \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::ximd::detail::throwPanic(__FILE__, __LINE__,               \
+                ::ximd::detail::concat("assertion failed: " #cond " ",   \
+                                       ##__VA_ARGS__));                  \
+        }                                                                \
+    } while (0)
+
+} // namespace ximd
+
+#endif // XIMD_SUPPORT_LOGGING_HH

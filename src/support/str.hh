@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small string utilities used by the assembler, disassembler and
+ * benchmark table printers. No locale dependence, ASCII only.
+ */
+
+#ifndef XIMD_SUPPORT_STR_HH
+#define XIMD_SUPPORT_STR_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ximd {
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split @p s on @p sep (single char); keeps empty fields. */
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/** Split @p s on a multi-character separator; keeps empty fields. */
+std::vector<std::string_view> splitOn(std::string_view s,
+                                      std::string_view sep);
+
+/** ASCII lower-case copy. */
+std::string toLower(std::string_view s);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Render @p v as a two-digit-minimum lowercase hex string ("0a"). */
+std::string hex2(unsigned v);
+
+/** Left-pad @p s with spaces to @p width (no-op when already wider). */
+std::string padLeft(std::string_view s, std::size_t width);
+
+/** Right-pad @p s with spaces to @p width (no-op when already wider). */
+std::string padRight(std::string_view s, std::size_t width);
+
+/** Render a double with @p digits fractional digits ("3.14"). */
+std::string fixed(double v, int digits);
+
+} // namespace ximd
+
+#endif // XIMD_SUPPORT_STR_HH

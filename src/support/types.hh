@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every XIMD subsystem.
+ *
+ * The XIMD-1 research model (Wolfe & Shen, ASPLOS 1991, section 2.2)
+ * operates on two 32-bit data types: 32-bit integer and 32-bit float.
+ * Registers and memory words hold raw 32-bit patterns; each operation
+ * interprets the pattern according to its opcode.
+ */
+
+#ifndef XIMD_SUPPORT_TYPES_HH
+#define XIMD_SUPPORT_TYPES_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace ximd {
+
+/** Raw 32-bit register/memory word (bit pattern, type-agnostic). */
+using Word = std::uint32_t;
+
+/** Signed view of a word, used by the integer datapath. */
+using SWord = std::int32_t;
+
+/** Word address in the idealized shared memory (word granularity). */
+using Addr = std::uint32_t;
+
+/** Instruction-memory address (row index into the program). */
+using InstAddr = std::uint32_t;
+
+/** Simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** Functional-unit index, 0-based. */
+using FuId = unsigned;
+
+/** Global register index; XIMD-1 has 256 global registers. */
+using RegId = std::uint16_t;
+
+/** Number of global registers in the XIMD-1 register file. */
+inline constexpr RegId kNumRegisters = 256;
+
+/** Hard upper bound on functional units supported by this simulator. */
+inline constexpr FuId kMaxFus = 32;
+
+/** Default XIMD-1 configuration: 8 homogeneous universal FUs. */
+inline constexpr FuId kDefaultFus = 8;
+
+/** Reinterpret a word's bit pattern as a float (the `f*` datapath view). */
+inline float
+wordToFloat(Word w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+/** Reinterpret a float's bit pattern as a raw word. */
+inline Word
+floatToWord(float f)
+{
+    Word w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+/** Reinterpret a word as a signed 32-bit integer. */
+inline SWord
+wordToInt(Word w)
+{
+    SWord s;
+    std::memcpy(&s, &w, sizeof(s));
+    return s;
+}
+
+/** Reinterpret a signed 32-bit integer as a raw word. */
+inline Word
+intToWord(SWord s)
+{
+    Word w;
+    std::memcpy(&w, &s, sizeof(w));
+    return w;
+}
+
+} // namespace ximd
+
+#endif // XIMD_SUPPORT_TYPES_HH

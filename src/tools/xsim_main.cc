@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Command-line front end for the simulators — compiled twice, as
+ * `xsim` (the XIMD-1 machine) and `vsim` (the VLIW machine), matching
+ * the tools named in section 4.1 of the paper.
+ *
+ * Usage:
+ *   xsim [options] program.ximd
+ *     --trace          print the Figure-10-style address trace
+ *     --stats          print run statistics
+ *     --list           print the assembled program and exit
+ *     --max-cycles N   cycle budget (default 100000000)
+ *     --reg NAME       print a named register's final value
+ *                      (repeatable)
+ *     --mem ADDR[:N]   print N memory words from ADDR (default 1)
+ *     --registered-ss  ablation: register the sync-signal bus
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "core/vliw_machine.hh"
+#include "core/ximd_machine.hh"
+#include "isa/disasm.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace ximd;
+
+#if XIMD_TOOL_IS_XSIM
+constexpr const char *kTool = "xsim";
+#else
+constexpr const char *kTool = "vsim";
+#endif
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: " << kTool << " [options] program.ximd\n"
+        << "  --trace          print the address trace\n"
+        << "  --stats          print run statistics\n"
+        << "  --list           print the assembled program and exit\n"
+        << "  --max-cycles N   cycle budget\n"
+        << "  --reg NAME       print a named register (repeatable)\n"
+        << "  --mem ADDR[:N]   print N memory words from ADDR\n"
+        << "  --registered-ss  ablation: registered sync signals\n";
+    std::exit(2);
+}
+
+struct Options
+{
+    std::string file;
+    bool trace = false;
+    bool stats = false;
+    bool list = false;
+    bool registeredSync = false;
+    Cycle maxCycles = 0;
+    std::vector<std::string> regs;
+    std::vector<std::pair<Addr, unsigned>> mems;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--trace") {
+            o.trace = true;
+        } else if (arg == "--stats") {
+            o.stats = true;
+        } else if (arg == "--list") {
+            o.list = true;
+        } else if (arg == "--registered-ss") {
+            o.registeredSync = true;
+        } else if (arg == "--max-cycles") {
+            o.maxCycles = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--reg") {
+            o.regs.push_back(next());
+        } else if (arg == "--mem") {
+            const std::string spec = next();
+            const auto colon = spec.find(':');
+            const Addr addr = static_cast<Addr>(
+                std::strtoul(spec.c_str(), nullptr, 0));
+            unsigned count = 1;
+            if (colon != std::string::npos)
+                count = static_cast<unsigned>(std::strtoul(
+                    spec.c_str() + colon + 1, nullptr, 0));
+            o.mems.emplace_back(addr, count);
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else if (o.file.empty()) {
+            o.file = arg;
+        } else {
+            usage();
+        }
+    }
+    if (o.file.empty())
+        usage();
+    return o;
+}
+
+template <typename Machine>
+int
+runMachine(Program prog, const Options &o)
+{
+    MachineConfig cfg;
+    cfg.recordTrace = o.trace;
+    cfg.registeredSync = o.registeredSync;
+
+    Machine machine(std::move(prog), cfg);
+    const RunResult result = machine.run(o.maxCycles);
+
+    switch (result.reason) {
+      case StopReason::Halted:
+        std::cout << kTool << ": halted after " << result.cycles
+                  << " cycles\n";
+        break;
+      case StopReason::MaxCycles:
+        std::cout << kTool << ": cycle budget exhausted at "
+                  << result.cycles << " cycles\n";
+        break;
+      case StopReason::Fault:
+        std::cout << kTool << ": FAULT at cycle " << result.cycles
+                  << ": " << result.faultMessage << "\n";
+        break;
+    }
+
+    for (const std::string &name : o.regs)
+        std::cout << name << " = "
+                  << wordToInt(machine.readRegByName(name)) << " (0x"
+                  << std::hex << machine.readRegByName(name)
+                  << std::dec << ")\n";
+    for (const auto &[addr, count] : o.mems)
+        for (unsigned k = 0; k < count; ++k)
+            std::cout << "mem[" << addr + k
+                      << "] = " << machine.peekMem(addr + k) << "\n";
+
+    if (o.stats)
+        std::cout << "\n" << machine.stats().formatted();
+    if (o.trace)
+        std::cout << "\n" << machine.trace().formatted();
+
+    return result.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+    try {
+        Program prog = assembleFile(o.file);
+        if (o.list) {
+            std::cout << formatProgram(prog);
+            return 0;
+        }
+#if XIMD_TOOL_IS_XSIM
+        return runMachine<XimdMachine>(std::move(prog), o);
+#else
+        return runMachine<VliwMachine>(std::move(prog), o);
+#endif
+    } catch (const FatalError &e) {
+        std::cerr << kTool << ": " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Parameterized BITCOUNT workloads (section 3.3 / Example 3).
+ *
+ * The XIMD version runs four data-dependent inner loops concurrently
+ * (one per FU) and joins at an explicit ALL-sync barrier; per group of
+ * four elements it costs roughly the *longest* element's loop. Two
+ * VLIW baselines are provided:
+ *
+ *  - serial: the natural single-stream code, one element at a time;
+ *    costs roughly the *sum* of the loops.
+ *  - lockstep: four elements advanced bit-by-bit branchlessly
+ *    (b += d & 1), iterating until OR(d0..d3) == 0; costs the longest
+ *    element's bit-length, but each lockstep iteration needs an extra
+ *    OR-reduction and so is slower than an XIMD iteration.
+ *
+ * All variants compute the true cumulative sums B[i] = popcount(D[1])
+ * + ... + popcount(D[i]) with B[0] = 0 (the paper's printed listing
+ * resets the accumulator between groups; bitcount1Paper() keeps that
+ * behaviour, these generators fix it). Program symbols "D0" and "B0"
+ * give the array bases; D[k] is at D0+k and B[k] at B0+k.
+ */
+
+#ifndef XIMD_WORKLOADS_BITCOUNT_HH
+#define XIMD_WORKLOADS_BITCOUNT_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ximd::workloads {
+
+/** XIMD barrier-synchronized bitcount. Requires n % 4 == 0, n >= 4. */
+Program bitcountXimd(const std::vector<Word> &data);
+
+/** VLIW single-stream, one element at a time. Any n >= 1. */
+Program bitcountVliwSerial(const std::vector<Word> &data);
+
+/** VLIW lockstep over groups of four. Requires n % 4 == 0, n >= 4. */
+Program bitcountVliwLockstep(const std::vector<Word> &data);
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_BITCOUNT_HH

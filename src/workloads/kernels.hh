@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The paper's program listings, transcribed verbatim.
+ *
+ * Example 1  — TPROC: scalar code scheduled by a Percolation-Scheduling
+ *              compiler, executed VLIW-style (section 3.1).
+ * Example 2  — MINMAX: fork/join with implicit barrier (equal-length
+ *              paths), section 3.2; its sample execution is the
+ *              Figure 10 address trace.
+ * Example 3  — BITCOUNT1: explicit barrier synchronization with
+ *              SS signals (section 3.3, Figure 11).
+ *
+ * The listings keep the paper's 4-FU layout, instruction placement and
+ * instruction-memory addresses (MINMAX includes the paper's two unused
+ * addresses 06/07 so the Figure 10 trace reproduces address-for-
+ * address).
+ */
+
+#ifndef XIMD_WORKLOADS_KERNELS_HH
+#define XIMD_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ximd::workloads {
+
+/**
+ * Example 1: the TPROC schedule on 4 FUs.
+ *
+ * Inputs are registers "a", "b", "c", "d" (set via Program::addRegInit
+ * or poke); the result lands in register "f".
+ */
+Program tprocPaper(SWord a, SWord b, SWord c, SWord d);
+
+/**
+ * Example 2: MINMAX over the Figure 10 sample data IZ = (5,3,4,7).
+ *
+ * Results land in registers "min" and "max".
+ *
+ * @param terminate  when true, the final address holds a halt row so
+ *                   run() finishes; when false it holds the paper's
+ *                   implicit "Continue." (a self-loop), which makes the
+ *                   Figure 10 trace reproduce exactly — run for 14
+ *                   cycles and stop.
+ */
+Program minmaxPaper(bool terminate = true);
+
+/** MINMAX (Example 2 structure) over arbitrary data; n = data size. */
+Program minmaxPaperData(const std::vector<SWord> &data,
+                        bool terminate = true);
+
+/**
+ * Example 3: BITCOUNT1 with explicit barrier synchronization.
+ *
+ * Counts ones in D[1..n] four elements at a time (one inner loop per
+ * FU), then joins at an ALL-sync barrier and stores running sums into
+ * B[]. Semantics are as printed in the paper: the accumulator b resets
+ * after each group of four, so B[k+j] holds the sum over the group
+ * containing k (see referenceBitcount1Paper()). The paper's unshown
+ * "clean up code" is a halt row; pick n with n > 8 and n % 4 == 0 so
+ * the main loop covers every element.
+ *
+ * Program symbols: "D0" (= &D[0]) and "B0" (= &B[0]).
+ */
+Program bitcount1Paper(const std::vector<Word> &data);
+
+/**
+ * Livermore Loop 12 (first-difference), straightforward schedule:
+ * X(k) = Y(k+1) - Y(k), k = 1..n. Executes VLIW-style on @p width FUs
+ * (non-pipelined: one iteration in flight). Y is float data; symbols
+ * "X0" and "Y0" give the array bases; result X(k) at X0+k.
+ */
+Program loop12Naive(const std::vector<float> &y, FuId width = 4);
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_KERNELS_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Software-pipelined Livermore Loop 12 (section 3.1).
+ *
+ * "Software Pipelining can be used effectively to schedule multiple
+ * iterations of this loop in parallel."  loop12Pipelined() is a
+ * modulo-scheduled kernel with initiation interval II = 1 on 8 FUs:
+ * every cycle starts one iteration (two loads + address computation),
+ * finishes the previous one's subtract, and stores the one before
+ * that. Register sets A/B alternate between odd/even iterations
+ * (modulo variable expansion). Total cost is n + 2 cycles + halt,
+ * against 3n + 2 for the naive schedule (kernels.hh loop12Naive).
+ *
+ * The program runs identically on the XIMD and VLIW machines (it is a
+ * single instruction stream); Y is padded with two scratch words so
+ * the drained pipeline's speculative loads stay in range.
+ */
+
+#ifndef XIMD_WORKLOADS_LOOP12_HH
+#define XIMD_WORKLOADS_LOOP12_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ximd::workloads {
+
+/**
+ * II=1 software-pipelined Loop 12 on 8 FUs. y = Y(1..m); computes
+ * X(k) = Y(k+1) - Y(k) for k = 1..m-1. Requires m >= 5 (n >= 4).
+ * Symbols "Y0"/"X0" are the array bases (element k at base + k).
+ */
+Program loop12Pipelined(const std::vector<float> &y);
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_LOOP12_HH

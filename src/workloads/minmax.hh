@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parameterized MINMAX and generalized parallel-search workloads.
+ *
+ * Section 3.2's point: "Each iteration of this loop contains two
+ * critical conditional branches which can be performed in parallel. A
+ * VLIW processor can generally only perform one control operation at a
+ * time. XIMD can perform both control operations in parallel."
+ *
+ * minmaxXimd() is the paper's Example 2 structure over arbitrary data
+ * (3 cycles per element); minmaxVliw() is the best equal-work VLIW
+ * schedule we found, with the two data-dependent updates serialized
+ * (5 cycles per element).
+ *
+ * multiSearch*() generalizes the pattern to S simultaneous data-
+ * dependent counters (count of elements divisible by the s-th prime):
+ * the XIMD iteration stays 6 cycles for any S, while the VLIW
+ * iteration needs 2S+4 cycles — the crossover series for bench EX2.
+ */
+
+#ifndef XIMD_WORKLOADS_MINMAX_HH
+#define XIMD_WORKLOADS_MINMAX_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ximd::workloads {
+
+/** XIMD MINMAX over @p data (terminating Example-2 structure).
+ *  Results in registers "min" / "max". Requires data.size() >= 1. */
+Program minmaxXimd(const std::vector<SWord> &data);
+
+/** VLIW MINMAX over @p data; same registers; one branch per cycle. */
+Program minmaxVliw(const std::vector<SWord> &data);
+
+/** Highest supported number of concurrent searches. */
+inline constexpr unsigned kMaxSearches = 6;
+
+/** Divisors used by search s = 0..5. */
+unsigned searchDivisor(unsigned s);
+
+/**
+ * XIMD multi-search: count elements divisible by searchDivisor(s) for
+ * s = 0..searches-1. Uses searches+2 FUs. Counter registers are named
+ * "c0".."c5". @p data must be non-negative. Requires 1 <= searches <=
+ * kMaxSearches and data.size() >= 1.
+ */
+Program multiSearchXimd(unsigned searches,
+                        const std::vector<SWord> &data);
+
+/** VLIW multi-search: same computation, branches serialized. */
+Program multiSearchVliw(unsigned searches,
+                        const std::vector<SWord> &data);
+
+/** Reference counts for the multi-search workload. */
+std::vector<Word> referenceMultiSearch(unsigned searches,
+                                       const std::vector<SWord> &data);
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_MINMAX_HH

@@ -1,0 +1,290 @@
+#include "workloads/nonblocking.hh"
+
+#include <string>
+
+#include "support/logging.hh"
+
+namespace ximd::workloads {
+
+namespace {
+
+constexpr FuId kWidth = 8;
+
+// Memory map (word addresses).
+constexpr Addr kInA = 16;
+constexpr Addr kOutA = 17;
+constexpr Addr kInB = 18;
+constexpr Addr kOutB = 19;
+constexpr Addr kFlags = 24; // a,b,c,x,y,z flags (memory-flag variant)
+
+// Shared value registers and per-FU scratch registers.
+constexpr RegId kValueReg[6] = {10, 11, 12, 13, 14, 15}; // a b c x y z
+constexpr RegId kScratchBase = 20;                       // t0..t7
+
+const char *const kValueName[6] = {"ra", "rb", "rc", "rx", "ry", "rz"};
+
+/** Column-oriented builder over a pre-sized grid of halt parcels. */
+class Grid
+{
+  public:
+    Grid(InstAddr rows)
+        : prog_(kWidth)
+    {
+        Parcel filler(ControlOp::halt(), DataOp::nop());
+        for (InstAddr a = 0; a < rows; ++a)
+            prog_.addUniformRow(filler);
+    }
+
+    void
+    set(InstAddr addr, FuId fu, ControlOp ctrl,
+        DataOp data = DataOp::nop(), SyncVal sync = SyncVal::Busy)
+    {
+        prog_.parcel(addr, fu) = Parcel(ctrl, data, sync);
+    }
+
+    Program
+    finish()
+    {
+        prog_.setSymbol("INA", kInA);
+        prog_.setSymbol("OUTA", kOutA);
+        prog_.setSymbol("INB", kInB);
+        prog_.setSymbol("OUTB", kOutB);
+        prog_.setSymbol("FLAGS", kFlags);
+        for (unsigned v = 0; v < 6; ++v)
+            prog_.nameRegister(kValueName[v], kValueReg[v]);
+        prog_.validate();
+        return std::move(prog_);
+    }
+
+  private:
+    Program prog_;
+};
+
+/** Three-row polling loop: consume one non-zero word from @p port into
+ *  @p dst, using the FU's own condition code. Rows base..base+2;
+ *  continues at base+3. */
+void
+emitPortPoll(Grid &g, FuId fu, InstAddr base, Addr port, RegId dst)
+{
+    g.set(base, fu, ControlOp::jump(base + 1),
+          DataOp::makeLoad(Operand::imm(port), Operand::immInt(0), dst));
+    g.set(base + 1, fu, ControlOp::jump(base + 2),
+          DataOp::makeCompare(Opcode::Eq, Operand::reg(dst),
+                              Operand::immInt(0)));
+    g.set(base + 2, fu, ControlOp::onCc(fu, base, base + 3),
+          DataOp::nop());
+}
+
+/** One-row wait: spin at @p addr until SS[src] == DONE, then fall to
+ *  addr+1. */
+void
+emitSyncWait(Grid &g, FuId fu, InstAddr addr, FuId src)
+{
+    g.set(addr, fu, ControlOp::onSync(src, addr + 1, addr),
+          DataOp::nop());
+}
+
+/** Park: spin at @p addr holding DONE until every FU signals DONE,
+ *  then branch to @p fin. */
+void
+emitPark(Grid &g, FuId fu, InstAddr addr, InstAddr fin)
+{
+    g.set(addr, fu, ControlOp::onAllSync(fin, addr), DataOp::nop(),
+          SyncVal::Done);
+}
+
+/** Three-row memory-flag wait: poll M(flag) until non-zero. */
+void
+emitFlagPoll(Grid &g, FuId fu, InstAddr base, Addr flag)
+{
+    const RegId scratch = static_cast<RegId>(kScratchBase + fu);
+    g.set(base, fu, ControlOp::jump(base + 1),
+          DataOp::makeLoad(Operand::imm(flag), Operand::immInt(0),
+                           scratch));
+    g.set(base + 1, fu, ControlOp::jump(base + 2),
+          DataOp::makeCompare(Opcode::Eq, Operand::reg(scratch),
+                              Operand::immInt(0)));
+    g.set(base + 2, fu, ControlOp::onCc(fu, base, base + 3),
+          DataOp::nop());
+}
+
+DataOp
+storeOp(RegId value, Addr addr)
+{
+    return DataOp::makeStore(Operand::reg(value), Operand::imm(addr));
+}
+
+} // namespace
+
+Program
+nonblockingXimd()
+{
+    // Column layouts (rows 0..6; FIN at 7):
+    //   producers (FU0, FU4):        poll(0-2), park(3)
+    //   chained producers (1,2,5,6): wait(0), poll(1-3), park(4)
+    //   writers (FU3, FU7):          wait/store x3 (0-5), park(6)
+    const InstAddr fin = 7;
+    Grid g(fin + 1);
+
+    // First producers: a on FU0 from INA, x on FU4 from INB.
+    emitPortPoll(g, 0, 0, kInA, kValueReg[0]);
+    emitPark(g, 0, 3, fin);
+    emitPortPoll(g, 4, 0, kInB, kValueReg[3]);
+    emitPark(g, 4, 3, fin);
+
+    // Chained producers: b after a, c after b; y after x, z after y.
+    const struct
+    {
+        FuId fu;
+        FuId after;
+        Addr port;
+        unsigned value;
+    } chains[] = {
+        {1, 0, kInA, 1}, {2, 1, kInA, 2}, // b, c
+        {5, 4, kInB, 4}, {6, 5, kInB, 5}, // y, z
+    };
+    for (const auto &c : chains) {
+        emitSyncWait(g, c.fu, 0, c.after);
+        emitPortPoll(g, c.fu, 1, c.port, kValueReg[c.value]);
+        emitPark(g, c.fu, 4, fin);
+    }
+
+    // Writers: FU3 emits x,y,z to OUTA; FU7 emits a,b,c to OUTB.
+    const struct
+    {
+        FuId fu;
+        Addr port;
+        unsigned firstValue; // index into kValueReg
+        FuId firstSignal;    // SS publishing that value
+    } writers[] = {
+        {3, kOutA, 3, 4}, // x,y,z published on SS4,SS5,SS6
+        {7, kOutB, 0, 0}, // a,b,c published on SS0,SS1,SS2
+    };
+    for (const auto &w : writers) {
+        for (unsigned i = 0; i < kNonblockingValues; ++i) {
+            const InstAddr waitRow = 2 * i;
+            emitSyncWait(g, w.fu, waitRow, w.firstSignal + i);
+            g.set(waitRow + 1, w.fu, ControlOp::jump(waitRow + 2),
+                  storeOp(kValueReg[w.firstValue + i], w.port));
+        }
+        emitPark(g, w.fu, 6, fin);
+    }
+
+    return g.finish();
+}
+
+Program
+lockstepBarrier()
+{
+    // Three stages of 5 rows each (poll 3, barrier, write), then FIN.
+    constexpr InstAddr stageRows = 5;
+    const InstAddr fin = kNonblockingValues * stageRows;
+    Grid g(fin + 1);
+
+    for (unsigned s = 0; s < kNonblockingValues; ++s) {
+        const InstAddr base = s * stageRows;
+        const InstAddr barrier = base + 3;
+        const InstAddr write = base + 4;
+        const InstAddr next = write + 1; // next stage base, or FIN
+
+        for (FuId fu = 0; fu < kWidth; ++fu) {
+            if (fu == s) {
+                emitPortPoll(g, fu, base, kInA, kValueReg[s]);
+            } else if (fu == 4 + s) {
+                emitPortPoll(g, fu, base, kInB, kValueReg[3 + s]);
+            } else {
+                g.set(base, fu, ControlOp::jump(barrier));
+            }
+            g.set(barrier, fu, ControlOp::onAllSync(write, barrier),
+                  DataOp::nop(), SyncVal::Done);
+            DataOp wr = DataOp::nop();
+            if (fu == 3)
+                wr = storeOp(kValueReg[3 + s], kOutA);
+            else if (fu == 7)
+                wr = storeOp(kValueReg[s], kOutB);
+            g.set(write, fu,
+                  next == fin ? ControlOp::halt()
+                              : ControlOp::jump(next),
+                  wr);
+        }
+    }
+    return g.finish();
+}
+
+Program
+memoryFlagXimd()
+{
+    // Same dataflow as nonblockingXimd(), but availability travels
+    // through memory flags. Producers add a flag store; consumers poll
+    // flags with a 3-row loop. Final join stays an ALL-sync barrier so
+    // only the per-value handoff mechanism differs.
+    //
+    // Column layouts:
+    //   FU0/FU4:         poll(0-2), flag store(3), park(4)
+    //   FU1/2/5/6:       flag wait(0-2), poll(3-5), flag store(6),
+    //                    park(7)
+    //   FU3/FU7:         3 x [flag wait(3 rows) + store(1 row)] =
+    //                    rows 0-11, park(12)
+    const InstAddr fin = 13;
+    Grid g(fin + 1);
+
+    auto flagAddr = [](unsigned value) {
+        return static_cast<Addr>(kFlags + value);
+    };
+    auto storeFlag = [&](unsigned value) {
+        return DataOp::makeStore(Operand::immInt(1),
+                                 Operand::imm(flagAddr(value)));
+    };
+
+    // First producers.
+    const struct
+    {
+        FuId fu;
+        Addr port;
+        unsigned value;
+    } firsts[] = {{0, kInA, 0}, {4, kInB, 3}};
+    for (const auto &f : firsts) {
+        emitPortPoll(g, f.fu, 0, f.port, kValueReg[f.value]);
+        g.set(3, f.fu, ControlOp::jump(4), storeFlag(f.value));
+        emitPark(g, f.fu, 4, fin);
+    }
+
+    // Chained producers wait on the predecessor's flag.
+    const struct
+    {
+        FuId fu;
+        unsigned afterValue;
+        Addr port;
+        unsigned value;
+    } chains[] = {
+        {1, 0, kInA, 1}, {2, 1, kInA, 2},
+        {5, 3, kInB, 4}, {6, 4, kInB, 5},
+    };
+    for (const auto &c : chains) {
+        emitFlagPoll(g, c.fu, 0, flagAddr(c.afterValue));
+        emitPortPoll(g, c.fu, 3, c.port, kValueReg[c.value]);
+        g.set(6, c.fu, ControlOp::jump(7), storeFlag(c.value));
+        emitPark(g, c.fu, 7, fin);
+    }
+
+    // Writers poll each value's flag, then store it out.
+    const struct
+    {
+        FuId fu;
+        Addr port;
+        unsigned firstValue;
+    } writers[] = {{3, kOutA, 3}, {7, kOutB, 0}};
+    for (const auto &w : writers) {
+        for (unsigned i = 0; i < kNonblockingValues; ++i) {
+            const InstAddr base = 4 * i;
+            emitFlagPoll(g, w.fu, base, flagAddr(w.firstValue + i));
+            g.set(base + 3, w.fu, ControlOp::jump(base + 4),
+                  storeOp(kValueReg[w.firstValue + i], w.port));
+        }
+        emitPark(g, w.fu, 12, fin);
+    }
+
+    return g.finish();
+}
+
+} // namespace ximd::workloads

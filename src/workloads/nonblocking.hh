@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Figure 12 workload: two concurrent processes with multiple
+ * non-blocking synchronizations (section 3.4).
+ *
+ * Process 1 (SSET {0,1,2,3}) reads values a, b, c — in order — from
+ * input port INA, publishing each one's availability by holding its
+ * FU's sync signal at DONE (a on SS0, b on SS1, c on SS2). Process 2
+ * (SSET {4,5,6,7}) mirrors this with x, y, z from INB (SS4..SS6).
+ * FU3 writes x, y, z to output port OUTA as they become available;
+ * FU7 writes a, b, c to OUTB. A standard all-FU barrier ends the
+ * program, "to allow later code to redefine the meaning of these
+ * signals".
+ *
+ * Three synchronization styles are provided so the Figure 12 claim —
+ * non-blocking SS bits beat both lock-step barriers and memory flags —
+ * can be measured:
+ *
+ *  - nonblockingXimd():    the paper's scheme (1-cycle SS tests).
+ *  - lockstepBarrier():    a full barrier after every value pair.
+ *  - memoryFlagXimd():     same dataflow, but availability signalled
+ *                          through memory flags polled with a
+ *                          3-cycle load/compare/branch loop.
+ *
+ * Port window addresses are exported as program symbols "INA", "OUTA",
+ * "INB", "OUTB" (attach a ScriptedInputPort / OutputPort at each).
+ * Input values must be non-zero (zero means "not ready").
+ */
+
+#ifndef XIMD_WORKLOADS_NONBLOCKING_HH
+#define XIMD_WORKLOADS_NONBLOCKING_HH
+
+#include "isa/program.hh"
+
+namespace ximd::workloads {
+
+/** Number of values each process transfers (a,b,c / x,y,z). */
+inline constexpr unsigned kNonblockingValues = 3;
+
+/** The paper's non-blocking SS-bit synchronization (8 FUs). */
+Program nonblockingXimd();
+
+/** Baseline: full-machine barrier after every value pair. */
+Program lockstepBarrier();
+
+/** Baseline: availability signalled through polled memory flags. */
+Program memoryFlagXimd();
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_NONBLOCKING_HH

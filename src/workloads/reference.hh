@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-C++ reference models for every workload. Tests and benches
+ * validate simulator results against these.
+ */
+
+#ifndef XIMD_WORKLOADS_REFERENCE_HH
+#define XIMD_WORKLOADS_REFERENCE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ximd::workloads {
+
+/** TPROC (Example 1) result for the given inputs. */
+SWord referenceTproc(SWord a, SWord b, SWord c, SWord d);
+
+/** (min, max) of @p data; requires non-empty input. */
+std::pair<SWord, SWord> referenceMinmax(const std::vector<SWord> &data);
+
+/** Number of one bits in @p w. */
+unsigned referencePopcount(Word w);
+
+/**
+ * BITCOUNT1 (Example 3) B[] contents, as-printed semantics:
+ * B[0] = 0; for each group of four elements starting at k (1-based),
+ * B[k+j] = sum of popcounts of D[k..k+j] within the group (the
+ * accumulator resets between groups). data = D[1..n]; returns B[0..n].
+ */
+std::vector<Word> referenceBitcount1Paper(const std::vector<Word> &data);
+
+/**
+ * True cumulative bitcount: B[0] = 0, B[i] = popcount(D[1]) + ... +
+ * popcount(D[i]). Used by the parameterized generators.
+ */
+std::vector<Word> referenceBitcountCumulative(
+    const std::vector<Word> &data);
+
+/** Livermore Loop 12: X(k) = Y(k+1) - Y(k), k = 1..n (n = y.size()-1).
+ *  y holds Y(1..m) (y[0] == Y(1)); returns X(1..m-1). */
+std::vector<float> referenceLoop12(const std::vector<float> &y);
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_REFERENCE_HH

@@ -1,0 +1,147 @@
+#include "core/partition.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+using FuControl = PartitionTracker::FuControl;
+
+FuControl
+uncond(InstAddr next)
+{
+    FuControl c;
+    c.live = true;
+    c.op = ControlOp::jump(next);
+    c.nextPc = next;
+    return c;
+}
+
+FuControl
+onCc(unsigned cc, InstAddr t1, InstAddr t2, InstAddr next)
+{
+    FuControl c;
+    c.live = true;
+    c.op = ControlOp::onCc(cc, t1, t2);
+    c.nextPc = next;
+    return c;
+}
+
+FuControl
+haltedFu()
+{
+    FuControl c;
+    c.live = true;
+    c.halted = true;
+    return c;
+}
+
+TEST(Partition, InitiallyOneSset)
+{
+    PartitionTracker t(4);
+    EXPECT_EQ(t.numSsets(), 1u);
+    EXPECT_EQ(t.formatted(), "{0,1,2,3}");
+    EXPECT_TRUE(t.sameSset(0, 3));
+}
+
+TEST(Partition, IdenticalUnconditionalsStayTogether)
+{
+    PartitionTracker t(4);
+    t.update({uncond(5), uncond(5), uncond(5), uncond(5)});
+    EXPECT_EQ(t.formatted(), "{0,1,2,3}");
+}
+
+TEST(Partition, DifferentTargetsSplit)
+{
+    PartitionTracker t(4);
+    t.update({uncond(5), uncond(5), uncond(7), uncond(7)});
+    EXPECT_EQ(t.formatted(), "{0,1}{2,3}");
+    EXPECT_EQ(t.numSsets(), 2u);
+    EXPECT_FALSE(t.sameSset(0, 2));
+}
+
+TEST(Partition, DistinctConditionSourcesSplitEvenWithSamePc)
+{
+    // Figure 10, cycle 9: all four FUs sit at 03: but remain
+    // {0,1}{2}{3} because FU2/FU3 arrived through data-dependent
+    // branches on different condition codes.
+    PartitionTracker t(4);
+    t.update({uncond(3), uncond(3), onCc(0, 4, 3, 3), onCc(1, 4, 3, 3)});
+    EXPECT_EQ(t.formatted(), "{0,1}{2}{3}");
+}
+
+TEST(Partition, IdenticalConditionalKeysStayTogether)
+{
+    // "if cc2 08:|02:" executed by every FU keeps one SSET no matter
+    // the outcome (the condition is a globally shared signal).
+    PartitionTracker t(4);
+    t.update({onCc(2, 8, 2, 2), onCc(2, 8, 2, 2), onCc(2, 8, 2, 2),
+              onCc(2, 8, 2, 2)});
+    EXPECT_EQ(t.formatted(), "{0,1,2,3}");
+}
+
+TEST(Partition, UnconditionalRejoinsSplitStreams)
+{
+    PartitionTracker t(4);
+    t.update({uncond(3), uncond(3), onCc(0, 4, 3, 4), onCc(1, 4, 3, 4)});
+    EXPECT_EQ(t.numSsets(), 3u);
+    t.update({uncond(5), uncond(5), uncond(5), uncond(5)});
+    EXPECT_EQ(t.formatted(), "{0,1,2,3}");
+}
+
+TEST(Partition, BarrierControlJoins)
+{
+    PartitionTracker t(4);
+    t.update({uncond(1), uncond(2), uncond(3), uncond(4)});
+    EXPECT_EQ(t.numSsets(), 4u);
+    // Everyone executes the identical ALL-sync barrier op.
+    FuControl bar;
+    bar.live = true;
+    bar.op = ControlOp::onAllSync(11, 10);
+    bar.nextPc = 11;
+    t.update({bar, bar, bar, bar});
+    EXPECT_EQ(t.formatted(), "{0,1,2,3}");
+}
+
+TEST(Partition, DifferentMasksSplit)
+{
+    PartitionTracker t(4);
+    FuControl a;
+    a.live = true;
+    a.op = ControlOp::onAllSync(1, 0, 0b0011);
+    a.nextPc = 1;
+    FuControl b = a;
+    b.op = ControlOp::onAllSync(1, 0, 0b1100);
+    t.update({a, a, b, b});
+    EXPECT_EQ(t.formatted(), "{0,1}{2,3}");
+}
+
+TEST(Partition, HaltedFusLeaveThePartition)
+{
+    PartitionTracker t(4);
+    t.update({uncond(1), haltedFu(), uncond(1), haltedFu()});
+    EXPECT_EQ(t.formatted(), "{0,2}");
+    EXPECT_EQ(t.numSsets(), 1u);
+    EXPECT_EQ(t.ssetOf(1), -1);
+    EXPECT_FALSE(t.sameSset(0, 1));
+}
+
+TEST(Partition, PaperNotationOrdering)
+{
+    PartitionTracker t(8);
+    // Build the paper's example partition {0,1}{2}{3,6,7}{4,5}.
+    t.update({uncond(1), uncond(1), uncond(2), uncond(3), uncond(4),
+              uncond(4), uncond(3), uncond(3)});
+    EXPECT_EQ(t.formatted(), "{0,1}{2}{3,6,7}{4,5}");
+}
+
+TEST(Partition, ControlVectorSizeMismatchPanics)
+{
+    PartitionTracker t(4);
+    EXPECT_THROW(t.update({uncond(1)}), PanicError);
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,103 @@
+#include "core/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace ximd {
+namespace {
+
+TEST(Stats, StartsAtZero)
+{
+    RunStats s(4);
+    EXPECT_EQ(s.cycles(), 0u);
+    EXPECT_EQ(s.parcels(), 0u);
+    EXPECT_EQ(s.dataOps(), 0u);
+    EXPECT_EQ(s.utilization(), 0.0);
+    EXPECT_EQ(s.mips(85.0), 0.0);
+}
+
+TEST(Stats, OpClassAccounting)
+{
+    RunStats s(2);
+    s.countParcel(OpClass::IntAlu);
+    s.countParcel(OpClass::Nop);
+    s.countParcel(OpClass::FloatAlu);
+    s.countParcel(OpClass::FloatCompare);
+    EXPECT_EQ(s.parcels(), 4u);
+    EXPECT_EQ(s.nops(), 1u);
+    EXPECT_EQ(s.dataOps(), 3u);
+    EXPECT_EQ(s.flops(), 2u);
+}
+
+TEST(Stats, Utilization)
+{
+    RunStats s(4);
+    s.countCycle();
+    s.countCycle();
+    for (int i = 0; i < 6; ++i)
+        s.countParcel(OpClass::IntAlu);
+    for (int i = 0; i < 2; ++i)
+        s.countParcel(OpClass::Nop);
+    // 6 useful ops over 2 cycles * 4 FUs.
+    EXPECT_DOUBLE_EQ(s.utilization(), 0.75);
+}
+
+TEST(Stats, MipsAtPrototypeCycleTime)
+{
+    // Peak: 8 useful ops per 85ns cycle => ~94.1 MIPS, the paper's
+    // "in excess of 90 MIPS".
+    RunStats s(8);
+    s.countCycle();
+    for (int i = 0; i < 8; ++i)
+        s.countParcel(OpClass::IntAlu);
+    EXPECT_NEAR(s.mips(85.0), 94.1, 0.1);
+}
+
+TEST(Stats, MflopsCountsFloatOpsOnly)
+{
+    RunStats s(8);
+    s.countCycle();
+    for (int i = 0; i < 4; ++i)
+        s.countParcel(OpClass::FloatAlu);
+    for (int i = 0; i < 4; ++i)
+        s.countParcel(OpClass::IntAlu);
+    EXPECT_NEAR(s.mflops(85.0), 47.06, 0.1);
+    EXPECT_NEAR(s.mips(85.0), 94.1, 0.1);
+}
+
+TEST(Stats, BranchesAndBusyWait)
+{
+    RunStats s(2);
+    s.countConditionalBranch(true);
+    s.countConditionalBranch(false);
+    s.countConditionalBranch(true);
+    s.countBusyWait();
+    EXPECT_EQ(s.conditionalBranches(), 3u);
+    EXPECT_EQ(s.takenBranches(), 2u);
+    EXPECT_EQ(s.busyWaitCycles(), 1u);
+}
+
+TEST(Stats, PartitionHistogramAndMeanStreams)
+{
+    RunStats s(4);
+    s.countPartition(1);
+    s.countPartition(1);
+    s.countPartition(3);
+    s.countPartition(3);
+    EXPECT_EQ(s.partitionHistogram().at(1), 2u);
+    EXPECT_EQ(s.partitionHistogram().at(3), 2u);
+    EXPECT_DOUBLE_EQ(s.meanStreams(), 2.0);
+}
+
+TEST(Stats, FormattedMentionsKeyCounters)
+{
+    RunStats s(2);
+    s.countCycle();
+    s.countParcel(OpClass::IntAlu);
+    s.countPartition(2);
+    const std::string f = s.formatted();
+    EXPECT_NE(f.find("cycles"), std::string::npos);
+    EXPECT_NE(f.find("partition histogram"), std::string::npos);
+}
+
+} // namespace
+} // namespace ximd

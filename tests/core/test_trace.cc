@@ -1,0 +1,82 @@
+#include "core/trace.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TraceEntry
+entry(Cycle c, std::vector<InstAddr> pcs, std::string ccs,
+      std::string part)
+{
+    TraceEntry e;
+    e.cycle = c;
+    e.live.assign(pcs.size(), true);
+    e.pcs = std::move(pcs);
+    e.condCodes = std::move(ccs);
+    e.partition = std::move(part);
+    return e;
+}
+
+TEST(Trace, EmptyFormat)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.formatted(), "(empty trace)\n");
+}
+
+TEST(Trace, Figure10StyleRow)
+{
+    Trace t;
+    t.append(entry(3, {3, 3, 4, 4}, "TTFX", "{0,1}{2}{3}"));
+    const std::string s = t.formatted();
+    EXPECT_NE(s.find("Cycle 3"), std::string::npos);
+    EXPECT_NE(s.find("03:"), std::string::npos);
+    EXPECT_NE(s.find("04:"), std::string::npos);
+    EXPECT_NE(s.find("TTFX"), std::string::npos);
+    EXPECT_NE(s.find("{0,1}{2}{3}"), std::string::npos);
+    EXPECT_NE(s.find("FU0"), std::string::npos);
+}
+
+TEST(Trace, CompactFormat)
+{
+    Trace t;
+    t.append(entry(0, {0, 0}, "XX", "{0,1}"));
+    auto e = entry(1, {1, 0}, "TF", "{0}{1}");
+    e.live[1] = false;
+    t.append(e);
+    EXPECT_EQ(t.compact(),
+              "0 | 00 00 | XX | {0,1}\n"
+              "1 | 01 -- | TF | {0}{1}\n");
+}
+
+TEST(Trace, EntryAccessChecksRange)
+{
+    Trace t;
+    t.append(entry(0, {0}, "X", "{0}"));
+    EXPECT_EQ(t.entry(0).cycle, 0u);
+    EXPECT_THROW(t.entry(1), PanicError);
+}
+
+TEST(Trace, ClearEmpties)
+{
+    Trace t;
+    t.append(entry(0, {0}, "X", "{0}"));
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trace, HaltedFusShownAsDashes)
+{
+    Trace t;
+    auto e = entry(2, {5, 9}, "TF", "{0}");
+    e.live[1] = false;
+    t.append(e);
+    EXPECT_NE(t.formatted().find("--"), std::string::npos);
+}
+
+} // namespace
+} // namespace ximd

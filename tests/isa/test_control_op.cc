@@ -1,0 +1,76 @@
+#include "isa/control_op.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(ControlOp, JumpNormalizesBothTargets)
+{
+    ControlOp c = ControlOp::jump(5);
+    EXPECT_EQ(c.kind, CondKind::Always);
+    EXPECT_EQ(c.t1, 5u);
+    EXPECT_EQ(c.t2, 5u);
+    EXPECT_FALSE(c.isConditional());
+    EXPECT_FALSE(c.isHalt());
+}
+
+TEST(ControlOp, ConditionalKinds)
+{
+    EXPECT_TRUE(ControlOp::onCc(2, 8, 2).isConditional());
+    EXPECT_TRUE(ControlOp::onSync(3, 1, 0).isConditional());
+    EXPECT_TRUE(ControlOp::onAllSync(1, 0).isConditional());
+    EXPECT_TRUE(ControlOp::onAnySync(1, 0).isConditional());
+    EXPECT_FALSE(ControlOp::halt().isConditional());
+    EXPECT_TRUE(ControlOp::halt().isHalt());
+}
+
+TEST(ControlOp, PaperStyleFormatting)
+{
+    EXPECT_EQ(ControlOp::jump(5).toString(), "-> 05:");
+    EXPECT_EQ(ControlOp::onCc(2, 8, 2).toString(), "if cc2 08:|02:");
+    EXPECT_EQ(ControlOp::onSync(0, 1, 0).toString(), "if ss0 01:|00:");
+    EXPECT_EQ(ControlOp::onAllSync(17, 16).toString(),
+              "if all 11:|10:");
+    EXPECT_EQ(ControlOp::halt().toString(), "halt");
+}
+
+TEST(ControlOp, MaskedBarrierFormatting)
+{
+    ControlOp c = ControlOp::onAllSync(1, 0, 0b101u);
+    EXPECT_EQ(c.toString(), "if all(0,2) 01:|00:");
+}
+
+TEST(ControlOp, IndexOutOfRangeThrows)
+{
+    EXPECT_THROW(ControlOp::onCc(kMaxFus, 0, 0), PanicError);
+    EXPECT_THROW(ControlOp::onSync(kMaxFus, 0, 0), PanicError);
+}
+
+TEST(ControlOp, EmptyMaskThrows)
+{
+    EXPECT_THROW(ControlOp::onAllSync(0, 0, 0), PanicError);
+    EXPECT_THROW(ControlOp::onAnySync(0, 0, 0), PanicError);
+}
+
+TEST(ControlOp, EqualityDistinguishesConditionSource)
+{
+    EXPECT_EQ(ControlOp::onCc(0, 4, 3), ControlOp::onCc(0, 4, 3));
+    EXPECT_NE(ControlOp::onCc(0, 4, 3), ControlOp::onCc(1, 4, 3));
+    EXPECT_NE(ControlOp::onCc(0, 4, 3), ControlOp::onSync(0, 4, 3));
+    EXPECT_NE(ControlOp::onAllSync(4, 3), ControlOp::onAnySync(4, 3));
+    EXPECT_NE(ControlOp::onAllSync(4, 3, 0b11),
+              ControlOp::onAllSync(4, 3, 0b111));
+    EXPECT_EQ(ControlOp::halt(), ControlOp::halt());
+}
+
+TEST(ControlOp, SyncValNames)
+{
+    EXPECT_EQ(syncValName(SyncVal::Busy), "BUSY");
+    EXPECT_EQ(syncValName(SyncVal::Done), "DONE");
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,93 @@
+#include "isa/data_op.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(DataOp, NopByDefault)
+{
+    DataOp d;
+    EXPECT_TRUE(d.isNop());
+    EXPECT_FALSE(d.hasDest());
+    EXPECT_EQ(d.toString(), "nop");
+}
+
+TEST(DataOp, BinaryFormatting)
+{
+    DataOp d = DataOp::make(Opcode::Iadd, Operand::reg(1),
+                            Operand::immInt(4), 2);
+    EXPECT_EQ(d.toString(), "iadd r1,#4,r2");
+}
+
+TEST(DataOp, UnaryFormatting)
+{
+    DataOp d = DataOp::makeUnary(Opcode::Not, Operand::reg(9), 10);
+    EXPECT_EQ(d.toString(), "not r9,r10");
+}
+
+TEST(DataOp, CompareHasNoDest)
+{
+    DataOp d = DataOp::makeCompare(Opcode::Lt, Operand::reg(0),
+                                   Operand::immInt(2));
+    EXPECT_FALSE(d.hasDest());
+    EXPECT_EQ(d.toString(), "lt r0,#2");
+}
+
+TEST(DataOp, LoadStoreFormatting)
+{
+    DataOp ld = DataOp::makeLoad(Operand::immInt(64), Operand::reg(5),
+                                 7);
+    EXPECT_EQ(ld.toString(), "load #64,r5,r7");
+    DataOp st = DataOp::makeStore(Operand::reg(7), Operand::immInt(64));
+    EXPECT_EQ(st.toString(), "store r7,#64");
+}
+
+TEST(DataOp, ValidateRejectsMissingSource)
+{
+    DataOp d;
+    d.op = Opcode::Iadd;
+    d.a = Operand::reg(1);
+    // b missing
+    EXPECT_THROW(d.validate(), FatalError);
+}
+
+TEST(DataOp, ValidateRejectsExtraSource)
+{
+    DataOp d;
+    d.op = Opcode::Not;
+    d.a = Operand::reg(1);
+    d.b = Operand::reg(2); // not takes one source
+    EXPECT_THROW(d.validate(), FatalError);
+}
+
+TEST(DataOp, ValidateRejectsSourceOnNop)
+{
+    DataOp d;
+    d.op = Opcode::Nop;
+    d.a = Operand::reg(1);
+    EXPECT_THROW(d.validate(), FatalError);
+}
+
+TEST(DataOp, EqualityIgnoresDestOfDestlessOps)
+{
+    DataOp a = DataOp::makeCompare(Opcode::Eq, Operand::reg(1),
+                                   Operand::reg(2));
+    DataOp b = a;
+    b.dest = 99; // meaningless field
+    EXPECT_EQ(a, b);
+}
+
+TEST(DataOp, EqualityChecksDestWhenPresent)
+{
+    DataOp a = DataOp::make(Opcode::Iadd, Operand::reg(1),
+                            Operand::reg(2), 3);
+    DataOp b = DataOp::make(Opcode::Iadd, Operand::reg(1),
+                            Operand::reg(2), 4);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace ximd

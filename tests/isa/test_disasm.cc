@@ -1,0 +1,77 @@
+#include "isa/disasm.hh"
+
+#include <gtest/gtest.h>
+
+namespace ximd {
+namespace {
+
+Program
+sample()
+{
+    Program p(2);
+    p.nameRegister("tz", 0);
+    p.nameRegister("min", 1);
+    InstRow r0;
+    r0.push_back(Parcel(ControlOp::onCc(1, 1, 0),
+                        DataOp::makeCompare(Opcode::Lt, Operand::reg(0),
+                                            Operand::reg(1))));
+    r0.push_back(Parcel(ControlOp::onCc(1, 1, 0), DataOp::nop(),
+                        SyncVal::Done));
+    p.addRow(r0);
+    p.addUniformRow(Parcel(ControlOp::halt(), DataOp::nop()));
+    p.setLabel("loop", 0);
+    return p;
+}
+
+TEST(Disasm, OperandUsesRegisterNames)
+{
+    Program p = sample();
+    EXPECT_EQ(formatOperand(p, Operand::reg(0)), "tz");
+    EXPECT_EQ(formatOperand(p, Operand::reg(5)), "r5");
+    EXPECT_EQ(formatOperand(p, Operand::immInt(-2)), "#-2");
+}
+
+TEST(Disasm, OperandNamesCanBeDisabled)
+{
+    Program p = sample();
+    DisasmOptions opts;
+    opts.useRegNames = false;
+    EXPECT_EQ(formatOperand(p, Operand::reg(0), opts), "r0");
+}
+
+TEST(Disasm, DataOpWithNames)
+{
+    Program p = sample();
+    EXPECT_EQ(formatDataOp(p, p.parcel(0, 0).data), "lt tz,min");
+}
+
+TEST(Disasm, ParcelIncludesSyncOnlyWhenDone)
+{
+    Program p = sample();
+    EXPECT_EQ(formatParcel(p, p.parcel(0, 1)),
+              "if cc1 01:|00: ; nop ; done");
+    EXPECT_EQ(formatParcel(p, p.parcel(0, 0)),
+              "if cc1 01:|00: ; lt tz,min");
+}
+
+TEST(Disasm, ProgramListingHasLabelsAndAddresses)
+{
+    Program p = sample();
+    const std::string listing = formatProgram(p);
+    EXPECT_NE(listing.find("loop:"), std::string::npos);
+    EXPECT_NE(listing.find("00: "), std::string::npos);
+    EXPECT_NE(listing.find("01: "), std::string::npos);
+    EXPECT_NE(listing.find("||"), std::string::npos);
+    EXPECT_NE(listing.find("lt tz,min"), std::string::npos);
+}
+
+TEST(Disasm, SyncColumnOmittedWhenAllBusy)
+{
+    Program p(1);
+    p.addUniformRow(Parcel(ControlOp::halt(), DataOp::nop()));
+    const std::string listing = formatProgram(p);
+    EXPECT_EQ(listing.find("busy"), std::string::npos);
+}
+
+} // namespace
+} // namespace ximd

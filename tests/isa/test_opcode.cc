@@ -1,0 +1,79 @@
+#include "isa/opcode.hh"
+
+#include <gtest/gtest.h>
+
+namespace ximd {
+namespace {
+
+TEST(Opcode, EveryOpcodeHasNameAndParsesBack)
+{
+    const auto n = static_cast<std::size_t>(Opcode::NumOpcodes);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const auto name = opcodeName(op);
+        EXPECT_FALSE(name.empty());
+        auto parsed = parseOpcode(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, op);
+    }
+}
+
+TEST(Opcode, ParseUnknownReturnsNullopt)
+{
+    EXPECT_FALSE(parseOpcode("frobnicate").has_value());
+    EXPECT_FALSE(parseOpcode("").has_value());
+    EXPECT_FALSE(parseOpcode("IADD").has_value()); // case sensitive
+}
+
+TEST(Opcode, PaperFigure7Instructions)
+{
+    // Figure 7 lists these explicitly.
+    for (const char *name : {"iadd", "isub", "imult", "idiv", "load",
+                             "store"})
+        EXPECT_TRUE(parseOpcode(name).has_value()) << name;
+}
+
+TEST(Opcode, ComparesSetCondCode)
+{
+    EXPECT_TRUE(setsCondCode(Opcode::Eq));
+    EXPECT_TRUE(setsCondCode(Opcode::Lt));
+    EXPECT_TRUE(setsCondCode(Opcode::Fge));
+    EXPECT_FALSE(setsCondCode(Opcode::Iadd));
+    EXPECT_FALSE(setsCondCode(Opcode::Load));
+    EXPECT_FALSE(setsCondCode(Opcode::Nop));
+}
+
+TEST(Opcode, MemOpsClassified)
+{
+    EXPECT_TRUE(isMemOp(Opcode::Load));
+    EXPECT_TRUE(isMemOp(Opcode::Store));
+    EXPECT_FALSE(isMemOp(Opcode::Iadd));
+}
+
+TEST(Opcode, FloatOpsClassified)
+{
+    EXPECT_TRUE(isFloatOp(Opcode::Fadd));
+    EXPECT_TRUE(isFloatOp(Opcode::Flt));
+    EXPECT_FALSE(isFloatOp(Opcode::Itof)); // convert class
+    EXPECT_FALSE(isFloatOp(Opcode::Iadd));
+}
+
+TEST(Opcode, OperandCounts)
+{
+    EXPECT_EQ(opInfo(Opcode::Nop).numSrcs, 0);
+    EXPECT_EQ(opInfo(Opcode::Not).numSrcs, 1);
+    EXPECT_EQ(opInfo(Opcode::Iadd).numSrcs, 2);
+    EXPECT_EQ(opInfo(Opcode::Store).numSrcs, 2);
+    EXPECT_FALSE(opInfo(Opcode::Store).hasDest);
+    EXPECT_TRUE(opInfo(Opcode::Load).hasDest);
+    EXPECT_FALSE(opInfo(Opcode::Eq).hasDest);
+}
+
+TEST(Opcode, CompareClassSplitsIntFloat)
+{
+    EXPECT_EQ(opInfo(Opcode::Lt).cls, OpClass::IntCompare);
+    EXPECT_EQ(opInfo(Opcode::Flt).cls, OpClass::FloatCompare);
+}
+
+} // namespace
+} // namespace ximd

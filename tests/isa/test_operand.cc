@@ -1,0 +1,76 @@
+#include "isa/operand.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(Operand, DefaultIsNone)
+{
+    Operand o;
+    EXPECT_TRUE(o.isNone());
+    EXPECT_FALSE(o.isReg());
+    EXPECT_FALSE(o.isImm());
+}
+
+TEST(Operand, RegisterRoundTrip)
+{
+    Operand o = Operand::reg(17);
+    EXPECT_TRUE(o.isReg());
+    EXPECT_EQ(o.regId(), 17);
+    EXPECT_EQ(o.toString(), "r17");
+}
+
+TEST(Operand, RegisterOutOfRangeThrows)
+{
+    EXPECT_THROW(Operand::reg(kNumRegisters), PanicError);
+}
+
+TEST(Operand, IntImmediate)
+{
+    Operand o = Operand::immInt(-3);
+    EXPECT_TRUE(o.isImm());
+    EXPECT_EQ(wordToInt(o.immValue()), -3);
+    EXPECT_EQ(o.toString(), "#-3");
+}
+
+TEST(Operand, FloatImmediatePreservesBits)
+{
+    Operand o = Operand::immFloat(1.5f);
+    EXPECT_TRUE(o.isImm());
+    EXPECT_FLOAT_EQ(wordToFloat(o.immValue()), 1.5f);
+    EXPECT_TRUE(o.isFloatHint());
+    EXPECT_EQ(o.toString(), "#1.5");
+}
+
+TEST(Operand, WholeFloatGetsDecimalPoint)
+{
+    Operand o = Operand::immFloat(2.0f);
+    EXPECT_EQ(o.toString(), "#2.0");
+}
+
+TEST(Operand, AccessorsGuardKind)
+{
+    EXPECT_THROW(Operand::immInt(1).regId(), PanicError);
+    EXPECT_THROW(Operand::reg(0).immValue(), PanicError);
+}
+
+TEST(Operand, EqualityByKindAndValue)
+{
+    EXPECT_EQ(Operand::reg(3), Operand::reg(3));
+    EXPECT_NE(Operand::reg(3), Operand::reg(4));
+    EXPECT_NE(Operand::reg(3), Operand::immInt(3));
+    EXPECT_EQ(Operand::immInt(5), Operand::imm(5));
+    EXPECT_EQ(Operand::none(), Operand{});
+}
+
+TEST(Operand, ConversionHelpersRoundTrip)
+{
+    EXPECT_EQ(wordToInt(intToWord(-123456)), -123456);
+    EXPECT_FLOAT_EQ(wordToFloat(floatToWord(-0.25f)), -0.25f);
+}
+
+} // namespace
+} // namespace ximd

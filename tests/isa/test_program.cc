@@ -1,0 +1,114 @@
+#include "isa/program.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+Parcel
+haltParcel()
+{
+    return Parcel(ControlOp::halt(), DataOp::nop());
+}
+
+TEST(Program, WidthValidation)
+{
+    EXPECT_THROW(Program(0), FatalError);
+    EXPECT_THROW(Program(kMaxFus + 1), FatalError);
+    EXPECT_EQ(Program(4).width(), 4u);
+    EXPECT_EQ(Program().width(), kDefaultFus);
+}
+
+TEST(Program, AddRowChecksWidth)
+{
+    Program p(4);
+    EXPECT_THROW(p.addRow(InstRow(3, haltParcel())), FatalError);
+    EXPECT_EQ(p.addRow(InstRow(4, haltParcel())), 0u);
+    EXPECT_EQ(p.addRow(InstRow(4, haltParcel())), 1u);
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Program, UniformRowReplicates)
+{
+    Program p(4);
+    p.addUniformRow(haltParcel());
+    for (FuId fu = 0; fu < 4; ++fu)
+        EXPECT_TRUE(p.parcel(0, fu).ctrl.isHalt());
+}
+
+TEST(Program, RowAccessOutOfRangeThrows)
+{
+    Program p(2);
+    p.addUniformRow(haltParcel());
+    EXPECT_THROW(p.row(1), FatalError);
+    EXPECT_THROW(p.parcel(0, 2), FatalError);
+}
+
+TEST(Program, Labels)
+{
+    Program p(2);
+    p.addUniformRow(haltParcel());
+    p.setLabel("start", 0);
+    EXPECT_EQ(p.label("start"), std::optional<InstAddr>(0));
+    EXPECT_FALSE(p.label("missing").has_value());
+    EXPECT_EQ(p.labelAt(0), std::optional<std::string>("start"));
+    EXPECT_THROW(p.setLabel("start", 5), FatalError); // redefinition
+    p.setLabel("alias", 0); // second label, same addr: first kept
+    EXPECT_EQ(p.labelAt(0), std::optional<std::string>("start"));
+}
+
+TEST(Program, SymbolsAndRegisters)
+{
+    Program p(2);
+    p.setSymbol("z", 64);
+    EXPECT_EQ(p.symbol("z"), std::optional<Word>(64));
+    EXPECT_EQ(p.symbolOrDie("z"), 64u);
+    EXPECT_THROW(p.symbolOrDie("nope"), FatalError);
+
+    p.nameRegister("min", 7);
+    EXPECT_EQ(p.regByName("min"), std::optional<RegId>(7));
+    EXPECT_EQ(p.regName(7), std::optional<std::string>("min"));
+    EXPECT_FALSE(p.regByName("max").has_value());
+}
+
+TEST(Program, MemAndRegInitRecorded)
+{
+    Program p(2);
+    p.addMemInit(100, 5);
+    p.addMemInit(101, 6);
+    p.addRegInit(3, 42);
+    ASSERT_EQ(p.memInit().size(), 2u);
+    EXPECT_EQ(p.memInit()[1].first, 101u);
+    ASSERT_EQ(p.regInit().size(), 1u);
+    EXPECT_EQ(p.regInit()[0].second, 42u);
+    EXPECT_THROW(p.addRegInit(kNumRegisters, 0), FatalError);
+}
+
+TEST(Program, ValidateCatchesBadBranchTarget)
+{
+    Program p(2);
+    Parcel bad(ControlOp::jump(5), DataOp::nop());
+    p.addUniformRow(bad);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, ValidateCatchesBadConditionalTarget)
+{
+    Program p(2);
+    Parcel bad(ControlOp::onCc(0, 0, 9), DataOp::nop());
+    p.addUniformRow(bad);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, ValidateAcceptsWellFormed)
+{
+    Program p(2);
+    p.addUniformRow(Parcel(ControlOp::jump(1), DataOp::nop()));
+    p.addUniformRow(haltParcel());
+    EXPECT_NO_THROW(p.validate());
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,143 @@
+#include "sched/ddg.hh"
+
+#include <gtest/gtest.h>
+
+namespace ximd::sched {
+namespace {
+
+IrBlock
+block(std::vector<IrOp> ops)
+{
+    IrBlock b;
+    b.name = "b";
+    b.ops = std::move(ops);
+    b.term.kind = Terminator::Kind::Halt;
+    return b;
+}
+
+IrOp
+add(VregId dest, IrValue a, IrValue b)
+{
+    IrOp op;
+    op.op = Opcode::Iadd;
+    op.a = a;
+    op.b = b;
+    op.dest = dest;
+    return op;
+}
+
+IrOp
+store(IrValue v, IrValue addr)
+{
+    IrOp op;
+    op.op = Opcode::Store;
+    op.a = v;
+    op.b = addr;
+    return op;
+}
+
+IrOp
+load(VregId dest, IrValue a)
+{
+    IrOp op;
+    op.op = Opcode::Load;
+    op.a = a;
+    op.b = IrValue::immInt(0);
+    op.dest = dest;
+    return op;
+}
+
+bool
+hasEdge(const Ddg &g, int from, int to, int latency)
+{
+    for (const DdgEdge &e : g.edges())
+        if (e.from == from && e.to == to && e.latency == latency)
+            return true;
+    return false;
+}
+
+TEST(Ddg, RawEdgeLatencyOne)
+{
+    Ddg g(block({add(0, IrValue::immInt(1), IrValue::immInt(2)),
+                 add(1, IrValue::reg(0), IrValue::immInt(3))}));
+    EXPECT_TRUE(hasEdge(g, 0, 1, 1));
+    EXPECT_EQ(g.criticalPathLength(), 1);
+}
+
+TEST(Ddg, WarEdgeLatencyZero)
+{
+    // op0 reads v1; op1 writes v1 — same cycle is fine.
+    Ddg g(block({add(0, IrValue::reg(1), IrValue::immInt(1)),
+                 add(1, IrValue::immInt(2), IrValue::immInt(3))}));
+    EXPECT_TRUE(hasEdge(g, 0, 1, 0));
+}
+
+TEST(Ddg, WawEdgeLatencyOne)
+{
+    Ddg g(block({add(0, IrValue::immInt(1), IrValue::immInt(1)),
+                 add(0, IrValue::immInt(2), IrValue::immInt(2))}));
+    EXPECT_TRUE(hasEdge(g, 0, 1, 1));
+}
+
+TEST(Ddg, IndependentOpsNoEdges)
+{
+    Ddg g(block({add(0, IrValue::immInt(1), IrValue::immInt(2)),
+                 add(1, IrValue::immInt(3), IrValue::immInt(4))}));
+    EXPECT_TRUE(g.edges().empty());
+    EXPECT_EQ(g.criticalPathLength(), 0);
+}
+
+TEST(Ddg, MemoryStoreStoreSerializes)
+{
+    Ddg g(block({store(IrValue::immInt(1), IrValue::immInt(10)),
+                 store(IrValue::immInt(2), IrValue::immInt(11))}));
+    EXPECT_TRUE(hasEdge(g, 0, 1, 1));
+}
+
+TEST(Ddg, MemoryLoadAfterStoreSerializes)
+{
+    Ddg g(block({store(IrValue::immInt(1), IrValue::immInt(10)),
+                 load(0, IrValue::immInt(10))}));
+    EXPECT_TRUE(hasEdge(g, 0, 1, 1));
+}
+
+TEST(Ddg, StoreAfterLoadIsWarZero)
+{
+    Ddg g(block({load(0, IrValue::immInt(10)),
+                 store(IrValue::immInt(1), IrValue::immInt(10))}));
+    EXPECT_TRUE(hasEdge(g, 0, 1, 0));
+}
+
+TEST(Ddg, LoadsReorderFreely)
+{
+    Ddg g(block({load(0, IrValue::immInt(10)),
+                 load(1, IrValue::immInt(11))}));
+    EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(Ddg, HeightsFollowChains)
+{
+    // 0 -> 1 -> 2 chain plus an independent op 3.
+    Ddg g(block({add(0, IrValue::immInt(1), IrValue::immInt(1)),
+                 add(1, IrValue::reg(0), IrValue::immInt(1)),
+                 add(2, IrValue::reg(1), IrValue::immInt(1)),
+                 add(3, IrValue::immInt(5), IrValue::immInt(5))}));
+    EXPECT_EQ(g.heights()[0], 2);
+    EXPECT_EQ(g.heights()[1], 1);
+    EXPECT_EQ(g.heights()[2], 0);
+    EXPECT_EQ(g.heights()[3], 0);
+    EXPECT_EQ(g.criticalPathLength(), 2);
+}
+
+TEST(Ddg, PredsAndSuccsConsistent)
+{
+    Ddg g(block({add(0, IrValue::immInt(1), IrValue::immInt(1)),
+                 add(1, IrValue::reg(0), IrValue::reg(0))}));
+    ASSERT_EQ(g.succs(0).size(), 1u);
+    ASSERT_EQ(g.preds(1).size(), 1u);
+    EXPECT_EQ(g.succs(0)[0].to, 1);
+    EXPECT_EQ(g.preds(1)[0].from, 0);
+}
+
+} // namespace
+} // namespace ximd::sched

@@ -1,0 +1,195 @@
+#include "sched/packer.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace ximd::sched {
+namespace {
+
+/** Hand-built tile set (no compilation needed for packer tests). */
+TileSet
+makeSet(int id, std::vector<std::pair<FuId, unsigned>> shapes,
+        FuId maxWidth)
+{
+    TileSet s;
+    s.threadId = id;
+    unsigned best = ~0u;
+    std::vector<unsigned> heights(maxWidth, 0);
+    // Fill heightAtWidth by treating `shapes` as exact compiles and
+    // interpolating monotonically.
+    for (FuId w = 1; w <= maxWidth; ++w) {
+        unsigned h = 0;
+        for (const auto &[sw, sh] : shapes)
+            if (sw <= w)
+                h = h == 0 ? sh : std::min(h, sh);
+        if (h == 0)
+            h = shapes.front().second; // narrower than any shape
+        heights[w - 1] = h;
+    }
+    s.heightAtWidth = heights;
+    for (FuId w = 1; w <= maxWidth; ++w) {
+        const unsigned h = heights[w - 1];
+        if (h < best) {
+            best = h;
+            Tile t;
+            t.threadId = id;
+            t.width = w;
+            t.height = h;
+            s.impls.push_back(t);
+        }
+    }
+    return s;
+}
+
+std::vector<TileSet>
+sampleSets(FuId maxWidth = 8)
+{
+    // Heights roughly inversely proportional to width.
+    return {
+        makeSet(0, {{1, 24}, {2, 12}, {4, 7}, {8, 5}}, maxWidth),
+        makeSet(1, {{1, 16}, {2, 9}, {4, 5}, {8, 4}}, maxWidth),
+        makeSet(2, {{1, 10}, {2, 6}, {4, 4}, {8, 3}}, maxWidth),
+        makeSet(3, {{1, 8}, {2, 5}, {4, 3}, {8, 3}}, maxWidth),
+    };
+}
+
+TEST(Packer, StackedBaselineHeightIsSum)
+{
+    auto sets = sampleSets();
+    PackResult r = packStacked(sets, 8);
+    validatePacking(r, sets, 8);
+    EXPECT_EQ(r.totalHeight, 5u + 4u + 3u + 3u);
+    for (const Placement &p : r.placements)
+        EXPECT_EQ(p.width, 8u);
+}
+
+TEST(Packer, FirstFitValidAndBeatsNothing)
+{
+    auto sets = sampleSets();
+    PackResult r = packFirstFit(sets, 8);
+    EXPECT_EQ(validatePacking(r, sets, 8), r.totalHeight);
+}
+
+TEST(Packer, SkylineValidAndCompetitive)
+{
+    auto sets = sampleSets();
+    PackResult sky = packSkyline(sets, 8);
+    validatePacking(sky, sets, 8);
+    PackResult stacked = packStacked(sets, 8);
+    // Packing narrower tiles side by side must not lose to full-width
+    // stacking on this tile family.
+    EXPECT_LE(sky.totalHeight, stacked.totalHeight);
+    EXPECT_GT(sky.utilization(8), 0.5);
+}
+
+TEST(Packer, ExhaustiveIsOptimalAmongStrategies)
+{
+    auto sets = sampleSets();
+    PackResult ex = packExhaustive(sets, 8);
+    validatePacking(ex, sets, 8);
+    EXPECT_LE(ex.totalHeight, packSkyline(sets, 8).totalHeight);
+    EXPECT_LE(ex.totalHeight, packFirstFit(sets, 8).totalHeight);
+    EXPECT_LE(ex.totalHeight, packStacked(sets, 8).totalHeight);
+    EXPECT_LE(ex.totalHeight,
+              packBalancedGroups(sets, 8).totalHeight);
+}
+
+TEST(Packer, BalancedGroupsIsLaminar)
+{
+    auto sets = sampleSets();
+    PackResult r = packBalancedGroups(sets, 8);
+    validatePacking(r, sets, 8);
+    for (std::size_t i = 0; i < r.placements.size(); ++i) {
+        for (std::size_t j = i + 1; j < r.placements.size(); ++j) {
+            const Placement &a = r.placements[i];
+            const Placement &b = r.placements[j];
+            const bool equal =
+                a.col == b.col && a.width == b.width;
+            const bool disjoint = a.col + a.width <= b.col ||
+                                  b.col + b.width <= a.col;
+            EXPECT_TRUE(equal || disjoint);
+        }
+    }
+}
+
+TEST(Packer, BalancedGroupsBeatsStackedOnManySmallThreads)
+{
+    std::vector<TileSet> sets;
+    for (int t = 0; t < 8; ++t)
+        sets.push_back(makeSet(t, {{1, 12}, {2, 7}, {4, 5}, {8, 4}},
+                               8));
+    PackResult grouped = packBalancedGroups(sets, 8);
+    PackResult stacked = packStacked(sets, 8);
+    validatePacking(grouped, sets, 8);
+    EXPECT_LT(grouped.totalHeight, stacked.totalHeight);
+}
+
+TEST(Packer, SingleThreadAllStrategiesAgree)
+{
+    std::vector<TileSet> sets = {
+        makeSet(0, {{1, 9}, {2, 5}, {4, 3}}, 4)};
+    for (auto pack : {packStacked, packFirstFit, packSkyline,
+                      packExhaustive, packBalancedGroups}) {
+        PackResult r = pack(sets, 4);
+        validatePacking(r, sets, 4);
+        EXPECT_EQ(r.placements.size(), 1u);
+        EXPECT_EQ(r.placements[0].row, 0u);
+    }
+}
+
+TEST(Packer, ValidateCatchesOverlap)
+{
+    auto sets = sampleSets();
+    PackResult r = packSkyline(sets, 8);
+    // Corrupt: move a placement onto another.
+    r.placements[1].col = r.placements[0].col;
+    r.placements[1].row = r.placements[0].row;
+    EXPECT_THROW(validatePacking(r, sets, 8), FatalError);
+}
+
+TEST(Packer, ValidateCatchesWrongHeight)
+{
+    auto sets = sampleSets();
+    PackResult r = packStacked(sets, 8);
+    r.totalHeight += 1;
+    EXPECT_THROW(validatePacking(r, sets, 8), FatalError);
+}
+
+TEST(Packer, ValidateCatchesUnknownShape)
+{
+    auto sets = sampleSets();
+    PackResult r = packStacked(sets, 8);
+    r.placements[0].height += 1;
+    EXPECT_THROW(validatePacking(r, sets, 8), FatalError);
+}
+
+TEST(Packer, RandomFamiliesAllStrategiesValid)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 10; ++trial) {
+        const FuId width = rng.chance(0.5) ? 8 : 4;
+        const int threads = static_cast<int>(rng.range(2, 5));
+        std::vector<TileSet> sets;
+        for (int t = 0; t < threads; ++t) {
+            const unsigned h1 =
+                static_cast<unsigned>(rng.range(6, 40));
+            sets.push_back(makeSet(
+                t,
+                {{1, h1},
+                 {2, (h1 + 1) / 2 + 1},
+                 {4, (h1 + 3) / 4 + 2},
+                 {8, (h1 + 7) / 8 + 3}},
+                width));
+        }
+        for (auto pack : {packStacked, packFirstFit, packSkyline,
+                          packExhaustive, packBalancedGroups}) {
+            PackResult r = pack(sets, width);
+            EXPECT_EQ(validatePacking(r, sets, width), r.totalHeight);
+        }
+    }
+}
+
+} // namespace
+} // namespace ximd::sched

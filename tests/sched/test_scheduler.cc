@@ -1,0 +1,182 @@
+#include "sched/list_scheduler.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/random.hh"
+
+namespace ximd::sched {
+namespace {
+
+IrOp
+add(VregId dest, IrValue a, IrValue b)
+{
+    IrOp op;
+    op.op = Opcode::Iadd;
+    op.a = a;
+    op.b = b;
+    op.dest = dest;
+    return op;
+}
+
+/** Every-op-once, width respected, dependence latencies respected. */
+void
+checkSchedule(const IrBlock &block, const BlockSchedule &s, FuId width)
+{
+    std::vector<int> cycleOf(block.ops.size(), -1);
+    for (std::size_t c = 0; c < s.cycles.size(); ++c) {
+        ASSERT_LE(s.cycles[c].size(), width);
+        for (int i : s.cycles[c]) {
+            ASSERT_GE(i, 0);
+            ASSERT_LT(i, static_cast<int>(block.ops.size()));
+            ASSERT_EQ(cycleOf[static_cast<std::size_t>(i)], -1)
+                << "op scheduled twice";
+            cycleOf[static_cast<std::size_t>(i)] =
+                static_cast<int>(c);
+        }
+    }
+    for (int c : cycleOf)
+        ASSERT_NE(c, -1) << "op missing from schedule";
+    Ddg ddg(block);
+    for (const DdgEdge &e : ddg.edges())
+        ASSERT_GE(cycleOf[static_cast<std::size_t>(e.to)],
+                  cycleOf[static_cast<std::size_t>(e.from)] +
+                      e.latency);
+}
+
+TEST(ListScheduler, ParallelIndependentOps)
+{
+    IrBlock b;
+    b.name = "b";
+    for (VregId v = 0; v < 8; ++v)
+        b.ops.push_back(add(v, IrValue::immInt(v), IrValue::immInt(1)));
+    b.term.kind = Terminator::Kind::Halt;
+
+    BlockSchedule s4 = scheduleBlock(b, 4);
+    checkSchedule(b, s4, 4);
+    EXPECT_EQ(s4.numRows(), 2u);
+
+    BlockSchedule s8 = scheduleBlock(b, 8);
+    EXPECT_EQ(s8.numRows(), 1u);
+
+    BlockSchedule s1 = scheduleBlock(b, 1);
+    EXPECT_EQ(s1.numRows(), 8u);
+}
+
+TEST(ListScheduler, ChainForcesSequentialCycles)
+{
+    IrBlock b;
+    b.name = "b";
+    b.ops.push_back(add(0, IrValue::immInt(1), IrValue::immInt(1)));
+    b.ops.push_back(add(1, IrValue::reg(0), IrValue::immInt(1)));
+    b.ops.push_back(add(2, IrValue::reg(1), IrValue::immInt(1)));
+    b.term.kind = Terminator::Kind::Halt;
+    BlockSchedule s = scheduleBlock(b, 8);
+    checkSchedule(b, s, 8);
+    EXPECT_EQ(s.numRows(), 3u);
+}
+
+TEST(ListScheduler, WarAllowsSameCycle)
+{
+    IrBlock b;
+    b.name = "b";
+    b.ops.push_back(add(0, IrValue::reg(1), IrValue::immInt(1)));
+    b.ops.push_back(add(1, IrValue::immInt(2), IrValue::immInt(3)));
+    b.term.kind = Terminator::Kind::Halt;
+    BlockSchedule s = scheduleBlock(b, 8);
+    checkSchedule(b, s, 8);
+    EXPECT_EQ(s.numRows(), 1u);
+}
+
+TEST(ListScheduler, EmptyBlockStillHasARow)
+{
+    IrBlock b;
+    b.name = "b";
+    b.term.kind = Terminator::Kind::Jump;
+    b.term.taken = "b";
+    BlockSchedule s = scheduleBlock(b, 4);
+    EXPECT_EQ(s.numRows(), 1u);
+}
+
+TEST(ListScheduler, CompareGetsACycleBeforeBranch)
+{
+    // A lone compare with a conditional terminator: the compare's CC
+    // is registered, so the block needs two rows.
+    IrBlock b;
+    b.name = "b";
+    IrOp cmp;
+    cmp.op = Opcode::Eq;
+    cmp.a = IrValue::immInt(1);
+    cmp.b = IrValue::immInt(1);
+    b.ops.push_back(cmp);
+    b.term.kind = Terminator::Kind::CondBranch;
+    b.term.compareIdx = 0;
+    b.term.taken = "b";
+    b.term.fallthrough = "b";
+    BlockSchedule s = scheduleBlock(b, 4);
+    EXPECT_EQ(s.numRows(), 2u);
+}
+
+TEST(ListScheduler, CompareEarlyEnoughNeedsNoPadding)
+{
+    IrBlock b;
+    b.name = "b";
+    IrOp cmp;
+    cmp.op = Opcode::Eq;
+    cmp.a = IrValue::immInt(1);
+    cmp.b = IrValue::immInt(1);
+    b.ops.push_back(cmp); // cycle 0
+    b.ops.push_back(add(0, IrValue::immInt(1), IrValue::immInt(1)));
+    b.ops.push_back(add(1, IrValue::reg(0), IrValue::immInt(1)));
+    b.term.kind = Terminator::Kind::CondBranch;
+    b.term.compareIdx = 0;
+    b.term.taken = "b";
+    b.term.fallthrough = "b";
+    BlockSchedule s = scheduleBlock(b, 1);
+    checkSchedule(b, s, 1);
+    EXPECT_EQ(s.numRows(), 3u); // no extra padding row
+}
+
+class RandomBlockSchedule
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(RandomBlockSchedule, AlwaysLegal)
+{
+    const auto [width, seed] = GetParam();
+    Rng rng(seed);
+    IrBlock b;
+    b.name = "b";
+    const int n = static_cast<int>(rng.range(1, 30));
+    int vregs = 0;
+    for (int i = 0; i < n; ++i) {
+        IrValue a = vregs > 0 && rng.chance(0.6)
+                        ? IrValue::reg(static_cast<VregId>(
+                              rng.range(0, vregs - 1)))
+                        : IrValue::immInt(
+                              static_cast<SWord>(rng.range(0, 9)));
+        IrValue bb = vregs > 0 && rng.chance(0.4)
+                         ? IrValue::reg(static_cast<VregId>(
+                               rng.range(0, vregs - 1)))
+                         : IrValue::immInt(1);
+        b.ops.push_back(add(vregs++, a, bb));
+    }
+    b.term.kind = Terminator::Kind::Halt;
+    BlockSchedule s = scheduleBlock(b, static_cast<FuId>(width));
+    checkSchedule(b, s, static_cast<FuId>(width));
+    // Lower bounds: critical path and resource pressure.
+    Ddg ddg(b);
+    EXPECT_GE(static_cast<int>(s.numRows()),
+              ddg.criticalPathLength() + 1);
+    EXPECT_GE(s.numRows() * static_cast<unsigned>(width),
+              static_cast<unsigned>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomBlockSchedule,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(101u, 202u, 303u, 404u,
+                                         505u)));
+
+} // namespace
+} // namespace ximd::sched

@@ -1,0 +1,68 @@
+#include "sim/cond_codes.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(CondCodes, StartUnwrittenFormattedAsX)
+{
+    CondCodeFile cc(4);
+    EXPECT_EQ(cc.formatted(), "XXXX");
+    EXPECT_FALSE(cc.read(0));
+}
+
+TEST(CondCodes, WriteVisibleAfterCommit)
+{
+    CondCodeFile cc(4);
+    cc.queueWrite(2, true);
+    EXPECT_FALSE(cc.read(2));
+    EXPECT_EQ(cc.formatted(), "XXXX");
+    cc.commit();
+    EXPECT_TRUE(cc.read(2));
+    EXPECT_EQ(cc.formatted(), "XXTX");
+}
+
+TEST(CondCodes, Figure10StyleFormatting)
+{
+    CondCodeFile cc(4);
+    cc.poke(0, true);
+    cc.poke(1, true);
+    cc.poke(2, false);
+    EXPECT_EQ(cc.formatted(), "TTFX");
+}
+
+TEST(CondCodes, SquashDropsPending)
+{
+    CondCodeFile cc(2);
+    cc.queueWrite(0, true);
+    cc.squash();
+    cc.commit();
+    EXPECT_FALSE(cc.read(0));
+    EXPECT_EQ(cc.formatted(), "XX");
+}
+
+TEST(CondCodes, LastQueuedWriteWins)
+{
+    // Only one compare per FU per cycle exists architecturally, but the
+    // file itself applies queued writes in order.
+    CondCodeFile cc(2);
+    cc.queueWrite(1, true);
+    cc.queueWrite(1, false);
+    cc.commit();
+    EXPECT_FALSE(cc.read(1));
+}
+
+TEST(CondCodes, IndexChecks)
+{
+    CondCodeFile cc(4);
+    EXPECT_THROW(cc.read(4), FatalError);
+    EXPECT_THROW(cc.queueWrite(4, true), FatalError);
+    EXPECT_THROW(CondCodeFile(0), FatalError);
+    EXPECT_THROW(CondCodeFile(kMaxFus + 1), FatalError);
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,93 @@
+#include "sim/io_port.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(ScriptedInputPort, ZeroBeforeArrival)
+{
+    ScriptedInputPort p("in");
+    p.schedule(10, 42);
+    EXPECT_EQ(p.read(0, 0), 0u);
+    EXPECT_EQ(p.read(0, 9), 0u);
+    EXPECT_EQ(p.emptyPolls(), 2u);
+}
+
+TEST(ScriptedInputPort, ConsumesAtArrival)
+{
+    ScriptedInputPort p("in");
+    p.schedule(10, 42);
+    EXPECT_EQ(p.read(0, 10), 42u);
+    EXPECT_EQ(p.consumed(), 1u);
+    EXPECT_TRUE(p.drained());
+    EXPECT_EQ(p.read(0, 11), 0u); // nothing left
+}
+
+TEST(ScriptedInputPort, DeliversInOrder)
+{
+    ScriptedInputPort p("in");
+    p.schedule(1, 10);
+    p.schedule(2, 20);
+    p.schedule(2, 30);
+    EXPECT_EQ(p.read(0, 5), 10u);
+    EXPECT_EQ(p.read(0, 5), 20u);
+    EXPECT_EQ(p.read(0, 5), 30u);
+    EXPECT_TRUE(p.drained());
+}
+
+TEST(ScriptedInputPort, LateValueBlocksEarlierRead)
+{
+    ScriptedInputPort p("in");
+    p.schedule(5, 10);
+    p.schedule(100, 20);
+    EXPECT_EQ(p.read(0, 6), 10u);
+    EXPECT_EQ(p.read(0, 6), 0u); // 20 not yet available
+    EXPECT_EQ(p.read(0, 100), 20u);
+}
+
+TEST(ScriptedInputPort, RejectsZeroValue)
+{
+    ScriptedInputPort p("in");
+    EXPECT_THROW(p.schedule(1, 0), FatalError);
+}
+
+TEST(ScriptedInputPort, RejectsOutOfOrderSchedule)
+{
+    ScriptedInputPort p("in");
+    p.schedule(10, 1);
+    EXPECT_THROW(p.schedule(5, 2), FatalError);
+}
+
+TEST(ScriptedInputPort, WritesIgnored)
+{
+    ScriptedInputPort p("in");
+    p.schedule(0, 7);
+    p.write(0, 99, 0);
+    EXPECT_EQ(p.read(0, 0), 7u);
+}
+
+TEST(OutputPort, RecordsWritesWithCycles)
+{
+    OutputPort p("out");
+    p.write(0, 5, 3);
+    p.write(0, 6, 8);
+    ASSERT_EQ(p.records().size(), 2u);
+    EXPECT_EQ(p.records()[0].value, 5u);
+    EXPECT_EQ(p.records()[0].cycle, 3u);
+    EXPECT_EQ(p.records()[1].value, 6u);
+    EXPECT_EQ(p.records()[1].cycle, 8u);
+}
+
+TEST(OutputPort, ReadReturnsLastWritten)
+{
+    OutputPort p("out");
+    EXPECT_EQ(p.read(0, 0), 0u);
+    p.write(0, 5, 0);
+    EXPECT_EQ(p.read(0, 1), 5u);
+}
+
+} // namespace
+} // namespace ximd

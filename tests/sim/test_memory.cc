@@ -1,0 +1,126 @@
+#include "sim/memory.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(Memory, StartsZeroed)
+{
+    Memory m(64);
+    EXPECT_EQ(m.load(0, 0), 0u);
+    EXPECT_EQ(m.load(63, 0), 0u);
+}
+
+TEST(Memory, StoreCommitsAtEndOfCycle)
+{
+    Memory m(64);
+    m.queueStore(7, 99, 0);
+    EXPECT_EQ(m.load(7, 0), 0u);
+    m.commit(0);
+    EXPECT_EQ(m.load(7, 1), 99u);
+}
+
+TEST(Memory, SameAddressConflictFaults)
+{
+    Memory m(64);
+    m.queueStore(7, 1, 0);
+    m.queueStore(7, 2, 3);
+    EXPECT_THROW(m.commit(0), FatalError);
+}
+
+TEST(Memory, DistinctAddressesNoConflict)
+{
+    Memory m(64);
+    for (FuId fu = 0; fu < 8; ++fu)
+        m.queueStore(fu, fu, fu);
+    EXPECT_NO_THROW(m.commit(0));
+    EXPECT_EQ(m.load(5, 1), 5u);
+}
+
+TEST(Memory, OutOfRangeFaults)
+{
+    Memory m(16);
+    EXPECT_THROW(m.load(16, 0), FatalError);
+    EXPECT_THROW(m.queueStore(99, 0, 0), FatalError);
+}
+
+TEST(Memory, PokePeek)
+{
+    Memory m(16);
+    m.poke(3, 77);
+    EXPECT_EQ(m.peek(3), 77u);
+}
+
+TEST(Memory, DeviceWindowRoutesReads)
+{
+    Memory m(64);
+    ScriptedInputPort port("in");
+    port.schedule(5, 123);
+    m.attachDevice(10, 10, &port);
+    EXPECT_EQ(m.load(10, 0), 0u);   // before arrival
+    EXPECT_EQ(m.load(10, 5), 123u); // consumed
+    EXPECT_EQ(m.load(10, 6), 0u);   // queue empty again
+}
+
+TEST(Memory, DeviceWindowRoutesWritesAtCommit)
+{
+    Memory m(64);
+    OutputPort port("out");
+    m.attachDevice(20, 20, &port);
+    m.queueStore(20, 55, 0);
+    EXPECT_TRUE(port.records().empty());
+    m.commit(9);
+    ASSERT_EQ(port.records().size(), 1u);
+    EXPECT_EQ(port.records()[0].value, 55u);
+    EXPECT_EQ(port.records()[0].cycle, 9u);
+}
+
+TEST(Memory, OverlappingWindowsRejected)
+{
+    Memory m(64);
+    OutputPort a("a"), b("b");
+    m.attachDevice(10, 15, &a);
+    EXPECT_THROW(m.attachDevice(15, 20, &b), FatalError);
+    EXPECT_NO_THROW(m.attachDevice(16, 20, &b));
+}
+
+TEST(Memory, PokeIntoDeviceWindowRejected)
+{
+    Memory m(64);
+    OutputPort a("a");
+    m.attachDevice(10, 10, &a);
+    EXPECT_THROW(m.poke(10, 1), FatalError);
+    EXPECT_THROW(m.peek(10), FatalError);
+}
+
+TEST(Memory, WindowOffsetsPassedToDevice)
+{
+    // The device sees addresses relative to its window base.
+    class Probe : public IoDevice
+    {
+      public:
+        Word read(Addr offset, Cycle) override { return offset + 1; }
+        void write(Addr, Word, Cycle) override {}
+        std::string name() const override { return "probe"; }
+    } probe;
+    Memory m(64);
+    m.attachDevice(30, 33, &probe);
+    EXPECT_EQ(m.load(30, 0), 1u);
+    EXPECT_EQ(m.load(33, 0), 4u);
+}
+
+TEST(Memory, CountsTraffic)
+{
+    Memory m(16);
+    m.load(0, 0);
+    m.queueStore(1, 1, 0);
+    m.commit(0);
+    EXPECT_EQ(m.loadCount(), 1u);
+    EXPECT_EQ(m.storeCount(), 1u);
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,104 @@
+#include "sim/register_file.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(RegisterFile, StartsZeroed)
+{
+    RegisterFile rf;
+    for (RegId r = 0; r < kNumRegisters; r += 17)
+        EXPECT_EQ(rf.read(r), 0u);
+}
+
+TEST(RegisterFile, WritesInvisibleUntilCommit)
+{
+    RegisterFile rf;
+    rf.queueWrite(3, 42, 0);
+    EXPECT_EQ(rf.read(3), 0u);
+    rf.commit();
+    EXPECT_EQ(rf.read(3), 42u);
+}
+
+TEST(RegisterFile, ManyWritesOneCycle)
+{
+    RegisterFile rf;
+    for (FuId fu = 0; fu < 8; ++fu)
+        rf.queueWrite(static_cast<RegId>(fu), fu + 100, fu);
+    rf.commit();
+    for (FuId fu = 0; fu < 8; ++fu)
+        EXPECT_EQ(rf.read(static_cast<RegId>(fu)), fu + 100);
+}
+
+TEST(RegisterFile, ConflictFaultsByDefault)
+{
+    RegisterFile rf;
+    rf.queueWrite(5, 1, 0);
+    rf.queueWrite(5, 2, 1);
+    EXPECT_THROW(rf.commit(), FatalError);
+    // Queue cleared after the fault; next cycle works.
+    rf.queueWrite(5, 3, 0);
+    EXPECT_NO_THROW(rf.commit());
+    EXPECT_EQ(rf.read(5), 3u);
+}
+
+TEST(RegisterFile, ConflictLowestFuWinsPolicy)
+{
+    RegisterFile rf(kNumRegisters, ConflictPolicy::LowestFuWins);
+    rf.queueWrite(5, 77, 3);
+    rf.queueWrite(5, 88, 1);
+    rf.commit();
+    EXPECT_EQ(rf.read(5), 88u); // FU1 < FU3
+}
+
+TEST(RegisterFile, SquashDropsPendingWrites)
+{
+    RegisterFile rf;
+    rf.queueWrite(2, 9, 0);
+    rf.squash();
+    rf.commit();
+    EXPECT_EQ(rf.read(2), 0u);
+}
+
+TEST(RegisterFile, OutOfRangeIndexThrows)
+{
+    RegisterFile rf(16);
+    EXPECT_THROW(rf.read(16), FatalError);
+    EXPECT_THROW(rf.queueWrite(16, 0, 0), FatalError);
+    EXPECT_THROW(rf.poke(16, 0), FatalError);
+}
+
+TEST(RegisterFile, PokeIsImmediate)
+{
+    RegisterFile rf;
+    rf.poke(9, 1234);
+    EXPECT_EQ(rf.read(9), 1234u);
+}
+
+TEST(RegisterFile, CountsReadsAndCommittedWrites)
+{
+    RegisterFile rf;
+    rf.read(0);
+    rf.read(1);
+    rf.queueWrite(0, 1, 0);
+    rf.commit();
+    EXPECT_EQ(rf.readCount(), 2u);
+    EXPECT_EQ(rf.writeCount(), 1u);
+}
+
+TEST(RegisterFile, SameFuRewriteIsNotAConflict)
+{
+    // One FU writes one register at most once per cycle in practice,
+    // but the conflict rule is about *distinct* FUs racing.
+    RegisterFile rf;
+    rf.queueWrite(4, 1, 2);
+    rf.queueWrite(4, 2, 2);
+    EXPECT_NO_THROW(rf.commit());
+    EXPECT_EQ(rf.read(4), 1u); // first queued wins
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,102 @@
+#include "sim/sequencer.hh"
+
+#include <gtest/gtest.h>
+
+namespace ximd {
+namespace {
+
+class SequencerTest : public ::testing::Test
+{
+  protected:
+    SequencerTest() : ccs(4), ss(4) { ss.beginCycle(); }
+
+    CondCodeFile ccs;
+    SyncBus ss;
+};
+
+TEST_F(SequencerTest, UnconditionalTakesT1)
+{
+    const NextPc n = evaluateControlOp(ControlOp::jump(7), ccs, ss);
+    EXPECT_FALSE(n.halt);
+    EXPECT_TRUE(n.taken);
+    EXPECT_EQ(n.pc, 7u);
+}
+
+TEST_F(SequencerTest, HaltStopsFu)
+{
+    const NextPc n = evaluateControlOp(ControlOp::halt(), ccs, ss);
+    EXPECT_TRUE(n.halt);
+}
+
+TEST_F(SequencerTest, CcTrueSelectsTargets)
+{
+    ccs.poke(2, true);
+    NextPc n = evaluateControlOp(ControlOp::onCc(2, 8, 2), ccs, ss);
+    EXPECT_EQ(n.pc, 8u);
+    EXPECT_TRUE(n.taken);
+
+    ccs.poke(2, false);
+    n = evaluateControlOp(ControlOp::onCc(2, 8, 2), ccs, ss);
+    EXPECT_EQ(n.pc, 2u);
+    EXPECT_FALSE(n.taken);
+}
+
+TEST_F(SequencerTest, AnyFuMayTestAnyCc)
+{
+    // The condition-code selection hardware sees every CC register.
+    ccs.poke(3, true);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onCc(3, 1, 0), ccs, ss).pc,
+              1u);
+}
+
+TEST_F(SequencerTest, SyncDoneCondition)
+{
+    ss.set(1, SyncVal::Busy);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onSync(1, 1, 0), ccs, ss).pc,
+              0u);
+    ss.set(1, SyncVal::Done);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onSync(1, 1, 0), ccs, ss).pc,
+              1u);
+}
+
+TEST_F(SequencerTest, BarrierCondition)
+{
+    for (FuId fu = 0; fu < 4; ++fu)
+        ss.set(fu, SyncVal::Busy);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onAllSync(1, 0), ccs, ss).pc,
+              0u);
+    for (FuId fu = 0; fu < 4; ++fu)
+        ss.set(fu, SyncVal::Done);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onAllSync(1, 0), ccs, ss).pc,
+              1u);
+}
+
+TEST_F(SequencerTest, MaskedBarrierIgnoresUnmasked)
+{
+    for (FuId fu = 0; fu < 4; ++fu)
+        ss.set(fu, SyncVal::Busy);
+    ss.set(0, SyncVal::Done);
+    ss.set(2, SyncVal::Done);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onAllSync(1, 0, 0b0101),
+                                ccs, ss)
+                  .pc,
+              1u);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onAllSync(1, 0, 0b0111),
+                                ccs, ss)
+                  .pc,
+              0u);
+}
+
+TEST_F(SequencerTest, AnySyncCondition)
+{
+    for (FuId fu = 0; fu < 4; ++fu)
+        ss.set(fu, SyncVal::Busy);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onAnySync(1, 0), ccs, ss).pc,
+              0u);
+    ss.set(3, SyncVal::Done);
+    EXPECT_EQ(evaluateControlOp(ControlOp::onAnySync(1, 0), ccs, ss).pc,
+              1u);
+}
+
+} // namespace
+} // namespace ximd

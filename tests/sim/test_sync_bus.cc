@@ -1,0 +1,72 @@
+#include "sim/sync_bus.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(SyncBus, BeginCycleDefaultsToDone)
+{
+    SyncBus ss(4);
+    ss.set(0, SyncVal::Busy);
+    ss.beginCycle();
+    for (FuId fu = 0; fu < 4; ++fu)
+        EXPECT_EQ(ss.get(fu), SyncVal::Done);
+}
+
+TEST(SyncBus, AllDoneRequiresEveryMaskedFu)
+{
+    SyncBus ss(4);
+    ss.beginCycle();
+    ss.set(2, SyncVal::Busy);
+    EXPECT_FALSE(ss.allDone());
+    EXPECT_TRUE(ss.allDone(0b1011)); // mask excludes FU2
+    ss.set(2, SyncVal::Done);
+    EXPECT_TRUE(ss.allDone());
+}
+
+TEST(SyncBus, AnyDoneNeedsJustOne)
+{
+    SyncBus ss(4);
+    ss.beginCycle();
+    for (FuId fu = 0; fu < 4; ++fu)
+        ss.set(fu, SyncVal::Busy);
+    EXPECT_FALSE(ss.anyDone());
+    ss.set(3, SyncVal::Done);
+    EXPECT_TRUE(ss.anyDone());
+    EXPECT_FALSE(ss.anyDone(0b0111)); // mask excludes FU3
+}
+
+TEST(SyncBus, MaskClippedToExistingFus)
+{
+    SyncBus ss(4);
+    ss.beginCycle();
+    // Bits above FU3 are ignored, not treated as missing-DONE.
+    EXPECT_TRUE(ss.allDone(~0u));
+}
+
+TEST(SyncBus, EmptyEffectiveMaskPanics)
+{
+    SyncBus ss(4);
+    EXPECT_THROW(ss.allDone(0xF0), PanicError); // only FUs >= 4
+}
+
+TEST(SyncBus, Formatting)
+{
+    SyncBus ss(4);
+    ss.beginCycle();
+    ss.set(1, SyncVal::Busy);
+    EXPECT_EQ(ss.formatted(), "DBDD");
+}
+
+TEST(SyncBus, IndexChecks)
+{
+    SyncBus ss(2);
+    EXPECT_THROW(ss.get(2), FatalError);
+    EXPECT_THROW(ss.set(2, SyncVal::Done), FatalError);
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,64 @@
+#include "support/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace ximd {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad thing ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug ", 7), PanicError);
+}
+
+TEST(Logging, FatalMessageContainsArguments)
+{
+    try {
+        fatal("register r", 12, " out of range");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("register r12 out of range"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, PanicIsNotAFatalError)
+{
+    try {
+        panic("x");
+        FAIL();
+    } catch (const FatalError &) {
+        FAIL() << "panic should not be catchable as FatalError";
+    } catch (const PanicError &) {
+        SUCCEED();
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(XIMD_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(XIMD_ASSERT(false, "broken"), PanicError);
+}
+
+TEST(Logging, AssertMessageNamesCondition)
+{
+    try {
+        XIMD_ASSERT(2 < 1, "ordering");
+        FAIL();
+    } catch (const PanicError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+        EXPECT_NE(msg.find("ordering"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ximd

@@ -1,0 +1,88 @@
+#include "support/random.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differed = false;
+    for (int i = 0; i < 16 && !differed; ++i)
+        differed = a.next64() != b.next64();
+    EXPECT_TRUE(differed);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.range(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, RangeSingletonAlwaysReturnsIt)
+{
+    Rng r(9);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(r.range(42, 42), 42);
+}
+
+TEST(Rng, RangeCoversAllValuesEventually)
+{
+    Rng r(11);
+    bool seen[4] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[r.range(0, 3)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_GT(hits, 2000);
+    EXPECT_LT(hits, 3000);
+}
+
+TEST(Rng, BadRangeThrows)
+{
+    Rng r(21);
+    EXPECT_THROW(r.range(3, 2), PanicError);
+}
+
+} // namespace
+} // namespace ximd
