@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex1_tproc.dir/bench_ex1_tproc.cpp.o"
+  "CMakeFiles/bench_ex1_tproc.dir/bench_ex1_tproc.cpp.o.d"
+  "bench_ex1_tproc"
+  "bench_ex1_tproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex1_tproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex2_minmax.dir/bench_ex2_minmax.cpp.o"
+  "CMakeFiles/bench_ex2_minmax.dir/bench_ex2_minmax.cpp.o.d"
+  "bench_ex2_minmax"
+  "bench_ex2_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex2_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex3_bitcount.dir/bench_ex3_bitcount.cpp.o"
+  "CMakeFiles/bench_ex3_bitcount.dir/bench_ex3_bitcount.cpp.o.d"
+  "bench_ex3_bitcount"
+  "bench_ex3_bitcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex3_bitcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_nonblocking.dir/bench_fig12_nonblocking.cpp.o"
+  "CMakeFiles/bench_fig12_nonblocking.dir/bench_fig12_nonblocking.cpp.o.d"
+  "bench_fig12_nonblocking"
+  "bench_fig12_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop12.dir/bench_loop12.cpp.o"
+  "CMakeFiles/bench_loop12.dir/bench_loop12.cpp.o.d"
+  "bench_loop12"
+  "bench_loop12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

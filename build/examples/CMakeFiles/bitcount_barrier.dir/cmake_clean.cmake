@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcount_barrier.dir/bitcount_barrier.cpp.o"
+  "CMakeFiles/bitcount_barrier.dir/bitcount_barrier.cpp.o.d"
+  "bitcount_barrier"
+  "bitcount_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcount_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

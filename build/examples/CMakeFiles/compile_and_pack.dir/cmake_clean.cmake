@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_pack.dir/compile_and_pack.cpp.o"
+  "CMakeFiles/compile_and_pack.dir/compile_and_pack.cpp.o.d"
+  "compile_and_pack"
+  "compile_and_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

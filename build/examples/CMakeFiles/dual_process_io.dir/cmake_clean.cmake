@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_process_io.dir/dual_process_io.cpp.o"
+  "CMakeFiles/dual_process_io.dir/dual_process_io.cpp.o.d"
+  "dual_process_io"
+  "dual_process_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_process_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dual_process_io.
+# This may be replaced when dependencies are built.

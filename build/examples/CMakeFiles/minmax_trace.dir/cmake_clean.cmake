@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minmax_trace.dir/minmax_trace.cpp.o"
+  "CMakeFiles/minmax_trace.dir/minmax_trace.cpp.o.d"
+  "minmax_trace"
+  "minmax_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minmax_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ximd_asm.dir/assembler.cc.o"
+  "CMakeFiles/ximd_asm.dir/assembler.cc.o.d"
+  "libximd_asm.a"
+  "libximd_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ximd_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/ximd_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/ximd_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/ximd_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/ximd_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/ximd_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/ximd_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/vliw_machine.cc" "src/core/CMakeFiles/ximd_core.dir/vliw_machine.cc.o" "gcc" "src/core/CMakeFiles/ximd_core.dir/vliw_machine.cc.o.d"
+  "/root/repo/src/core/ximd_machine.cc" "src/core/CMakeFiles/ximd_core.dir/ximd_machine.cc.o" "gcc" "src/core/CMakeFiles/ximd_core.dir/ximd_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ximd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ximd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ximd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ximd_core.dir/partition.cc.o"
+  "CMakeFiles/ximd_core.dir/partition.cc.o.d"
+  "CMakeFiles/ximd_core.dir/stats.cc.o"
+  "CMakeFiles/ximd_core.dir/stats.cc.o.d"
+  "CMakeFiles/ximd_core.dir/trace.cc.o"
+  "CMakeFiles/ximd_core.dir/trace.cc.o.d"
+  "CMakeFiles/ximd_core.dir/vliw_machine.cc.o"
+  "CMakeFiles/ximd_core.dir/vliw_machine.cc.o.d"
+  "CMakeFiles/ximd_core.dir/ximd_machine.cc.o"
+  "CMakeFiles/ximd_core.dir/ximd_machine.cc.o.d"
+  "libximd_core.a"
+  "libximd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ximd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

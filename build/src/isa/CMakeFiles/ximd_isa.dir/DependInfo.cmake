@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/control_op.cc" "src/isa/CMakeFiles/ximd_isa.dir/control_op.cc.o" "gcc" "src/isa/CMakeFiles/ximd_isa.dir/control_op.cc.o.d"
+  "/root/repo/src/isa/data_op.cc" "src/isa/CMakeFiles/ximd_isa.dir/data_op.cc.o" "gcc" "src/isa/CMakeFiles/ximd_isa.dir/data_op.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/ximd_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/ximd_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/isa/CMakeFiles/ximd_isa.dir/opcode.cc.o" "gcc" "src/isa/CMakeFiles/ximd_isa.dir/opcode.cc.o.d"
+  "/root/repo/src/isa/operand.cc" "src/isa/CMakeFiles/ximd_isa.dir/operand.cc.o" "gcc" "src/isa/CMakeFiles/ximd_isa.dir/operand.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/ximd_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/ximd_isa.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ximd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

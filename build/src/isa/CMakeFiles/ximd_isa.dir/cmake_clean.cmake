@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ximd_isa.dir/control_op.cc.o"
+  "CMakeFiles/ximd_isa.dir/control_op.cc.o.d"
+  "CMakeFiles/ximd_isa.dir/data_op.cc.o"
+  "CMakeFiles/ximd_isa.dir/data_op.cc.o.d"
+  "CMakeFiles/ximd_isa.dir/disasm.cc.o"
+  "CMakeFiles/ximd_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/ximd_isa.dir/opcode.cc.o"
+  "CMakeFiles/ximd_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/ximd_isa.dir/operand.cc.o"
+  "CMakeFiles/ximd_isa.dir/operand.cc.o.d"
+  "CMakeFiles/ximd_isa.dir/program.cc.o"
+  "CMakeFiles/ximd_isa.dir/program.cc.o.d"
+  "libximd_isa.a"
+  "libximd_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ximd_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

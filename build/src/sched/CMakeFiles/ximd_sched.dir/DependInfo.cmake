@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/codegen.cc" "src/sched/CMakeFiles/ximd_sched.dir/codegen.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/codegen.cc.o.d"
+  "/root/repo/src/sched/compose.cc" "src/sched/CMakeFiles/ximd_sched.dir/compose.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/compose.cc.o.d"
+  "/root/repo/src/sched/ddg.cc" "src/sched/CMakeFiles/ximd_sched.dir/ddg.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/ddg.cc.o.d"
+  "/root/repo/src/sched/ir.cc" "src/sched/CMakeFiles/ximd_sched.dir/ir.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/ir.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/sched/CMakeFiles/ximd_sched.dir/list_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/modulo.cc" "src/sched/CMakeFiles/ximd_sched.dir/modulo.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/modulo.cc.o.d"
+  "/root/repo/src/sched/packer.cc" "src/sched/CMakeFiles/ximd_sched.dir/packer.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/packer.cc.o.d"
+  "/root/repo/src/sched/tile.cc" "src/sched/CMakeFiles/ximd_sched.dir/tile.cc.o" "gcc" "src/sched/CMakeFiles/ximd_sched.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ximd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ximd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ximd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ximd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ximd_sched.dir/codegen.cc.o"
+  "CMakeFiles/ximd_sched.dir/codegen.cc.o.d"
+  "CMakeFiles/ximd_sched.dir/compose.cc.o"
+  "CMakeFiles/ximd_sched.dir/compose.cc.o.d"
+  "CMakeFiles/ximd_sched.dir/ddg.cc.o"
+  "CMakeFiles/ximd_sched.dir/ddg.cc.o.d"
+  "CMakeFiles/ximd_sched.dir/ir.cc.o"
+  "CMakeFiles/ximd_sched.dir/ir.cc.o.d"
+  "CMakeFiles/ximd_sched.dir/list_scheduler.cc.o"
+  "CMakeFiles/ximd_sched.dir/list_scheduler.cc.o.d"
+  "CMakeFiles/ximd_sched.dir/modulo.cc.o"
+  "CMakeFiles/ximd_sched.dir/modulo.cc.o.d"
+  "CMakeFiles/ximd_sched.dir/packer.cc.o"
+  "CMakeFiles/ximd_sched.dir/packer.cc.o.d"
+  "CMakeFiles/ximd_sched.dir/tile.cc.o"
+  "CMakeFiles/ximd_sched.dir/tile.cc.o.d"
+  "libximd_sched.a"
+  "libximd_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ximd_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

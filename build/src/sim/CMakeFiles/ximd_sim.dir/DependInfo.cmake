@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cond_codes.cc" "src/sim/CMakeFiles/ximd_sim.dir/cond_codes.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/cond_codes.cc.o.d"
+  "/root/repo/src/sim/datapath.cc" "src/sim/CMakeFiles/ximd_sim.dir/datapath.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/datapath.cc.o.d"
+  "/root/repo/src/sim/io_port.cc" "src/sim/CMakeFiles/ximd_sim.dir/io_port.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/io_port.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/ximd_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/register_file.cc" "src/sim/CMakeFiles/ximd_sim.dir/register_file.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/register_file.cc.o.d"
+  "/root/repo/src/sim/sequencer.cc" "src/sim/CMakeFiles/ximd_sim.dir/sequencer.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/sequencer.cc.o.d"
+  "/root/repo/src/sim/sync_bus.cc" "src/sim/CMakeFiles/ximd_sim.dir/sync_bus.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/sync_bus.cc.o.d"
+  "/root/repo/src/sim/write_pipeline.cc" "src/sim/CMakeFiles/ximd_sim.dir/write_pipeline.cc.o" "gcc" "src/sim/CMakeFiles/ximd_sim.dir/write_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ximd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ximd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ximd_sim.dir/cond_codes.cc.o"
+  "CMakeFiles/ximd_sim.dir/cond_codes.cc.o.d"
+  "CMakeFiles/ximd_sim.dir/datapath.cc.o"
+  "CMakeFiles/ximd_sim.dir/datapath.cc.o.d"
+  "CMakeFiles/ximd_sim.dir/io_port.cc.o"
+  "CMakeFiles/ximd_sim.dir/io_port.cc.o.d"
+  "CMakeFiles/ximd_sim.dir/memory.cc.o"
+  "CMakeFiles/ximd_sim.dir/memory.cc.o.d"
+  "CMakeFiles/ximd_sim.dir/register_file.cc.o"
+  "CMakeFiles/ximd_sim.dir/register_file.cc.o.d"
+  "CMakeFiles/ximd_sim.dir/sequencer.cc.o"
+  "CMakeFiles/ximd_sim.dir/sequencer.cc.o.d"
+  "CMakeFiles/ximd_sim.dir/sync_bus.cc.o"
+  "CMakeFiles/ximd_sim.dir/sync_bus.cc.o.d"
+  "CMakeFiles/ximd_sim.dir/write_pipeline.cc.o"
+  "CMakeFiles/ximd_sim.dir/write_pipeline.cc.o.d"
+  "libximd_sim.a"
+  "libximd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ximd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

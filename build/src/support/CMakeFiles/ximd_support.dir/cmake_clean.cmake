@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ximd_support.dir/logging.cc.o"
+  "CMakeFiles/ximd_support.dir/logging.cc.o.d"
+  "CMakeFiles/ximd_support.dir/random.cc.o"
+  "CMakeFiles/ximd_support.dir/random.cc.o.d"
+  "CMakeFiles/ximd_support.dir/str.cc.o"
+  "CMakeFiles/ximd_support.dir/str.cc.o.d"
+  "libximd_support.a"
+  "libximd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ximd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libximd_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../tools/vsim"
+  "../../tools/vsim.pdb"
+  "CMakeFiles/vsim.dir/xsim_main.cc.o"
+  "CMakeFiles/vsim.dir/xsim_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../tools/xsim"
+  "../../tools/xsim.pdb"
+  "CMakeFiles/xsim.dir/xsim_main.cc.o"
+  "CMakeFiles/xsim.dir/xsim_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

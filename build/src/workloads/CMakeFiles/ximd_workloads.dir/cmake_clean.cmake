@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ximd_workloads.dir/bitcount.cc.o"
+  "CMakeFiles/ximd_workloads.dir/bitcount.cc.o.d"
+  "CMakeFiles/ximd_workloads.dir/kernels.cc.o"
+  "CMakeFiles/ximd_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/ximd_workloads.dir/loop12.cc.o"
+  "CMakeFiles/ximd_workloads.dir/loop12.cc.o.d"
+  "CMakeFiles/ximd_workloads.dir/minmax.cc.o"
+  "CMakeFiles/ximd_workloads.dir/minmax.cc.o.d"
+  "CMakeFiles/ximd_workloads.dir/nonblocking.cc.o"
+  "CMakeFiles/ximd_workloads.dir/nonblocking.cc.o.d"
+  "CMakeFiles/ximd_workloads.dir/reference.cc.o"
+  "CMakeFiles/ximd_workloads.dir/reference.cc.o.d"
+  "libximd_workloads.a"
+  "libximd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ximd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

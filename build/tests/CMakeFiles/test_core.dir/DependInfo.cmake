@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_machine_edges.cc" "tests/CMakeFiles/test_core.dir/core/test_machine_edges.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_machine_edges.cc.o.d"
+  "/root/repo/tests/core/test_partition.cc" "tests/CMakeFiles/test_core.dir/core/test_partition.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_partition.cc.o.d"
+  "/root/repo/tests/core/test_pipeline.cc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cc.o.d"
+  "/root/repo/tests/core/test_stats.cc" "tests/CMakeFiles/test_core.dir/core/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stats.cc.o.d"
+  "/root/repo/tests/core/test_trace.cc" "tests/CMakeFiles/test_core.dir/core/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trace.cc.o.d"
+  "/root/repo/tests/core/test_vliw_machine.cc" "tests/CMakeFiles/test_core.dir/core/test_vliw_machine.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_vliw_machine.cc.o.d"
+  "/root/repo/tests/core/test_ximd_machine.cc" "tests/CMakeFiles/test_core.dir/core/test_ximd_machine.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ximd_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ximd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ximd_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ximd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/ximd_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ximd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ximd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ximd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_machine_edges.cc.o"
+  "CMakeFiles/test_core.dir/core/test_machine_edges.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_partition.cc.o"
+  "CMakeFiles/test_core.dir/core/test_partition.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cc.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_stats.cc.o"
+  "CMakeFiles/test_core.dir/core/test_stats.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace.cc.o"
+  "CMakeFiles/test_core.dir/core/test_trace.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_vliw_machine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_vliw_machine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_ximd_machine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_ximd_machine.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

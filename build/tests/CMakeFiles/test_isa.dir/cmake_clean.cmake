@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_control_op.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_control_op.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_data_op.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_data_op.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_disasm.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_disasm.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_opcode.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_opcode.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_operand.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_operand.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_program.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_program.cc.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/test_codegen.cc" "tests/CMakeFiles/test_sched.dir/sched/test_codegen.cc.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_codegen.cc.o.d"
+  "/root/repo/tests/sched/test_compose.cc" "tests/CMakeFiles/test_sched.dir/sched/test_compose.cc.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_compose.cc.o.d"
+  "/root/repo/tests/sched/test_ddg.cc" "tests/CMakeFiles/test_sched.dir/sched/test_ddg.cc.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_ddg.cc.o.d"
+  "/root/repo/tests/sched/test_ir.cc" "tests/CMakeFiles/test_sched.dir/sched/test_ir.cc.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_ir.cc.o.d"
+  "/root/repo/tests/sched/test_modulo.cc" "tests/CMakeFiles/test_sched.dir/sched/test_modulo.cc.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_modulo.cc.o.d"
+  "/root/repo/tests/sched/test_packer.cc" "tests/CMakeFiles/test_sched.dir/sched/test_packer.cc.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_packer.cc.o.d"
+  "/root/repo/tests/sched/test_scheduler.cc" "tests/CMakeFiles/test_sched.dir/sched/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ximd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ximd_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ximd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/ximd_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ximd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ximd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ximd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_codegen.cc.o"
+  "CMakeFiles/test_sched.dir/sched/test_codegen.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_compose.cc.o"
+  "CMakeFiles/test_sched.dir/sched/test_compose.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_ddg.cc.o"
+  "CMakeFiles/test_sched.dir/sched/test_ddg.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_ir.cc.o"
+  "CMakeFiles/test_sched.dir/sched/test_ir.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_modulo.cc.o"
+  "CMakeFiles/test_sched.dir/sched/test_modulo.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_packer.cc.o"
+  "CMakeFiles/test_sched.dir/sched/test_packer.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler.cc.o"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler.cc.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cond_codes.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cond_codes.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cond_codes.cc.o.d"
+  "/root/repo/tests/sim/test_datapath.cc" "tests/CMakeFiles/test_sim.dir/sim/test_datapath.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_datapath.cc.o.d"
+  "/root/repo/tests/sim/test_io_port.cc" "tests/CMakeFiles/test_sim.dir/sim/test_io_port.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_io_port.cc.o.d"
+  "/root/repo/tests/sim/test_memory.cc" "tests/CMakeFiles/test_sim.dir/sim/test_memory.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory.cc.o.d"
+  "/root/repo/tests/sim/test_register_file.cc" "tests/CMakeFiles/test_sim.dir/sim/test_register_file.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_register_file.cc.o.d"
+  "/root/repo/tests/sim/test_sequencer.cc" "tests/CMakeFiles/test_sim.dir/sim/test_sequencer.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sequencer.cc.o.d"
+  "/root/repo/tests/sim/test_sync_bus.cc" "tests/CMakeFiles/test_sim.dir/sim/test_sync_bus.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sync_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ximd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ximd_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ximd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/ximd_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ximd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ximd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ximd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

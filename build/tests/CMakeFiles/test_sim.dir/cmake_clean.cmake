@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cond_codes.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cond_codes.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_datapath.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_datapath.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_io_port.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_io_port.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_memory.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_memory.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_register_file.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_register_file.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sequencer.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_sequencer.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sync_bus.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_sync_bus.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

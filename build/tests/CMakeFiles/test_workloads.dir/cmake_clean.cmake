@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_bitcount.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_bitcount.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_kernels.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_kernels.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_loop12.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_loop12.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_minmax.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_minmax.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_nonblocking.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_nonblocking.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(cli_xsim_minmax "/root/repo/build/tools/xsim" "/root/repo/examples/programs/minmax.ximd" "--reg" "min" "--reg" "max")
+set_tests_properties(cli_xsim_minmax PROPERTIES  PASS_REGULAR_EXPRESSION "min = 3.*max = 7" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_xsim_barrier_trace "/root/repo/build/tools/xsim" "/root/repo/examples/programs/barrier.ximd" "--trace" "--stats")
+set_tests_properties(cli_xsim_barrier_trace PROPERTIES  PASS_REGULAR_EXPRESSION "halted after 23 cycles" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;76;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_vsim_rejects_sync "/root/repo/build/tools/vsim" "/root/repo/examples/programs/barrier.ximd")
+set_tests_properties(cli_vsim_rejects_sync PROPERTIES  PASS_REGULAR_EXPRESSION "sync-signal branch conditions" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_xsim_list "/root/repo/build/tools/xsim" "/root/repo/examples/programs/minmax.ximd" "--list")
+set_tests_properties(cli_xsim_list PROPERTIES  PASS_REGULAR_EXPRESSION "lt tz,#2147483647" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;87;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_xsim_usage "/root/repo/build/tools/xsim")
+set_tests_properties(cli_xsim_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;93;add_test;/root/repo/tests/CMakeLists.txt;0;")
