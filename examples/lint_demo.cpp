@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static verification demo: run the analysis pipeline over the
+ * shipped "bad corpus" (examples/programs/deadlock.ximd and
+ * cc_race.ximd) and over a known-good program, printing every
+ * diagnostic the verifier produces.
+ *
+ * This is the library-level counterpart of the `ximd-lint` tool: it
+ * calls analysis::analyze() directly on assembled Programs, which is
+ * the same entry point the schedulers use (via analysis::debugVerify)
+ * to self-check their emitted code.
+ *
+ * The programs directory is baked in at build time; pass a different
+ * one as argv[1] to lint your own corpus layout.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "analysis/verify.hh"
+#include "asm/assembler.hh"
+#include "support/logging.hh"
+
+#ifndef XIMD_PROGRAMS_DIR
+#define XIMD_PROGRAMS_DIR "examples/programs"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    using namespace ximd;
+
+    const std::string dir = argc > 1 ? argv[1] : XIMD_PROGRAMS_DIR;
+    const struct
+    {
+        const char *file;
+        bool expectErrors;
+    } corpus[] = {
+        {"minmax.ximd", false},
+        {"deadlock.ximd", true},
+        {"cc_race.ximd", true},
+    };
+
+    bool allAsExpected = true;
+    for (const auto &entry : corpus) {
+        const std::string path = dir + "/" + entry.file;
+        std::cout << "=== " << path << " ===\n";
+
+        Program prog(1);
+        try {
+            prog = assembleFile(path);
+        } catch (const FatalError &e) {
+            std::cout << "assembly failed: " << e.what() << "\n\n";
+            allAsExpected = false;
+            continue;
+        }
+
+        const analysis::DiagnosticList diags =
+            analysis::analyze(prog);
+        for (const auto &d : diags.all())
+            std::cout << analysis::DiagnosticList::formatOne(d, &prog)
+                      << "\n";
+        std::cout << (diags.hasErrors() ? "REJECTED" : "clean")
+                  << " (" << diags.errorCount() << " errors, "
+                  << diags.warningCount() << " warnings); expected "
+                  << (entry.expectErrors ? "errors" : "clean")
+                  << "\n\n";
+
+        if (diags.hasErrors() != entry.expectErrors)
+            allAsExpected = false;
+    }
+
+    std::cout << (allAsExpected ? "verifier behaved as expected"
+                                : "UNEXPECTED verifier behavior")
+              << "\n";
+    return allAsExpected ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build the tree with AddressSanitizer + UBSan and run the tier-1 test
+# suite instrumented. Any finding (leak, overflow, UB) fails the run.
+#
+#   scripts/run_sanitizers.sh [build-dir]
+#
+# The build directory defaults to build-asan/ next to build/.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-asan}"
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DXIMD_SANITIZE=address,undefined
+cmake --build "$BUILD" -j
+
+# halt_on_error makes UBSan findings fatal instead of log-and-continue.
+ASAN_OPTIONS=detect_leaks=1:abort_on_error=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "sanitizer run clean"

@@ -1,0 +1,106 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ximd::analysis {
+
+namespace {
+
+/** In-range targets of @p op, deduplicated. */
+std::vector<InstAddr>
+targetsOf(const ControlOp &op, InstAddr numRows)
+{
+    std::vector<InstAddr> out;
+    if (op.isHalt())
+        return out;
+    if (op.t1 < numRows)
+        out.push_back(op.t1);
+    if (op.isConditional() && op.t2 != op.t1 && op.t2 < numRows)
+        out.push_back(op.t2);
+    return out;
+}
+
+} // namespace
+
+ProgramCfg
+buildCfg(const Program &prog)
+{
+    const InstAddr n = prog.size();
+    ProgramCfg cfg;
+    cfg.streams.resize(prog.width());
+
+    for (FuId fu = 0; fu < prog.width(); ++fu) {
+        StreamCfg &s = cfg.streams[fu];
+        s.fu = fu;
+        s.succs.resize(n);
+        s.preds.resize(n);
+        s.reachable.assign(n, 0);
+
+        for (InstAddr r = 0; r < n; ++r)
+            s.succs[r] = targetsOf(prog.parcel(r, fu).ctrl, n);
+        for (InstAddr r = 0; r < n; ++r)
+            for (InstAddr t : s.succs[r])
+                s.preds[t].push_back(r);
+
+        // Depth-first reachability from the shared entry row 0.
+        if (n == 0)
+            continue;
+        std::vector<InstAddr> work{0};
+        s.reachable[0] = 1;
+        while (!work.empty()) {
+            const InstAddr r = work.back();
+            work.pop_back();
+            for (InstAddr t : s.succs[r]) {
+                if (!s.reachable[t]) {
+                    s.reachable[t] = 1;
+                    work.push_back(t);
+                }
+            }
+        }
+    }
+    return cfg;
+}
+
+void
+checkCfg(const Program &prog, const ProgramCfg &cfg,
+         DiagnosticList &diags)
+{
+    const InstAddr n = prog.size();
+    for (InstAddr r = 0; r < n; ++r) {
+        for (FuId fu = 0; fu < prog.width(); ++fu) {
+            const Parcel &p = prog.parcel(r, fu);
+            const ControlOp &c = p.ctrl;
+
+            if (!c.isHalt()) {
+                if (c.t1 >= n)
+                    diags.error(
+                        Check::BadBranchTarget, r, static_cast<int>(fu),
+                        cat("branch target ", c.t1,
+                            " is outside the program (", n,
+                            " rows)"));
+                if (c.isConditional() && c.t2 >= n)
+                    diags.error(
+                        Check::BadBranchTarget, r, static_cast<int>(fu),
+                        cat("fall-back target ", c.t2,
+                            " is outside the program (", n,
+                            " rows)"));
+            }
+
+            // Dead parcels that do real work are almost certainly a
+            // mislaid label or a wrong branch target. Filler parcels
+            // (nop data, BUSY sync) are normal in packed layouts.
+            const bool nontrivial =
+                !p.data.isNop() || p.sync == SyncVal::Done;
+            if (nontrivial && !cfg.executable(r, fu))
+                diags.warning(
+                    Check::UnreachableParcel, r, static_cast<int>(fu),
+                    cat("parcel '", p.data.toString(),
+                        "' can never execute: FU", fu,
+                        " cannot reach this row from row 0"));
+        }
+    }
+}
+
+} // namespace ximd::analysis

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-FU control-flow graphs over an assembled Program.
+ *
+ * In an XIMD machine every FU owns a sequencer that walks its own
+ * column of the parcel grid (section 2.2), so control flow is a
+ * per-column property: the parcel at (row, fu) can only ever execute
+ * if FU `fu`'s sequencer can reach `row` from the shared entry row 0.
+ *
+ * Each column's graph has one node per instruction row. Edges follow
+ * the two-target control fields: an unconditional branch contributes
+ * {t1}, a conditional branch {t1, t2}, and halt nothing. There is no
+ * fall-through in the ISA (no PC incrementer, Figure 8); the
+ * assembler materializes textual fall-through as explicit jumps, so
+ * the graph needs no implicit edges.
+ *
+ * Branch targets outside the program are dropped from the graph (and
+ * diagnosed by checkCfg) so the remaining passes can run on malformed
+ * inputs without faulting.
+ */
+
+#ifndef XIMD_ANALYSIS_CFG_HH
+#define XIMD_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "isa/program.hh"
+
+namespace ximd::analysis {
+
+/** Control-flow graph of one FU's instruction stream. */
+struct StreamCfg
+{
+    FuId fu = 0;
+    /** Per row: successor rows (0, 1 or 2 entries, deduplicated). */
+    std::vector<std::vector<InstAddr>> succs;
+    /** Per row: predecessor rows. */
+    std::vector<std::vector<InstAddr>> preds;
+    /** Per row: reachable from row 0 along this column. */
+    std::vector<char> reachable;
+
+    bool
+    isReachable(InstAddr row) const
+    {
+        return row < reachable.size() && reachable[row];
+    }
+};
+
+/** CFGs for every FU of a program. */
+struct ProgramCfg
+{
+    std::vector<StreamCfg> streams;
+
+    /** True when the parcel at (@p row, @p fu) can ever execute. */
+    bool
+    executable(InstAddr row, FuId fu) const
+    {
+        return fu < streams.size() && streams[fu].isReachable(row);
+    }
+};
+
+/** Build every column's CFG. Tolerates out-of-range branch targets. */
+ProgramCfg buildCfg(const Program &prog);
+
+/**
+ * Control-flow diagnostics:
+ *  - error   BadBranchTarget: a branch target outside the program;
+ *  - warning UnreachableParcel: a parcel that does real work (non-nop
+ *    data op or a DONE sync field) at a row its own FU can never
+ *    reach. Trivial filler (nop, BUSY) is expected in packed/composed
+ *    programs and is not reported.
+ */
+void checkCfg(const Program &prog, const ProgramCfg &cfg,
+              DiagnosticList &diags);
+
+} // namespace ximd::analysis
+
+#endif // XIMD_ANALYSIS_CFG_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Classic dataflow over each instruction stream: definedness of
+ * registers and condition-code bits, plus same-column liveness.
+ *
+ * The global register file makes cross-stream dataflow undecidable in
+ * general (two free-running streams interleave arbitrarily), so the
+ * analysis splits the problem the way the architecture does:
+ *
+ *  - Along one FU's own column the control-flow graph is exact, so we
+ *    run a *must-be-defined* forward analysis (intersection over
+ *    paths, gen = this column's writes). A register is must-defined
+ *    at (row, fu) when every path of FU `fu` from row 0 writes it
+ *    first.
+ *  - Writes performed by *other* columns are folded in at the entry
+ *    as assumed-defined: the analysis never reasons about cross-
+ *    stream ordering, so it never reports a register another stream
+ *    provably writes (conservative: no false positives from
+ *    interleaving, at the cost of missing cross-stream use-before-
+ *    def bugs).
+ *  - CC bits are exact per column: CCk is written only by compares
+ *    executed on FU k (section 2.2), so for a branch on its own CC
+ *    the must-analysis is precise, including the registered-CC
+ *    timing: a compare's definition propagates to the row's
+ *    *successors*, never into its own row — a branch in the same
+ *    parcel reads the beginning-of-cycle value (verified against the
+ *    paper's Figure 10, cycles 0->1 and 8->9). For a branch on
+ *    another FU's CC only existence of a reachable compare on that
+ *    column is required.
+ *
+ * Liveness is a backward may-analysis per column, used to spot dead
+ * writes. Registers read by other columns or carrying a symbolic name
+ * (observable program outputs) are treated as live everywhere /
+ * live-out at exits.
+ */
+
+#ifndef XIMD_ANALYSIS_DATAFLOW_HH
+#define XIMD_ANALYSIS_DATAFLOW_HH
+
+#include <bitset>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/diagnostics.hh"
+#include "isa/program.hh"
+
+namespace ximd::analysis {
+
+/** Register bitset (one bit per global register). */
+using RegSet = std::bitset<kNumRegisters>;
+
+/** CC bitset (one bit per FU). */
+using CcSet = std::bitset<kMaxFus>;
+
+/** Per-stream dataflow facts, indexed by row. */
+struct StreamDataflow
+{
+    /** Registers must-defined at entry to each row. */
+    std::vector<RegSet> regIn;
+    /** CC bits must-defined at entry to each row. */
+    std::vector<CcSet> ccIn;
+    /** Registers live at entry to each row (same-column uses). */
+    std::vector<RegSet> liveIn;
+    /** Registers live at exit of each row. */
+    std::vector<RegSet> liveOut;
+};
+
+/** Whole-program dataflow summary. */
+struct DataflowResult
+{
+    std::vector<StreamDataflow> streams; ///< One per FU.
+
+    RegSet everWritten; ///< Written by any executable parcel.
+    RegSet everRead;    ///< Read by any executable parcel.
+    RegSet initialized; ///< Set by a Program regInit request.
+    CcSet ccEverSet;    ///< CCk set by a reachable compare on FU k.
+
+    /** Registers each column reads (executable parcels only). */
+    std::vector<RegSet> readBy;
+    /** Registers each column writes (executable parcels only). */
+    std::vector<RegSet> writtenBy;
+};
+
+/** Run the analyses; @p cfg must come from buildCfg(@p prog). */
+DataflowResult runDataflow(const Program &prog, const ProgramCfg &cfg);
+
+/**
+ * Dataflow diagnostics:
+ *  - error   ReadUninit: a register read that no initializer and no
+ *    write anywhere in the program covers (warning when only *some*
+ *    path misses the write — registers power up as zero, so the
+ *    value is deterministic, merely dubious);
+ *  - error   BadCcIndex: branch condition names CC >= width;
+ *  - error   CcNeverSet: branch on a CC that no reachable compare on
+ *    the owning column can have set on some path;
+ *  - error   CcSameCycleRead: the special case where the only
+ *    candidate compare shares the branch's row — the classic
+ *    registered-CC race;
+ *  - warning WriteNeverRead: an unnamed register written but never
+ *    read by any stream;
+ *  - warning DeadWrite: a write overwritten on every path before any
+ *    same-column read (only for registers private to one column).
+ */
+void checkDataflow(const Program &prog, const ProgramCfg &cfg,
+                   const DataflowResult &df, DiagnosticList &diags);
+
+} // namespace ximd::analysis
+
+#endif // XIMD_ANALYSIS_DATAFLOW_HH

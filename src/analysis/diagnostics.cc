@@ -1,0 +1,123 @@
+#include "analysis/diagnostics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace ximd::analysis {
+
+std::string_view
+checkName(Check c)
+{
+    switch (c) {
+      case Check::BadBranchTarget:     return "bad-branch-target";
+      case Check::UnreachableParcel:   return "unreachable-parcel";
+      case Check::BadCcIndex:          return "bad-cc-index";
+      case Check::ReadUninit:          return "read-uninit";
+      case Check::CcNeverSet:          return "cc-never-set";
+      case Check::CcSameCycleRead:     return "cc-same-cycle-read";
+      case Check::WriteNeverRead:      return "write-never-read";
+      case Check::DeadWrite:           return "dead-write";
+      case Check::BadSsIndex:          return "bad-ss-index";
+      case Check::BadSyncMask:         return "bad-sync-mask";
+      case Check::EmptySyncMask:       return "empty-sync-mask";
+      case Check::RegWriteConflict:    return "reg-write-conflict";
+      case Check::MemWriteConflict:    return "mem-write-conflict";
+      case Check::UnsatisfiableWait:   return "unsatisfiable-wait";
+      case Check::SelfDeadlock:        return "deadlock";
+      case Check::CrossStreamDeadlock: return "deadlock";
+      case Check::MalformedDataOp:     return "malformed-data-op";
+    }
+    panic("checkName: bad check id ", static_cast<int>(c));
+}
+
+void
+DiagnosticList::error(Check c, InstAddr row, int fu, std::string msg)
+{
+    diags_.push_back(
+        {Severity::Error, c, row, fu, std::move(msg)});
+}
+
+void
+DiagnosticList::warning(Check c, InstAddr row, int fu, std::string msg)
+{
+    diags_.push_back(
+        {Severity::Warning, c, row, fu, std::move(msg)});
+}
+
+std::size_t
+DiagnosticList::errorCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(diags_.begin(), diags_.end(),
+                      [](const Diagnostic &d) { return d.isError(); }));
+}
+
+std::size_t
+DiagnosticList::warningCount() const
+{
+    return diags_.size() - errorCount();
+}
+
+void
+DiagnosticList::sort()
+{
+    std::stable_sort(
+        diags_.begin(), diags_.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            if (a.row != b.row)
+                return a.row < b.row;
+            if (a.fu != b.fu)
+                return a.fu < b.fu;
+            return a.severity == Severity::Error &&
+                   b.severity == Severity::Warning;
+        });
+}
+
+std::string
+DiagnosticList::formatOne(const Diagnostic &d, const Program *prog)
+{
+    std::ostringstream os;
+    os << (d.isError() ? "error" : "warning") << '['
+       << checkName(d.check) << "] row " << d.row;
+    if (prog) {
+        if (auto label = prog->labelAt(d.row))
+            os << " (" << *label << ")";
+    }
+    if (d.fu >= 0)
+        os << " fu" << d.fu;
+    os << ": " << d.message;
+    return os.str();
+}
+
+std::string
+DiagnosticList::formatted(const Program *prog) const
+{
+    std::string out;
+    for (const Diagnostic &d : diags_) {
+        out += formatOne(d, prog);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+DiagnosticList::summary() const
+{
+    const std::size_t e = errorCount();
+    const std::size_t w = warningCount();
+    if (e == 0 && w == 0)
+        return "";
+    std::ostringstream os;
+    if (e > 0)
+        os << e << (e == 1 ? " error" : " errors");
+    if (w > 0) {
+        if (e > 0)
+            os << ", ";
+        os << w << (w == 1 ? " warning" : " warnings");
+    }
+    return os.str();
+}
+
+} // namespace ximd::analysis

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Diagnostic records produced by the static program verifier.
+ *
+ * Every finding is anchored to an instruction row and (usually) a
+ * functional unit, carries a severity and a stable check identifier,
+ * and renders with the row's label when the program has one — so a
+ * report reads like the paper's listings: "error[deadlock] row 03
+ * (bar) fu0: ...".
+ *
+ * Severity policy (see DESIGN.md, "Static verification"):
+ *  - Error:   the program provably misbehaves on some execution the
+ *             analysis can exhibit (deadlock, undefined write race,
+ *             read of a value no instruction produces), or it would
+ *             fault the simulator outright (bad target, bad index).
+ *  - Warning: suspicious but not provably wrong (dead code, masks
+ *             naming nonexistent FUs, values computed and discarded).
+ */
+
+#ifndef XIMD_ANALYSIS_DIAGNOSTICS_HH
+#define XIMD_ANALYSIS_DIAGNOSTICS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hh"
+#include "support/types.hh"
+
+namespace ximd::analysis {
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t { Warning, Error };
+
+/** Stable identifier of the check that produced a diagnostic. */
+enum class Check : std::uint8_t {
+    // Control-flow checks (cfg.hh).
+    BadBranchTarget,   ///< Branch target outside the program.
+    UnreachableParcel, ///< Non-trivial parcel its FU can never fetch.
+
+    // Dataflow checks (dataflow.hh).
+    BadCcIndex,     ///< Branch condition names a nonexistent CC.
+    ReadUninit,     ///< Register read that no write covers.
+    CcNeverSet,     ///< Branch on a CC no reachable compare sets.
+    CcSameCycleRead,///< Branch reads a CC written in the same cycle.
+    WriteNeverRead, ///< Register written, never read, never named.
+    DeadWrite,      ///< Value overwritten on every path before a read.
+
+    // Cross-stream checks (sync_check.hh).
+    BadSsIndex,         ///< Sync condition names a nonexistent FU.
+    BadSyncMask,        ///< Explicit mask selects nonexistent FUs.
+    EmptySyncMask,      ///< Mask selects no existing FU (sim panics).
+    RegWriteConflict,   ///< Same-cycle same-register write conflict.
+    MemWriteConflict,   ///< Same-cycle same-address store conflict.
+    UnsatisfiableWait,  ///< Sync condition that can never become true.
+    SelfDeadlock,       ///< FU waits for a DONE it suppresses itself.
+    CrossStreamDeadlock,///< Cyclic wait between busy-waiting FUs.
+
+    // Structural checks (verify.cc).
+    MalformedDataOp,    ///< Operand shape rejected by the ISA.
+};
+
+/** Short stable name used in rendered output, e.g. "deadlock". */
+std::string_view checkName(Check c);
+
+/** One finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    Check check = Check::BadBranchTarget;
+    InstAddr row = 0;
+    int fu = -1; ///< Column, or -1 when the finding spans the row.
+    std::string message;
+
+    bool isError() const { return severity == Severity::Error; }
+};
+
+/** An ordered collection of findings. */
+class DiagnosticList
+{
+  public:
+    void error(Check c, InstAddr row, int fu, std::string msg);
+    void warning(Check c, InstAddr row, int fu, std::string msg);
+
+    const std::vector<Diagnostic> &all() const { return diags_; }
+    bool empty() const { return diags_.empty(); }
+    std::size_t size() const { return diags_.size(); }
+
+    std::size_t errorCount() const;
+    std::size_t warningCount() const;
+    bool hasErrors() const { return errorCount() > 0; }
+
+    /** Order findings by (row, fu), errors before warnings. */
+    void sort();
+
+    /**
+     * Render every finding, one per line. When @p prog is given, rows
+     * that carry labels are annotated with them.
+     */
+    std::string formatted(const Program *prog = nullptr) const;
+
+    /** Render a single finding (same format, no newline). */
+    static std::string formatOne(const Diagnostic &d,
+                                 const Program *prog = nullptr);
+
+    /** "2 errors, 1 warning" (empty string when clean). */
+    std::string summary() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace ximd::analysis
+
+#endif // XIMD_ANALYSIS_DIAGNOSTICS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cross-stream checks: write-port conflicts, sync-mask sanity, and
+ * deadlock detection over the cooperative SS protocol.
+ *
+ * The XIMD synchronization contract (sections 2.2, 3.3) is pure
+ * software: an FU busy-waits on a branch whose condition reads other
+ * FUs' SS fields, and every FU *chooses* what it drives on the bus
+ * each cycle. Three ways a program can violate the contract are
+ * decidable per column and checked here:
+ *
+ *  1. Same-cycle structural conflicts. Two FUs that execute the same
+ *     instruction row simultaneously and both write one register (or
+ *     both store to one statically-known address) hit the undefined
+ *     write-port race of section 2.2 — the simulator faults on it at
+ *     run time. Statically, two parcels in the *same row* whose FUs
+ *     can both reach that row are flagged. (Conservative: distinct
+ *     streams that share a row number but can never coincide in time
+ *     are still flagged; in compiler-emitted layouts a shared row
+ *     means a shared tile, i.e. lockstep execution.)
+ *
+ *  2. Unsatisfiable waits. A wait on SSk == DONE can only ever
+ *     complete if FU k has a reachable parcel that drives DONE or a
+ *     reachable halt (a halted FU reads DONE on the bus — see
+ *     sync_bus.hh; this is also why a barrier over a *provably
+ *     halted* FU is satisfiable, not a deadlock). If FU k can do
+ *     neither, the wait never completes. A busy-wait self-loop on
+ *     such a condition is a guaranteed deadlock; a non-looping
+ *     branch merely has a dead taken-path (warning). The precise
+ *     special case: an ALL-sync self-loop whose own FU is in the
+ *     mask while the spin parcel drives BUSY vetoes its own barrier
+ *     forever.
+ *
+ *  3. Cyclic waits. FU a busy-waits for FU b's DONE while driving
+ *     BUSY, and b can only reach a DONE-driving parcel after its own
+ *     BUSY-driving wait on a (directly or through a longer chain):
+ *     nobody ever signals, nobody ever advances. Detected as a cycle
+ *     in a wait-for graph whose edge a -> b exists when a has a
+ *     reachable BUSY spin waiting on b and *every* DONE point of b
+ *     lies behind some BUSY spin of b. (Conservative: assumes the
+ *     spinning configurations can coincide in time.)
+ *
+ * Mask hygiene mirrors the SyncBus run-time guards: a mask that
+ * selects no existing FU panics the simulator (error); an explicit
+ * mask naming FUs beyond the machine width is silently trimmed by
+ * the bus (warning). The all-ones default mask means "every FU" and
+ * is exempt. FU masks are 32-bit — see the static_assert on kMaxFus
+ * in support/types.hh.
+ */
+
+#ifndef XIMD_ANALYSIS_SYNC_CHECK_HH
+#define XIMD_ANALYSIS_SYNC_CHECK_HH
+
+#include "analysis/cfg.hh"
+#include "analysis/diagnostics.hh"
+#include "isa/program.hh"
+
+namespace ximd::analysis {
+
+/** Run every cross-stream check, appending findings to @p diags. */
+void checkSync(const Program &prog, const ProgramCfg &cfg,
+               DiagnosticList &diags);
+
+} // namespace ximd::analysis
+
+#endif // XIMD_ANALYSIS_SYNC_CHECK_HH

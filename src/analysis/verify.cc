@@ -1,0 +1,68 @@
+#include "analysis/verify.hh"
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/sync_check.hh"
+#include "support/logging.hh"
+
+namespace ximd::analysis {
+
+DiagnosticList
+analyze(const Program &prog, const AnalyzeOptions &opts)
+{
+    DiagnosticList diags;
+
+    // Structural pass: a data op the ISA rejects would fault every
+    // later consumer; report it and keep going.
+    for (InstAddr r = 0; r < prog.size(); ++r) {
+        for (FuId fu = 0; fu < prog.width(); ++fu) {
+            try {
+                prog.parcel(r, fu).data.validate();
+            } catch (const FatalError &e) {
+                diags.error(Check::MalformedDataOp, r,
+                            static_cast<int>(fu), e.what());
+            }
+        }
+    }
+
+    const ProgramCfg cfg = buildCfg(prog);
+    checkCfg(prog, cfg, diags);
+
+    const DataflowResult df = runDataflow(prog, cfg);
+    checkDataflow(prog, cfg, df, diags);
+
+    checkSync(prog, cfg, diags);
+
+    if (!opts.warnings) {
+        DiagnosticList errorsOnly;
+        for (const Diagnostic &d : diags.all())
+            if (d.isError())
+                errorsOnly.error(d.check, d.row, d.fu, d.message);
+        diags = std::move(errorsOnly);
+    }
+    diags.sort();
+    return diags;
+}
+
+void
+verify(const Program &prog)
+{
+    AnalyzeOptions opts;
+    opts.warnings = false;
+    const DiagnosticList diags = analyze(prog, opts);
+    if (diags.hasErrors())
+        fatal("program verification failed (", diags.summary(),
+              "):\n", diags.formatted(&prog));
+}
+
+void
+debugVerify(const Program &prog)
+{
+#ifdef NDEBUG
+    (void)prog;
+#else
+    verify(prog);
+#endif
+}
+
+} // namespace ximd::analysis

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The static program verifier: one entry point over every pass.
+ *
+ * analyze() never throws on a malformed program — it turns what it
+ * finds into diagnostics, so tools can report *all* problems at once
+ * instead of dying on the first. verify() is the strict form used as
+ * a machine-checkable contract for compiler-emitted code: it throws
+ * FatalError when any error-severity finding exists.
+ *
+ * Pass ordering (each pass feeds the next):
+ *   1. structural  — parcel shapes (malformed data ops);
+ *   2. cfg         — per-FU control-flow graphs, target validation,
+ *                    unreachable-parcel detection;
+ *   3. dataflow    — must-defined registers/CCs, liveness;
+ *   4. sync_check  — cross-stream conflicts and deadlocks.
+ */
+
+#ifndef XIMD_ANALYSIS_VERIFY_HH
+#define XIMD_ANALYSIS_VERIFY_HH
+
+#include "analysis/diagnostics.hh"
+#include "isa/program.hh"
+
+namespace ximd::analysis {
+
+/** Analysis knobs. */
+struct AnalyzeOptions
+{
+    /** Emit warning-severity findings (errors are always emitted). */
+    bool warnings = true;
+};
+
+/** Run every pass over @p prog; findings come back sorted. */
+DiagnosticList analyze(const Program &prog,
+                       const AnalyzeOptions &opts = {});
+
+/**
+ * Throw FatalError (message = every error finding) when @p prog has
+ * error-severity findings; warnings are ignored.
+ */
+void verify(const Program &prog);
+
+/**
+ * Self-check hook for compiler-emitted programs: verify() in debug
+ * builds, no-op when NDEBUG is defined. Called from the scheduler's
+ * code generator and thread composer so every Program they produce
+ * is checked against the contract the moment it is built.
+ */
+void debugVerify(const Program &prog);
+
+} // namespace ximd::analysis
+
+#endif // XIMD_ANALYSIS_VERIFY_HH

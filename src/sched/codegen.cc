@@ -1,5 +1,6 @@
 #include "sched/codegen.hh"
 
+#include "analysis/verify.hh"
 #include "sched/list_scheduler.hh"
 #include "support/logging.hh"
 
@@ -128,6 +129,9 @@ generateCode(const IrProgram &prog, const CodegenOptions &opts)
     }
 
     out.validate();
+    // Debug builds run the full static verifier over every emitted
+    // program: the compiler must honor the contract it compiles to.
+    analysis::debugVerify(out);
     return result;
 }
 

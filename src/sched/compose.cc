@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/verify.hh"
 #include "sched/codegen.hh"
 #include "support/logging.hh"
 
@@ -196,6 +197,9 @@ composeThreads(const std::vector<IrProgram> &threads,
     }
 
     prog.validate();
+    // Composition introduces the sync protocol (start barriers,
+    // final barrier); self-check the whole contract in debug builds.
+    analysis::debugVerify(prog);
     return out;
 }
 

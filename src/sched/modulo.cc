@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/verify.hh"
 #include "support/logging.hh"
 
 namespace ximd::sched {
@@ -198,6 +199,7 @@ pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
     }
 
     out.validate();
+    analysis::debugVerify(out);
     return out;
 }
 

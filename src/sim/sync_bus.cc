@@ -44,10 +44,7 @@ SyncBus::get(FuId fu) const
 std::uint32_t
 SyncBus::effectiveMask(std::uint32_t mask) const
 {
-    const FuId n = numFus();
-    const std::uint32_t all =
-        n >= 32 ? ~0u : ((1u << n) - 1u);
-    return mask & all;
+    return mask & fuMaskAll(numFus());
 }
 
 bool

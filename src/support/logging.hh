@@ -63,6 +63,14 @@ void emitInform(const std::string &msg);
 
 } // namespace detail
 
+/** Stream a parameter pack into one string: cat("r", 5) == "r5". */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    return detail::concat(std::forward<Args>(args)...);
+}
+
 /** Report a user error and throw FatalError. */
 template <typename... Args>
 [[noreturn]] void

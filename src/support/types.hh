@@ -43,6 +43,19 @@ inline constexpr RegId kNumRegisters = 256;
 /** Hard upper bound on functional units supported by this simulator. */
 inline constexpr FuId kMaxFus = 32;
 
+/**
+ * FU masks (barrier conditions, SyncBus::allDone/anyDone) are packed
+ * into a std::uint32_t, one bit per FU; kMaxFus may not outgrow it.
+ */
+static_assert(kMaxFus <= 32, "FU masks are 32-bit: one bit per FU");
+
+/** Mask selecting every FU of an @p n-unit machine. */
+inline constexpr std::uint32_t
+fuMaskAll(FuId n)
+{
+    return n >= 32 ? ~0u : ((1u << n) - 1u);
+}
+
 /** Default XIMD-1 configuration: 8 homogeneous universal FUs. */
 inline constexpr FuId kDefaultFus = 8;
 

@@ -14,6 +14,8 @@
  *                      (repeatable)
  *     --mem ADDR[:N]   print N memory words from ADDR (default 1)
  *     --registered-ss  ablation: register the sync-signal bus
+ *     --verify         statically verify after assembly; refuse to
+ *                      simulate a program with errors
  */
 
 #include <cstdlib>
@@ -21,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verify.hh"
 #include "asm/assembler.hh"
 #include "core/vliw_machine.hh"
 #include "core/ximd_machine.hh"
@@ -48,7 +51,8 @@ usage()
         << "  --max-cycles N   cycle budget\n"
         << "  --reg NAME       print a named register (repeatable)\n"
         << "  --mem ADDR[:N]   print N memory words from ADDR\n"
-        << "  --registered-ss  ablation: registered sync signals\n";
+        << "  --registered-ss  ablation: registered sync signals\n"
+        << "  --verify         refuse to simulate on static errors\n";
     std::exit(2);
 }
 
@@ -58,6 +62,7 @@ struct Options
     bool trace = false;
     bool stats = false;
     bool list = false;
+    bool verify = false;
     bool registeredSync = false;
     Cycle maxCycles = 0;
     std::vector<std::string> regs;
@@ -81,6 +86,8 @@ parseArgs(int argc, char **argv)
             o.stats = true;
         } else if (arg == "--list") {
             o.list = true;
+        } else if (arg == "--verify") {
+            o.verify = true;
         } else if (arg == "--registered-ss") {
             o.registeredSync = true;
         } else if (arg == "--max-cycles") {
@@ -165,6 +172,22 @@ main(int argc, char **argv)
         if (o.list) {
             std::cout << formatProgram(prog);
             return 0;
+        }
+        if (o.verify) {
+            const analysis::DiagnosticList diags =
+                analysis::analyze(prog);
+            for (const auto &d : diags.all())
+                std::cerr << kTool << ": "
+                          << analysis::DiagnosticList::formatOne(
+                                 d, &prog)
+                          << "\n";
+            if (diags.hasErrors()) {
+                std::cerr << kTool
+                          << ": refusing to simulate: verification "
+                             "failed ("
+                          << diags.summary() << ")\n";
+                return 1;
+            }
         }
 #if XIMD_TOOL_IS_XSIM
         return runMachine<XimdMachine>(std::move(prog), o);

@@ -1,0 +1,290 @@
+#include "analysis/dataflow.hh"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+
+#ifndef XIMD_SOURCE_DIR
+#define XIMD_SOURCE_DIR "."
+#endif
+
+namespace ximd::analysis {
+namespace {
+
+DiagnosticList
+lint(const Program &p)
+{
+    const ProgramCfg cfg = buildCfg(p);
+    const DataflowResult df = runDataflow(p, cfg);
+    DiagnosticList diags;
+    checkDataflow(p, cfg, df, diags);
+    diags.sort();
+    return diags;
+}
+
+bool
+has(const DiagnosticList &diags, Check c)
+{
+    for (const auto &d : diags.all())
+        if (d.check == c)
+            return true;
+    return false;
+}
+
+TEST(Dataflow, MustDefinedSurvivesLoopBackEdge)
+{
+    // Regression: the loop back edge into `top` must not destroy the
+    // definedness established before the loop (must-analysis needs
+    // TOP initialization, not bottom).
+    const Program p = assembleString(R"(
+        .fus 1
+        .reg c
+        .init c 3
+        top:  -> test ; isub c,#1,c
+        test: -> br   ; eq c,#0
+        br:   if cc0 out top ; nop
+        out:  halt ; store c,#32
+    )");
+    const DiagnosticList diags = lint(p);
+    EXPECT_TRUE(diags.empty()) << diags.formatted(&p);
+}
+
+TEST(Dataflow, ReadBeforeWriteOnSomePathFlagged)
+{
+    // The cc0-false arm reaches `use` without writing x.
+    const Program p = assembleString(R"(
+        .fus 1
+        .reg x
+        .reg y
+        .init y 1
+        e:   -> br  ; eq y,#0
+        br:  if cc0 def use ; nop
+        def: -> use ; iadd #5,#0,x
+        use: halt   ; store x,#32
+    )");
+    const DiagnosticList diags = lint(p);
+    ASSERT_TRUE(has(diags, Check::ReadUninit)) << diags.formatted(&p);
+    for (const auto &d : diags.all())
+        if (d.check == Check::ReadUninit) {
+            // Registers power up as zero, so the path-sensitive
+            // case is a warning, not an error.
+            EXPECT_FALSE(d.isError());
+            EXPECT_EQ(d.row, 3u);
+            EXPECT_NE(d.message.find("some path"),
+                      std::string::npos);
+        }
+}
+
+TEST(Dataflow, NeverWrittenAnywhereGetsStrongerMessage)
+{
+    const Program p = assembleString(R"(
+        .fus 1
+        .reg x
+        go: halt ; store x,#32
+    )");
+    const DiagnosticList diags = lint(p);
+    ASSERT_EQ(diags.errorCount(), 1u) << diags.formatted(&p);
+    EXPECT_EQ(diags.all()[0].check, Check::ReadUninit);
+    EXPECT_NE(diags.all()[0].message.find("never initialized"),
+              std::string::npos);
+}
+
+TEST(Dataflow, InitializedRegisterIsDefined)
+{
+    const Program p = assembleString(R"(
+        .fus 1
+        .reg x
+        .init x 7
+        go: halt ; store x,#32
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+TEST(Dataflow, CrossStreamWriteAssumedDefined)
+{
+    // FU1 produces x; FU0 consumes it. The analysis does not model
+    // cross-stream ordering, so this must pass (conservatively).
+    const Program p = assembleString(R"(
+        .fus 2
+        .reg x
+        a: -> b ; nop          || -> b ; iadd #5,#0,x
+        b: halt ; store x,#32  || halt ; nop
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+TEST(Dataflow, BranchOnSameCycleCompareFlagged)
+{
+    // CCs are registered: the branch reads the beginning-of-cycle
+    // value, so the row's own compare cannot satisfy it.
+    const Program p = assembleString(R"(
+        .fus 1
+        .reg x
+        .init x 0
+        a: if cc0 b a ; eq x,#0
+        b: halt ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    ASSERT_EQ(diags.errorCount(), 1u) << diags.formatted(&p);
+    EXPECT_EQ(diags.all()[0].check, Check::CcSameCycleRead);
+}
+
+TEST(Dataflow, CompareInPriorRowSatisfiesBranch)
+{
+    const Program p = assembleString(R"(
+        .fus 1
+        .reg x
+        .init x 0
+        a: -> b ; eq x,#0
+        b: if cc0 c a ; nop
+        c: halt ; nop
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+TEST(Dataflow, BranchOnForeignCcNeverSetFlagged)
+{
+    // FU1 never executes a compare, yet FU0 branches on cc1.
+    const Program p = assembleString(R"(
+        .fus 2
+        a: if cc1 b a ; nop || -> b ; nop
+        b: halt ; nop       || halt ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    ASSERT_TRUE(has(diags, Check::CcNeverSet)) << diags.formatted(&p);
+    for (const auto &d : diags.all()) {
+        if (d.check == Check::CcNeverSet) {
+            EXPECT_NE(d.message.find("never executes a compare"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(Dataflow, BadCcIndexFlagged)
+{
+    // The assembler rejects cc >= width, so build the row by hand.
+    Program p(1);
+    p.addRow(InstRow(1, Parcel(ControlOp::onCc(5, 1, 0),
+                               DataOp::nop())));
+    p.addRow(InstRow(1, Parcel(ControlOp::halt(), DataOp::nop())));
+    const DiagnosticList diags = lint(p);
+    ASSERT_TRUE(has(diags, Check::BadCcIndex)) << diags.formatted(&p);
+}
+
+TEST(Dataflow, OverwrittenBeforeReadWarns)
+{
+    // Registers without symbolic names are pure scratch; a value
+    // clobbered on every path before any read is a dead write.
+    Program p = assembleString(R"(
+        .fus 1
+        a: -> b ; iadd #1,#0,r9
+        b: -> c ; iadd #2,#0,r9
+        c: halt ; store r9,#32
+    )");
+    const DiagnosticList diags = lint(p);
+    ASSERT_EQ(diags.size(), 1u) << diags.formatted(&p);
+    EXPECT_EQ(diags.all()[0].check, Check::DeadWrite);
+    EXPECT_EQ(diags.all()[0].severity, Severity::Warning);
+    EXPECT_EQ(diags.all()[0].row, 0u);
+}
+
+TEST(Dataflow, UnreadUnnamedResultWarns)
+{
+    const Program p = assembleString(R"(
+        .fus 1
+        a: halt ; iadd #1,#2,r9
+    )");
+    const DiagnosticList diags = lint(p);
+    ASSERT_EQ(diags.size(), 1u) << diags.formatted(&p);
+    EXPECT_EQ(diags.all()[0].check, Check::WriteNeverRead);
+    EXPECT_EQ(diags.all()[0].severity, Severity::Warning);
+}
+
+TEST(Dataflow, NamedResultIsObservableNotDead)
+{
+    // `min`-style outputs: named registers are read by the harness.
+    const Program p = assembleString(R"(
+        .fus 1
+        .reg out
+        a: halt ; iadd #1,#2,out
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+// ---- The paper's MINMAX (Example 2), assembled from the shipped
+// ---- listing: the canonical mixed-stream dataflow workout.
+
+class MinmaxDataflow : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prog_ = assembleFile(std::string(XIMD_SOURCE_DIR) +
+                             "/examples/programs/minmax.ximd");
+        cfg_ = buildCfg(prog_);
+        df_ = runDataflow(prog_, cfg_);
+    }
+
+    InstAddr
+    rowOf(const char *label) const
+    {
+        auto a = prog_.label(label);
+        EXPECT_TRUE(a.has_value()) << label;
+        return a.value_or(0);
+    }
+
+    Program prog_{1};
+    ProgramCfg cfg_;
+    DataflowResult df_;
+};
+
+TEST_F(MinmaxDataflow, Clean)
+{
+    DiagnosticList diags;
+    checkDataflow(prog_, cfg_, df_, diags);
+    EXPECT_TRUE(diags.empty()) << diags.formatted(&prog_);
+}
+
+TEST_F(MinmaxDataflow, TzDefinedAtLoopHeadDespiteBackEdge)
+{
+    // FU0 loads tz at L00 and re-loads it at L03; the L05 back edge
+    // into L02 must keep it defined at every loop row.
+    const RegId tz = prog_.regByName("tz").value();
+    for (const char *label : {"L01", "L02", "L03", "L05"})
+        EXPECT_TRUE(df_.streams[0].regIn[rowOf(label)][tz]) << label;
+}
+
+TEST_F(MinmaxDataflow, CrossStreamMinMaxSeededAsDefined)
+{
+    // FU0 reads `min` (written only by FU2) at L05; the cross-stream
+    // seed makes it defined everywhere in FU0's stream.
+    const RegId min = prog_.regByName("min").value();
+    EXPECT_TRUE(df_.writtenBy[2][min]);
+    EXPECT_FALSE(df_.writtenBy[0][min]);
+    EXPECT_TRUE(df_.streams[0].regIn[rowOf("L05")][min]);
+}
+
+TEST_F(MinmaxDataflow, CcSummariesMatchListing)
+{
+    // FU0/FU1/FU2 all execute compares; FU3's column never does.
+    EXPECT_TRUE(df_.ccEverSet[0]);
+    EXPECT_TRUE(df_.ccEverSet[1]);
+    EXPECT_TRUE(df_.ccEverSet[2]);
+    EXPECT_FALSE(df_.ccEverSet[3]);
+}
+
+TEST_F(MinmaxDataflow, LivenessTracksLoopCarriedValues)
+{
+    // tz is read at L05 (lt tz,min) and by other FUs, so it is live
+    // into L05 for FU0; the loop counter k is live around FU1's loop.
+    const RegId tz = prog_.regByName("tz").value();
+    const RegId k = prog_.regByName("k").value();
+    EXPECT_TRUE(df_.streams[0].liveIn[rowOf("L05")][tz]);
+    EXPECT_TRUE(df_.streams[1].liveIn[rowOf("L03")][k]);
+}
+
+} // namespace
+} // namespace ximd::analysis

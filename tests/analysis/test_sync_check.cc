@@ -1,0 +1,224 @@
+#include "analysis/sync_check.hh"
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+
+namespace ximd::analysis {
+namespace {
+
+DiagnosticList
+lint(const Program &p)
+{
+    const ProgramCfg cfg = buildCfg(p);
+    DiagnosticList diags;
+    checkSync(p, cfg, diags);
+    diags.sort();
+    return diags;
+}
+
+const Diagnostic *
+find(const DiagnosticList &diags, Check c)
+{
+    for (const auto &d : diags.all())
+        if (d.check == c)
+            return &d;
+    return nullptr;
+}
+
+TEST(SyncCheck, CyclicBusyWaitIsDeadlock)
+{
+    // Each FU waits for the other's DONE while driving BUSY.
+    const Program p = assembleString(R"(
+        .fus 2
+        spin: if ss1 out spin ; nop || if ss0 out spin ; nop
+        out:  halt ; nop            || halt ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::CrossStreamDeadlock);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_TRUE(d->isError());
+    EXPECT_EQ(d->row, 0u);
+    // The report names every FU in the cycle and where it waits.
+    EXPECT_NE(d->message.find("FU0"), std::string::npos);
+    EXPECT_NE(d->message.find("FU1"), std::string::npos);
+    EXPECT_NE(d->message.find("row 0"), std::string::npos);
+}
+
+TEST(SyncCheck, DoneDrivingSpinsAreNotDeadlock)
+{
+    // The cooperative protocol done right: both waiters drive DONE,
+    // so each sees the other's signal the cycle it arrives.
+    const Program p = assembleString(R"(
+        .fus 2
+        spin: if ss1 out spin ; nop ; done || if ss0 out spin ; nop ; done
+        out:  halt ; nop                   || halt ; nop
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+TEST(SyncCheck, BarrierOverHaltedFuIsSatisfiable)
+{
+    // A halted FU reads DONE on the bus, so an ALL barrier whose mask
+    // covers an already-halted FU completes — not a deadlock.
+    const Program p = assembleString(R"(
+        .fus 2
+        a:    -> bar ; nop                  || halt ; nop
+        bar:  if all out bar ; nop ; done   || halt ; nop
+        out:  halt ; nop                    || halt ; nop
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+TEST(SyncCheck, BusyDrivingBarrierVetoesItself)
+{
+    // Both FUs park at an ALL barrier but leave the sync field at the
+    // default BUSY: each FU vetoes the barrier it is waiting on.
+    const Program p = assembleString(R"(
+        .fus 2
+        bar: if all out bar ; nop || if all out bar ; nop
+        out: halt ; nop           || halt ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::SelfDeadlock);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_TRUE(d->isError());
+    EXPECT_NE(d->message.find("BUSY"), std::string::npos);
+}
+
+TEST(SyncCheck, SpinOnFuWithNoDonePointIsDeadlock)
+{
+    // FU1 loops forever and never drives DONE or halts; FU0's
+    // busy-wait on it can never be satisfied.
+    const Program p = assembleString(R"(
+        .fus 2
+        spin: if ss1 out spin ; nop || -> loop ; nop
+        loop: -> loop ; nop         || -> loop ; nop
+        out:  halt ; nop            || -> loop ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::UnsatisfiableWait);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_TRUE(d->isError());
+    EXPECT_EQ(d->fu, 0);
+}
+
+TEST(SyncCheck, NonSpinningUnsatisfiableWaitOnlyWarns)
+{
+    // Same condition but the branch does not loop on itself: the
+    // taken path is dead, the program still makes progress.
+    const Program p = assembleString(R"(
+        .fus 2
+        a:    if ss1 dead out ; nop || -> loop ; nop
+        loop: halt ; nop            || -> loop ; nop
+        out:  halt ; nop            || -> loop ; nop
+        dead: halt ; nop            || -> loop ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::UnsatisfiableWait);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_FALSE(d->isError());
+}
+
+TEST(SyncCheck, EmptyEffectiveMaskIsError)
+{
+    // A mask selecting no existing FU panics the SyncBus at run time.
+    // The assembler rejects such masks, so build the row by hand.
+    Program p(1);
+    p.addRow(InstRow(1, Parcel(ControlOp::onAllSync(1, 0, 0b10),
+                               DataOp::nop())));
+    p.addRow(InstRow(1, Parcel(ControlOp::halt(), DataOp::nop())));
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::EmptySyncMask);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_TRUE(d->isError());
+}
+
+TEST(SyncCheck, MaskNamingMissingFusWarns)
+{
+    // Bits beyond the machine width are silently trimmed by the bus;
+    // the program still runs, but the mask text lies about intent.
+    Program p(2);
+    p.addRow(InstRow(2, Parcel(ControlOp::onAllSync(1, 0, 0b101),
+                               DataOp::nop(), SyncVal::Done)));
+    p.addRow(InstRow(2, Parcel(ControlOp::halt(), DataOp::nop())));
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::BadSyncMask);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_FALSE(d->isError());
+}
+
+TEST(SyncCheck, SameRowRegisterWriteConflict)
+{
+    const Program p = assembleString(R"(
+        .fus 2
+        .reg x
+        a: -> b ; iadd #1,#0,x || -> b ; iadd #2,#0,x
+        b: halt ; store x,#32  || halt ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::RegWriteConflict);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_TRUE(d->isError());
+    EXPECT_EQ(d->row, 0u);
+    EXPECT_EQ(d->fu, -1); // whole-row finding
+}
+
+TEST(SyncCheck, NoConflictWhenOnlyOneStreamReachesTheRow)
+{
+    // Same row, same destination, but FU1 never reaches row 1.
+    const Program p = assembleString(R"(
+        .fus 2
+        .reg x
+        a: -> b ; nop          || -> c ; nop
+        b: -> c ; iadd #1,#0,x || -> c ; iadd #2,#0,x
+        c: halt ; store x,#32  || halt ; nop
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+TEST(SyncCheck, SameRowSameAddressStoreConflict)
+{
+    const Program p = assembleString(R"(
+        .fus 2
+        a: halt ; store #1,#64 || halt ; store #2,#64
+    )");
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::MemWriteConflict);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_TRUE(d->isError());
+}
+
+TEST(SyncCheck, DistinctStoreAddressesAreFine)
+{
+    const Program p = assembleString(R"(
+        .fus 2
+        a: halt ; store #1,#64 || halt ; store #2,#65
+    )");
+    EXPECT_TRUE(lint(p).empty());
+}
+
+TEST(SyncCheck, ThreeFuWaitChainReportsWholeCycle)
+{
+    // 0 waits on 1, 1 waits on 2, 2 waits on 0 — all driving BUSY.
+    const Program p = assembleString(R"(
+        .fus 3
+        s: if ss1 o s ; nop || if ss2 o s ; nop || if ss0 o s ; nop
+        o: halt ; nop       || halt ; nop       || halt ; nop
+    )");
+    const DiagnosticList diags = lint(p);
+    const Diagnostic *d = find(diags, Check::CrossStreamDeadlock);
+    ASSERT_NE(d, nullptr) << diags.formatted(&p);
+    EXPECT_NE(d->message.find("FU0"), std::string::npos);
+    EXPECT_NE(d->message.find("FU1"), std::string::npos);
+    EXPECT_NE(d->message.find("FU2"), std::string::npos);
+    // One report per cycle, not one per member.
+    std::size_t n = 0;
+    for (const auto &dd : diags.all())
+        if (dd.check == Check::CrossStreamDeadlock)
+            ++n;
+    EXPECT_EQ(n, 1u);
+}
+
+} // namespace
+} // namespace ximd::analysis

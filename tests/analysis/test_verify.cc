@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Integration contract of the static verifier:
+ *
+ *  - every shipped good example program verifies cleanly;
+ *  - the shipped bad corpus (deadlock.ximd, cc_race.ximd) is
+ *    rejected with the advertised diagnostics;
+ *  - every program the workload generators and the scheduler
+ *    (codegen, modulo pipeliner, tile packer + thread composer) emit
+ *    passes analysis::verify with zero errors.
+ */
+
+#include "analysis/verify.hh"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sched/codegen.hh"
+#include "sched/compose.hh"
+#include "sched/modulo.hh"
+#include "sched/packer.hh"
+#include "sched/tile.hh"
+#include "support/logging.hh"
+#include "workloads/bitcount.hh"
+#include "workloads/kernels.hh"
+#include "workloads/loop12.hh"
+#include "workloads/minmax.hh"
+#include "workloads/nonblocking.hh"
+
+#ifndef XIMD_SOURCE_DIR
+#define XIMD_SOURCE_DIR "."
+#endif
+
+namespace ximd::analysis {
+namespace {
+
+std::string
+examplePath(const char *name)
+{
+    return std::string(XIMD_SOURCE_DIR) + "/examples/programs/" +
+           name;
+}
+
+void
+expectClean(const Program &p, const std::string &what)
+{
+    const DiagnosticList diags = analyze(p);
+    EXPECT_EQ(diags.errorCount(), 0u)
+        << what << ":\n"
+        << diags.formatted(&p);
+    EXPECT_NO_THROW(verify(p)) << what;
+}
+
+bool
+hasCheck(const DiagnosticList &diags, Check c)
+{
+    for (const auto &d : diags.all())
+        if (d.check == c)
+            return true;
+    return false;
+}
+
+// ---- Shipped example corpus.
+
+TEST(VerifyExamples, GoodProgramsAreClean)
+{
+    for (const char *name : {"minmax.ximd", "barrier.ximd"})
+        expectClean(assembleFile(examplePath(name)), name);
+}
+
+TEST(VerifyExamples, DeadlockCorpusIsRejected)
+{
+    const Program p = assembleFile(examplePath("deadlock.ximd"));
+    const DiagnosticList diags = analyze(p);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(hasCheck(diags, Check::CrossStreamDeadlock))
+        << diags.formatted(&p);
+    EXPECT_THROW(verify(p), FatalError);
+}
+
+TEST(VerifyExamples, CcRaceCorpusIsRejected)
+{
+    const Program p = assembleFile(examplePath("cc_race.ximd"));
+    const DiagnosticList diags = analyze(p);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(hasCheck(diags, Check::CcSameCycleRead))
+        << diags.formatted(&p);
+    EXPECT_TRUE(hasCheck(diags, Check::RegWriteConflict))
+        << diags.formatted(&p);
+    EXPECT_THROW(verify(p), FatalError);
+}
+
+TEST(VerifyExamples, WarningsDoNotFailVerify)
+{
+    // An unread scratch register is a warning; verify() must accept.
+    const Program p = assembleString(R"(
+        .fus 1
+        a: halt ; iadd #1,#2,r9
+    )");
+    const DiagnosticList diags = analyze(p);
+    EXPECT_EQ(diags.errorCount(), 0u);
+    EXPECT_GT(diags.warningCount(), 0u);
+    EXPECT_NO_THROW(verify(p));
+
+    AnalyzeOptions quiet;
+    quiet.warnings = false;
+    EXPECT_TRUE(analyze(p, quiet).empty());
+}
+
+// ---- Workload generators.
+
+TEST(VerifyWorkloads, HandWrittenKernelsAreClean)
+{
+    const std::vector<SWord> data{5, 3, 4, 7, 1, 9};
+    const std::vector<Word> bits{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+
+    expectClean(workloads::minmaxPaper(), "minmaxPaper");
+    expectClean(workloads::minmaxPaperData(data), "minmaxPaperData");
+    expectClean(workloads::tprocPaper(1, 2, 3, 4), "tprocPaper");
+    expectClean(workloads::minmaxXimd(data), "minmaxXimd");
+    expectClean(workloads::minmaxVliw(data), "minmaxVliw");
+    expectClean(workloads::multiSearchXimd(3, data),
+                "multiSearchXimd");
+    expectClean(workloads::multiSearchVliw(3, data),
+                "multiSearchVliw");
+    expectClean(workloads::bitcountXimd(bits), "bitcountXimd");
+    expectClean(workloads::bitcountVliwSerial(bits),
+                "bitcountVliwSerial");
+    expectClean(workloads::bitcountVliwLockstep(bits),
+                "bitcountVliwLockstep");
+    expectClean(workloads::bitcount1Paper(bits), "bitcount1Paper");
+    expectClean(workloads::nonblockingXimd(), "nonblockingXimd");
+    expectClean(workloads::lockstepBarrier(), "lockstepBarrier");
+    expectClean(workloads::memoryFlagXimd(), "memoryFlagXimd");
+
+    const std::vector<float> y{1.f, 4.f, 9.f, 16.f, 25.f, 36.f};
+    expectClean(workloads::loop12Naive(y), "loop12Naive");
+    expectClean(workloads::loop12Pipelined(y), "loop12Pipelined");
+}
+
+// ---- Scheduler-emitted programs.
+
+/** Thread t: sum k=1..n of (k * mult), stored to its own address. */
+sched::IrProgram
+makeThread(int t, unsigned n, SWord mult)
+{
+    sched::IrBuilder b;
+    const sched::VregId i = b.newVreg();
+    const sched::VregId sum = b.newVreg();
+    b.setInit(i, 0);
+    b.setInit(sum, 0);
+    b.startBlock("loop");
+    b.emitTo(i, Opcode::Iadd, sched::IrValue::reg(i),
+             sched::IrValue::immInt(1));
+    const sched::IrValue scaled =
+        b.emit(Opcode::Imult, sched::IrValue::reg(i),
+               sched::IrValue::immInt(mult));
+    b.emitTo(sum, Opcode::Iadd, sched::IrValue::reg(sum), scaled);
+    const int cmp =
+        b.emitCompare(Opcode::Eq, sched::IrValue::reg(i),
+                      sched::IrValue::immInt(static_cast<SWord>(n)));
+    b.branch(cmp, "end", "loop");
+    b.startBlock("end");
+    b.emitStore(sched::IrValue::reg(sum),
+                sched::IrValue::immRaw(2048 + static_cast<Addr>(t)));
+    b.halt();
+    return b.finish();
+}
+
+TEST(VerifySched, CodegenOutputIsCleanAtEveryWidth)
+{
+    const sched::IrProgram thread = makeThread(0, 10, 3);
+    for (FuId w = 1; w <= 4; ++w) {
+        sched::CodegenOptions opts;
+        opts.width = w;
+        expectClean(sched::generateCode(thread, opts).program,
+                    "generateCode width " + std::to_string(w));
+    }
+}
+
+TEST(VerifySched, PipelinedLoopIsClean)
+{
+    // Vector scale Z(k) = 3 * A(k), the modulo scheduler's shape.
+    sched::PipelineLoop loop;
+    loop.numLocals = 3;
+    loop.tripCount = 20;
+    loop.body = {
+        {Opcode::Load, sched::PipeVal::immRaw(64),
+         sched::PipeVal::induction(), 0},
+        {Opcode::Iadd, sched::PipeVal::induction(),
+         sched::PipeVal::immRaw(128), 2},
+        {Opcode::Imult, sched::PipeVal::localVal(0),
+         sched::PipeVal::immInt(3), 1},
+        {Opcode::Store, sched::PipeVal::localVal(1),
+         sched::PipeVal::localVal(2), -1},
+    };
+    for (FuId w : {6, 8})
+        expectClean(sched::pipelineLoop(loop, w),
+                    "pipelineLoop width " + std::to_string(w));
+}
+
+TEST(VerifySched, ComposedMultiThreadProgramIsClean)
+{
+    std::vector<sched::IrProgram> threads;
+    for (int t = 0; t < 3; ++t)
+        threads.push_back(makeThread(t, 6 + 2 * t, t + 1));
+
+    const FuId width = 4;
+    const auto sets = sched::generateTiles(threads, width);
+    for (auto pack : {sched::packStacked, sched::packFirstFit,
+                      sched::packSkyline}) {
+        const sched::PackResult packing = pack(sets, width);
+        const sched::Composed composed =
+            sched::composeThreads(threads, packing, width, 8);
+        expectClean(composed.program, "composed program");
+    }
+}
+
+} // namespace
+} // namespace ximd::analysis
