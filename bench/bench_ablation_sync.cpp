@@ -14,6 +14,7 @@
 
 #include "bench_util.hh"
 
+#include "asm/assembler.hh"
 #include "core/ximd_machine.hh"
 #include "support/random.hh"
 #include "workloads/bitcount.hh"
@@ -112,6 +113,39 @@ registeredSyncOverhead(benchmark::State &state)
     }
 }
 BENCHMARK(registeredSyncOverhead)->Arg(0)->Arg(1)->ArgName("registered");
+
+/**
+ * Watchdog scenario: a wedged cross-stream synchronization (the
+ * shipped deadlock.ximd pattern) burning a large cycle budget in pure
+ * busy-waiting. With fast-forward the core proves the spin is a
+ * fixpoint and consumes the budget in O(1); without it, every cycle
+ * is stepped. The cycles-per-second counter is the headline number.
+ */
+void
+busyWaitWatchdog(benchmark::State &state)
+{
+    const Program p = assembleString(
+        ".fus 2\n"
+        ".reg a 0\n"
+        ".reg b 1\n"
+        "start: -> spin ; iadd #1,#0,a || -> spin ; iadd #2,#0,b\n"
+        "spin:  if ss1 out spin ; nop  || if ss0 out spin ; nop\n"
+        "out:   halt ; store a,#32     || halt ; store b,#33\n");
+    const bool fastForward = state.range(0) != 0;
+    constexpr Cycle kBudget = 2'000'000;
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.fastForward = fastForward;
+        XimdMachine m(p, cfg);
+        const RunResult r = m.run(kBudget);
+        benchmark::DoNotOptimize(r.cycles);
+        cycles += r.cycles;
+    }
+    state.counters["machine_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(busyWaitWatchdog)->Arg(0)->Arg(1)->ArgName("fastforward");
 
 } // namespace
 

@@ -108,11 +108,15 @@ void
 simulateTproc(benchmark::State &state)
 {
     Program prog = workloads::tprocPaper(1, 2, 3, 4);
+    Cycle cycles = 0;
     for (auto _ : state) {
         XimdMachine m(prog);
         m.run();
         benchmark::DoNotOptimize(m.readReg(0));
+        cycles += m.cycle();
     }
+    state.counters["machine_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(simulateTproc);
 

@@ -127,13 +127,17 @@ endToEndSuite(benchmark::State &state)
     for (auto &v : bits)
         v = static_cast<Word>(rng.next64() & 0xFFFFF);
     Program bc = bitcountXimd(bits);
+    Cycle cycles = 0;
     for (auto _ : state) {
         XimdMachine m1(minmax);
         m1.run();
         XimdMachine m2(bc);
         m2.run();
         benchmark::DoNotOptimize(m1.cycle() + m2.cycle());
+        cycles += m1.cycle() + m2.cycle();
     }
+    state.counters["machine_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(endToEndSuite);
 

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Continuous-integration entry point: build and test the two gating
+# configurations — optimized (release) and sanitizer-instrumented
+# (ASan + UBSan) — using the presets from CMakePresets.json.
+#
+#   scripts/ci.sh [jobs]
+#
+# Exits non-zero on the first failing build or test.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+for preset in release sanitize; do
+    echo "==> configure ($preset)"
+    cmake --preset "$preset"
+    echo "==> build ($preset)"
+    cmake --build --preset "$preset" -j "$JOBS"
+    echo "==> test ($preset)"
+    ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "ci: all configurations clean"

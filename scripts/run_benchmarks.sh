@@ -1,0 +1,78 @@
+#!/bin/sh
+# Run every google-benchmark binary and merge the results into one
+# machine-readable file, BENCH_<YYYYMMDD>.json, in the repo root:
+#
+#   {
+#     "date": "...", "build_dir": "...",
+#     "benchmarks": [
+#       { "binary": "...", "name": "...", "wall_time_ms": ...,
+#         "cpu_time_ms": ..., "machine_cycles_per_s": ... }, ...
+#     ]
+#   }
+#
+# wall-time per benchmark plus simulated machine-cycles-per-second
+# (for the benchmarks that export that counter) is the regression
+# currency for the simulator's host performance.
+#
+#   scripts/run_benchmarks.sh [build-dir] [min-time]
+#
+# The build directory defaults to build/; min-time is the
+# --benchmark_min_time seed-time per measurement (default 0.2).
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+MIN_TIME="${2:-0.2}"
+OUT="BENCH_$(date +%Y%m%d).json"
+
+if [ ! -d "$BUILD/bench" ]; then
+    echo "run_benchmarks: no $BUILD/bench — build the tree first" >&2
+    exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bin in "$BUILD"/bench/bench_*; do
+    [ -x "$bin" ] || continue
+    name="$(basename "$bin")"
+    echo "==> $name"
+    # The reproduction tables go to stdout; JSON timing to a file.
+    "$bin" --benchmark_min_time="$MIN_TIME" \
+           --benchmark_out_format=json \
+           --benchmark_out="$TMP/$name.json" > /dev/null
+done
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, os, sys, datetime
+
+tmp, out = sys.argv[1], sys.argv[2]
+merged = {
+    "date": datetime.datetime.now().isoformat(timespec="seconds"),
+    "build_dir": os.environ.get("BUILD", "build"),
+    "benchmarks": [],
+}
+for fname in sorted(os.listdir(tmp)):
+    with open(os.path.join(tmp, fname)) as f:
+        doc = json.load(f)
+    binary = fname[: -len(".json")]
+    for b in doc.get("benchmarks", []):
+        # google-benchmark reports real_time/cpu_time in `time_unit`s.
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[
+            b.get("time_unit", "ns")]
+        entry = {
+            "binary": binary,
+            "name": b["name"],
+            "wall_time_ms": b["real_time"] * scale,
+            "cpu_time_ms": b["cpu_time"] * scale,
+            "iterations": b.get("iterations"),
+        }
+        if "machine_cycles_per_s" in b:
+            entry["machine_cycles_per_s"] = b["machine_cycles_per_s"]
+        merged["benchmarks"].append(entry)
+
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(merged['benchmarks'])} benchmark entries)")
+EOF

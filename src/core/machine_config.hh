@@ -29,6 +29,23 @@ struct MachineConfig
     bool trackPartitions = true;
 
     /**
+     * Accumulate RunStats while running. Off, together with
+     * trackPartitions and recordTrace off, the core runs with no
+     * observers attached — the bare-interpreter configuration.
+     */
+    bool collectStats = true;
+
+    /**
+     * Allow run() to fast-forward through busy-wait fixpoints: when
+     * every live FU provably re-executes the same self-looping nop
+     * parcel with unchanging condition inputs (and no write-backs or
+     * devices are in flight), skip to the cycle limit in O(1).
+     * Observers are informed of the skipped cycles, so statistics and
+     * traces stay bit-identical to stepping.
+     */
+    bool fastForward = true;
+
+    /**
      * Ablation switch: evaluate sync-signal branch conditions against
      * the *previous* cycle's SS values (registered distribution)
      * instead of the paper's combinational same-cycle distribution

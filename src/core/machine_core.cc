@@ -1,0 +1,499 @@
+#include "core/machine_core.hh"
+
+#include <algorithm>
+
+#include "sim/alu.hh"
+#include "support/logging.hh"
+
+namespace ximd {
+
+namespace {
+
+/** Sequence one predecoded parcel (mirrors evaluateControlOp). */
+NextPc
+evalControl(const DecodedParcel &d, const CondCodeFile &ccs,
+            const SyncBus &ss)
+{
+    NextPc next;
+    bool cond;
+    switch (d.ckind) {
+      case CondKind::Halt:
+        next.halt = true;
+        return next;
+      case CondKind::Always:
+        cond = true;
+        break;
+      case CondKind::CcTrue:
+        cond = ccs.read(d.cindex);
+        break;
+      case CondKind::SyncDone:
+        cond = ss.get(d.cindex) == SyncVal::Done;
+        break;
+      case CondKind::AllSync:
+        cond = ss.allDone(d.cmask);
+        break;
+      case CondKind::AnySync:
+        cond = ss.anyDone(d.cmask);
+        break;
+      default:
+        panic("evalControl: bad condition kind");
+    }
+    next.taken = cond;
+    next.pc = cond ? d.t1 : d.t2;
+    return next;
+}
+
+} // namespace
+
+MachineCore::MachineCore(Program program, MachineConfig config,
+                         Mode mode)
+    : program_(std::move(program)),
+      config_(config),
+      mode_(mode),
+      regs_(kNumRegisters, config.conflictPolicy),
+      mem_(config.memWords, config.conflictPolicy),
+      ccs_(program_.width()),
+      pipe_(config.resultLatency),
+      sync_(program_.width()),
+      regSync_(program_.width()),
+      syncPrev_(program_.width(), SyncVal::Busy),
+      pcs_(program_.width(), 0),
+      haltedFus_(program_.width(), false),
+      fetched_(program_.width(), nullptr),
+      next_(program_.width()),
+      events_(program_.width())
+{
+    if (program_.empty())
+        fatal("cannot simulate an empty program");
+    program_.validate();
+    if (mode_ == Mode::Vliw)
+        validateVliwProgram();
+    decoded_ = DecodedProgram(program_);
+    applyMemInit();
+}
+
+void
+MachineCore::validateVliwProgram() const
+{
+    for (InstAddr a = 0; a < program_.size(); ++a) {
+        for (FuId fu = 0; fu < program_.width(); ++fu) {
+            const Parcel &p = program_.row(a)[fu];
+            switch (p.ctrl.kind) {
+              case CondKind::SyncDone:
+              case CondKind::AllSync:
+              case CondKind::AnySync:
+                fatal("row ", a, " FU", fu, ": sync-signal branch "
+                      "conditions do not exist on a VLIW machine");
+              default:
+                break;
+            }
+            if (p.sync != SyncVal::Busy)
+                fatal("row ", a, " FU", fu, ": sync fields do not "
+                      "exist on a VLIW machine");
+        }
+    }
+}
+
+void
+MachineCore::applyMemInit()
+{
+    for (const auto &[addr, value] : program_.memInit())
+        mem_.poke(addr, value);
+    for (const auto &[reg, value] : program_.regInit())
+        regs_.poke(reg, value);
+}
+
+void
+MachineCore::attachDevice(Addr lo, Addr hi, IoDevice *device)
+{
+    mem_.attachDevice(lo, hi, device);
+}
+
+void
+MachineCore::addObserver(CycleObserver *observer)
+{
+    XIMD_ASSERT(observer, "null observer");
+    observers_.push_back(observer);
+}
+
+InstAddr
+MachineCore::pc(FuId fu) const
+{
+    XIMD_ASSERT(fu < numFus(), "FU index out of range");
+    return pcs_[fu];
+}
+
+bool
+MachineCore::haltedFu(FuId fu) const
+{
+    XIMD_ASSERT(fu < numFus(), "FU index out of range");
+    return haltedFus_[fu];
+}
+
+bool
+MachineCore::allHalted() const
+{
+    for (bool h : haltedFus_)
+        if (!h)
+            return false;
+    return true;
+}
+
+void
+MachineCore::fault(const std::string &msg)
+{
+    faulted_ = true;
+    faultMsg_ = msg;
+    regs_.squash();
+    mem_.squash();
+    ccs_.squash();
+    pipe_.squash();
+    spinHint_ = false;
+    notifyDone();
+}
+
+void
+MachineCore::notifyDone()
+{
+    if (doneNotified_)
+        return;
+    doneNotified_ = true;
+    for (CycleObserver *o : observers_)
+        o->onHalt(*this);
+}
+
+void
+MachineCore::executeParcel(const DecodedParcel &d, FuId fu)
+{
+    const auto src = [this](const DecodedSrc &s) {
+        return s.isReg ? regs_.read(static_cast<RegId>(s.value))
+                       : s.value;
+    };
+
+    switch (d.cls) {
+      case OpClass::Nop:
+        return;
+
+      case OpClass::IntAlu: {
+        Word result;
+        switch (d.op) {
+          case Opcode::Ineg:
+            result = intToWord(-wordToInt(src(d.a)));
+            break;
+          case Opcode::Not:
+            result = ~src(d.a);
+            break;
+          case Opcode::Mov:
+            result = src(d.a);
+            break;
+          default:
+            result = alu::intBinary(d.op, src(d.a), src(d.b));
+            break;
+        }
+        pipe_.pushReg(cycle_, d.dest, result, fu);
+        return;
+      }
+
+      case OpClass::IntCompare:
+        pipe_.pushCc(cycle_, fu,
+                     alu::intCompare(d.op, src(d.a), src(d.b)));
+        return;
+
+      case OpClass::FloatAlu: {
+        Word result;
+        if (d.op == Opcode::Fneg)
+            result = floatToWord(-wordToFloat(src(d.a)));
+        else
+            result = alu::floatBinary(d.op, src(d.a), src(d.b));
+        pipe_.pushReg(cycle_, d.dest, result, fu);
+        return;
+      }
+
+      case OpClass::FloatCompare:
+        pipe_.pushCc(cycle_, fu,
+                     alu::floatCompare(d.op, src(d.a), src(d.b)));
+        return;
+
+      case OpClass::Convert: {
+        const Word a = src(d.a);
+        Word result;
+        if (d.op == Opcode::Itof)
+            result = floatToWord(static_cast<float>(wordToInt(a)));
+        else
+            result = intToWord(static_cast<SWord>(wordToFloat(a)));
+        pipe_.pushReg(cycle_, d.dest, result, fu);
+        return;
+      }
+
+      case OpClass::MemLoad: {
+        const Addr addr = src(d.a) + src(d.b);
+        pipe_.pushReg(cycle_, d.dest, mem_.load(addr, cycle_), fu);
+        return;
+      }
+
+      case OpClass::MemStore: {
+        const Word value = src(d.a);
+        const Addr addr = src(d.b);
+        pipe_.pushStore(cycle_, addr, value, fu);
+        return;
+      }
+    }
+    panic("executeParcel: unhandled op class for ", opcodeName(d.op));
+}
+
+void
+MachineCore::buildEvents()
+{
+    const FuId n = numFus();
+    for (FuId fu = 0; fu < n; ++fu) {
+        FuEvent &e = events_[fu];
+        e = FuEvent{};
+        const DecodedParcel *d = fetched_[fu];
+        if (!d)
+            continue;
+        const NextPc &nx = mode_ == Mode::Vliw ? next_[0] : next_[fu];
+        e.executed = true;
+        e.cls = d->cls;
+        e.halted = nx.halt;
+        e.nextPc = nx.pc;
+        if (mode_ == Mode::Ximd || fu == 0) {
+            e.conditional = d->conditional;
+            e.taken = nx.taken;
+            e.busyWait =
+                d->conditional && !nx.halt && nx.pc == pcs_[fu];
+        }
+        e.ctrl = d->controlOp();
+    }
+}
+
+bool
+MachineCore::step()
+{
+    // Even with every FU halted, in-flight write-backs must drain
+    // (resultLatency > 1) before the machine is architecturally done.
+    if (faulted_ || (allHalted() && pipe_.empty()))
+        return false;
+
+    const FuId n = numFus();
+    spinHint_ = false;
+
+    // Beginning-of-cycle observation.
+    for (CycleObserver *o : observers_)
+        o->onCycle(*this);
+
+    // Fetch; in XIMD mode also drive the sync bus from the executing
+    // parcels' SS fields.
+    if (mode_ == Mode::Ximd) {
+        sync_.beginCycle(); // halted FUs read DONE
+        for (FuId fu = 0; fu < n; ++fu) {
+            if (haltedFus_[fu]) {
+                fetched_[fu] = nullptr;
+                continue;
+            }
+            fetched_[fu] = &decoded_.at(pcs_[fu], fu);
+            sync_.set(fu, fetched_[fu]->sync);
+        }
+    } else {
+        // The single PC selects one row for every lane; a halted VLIW
+        // only drains in-flight write-backs.
+        const DecodedParcel *row =
+            haltedFus_[0] ? nullptr : &decoded_.at(pcs_[0], 0);
+        for (FuId fu = 0; fu < n; ++fu)
+            fetched_[fu] = row ? row + fu : nullptr;
+    }
+
+    // Execute data operations against beginning-of-cycle state.
+    try {
+        for (FuId fu = 0; fu < n; ++fu) {
+            if (fetched_[fu])
+                executeParcel(*fetched_[fu], fu);
+        }
+    } catch (const FatalError &e) {
+        fault(e.what());
+        return false;
+    }
+
+    // Sequence: select next PCs. CC values are still the beginning-
+    // of-cycle ones (commit happens below); SS values are the current
+    // cycle's fields (or the previous cycle's, under the registered-
+    // sync ablation). A VLIW is steered by FU0's control op alone.
+    if (mode_ == Mode::Ximd) {
+        const SyncBus *branchSync = &sync_;
+        if (config_.registeredSync) {
+            for (FuId fu = 0; fu < n; ++fu)
+                regSync_.set(fu, syncPrev_[fu]);
+            branchSync = &regSync_;
+        }
+        bool anyLive = false;
+        bool allSpin = true;
+        for (FuId fu = 0; fu < n; ++fu) {
+            if (!fetched_[fu])
+                continue;
+            anyLive = true;
+            next_[fu] = evalControl(*fetched_[fu], ccs_, *branchSync);
+            if (!(fetched_[fu]->canSelfSpin && !next_[fu].halt &&
+                  next_[fu].pc == pcs_[fu]))
+                allSpin = false;
+        }
+        spinHint_ = anyLive && allSpin;
+    } else {
+        if (fetched_[0]) {
+            next_[0] = evalControl(*fetched_[0], ccs_, sync_);
+            spinHint_ = fetched_[0]->canSelfSpin && !next_[0].halt &&
+                        next_[0].pc == pcs_[0];
+        } else {
+            next_[0] = NextPc{};
+            next_[0].halt = true; // draining in-flight write-backs
+        }
+    }
+
+    // Snapshot the cycle's events before PCs advance (busy-wait
+    // detection compares against this cycle's PCs).
+    if (!observers_.empty())
+        buildEvents();
+
+    // Commit the write-backs due this cycle.
+    try {
+        pipe_.drainInto(cycle_, regs_, mem_, ccs_);
+        regs_.commit();
+        mem_.commit(cycle_);
+        ccs_.commit();
+    } catch (const FatalError &e) {
+        fault(e.what());
+        return false;
+    }
+
+    // Advance control state.
+    if (mode_ == Mode::Ximd) {
+        for (FuId fu = 0; fu < n; ++fu) {
+            if (!fetched_[fu])
+                continue;
+            if (next_[fu].halt)
+                haltedFus_[fu] = true;
+            else
+                pcs_[fu] = next_[fu].pc;
+        }
+        for (FuId fu = 0; fu < n; ++fu)
+            syncPrev_[fu] = sync_.get(fu);
+    } else {
+        if (next_[0].halt)
+            std::fill(haltedFus_.begin(), haltedFus_.end(), true);
+        else
+            pcs_[0] = next_[0].pc;
+    }
+
+    // End-of-cycle observation.
+    for (CycleObserver *o : observers_)
+        o->onCommit(*this, events_);
+
+    ++cycle_;
+
+    if (allHalted() && pipe_.empty())
+        notifyDone();
+    return true;
+}
+
+bool
+MachineCore::tryFastForward(Cycle limit)
+{
+    // A skip is sound only when the machine state provably maps to
+    // itself each remaining cycle (DESIGN.md section 7): no pending
+    // write-backs, no devices (device reads are cycle-dependent), and
+    // every live FU re-selects its own address around a nop.
+    if (limit <= cycle_ || faulted_ || allHalted())
+        return false;
+    if (!pipe_.empty() || mem_.hasDevices())
+        return false;
+
+    const FuId n = numFus();
+
+    if (mode_ == Mode::Ximd) {
+        // Emit the SS values the next cycle would drive.
+        sync_.beginCycle();
+        for (FuId fu = 0; fu < n; ++fu) {
+            if (!haltedFus_[fu])
+                sync_.set(fu, decoded_.at(pcs_[fu], fu).sync);
+        }
+        if (config_.registeredSync) {
+            // Branch decisions read last cycle's SS values; those must
+            // also be what this cycle re-emits, or SS state changes.
+            for (FuId fu = 0; fu < n; ++fu)
+                if (sync_.get(fu) != syncPrev_[fu])
+                    return false;
+        }
+        for (FuId fu = 0; fu < n; ++fu) {
+            if (haltedFus_[fu]) {
+                fetched_[fu] = nullptr;
+                continue;
+            }
+            const DecodedParcel &d = decoded_.at(pcs_[fu], fu);
+            if (d.cls != OpClass::Nop)
+                return false;
+            fetched_[fu] = &d;
+            next_[fu] = evalControl(d, ccs_, sync_);
+            if (next_[fu].halt || next_[fu].pc != pcs_[fu])
+                return false;
+        }
+    } else {
+        const DecodedParcel *row = &decoded_.at(pcs_[0], 0);
+        for (FuId fu = 0; fu < n; ++fu) {
+            if (row[fu].cls != OpClass::Nop)
+                return false;
+            fetched_[fu] = row + fu;
+        }
+        next_[0] = evalControl(row[0], ccs_, sync_);
+        if (next_[0].halt || next_[0].pc != pcs_[0])
+            return false;
+    }
+
+    // Fixpoint proven: every remaining cycle repeats these events with
+    // unchanged beginning-of-cycle state.
+    const Cycle skipped = limit - cycle_;
+    if (!observers_.empty()) {
+        buildEvents();
+        for (CycleObserver *o : observers_)
+            o->onFastForward(*this, skipped, events_);
+    }
+    cycle_ = limit;
+    if (mode_ == Mode::Ximd) {
+        for (FuId fu = 0; fu < n; ++fu)
+            syncPrev_[fu] = sync_.get(fu);
+    }
+    return true;
+}
+
+RunResult
+MachineCore::run(Cycle maxCycles)
+{
+    const Cycle budget =
+        maxCycles ? maxCycles : config_.defaultMaxCycles;
+    const Cycle limit = cycle_ + budget;
+
+    while (cycle_ < limit && step()) {
+        if (config_.fastForward && spinHint_ && tryFastForward(limit))
+            break;
+    }
+
+    RunResult result;
+    result.cycles = cycle_;
+    if (faulted_) {
+        result.reason = StopReason::Fault;
+        result.faultMessage = faultMsg_;
+    } else if (allHalted()) {
+        result.reason = StopReason::Halted;
+    } else {
+        result.reason = StopReason::MaxCycles;
+    }
+    return result;
+}
+
+Word
+MachineCore::readRegByName(const std::string &name) const
+{
+    auto r = program_.regByName(name);
+    if (!r)
+        fatal("program defines no register named '", name, "'");
+    return regs_.peek(*r);
+}
+
+} // namespace ximd

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The shared execution core behind xsim and vsim.
+ *
+ * Both machines are the same datapath — global register file,
+ * idealized shared memory, per-FU condition codes, write-back
+ * pipeline — driven through the same five-phase cycle:
+ *
+ *   1. fetch:    each sequencer fetches the parcel addressed by its
+ *                PC (XIMD: one PC per FU, and the sync bus takes each
+ *                live parcel's SS field; VLIW: the single PC selects
+ *                one row for every lane);
+ *   2. sync:     synchronization signals distribute combinationally
+ *                (XIMD only; a VLIW has no SS bus);
+ *   3. execute:  data ops read beginning-of-cycle registers / memory
+ *                and queue their writes in the pipeline;
+ *   4. sequence: control ops select next PCs from beginning-of-cycle
+ *                CC values and current-cycle SS values (XIMD: every
+ *                live FU; VLIW: FU0's control op steers all lanes);
+ *   5. commit:   queued register / memory / CC writes become visible;
+ *                write-write races on one location fault.
+ *
+ * MachineCore owns that loop once; Mode::Ximd / Mode::Vliw select the
+ * sequencing discipline. The inner loop runs entirely on predecoded
+ * parcels (isa/decoded_program.hh) — no Parcel or Operand parsing per
+ * cycle — and observation is externalized behind CycleObserver hooks
+ * (core/observer.hh), so a core with no observers attached is a bare
+ * interpreter.
+ *
+ * run() can additionally fast-forward busy-wait fixpoints: when every
+ * live FU provably re-executes a self-looping nop parcel under
+ * unchanging condition inputs, the remaining cycle budget is consumed
+ * in O(1) while observers receive an equivalent bulk notification.
+ * See DESIGN.md section 7 for the soundness argument.
+ */
+
+#ifndef XIMD_CORE_MACHINE_CORE_HH
+#define XIMD_CORE_MACHINE_CORE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/observer.hh"
+#include "core/run_result.hh"
+#include "isa/decoded_program.hh"
+#include "isa/program.hh"
+#include "sim/cond_codes.hh"
+#include "sim/memory.hh"
+#include "sim/register_file.hh"
+#include "sim/sequencer.hh"
+#include "sim/sync_bus.hh"
+#include "sim/write_pipeline.hh"
+
+namespace ximd {
+
+/** The execution engine shared by XimdMachine and VliwMachine. */
+class MachineCore
+{
+  public:
+    /** Sequencing discipline. */
+    enum class Mode : std::uint8_t {
+        Ximd, ///< One sequencer per FU + combinational sync bus.
+        Vliw, ///< One sequencer (FU0's control fields) for all lanes.
+    };
+
+    /**
+     * Build a core around @p program (validated on entry; Mode::Vliw
+     * additionally rejects sync-signal conditions and non-BUSY sync
+     * fields). Initial memory / register requests are applied, and
+     * the program is predecoded.
+     */
+    MachineCore(Program program, MachineConfig config, Mode mode);
+
+    // Observers hold references into the owning machine; the core is
+    // pinned alongside them.
+    MachineCore(const MachineCore &) = delete;
+    MachineCore &operator=(const MachineCore &) = delete;
+
+    /// @name Pre-run setup.
+    /// @{
+    Memory &memory() { return mem_; }
+    RegisterFile &registers() { return regs_; }
+    CondCodeFile &condCodes() { return ccs_; }
+    const CondCodeFile &condCodes() const { return ccs_; }
+
+    /** Map @p device at [lo, hi]; forwards to Memory::attachDevice. */
+    void attachDevice(Addr lo, Addr hi, IoDevice *device);
+
+    /** Attach an observation hook (not owned; called in order). */
+    void addObserver(CycleObserver *observer);
+    /// @}
+
+    /// @name Execution.
+    /// @{
+    /**
+     * Execute one cycle.
+     * @return false when nothing ran (all FUs halted or faulted).
+     */
+    bool step();
+
+    /** Run until halt/fault or @p maxCycles (0: config default). */
+    RunResult run(Cycle maxCycles = 0);
+    /// @}
+
+    /// @name Observation.
+    /// @{
+    const Program &program() const { return program_; }
+    const MachineConfig &config() const { return config_; }
+    Mode mode() const { return mode_; }
+    FuId numFus() const { return program_.width(); }
+    Cycle cycle() const { return cycle_; }
+    InstAddr pc(FuId fu) const;
+    const std::vector<InstAddr> &pcs() const { return pcs_; }
+    bool haltedFu(FuId fu) const;
+    bool allHalted() const;
+    bool faulted() const { return faulted_; }
+    const std::string &faultMessage() const { return faultMsg_; }
+
+    /** Read a register by number. */
+    Word readReg(RegId r) const { return regs_.peek(r); }
+
+    /** Read a register by its symbolic program name; fatal if unknown. */
+    Word readRegByName(const std::string &name) const;
+
+    /** Read a memory word (RAM only). */
+    Word peekMem(Addr addr) const { return mem_.peek(addr); }
+    /// @}
+
+  private:
+    void validateVliwProgram() const;
+    void applyMemInit();
+    void fault(const std::string &msg);
+
+    /** Execute one predecoded data op for @p fu (queues writes). */
+    void executeParcel(const DecodedParcel &d, FuId fu);
+
+    /** Fill events_ from the cycle's fetch/sequence results. */
+    void buildEvents();
+
+    /** Notify observers once when the machine becomes done. */
+    void notifyDone();
+
+    /**
+     * Prove the machine is in a busy-wait fixpoint and, if so, skip
+     * ahead to @p limit, notifying observers in bulk.
+     * @return true when the skip happened.
+     */
+    bool tryFastForward(Cycle limit);
+
+    Program program_;
+    MachineConfig config_;
+    Mode mode_;
+
+    RegisterFile regs_;
+    Memory mem_;
+    CondCodeFile ccs_;
+    WritePipeline pipe_;
+    SyncBus sync_;
+    SyncBus regSync_; ///< Scratch bus for the registered-sync ablation.
+    /** Previous-cycle SS values, used when config_.registeredSync. */
+    std::vector<SyncVal> syncPrev_;
+
+    std::vector<InstAddr> pcs_;
+    std::vector<bool> haltedFus_;
+
+    Cycle cycle_ = 0;
+    bool faulted_ = false;
+    std::string faultMsg_;
+    bool doneNotified_ = false;
+
+    DecodedProgram decoded_;
+    std::vector<CycleObserver *> observers_;
+
+    // Per-cycle scratch, sized once (no allocation inside step()).
+    std::vector<const DecodedParcel *> fetched_;
+    std::vector<NextPc> next_;
+    std::vector<FuEvent> events_;
+    /** Last stepped cycle was a candidate busy-wait fixpoint. */
+    bool spinHint_ = false;
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_MACHINE_CORE_HH

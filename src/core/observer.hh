@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The pluggable cycle-observation interface of the execution core.
+ *
+ * Observation (tracing, statistics, partition tracking) used to be
+ * compiled into the machines' step() functions behind config booleans.
+ * It is now externalized: MachineCore drives a list of CycleObserver
+ * instances at fixed points of the cycle, and a core with no observers
+ * attached pays nothing per cycle for observation.
+ *
+ * Callback contract (see DESIGN.md section 7):
+ *
+ *  - onCycle(core) fires at the beginning of every cycle that will
+ *    execute (after the halted-and-drained check), before fetch. The
+ *    core exposes beginning-of-cycle state: cycle(), pcs(), halted
+ *    flags, condCodes().
+ *  - onCommit(core, events) fires at the end of the same cycle, after
+ *    writes committed and PCs advanced. `events` holds one FuEvent per
+ *    FU describing what that FU executed. Not called for a cycle that
+ *    faulted (the fault squashes the cycle's effects).
+ *  - onFastForward(core, skipped, events) replaces `skipped`
+ *    consecutive (onCycle, onCommit) pairs when the core proves the
+ *    machine is in a busy-wait fixpoint: every skipped cycle would
+ *    have produced exactly `events` and identical beginning-of-cycle
+ *    state. Observers that keep per-cycle records must expand this
+ *    bulk notification themselves.
+ *  - onHalt(core) fires once per run, when the machine becomes
+ *    architecturally done (all FUs halted and write-backs drained) or
+ *    faults.
+ */
+
+#ifndef XIMD_CORE_OBSERVER_HH
+#define XIMD_CORE_OBSERVER_HH
+
+#include <vector>
+
+#include "isa/control_op.hh"
+#include "isa/opcode.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+class MachineCore;
+
+/** What one FU did during one committed cycle. */
+struct FuEvent
+{
+    bool executed = false;     ///< FU fetched and executed a parcel.
+    bool halted = false;       ///< FU halted this cycle.
+    OpClass cls = OpClass::Nop; ///< Executed data-op class.
+    bool conditional = false;  ///< Control op was conditional.
+    bool taken = false;        ///< Condition selected T1.
+    bool busyWait = false;     ///< Conditional branch back to own PC.
+    InstAddr nextPc = 0;       ///< Resolved next address (when !halted).
+    ControlOp ctrl;            ///< Executed control fields.
+};
+
+/** Observation hooks driven by MachineCore. All default to no-ops. */
+class CycleObserver
+{
+  public:
+    virtual ~CycleObserver() = default;
+
+    /** Beginning of a cycle that will execute, before fetch. */
+    virtual void onCycle(const MachineCore &core) { (void)core; }
+
+    /** End of a committed cycle; @p events has one entry per FU. */
+    virtual void
+    onCommit(const MachineCore &core, const std::vector<FuEvent> &events)
+    {
+        (void)core;
+        (void)events;
+    }
+
+    /**
+     * @p skipped busy-wait cycles were fast-forwarded; each would have
+     * produced @p events and unchanged beginning-of-cycle state.
+     */
+    virtual void
+    onFastForward(const MachineCore &core, Cycle skipped,
+                  const std::vector<FuEvent> &events)
+    {
+        (void)core;
+        (void)skipped;
+        (void)events;
+    }
+
+    /** The machine became done (all halted + drained) or faulted. */
+    virtual void onHalt(const MachineCore &core) { (void)core; }
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_OBSERVER_HH

@@ -1,0 +1,143 @@
+#include "core/observers.hh"
+
+#include "core/machine_core.hh"
+
+namespace ximd {
+
+void
+PartitionObserver::onCommit(const MachineCore &core,
+                            const std::vector<FuEvent> &events)
+{
+    (void)core;
+    controls_.resize(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FuEvent &e = events[i];
+        controls_[i].live = e.executed;
+        controls_[i].halted = e.halted;
+        controls_[i].op = e.ctrl;
+        controls_[i].nextPc = e.nextPc;
+    }
+    tracker_.update(controls_);
+}
+
+void
+StatsObserver::onCycle(const MachineCore &core)
+{
+    if ((tracker_ || fixedStreams_) && !core.allHalted())
+        stats_.countPartition(streams());
+}
+
+void
+StatsObserver::onCommit(const MachineCore &core,
+                        const std::vector<FuEvent> &events)
+{
+    (void)core;
+    for (const FuEvent &e : events) {
+        if (!e.executed)
+            continue;
+        stats_.countParcel(e.cls);
+        if (e.conditional) {
+            stats_.countConditionalBranch(e.taken);
+            if (countBusyWaits_ && e.busyWait)
+                stats_.countBusyWait();
+        }
+    }
+    stats_.countCycle();
+}
+
+void
+StatsObserver::onFastForward(const MachineCore &core, Cycle skipped,
+                             const std::vector<FuEvent> &events)
+{
+    // `skipped` cycles, each identical: replay the per-cycle counts in
+    // bulk. The machine is mid-spin, so it cannot be all-halted.
+    if (tracker_ || fixedStreams_)
+        stats_.countPartitions(streams(), skipped);
+    for (const FuEvent &e : events) {
+        if (!e.executed)
+            continue;
+        stats_.countParcels(e.cls, skipped);
+        if (e.conditional) {
+            stats_.countConditionalBranches(e.taken, skipped);
+            if (countBusyWaits_ && e.busyWait)
+                stats_.countBusyWaits(skipped);
+        }
+    }
+    stats_.countCycles(skipped);
+    (void)core;
+}
+
+void
+TraceObserver::onCycle(const MachineCore &core)
+{
+    const FuId n = core.numFus();
+    TraceEntry e;
+    e.cycle = core.cycle();
+    e.pcs = core.pcs();
+    e.live.resize(n);
+    for (FuId fu = 0; fu < n; ++fu)
+        e.live[fu] = !core.haltedFu(fu);
+    e.condCodes = core.condCodes().formatted();
+    e.partition = tracker_.formatted();
+    trace_.append(std::move(e));
+}
+
+void
+TraceObserver::onFastForward(const MachineCore &core, Cycle skipped,
+                             const std::vector<FuEvent> &events)
+{
+    (void)events;
+    // Each skipped cycle begins in the same state; only the cycle
+    // number advances.
+    const FuId n = core.numFus();
+    TraceEntry e;
+    e.pcs = core.pcs();
+    e.live.resize(n);
+    for (FuId fu = 0; fu < n; ++fu)
+        e.live[fu] = !core.haltedFu(fu);
+    e.condCodes = core.condCodes().formatted();
+    e.partition = tracker_.formatted();
+    for (Cycle i = 0; i < skipped; ++i) {
+        e.cycle = core.cycle() + i;
+        trace_.append(e);
+    }
+}
+
+TraceEntry
+VliwTraceObserver::snapshot(const MachineCore &core)
+{
+    if (partition_.empty()) {
+        // A VLIW always executes a single instruction stream.
+        partition_ = "{";
+        for (FuId fu = 0; fu < core.numFus(); ++fu)
+            partition_ += (fu ? "," : "") + std::to_string(fu);
+        partition_ += "}";
+    }
+    TraceEntry e;
+    e.cycle = core.cycle();
+    e.pcs.assign(core.numFus(), core.pc(0));
+    e.live.assign(core.numFus(), true);
+    e.condCodes = core.condCodes().formatted();
+    e.partition = partition_;
+    return e;
+}
+
+void
+VliwTraceObserver::onCycle(const MachineCore &core)
+{
+    trace_.append(snapshot(core));
+}
+
+void
+VliwTraceObserver::onFastForward(const MachineCore &core, Cycle skipped,
+                                 const std::vector<FuEvent> &events)
+{
+    (void)events;
+    TraceEntry e = snapshot(core);
+    for (Cycle i = 0; i < skipped; ++i) {
+        e.cycle = core.cycle() + i;
+        trace_.append(e);
+    }
+}
+
+} // namespace ximd

@@ -28,6 +28,21 @@ RunStats::countConditionalBranch(bool taken)
         ++takenBranches_;
 }
 
+void
+RunStats::countParcels(OpClass cls, std::uint64_t n)
+{
+    parcels_ += n;
+    classCounts_[static_cast<std::size_t>(cls)] += n;
+}
+
+void
+RunStats::countConditionalBranches(bool taken, std::uint64_t n)
+{
+    condBranches_ += n;
+    if (taken)
+        takenBranches_ += n;
+}
+
 std::uint64_t
 RunStats::byClass(OpClass cls) const
 {
@@ -112,6 +127,40 @@ RunStats::formatted() const
         for (const auto &[streams, cycles] : partitionCycles_)
             os << "  " << streams << " -> " << cycles << "\n";
     }
+    return os.str();
+}
+
+std::string
+RunStats::json(double cycleNs) const
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"cycles\": " << cycles_ << ",\n"
+       << "  \"parcels\": " << parcels_ << ",\n"
+       << "  \"data_ops\": " << dataOps() << ",\n"
+       << "  \"int_alu\": " << byClass(OpClass::IntAlu) << ",\n"
+       << "  \"int_compare\": " << byClass(OpClass::IntCompare) << ",\n"
+       << "  \"float_alu\": " << byClass(OpClass::FloatAlu) << ",\n"
+       << "  \"float_compare\": " << byClass(OpClass::FloatCompare)
+       << ",\n"
+       << "  \"convert\": " << byClass(OpClass::Convert) << ",\n"
+       << "  \"loads\": " << byClass(OpClass::MemLoad) << ",\n"
+       << "  \"stores\": " << byClass(OpClass::MemStore) << ",\n"
+       << "  \"nops\": " << nops() << ",\n"
+       << "  \"cond_branches\": " << condBranches_ << ",\n"
+       << "  \"taken_branches\": " << takenBranches_ << ",\n"
+       << "  \"busy_wait_fu_cycles\": " << busyWaitCycles_ << ",\n"
+       << "  \"utilization\": " << fixed(utilization(), 6) << ",\n"
+       << "  \"mean_streams\": " << fixed(meanStreams(), 6) << ",\n"
+       << "  \"mips\": " << fixed(mips(cycleNs), 6) << ",\n"
+       << "  \"mflops\": " << fixed(mflops(cycleNs), 6) << ",\n"
+       << "  \"partition_histogram\": {";
+    bool first = true;
+    for (const auto &[streams, cycles] : partitionCycles_) {
+        os << (first ? "" : ", ") << "\"" << streams << "\": " << cycles;
+        first = false;
+    }
+    os << "}\n}\n";
     return os.str();
 }
 

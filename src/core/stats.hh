@@ -38,6 +38,18 @@ class RunStats
     void countPartition(unsigned numSsets) { ++partitionCycles_[numSsets]; }
     /// @}
 
+    /// @name Bulk accumulators (fast-forwarded cycles).
+    /// @{
+    void countCycles(Cycle n) { cycles_ += n; }
+    void countParcels(OpClass cls, std::uint64_t n);
+    void countConditionalBranches(bool taken, std::uint64_t n);
+    void countBusyWaits(std::uint64_t n) { busyWaitCycles_ += n; }
+    void countPartitions(unsigned numSsets, Cycle n)
+    {
+        partitionCycles_[numSsets] += n;
+    }
+    /// @}
+
     /// @name Results.
     /// @{
     Cycle cycles() const { return cycles_; }
@@ -84,6 +96,13 @@ class RunStats
 
     /** Multi-line human-readable summary. */
     std::string formatted() const;
+
+    /**
+     * Machine-readable JSON object (integers and fixed-point doubles;
+     * stable key order). @p cycleNs scales mips/mflops; pass the
+     * machine's configured cycle time.
+     */
+    std::string json(double cycleNs) const;
 
   private:
     FuId numFus_;

@@ -1,232 +1,21 @@
 #include "core/vliw_machine.hh"
 
-#include "sim/datapath.hh"
-#include "sim/sequencer.hh"
-#include "sim/sync_bus.hh"
-#include "support/logging.hh"
-
 namespace ximd {
 
-namespace {
-
-/** ExecContext binding one VLIW lane to the machine's shared state;
- *  writes route through the write-back pipeline. */
-class LaneContext : public ExecContext
-{
-  public:
-    LaneContext(RegisterFile &regs, Memory &mem, WritePipeline &pipe,
-                FuId fu, Cycle now)
-        : regs_(regs), mem_(mem), pipe_(pipe), fu_(fu), now_(now)
-    {
-    }
-
-    Word
-    readOperand(const Operand &op) override
-    {
-        if (op.isImm())
-            return op.immValue();
-        if (op.isReg())
-            return regs_.read(op.regId());
-        panic("readOperand on absent operand");
-    }
-
-    Word loadMem(Addr addr) override { return mem_.load(addr, now_); }
-
-    void
-    storeMem(Addr addr, Word value) override
-    {
-        pipe_.pushStore(now_, addr, value, fu_);
-    }
-
-    void
-    writeReg(RegId reg, Word value) override
-    {
-        pipe_.pushReg(now_, reg, value, fu_);
-    }
-
-    void
-    writeCc(bool value) override
-    {
-        pipe_.pushCc(now_, fu_, value);
-    }
-
-  private:
-    RegisterFile &regs_;
-    Memory &mem_;
-    WritePipeline &pipe_;
-    FuId fu_;
-    Cycle now_;
-};
-
-} // namespace
-
 VliwMachine::VliwMachine(Program program, MachineConfig config)
-    : program_(std::move(program)),
-      config_(config),
-      regs_(kNumRegisters, config.conflictPolicy),
-      mem_(config.memWords, config.conflictPolicy),
-      ccs_(program_.width()),
-      pipe_(config.resultLatency),
-      stats_(program_.width())
+    : core_(std::move(program), config, MachineCore::Mode::Vliw),
+      stats_(core_.numFus()),
+      statsObserver_(stats_, nullptr,
+                     // A VLIW is one instruction stream by definition;
+                     // busy-wait accounting is an XIMD concept.
+                     config.trackPartitions ? 1 : 0,
+                     /*countBusyWaits=*/false),
+      traceObserver_(trace_)
 {
-    if (program_.empty())
-        fatal("cannot simulate an empty program");
-    program_.validate();
-    validateVliwProgram();
-    applyMemInit();
-}
-
-void
-VliwMachine::validateVliwProgram() const
-{
-    for (InstAddr a = 0; a < program_.size(); ++a) {
-        for (FuId fu = 0; fu < program_.width(); ++fu) {
-            const Parcel &p = program_.row(a)[fu];
-            switch (p.ctrl.kind) {
-              case CondKind::SyncDone:
-              case CondKind::AllSync:
-              case CondKind::AnySync:
-                fatal("row ", a, " FU", fu, ": sync-signal branch "
-                      "conditions do not exist on a VLIW machine");
-              default:
-                break;
-            }
-            if (p.sync != SyncVal::Busy)
-                fatal("row ", a, " FU", fu, ": sync fields do not "
-                      "exist on a VLIW machine");
-        }
-    }
-}
-
-void
-VliwMachine::applyMemInit()
-{
-    for (const auto &[addr, value] : program_.memInit())
-        mem_.poke(addr, value);
-    for (const auto &[reg, value] : program_.regInit())
-        regs_.poke(reg, value);
-}
-
-void
-VliwMachine::attachDevice(Addr lo, Addr hi, IoDevice *device)
-{
-    mem_.attachDevice(lo, hi, device);
-}
-
-void
-VliwMachine::fault(const std::string &msg)
-{
-    faulted_ = true;
-    faultMsg_ = msg;
-    regs_.squash();
-    mem_.squash();
-    ccs_.squash();
-    pipe_.squash();
-}
-
-bool
-VliwMachine::step()
-{
-    if (faulted_ || (halted_ && pipe_.empty()))
-        return false;
-
-    const FuId n = numFus();
-
-    if (config_.recordTrace) {
-        TraceEntry e;
-        e.cycle = cycle_;
-        e.pcs.assign(n, pc_);
-        e.live.assign(n, true);
-        e.condCodes = ccs_.formatted();
-        // A VLIW always executes a single instruction stream.
-        std::string part = "{";
-        for (FuId fu = 0; fu < n; ++fu)
-            part += (fu ? "," : "") + std::to_string(fu);
-        part += "}";
-        e.partition = part;
-        trace_.append(std::move(e));
-    }
-    if (config_.trackPartitions && !halted_)
-        stats_.countPartition(1);
-
-    NextPc next;
-    if (!halted_) {
-        const InstRow &row = program_.row(pc_);
-
-        // Execute all data operations against beginning-of-cycle
-        // state.
-        try {
-            for (FuId fu = 0; fu < n; ++fu) {
-                LaneContext ctx(regs_, mem_, pipe_, fu, cycle_);
-                executeDataOp(row[fu].data, ctx);
-                stats_.countParcel(opInfo(row[fu].data.op).cls);
-            }
-        } catch (const FatalError &e) {
-            fault(e.what());
-            return false;
-        }
-
-        // Sequence: the single control operation comes from FU0's
-        // parcel. Sync conditions were rejected at construction, so
-        // the sync bus argument is never consulted; pass a dummy.
-        static const SyncBus dummy_sync(1);
-        next = evaluateControlOp(row[0].ctrl, ccs_, dummy_sync);
-        if (row[0].ctrl.isConditional())
-            stats_.countConditionalBranch(next.taken);
-    } else {
-        next.halt = true; // draining in-flight write-backs
-    }
-
-    try {
-        pipe_.drainInto(cycle_, regs_, mem_, ccs_);
-        regs_.commit();
-        mem_.commit(cycle_);
-        ccs_.commit();
-    } catch (const FatalError &e) {
-        fault(e.what());
-        return false;
-    }
-
-    if (next.halt)
-        halted_ = true;
-    else
-        pc_ = next.pc;
-
-    ++cycle_;
-    stats_.countCycle();
-    return true;
-}
-
-RunResult
-VliwMachine::run(Cycle maxCycles)
-{
-    const Cycle budget =
-        maxCycles ? maxCycles : config_.defaultMaxCycles;
-    const Cycle limit = cycle_ + budget;
-
-    while (cycle_ < limit && step()) {
-    }
-
-    RunResult result;
-    result.cycles = cycle_;
-    if (faulted_) {
-        result.reason = StopReason::Fault;
-        result.faultMessage = faultMsg_;
-    } else if (halted_) {
-        result.reason = StopReason::Halted;
-    } else {
-        result.reason = StopReason::MaxCycles;
-    }
-    return result;
-}
-
-Word
-VliwMachine::readRegByName(const std::string &name) const
-{
-    auto r = program_.regByName(name);
-    if (!r)
-        fatal("program defines no register named '", name, "'");
-    return regs_.peek(*r);
+    if (config.collectStats)
+        core_.addObserver(&statsObserver_);
+    if (config.recordTrace)
+        core_.addObserver(&traceObserver_);
 }
 
 } // namespace ximd

@@ -9,6 +9,11 @@
  * single sequencer: one program counter; one control operation per
  * instruction.
  *
+ * Like xsim, this class is a configuration of the shared MachineCore:
+ * Mode::Vliw makes the single sequencer (FU0's control fields) drive
+ * all lanes in lockstep, and the attached observers record the
+ * single-stream trace and statistics.
+ *
  * A VLIW program is expressed as an ordinary Program whose control
  * fields are read from FU0's parcel (the paper's examples duplicate the
  * control fields into every parcel; vsim accepts either form but
@@ -19,17 +24,14 @@
 #define XIMD_CORE_VLIW_MACHINE_HH
 
 #include <string>
-#include <vector>
 
 #include "core/machine_config.hh"
+#include "core/machine_core.hh"
+#include "core/observers.hh"
 #include "core/run_result.hh"
 #include "core/stats.hh"
 #include "core/trace.hh"
 #include "isa/program.hh"
-#include "sim/cond_codes.hh"
-#include "sim/memory.hh"
-#include "sim/register_file.hh"
-#include "sim/write_pipeline.hh"
 
 namespace ximd {
 
@@ -44,60 +46,65 @@ class VliwMachine
      */
     explicit VliwMachine(Program program, MachineConfig config = {});
 
+    // The attached observers hold references into this object.
+    VliwMachine(const VliwMachine &) = delete;
+    VliwMachine &operator=(const VliwMachine &) = delete;
+
     /// @name Pre-run setup.
     /// @{
-    Memory &memory() { return mem_; }
-    RegisterFile &registers() { return regs_; }
-    CondCodeFile &condCodes() { return ccs_; }
-    void attachDevice(Addr lo, Addr hi, IoDevice *device);
+    Memory &memory() { return core_.memory(); }
+    RegisterFile &registers() { return core_.registers(); }
+    CondCodeFile &condCodes() { return core_.condCodes(); }
+    void attachDevice(Addr lo, Addr hi, IoDevice *device)
+    {
+        core_.attachDevice(lo, hi, device);
+    }
+
+    /** Attach a custom observation hook (not owned). */
+    void addObserver(CycleObserver *observer)
+    {
+        core_.addObserver(observer);
+    }
     /// @}
 
     /// @name Execution.
     /// @{
-    bool step();
-    RunResult run(Cycle maxCycles = 0);
+    bool step() { return core_.step(); }
+    RunResult run(Cycle maxCycles = 0) { return core_.run(maxCycles); }
     /// @}
 
     /// @name Observation.
     /// @{
-    const Program &program() const { return program_; }
-    FuId numFus() const { return program_.width(); }
-    Cycle cycle() const { return cycle_; }
-    InstAddr pc() const { return pc_; }
-    bool halted() const { return halted_; }
-    bool faulted() const { return faulted_; }
-    const std::string &faultMessage() const { return faultMsg_; }
+    const Program &program() const { return core_.program(); }
+    FuId numFus() const { return core_.numFus(); }
+    Cycle cycle() const { return core_.cycle(); }
+    InstAddr pc() const { return core_.pc(0); }
+    bool halted() const { return core_.haltedFu(0); }
+    bool faulted() const { return core_.faulted(); }
+    const std::string &faultMessage() const
+    {
+        return core_.faultMessage();
+    }
 
     const RunStats &stats() const { return stats_; }
     const Trace &trace() const { return trace_; }
 
-    Word readReg(RegId r) const { return regs_.peek(r); }
-    Word readRegByName(const std::string &name) const;
-    Word peekMem(Addr addr) const { return mem_.peek(addr); }
+    Word readReg(RegId r) const { return core_.readReg(r); }
+    Word readRegByName(const std::string &name) const
+    {
+        return core_.readRegByName(name);
+    }
+    Word peekMem(Addr addr) const { return core_.peekMem(addr); }
     /// @}
 
   private:
-    void applyMemInit();
-    void validateVliwProgram() const;
-    void fault(const std::string &msg);
-
-    Program program_;
-    MachineConfig config_;
-
-    RegisterFile regs_;
-    Memory mem_;
-    CondCodeFile ccs_;
-    WritePipeline pipe_;
-
-    InstAddr pc_ = 0;
-    bool halted_ = false;
-
-    Cycle cycle_ = 0;
-    bool faulted_ = false;
-    std::string faultMsg_;
+    MachineCore core_;
 
     Trace trace_;
     RunStats stats_;
+
+    StatsObserver statsObserver_;
+    VliwTraceObserver traceObserver_;
 };
 
 } // namespace ximd

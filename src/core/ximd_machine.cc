@@ -1,274 +1,28 @@
 #include "core/ximd_machine.hh"
 
-#include "sim/datapath.hh"
-#include "sim/sequencer.hh"
-#include "support/logging.hh"
-
 namespace ximd {
 
-namespace {
-
-/** ExecContext binding one FU to the machine's shared state. All
- *  writes route through the write-back pipeline (latency 1 == the
- *  research model's end-of-cycle commit). */
-class FuContext : public ExecContext
-{
-  public:
-    FuContext(RegisterFile &regs, Memory &mem, WritePipeline &pipe,
-              FuId fu, Cycle now)
-        : regs_(regs), mem_(mem), pipe_(pipe), fu_(fu), now_(now)
-    {
-    }
-
-    Word
-    readOperand(const Operand &op) override
-    {
-        if (op.isImm())
-            return op.immValue();
-        if (op.isReg())
-            return regs_.read(op.regId());
-        panic("readOperand on absent operand");
-    }
-
-    Word loadMem(Addr addr) override { return mem_.load(addr, now_); }
-
-    void
-    storeMem(Addr addr, Word value) override
-    {
-        pipe_.pushStore(now_, addr, value, fu_);
-    }
-
-    void
-    writeReg(RegId reg, Word value) override
-    {
-        pipe_.pushReg(now_, reg, value, fu_);
-    }
-
-    void
-    writeCc(bool value) override
-    {
-        pipe_.pushCc(now_, fu_, value);
-    }
-
-  private:
-    RegisterFile &regs_;
-    Memory &mem_;
-    WritePipeline &pipe_;
-    FuId fu_;
-    Cycle now_;
-};
-
-} // namespace
-
 XimdMachine::XimdMachine(Program program, MachineConfig config)
-    : program_(std::move(program)),
-      config_(config),
-      regs_(kNumRegisters, config.conflictPolicy),
-      mem_(config.memWords, config.conflictPolicy),
-      ccs_(program_.width()),
-      pipe_(config.resultLatency),
-      sync_(program_.width()),
-      syncPrev_(program_.width(), SyncVal::Busy),
-      pcs_(program_.width(), 0),
-      haltedFus_(program_.width(), false),
-      partition_(program_.width()),
-      stats_(program_.width())
+    : core_(std::move(program), config, MachineCore::Mode::Ximd),
+      partition_(core_.numFus()),
+      stats_(core_.numFus()),
+      partitionObserver_(partition_),
+      statsObserver_(stats_,
+                     config.trackPartitions ? &partition_ : nullptr,
+                     0, /*countBusyWaits=*/true),
+      traceObserver_(trace_, partition_)
 {
-    if (program_.empty())
-        fatal("cannot simulate an empty program");
-    program_.validate();
-    applyMemInit();
-}
-
-void
-XimdMachine::applyMemInit()
-{
-    for (const auto &[addr, value] : program_.memInit())
-        mem_.poke(addr, value);
-    for (const auto &[reg, value] : program_.regInit())
-        regs_.poke(reg, value);
-}
-
-void
-XimdMachine::attachDevice(Addr lo, Addr hi, IoDevice *device)
-{
-    mem_.attachDevice(lo, hi, device);
-}
-
-InstAddr
-XimdMachine::pc(FuId fu) const
-{
-    XIMD_ASSERT(fu < numFus(), "FU index out of range");
-    return pcs_[fu];
-}
-
-bool
-XimdMachine::halted(FuId fu) const
-{
-    XIMD_ASSERT(fu < numFus(), "FU index out of range");
-    return haltedFus_[fu];
-}
-
-bool
-XimdMachine::allHalted() const
-{
-    for (bool h : haltedFus_)
-        if (!h)
-            return false;
-    return true;
-}
-
-void
-XimdMachine::fault(const std::string &msg)
-{
-    faulted_ = true;
-    faultMsg_ = msg;
-    regs_.squash();
-    mem_.squash();
-    ccs_.squash();
-    pipe_.squash();
-}
-
-bool
-XimdMachine::step()
-{
-    // Even with every FU halted, in-flight write-backs must drain
-    // (resultLatency > 1) before the machine is architecturally done.
-    if (faulted_ || (allHalted() && pipe_.empty()))
-        return false;
-
-    const FuId n = numFus();
-
-    // Beginning-of-cycle observation: trace + partition statistics.
-    if (config_.recordTrace) {
-        TraceEntry e;
-        e.cycle = cycle_;
-        e.pcs = pcs_;
-        e.live.resize(n);
-        for (FuId fu = 0; fu < n; ++fu)
-            e.live[fu] = !haltedFus_[fu];
-        e.condCodes = ccs_.formatted();
-        e.partition = partition_.formatted();
-        trace_.append(std::move(e));
-    }
-    if (config_.trackPartitions && !allHalted())
-        stats_.countPartition(partition_.numSsets());
-
-    // Fetch + drive sync bus from the executing parcels' SS fields.
-    std::vector<const Parcel *> parcels(n, nullptr);
-    sync_.beginCycle(); // halted FUs read DONE
-    for (FuId fu = 0; fu < n; ++fu) {
-        if (haltedFus_[fu])
-            continue;
-        parcels[fu] = &program_.parcel(pcs_[fu], fu);
-        sync_.set(fu, parcels[fu]->sync);
-    }
-
-    // Execute data operations against beginning-of-cycle state.
-    try {
-        for (FuId fu = 0; fu < n; ++fu) {
-            if (!parcels[fu])
-                continue;
-            FuContext ctx(regs_, mem_, pipe_, fu, cycle_);
-            executeDataOp(parcels[fu]->data, ctx);
-            stats_.countParcel(opInfo(parcels[fu]->data.op).cls);
-        }
-    } catch (const FatalError &e) {
-        fault(e.what());
-        return false;
-    }
-
-    // Sequence: select each live FU's next PC. CC values are still the
-    // beginning-of-cycle ones (commit happens below); SS values are the
-    // current cycle's fields (or the previous cycle's, under the
-    // registered-sync ablation).
-    SyncBus registered(n);
-    if (config_.registeredSync) {
-        for (FuId fu = 0; fu < n; ++fu)
-            registered.set(fu, syncPrev_[fu]);
-    }
-    const SyncBus &branch_sync = config_.registeredSync ? registered
-                                                        : sync_;
-
-    std::vector<PartitionTracker::FuControl> controls(n);
-    std::vector<NextPc> next(n);
-    for (FuId fu = 0; fu < n; ++fu) {
-        if (!parcels[fu])
-            continue;
-        const ControlOp &cop = parcels[fu]->ctrl;
-        next[fu] = evaluateControlOp(cop, ccs_, branch_sync);
-        controls[fu].live = true;
-        controls[fu].halted = next[fu].halt;
-        controls[fu].op = cop;
-        controls[fu].nextPc = next[fu].pc;
-        if (cop.isConditional()) {
-            stats_.countConditionalBranch(next[fu].taken);
-            if (!next[fu].halt && next[fu].pc == pcs_[fu])
-                stats_.countBusyWait();
-        }
-    }
-
-    // Commit the write-backs due this cycle.
-    try {
-        pipe_.drainInto(cycle_, regs_, mem_, ccs_);
-        regs_.commit();
-        mem_.commit(cycle_);
-        ccs_.commit();
-    } catch (const FatalError &e) {
-        fault(e.what());
-        return false;
-    }
-
-    // Advance control state.
-    for (FuId fu = 0; fu < n; ++fu) {
-        if (!parcels[fu])
-            continue;
-        if (next[fu].halt)
-            haltedFus_[fu] = true;
-        else
-            pcs_[fu] = next[fu].pc;
-    }
-    if (config_.trackPartitions)
-        partition_.update(controls);
-
-    for (FuId fu = 0; fu < n; ++fu)
-        syncPrev_[fu] = sync_.get(fu);
-
-    ++cycle_;
-    stats_.countCycle();
-    return true;
-}
-
-RunResult
-XimdMachine::run(Cycle maxCycles)
-{
-    const Cycle budget =
-        maxCycles ? maxCycles : config_.defaultMaxCycles;
-    const Cycle limit = cycle_ + budget;
-
-    while (cycle_ < limit && step()) {
-    }
-
-    RunResult result;
-    result.cycles = cycle_;
-    if (faulted_) {
-        result.reason = StopReason::Fault;
-        result.faultMessage = faultMsg_;
-    } else if (allHalted()) {
-        result.reason = StopReason::Halted;
-    } else {
-        result.reason = StopReason::MaxCycles;
-    }
-    return result;
-}
-
-Word
-XimdMachine::readRegByName(const std::string &name) const
-{
-    auto r = program_.regByName(name);
-    if (!r)
-        fatal("program defines no register named '", name, "'");
-    return regs_.peek(*r);
+    // Observer order matters only for the partition stream counts:
+    // stats and trace read the tracker's beginning-of-cycle state, and
+    // the tracker updates at end of cycle, so any registration order
+    // observes the same values. Attach only what the config asks for —
+    // an unobserved core pays nothing per cycle.
+    if (config.trackPartitions)
+        core_.addObserver(&partitionObserver_);
+    if (config.collectStats)
+        core_.addObserver(&statsObserver_);
+    if (config.recordTrace)
+        core_.addObserver(&traceObserver_);
 }
 
 } // namespace ximd

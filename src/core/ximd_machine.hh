@@ -8,18 +8,13 @@
  * and globally visible; synchronization signals are instruction fields
  * distributed combinationally.
  *
- * Cycle semantics (pinned down in DESIGN.md and verified against the
- * paper's Figure 10 trace):
- *
- *   1. fetch: every live FU fetches the parcel addressed by its PC;
- *   2. the sync bus takes each live parcel's SS field (halted: DONE);
- *   3. execute: data ops read beginning-of-cycle registers/memory and
- *      queue their writes;
- *   4. sequence: control ops select the next PC from beginning-of-cycle
- *      CC values and current-cycle SS values;
- *   5. commit: queued register / memory / CC writes become visible;
- *      write-write races on one register or address fault;
- *   6. partition tracking, trace recording, statistics.
+ * The cycle loop itself lives in MachineCore (core/machine_core.hh),
+ * shared with the VLIW machine; this class is the XIMD configuration
+ * of that core: Mode::Ximd sequencing plus the standard observers —
+ * PartitionTracker, RunStats, and the Figure-10 trace — attached
+ * according to MachineConfig. With tracing, partition tracking, and
+ * statistics all disabled the core runs bare, with no observation
+ * work per cycle.
  *
  * A program fault (divide by zero, write race, address out of range)
  * stops the machine with StopReason::Fault and the message preserved.
@@ -29,23 +24,19 @@
 #define XIMD_CORE_XIMD_MACHINE_HH
 
 #include <string>
-#include <vector>
 
 #include "core/machine_config.hh"
+#include "core/machine_core.hh"
+#include "core/observers.hh"
 #include "core/partition.hh"
 #include "core/run_result.hh"
 #include "core/stats.hh"
 #include "core/trace.hh"
 #include "isa/program.hh"
-#include "sim/cond_codes.hh"
-#include "sim/memory.hh"
-#include "sim/register_file.hh"
-#include "sim/sync_bus.hh"
-#include "sim/write_pipeline.hh"
 
 namespace ximd {
 
-/** The XIMD-1 simulator. */
+/** The XIMD-1 simulator: an XIMD-configured MachineCore. */
 class XimdMachine
 {
   public:
@@ -56,14 +47,27 @@ class XimdMachine
      */
     explicit XimdMachine(Program program, MachineConfig config = {});
 
+    // The attached observers hold references into this object.
+    XimdMachine(const XimdMachine &) = delete;
+    XimdMachine &operator=(const XimdMachine &) = delete;
+
     /// @name Pre-run setup.
     /// @{
-    Memory &memory() { return mem_; }
-    RegisterFile &registers() { return regs_; }
-    CondCodeFile &condCodes() { return ccs_; }
+    Memory &memory() { return core_.memory(); }
+    RegisterFile &registers() { return core_.registers(); }
+    CondCodeFile &condCodes() { return core_.condCodes(); }
 
     /** Map @p device at [lo, hi]; forwards to Memory::attachDevice. */
-    void attachDevice(Addr lo, Addr hi, IoDevice *device);
+    void attachDevice(Addr lo, Addr hi, IoDevice *device)
+    {
+        core_.attachDevice(lo, hi, device);
+    }
+
+    /** Attach a custom observation hook (not owned). */
+    void addObserver(CycleObserver *observer)
+    {
+        core_.addObserver(observer);
+    }
     /// @}
 
     /// @name Execution.
@@ -72,62 +76,53 @@ class XimdMachine
      * Execute one cycle.
      * @return false when nothing ran (all FUs halted or faulted).
      */
-    bool step();
+    bool step() { return core_.step(); }
 
     /** Run until halt/fault or @p maxCycles (0: config default). */
-    RunResult run(Cycle maxCycles = 0);
+    RunResult run(Cycle maxCycles = 0) { return core_.run(maxCycles); }
     /// @}
 
     /// @name Observation.
     /// @{
-    const Program &program() const { return program_; }
-    FuId numFus() const { return program_.width(); }
-    Cycle cycle() const { return cycle_; }
-    InstAddr pc(FuId fu) const;
-    bool halted(FuId fu) const;
-    bool allHalted() const;
-    bool faulted() const { return faulted_; }
-    const std::string &faultMessage() const { return faultMsg_; }
+    const Program &program() const { return core_.program(); }
+    FuId numFus() const { return core_.numFus(); }
+    Cycle cycle() const { return core_.cycle(); }
+    InstAddr pc(FuId fu) const { return core_.pc(fu); }
+    bool halted(FuId fu) const { return core_.haltedFu(fu); }
+    bool allHalted() const { return core_.allHalted(); }
+    bool faulted() const { return core_.faulted(); }
+    const std::string &faultMessage() const
+    {
+        return core_.faultMessage();
+    }
 
     const RunStats &stats() const { return stats_; }
     const Trace &trace() const { return trace_; }
     const PartitionTracker &partitions() const { return partition_; }
 
     /** Read a register by number. */
-    Word readReg(RegId r) const { return regs_.peek(r); }
+    Word readReg(RegId r) const { return core_.readReg(r); }
 
     /** Read a register by its symbolic program name; fatal if unknown. */
-    Word readRegByName(const std::string &name) const;
+    Word readRegByName(const std::string &name) const
+    {
+        return core_.readRegByName(name);
+    }
 
     /** Read a memory word (RAM only). */
-    Word peekMem(Addr addr) const { return mem_.peek(addr); }
+    Word peekMem(Addr addr) const { return core_.peekMem(addr); }
     /// @}
 
   private:
-    void applyMemInit();
-    void fault(const std::string &msg);
-
-    Program program_;
-    MachineConfig config_;
-
-    RegisterFile regs_;
-    Memory mem_;
-    CondCodeFile ccs_;
-    WritePipeline pipe_;
-    SyncBus sync_;
-    /** Previous-cycle SS values, used when config_.registeredSync. */
-    std::vector<SyncVal> syncPrev_;
-
-    std::vector<InstAddr> pcs_;
-    std::vector<bool> haltedFus_;
-
-    Cycle cycle_ = 0;
-    bool faulted_ = false;
-    std::string faultMsg_;
+    MachineCore core_;
 
     PartitionTracker partition_;
     Trace trace_;
     RunStats stats_;
+
+    PartitionObserver partitionObserver_;
+    StatsObserver statsObserver_;
+    TraceObserver traceObserver_;
 };
 
 } // namespace ximd

@@ -1,0 +1,58 @@
+#include "isa/decoded_program.hh"
+
+namespace ximd {
+
+namespace {
+
+DecodedSrc
+decodeSrc(const Operand &operand)
+{
+    DecodedSrc src;
+    if (operand.isReg()) {
+        src.isReg = true;
+        src.value = operand.regId();
+    } else if (operand.isImm()) {
+        src.isReg = false;
+        src.value = operand.immValue();
+    }
+    // None stays {0, false}: validate() guarantees such operands are
+    // never read by the executed op class.
+    return src;
+}
+
+} // namespace
+
+DecodedProgram::DecodedProgram(const Program &program)
+    : width_(program.width()), size_(program.size())
+{
+    parcels_.resize(static_cast<std::size_t>(size_) * width_);
+    for (InstAddr addr = 0; addr < size_; ++addr) {
+        for (FuId fu = 0; fu < width_; ++fu) {
+            const Parcel &p = program.parcel(addr, fu);
+            DecodedParcel &d =
+                parcels_[static_cast<std::size_t>(addr) * width_ + fu];
+
+            d.op = p.data.op;
+            d.cls = opInfo(p.data.op).cls;
+            d.a = decodeSrc(p.data.a);
+            d.b = decodeSrc(p.data.b);
+            d.dest = p.data.dest;
+
+            d.ckind = p.ctrl.kind;
+            d.cindex = p.ctrl.index;
+            d.cmask = p.ctrl.mask;
+            d.t1 = p.ctrl.t1;
+            d.t2 = p.ctrl.t2;
+            d.conditional = p.ctrl.isConditional();
+
+            d.sync = p.sync;
+
+            const bool selfTarget =
+                (d.ckind == CondKind::Always && d.t1 == addr) ||
+                (d.conditional && (d.t1 == addr || d.t2 == addr));
+            d.canSelfSpin = d.cls == OpClass::Nop && selfTarget;
+        }
+    }
+}
+
+} // namespace ximd

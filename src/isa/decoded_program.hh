@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Predecoded program representation for the simulator hot loop.
+ *
+ * A Program stores parcels the way the assembler and tools want them:
+ * symbolic Operand variants, an OpClass reachable only through the
+ * opInfo() descriptor table, control fields behind ControlOp methods.
+ * Re-interrogating all of that every cycle is pure interpreter
+ * overhead — none of it changes after load.
+ *
+ * DecodedProgram is built once at machine construction and resolves
+ * every parcel into a dense, flat execute record:
+ *
+ *  - operand kinds collapse into a two-way tag (register / literal)
+ *    with the register index or immediate bits pre-extracted;
+ *  - the opcode's functional class is copied inline so dispatch needs
+ *    no descriptor lookup;
+ *  - control fields (condition kind, CC/SS index, FU mask, T1/T2) and
+ *    the SS field are copied inline;
+ *  - a `canSelfSpin` flag marks parcels that can possibly busy-wait
+ *    at their own address with no data-path side effects — the cheap
+ *    pre-filter for the core's busy-wait fast-forward.
+ *
+ * Invariants: the source Program must be validate()-clean before
+ * decoding (the machine constructors guarantee this); the decoded
+ * records are immutable for the machine's lifetime; records are laid
+ * out row-major (address * width + fu), mirroring Program's grid.
+ */
+
+#ifndef XIMD_ISA_DECODED_PROGRAM_HH
+#define XIMD_ISA_DECODED_PROGRAM_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "support/types.hh"
+
+namespace ximd {
+
+/** A resolved source operand: register index or immediate bits. */
+struct DecodedSrc
+{
+    Word value = 0;     ///< Register index when isReg, else raw bits.
+    bool isReg = false;
+};
+
+/** One parcel, fully resolved for execution. */
+struct DecodedParcel
+{
+    // Data path.
+    Opcode op = Opcode::Nop;
+    OpClass cls = OpClass::Nop;
+    DecodedSrc a;
+    DecodedSrc b;
+    RegId dest = 0;
+
+    // Control path.
+    CondKind ckind = CondKind::Always;
+    std::uint8_t cindex = 0;    ///< CC or SS index.
+    std::uint32_t cmask = ~0u;  ///< FU mask for AllSync / AnySync.
+    InstAddr t1 = 0;
+    InstAddr t2 = 0;
+    bool conditional = false;
+
+    // Synchronization field.
+    SyncVal sync = SyncVal::Busy;
+
+    /**
+     * True when this parcel could busy-wait at its own address: the
+     * data op is a nop (no architectural side effects) and some
+     * selectable branch target is the parcel's own row.
+     */
+    bool canSelfSpin = false;
+
+    /** Reconstruct the control fields (partition keys, diagnostics). */
+    ControlOp controlOp() const
+    {
+        ControlOp c;
+        c.kind = ckind;
+        c.index = cindex;
+        c.mask = cmask;
+        c.t1 = t1;
+        c.t2 = t2;
+        return c;
+    }
+};
+
+/** The dense per-parcel execute records of one Program. */
+class DecodedProgram
+{
+  public:
+    DecodedProgram() = default;
+
+    /** Decode @p program, which must already be validate()-clean. */
+    explicit DecodedProgram(const Program &program);
+
+    FuId width() const { return width_; }
+    InstAddr size() const { return size_; }
+
+    /** Record for (row @p addr, column @p fu); no bounds check. */
+    const DecodedParcel &at(InstAddr addr, FuId fu) const
+    {
+        return parcels_[static_cast<std::size_t>(addr) * width_ + fu];
+    }
+
+  private:
+    FuId width_ = 0;
+    InstAddr size_ = 0;
+    std::vector<DecodedParcel> parcels_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_ISA_DECODED_PROGRAM_HH

@@ -1,105 +1,9 @@
 #include "sim/datapath.hh"
 
-#include <limits>
-
+#include "sim/alu.hh"
 #include "support/logging.hh"
 
 namespace ximd {
-
-namespace {
-
-Word
-intBinary(Opcode op, Word wa, Word wb)
-{
-    const SWord a = wordToInt(wa);
-    const SWord b = wordToInt(wb);
-    switch (op) {
-      case Opcode::Iadd:
-        return wa + wb;
-      case Opcode::Isub:
-        return wa - wb;
-      case Opcode::Imult:
-        return intToWord(static_cast<SWord>(
-            static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b)));
-      case Opcode::Idiv:
-        if (b == 0)
-            fatal("integer divide by zero");
-        if (a == std::numeric_limits<SWord>::min() && b == -1)
-            return intToWord(std::numeric_limits<SWord>::min());
-        return intToWord(a / b);
-      case Opcode::Imod:
-        if (b == 0)
-            fatal("integer modulo by zero");
-        if (a == std::numeric_limits<SWord>::min() && b == -1)
-            return 0;
-        return intToWord(a % b);
-      case Opcode::And:
-        return wa & wb;
-      case Opcode::Or:
-        return wa | wb;
-      case Opcode::Xor:
-        return wa ^ wb;
-      case Opcode::Shl:
-        return wa << (wb & 31u);
-      case Opcode::Shr:
-        return wa >> (wb & 31u);
-      case Opcode::Sar:
-        return intToWord(a >> (wb & 31u));
-      default:
-        panic("intBinary: unexpected opcode ", opcodeName(op));
-    }
-}
-
-bool
-intCompare(Opcode op, Word wa, Word wb)
-{
-    const SWord a = wordToInt(wa);
-    const SWord b = wordToInt(wb);
-    switch (op) {
-      case Opcode::Eq: return a == b;
-      case Opcode::Ne: return a != b;
-      case Opcode::Lt: return a < b;
-      case Opcode::Le: return a <= b;
-      case Opcode::Gt: return a > b;
-      case Opcode::Ge: return a >= b;
-      default:
-        panic("intCompare: unexpected opcode ", opcodeName(op));
-    }
-}
-
-Word
-floatBinary(Opcode op, Word wa, Word wb)
-{
-    const float a = wordToFloat(wa);
-    const float b = wordToFloat(wb);
-    switch (op) {
-      case Opcode::Fadd:  return floatToWord(a + b);
-      case Opcode::Fsub:  return floatToWord(a - b);
-      case Opcode::Fmult: return floatToWord(a * b);
-      case Opcode::Fdiv:  return floatToWord(a / b);
-      default:
-        panic("floatBinary: unexpected opcode ", opcodeName(op));
-    }
-}
-
-bool
-floatCompare(Opcode op, Word wa, Word wb)
-{
-    const float a = wordToFloat(wa);
-    const float b = wordToFloat(wb);
-    switch (op) {
-      case Opcode::Feq: return a == b;
-      case Opcode::Fne: return a != b;
-      case Opcode::Flt: return a < b;
-      case Opcode::Fle: return a <= b;
-      case Opcode::Fgt: return a > b;
-      case Opcode::Fge: return a >= b;
-      default:
-        panic("floatCompare: unexpected opcode ", opcodeName(op));
-    }
-}
-
-} // namespace
 
 void
 executeDataOp(const DataOp &op, ExecContext &ctx)
@@ -121,8 +25,8 @@ executeDataOp(const DataOp &op, ExecContext &ctx)
             result = ctx.readOperand(op.a);
             break;
           default:
-            result = intBinary(op.op, ctx.readOperand(op.a),
-                               ctx.readOperand(op.b));
+            result = alu::intBinary(op.op, ctx.readOperand(op.a),
+                                    ctx.readOperand(op.b));
             break;
         }
         ctx.writeReg(op.dest, result);
@@ -130,8 +34,8 @@ executeDataOp(const DataOp &op, ExecContext &ctx)
       }
 
       case OpClass::IntCompare:
-        ctx.writeCc(intCompare(op.op, ctx.readOperand(op.a),
-                               ctx.readOperand(op.b)));
+        ctx.writeCc(alu::intCompare(op.op, ctx.readOperand(op.a),
+                                    ctx.readOperand(op.b)));
         return;
 
       case OpClass::FloatAlu: {
@@ -139,15 +43,15 @@ executeDataOp(const DataOp &op, ExecContext &ctx)
         if (op.op == Opcode::Fneg)
             result = floatToWord(-wordToFloat(ctx.readOperand(op.a)));
         else
-            result = floatBinary(op.op, ctx.readOperand(op.a),
-                                 ctx.readOperand(op.b));
+            result = alu::floatBinary(op.op, ctx.readOperand(op.a),
+                                      ctx.readOperand(op.b));
         ctx.writeReg(op.dest, result);
         return;
       }
 
       case OpClass::FloatCompare:
-        ctx.writeCc(floatCompare(op.op, ctx.readOperand(op.a),
-                                 ctx.readOperand(op.b)));
+        ctx.writeCc(alu::floatCompare(op.op, ctx.readOperand(op.a),
+                                      ctx.readOperand(op.b)));
         return;
 
       case OpClass::Convert: {

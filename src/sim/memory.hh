@@ -60,6 +60,9 @@ class Memory
     /** Test/debug: read a word without side effects (RAM only). */
     Word peek(Addr addr) const;
 
+    /** True when any device window is attached. */
+    bool hasDevices() const { return !windows_.empty(); }
+
     /** Total loads performed. */
     std::uint64_t loadCount() const { return loads_; }
 

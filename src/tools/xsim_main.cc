@@ -8,6 +8,9 @@
  *   xsim [options] program.ximd
  *     --trace          print the Figure-10-style address trace
  *     --stats          print run statistics
+ *     --stats-json     print run statistics as JSON
+ *     --no-trace       disable all observation (bare interpreter);
+ *                      incompatible with --trace/--stats/--stats-json
  *     --list           print the assembled program and exit
  *     --max-cycles N   cycle budget (default 100000000)
  *     --reg NAME       print a named register's final value
@@ -47,6 +50,8 @@ usage()
         << "usage: " << kTool << " [options] program.ximd\n"
         << "  --trace          print the address trace\n"
         << "  --stats          print run statistics\n"
+        << "  --stats-json     print run statistics as JSON\n"
+        << "  --no-trace       disable all observation (fastest)\n"
         << "  --list           print the assembled program and exit\n"
         << "  --max-cycles N   cycle budget\n"
         << "  --reg NAME       print a named register (repeatable)\n"
@@ -61,6 +66,8 @@ struct Options
     std::string file;
     bool trace = false;
     bool stats = false;
+    bool statsJson = false;
+    bool noTrace = false;
     bool list = false;
     bool verify = false;
     bool registeredSync = false;
@@ -84,6 +91,10 @@ parseArgs(int argc, char **argv)
             o.trace = true;
         } else if (arg == "--stats") {
             o.stats = true;
+        } else if (arg == "--stats-json") {
+            o.statsJson = true;
+        } else if (arg == "--no-trace") {
+            o.noTrace = true;
         } else if (arg == "--list") {
             o.list = true;
         } else if (arg == "--verify") {
@@ -114,6 +125,8 @@ parseArgs(int argc, char **argv)
     }
     if (o.file.empty())
         usage();
+    if (o.noTrace && (o.trace || o.stats || o.statsJson))
+        usage(); // --no-trace disables exactly what those print
     return o;
 }
 
@@ -124,6 +137,10 @@ runMachine(Program prog, const Options &o)
     MachineConfig cfg;
     cfg.recordTrace = o.trace;
     cfg.registeredSync = o.registeredSync;
+    if (o.noTrace) {
+        cfg.collectStats = false;
+        cfg.trackPartitions = false;
+    }
 
     Machine machine(std::move(prog), cfg);
     const RunResult result = machine.run(o.maxCycles);
@@ -155,6 +172,8 @@ runMachine(Program prog, const Options &o)
 
     if (o.stats)
         std::cout << "\n" << machine.stats().formatted();
+    if (o.statsJson)
+        std::cout << machine.stats().json(cfg.cycleTimeNs);
     if (o.trace)
         std::cout << "\n" << machine.trace().formatted();
 
