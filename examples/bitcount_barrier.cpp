@@ -7,8 +7,7 @@
 
 #include <iostream>
 
-#include "core/vliw_machine.hh"
-#include "core/ximd_machine.hh"
+#include "core/machine.hh"
 #include "support/random.hh"
 #include "support/str.hh"
 #include "workloads/bitcount.hh"
@@ -32,9 +31,9 @@ main()
         data[i] = v;
     }
 
-    XimdMachine ximd(bitcountXimd(data));
-    VliwMachine serial(bitcountVliwSerial(data));
-    VliwMachine lockstep(bitcountVliwLockstep(data));
+    Machine ximd(bitcountXimd(data), MachineConfig::ximd());
+    Machine serial(bitcountVliwSerial(data), MachineConfig::vliw());
+    Machine lockstep(bitcountVliwLockstep(data), MachineConfig::vliw());
 
     const RunResult rx = ximd.run();
     const RunResult rs = serial.run();

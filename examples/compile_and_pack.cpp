@@ -12,7 +12,7 @@
 
 #include <iostream>
 
-#include "core/ximd_machine.hh"
+#include "core/machine.hh"
 #include "sched/compose.hh"
 #include "support/random.hh"
 #include "support/str.hh"
@@ -107,9 +107,8 @@ main()
                   << t.bodyStart << ".."
                   << t.bodyStart + t.bodyRows - 1 << "\n";
 
-    MachineConfig cfg;
-    cfg.memWords = 4096;
-    XimdMachine m(comp.program, cfg);
+    Machine m(comp.program,
+              MachineConfig::ximd().withMemWords(4096));
     const RunResult r = m.run(1'000'000);
     std::cout << "\nrun: " << (r.ok() ? "ok" : r.faultMessage)
               << ", " << r.cycles << " cycles, mean streams "

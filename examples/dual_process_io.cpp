@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "core/ximd_machine.hh"
+#include "core/machine.hh"
 #include "support/str.hh"
 #include "workloads/nonblocking.hh"
 
@@ -27,7 +27,7 @@ VariantResult
 runVariant(Program prog, const std::vector<Cycle> &arrA,
            const std::vector<Cycle> &arrB)
 {
-    XimdMachine m(std::move(prog));
+    Machine m(std::move(prog), MachineConfig::ximd());
     ScriptedInputPort inA("INA"), inB("INB");
     OutputPort outA("OUTA"), outB("OUTB");
     for (unsigned i = 0; i < kNonblockingValues; ++i) {

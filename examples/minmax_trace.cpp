@@ -11,7 +11,7 @@
 
 #include <iostream>
 
-#include "core/ximd_machine.hh"
+#include "core/machine.hh"
 #include "workloads/kernels.hh"
 
 int
@@ -19,13 +19,10 @@ main()
 {
     using namespace ximd;
 
-    MachineConfig cfg;
-    cfg.recordTrace = true;
-
     // terminate=false keeps the paper's implicit "Continue." at
     // address 0a:, so the trace matches Figure 10 address-for-address.
-    XimdMachine machine(workloads::minmaxPaper(/*terminate=*/false),
-                        cfg);
+    Machine machine(workloads::minmaxPaper(/*terminate=*/false),
+                    MachineConfig::ximd().withTrace());
     for (int i = 0; i < 14; ++i)
         machine.step();
 

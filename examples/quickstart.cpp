@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "asm/assembler.hh"
-#include "core/ximd_machine.hh"
+#include "core/machine.hh"
 #include "isa/disasm.hh"
 
 int
@@ -53,9 +53,7 @@ main()
     std::cout << "=== Assembled program ===\n"
               << formatProgram(prog) << "\n";
 
-    MachineConfig cfg;
-    cfg.recordTrace = true;
-    XimdMachine machine(prog, cfg);
+    Machine machine(prog, MachineConfig::ximd().withTrace());
     const RunResult result = machine.run();
 
     std::cout << "=== Execution ===\n";

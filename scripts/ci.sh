@@ -1,7 +1,8 @@
 #!/bin/sh
-# Continuous-integration entry point: build and test the two gating
-# configurations — optimized (release) and sanitizer-instrumented
-# (ASan + UBSan) — using the presets from CMakePresets.json.
+# Continuous-integration entry point: build and test the gating
+# configurations — optimized (release), sanitizer-instrumented
+# (ASan + UBSan), and a ThreadSanitizer pass over the farm's
+# determinism tests — using the presets from CMakePresets.json.
 #
 #   scripts/ci.sh [jobs]
 #
@@ -19,5 +20,15 @@ for preset in release sanitize; do
     echo "==> test ($preset)"
     ctest --preset "$preset" -j "$JOBS"
 done
+
+# TSAN stage: only the batch engine runs threads, so build just the
+# farm test binary and the xfarm CLI and run the Farm/Sweep tests
+# (which include the 1-vs-8-thread determinism checks) instrumented.
+echo "==> configure (tsan)"
+cmake --preset tsan
+echo "==> build (tsan: farm targets)"
+cmake --build --preset tsan -j "$JOBS" --target test_farm xfarm
+echo "==> test (tsan: farm determinism)"
+ctest --preset tsan -j "$JOBS"
 
 echo "ci: all configurations clean"

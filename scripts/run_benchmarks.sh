@@ -12,7 +12,10 @@
 #
 # wall-time per benchmark plus simulated machine-cycles-per-second
 # (for the benchmarks that export that counter) is the regression
-# currency for the simulator's host performance.
+# currency for the simulator's host performance. The xfarm scaling
+# sweep (bench_farm_scaling, 1/2/4/8 workers) is additionally
+# summarized as a top-level "xfarm_scaling" section with speedups
+# relative to the 1-worker run.
 #
 #   scripts/run_benchmarks.sh [build-dir] [min-time]
 #
@@ -69,7 +72,28 @@ for fname in sorted(os.listdir(tmp)):
         }
         if "machine_cycles_per_s" in b:
             entry["machine_cycles_per_s"] = b["machine_cycles_per_s"]
+        if "jobs_per_s" in b:
+            entry["jobs_per_s"] = b["jobs_per_s"]
         merged["benchmarks"].append(entry)
+
+# xfarm thread-scaling summary: farmSuite/<jobs> wall times and the
+# speedup curve against the serial run.
+scaling = {
+    int(b["name"].rsplit("/", 1)[1]): b["wall_time_ms"]
+    for b in merged["benchmarks"]
+    if b["binary"] == "bench_farm_scaling"
+    and b["name"].startswith("farmSuite/")
+}
+if scaling:
+    base = scaling.get(1)
+    merged["xfarm_scaling"] = [
+        {
+            "jobs": jobs,
+            "wall_time_ms": ms,
+            "speedup": round(base / ms, 3) if base and ms else None,
+        }
+        for jobs, ms in sorted(scaling.items())
+    ]
 
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)

@@ -28,6 +28,9 @@ checkName(Check c)
       case Check::SelfDeadlock:        return "deadlock";
       case Check::CrossStreamDeadlock: return "deadlock";
       case Check::MalformedDataOp:     return "malformed-data-op";
+      case Check::AsmParse:            return "asm-parse";
+      case Check::LoadFailed:          return "load-failed";
+      case Check::RunFailed:           return "run-failed";
     }
     panic("checkName: bad check id ", static_cast<int>(c));
 }
@@ -80,7 +83,18 @@ DiagnosticList::formatOne(const Diagnostic &d, const Program *prog)
 {
     std::ostringstream os;
     os << (d.isError() ? "error" : "warning") << '['
-       << checkName(d.check) << "] row " << d.row;
+       << checkName(d.check) << ']';
+    // Front-end diagnostics are anchored to source lines (or nothing),
+    // not instruction rows.
+    if (d.check == Check::LoadFailed || d.check == Check::RunFailed) {
+        os << ": " << d.message;
+        return os.str();
+    }
+    if (d.check == Check::AsmParse) {
+        os << " line " << d.row << ": " << d.message;
+        return os.str();
+    }
+    os << " row " << d.row;
     if (prog) {
         if (auto label = prog->labelAt(d.row))
             os << " (" << *label << ")";

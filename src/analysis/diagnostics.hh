@@ -58,6 +58,14 @@ enum class Check : std::uint8_t {
 
     // Structural checks (verify.cc).
     MalformedDataOp,    ///< Operand shape rejected by the ISA.
+
+    // Front-end failures (asm/assembler.hh Result API; `row` holds the
+    // source line for AsmParse and is meaningless for LoadFailed).
+    AsmParse,   ///< Assembly source rejected by the assembler.
+    LoadFailed, ///< Program file missing or unreadable.
+
+    // Batch-run failures (farm/run_spec.hh; `row` is meaningless).
+    RunFailed,  ///< Simulation faulted, wedged, or failed its check.
 };
 
 /** Short stable name used in rendered output, e.g. "deadlock". */

@@ -78,7 +78,7 @@ AsmContext::AsmContext(std::string_view source)
 void
 AsmContext::err(int line, const std::string &msg) const
 {
-    fatal("asm line ", line, ": ", msg);
+    throw AsmError(line, msg);
 }
 
 void
@@ -554,6 +554,50 @@ assembleFile(const std::string &path)
     std::ostringstream buf;
     buf << in.rdbuf();
     return assembleString(buf.str());
+}
+
+namespace {
+
+/** Map an assembler exception onto a structured diagnostic. */
+analysis::Diagnostic
+asmDiagnostic(const AsmError &e)
+{
+    return {analysis::Severity::Error, analysis::Check::AsmParse,
+            static_cast<InstAddr>(e.line()), -1, e.rawMessage()};
+}
+
+} // namespace
+
+Result<Program, analysis::Diagnostic>
+assembleStringResult(std::string_view source)
+{
+    try {
+        return assembleString(source);
+    } catch (const AsmError &e) {
+        return {errTag, asmDiagnostic(e)};
+    } catch (const FatalError &e) {
+        // Post-assembly validation failures carry no line anchor.
+        return {errTag,
+                analysis::Diagnostic{analysis::Severity::Error,
+                                     analysis::Check::AsmParse, 0, -1,
+                                     e.what()}};
+    }
+}
+
+Result<Program, analysis::Diagnostic>
+assembleFileResult(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return {errTag,
+                analysis::Diagnostic{
+                    analysis::Severity::Error,
+                    analysis::Check::LoadFailed, 0, -1,
+                    "cannot open assembly file '" + path + "'"}};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return assembleStringResult(buf.str());
 }
 
 } // namespace ximd

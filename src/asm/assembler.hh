@@ -44,16 +44,61 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 
+#include "analysis/diagnostics.hh"
 #include "isa/program.hh"
+#include "support/logging.hh"
+#include "support/result.hh"
 
 namespace ximd {
+
+/**
+ * Assembly rejection. Subclasses FatalError so existing catch sites
+ * keep working and what() keeps its historical shape
+ * ("fatal: asm line N: msg"), but additionally carries the source line
+ * and the undecorated message for structured reporting.
+ */
+class AsmError : public FatalError
+{
+  public:
+    AsmError(int line, std::string raw)
+        : FatalError(cat("fatal: asm line ", line, ": ", raw)),
+          line_(line),
+          raw_(std::move(raw))
+    {
+    }
+
+    /** 1-based source line of the offending construct. */
+    int line() const { return line_; }
+
+    /** The message without the "fatal: asm line N:" decoration. */
+    const std::string &rawMessage() const { return raw_; }
+
+  private:
+    int line_;
+    std::string raw_;
+};
 
 /** Assemble XIMD assembly text into a validated Program. */
 Program assembleString(std::string_view source);
 
 /** Assemble the file at @p path. */
 Program assembleFile(const std::string &path);
+
+/**
+ * Non-throwing assembly: the error arm carries a structured
+ * analysis::Diagnostic (Check::AsmParse with the source line in `row`,
+ * or Check::LoadFailed for file problems) instead of unwinding with
+ * FatalError. This is the form batch drivers (farm/) use so one bad
+ * program fails one job, not the whole sweep.
+ */
+Result<Program, analysis::Diagnostic>
+assembleStringResult(std::string_view source);
+
+/** Non-throwing counterpart of assembleFile. */
+Result<Program, analysis::Diagnostic>
+assembleFileResult(const std::string &path);
 
 } // namespace ximd
 

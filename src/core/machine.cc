@@ -1,0 +1,62 @@
+#include "core/machine.hh"
+
+namespace ximd {
+
+const char *
+modeName(Mode mode)
+{
+    return mode == Mode::Ximd ? "ximd" : "vliw";
+}
+
+Machine::Machine(Program program, MachineConfig config)
+    : Machine(PreparedProgram::make(std::move(program)), config)
+{
+}
+
+Machine::Machine(std::shared_ptr<const PreparedProgram> prepared,
+                 MachineConfig config)
+    : core_(std::move(prepared), config),
+      partition_(core_.numFus()),
+      stats_(core_.numFus()),
+      partitionObserver_(partition_),
+      statsObserver_(
+          stats_,
+          // XIMD stream counts come from the partition tracker; a
+          // VLIW is one instruction stream by definition, and
+          // busy-wait accounting is an XIMD concept.
+          config.mode == Mode::Ximd && config.trackPartitions
+              ? &partition_
+              : nullptr,
+          config.mode == Mode::Vliw && config.trackPartitions ? 1 : 0,
+          /*countBusyWaits=*/config.mode == Mode::Ximd),
+      traceObserver_(trace_, partition_),
+      vliwTraceObserver_(trace_)
+{
+    attachConfiguredObservers();
+}
+
+void
+Machine::attachConfiguredObservers()
+{
+    // Observer order matters only for the partition stream counts:
+    // stats and trace read the tracker's beginning-of-cycle state, and
+    // the tracker updates at end of cycle, so any registration order
+    // observes the same values. Attach only what the config asks for —
+    // an unobserved core pays nothing per cycle.
+    const MachineConfig &cfg = core_.config();
+    if (core_.mode() == Mode::Ximd) {
+        if (cfg.trackPartitions)
+            core_.addObserver(&partitionObserver_);
+        if (cfg.collectStats)
+            core_.addObserver(&statsObserver_);
+        if (cfg.recordTrace)
+            core_.addObserver(&traceObserver_);
+    } else {
+        if (cfg.collectStats)
+            core_.addObserver(&statsObserver_);
+        if (cfg.recordTrace)
+            core_.addObserver(&vliwTraceObserver_);
+    }
+}
+
+} // namespace ximd

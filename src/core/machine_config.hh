@@ -1,21 +1,50 @@
 /**
  * @file
  * Configuration shared by the XIMD (xsim) and VLIW (vsim) machines.
+ *
+ * A MachineConfig is plain data — copying one is cheap and never
+ * shares state, which is what makes a RunSpec (farm/run_spec.hh)
+ * self-contained: every job carries its own config by value, so
+ * concurrent runs cannot observe each other through configuration.
+ *
+ * Two construction styles are supported:
+ *
+ *  - aggregate: `MachineConfig cfg; cfg.recordTrace = true;` (legacy);
+ *  - builder:   `MachineConfig::ximd().withTrace().withSeed(7)` — the
+ *    preferred surface for examples and the farm, because it names the
+ *    sequencing discipline up front and chains the observer switches.
+ *
+ * The builder style pairs with the unified `Machine` façade
+ * (core/machine.hh): `Machine m(prog, MachineConfig::vliw());`
+ * replaces direct XimdMachine/VliwMachine construction.
  */
 
 #ifndef XIMD_CORE_MACHINE_CONFIG_HH
 #define XIMD_CORE_MACHINE_CONFIG_HH
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sim/register_file.hh"
 #include "support/types.hh"
 
 namespace ximd {
 
+/** Sequencing discipline of a machine built around MachineCore. */
+enum class Mode : std::uint8_t {
+    Ximd, ///< One sequencer per FU + combinational sync bus.
+    Vliw, ///< One sequencer (FU0's control fields) for all lanes.
+};
+
+/** "ximd" / "vliw". */
+const char *modeName(Mode mode);
+
 /** Machine parameters. The FU count comes from the program's width. */
 struct MachineConfig
 {
+    /** Sequencing discipline (used by Machine and the farm). */
+    Mode mode = Mode::Ximd;
+
     /** Words of idealized shared memory. */
     std::size_t memWords = 1u << 20;
 
@@ -72,6 +101,57 @@ struct MachineConfig
      * cycle time of 85ns."
      */
     double cycleTimeNs = 85.0;
+
+    /**
+     * Per-run PRNG seed. The machine itself draws no random numbers —
+     * determinism is the point of the simulator — but run fixtures
+     * (workload input generation, scripted I/O arrival times) derive
+     * their Rng streams from this value, so a batch job's outcome is a
+     * pure function of its RunSpec regardless of which thread executes
+     * it or how many run beside it.
+     */
+    std::uint64_t seed = 0;
+
+    /// @name Builder surface.
+    /// @{
+    /** Start a config for the XIMD sequencing discipline. */
+    static MachineConfig ximd()
+    {
+        MachineConfig c;
+        c.mode = Mode::Ximd;
+        return c;
+    }
+
+    /** Start a config for the VLIW sequencing discipline. */
+    static MachineConfig vliw()
+    {
+        MachineConfig c;
+        c.mode = Mode::Vliw;
+        return c;
+    }
+
+    MachineConfig &withMode(Mode m) { mode = m; return *this; }
+    MachineConfig &withStats(bool on = true) { collectStats = on; return *this; }
+    MachineConfig &withTrace(bool on = true) { recordTrace = on; return *this; }
+    MachineConfig &withPartitions(bool on = true) { trackPartitions = on; return *this; }
+    MachineConfig &withFastForward(bool on = true) { fastForward = on; return *this; }
+    MachineConfig &withRegisteredSync(bool on = true) { registeredSync = on; return *this; }
+    MachineConfig &withResultLatency(unsigned cycles) { resultLatency = cycles; return *this; }
+    MachineConfig &withMemWords(std::size_t words) { memWords = words; return *this; }
+    MachineConfig &withMaxCycles(Cycle n) { defaultMaxCycles = n; return *this; }
+    MachineConfig &withConflictPolicy(ConflictPolicy p) { conflictPolicy = p; return *this; }
+    MachineConfig &withCycleTime(double ns) { cycleTimeNs = ns; return *this; }
+    MachineConfig &withSeed(std::uint64_t s) { seed = s; return *this; }
+
+    /** Disable every observer: the bare-interpreter configuration. */
+    MachineConfig &withoutObservers()
+    {
+        collectStats = false;
+        trackPartitions = false;
+        recordTrace = false;
+        return *this;
+    }
+    /// @}
 };
 
 } // namespace ximd

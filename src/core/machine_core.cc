@@ -47,37 +47,41 @@ evalControl(const DecodedParcel &d, const CondCodeFile &ccs,
 
 MachineCore::MachineCore(Program program, MachineConfig config,
                          Mode mode)
-    : program_(std::move(program)),
+    : MachineCore(PreparedProgram::make(std::move(program)),
+                  config.withMode(mode))
+{
+}
+
+MachineCore::MachineCore(std::shared_ptr<const PreparedProgram> prepared,
+                         MachineConfig config)
+    : prepared_(std::move(prepared)),
+      decoded_(&prepared_->decoded()),
       config_(config),
-      mode_(mode),
+      mode_(config.mode),
       regs_(kNumRegisters, config.conflictPolicy),
       mem_(config.memWords, config.conflictPolicy),
-      ccs_(program_.width()),
+      ccs_(prepared_->width()),
       pipe_(config.resultLatency),
-      sync_(program_.width()),
-      regSync_(program_.width()),
-      syncPrev_(program_.width(), SyncVal::Busy),
-      pcs_(program_.width(), 0),
-      haltedFus_(program_.width(), false),
-      fetched_(program_.width(), nullptr),
-      next_(program_.width()),
-      events_(program_.width())
+      sync_(prepared_->width()),
+      regSync_(prepared_->width()),
+      syncPrev_(prepared_->width(), SyncVal::Busy),
+      pcs_(prepared_->width(), 0),
+      haltedFus_(prepared_->width(), false),
+      fetched_(prepared_->width(), nullptr),
+      next_(prepared_->width()),
+      events_(prepared_->width())
 {
-    if (program_.empty())
-        fatal("cannot simulate an empty program");
-    program_.validate();
     if (mode_ == Mode::Vliw)
         validateVliwProgram();
-    decoded_ = DecodedProgram(program_);
     applyMemInit();
 }
 
 void
 MachineCore::validateVliwProgram() const
 {
-    for (InstAddr a = 0; a < program_.size(); ++a) {
-        for (FuId fu = 0; fu < program_.width(); ++fu) {
-            const Parcel &p = program_.row(a)[fu];
+    for (InstAddr a = 0; a < program().size(); ++a) {
+        for (FuId fu = 0; fu < program().width(); ++fu) {
+            const Parcel &p = program().row(a)[fu];
             switch (p.ctrl.kind) {
               case CondKind::SyncDone:
               case CondKind::AllSync:
@@ -97,9 +101,9 @@ MachineCore::validateVliwProgram() const
 void
 MachineCore::applyMemInit()
 {
-    for (const auto &[addr, value] : program_.memInit())
+    for (const auto &[addr, value] : program().memInit())
         mem_.poke(addr, value);
-    for (const auto &[reg, value] : program_.regInit())
+    for (const auto &[reg, value] : program().regInit())
         regs_.poke(reg, value);
 }
 
@@ -290,14 +294,14 @@ MachineCore::step()
                 fetched_[fu] = nullptr;
                 continue;
             }
-            fetched_[fu] = &decoded_.at(pcs_[fu], fu);
+            fetched_[fu] = &decoded_->at(pcs_[fu], fu);
             sync_.set(fu, fetched_[fu]->sync);
         }
     } else {
         // The single PC selects one row for every lane; a halted VLIW
         // only drains in-flight write-backs.
         const DecodedParcel *row =
-            haltedFus_[0] ? nullptr : &decoded_.at(pcs_[0], 0);
+            haltedFus_[0] ? nullptr : &decoded_->at(pcs_[0], 0);
         for (FuId fu = 0; fu < n; ++fu)
             fetched_[fu] = row ? row + fu : nullptr;
     }
@@ -412,7 +416,7 @@ MachineCore::tryFastForward(Cycle limit)
         sync_.beginCycle();
         for (FuId fu = 0; fu < n; ++fu) {
             if (!haltedFus_[fu])
-                sync_.set(fu, decoded_.at(pcs_[fu], fu).sync);
+                sync_.set(fu, decoded_->at(pcs_[fu], fu).sync);
         }
         if (config_.registeredSync) {
             // Branch decisions read last cycle's SS values; those must
@@ -426,7 +430,7 @@ MachineCore::tryFastForward(Cycle limit)
                 fetched_[fu] = nullptr;
                 continue;
             }
-            const DecodedParcel &d = decoded_.at(pcs_[fu], fu);
+            const DecodedParcel &d = decoded_->at(pcs_[fu], fu);
             if (d.cls != OpClass::Nop)
                 return false;
             fetched_[fu] = &d;
@@ -435,7 +439,7 @@ MachineCore::tryFastForward(Cycle limit)
                 return false;
         }
     } else {
-        const DecodedParcel *row = &decoded_.at(pcs_[0], 0);
+        const DecodedParcel *row = &decoded_->at(pcs_[0], 0);
         for (FuId fu = 0; fu < n; ++fu) {
             if (row[fu].cls != OpClass::Nop)
                 return false;
@@ -490,7 +494,7 @@ MachineCore::run(Cycle maxCycles)
 Word
 MachineCore::readRegByName(const std::string &name) const
 {
-    auto r = program_.regByName(name);
+    auto r = program().regByName(name);
     if (!r)
         fatal("program defines no register named '", name, "'");
     return regs_.peek(*r);

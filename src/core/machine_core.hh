@@ -37,6 +37,7 @@
 #ifndef XIMD_CORE_MACHINE_CORE_HH
 #define XIMD_CORE_MACHINE_CORE_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,23 +55,40 @@
 
 namespace ximd {
 
-/** The execution engine shared by XimdMachine and VliwMachine. */
+/**
+ * The execution engine shared by XimdMachine and VliwMachine.
+ *
+ * Thread-safety contract: a MachineCore is confined to one thread —
+ * nothing in it is synchronized. What makes concurrent simulation
+ * safe is what cores share and how: the PreparedProgram (program +
+ * predecode) is immutable and accessed through const methods only, so
+ * any number of cores on any threads may execute from one instance;
+ * everything mutable (register file, memory, pipelines, observers,
+ * per-cycle scratch) is owned per-core. Observers attach per-core and
+ * are called only from the core's thread. See DESIGN.md section 8.
+ */
 class MachineCore
 {
   public:
-    /** Sequencing discipline. */
-    enum class Mode : std::uint8_t {
-        Ximd, ///< One sequencer per FU + combinational sync bus.
-        Vliw, ///< One sequencer (FU0's control fields) for all lanes.
-    };
+    /** Sequencing discipline (alias of the config-level enum). */
+    using Mode = ximd::Mode;
 
     /**
      * Build a core around @p program (validated on entry; Mode::Vliw
      * additionally rejects sync-signal conditions and non-BUSY sync
      * fields). Initial memory / register requests are applied, and
-     * the program is predecoded.
+     * the program is predecoded. `config.mode` is overridden by
+     * @p mode (the wrapper machines fix the discipline).
      */
     MachineCore(Program program, MachineConfig config, Mode mode);
+
+    /**
+     * Build a core executing from a shared, already-prepared program.
+     * The core keeps @p prepared alive; many cores (on many threads)
+     * may share one instance. The discipline is `config.mode`.
+     */
+    MachineCore(std::shared_ptr<const PreparedProgram> prepared,
+                MachineConfig config);
 
     // Observers hold references into the owning machine; the core is
     // pinned alongside them.
@@ -105,10 +123,17 @@ class MachineCore
 
     /// @name Observation.
     /// @{
-    const Program &program() const { return program_; }
+    const Program &program() const { return prepared_->program(); }
+
+    /** The shared prepared program this core executes from. */
+    const std::shared_ptr<const PreparedProgram> &prepared() const
+    {
+        return prepared_;
+    }
+
     const MachineConfig &config() const { return config_; }
     Mode mode() const { return mode_; }
-    FuId numFus() const { return program_.width(); }
+    FuId numFus() const { return prepared_->width(); }
     Cycle cycle() const { return cycle_; }
     InstAddr pc(FuId fu) const;
     const std::vector<InstAddr> &pcs() const { return pcs_; }
@@ -148,7 +173,9 @@ class MachineCore
      */
     bool tryFastForward(Cycle limit);
 
-    Program program_;
+    std::shared_ptr<const PreparedProgram> prepared_;
+    /** Predecoded parcels of prepared_, cached for the hot loop. */
+    const DecodedProgram *decoded_ = nullptr;
     MachineConfig config_;
     Mode mode_;
 
@@ -169,7 +196,6 @@ class MachineCore
     std::string faultMsg_;
     bool doneNotified_ = false;
 
-    DecodedProgram decoded_;
     std::vector<CycleObserver *> observers_;
 
     // Per-cycle scratch, sized once (no allocation inside step()).

@@ -1,5 +1,6 @@
 #include "core/stats.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -41,6 +42,22 @@ RunStats::countConditionalBranches(bool taken, std::uint64_t n)
     condBranches_ += n;
     if (taken)
         takenBranches_ += n;
+}
+
+RunStats &
+RunStats::merge(const RunStats &other)
+{
+    numFus_ = std::max(numFus_, other.numFus_);
+    cycles_ += other.cycles_;
+    parcels_ += other.parcels_;
+    for (std::size_t i = 0; i < classCounts_.size(); ++i)
+        classCounts_[i] += other.classCounts_[i];
+    condBranches_ += other.condBranches_;
+    takenBranches_ += other.takenBranches_;
+    busyWaitCycles_ += other.busyWaitCycles_;
+    for (const auto &[streams, cycles] : other.partitionCycles_)
+        partitionCycles_[streams] += cycles;
+    return *this;
 }
 
 std::uint64_t

@@ -94,6 +94,16 @@ class RunStats
     double mflops(double cycleNs) const;
     /// @}
 
+    /**
+     * Fold @p other into this run's counters. Every counter is a sum;
+     * the partition histogram merges key-wise; numFus becomes the max
+     * of the two (merging runs of different widths is meaningful for
+     * aggregate op counts, less so for utilization). Merging the stats
+     * of a run split at any cycle boundary equals the stats of the
+     * unsplit run, which is what makes farm results reducible.
+     */
+    RunStats &merge(const RunStats &other);
+
     /** Multi-line human-readable summary. */
     std::string formatted() const;
 

@@ -9,10 +9,10 @@
  * single sequencer: one program counter; one control operation per
  * instruction.
  *
- * Like xsim, this class is a configuration of the shared MachineCore:
- * Mode::Vliw makes the single sequencer (FU0's control fields) drive
- * all lanes in lockstep, and the attached observers record the
- * single-stream trace and statistics.
+ * This class is a mode-fixing wrapper over the unified `Machine`
+ * façade (core/machine.hh): it pins `config.mode = Mode::Vliw` and
+ * forwards everything else. Kept for source compatibility; new code
+ * should construct `Machine(prog, MachineConfig::vliw()...)`.
  *
  * A VLIW program is expressed as an ordinary Program whose control
  * fields are read from FU0's parcel (the paper's examples duplicate the
@@ -23,15 +23,11 @@
 #ifndef XIMD_CORE_VLIW_MACHINE_HH
 #define XIMD_CORE_VLIW_MACHINE_HH
 
+#include <memory>
 #include <string>
+#include <utility>
 
-#include "core/machine_config.hh"
-#include "core/machine_core.hh"
-#include "core/observers.hh"
-#include "core/run_result.hh"
-#include "core/stats.hh"
-#include "core/trace.hh"
-#include "isa/program.hh"
+#include "core/machine.hh"
 
 namespace ximd {
 
@@ -44,7 +40,17 @@ class VliwMachine
      * parcel uses a sync-signal branch condition or a non-BUSY sync
      * field — those mechanisms do not exist on a VLIW.
      */
-    explicit VliwMachine(Program program, MachineConfig config = {});
+    explicit VliwMachine(Program program, MachineConfig config = {})
+        : m_(std::move(program), config.withMode(Mode::Vliw))
+    {
+    }
+
+    /** Build around a shared, already-prepared program. */
+    explicit VliwMachine(std::shared_ptr<const PreparedProgram> prepared,
+                         MachineConfig config = {})
+        : m_(std::move(prepared), config.withMode(Mode::Vliw))
+    {
+    }
 
     // The attached observers hold references into this object.
     VliwMachine(const VliwMachine &) = delete;
@@ -52,59 +58,56 @@ class VliwMachine
 
     /// @name Pre-run setup.
     /// @{
-    Memory &memory() { return core_.memory(); }
-    RegisterFile &registers() { return core_.registers(); }
-    CondCodeFile &condCodes() { return core_.condCodes(); }
+    Memory &memory() { return m_.memory(); }
+    RegisterFile &registers() { return m_.registers(); }
+    CondCodeFile &condCodes() { return m_.condCodes(); }
     void attachDevice(Addr lo, Addr hi, IoDevice *device)
     {
-        core_.attachDevice(lo, hi, device);
+        m_.attachDevice(lo, hi, device);
     }
 
     /** Attach a custom observation hook (not owned). */
     void addObserver(CycleObserver *observer)
     {
-        core_.addObserver(observer);
+        m_.addObserver(observer);
     }
     /// @}
 
     /// @name Execution.
     /// @{
-    bool step() { return core_.step(); }
-    RunResult run(Cycle maxCycles = 0) { return core_.run(maxCycles); }
+    bool step() { return m_.step(); }
+    RunResult run(Cycle maxCycles = 0) { return m_.run(maxCycles); }
     /// @}
 
     /// @name Observation.
     /// @{
-    const Program &program() const { return core_.program(); }
-    FuId numFus() const { return core_.numFus(); }
-    Cycle cycle() const { return core_.cycle(); }
-    InstAddr pc() const { return core_.pc(0); }
-    bool halted() const { return core_.haltedFu(0); }
-    bool faulted() const { return core_.faulted(); }
+    const Program &program() const { return m_.program(); }
+    FuId numFus() const { return m_.numFus(); }
+    Cycle cycle() const { return m_.cycle(); }
+    InstAddr pc() const { return m_.pc(0); }
+    bool halted() const { return m_.halted(0); }
+    bool faulted() const { return m_.faulted(); }
     const std::string &faultMessage() const
     {
-        return core_.faultMessage();
+        return m_.faultMessage();
     }
 
-    const RunStats &stats() const { return stats_; }
-    const Trace &trace() const { return trace_; }
+    const RunStats &stats() const { return m_.stats(); }
+    const Trace &trace() const { return m_.trace(); }
 
-    Word readReg(RegId r) const { return core_.readReg(r); }
+    Word readReg(RegId r) const { return m_.readReg(r); }
     Word readRegByName(const std::string &name) const
     {
-        return core_.readRegByName(name);
+        return m_.readRegByName(name);
     }
-    Word peekMem(Addr addr) const { return core_.peekMem(addr); }
+    Word peekMem(Addr addr) const { return m_.peekMem(addr); }
+
+    /** The underlying unified façade. */
+    Machine &machine() { return m_; }
     /// @}
 
   private:
-    MachineCore core_;
-
-    Trace trace_;
-    RunStats stats_;
-
-    StatsObserver statsObserver_;
-    VliwTraceObserver traceObserver_;
+    Machine m_;
 };
 
 } // namespace ximd

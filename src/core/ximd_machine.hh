@@ -8,13 +8,13 @@
  * and globally visible; synchronization signals are instruction fields
  * distributed combinationally.
  *
- * The cycle loop itself lives in MachineCore (core/machine_core.hh),
- * shared with the VLIW machine; this class is the XIMD configuration
- * of that core: Mode::Ximd sequencing plus the standard observers —
- * PartitionTracker, RunStats, and the Figure-10 trace — attached
- * according to MachineConfig. With tracing, partition tracking, and
- * statistics all disabled the core runs bare, with no observation
- * work per cycle.
+ * This class is a mode-fixing wrapper over the unified `Machine`
+ * façade (core/machine.hh): it pins `config.mode = Mode::Ximd` and
+ * forwards everything else. It is kept for source compatibility with
+ * the original split-machine API; new code should construct
+ * `Machine(prog, MachineConfig::ximd()...)` directly — the builder
+ * surface composes with the batch engine (farm/) and the shared
+ * PreparedProgram path.
  *
  * A program fault (divide by zero, write race, address out of range)
  * stops the machine with StopReason::Fault and the message preserved.
@@ -23,20 +23,15 @@
 #ifndef XIMD_CORE_XIMD_MACHINE_HH
 #define XIMD_CORE_XIMD_MACHINE_HH
 
+#include <memory>
 #include <string>
+#include <utility>
 
-#include "core/machine_config.hh"
-#include "core/machine_core.hh"
-#include "core/observers.hh"
-#include "core/partition.hh"
-#include "core/run_result.hh"
-#include "core/stats.hh"
-#include "core/trace.hh"
-#include "isa/program.hh"
+#include "core/machine.hh"
 
 namespace ximd {
 
-/** The XIMD-1 simulator: an XIMD-configured MachineCore. */
+/** The XIMD-1 simulator: an XIMD-configured Machine. */
 class XimdMachine
 {
   public:
@@ -45,7 +40,17 @@ class XimdMachine
      * count is the program's width. Initial-memory requests recorded
      * in the program are applied.
      */
-    explicit XimdMachine(Program program, MachineConfig config = {});
+    explicit XimdMachine(Program program, MachineConfig config = {})
+        : m_(std::move(program), config.withMode(Mode::Ximd))
+    {
+    }
+
+    /** Build around a shared, already-prepared program. */
+    explicit XimdMachine(std::shared_ptr<const PreparedProgram> prepared,
+                         MachineConfig config = {})
+        : m_(std::move(prepared), config.withMode(Mode::Ximd))
+    {
+    }
 
     // The attached observers hold references into this object.
     XimdMachine(const XimdMachine &) = delete;
@@ -53,20 +58,20 @@ class XimdMachine
 
     /// @name Pre-run setup.
     /// @{
-    Memory &memory() { return core_.memory(); }
-    RegisterFile &registers() { return core_.registers(); }
-    CondCodeFile &condCodes() { return core_.condCodes(); }
+    Memory &memory() { return m_.memory(); }
+    RegisterFile &registers() { return m_.registers(); }
+    CondCodeFile &condCodes() { return m_.condCodes(); }
 
     /** Map @p device at [lo, hi]; forwards to Memory::attachDevice. */
     void attachDevice(Addr lo, Addr hi, IoDevice *device)
     {
-        core_.attachDevice(lo, hi, device);
+        m_.attachDevice(lo, hi, device);
     }
 
     /** Attach a custom observation hook (not owned). */
     void addObserver(CycleObserver *observer)
     {
-        core_.addObserver(observer);
+        m_.addObserver(observer);
     }
     /// @}
 
@@ -76,53 +81,51 @@ class XimdMachine
      * Execute one cycle.
      * @return false when nothing ran (all FUs halted or faulted).
      */
-    bool step() { return core_.step(); }
+    bool step() { return m_.step(); }
 
     /** Run until halt/fault or @p maxCycles (0: config default). */
-    RunResult run(Cycle maxCycles = 0) { return core_.run(maxCycles); }
+    RunResult run(Cycle maxCycles = 0) { return m_.run(maxCycles); }
     /// @}
 
     /// @name Observation.
     /// @{
-    const Program &program() const { return core_.program(); }
-    FuId numFus() const { return core_.numFus(); }
-    Cycle cycle() const { return core_.cycle(); }
-    InstAddr pc(FuId fu) const { return core_.pc(fu); }
-    bool halted(FuId fu) const { return core_.haltedFu(fu); }
-    bool allHalted() const { return core_.allHalted(); }
-    bool faulted() const { return core_.faulted(); }
+    const Program &program() const { return m_.program(); }
+    FuId numFus() const { return m_.numFus(); }
+    Cycle cycle() const { return m_.cycle(); }
+    InstAddr pc(FuId fu) const { return m_.pc(fu); }
+    bool halted(FuId fu) const { return m_.halted(fu); }
+    bool allHalted() const { return m_.allHalted(); }
+    bool faulted() const { return m_.faulted(); }
     const std::string &faultMessage() const
     {
-        return core_.faultMessage();
+        return m_.faultMessage();
     }
 
-    const RunStats &stats() const { return stats_; }
-    const Trace &trace() const { return trace_; }
-    const PartitionTracker &partitions() const { return partition_; }
+    const RunStats &stats() const { return m_.stats(); }
+    const Trace &trace() const { return m_.trace(); }
+    const PartitionTracker &partitions() const
+    {
+        return m_.partitions();
+    }
 
     /** Read a register by number. */
-    Word readReg(RegId r) const { return core_.readReg(r); }
+    Word readReg(RegId r) const { return m_.readReg(r); }
 
     /** Read a register by its symbolic program name; fatal if unknown. */
     Word readRegByName(const std::string &name) const
     {
-        return core_.readRegByName(name);
+        return m_.readRegByName(name);
     }
 
     /** Read a memory word (RAM only). */
-    Word peekMem(Addr addr) const { return core_.peekMem(addr); }
+    Word peekMem(Addr addr) const { return m_.peekMem(addr); }
+
+    /** The underlying unified façade. */
+    Machine &machine() { return m_; }
     /// @}
 
   private:
-    MachineCore core_;
-
-    PartitionTracker partition_;
-    Trace trace_;
-    RunStats stats_;
-
-    PartitionObserver partitionObserver_;
-    StatsObserver statsObserver_;
-    TraceObserver traceObserver_;
+    Machine m_;
 };
 
 } // namespace ximd

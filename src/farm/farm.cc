@@ -1,0 +1,204 @@
+#include "farm/farm.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "support/json.hh"
+
+namespace ximd::farm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+analysis::Diagnostic
+runFailure(std::string message)
+{
+    return {analysis::Severity::Error, analysis::Check::RunFailed, 0,
+            -1, std::move(message)};
+}
+
+const char *
+stopName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Halted:    return "halted";
+      case StopReason::MaxCycles: return "max-cycles";
+      case StopReason::Fault:     return "fault";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+JobResult
+Farm::runOne(const RunSpec &spec)
+{
+    JobResult res;
+    res.name = spec.name;
+    if (spec.loadError) {
+        res.error = spec.loadError;
+        return res;
+    }
+
+    const auto start = Clock::now();
+    try {
+        Machine machine(spec.program, spec.config);
+
+        std::unique_ptr<JobFixture> fixture;
+        if (spec.fixture) {
+            fixture = spec.fixture(spec);
+            if (fixture)
+                fixture->setUp(machine);
+        }
+
+        const RunResult run = machine.run(spec.maxCycles);
+        res.ran = true;
+        res.run = run;
+        res.stats = machine.stats();
+        res.statsJson = res.stats.json(spec.config.cycleTimeNs);
+
+        if (run.reason == StopReason::Fault) {
+            res.error = runFailure("simulation fault: " +
+                                   run.faultMessage);
+        } else if (run.reason == StopReason::MaxCycles) {
+            res.error = runFailure("cycle budget exhausted after " +
+                                   std::to_string(run.cycles) +
+                                   " cycles");
+        } else if (fixture) {
+            std::string msg = fixture->check(machine, run);
+            if (!msg.empty())
+                res.error = runFailure(std::move(msg));
+        }
+    } catch (const std::exception &e) {
+        // Machine construction or fixture setup rejected the job
+        // (FatalError from validation, PanicError from a sim bug).
+        // Contain it: one bad job must not take down the batch.
+        res.error = runFailure(e.what());
+    }
+    res.hostMillis = millisSince(start);
+    return res;
+}
+
+BatchResult
+Farm::run(const std::vector<RunSpec> &specs, unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    if (threads > specs.size())
+        threads = static_cast<unsigned>(specs.size());
+    if (threads == 0)
+        threads = 1;
+
+    BatchResult batch;
+    batch.threads = threads;
+    batch.jobs.resize(specs.size());
+
+    const auto start = Clock::now();
+
+    // Work distribution: each worker claims the next unclaimed index
+    // and writes only that slot, so results land in spec order with no
+    // locks and no dependence on which thread ran what.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&specs, &batch, &next] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            batch.jobs[i] = runOne(specs[i]);
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    batch.wallMillis = millisSince(start);
+    return batch;
+}
+
+std::size_t
+BatchResult::failures() const
+{
+    std::size_t n = 0;
+    for (const JobResult &j : jobs)
+        if (!j.ok())
+            ++n;
+    return n;
+}
+
+RunStats
+BatchResult::merged() const
+{
+    RunStats total(1);
+    for (const JobResult &j : jobs)
+        if (j.ran)
+            total.merge(j.stats);
+    return total;
+}
+
+std::string
+BatchResult::json(bool includeTiming) const
+{
+    json::Value root = json::Value::object();
+    root.set("job_count",
+             static_cast<std::uint64_t>(jobs.size()));
+    root.set("failures", static_cast<std::uint64_t>(failures()));
+    if (includeTiming) {
+        root.set("threads", static_cast<std::uint64_t>(threads));
+        root.set("wall_millis", wallMillis);
+    }
+
+    json::Value arr = json::Value::array();
+    for (const JobResult &j : jobs) {
+        json::Value o = json::Value::object();
+        o.set("name", j.name);
+        o.set("ok", j.ok());
+        if (j.ran) {
+            o.set("stop", stopName(j.run.reason));
+            o.set("cycles", static_cast<std::uint64_t>(j.run.cycles));
+            // Per-job stats are kept as structured JSON so the report
+            // nests cleanly; the raw string is what determinism tests
+            // compare.
+            auto stats = json::parse(j.statsJson);
+            if (stats)
+                o.set("stats", std::move(stats.value()));
+        }
+        if (j.error)
+            o.set("error",
+                  analysis::DiagnosticList::formatOne(*j.error));
+        if (includeTiming)
+            o.set("host_millis", j.hostMillis);
+        arr.push(std::move(o));
+    }
+    root.set("jobs", std::move(arr));
+
+    // Rates are meaningless summed across different programs, so the
+    // merged block reports counts only (cycleNs = 0 zeroes the rates).
+    auto merged_ = json::parse(merged().json(0.0));
+    if (merged_)
+        root.set("merged", std::move(merged_.value()));
+
+    return root.dump(2);
+}
+
+} // namespace ximd::farm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sweep files: a JSON description of a batch, expanded to RunSpecs.
+ *
+ * A sweep is an object with an optional `defaults` block and a `runs`
+ * array. Each run entry names either a built-in `workload` (see
+ * farm/suite.hh) or a `program` assembly file, and any of the axis
+ * fields below. An axis given as an array is swept — the entry
+ * expands to the cartesian product of all its array-valued axes:
+ *
+ *   {
+ *     "defaults": { "n": 256, "seed": 1 },
+ *     "runs": [
+ *       { "workload": "minmax",
+ *         "mode": ["ximd", "vliw"],
+ *         "seed": [1, 2, 3] },
+ *       { "program": "kernels/custom.xasm", "mode": "ximd" }
+ *     ]
+ *   }
+ *
+ * expands to 6 minmax jobs plus one assembled-from-file job.
+ *
+ * Axes: workload | program, mode ("ximd"/"vliw"), n, seed,
+ * max_cycles, registered_sync, result_latency, fast_forward.
+ *
+ * Structural problems with the sweep file itself (unparseable JSON,
+ * unknown keys, missing workload/program) fail the whole load — they
+ * are authoring errors. A program file that does not assemble is a
+ * per-job failure instead: its RunSpec carries the diagnostic in
+ * `loadError` and the rest of the sweep still runs.
+ */
+
+#ifndef XIMD_FARM_SWEEP_HH
+#define XIMD_FARM_SWEEP_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "farm/run_spec.hh"
+#include "support/result.hh"
+
+namespace ximd::farm {
+
+/** Expand sweep-file text into specs (see file comment for format). */
+Result<std::vector<RunSpec>, analysis::Diagnostic>
+parseSweep(std::string_view text);
+
+/** Read and expand the sweep file at @p path. */
+Result<std::vector<RunSpec>, analysis::Diagnostic>
+loadSweep(const std::string &path);
+
+} // namespace ximd::farm
+
+#endif // XIMD_FARM_SWEEP_HH

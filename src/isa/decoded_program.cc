@@ -1,5 +1,7 @@
 #include "isa/decoded_program.hh"
 
+#include "support/logging.hh"
+
 namespace ximd {
 
 namespace {
@@ -53,6 +55,23 @@ DecodedProgram::DecodedProgram(const Program &program)
             d.canSelfSpin = d.cls == OpClass::Nop && selfTarget;
         }
     }
+}
+
+PreparedProgram::PreparedProgram(Program program)
+    : program_(std::move(program))
+{
+    if (program_.empty())
+        fatal("cannot prepare an empty program");
+    program_.validate();
+    decoded_ = DecodedProgram(program_);
+}
+
+std::shared_ptr<const PreparedProgram>
+PreparedProgram::make(Program program)
+{
+    // Not make_shared: the constructor is private.
+    return std::shared_ptr<const PreparedProgram>(
+        new PreparedProgram(std::move(program)));
 }
 
 } // namespace ximd

@@ -30,6 +30,7 @@
 #ifndef XIMD_ISA_DECODED_PROGRAM_HH
 #define XIMD_ISA_DECODED_PROGRAM_HH
 
+#include <memory>
 #include <vector>
 
 #include "isa/program.hh"
@@ -107,6 +108,42 @@ class DecodedProgram
     FuId width_ = 0;
     InstAddr size_ = 0;
     std::vector<DecodedParcel> parcels_;
+};
+
+/**
+ * A validated Program together with its predecode, frozen for
+ * execution.
+ *
+ * Decoding a program costs one pass over every parcel; a parameter
+ * sweep runs the same program under dozens of configurations. A
+ * PreparedProgram performs validation and predecode exactly once and
+ * is immutable afterwards, so any number of MachineCore instances —
+ * including cores running concurrently on different threads — can
+ * execute from one shared instance. The thread-safety contract is
+ * const-correctness: every accessor is const and no member mutates
+ * after construction.
+ *
+ * Handed around as std::shared_ptr<const PreparedProgram> so the
+ * owning batch and every in-flight run keep it alive together.
+ */
+class PreparedProgram
+{
+  public:
+    /**
+     * Validate @p program and predecode it. Throws FatalError when the
+     * program is empty or structurally invalid.
+     */
+    static std::shared_ptr<const PreparedProgram> make(Program program);
+
+    const Program &program() const { return program_; }
+    const DecodedProgram &decoded() const { return decoded_; }
+    FuId width() const { return program_.width(); }
+
+  private:
+    explicit PreparedProgram(Program program);
+
+    Program program_;
+    DecodedProgram decoded_;
 };
 
 } // namespace ximd

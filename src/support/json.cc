@@ -1,0 +1,499 @@
+#include "support/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace ximd::json {
+
+std::string
+ParseError::formatted() const
+{
+    return cat("byte ", offset, ": ", message);
+}
+
+bool
+Value::asBool() const
+{
+    XIMD_ASSERT(isBool(), "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    XIMD_ASSERT(isNumber(), "JSON value is not a number");
+    return num_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    XIMD_ASSERT(isNumber(), "JSON value is not a number");
+    return static_cast<std::int64_t>(num_);
+}
+
+const std::string &
+Value::asString() const
+{
+    XIMD_ASSERT(isString(), "JSON value is not a string");
+    return str_;
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    XIMD_ASSERT(isArray(), "JSON value is not an array");
+    return arr_;
+}
+
+void
+Value::push(Value v)
+{
+    XIMD_ASSERT(isArray(), "JSON value is not an array");
+    arr_.push_back(std::move(v));
+}
+
+const std::vector<Value::Member> &
+Value::members() const
+{
+    XIMD_ASSERT(isObject(), "JSON value is not an object");
+    return obj_;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const Member &m : obj_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+void
+Value::set(std::string_view key, Value v)
+{
+    XIMD_ASSERT(isObject(), "JSON value is not an object");
+    for (Member &m : obj_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(std::string(key), std::move(v));
+}
+
+std::string
+quote(std::string_view s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+std::string
+numberText(double d)
+{
+    // Integral values in the exactly-representable range print as
+    // integers, so counters round-trip byte-identically.
+    if (std::nearbyint(d) == d && std::fabs(d) <= 9007199254740992.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        return buf;
+    }
+    // Shortest round-trip form: "0.421001" stays "0.421001" instead
+    // of ballooning to 17 significant digits.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    return std::string(buf, res.ptr);
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              (static_cast<std::size_t>(depth) + 1),
+                          ' ');
+    const std::string close(static_cast<std::size_t>(indent) *
+                                static_cast<std::size_t>(depth),
+                            ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        return;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Kind::Number:
+        out += numberText(num_);
+        return;
+      case Kind::String:
+        out += quote(str_);
+        return;
+      case Kind::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            out += pad;
+            arr_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close;
+        out += ']';
+        return;
+      }
+      case Kind::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            out += pad;
+            out += quote(obj_[i].first);
+            out += colon;
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < obj_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close;
+        out += '}';
+        return;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<Value, ParseError>
+    document()
+    {
+        Value v;
+        if (!parseValue(v))
+            return error_;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    ParseError
+    fail(std::string msg)
+    {
+        error_ = ParseError{pos_, std::move(msg)};
+        return error_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case 'n':
+            if (!literal("null")) {
+                fail("bad literal");
+                return false;
+            }
+            out = Value();
+            return true;
+          case 't':
+            if (!literal("true")) {
+                fail("bad literal");
+                return false;
+            }
+            out = Value(true);
+            return true;
+          case 'f':
+            if (!literal("false")) {
+                fail("bad literal");
+                return false;
+            }
+            out = Value(false);
+            return true;
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out);
+          case '{':
+            return parseObject(out);
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            fail(cat("unexpected character '", c, "'"));
+            return false;
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string tok(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || tok.empty()) {
+            pos_ = start;
+            fail(cat("bad number '", tok, "'"));
+            return false;
+        }
+        out = Value(d);
+        return true;
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = Value(std::move(s));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &s)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    break;
+                const char esc = text_[pos_ + 1];
+                pos_ += 2;
+                switch (esc) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  case 'b': s += '\b'; break;
+                  case 'f': s += '\f'; break;
+                  case 'n': s += '\n'; break;
+                  case 'r': s += '\r'; break;
+                  case 't': s += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    const std::string hex(text_.substr(pos_, 4));
+                    char *end = nullptr;
+                    const long code =
+                        std::strtol(hex.c_str(), &end, 16);
+                    if (end != hex.c_str() + 4 || code > 0x7F) {
+                        fail("unsupported \\u escape (ASCII only)");
+                        return false;
+                    }
+                    pos_ += 4;
+                    s += static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    pos_ -= 1;
+                    fail(cat("bad escape '\\", esc, "'"));
+                    return false;
+                }
+                continue;
+            }
+            s += c;
+            ++pos_;
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        ++pos_; // '['
+        Value arr = Value::array();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out = std::move(arr);
+            return true;
+        }
+        while (true) {
+            Value item;
+            if (!parseValue(item))
+                return false;
+            arr.push(std::move(item));
+            skipWs();
+            if (pos_ >= text_.size()) {
+                fail("unterminated array");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                out = std::move(arr);
+                return true;
+            }
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        ++pos_; // '{'
+        Value obj = Value::object();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out = std::move(obj);
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key string");
+                return false;
+            }
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                fail("expected ':' after object key");
+                return false;
+            }
+            ++pos_;
+            Value item;
+            if (!parseValue(item))
+                return false;
+            obj.set(key, std::move(item));
+            skipWs();
+            if (pos_ >= text_.size()) {
+                fail("unterminated object");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                out = std::move(obj);
+                return true;
+            }
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    ParseError error_;
+};
+
+} // namespace
+
+Result<Value, ParseError>
+parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace ximd::json

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Minimal JSON value model, parser, and writer.
+ *
+ * The batch-run engine (src/farm/) consumes sweep specifications and
+ * emits aggregate reports as JSON; the repository deliberately carries
+ * no third-party JSON dependency, so this is a small, strict subset
+ * implementation sufficient for those uses:
+ *
+ *  - values: null, bool, number (stored as double; integers up to
+ *    2^53 round-trip exactly), string, array, object;
+ *  - objects preserve no duplicate keys (last one wins) and serialize
+ *    in insertion order, so emitted reports are deterministic;
+ *  - parse errors are reported structurally (Result) with a byte
+ *    offset and message, never by exception;
+ *  - strings support the standard escapes; \uXXXX is accepted for
+ *    ASCII code points (sufficient for machine-generated specs).
+ *
+ * Not supported (rejected at parse time): comments, trailing commas,
+ * NaN/Infinity literals.
+ */
+
+#ifndef XIMD_SUPPORT_JSON_HH
+#define XIMD_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/result.hh"
+
+namespace ximd::json {
+
+/** A parse failure: byte offset into the source plus a message. */
+struct ParseError
+{
+    std::size_t offset = 0;
+    std::string message;
+
+    /** "byte 17: expected ':' after object key". */
+    std::string formatted() const;
+};
+
+/** One JSON value (tree-owning). */
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    /** Object entries keep insertion order for deterministic output. */
+    using Member = std::pair<std::string, Value>;
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double n) : kind_(Kind::Number), num_(n) {}
+    Value(std::int64_t n)
+        : kind_(Kind::Number), num_(static_cast<double>(n))
+    {
+    }
+    Value(std::uint64_t n)
+        : kind_(Kind::Number), num_(static_cast<double>(n))
+    {
+    }
+    Value(int n) : kind_(Kind::Number), num_(n) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static Value array() { Value v; v.kind_ = Kind::Array; return v; }
+    static Value object() { Value v; v.kind_ = Kind::Object; return v; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /// @name Scalar access (asserts on kind mismatch).
+    /// @{
+    bool asBool() const;
+    double asNumber() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    /// @}
+
+    /// @name Array access / construction.
+    /// @{
+    const std::vector<Value> &items() const;
+    void push(Value v);
+    /// @}
+
+    /// @name Object access / construction.
+    /// @{
+    const std::vector<Member> &members() const;
+
+    /** Member @p key, or null when absent (or not an object). */
+    const Value *find(std::string_view key) const;
+
+    /** Set member @p key (replaces an existing entry in place). */
+    void set(std::string_view key, Value v);
+    /// @}
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form. Key order is
+     * insertion order; doubles that hold integral values in the
+     * +/-2^53 range print without a fraction.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<Member> obj_;
+};
+
+/** Parse @p text as one JSON document (trailing junk is an error). */
+Result<Value, ParseError> parse(std::string_view text);
+
+/** Escape and quote @p s as a JSON string literal. */
+std::string quote(std::string_view s);
+
+} // namespace ximd::json
+
+#endif // XIMD_SUPPORT_JSON_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Result<T, E> — an std::expected-style sum type for fallible
+ * operations that should report failures structurally instead of
+ * throwing or writing to a stream.
+ *
+ * The simulator's library layers historically reported user errors by
+ * throwing FatalError with a formatted message. That is fine for a
+ * single interactive run, but a batch engine (src/farm/) running
+ * thousands of jobs needs per-job failures as data: which job, which
+ * check, which line — not a string scraped off stderr. Fallible entry
+ * points that batch callers use (assembly, program loading, sweep
+ * parsing) therefore come in a Result-returning flavour, with the
+ * error type shared with analysis::diagnostics where a Diagnostic
+ * fits.
+ *
+ * The type is intentionally small: construction from a value or an
+ * error, hasValue()/operator bool, value()/error() access (asserting
+ * on wrong-arm access), and valueOr(). When the repository moves to
+ * C++23 this becomes an alias for std::expected.
+ */
+
+#ifndef XIMD_SUPPORT_RESULT_HH
+#define XIMD_SUPPORT_RESULT_HH
+
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+/** Tag for constructing the error arm when T and E are the same. */
+struct ErrTag
+{
+};
+inline constexpr ErrTag errTag{};
+
+/** Value-or-error sum type; exactly one arm is ever engaged. */
+template <typename T, typename E>
+class Result
+{
+    static_assert(!std::is_same_v<T, E>,
+                  "use the ErrTag constructor to disambiguate");
+
+  public:
+    /** Construct the success arm (implicit, like std::expected). */
+    Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+
+    /** Construct the error arm (implicit, like std::unexpected). */
+    Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+    /** Construct the error arm explicitly. */
+    Result(ErrTag, E error) : v_(std::in_place_index<1>, std::move(error))
+    {
+    }
+
+    bool hasValue() const { return v_.index() == 0; }
+    explicit operator bool() const { return hasValue(); }
+
+    /// @name Arm access (asserts on wrong-arm access).
+    /// @{
+    T &value() &
+    {
+        XIMD_ASSERT(hasValue(), "Result::value() on error arm");
+        return std::get<0>(v_);
+    }
+
+    const T &value() const &
+    {
+        XIMD_ASSERT(hasValue(), "Result::value() on error arm");
+        return std::get<0>(v_);
+    }
+
+    T &&value() &&
+    {
+        XIMD_ASSERT(hasValue(), "Result::value() on error arm");
+        return std::get<0>(std::move(v_));
+    }
+
+    E &error()
+    {
+        XIMD_ASSERT(!hasValue(), "Result::error() on value arm");
+        return std::get<1>(v_);
+    }
+
+    const E &error() const
+    {
+        XIMD_ASSERT(!hasValue(), "Result::error() on value arm");
+        return std::get<1>(v_);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+    /// @}
+
+    /** The value, or @p fallback when this holds an error. */
+    T valueOr(T fallback) const &
+    {
+        return hasValue() ? std::get<0>(v_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, E> v_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_SUPPORT_RESULT_HH

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * xfarm — run many simulations in parallel and report the batch.
+ *
+ * Usage:
+ *   xfarm [options]
+ *     --sweep FILE     expand FILE (sweep JSON, see farm/sweep.hh)
+ *                      instead of the built-in section 4.1 suite
+ *     --jobs N         worker threads (default: hardware concurrency)
+ *     --filter SUBSTR  keep jobs whose name contains SUBSTR
+ *                      (repeatable; a job matching any is kept)
+ *     --list           print job names and exit (after filtering)
+ *     --n N            built-in suite input size (default 256)
+ *     --seed S         built-in suite base seed (default 1)
+ *     --regsync-axis   add registered-sync ablation variants
+ *     --stats-json     print each job's stats JSON in spec order
+ *     --report         print the aggregate JSON report to stdout
+ *     --out FILE       write the aggregate JSON report to FILE
+ *     --no-timing      omit host-timing fields from reports (output
+ *                      becomes byte-identical across hosts and -j)
+ *     --quiet          suppress per-job progress lines
+ *
+ * Per-job results print in spec order regardless of --jobs, and every
+ * job's statistics are a pure function of its spec — `xfarm -j1` and
+ * `xfarm -j8` emit byte-identical --stats-json output.
+ *
+ * Exit status: 0 when every job passed, 1 otherwise.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "farm/farm.hh"
+#include "farm/suite.hh"
+#include "farm/sweep.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::farm;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: xfarm [options]\n"
+        << "  --sweep FILE     run a sweep file instead of the "
+           "built-in suite\n"
+        << "  --jobs N         worker threads (default: hardware)\n"
+        << "  --filter SUBSTR  keep jobs whose name contains SUBSTR\n"
+        << "  --list           print job names and exit\n"
+        << "  --n N            built-in suite input size\n"
+        << "  --seed S         built-in suite base seed\n"
+        << "  --regsync-axis   add registered-sync ablation variants\n"
+        << "  --stats-json     print per-job stats JSON in spec "
+           "order\n"
+        << "  --report         print the aggregate JSON report\n"
+        << "  --out FILE       write the aggregate JSON report\n"
+        << "  --no-timing      omit host-timing fields from reports\n"
+        << "  --quiet          suppress per-job progress lines\n";
+    std::exit(2);
+}
+
+struct Options
+{
+    std::string sweepFile;
+    std::string outFile;
+    unsigned jobs = 0;
+    bool list = false;
+    bool statsJson = false;
+    bool report = false;
+    bool noTiming = false;
+    bool quiet = false;
+    SuiteOptions suite;
+    std::vector<std::string> filters;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--sweep") {
+            o.sweepFile = next();
+        } else if (arg == "--jobs" || arg == "-j") {
+            o.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            o.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 2, nullptr, 0));
+        } else if (arg == "--filter") {
+            o.filters.push_back(next());
+        } else if (arg == "--list") {
+            o.list = true;
+        } else if (arg == "--n") {
+            o.suite.n = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg == "--seed") {
+            o.suite.seed =
+                std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--regsync-axis") {
+            o.suite.registeredSyncAxis = true;
+        } else if (arg == "--stats-json") {
+            o.statsJson = true;
+        } else if (arg == "--report") {
+            o.report = true;
+        } else if (arg == "--out") {
+            o.outFile = next();
+        } else if (arg == "--no-timing") {
+            o.noTiming = true;
+        } else if (arg == "--quiet") {
+            o.quiet = true;
+        } else {
+            usage();
+        }
+    }
+    return o;
+}
+
+bool
+matchesFilters(const std::string &name,
+               const std::vector<std::string> &filters)
+{
+    if (filters.empty())
+        return true;
+    for (const std::string &f : filters)
+        if (name.find(f) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+
+    std::vector<RunSpec> specs;
+    if (!o.sweepFile.empty()) {
+        auto loaded = loadSweep(o.sweepFile);
+        if (!loaded.hasValue()) {
+            std::cerr << "xfarm: "
+                      << analysis::DiagnosticList::formatOne(
+                             loaded.error())
+                      << "\n";
+            return 1;
+        }
+        specs = std::move(loaded.value());
+    } else {
+        specs = builtinSuite(o.suite);
+    }
+
+    if (!o.filters.empty()) {
+        std::vector<RunSpec> kept;
+        for (RunSpec &s : specs)
+            if (matchesFilters(s.name, o.filters))
+                kept.push_back(std::move(s));
+        specs = std::move(kept);
+    }
+
+    if (o.list) {
+        for (const RunSpec &s : specs)
+            std::cout << s.name << "\n";
+        return 0;
+    }
+    if (specs.empty()) {
+        std::cerr << "xfarm: no jobs selected\n";
+        return 1;
+    }
+
+    const BatchResult batch = Farm::run(specs, o.jobs);
+
+    if (!o.quiet) {
+        for (const JobResult &j : batch.jobs) {
+            if (j.ok()) {
+                std::cout << "ok   " << j.name << "  ("
+                          << j.run.cycles << " cycles)\n";
+            } else {
+                std::cout << "FAIL " << j.name << "  "
+                          << analysis::DiagnosticList::formatOne(
+                                 *j.error)
+                          << "\n";
+            }
+        }
+        std::cout << batch.jobs.size() << " jobs, "
+                  << batch.failures() << " failed, "
+                  << batch.threads << " threads";
+        if (!o.noTiming)
+            std::cout << ", " << batch.wallMillis << " ms";
+        std::cout << "\n";
+    }
+
+    if (o.statsJson) {
+        for (const JobResult &j : batch.jobs) {
+            std::cout << "=== " << j.name << " ===\n";
+            if (j.ran)
+                std::cout << j.statsJson;
+            else
+                std::cout << "(did not run)\n";
+        }
+    }
+
+    if (o.report)
+        std::cout << batch.json(!o.noTiming) << "\n";
+    if (!o.outFile.empty()) {
+        std::ofstream out(o.outFile);
+        if (!out) {
+            std::cerr << "xfarm: cannot write '" << o.outFile
+                      << "'\n";
+            return 1;
+        }
+        out << batch.json(!o.noTiming) << "\n";
+    }
+
+    return batch.allOk() ? 0 : 1;
+}

@@ -1,11 +1,14 @@
 /**
  * @file
- * Command-line front end for the simulators — compiled twice, as
- * `xsim` (the XIMD-1 machine) and `vsim` (the VLIW machine), matching
- * the tools named in section 4.1 of the paper.
+ * Command-line front end for the simulators. One binary serves both
+ * tools named in section 4.1 of the paper: invoked as `xsim` it
+ * defaults to the XIMD-1 machine, invoked as `vsim` (a symlink) it
+ * defaults to the VLIW machine, and `--mode=ximd|vliw` overrides
+ * either.
  *
  * Usage:
  *   xsim [options] program.ximd
+ *     --mode ximd|vliw sequencing discipline (default: tool name)
  *     --trace          print the Figure-10-style address trace
  *     --stats          print run statistics
  *     --stats-json     print run statistics as JSON
@@ -24,12 +27,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/verify.hh"
 #include "asm/assembler.hh"
-#include "core/vliw_machine.hh"
-#include "core/ximd_machine.hh"
+#include "core/machine.hh"
 #include "isa/disasm.hh"
 #include "support/logging.hh"
 
@@ -37,17 +40,26 @@ namespace {
 
 using namespace ximd;
 
-#if XIMD_TOOL_IS_XSIM
-constexpr const char *kTool = "xsim";
-#else
-constexpr const char *kTool = "vsim";
-#endif
+/** The name this binary was invoked under ("xsim" or "vsim"). */
+std::string
+toolName(const char *argv0)
+{
+    std::string_view name = argv0 ? argv0 : "xsim";
+    const std::size_t slash = name.rfind('/');
+    if (slash != std::string_view::npos)
+        name.remove_prefix(slash + 1);
+    return name == "vsim" ? "vsim" : "xsim";
+}
+
+std::string gTool = "xsim";
 
 [[noreturn]] void
 usage()
 {
     std::cerr
-        << "usage: " << kTool << " [options] program.ximd\n"
+        << "usage: " << gTool << " [options] program.ximd\n"
+        << "  --mode ximd|vliw sequencing discipline (default: "
+        << (gTool == "vsim" ? "vliw" : "ximd") << ")\n"
         << "  --trace          print the address trace\n"
         << "  --stats          print run statistics\n"
         << "  --stats-json     print run statistics as JSON\n"
@@ -64,6 +76,7 @@ usage()
 struct Options
 {
     std::string file;
+    Mode mode = Mode::Ximd;
     bool trace = false;
     bool stats = false;
     bool statsJson = false;
@@ -76,10 +89,21 @@ struct Options
     std::vector<std::pair<Addr, unsigned>> mems;
 };
 
+Mode
+parseMode(const std::string &text)
+{
+    if (text == "ximd")
+        return Mode::Ximd;
+    if (text == "vliw")
+        return Mode::Vliw;
+    usage();
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
     Options o;
+    o.mode = gTool == "vsim" ? Mode::Vliw : Mode::Ximd;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -87,7 +111,11 @@ parseArgs(int argc, char **argv)
                 usage();
             return argv[i];
         };
-        if (arg == "--trace") {
+        if (arg == "--mode") {
+            o.mode = parseMode(next());
+        } else if (arg.rfind("--mode=", 0) == 0) {
+            o.mode = parseMode(arg.substr(7));
+        } else if (arg == "--trace") {
             o.trace = true;
         } else if (arg == "--stats") {
             o.stats = true;
@@ -130,32 +158,30 @@ parseArgs(int argc, char **argv)
     return o;
 }
 
-template <typename Machine>
 int
 runMachine(Program prog, const Options &o)
 {
-    MachineConfig cfg;
-    cfg.recordTrace = o.trace;
-    cfg.registeredSync = o.registeredSync;
-    if (o.noTrace) {
-        cfg.collectStats = false;
-        cfg.trackPartitions = false;
-    }
+    MachineConfig cfg = MachineConfig{}
+                            .withMode(o.mode)
+                            .withTrace(o.trace)
+                            .withRegisteredSync(o.registeredSync);
+    if (o.noTrace)
+        cfg.withoutObservers();
 
     Machine machine(std::move(prog), cfg);
     const RunResult result = machine.run(o.maxCycles);
 
     switch (result.reason) {
       case StopReason::Halted:
-        std::cout << kTool << ": halted after " << result.cycles
+        std::cout << gTool << ": halted after " << result.cycles
                   << " cycles\n";
         break;
       case StopReason::MaxCycles:
-        std::cout << kTool << ": cycle budget exhausted at "
+        std::cout << gTool << ": cycle budget exhausted at "
                   << result.cycles << " cycles\n";
         break;
       case StopReason::Fault:
-        std::cout << kTool << ": FAULT at cycle " << result.cycles
+        std::cout << gTool << ": FAULT at cycle " << result.cycles
                   << ": " << result.faultMessage << "\n";
         break;
     }
@@ -185,9 +211,20 @@ runMachine(Program prog, const Options &o)
 int
 main(int argc, char **argv)
 {
+    gTool = toolName(argc > 0 ? argv[0] : nullptr);
     const Options o = parseArgs(argc, argv);
+
+    auto assembled = assembleFileResult(o.file);
+    if (!assembled.hasValue()) {
+        std::cerr << gTool << ": "
+                  << analysis::DiagnosticList::formatOne(
+                         assembled.error())
+                  << "\n";
+        return 1;
+    }
+    Program prog = std::move(assembled.value());
+
     try {
-        Program prog = assembleFile(o.file);
         if (o.list) {
             std::cout << formatProgram(prog);
             return 0;
@@ -196,25 +233,21 @@ main(int argc, char **argv)
             const analysis::DiagnosticList diags =
                 analysis::analyze(prog);
             for (const auto &d : diags.all())
-                std::cerr << kTool << ": "
+                std::cerr << gTool << ": "
                           << analysis::DiagnosticList::formatOne(
                                  d, &prog)
                           << "\n";
             if (diags.hasErrors()) {
-                std::cerr << kTool
+                std::cerr << gTool
                           << ": refusing to simulate: verification "
                              "failed ("
                           << diags.summary() << ")\n";
                 return 1;
             }
         }
-#if XIMD_TOOL_IS_XSIM
-        return runMachine<XimdMachine>(std::move(prog), o);
-#else
-        return runMachine<VliwMachine>(std::move(prog), o);
-#endif
+        return runMachine(std::move(prog), o);
     } catch (const FatalError &e) {
-        std::cerr << kTool << ": " << e.what() << "\n";
+        std::cerr << gTool << ": " << e.what() << "\n";
         return 1;
     }
 }

@@ -325,5 +325,53 @@ TEST(Assembler, DisasmRoundTrip)
         EXPECT_EQ(p1.parcel(a, 0), p2.parcel(a, 0)) << "addr " << a;
 }
 
+TEST(Assembler, ErrorsCarryLineAndRawMessage)
+{
+    try {
+        assembleString(".fus 2\nhalt || halt\nhalt\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(e.rawMessage().find("parcel"), std::string::npos);
+        // what() keeps the historical decorated shape.
+        EXPECT_NE(std::string(e.what()).find("fatal: asm line 3:"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, ResultValueArmMatchesThrowingApi)
+{
+    const char *src = ".fus 2\nhalt || halt\n";
+    auto r = assembleStringResult(src);
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_EQ(r.value().width(), 2u);
+    EXPECT_EQ(r.value().size(), assembleString(src).size());
+}
+
+TEST(Assembler, ResultErrorArmIsStructured)
+{
+    auto r = assembleStringResult(".fus 2\nhalt || halt\nhalt\n");
+    ASSERT_FALSE(r.hasValue());
+    const analysis::Diagnostic &d = r.error();
+    EXPECT_EQ(d.check, analysis::Check::AsmParse);
+    EXPECT_EQ(d.severity, analysis::Severity::Error);
+    EXPECT_EQ(d.row, 3u); // source line, not instruction row
+    EXPECT_NE(d.message.find("parcel"), std::string::npos);
+    const std::string rendered =
+        analysis::DiagnosticList::formatOne(d);
+    EXPECT_NE(rendered.find("error[asm-parse] line 3:"),
+              std::string::npos);
+}
+
+TEST(Assembler, ResultFileErrorIsLoadFailed)
+{
+    auto r = assembleFileResult("/nonexistent/path/prog.ximd");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().check, analysis::Check::LoadFailed);
+    EXPECT_NE(analysis::DiagnosticList::formatOne(r.error())
+                  .find("error[load-failed]:"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace ximd

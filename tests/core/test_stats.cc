@@ -88,6 +88,87 @@ TEST(Stats, PartitionHistogramAndMeanStreams)
     EXPECT_DOUBLE_EQ(s.meanStreams(), 2.0);
 }
 
+TEST(Stats, MergeWithEmptyIsIdentity)
+{
+    RunStats s(4);
+    s.countCycle();
+    s.countParcel(OpClass::IntAlu);
+    s.countConditionalBranch(true);
+    s.countBusyWait();
+    s.countPartition(2);
+    const std::string before = s.json(85.0);
+    s.merge(RunStats(4));
+    EXPECT_EQ(s.json(85.0), before);
+}
+
+TEST(Stats, MergeSumsEveryCounter)
+{
+    RunStats a(4);
+    a.countCycles(10);
+    a.countParcels(OpClass::IntAlu, 5);
+    a.countParcels(OpClass::Nop, 2);
+    a.countConditionalBranches(true, 3);
+    a.countBusyWaits(7);
+    a.countPartitions(1, 4);
+    a.countPartitions(2, 6);
+
+    RunStats b(4);
+    b.countCycles(20);
+    b.countParcels(OpClass::FloatAlu, 8);
+    b.countConditionalBranches(false, 2);
+    b.countBusyWaits(1);
+    b.countPartitions(2, 10);
+    b.countPartitions(4, 10);
+
+    a.merge(b);
+    EXPECT_EQ(a.cycles(), 30u);
+    EXPECT_EQ(a.parcels(), 15u);
+    EXPECT_EQ(a.byClass(OpClass::IntAlu), 5u);
+    EXPECT_EQ(a.byClass(OpClass::FloatAlu), 8u);
+    EXPECT_EQ(a.nops(), 2u);
+    EXPECT_EQ(a.conditionalBranches(), 5u);
+    EXPECT_EQ(a.takenBranches(), 3u);
+    EXPECT_EQ(a.busyWaitCycles(), 8u);
+    EXPECT_EQ(a.partitionHistogram().at(1), 4u);
+    EXPECT_EQ(a.partitionHistogram().at(2), 16u);
+    EXPECT_EQ(a.partitionHistogram().at(4), 10u);
+}
+
+TEST(Stats, MergeOfSplitRunEqualsWholeRun)
+{
+    // Accumulate one stream of events into `whole`, and the same
+    // stream split at an arbitrary boundary into `first` and
+    // `second`; merging the halves must reproduce the whole.
+    RunStats whole(8);
+    RunStats first(8);
+    RunStats second(8);
+    for (int i = 0; i < 100; ++i) {
+        RunStats &half = i < 37 ? first : second;
+        const auto cls =
+            static_cast<OpClass>(i % 7);
+        whole.countParcel(cls);
+        half.countParcel(cls);
+        whole.countCycle();
+        half.countCycle();
+        if (i % 3 == 0) {
+            whole.countConditionalBranch(i % 2 == 0);
+            half.countConditionalBranch(i % 2 == 0);
+        }
+        whole.countPartition(1u + static_cast<unsigned>(i % 4));
+        half.countPartition(1u + static_cast<unsigned>(i % 4));
+    }
+    first.merge(second);
+    EXPECT_EQ(first.json(85.0), whole.json(85.0));
+}
+
+TEST(Stats, MergeTakesMaxFuCount)
+{
+    RunStats narrow(2);
+    RunStats wide(8);
+    narrow.merge(wide);
+    EXPECT_EQ(narrow.numFus(), 8u);
+}
+
 TEST(Stats, FormattedMentionsKeyCounters)
 {
     RunStats s(2);

@@ -1,0 +1,196 @@
+#include "farm/farm.hh"
+
+#include <set>
+
+#include "farm/suite.hh"
+#include "workloads/kernels.hh"
+
+#include <gtest/gtest.h>
+
+namespace ximd::farm {
+namespace {
+
+/** Run the built-in suite at a given thread count. */
+BatchResult
+runSuite(unsigned threads, SuiteOptions opts = {})
+{
+    return Farm::run(builtinSuite(opts), threads);
+}
+
+TEST(Farm, SuiteAllPasses)
+{
+    const BatchResult batch = runSuite(2);
+    EXPECT_EQ(batch.failures(), 0u) << batch.json();
+    EXPECT_TRUE(batch.allOk());
+    EXPECT_EQ(batch.jobs.size(), builtinSuite().size());
+}
+
+TEST(Farm, ResultsAreInSpecOrderAtAnyThreadCount)
+{
+    const std::vector<RunSpec> specs = builtinSuite();
+    for (unsigned threads : {1u, 3u, 8u}) {
+        const BatchResult batch = Farm::run(specs, threads);
+        ASSERT_EQ(batch.jobs.size(), specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            EXPECT_EQ(batch.jobs[i].name, specs[i].name)
+                << "threads=" << threads;
+    }
+}
+
+TEST(Farm, StatsAreByteIdenticalAcrossThreadCounts)
+{
+    // The tentpole determinism guarantee: every job's statsJson is a
+    // pure function of its spec. The suite includes the nonblocking
+    // workloads, whose scripted-I/O arrival times come from the
+    // per-run seed — the classic source of batch nondeterminism.
+    const BatchResult serial = runSuite(1);
+    const BatchResult parallel = runSuite(8);
+    ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+    for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+        EXPECT_EQ(serial.jobs[i].statsJson,
+                  parallel.jobs[i].statsJson)
+            << serial.jobs[i].name;
+        EXPECT_EQ(serial.jobs[i].run.cycles,
+                  parallel.jobs[i].run.cycles);
+    }
+    // And the whole untimed report is byte-identical.
+    EXPECT_EQ(serial.json(false), parallel.json(false));
+}
+
+TEST(Farm, SeedChangesNonblockingSchedule)
+{
+    SuiteOptions a;
+    a.seed = 1;
+    SuiteOptions b;
+    b.seed = 99;
+    const BatchResult ra = runSuite(2, a);
+    const BatchResult rb = runSuite(2, b);
+    ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+    bool anyDiffer = false;
+    for (std::size_t i = 0; i < ra.jobs.size(); ++i) {
+        if (ra.jobs[i].name.find("nonblocking") != std::string::npos &&
+            ra.jobs[i].run.cycles != rb.jobs[i].run.cycles)
+            anyDiffer = true;
+    }
+    EXPECT_TRUE(anyDiffer)
+        << "different seeds should move I/O arrival times";
+}
+
+TEST(Farm, ManySpecsShareOnePreparedProgram)
+{
+    // 16 jobs over one shared immutable program, all threads at once.
+    auto shared =
+        PreparedProgram::make(workloads::tprocPaper(3, -4, 7, 11));
+    std::vector<RunSpec> specs;
+    for (int i = 0; i < 16; ++i) {
+        RunSpec s;
+        s.name = "tproc#" + std::to_string(i);
+        s.program = shared;
+        s.config =
+            MachineConfig::ximd().withSeed(static_cast<unsigned>(i));
+        specs.push_back(std::move(s));
+    }
+    const BatchResult batch = Farm::run(specs, 8);
+    EXPECT_EQ(batch.failures(), 0u);
+    for (const JobResult &j : batch.jobs)
+        EXPECT_EQ(j.run.cycles, batch.jobs[0].run.cycles);
+}
+
+TEST(Farm, LoadErrorFailsOneJobNotTheBatch)
+{
+    std::vector<RunSpec> specs = builtinSuite();
+    RunSpec broken;
+    broken.name = "broken/load";
+    broken.loadError = analysis::Diagnostic{
+        analysis::Severity::Error, analysis::Check::LoadFailed, 0, -1,
+        "no such file"};
+    specs.insert(specs.begin() + 1, std::move(broken));
+
+    const BatchResult batch = Farm::run(specs, 4);
+    EXPECT_EQ(batch.failures(), 1u);
+    EXPECT_EQ(batch.jobs[1].name, "broken/load");
+    EXPECT_FALSE(batch.jobs[1].ran);
+    ASSERT_TRUE(batch.jobs[1].error.has_value());
+    EXPECT_EQ(batch.jobs[1].error->check,
+              analysis::Check::LoadFailed);
+    // Neighbours are unaffected.
+    EXPECT_TRUE(batch.jobs[0].ok());
+    EXPECT_TRUE(batch.jobs[2].ok());
+}
+
+TEST(Farm, WedgedJobReportsCycleBudget)
+{
+    WorkloadRequest req;
+    req.workload = "minmax";
+    req.n = 64;
+    auto spec = makeWorkloadSpec(req);
+    ASSERT_TRUE(spec.hasValue());
+    spec.value().maxCycles = 3; // far too few to finish
+    const JobResult j = Farm::runOne(spec.value());
+    EXPECT_TRUE(j.ran);
+    EXPECT_FALSE(j.ok());
+    ASSERT_TRUE(j.error.has_value());
+    EXPECT_EQ(j.error->check, analysis::Check::RunFailed);
+    EXPECT_NE(j.error->message.find("cycle budget"),
+              std::string::npos);
+}
+
+TEST(Farm, MergedEqualsSerialAccumulation)
+{
+    const BatchResult batch = runSuite(4);
+    RunStats byHand(1);
+    for (const JobResult &j : batch.jobs)
+        if (j.ran)
+            byHand.merge(j.stats);
+    EXPECT_EQ(batch.merged().json(0.0), byHand.json(0.0));
+    // Sanity: the merge actually accumulated something.
+    EXPECT_GT(batch.merged().cycles(), 0u);
+}
+
+TEST(Farm, SuiteSharesModeInvariantPrograms)
+{
+    const std::vector<RunSpec> specs = builtinSuite();
+    const RunSpec *tx = nullptr;
+    const RunSpec *tv = nullptr;
+    for (const RunSpec &s : specs) {
+        if (s.name.rfind("tproc/ximd", 0) == 0)
+            tx = &s;
+        if (s.name.rfind("tproc/vliw", 0) == 0)
+            tv = &s;
+    }
+    ASSERT_NE(tx, nullptr);
+    ASSERT_NE(tv, nullptr);
+    // tproc emits identical machine code for both modes, so the grid
+    // shares one PreparedProgram between them.
+    EXPECT_EQ(tx->program.get(), tv->program.get());
+}
+
+TEST(Farm, ZeroThreadsPicksSomethingSane)
+{
+    std::vector<RunSpec> specs = builtinSuite();
+    specs.resize(2);
+    const BatchResult batch = Farm::run(specs, 0);
+    EXPECT_GE(batch.threads, 1u);
+    EXPECT_LE(batch.threads, 2u);
+    EXPECT_EQ(batch.failures(), 0u);
+}
+
+TEST(Farm, RegisteredSyncAxisAddsAblationJobs)
+{
+    SuiteOptions opts;
+    opts.registeredSyncAxis = true;
+    const std::vector<RunSpec> specs = builtinSuite(opts);
+    std::set<std::string> names;
+    for (const RunSpec &s : specs)
+        names.insert(s.name);
+    EXPECT_EQ(names.size(), specs.size()) << "job names must be unique";
+    bool sawRegsync = false;
+    for (const std::string &n : names)
+        sawRegsync = sawRegsync || n.find("/regsync") != std::string::npos;
+    EXPECT_TRUE(sawRegsync);
+    const BatchResult batch = Farm::run(specs, 4);
+    EXPECT_EQ(batch.failures(), 0u) << batch.json();
+}
+
+} // namespace
+} // namespace ximd::farm

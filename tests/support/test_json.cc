@@ -1,0 +1,117 @@
+#include "support/json.hh"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ximd::json {
+namespace {
+
+Value
+parseOk(std::string_view text)
+{
+    auto r = parse(text);
+    EXPECT_TRUE(r.hasValue()) << (r.hasValue()
+                                      ? ""
+                                      : r.error().formatted());
+    return r.hasValue() ? std::move(r.value()) : Value();
+}
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_EQ(parseOk("true").asBool(), true);
+    EXPECT_EQ(parseOk("false").asBool(), false);
+    EXPECT_EQ(parseOk("42").asInt(), 42);
+    EXPECT_EQ(parseOk("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(parseOk("2.5e1").asNumber(), 25.0);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesStringEscapes)
+{
+    EXPECT_EQ(parseOk(R"("a\"b\\c\nd")").asString(), "a\"b\\c\nd");
+    EXPECT_EQ(parseOk(R"("A")").asString(), "A");
+}
+
+TEST(Json, ParsesNestedStructure)
+{
+    const Value v = parseOk(
+        R"({"runs": [{"n": [1, 2]}, {"mode": "vliw"}], "x": {}})");
+    ASSERT_TRUE(v.isObject());
+    const Value *runs = v.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_TRUE(runs->isArray());
+    ASSERT_EQ(runs->items().size(), 2u);
+    const Value *n = runs->items()[0].find("n");
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->items().size(), 2u);
+    EXPECT_EQ(runs->items()[1].find("mode")->asString(), "vliw");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parse("").hasValue());
+    EXPECT_FALSE(parse("{").hasValue());
+    EXPECT_FALSE(parse("[1,]").hasValue());
+    EXPECT_FALSE(parse("{\"a\" 1}").hasValue());
+    EXPECT_FALSE(parse("nul").hasValue());
+    EXPECT_FALSE(parse("1 2").hasValue()); // trailing junk
+    EXPECT_FALSE(parse("'single'").hasValue());
+}
+
+TEST(Json, ParseErrorCarriesOffset)
+{
+    auto r = parse("[1, !]");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().offset, 4u);
+    EXPECT_NE(r.error().formatted().find("byte 4"),
+              std::string::npos);
+}
+
+TEST(Json, DumpIsInsertionOrdered)
+{
+    Value o = Value::object();
+    o.set("zeta", 1);
+    o.set("alpha", 2);
+    o.set("zeta", 3); // replaces in place, keeps position
+    EXPECT_EQ(o.dump(), "{\"zeta\":3,\"alpha\":2}");
+}
+
+TEST(Json, IntegersRoundTripExactly)
+{
+    const std::string text = "[0,1,-1,9007199254740992,123456789]";
+    EXPECT_EQ(parseOk(text).dump(), text);
+}
+
+TEST(Json, DoublesUseShortestForm)
+{
+    Value v(0.421001);
+    EXPECT_EQ(v.dump(), "0.421001");
+}
+
+TEST(Json, RoundTripStable)
+{
+    // dump(parse(dump(x))) == dump(x): the reports the farm writes
+    // re-parse to the same document.
+    Value o = Value::object();
+    o.set("name", "minmax/ximd");
+    o.set("ok", true);
+    o.set("cycles", std::uint64_t{769});
+    Value arr = Value::array();
+    arr.push(1);
+    arr.push(2.5);
+    arr.push("s");
+    o.set("items", std::move(arr));
+    const std::string once = o.dump(2);
+    EXPECT_EQ(parseOk(once).dump(2), once);
+}
+
+TEST(Json, QuoteEscapes)
+{
+    EXPECT_EQ(quote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(quote("tab\t"), "\"tab\\t\"");
+}
+
+} // namespace
+} // namespace ximd::json

@@ -1,0 +1,63 @@
+#include "support/result.hh"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ximd {
+namespace {
+
+struct Err
+{
+    std::string message;
+};
+
+TEST(Result, ValueArm)
+{
+    Result<int, Err> r = 42;
+    EXPECT_TRUE(r.hasValue());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+    EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(Result, ErrorArm)
+{
+    Result<int, Err> r{errTag, Err{"boom"}};
+    EXPECT_FALSE(r.hasValue());
+    EXPECT_FALSE(static_cast<bool>(r));
+    EXPECT_EQ(r.error().message, "boom");
+    EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(Result, ImplicitConstructionFromValue)
+{
+    auto make = [](bool ok) -> Result<std::string, Err> {
+        if (ok)
+            return std::string("fine");
+        return {errTag, Err{"nope"}};
+    };
+    EXPECT_TRUE(make(true).hasValue());
+    EXPECT_EQ(make(true).value(), "fine");
+    EXPECT_EQ(make(false).error().message, "nope");
+}
+
+TEST(Result, MoveOnlyValueMovesOut)
+{
+    Result<std::unique_ptr<int>, Err> r = std::make_unique<int>(5);
+    ASSERT_TRUE(r.hasValue());
+    std::unique_ptr<int> taken = std::move(r).value();
+    ASSERT_NE(taken, nullptr);
+    EXPECT_EQ(*taken, 5);
+}
+
+TEST(Result, ArrowOperator)
+{
+    Result<std::string, Err> r = std::string("abc");
+    EXPECT_EQ(r->size(), 3u);
+}
+
+} // namespace
+} // namespace ximd
