@@ -21,6 +21,18 @@ for preset in release sanitize; do
     ctest --preset "$preset" -j "$JOBS"
 done
 
+# Snapshot / fuzz / fault stage: the serialization substrate and the
+# fault injector poke at raw state buffers, so run those suites again
+# under ASan+UBSan explicitly (they are also part of the full runs
+# above; this stage keeps them visible and gating on their own).
+echo "==> test (sanitize: snapshot + fuzz + fault suites)"
+ctest --test-dir build-sanitize -j "$JOBS" --output-on-failure \
+    -R 'StateIo|Snapshot|FaultCampaign|DifferentialFuzz|cli_xfarm_checkpoint|cli_xfarm_resume|cli_xfarm_faults'
+
+# Coverage stage: gcov line coverage of the execution layers.
+echo "==> coverage (gcov: src/sim + src/core)"
+scripts/coverage_report.sh "$JOBS"
+
 # TSAN stage: only the batch engine runs threads, so build just the
 # farm test binary and the xfarm CLI and run the Farm/Sweep tests
 # (which include the 1-vs-8-thread determinism checks) instrumented.

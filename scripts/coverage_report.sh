@@ -1,0 +1,82 @@
+#!/bin/sh
+# Line-coverage report for the simulator's execution layers.
+#
+#   scripts/coverage_report.sh [jobs]
+#
+# Configures and builds the `coverage` preset (gcov instrumentation,
+# see CMakePresets.json), runs the full test suite, then aggregates
+# plain `gcov` output into per-file and total line coverage for
+# src/sim and src/core. gcovr/lcov are deliberately not used — the CI
+# image only ships gcov.
+#
+# Exit status is non-zero when the build or tests fail; the coverage
+# numbers themselves are a report, not a gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "==> configure (coverage)"
+cmake --preset coverage
+echo "==> build (coverage)"
+cmake --build --preset coverage -j "$JOBS"
+echo "==> test (coverage)"
+ctest --preset coverage -j "$JOBS"
+
+echo "==> gcov (src/sim + src/core)"
+cd build-coverage
+GCDA=$(find src/sim src/core -name '*.gcda' 2>/dev/null)
+if [ -z "$GCDA" ]; then
+    echo "coverage_report: no .gcda files found" >&2
+    exit 1
+fi
+
+# gcov prints, per source file compiled into each object:
+#   File '<path>'
+#   Lines executed:<pct>% of <n>
+# A header included from several translation units appears once per
+# unit; keep the highest observed percentage for each file so inline
+# code is not double-counted in the totals.
+gcov -n $GCDA 2>/dev/null | awk '
+    /^File /{
+        f = $2
+        gsub(/\x27/, "", f)
+        keep = (f ~ /src\/(sim|core)\//)
+        next
+    }
+    /^Lines executed:/ && keep {
+        split($0, a, ":")
+        split(a[2], b, "% of ")
+        pct = b[1] + 0
+        n = b[2] + 0
+        if (!(f in lines) || pct > best[f]) {
+            best[f] = pct
+            lines[f] = n
+        }
+        keep = 0
+    }
+    END {
+        total = 0
+        covered = 0
+        m = 0
+        for (f in lines)
+            order[m++] = f
+        # insertion sort for stable, tool-independent output
+        for (i = 1; i < m; i++) {
+            k = order[i]
+            for (j = i - 1; j >= 0 && order[j] > k; j--)
+                order[j + 1] = order[j]
+            order[j + 1] = k
+        }
+        for (i = 0; i < m; i++) {
+            f = order[i]
+            short = f
+            sub(/^.*src\//, "src/", short)
+            printf "  %6.2f%%  %5d  %s\n", best[f], lines[f], short
+            total += lines[f]
+            covered += best[f] / 100.0 * lines[f]
+        }
+        if (total > 0)
+            printf "coverage: %.2f%% of %d lines (src/sim + src/core)\n",
+                   100.0 * covered / total, total
+    }'

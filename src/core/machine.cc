@@ -59,4 +59,22 @@ Machine::attachConfiguredObservers()
     }
 }
 
+void
+Machine::saveObserverState(StateWriter &w) const
+{
+    w.tag("OBSV");
+    stats_.saveState(w);
+    trace_.saveState(w);
+    partition_.saveState(w);
+}
+
+void
+Machine::loadObserverState(StateReader &r)
+{
+    r.checkTag("OBSV");
+    stats_.loadState(r);
+    trace_.loadState(r);
+    partition_.loadState(r);
+}
+
 } // namespace ximd

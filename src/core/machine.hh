@@ -129,6 +129,33 @@ class Machine
     const MachineCore &core() const { return core_; }
     /// @}
 
+    /// @name Checkpointing (see DESIGN.md section 9).
+    ///
+    /// snapshot::save() / snapshot::restore() (snapshot/snapshot.hh)
+    /// are the public entry points; they wrap these in the versioned
+    /// container format with program-digest validation.
+    /// @{
+    /** Stable 64-bit hash of the complete execution state. */
+    std::uint64_t stateHash() const { return core_.stateHash(); }
+
+    /** Hash of architectural contents only (regs, memory, CCs). */
+    std::uint64_t archStateHash() const
+    {
+        return core_.archStateHash();
+    }
+
+    /** Serialize the stock observers' state (stats, trace, partition). */
+    void saveObserverState(StateWriter &w) const;
+
+    /**
+     * Overwrite the stock observers' state with saved state. Restores
+     * never merge: whatever this machine's observers accumulated
+     * before the restore is discarded wholesale, so statistics and
+     * traces continue exactly as the checkpointed run would have.
+     */
+    void loadObserverState(StateReader &r);
+    /// @}
+
   private:
     void attachConfiguredObservers();
 

@@ -118,6 +118,37 @@ MachineCore::addObserver(CycleObserver *observer)
 {
     XIMD_ASSERT(observer, "null observer");
     observers_.push_back(observer);
+    if (observer->perturbs())
+        perturbers_.push_back(observer);
+}
+
+void
+MachineCore::forceSync(FuId fu, SyncVal val, Cycle untilCycle)
+{
+    XIMD_ASSERT(fu < numFus(), "FU index out of range");
+    syncOverrides_.push_back({fu, val, untilCycle});
+}
+
+bool
+MachineCore::hasSyncOverrides() const
+{
+    for (const SyncOverride &o : syncOverrides_)
+        if (cycle_ < o.until)
+            return true;
+    return false;
+}
+
+void
+MachineCore::applySyncOverrides(SyncBus &bus)
+{
+    syncOverrides_.erase(
+        std::remove_if(syncOverrides_.begin(), syncOverrides_.end(),
+                       [this](const SyncOverride &o) {
+                           return cycle_ >= o.until;
+                       }),
+        syncOverrides_.end());
+    for (const SyncOverride &o : syncOverrides_)
+        bus.set(o.fu, o.val);
 }
 
 InstAddr
@@ -281,9 +312,12 @@ MachineCore::step()
     const FuId n = numFus();
     spinHint_ = false;
 
-    // Beginning-of-cycle observation.
+    // Beginning-of-cycle observation, then scheduled perturbation
+    // (fault injection) against the state the cycle is about to read.
     for (CycleObserver *o : observers_)
         o->onCycle(*this);
+    for (CycleObserver *o : perturbers_)
+        o->onPerturb(*this);
 
     // Fetch; in XIMD mode also drive the sync bus from the executing
     // parcels' SS fields.
@@ -297,6 +331,8 @@ MachineCore::step()
             fetched_[fu] = &decoded_->at(pcs_[fu], fu);
             sync_.set(fu, fetched_[fu]->sync);
         }
+        if (!syncOverrides_.empty())
+            applySyncOverrides(sync_);
     } else {
         // The single PC selects one row for every lane; a halted VLIW
         // only drains in-flight write-backs.
@@ -406,8 +442,21 @@ MachineCore::tryFastForward(Cycle limit)
     // every live FU re-selects its own address around a nop.
     if (limit <= cycle_ || faulted_ || allHalted())
         return false;
-    if (!pipe_.empty() || mem_.hasDevices())
+    if (!pipe_.empty() || mem_.hasDevices() || hasSyncOverrides())
         return false;
+
+    // An observer with scheduled work (a pending fault injection) caps
+    // how far the skip may reach: cycles up to its wake cycle repeat
+    // the fixpoint, the wake cycle itself must execute one at a time.
+    Cycle cap = limit;
+    for (const CycleObserver *o : observers_) {
+        const Cycle wake = o->nextWake(*this);
+        if (wake < cap)
+            cap = wake;
+    }
+    if (cap <= cycle_)
+        return false;
+    limit = cap;
 
     const FuId n = numFus();
 
@@ -474,8 +523,10 @@ MachineCore::run(Cycle maxCycles)
     const Cycle limit = cycle_ + budget;
 
     while (cycle_ < limit && step()) {
-        if (config_.fastForward && spinHint_ && tryFastForward(limit))
-            break;
+        // A successful skip may be partial (capped at an observer's
+        // wake cycle), so keep stepping from wherever it landed.
+        if (config_.fastForward && spinHint_)
+            tryFastForward(limit);
     }
 
     RunResult result;
@@ -498,6 +549,97 @@ MachineCore::readRegByName(const std::string &name) const
     if (!r)
         fatal("program defines no register named '", name, "'");
     return regs_.peek(*r);
+}
+
+void
+MachineCore::saveState(StateWriter &w) const
+{
+    w.tag("MCOR");
+    w.u8(static_cast<std::uint8_t>(mode_));
+    w.u64(cycle_);
+    w.boolean(faulted_);
+    w.str(faultMsg_);
+    w.boolean(doneNotified_);
+
+    w.count(pcs_.size());
+    for (InstAddr pc : pcs_)
+        w.u32(pc);
+    w.count(haltedFus_.size());
+    for (bool h : haltedFus_)
+        w.boolean(h);
+    w.count(syncPrev_.size());
+    for (SyncVal v : syncPrev_)
+        w.u8(static_cast<std::uint8_t>(v));
+    w.count(syncOverrides_.size());
+    for (const SyncOverride &o : syncOverrides_) {
+        w.u32(o.fu);
+        w.u8(static_cast<std::uint8_t>(o.val));
+        w.u64(o.until);
+    }
+
+    regs_.saveState(w);
+    mem_.saveState(w);
+    ccs_.saveState(w);
+    pipe_.saveState(w);
+    sync_.saveState(w);
+}
+
+void
+MachineCore::loadState(StateReader &r)
+{
+    r.checkTag("MCOR");
+    const auto mode = static_cast<Mode>(r.u8());
+    if (mode != mode_)
+        fatal("core state was saved in ",
+              mode == Mode::Ximd ? "ximd" : "vliw",
+              " mode, this machine runs ",
+              mode_ == Mode::Ximd ? "ximd" : "vliw");
+    cycle_ = r.u64();
+    faulted_ = r.boolean();
+    faultMsg_ = r.str();
+    doneNotified_ = r.boolean();
+
+    const FuId n = numFus();
+    if (r.count(kMaxFus) != n)
+        fatal("core state FU count does not match this machine");
+    for (InstAddr &pc : pcs_)
+        pc = r.u32();
+    if (r.count(kMaxFus) != n)
+        fatal("core state halt-flag count does not match this machine");
+    for (FuId fu = 0; fu < n; ++fu)
+        haltedFus_[fu] = r.boolean();
+    if (r.count(kMaxFus) != n)
+        fatal("core state sync-history count does not match this "
+              "machine");
+    for (SyncVal &v : syncPrev_)
+        v = static_cast<SyncVal>(r.u8());
+    syncOverrides_.resize(r.count(1u << 16));
+    for (SyncOverride &o : syncOverrides_) {
+        o.fu = r.u32();
+        o.val = static_cast<SyncVal>(r.u8());
+        o.until = r.u64();
+    }
+
+    regs_.loadState(r);
+    mem_.loadState(r);
+    ccs_.loadState(r);
+    pipe_.loadState(r);
+    sync_.loadState(r);
+
+    // Per-cycle scratch is recomputed by the next step(); the spin
+    // hint must not survive a restore (it refers to the pre-restore
+    // cycle's fetch).
+    spinHint_ = false;
+}
+
+std::uint64_t
+MachineCore::archStateHash() const
+{
+    Hash64 h;
+    regs_.hashContents(h);
+    mem_.hashContents(h);
+    ccs_.hashContents(h);
+    return h.digest();
 }
 
 } // namespace ximd

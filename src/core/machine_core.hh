@@ -52,6 +52,7 @@
 #include "sim/sequencer.hh"
 #include "sim/sync_bus.hh"
 #include "sim/write_pipeline.hh"
+#include "support/state_io.hh"
 
 namespace ximd {
 
@@ -152,6 +153,56 @@ class MachineCore
     Word peekMem(Addr addr) const { return mem_.peek(addr); }
     /// @}
 
+    /// @name Fault injection (snapshot/fault.hh).
+    /// @{
+    /**
+     * Force FU @p fu's sync signal to @p val for every cycle c with
+     * c < @p untilCycle (a stuck-at SS line). The override is applied
+     * after the executing parcels drive the bus, so branches and
+     * barriers observe the stuck value; under registeredSync it
+     * propagates into the next cycle's registered values the same way
+     * a genuinely driven value would. Overrides expire on their own
+     * and disable busy-wait fast-forward while active.
+     */
+    void forceSync(FuId fu, SyncVal val, Cycle untilCycle);
+
+    /** True when any forceSync() override is still active. */
+    bool hasSyncOverrides() const;
+    /// @}
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /**
+     * Serialize the complete execution state: control state (cycle,
+     * PCs, halt flags, fault state, registered-sync history, active
+     * sync overrides) followed by every component's section. Does NOT
+     * include the program or config — the snapshot layer records a
+     * program digest and the config fields needed to validate a
+     * restore target.
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state saved by saveState() into this core. The core
+     * must have been built from an identical program and config
+     * (validated structurally here — FU counts, memory size, latency —
+     * and by digest in the snapshot layer). Throws FatalError on any
+     * mismatch; the core may be left partially restored.
+     */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the complete execution state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+
+    /**
+     * Hash of the architectural contents only: register values,
+     * memory words, condition codes. Two runs that computed the same
+     * results agree on this hash even when they took different paths
+     * (used by the differential tests and fault-outcome triage).
+     */
+    std::uint64_t archStateHash() const;
+    /// @}
+
   private:
     void validateVliwProgram() const;
     void applyMemInit();
@@ -165,6 +216,9 @@ class MachineCore
 
     /** Notify observers once when the machine becomes done. */
     void notifyDone();
+
+    /** Drop expired sync overrides; force the rest onto @p bus. */
+    void applySyncOverrides(SyncBus &bus);
 
     /**
      * Prove the machine is in a busy-wait fixpoint and, if so, skip
@@ -191,12 +245,23 @@ class MachineCore
     std::vector<InstAddr> pcs_;
     std::vector<bool> haltedFus_;
 
+    /** A stuck-at SS line: FU @p fu reads @p val while cycle < until. */
+    struct SyncOverride
+    {
+        FuId fu;
+        SyncVal val;
+        Cycle until;
+    };
+    std::vector<SyncOverride> syncOverrides_;
+
     Cycle cycle_ = 0;
     bool faulted_ = false;
     std::string faultMsg_;
     bool doneNotified_ = false;
 
     std::vector<CycleObserver *> observers_;
+    /** Subset of observers_ whose perturbs() returned true. */
+    std::vector<CycleObserver *> perturbers_;
 
     // Per-cycle scratch, sized once (no allocation inside step()).
     std::vector<const DecodedParcel *> fetched_;

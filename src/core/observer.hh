@@ -27,6 +27,22 @@
  *  - onHalt(core) fires once per run, when the machine becomes
  *    architecturally done (all FUs halted and write-backs drained) or
  *    faults.
+ *
+ * Mutating observers (the fault-injection engine, src/snapshot/fault.hh)
+ * additionally implement the perturbation hooks:
+ *
+ *  - perturbs() declares the intent to mutate; the core only pays for
+ *    the mutable dispatch when at least one attached observer returns
+ *    true.
+ *  - onPerturb(core) fires right after onCycle() with a *mutable* core
+ *    reference, before fetch, so injected register / CC / memory /
+ *    sync corruption is visible to the cycle about to execute exactly
+ *    as if the hardware bit had flipped between cycles.
+ *  - nextWake(core) names the earliest future cycle at which the
+ *    observer needs control again. Busy-wait fast-forward must not
+ *    jump over a pending perturbation, so tryFastForward() caps the
+ *    skip at the minimum nextWake() across observers (kNeverWake when
+ *    the observer has no scheduled work).
  */
 
 #ifndef XIMD_CORE_OBSERVER_HH
@@ -41,6 +57,9 @@
 namespace ximd {
 
 class MachineCore;
+
+/** nextWake() value meaning "no scheduled perturbation". */
+inline constexpr Cycle kNeverWake = ~Cycle(0);
 
 /** What one FU did during one committed cycle. */
 struct FuEvent
@@ -87,6 +106,25 @@ class CycleObserver
 
     /** The machine became done (all halted + drained) or faulted. */
     virtual void onHalt(const MachineCore &core) { (void)core; }
+
+    /// @name Perturbation hooks (fault injection).
+    /// @{
+    /** Declare intent to mutate the core from onPerturb(). */
+    virtual bool perturbs() const { return false; }
+
+    /** After onCycle(), before fetch, with a mutable core. */
+    virtual void onPerturb(MachineCore &core) { (void)core; }
+
+    /**
+     * Earliest future cycle this observer must see executed one at a
+     * time; fast-forward will not skip past it. kNeverWake: none.
+     */
+    virtual Cycle nextWake(const MachineCore &core) const
+    {
+        (void)core;
+        return kNeverWake;
+    }
+    /// @}
 };
 
 } // namespace ximd

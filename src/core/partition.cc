@@ -109,4 +109,25 @@ PartitionTracker::formatted() const
     return os.str();
 }
 
+void
+PartitionTracker::saveState(StateWriter &w) const
+{
+    w.tag("PART");
+    w.count(ssetIds_.size());
+    for (int id : ssetIds_)
+        w.u32(static_cast<std::uint32_t>(id));
+}
+
+void
+PartitionTracker::loadState(StateReader &r)
+{
+    r.checkTag("PART");
+    const std::size_t n = r.count(kMaxFus);
+    if (n != ssetIds_.size())
+        fatal("partition state has ", n, " FUs, this machine has ",
+              ssetIds_.size());
+    for (int &id : ssetIds_)
+        id = static_cast<int>(r.u32());
+}
+
 } // namespace ximd

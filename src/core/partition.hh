@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "isa/control_op.hh"
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -68,6 +69,18 @@ class PartitionTracker
 
     /** Paper set notation, e.g. "{0,1}{2}{3,6,7}{4,5}". */
     std::string formatted() const;
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /** Serialize the per-FU SSET assignment. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saved SSET assignment; FU counts must match. */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the serialized state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+    /// @}
 
   private:
     void renumber();

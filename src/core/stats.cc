@@ -181,4 +181,46 @@ RunStats::json(double cycleNs) const
     return os.str();
 }
 
+void
+RunStats::saveState(StateWriter &w) const
+{
+    w.tag("STAT");
+    w.u32(numFus_);
+    w.u64(cycles_);
+    w.u64(parcels_);
+    for (std::uint64_t c : classCounts_)
+        w.u64(c);
+    w.u64(condBranches_);
+    w.u64(takenBranches_);
+    w.u64(busyWaitCycles_);
+    w.count(partitionCycles_.size());
+    for (const auto &[streams, cycles] : partitionCycles_) {
+        w.u32(streams);
+        w.u64(cycles);
+    }
+}
+
+void
+RunStats::loadState(StateReader &r)
+{
+    r.checkTag("STAT");
+    const FuId n = r.u32();
+    if (n != numFus_)
+        fatal("stats state has ", n, " FUs, this machine has ",
+              numFus_);
+    cycles_ = r.u64();
+    parcels_ = r.u64();
+    for (std::uint64_t &c : classCounts_)
+        c = r.u64();
+    condBranches_ = r.u64();
+    takenBranches_ = r.u64();
+    busyWaitCycles_ = r.u64();
+    partitionCycles_.clear();
+    const std::size_t buckets = r.count(kMaxFus + 1);
+    for (std::size_t i = 0; i < buckets; ++i) {
+        const unsigned streams = r.u32();
+        partitionCycles_[streams] = r.u64();
+    }
+}
+
 } // namespace ximd

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "isa/opcode.hh"
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -103,6 +104,18 @@ class RunStats
      * unsplit run, which is what makes farm results reducible.
      */
     RunStats &merge(const RunStats &other);
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /** Serialize every counter. */
+    void saveState(StateWriter &w) const;
+
+    /** Overwrite all counters with saved state; FU counts must match. */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the serialized state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+    /// @}
 
     /** Multi-line human-readable summary. */
     std::string formatted() const;

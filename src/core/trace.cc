@@ -52,4 +52,43 @@ Trace::compact() const
     return os.str();
 }
 
+void
+Trace::saveState(StateWriter &w) const
+{
+    w.tag("TRCE");
+    w.count(entries_.size());
+    for (const TraceEntry &e : entries_) {
+        w.u64(e.cycle);
+        w.count(e.pcs.size());
+        for (InstAddr pc : e.pcs)
+            w.u32(pc);
+        w.count(e.live.size());
+        for (bool b : e.live)
+            w.boolean(b);
+        w.str(e.condCodes);
+        w.str(e.partition);
+    }
+}
+
+void
+Trace::loadState(StateReader &r)
+{
+    r.checkTag("TRCE");
+    // A trace grows one entry per cycle; the bound only guards
+    // against a corrupt count, not legitimate long runs.
+    entries_.clear();
+    entries_.resize(r.count(std::size_t(1) << 32));
+    for (TraceEntry &e : entries_) {
+        e.cycle = r.u64();
+        e.pcs.resize(r.count(kMaxFus));
+        for (InstAddr &pc : e.pcs)
+            pc = r.u32();
+        e.live.resize(r.count(kMaxFus));
+        for (std::size_t i = 0; i < e.live.size(); ++i)
+            e.live[i] = r.boolean();
+        e.condCodes = r.str();
+        e.partition = r.str();
+    }
+}
+
 } // namespace ximd

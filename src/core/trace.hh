@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -52,6 +53,18 @@ class Trace
      * "0 | 00 00 00 00 | XXXX | {0,1,2,3}". Halted FUs print "--".
      */
     std::string compact() const;
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /** Serialize every recorded entry. */
+    void saveState(StateWriter &w) const;
+
+    /** Replace the recorded entries with saved state. */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the serialized state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+    /// @}
 
   private:
     std::vector<TraceEntry> entries_;

@@ -1,0 +1,258 @@
+#include "farm/campaign.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "farm/farm.hh"
+#include "support/json.hh"
+
+namespace ximd::farm {
+
+namespace {
+
+/** Slot a trial's fixture reports injection data into at teardown. */
+struct TrialScratch
+{
+    unsigned injected = 0;
+    std::vector<std::string> faults;
+};
+
+/**
+ * Wraps the workload's own fixture and owns the trial's injector.
+ * The injector must outlive the run (the core holds a raw observer
+ * pointer), and its application log is only complete once the run
+ * ends — including wedged and faulted runs, where check() is never
+ * called — so the log is harvested in the destructor.
+ */
+class FaultFixture : public JobFixture
+{
+  public:
+    FaultFixture(std::unique_ptr<JobFixture> inner,
+                 std::vector<snapshot::FaultEvent> events,
+                 std::shared_ptr<TrialScratch> scratch)
+        : inner_(std::move(inner)), injector_(std::move(events)),
+          scratch_(std::move(scratch))
+    {
+    }
+
+    ~FaultFixture() override
+    {
+        scratch_->injected = injector_.injected();
+        scratch_->faults = injector_.log();
+    }
+
+    void setUp(Machine &machine) override
+    {
+        if (inner_)
+            inner_->setUp(machine);
+        machine.addObserver(&injector_);
+    }
+
+    std::string check(const Machine &machine,
+                      const RunResult &result) override
+    {
+        return inner_ ? inner_->check(machine, result)
+                      : std::string();
+    }
+
+  private:
+    std::unique_ptr<JobFixture> inner_;
+    snapshot::FaultInjector injector_;
+    std::shared_ptr<TrialScratch> scratch_;
+};
+
+/** "0x0123456789abcdef" — u64 hashes exceed JSON's exact range. */
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+Outcome
+classify(const JobResult &baseline, const JobResult &trial)
+{
+    if (!trial.ran || trial.run.reason == StopReason::Fault)
+        return Outcome::Faulted;
+    if (trial.run.reason == StopReason::MaxCycles)
+        return Outcome::Wedged;
+    // Halted. A remaining error can only be a failed fixture check:
+    // the workload produced wrong results.
+    if (trial.error)
+        return Outcome::Faulted;
+    if (baseline.ran && baseline.run.reason == StopReason::Halted &&
+        trial.run.cycles == baseline.run.cycles &&
+        trial.archHash == baseline.archHash)
+        return Outcome::Unaffected;
+    return Outcome::Degraded;
+}
+
+} // namespace
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Unaffected:
+        return "unaffected";
+      case Outcome::Degraded:
+        return "degraded";
+      case Outcome::Wedged:
+        return "wedged";
+      case Outcome::Faulted:
+        return "faulted";
+    }
+    return "unknown";
+}
+
+std::size_t
+CampaignJob::countOf(Outcome outcome) const
+{
+    std::size_t n = 0;
+    for (const TrialResult &t : trials)
+        if (t.outcome == outcome)
+            ++n;
+    return n;
+}
+
+std::size_t
+CampaignResult::countOf(Outcome outcome) const
+{
+    std::size_t n = 0;
+    for (const CampaignJob &j : jobs)
+        n += j.countOf(outcome);
+    return n;
+}
+
+CampaignResult
+runCampaign(const std::vector<RunSpec> &specs,
+            const snapshot::FaultPlan &plan, unsigned threads)
+{
+    CampaignResult out;
+    out.planSummary = plan.describe();
+
+    // Phase 1: fault-free baselines under the watchdog budget.
+    std::vector<RunSpec> base = specs;
+    for (RunSpec &s : base)
+        s.maxCycles = plan.watchdogCycles;
+    const BatchResult baselines = Farm::run(base, threads);
+
+    // Phase 2: every (spec, trial) pair as an independent job. Each
+    // trial's events are a pure function of (plan seed, trial index),
+    // and each job writes only its own result slot, so the whole
+    // campaign is schedule-independent.
+    std::vector<RunSpec> trialSpecs;
+    std::vector<std::shared_ptr<TrialScratch>> scratch;
+    trialSpecs.reserve(specs.size() * plan.trials);
+    for (const RunSpec &s : specs) {
+        const FuId width = s.program ? s.program->width() : 1;
+        for (unsigned t = 0; t < plan.trials; ++t) {
+            RunSpec ts = s;
+            ts.name = s.name + "/trial=" + std::to_string(t);
+            ts.maxCycles = plan.watchdogCycles;
+            auto sc = std::make_shared<TrialScratch>();
+            const FixtureFactory inner = s.fixture;
+            const auto events = plan.expandTrial(t, width);
+            ts.fixture = [inner, events,
+                          sc](const RunSpec &spec) {
+                std::unique_ptr<JobFixture> wrapped;
+                if (inner)
+                    wrapped = inner(spec);
+                return std::make_unique<FaultFixture>(
+                    std::move(wrapped), events, sc);
+            };
+            scratch.push_back(std::move(sc));
+            trialSpecs.push_back(std::move(ts));
+        }
+    }
+    const BatchResult trials = Farm::run(trialSpecs, threads);
+
+    // Phase 3: classify in spec order.
+    out.jobs.reserve(specs.size());
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const JobResult &baseline = baselines.jobs[i];
+        CampaignJob job;
+        job.name = specs[i].name;
+        job.baselineOk =
+            baseline.ran && baseline.run.reason == StopReason::Halted;
+        job.baselineCycles = baseline.run.cycles;
+        job.baselineArchHash = baseline.archHash;
+        job.trials.reserve(plan.trials);
+        for (unsigned t = 0; t < plan.trials; ++t, ++at) {
+            const JobResult &res = trials.jobs[at];
+            TrialResult tr;
+            tr.trial = t;
+            tr.outcome = classify(baseline, res);
+            tr.injected = scratch[at]->injected;
+            tr.faults = scratch[at]->faults;
+            tr.cycles = res.run.cycles;
+            tr.archHash = res.archHash;
+            job.trials.push_back(std::move(tr));
+        }
+        out.jobs.push_back(std::move(job));
+    }
+    return out;
+}
+
+std::string
+CampaignResult::json() const
+{
+    json::Value root = json::Value::object();
+    root.set("plan", planSummary);
+
+    json::Value arr = json::Value::array();
+    for (const CampaignJob &j : jobs) {
+        json::Value o = json::Value::object();
+        o.set("name", j.name);
+        json::Value b = json::Value::object();
+        b.set("ok", j.baselineOk);
+        b.set("cycles", static_cast<std::uint64_t>(j.baselineCycles));
+        b.set("arch_hash", hex64(j.baselineArchHash));
+        o.set("baseline", std::move(b));
+
+        json::Value ts = json::Value::array();
+        for (const TrialResult &t : j.trials) {
+            json::Value v = json::Value::object();
+            v.set("trial", static_cast<std::uint64_t>(t.trial));
+            v.set("outcome", outcomeName(t.outcome));
+            v.set("injected",
+                  static_cast<std::uint64_t>(t.injected));
+            v.set("cycles", static_cast<std::uint64_t>(t.cycles));
+            v.set("arch_hash", hex64(t.archHash));
+            json::Value fs = json::Value::array();
+            for (const std::string &f : t.faults)
+                fs.push(f);
+            v.set("faults", std::move(fs));
+            ts.push(std::move(v));
+        }
+        o.set("trials", std::move(ts));
+
+        json::Value sum = json::Value::object();
+        for (Outcome oc :
+             {Outcome::Unaffected, Outcome::Degraded, Outcome::Wedged,
+              Outcome::Faulted})
+            sum.set(outcomeName(oc),
+                    static_cast<std::uint64_t>(j.countOf(oc)));
+        o.set("summary", std::move(sum));
+        arr.push(std::move(o));
+    }
+    root.set("jobs", std::move(arr));
+
+    json::Value total = json::Value::object();
+    std::size_t trials = 0;
+    for (const CampaignJob &j : jobs)
+        trials += j.trials.size();
+    total.set("trials", static_cast<std::uint64_t>(trials));
+    for (Outcome oc : {Outcome::Unaffected, Outcome::Degraded,
+                       Outcome::Wedged, Outcome::Faulted})
+        total.set(outcomeName(oc),
+                  static_cast<std::uint64_t>(countOf(oc)));
+    root.set("summary", std::move(total));
+
+    return root.dump(2);
+}
+
+} // namespace ximd::farm

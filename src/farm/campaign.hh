@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-injection campaigns: seeded fault trials over a batch of
+ * workloads, with outcome triage against fault-free baselines.
+ *
+ * A campaign takes the RunSpecs of a batch (typically the built-in
+ * section 4.1 suite) and a snapshot::FaultPlan, then:
+ *
+ *  1. runs every spec clean under the plan's watchdog budget — the
+ *     baseline trajectory (cycle count, final architectural hash);
+ *  2. runs plan.trials perturbed copies of every spec, each with a
+ *     FaultInjector carrying expandTrial(t)'s events;
+ *  3. classifies each trial against its baseline:
+ *
+ *     - unaffected:  halted with the baseline's cycle count AND the
+ *                    baseline's architectural hash (the fault was
+ *                    masked — hit dead state or was overwritten);
+ *     - degraded:    halted, fixture correctness check still passed,
+ *                    but trajectory or final state differ (took
+ *                    longer / left different scratch state, results
+ *                    still correct);
+ *     - wedged:      still running when the watchdog budget expired
+ *                    (e.g. a stuck-BUSY sync line parked a barrier);
+ *     - faulted:     machine fault (write conflict, bad address) or
+ *                    wrong results (fixture check failed).
+ *
+ * Everything is deterministic at any thread count: trials are pure
+ * functions of (spec, plan seed, trial index), the farm writes
+ * results in spec order, and CampaignResult::json() carries no host
+ * timing. `runCampaign(specs, plan, 1)` and `... , 8)` emit
+ * byte-identical reports — enforced by the regression suite.
+ */
+
+#ifndef XIMD_FARM_CAMPAIGN_HH
+#define XIMD_FARM_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "farm/run_spec.hh"
+#include "snapshot/fault.hh"
+
+namespace ximd::farm {
+
+/** Triage class of one fault trial. */
+enum class Outcome : std::uint8_t {
+    Unaffected,
+    Degraded,
+    Wedged,
+    Faulted,
+};
+
+/** "unaffected" / "degraded" / "wedged" / "faulted". */
+const char *outcomeName(Outcome outcome);
+
+/** One perturbed run, classified. */
+struct TrialResult
+{
+    unsigned trial = 0;
+    Outcome outcome = Outcome::Unaffected;
+    unsigned injected = 0; ///< Fault events actually applied.
+    Cycle cycles = 0;
+    std::uint64_t archHash = 0;
+    std::vector<std::string> faults; ///< Applied events, described.
+};
+
+/** One workload's baseline plus its trials. */
+struct CampaignJob
+{
+    std::string name;
+    bool baselineOk = false; ///< Baseline halted cleanly.
+    Cycle baselineCycles = 0;
+    std::uint64_t baselineArchHash = 0;
+    std::vector<TrialResult> trials;
+
+    /** Trials with @p outcome. */
+    std::size_t countOf(Outcome outcome) const;
+};
+
+/** A whole campaign's outcome. */
+struct CampaignResult
+{
+    std::string planSummary; ///< FaultPlan::describe().
+    std::vector<CampaignJob> jobs;
+
+    /** Trials with @p outcome across all jobs. */
+    std::size_t countOf(Outcome outcome) const;
+
+    /**
+     * Deterministic JSON report: plan summary, per-job baselines and
+     * classified trials (hashes as hex strings — they exceed JSON's
+     * exact-integer range), outcome tallies. No host timing; byte-
+     * identical across thread counts.
+     */
+    std::string json() const;
+};
+
+/**
+ * Run the campaign described by @p plan over @p specs.
+ * @param threads  worker count, as Farm::run.
+ */
+CampaignResult runCampaign(const std::vector<RunSpec> &specs,
+                           const snapshot::FaultPlan &plan,
+                           unsigned threads = 0);
+
+} // namespace ximd::farm
+
+#endif // XIMD_FARM_CAMPAIGN_HH

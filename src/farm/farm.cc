@@ -6,7 +6,9 @@
 #include <thread>
 #include <utility>
 
+#include "snapshot/snapshot.hh"
 #include "support/json.hh"
+#include "support/logging.hh"
 
 namespace ximd::farm {
 
@@ -40,6 +42,36 @@ stopName(StopReason reason)
     return "unknown";
 }
 
+/**
+ * Run @p machine to completion, writing a checkpoint to
+ * spec.checkpointPath at every checkpointEvery-cycle boundary. The
+ * budget is absolute — resumed machines get the remainder, not a
+ * fresh allowance — and the trajectory is identical to an
+ * uncheckpointed run (chunked run() calls compose exactly).
+ */
+RunResult
+runWithCheckpoints(Machine &machine, const RunSpec &spec)
+{
+    const Cycle budget =
+        spec.maxCycles ? spec.maxCycles
+                       : spec.config.defaultMaxCycles;
+    const Cycle limit = machine.cycle() + budget;
+    for (;;) {
+        const Cycle left = limit - machine.cycle();
+        const Cycle chunk = spec.checkpointEvery < left
+                                ? spec.checkpointEvery
+                                : left;
+        const RunResult run = machine.run(chunk);
+        if (run.reason != StopReason::MaxCycles ||
+            machine.cycle() >= limit)
+            return run;
+        auto saved = snapshot::saveFile(machine, spec.checkpointPath,
+                                        spec.name);
+        if (!saved)
+            fatal(saved.error().formatted());
+    }
+}
+
 } // namespace
 
 JobResult
@@ -63,11 +95,25 @@ Farm::runOne(const RunSpec &spec)
                 fixture->setUp(machine);
         }
 
-        const RunResult run = machine.run(spec.maxCycles);
+        if (!spec.resumeFrom.empty()) {
+            auto restored =
+                snapshot::restoreFile(machine, spec.resumeFrom);
+            if (!restored) {
+                res.error =
+                    runFailure(restored.error().formatted());
+                return res;
+            }
+        }
+
+        const RunResult run =
+            spec.checkpointEvery > 0 && !spec.checkpointPath.empty()
+                ? runWithCheckpoints(machine, spec)
+                : machine.run(spec.maxCycles);
         res.ran = true;
         res.run = run;
         res.stats = machine.stats();
         res.statsJson = res.stats.json(spec.config.cycleTimeNs);
+        res.archHash = machine.archStateHash();
 
         if (run.reason == StopReason::Fault) {
             res.error = runFailure("simulation fault: " +

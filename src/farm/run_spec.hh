@@ -91,6 +91,22 @@ struct RunSpec
 
     /** Optional per-run environment builder (may be empty). */
     FixtureFactory fixture;
+
+    /// @name Checkpoint / resume (src/snapshot/).
+    ///
+    /// Checkpointing changes nothing about the result: the job's
+    /// statsJson and final state are byte-identical with and without
+    /// it, because a snapshot boundary is invisible to the machine.
+    /// @{
+    /** Write a checkpoint every N executed cycles (0: never). */
+    Cycle checkpointEvery = 0;
+
+    /** Snapshot file periodic checkpoints overwrite. */
+    std::string checkpointPath;
+
+    /** Snapshot file to restore (after fixture setUp) before running. */
+    std::string resumeFrom;
+    /// @}
 };
 
 /** Outcome of one RunSpec. */
@@ -115,6 +131,14 @@ struct JobResult
 
     /** Structured failure: load error, fault, wedge, or check fail. */
     std::optional<analysis::Diagnostic> error;
+
+    /**
+     * Hash of the final architectural contents (registers, memory,
+     * condition codes; see MachineCore::archStateHash). Meaningful
+     * when `ran`; the campaign engine and differential tests compare
+     * these across runs.
+     */
+    std::uint64_t archHash = 0;
 
     /** Host wall time spent on this job (informational only). */
     double hostMillis = 0.0;

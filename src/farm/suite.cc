@@ -13,6 +13,7 @@
 #include "workloads/loop12.hh"
 #include "workloads/minmax.hh"
 #include "workloads/nonblocking.hh"
+#include "workloads/reference.hh"
 
 namespace ximd::farm {
 
@@ -218,6 +219,98 @@ programKey(const std::string &workload, Mode mode, unsigned n,
     return key;
 }
 
+/**
+ * Post-run correctness check against the plain-C++ reference models.
+ * Every deterministic workload gets one, so a failed job means wrong
+ * *results*, not just a fault — which is also what lets fault
+ * campaigns (farm/campaign.hh) separate "degraded but correct" from
+ * "produced wrong answers". Inputs are regenerated from (n, seed)
+ * with the same recipe buildProgram used.
+ */
+class ResultCheckFixture : public JobFixture
+{
+  public:
+    using Checker = std::function<std::string(const Machine &)>;
+
+    explicit ResultCheckFixture(Checker checker)
+        : checker_(std::move(checker))
+    {
+    }
+
+    std::string check(const Machine &machine,
+                      const RunResult &result) override
+    {
+        (void)result;
+        return checker_(machine);
+    }
+
+  private:
+    Checker checker_;
+};
+
+FixtureFactory
+resultCheckFactory(const std::string &workload, unsigned n,
+                   std::uint64_t seed)
+{
+    ResultCheckFixture::Checker checker;
+    if (workload == "tproc") {
+        checker = [](const Machine &m) -> std::string {
+            if (wordToInt(m.readRegByName("f")) !=
+                workloads::referenceTproc(3, -4, 7, 11))
+                return "tproc: f differs from reference";
+            return {};
+        };
+    } else if (workload == "minmax") {
+        checker = [n, seed](const Machine &m) -> std::string {
+            Rng rng(seed);
+            const auto data = signedData(rng, n);
+            const auto [lo, hi] = workloads::referenceMinmax(data);
+            if (wordToInt(m.readRegByName("min")) != lo)
+                return "minmax: min differs from reference";
+            if (wordToInt(m.readRegByName("max")) != hi)
+                return "minmax: max differs from reference";
+            return {};
+        };
+    } else if (workload == "multisearch") {
+        checker = [n, seed](const Machine &m) -> std::string {
+            Rng rng(seed);
+            const auto data = signedData(rng, n);
+            const auto expect =
+                workloads::referenceMultiSearch(6, data);
+            for (unsigned s = 0; s < 6; ++s) {
+                if (m.readRegByName("c" + std::to_string(s)) !=
+                    expect[s])
+                    return "multisearch: c" + std::to_string(s) +
+                           " differs from reference";
+            }
+            return {};
+        };
+    } else if (workload == "bitcount" ||
+               workload == "bitcount-lockstep") {
+        checker = [n, seed](const Machine &m) -> std::string {
+            const unsigned rounded = std::max(4u, (n + 3u) & ~3u);
+            std::vector<Word> data(rounded);
+            Rng rng(seed);
+            for (Word &v : data)
+                v = static_cast<Word>(rng.next64() & 0xFFFFF);
+            const auto expect =
+                workloads::referenceBitcountCumulative(data);
+            const Word b0 = m.program().symbolOrDie("B0");
+            for (std::size_t i = 0; i <= data.size(); ++i)
+                if (m.peekMem(static_cast<Addr>(b0 + i)) != expect[i])
+                    return "bitcount: B[" + std::to_string(i) +
+                           "] differs from reference";
+            return {};
+        };
+    }
+    // loop12 (float pipeline) keeps its coverage in tests/workloads/.
+    if (!checker)
+        return {};
+    return [checker](const RunSpec &) {
+        return std::make_unique<ResultCheckFixture>(checker);
+    };
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -265,6 +358,9 @@ makeWorkloadSpec(const WorkloadRequest &req, ProgramCache *cache)
     spec.maxCycles = req.maxCycles;
     if (def.usesIo)
         spec.fixture = nonblockingFixtureFactory();
+    else
+        spec.fixture =
+            resultCheckFactory(req.workload, req.n, req.seed);
 
     try {
         const std::string key =

@@ -58,6 +58,51 @@ CondCodeFile::poke(FuId fu, bool value)
     everWritten_[fu] = true;
 }
 
+void
+CondCodeFile::saveState(StateWriter &w) const
+{
+    w.tag("CCND");
+    w.count(cur_.size());
+    for (FuId i = 0; i < cur_.size(); ++i) {
+        w.boolean(cur_[i]);
+        w.boolean(everWritten_[i]);
+    }
+    w.count(pending_.size());
+    for (const Pending &p : pending_) {
+        w.u32(p.fu);
+        w.boolean(p.value);
+    }
+}
+
+void
+CondCodeFile::loadState(StateReader &r)
+{
+    r.checkTag("CCND");
+    const std::size_t n = r.count(kMaxFus);
+    if (n != cur_.size())
+        fatal("condition-code state has ", n, " FUs, this machine has ",
+              cur_.size());
+    for (FuId i = 0; i < cur_.size(); ++i) {
+        cur_[i] = r.boolean();
+        everWritten_[i] = r.boolean();
+    }
+    pending_.resize(r.count(kMaxFus * kMaxFus));
+    for (Pending &p : pending_) {
+        p.fu = r.u32();
+        p.value = r.boolean();
+        checkIndex(p.fu);
+    }
+}
+
+void
+CondCodeFile::hashContents(Hash64 &h) const
+{
+    for (FuId i = 0; i < cur_.size(); ++i) {
+        h.boolean(cur_[i]);
+        h.boolean(everWritten_[i]);
+    }
+}
+
 std::string
 CondCodeFile::formatted() const
 {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -53,6 +54,21 @@ class CondCodeFile
      * 'T' / 'F', or 'X' for CCs never written yet.
      */
     std::string formatted() const;
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /** Serialize full state (values, ever-written flags, queue). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved by saveState(); FU counts must match. */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the serialized state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+
+    /** Fold only the architectural contents (CC values) into @p h. */
+    void hashContents(Hash64 &h) const;
+    /// @}
 
   private:
     void checkIndex(FuId fu) const;

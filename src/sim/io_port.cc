@@ -41,6 +41,46 @@ ScriptedInputPort::write(Addr, Word, Cycle)
     ++ignoredWrites_;
 }
 
+void
+ScriptedInputPort::delayPending(Cycle extra)
+{
+    for (Item &item : queue_)
+        item.arrival += extra;
+}
+
+void
+ScriptedInputPort::saveState(StateWriter &w) const
+{
+    w.tag("IPRT");
+    w.str(name_);
+    w.count(queue_.size());
+    for (const Item &item : queue_) {
+        w.u64(item.arrival);
+        w.u32(item.value);
+    }
+    w.u64(emptyPolls_);
+    w.u64(consumed_);
+    w.u64(ignoredWrites_);
+}
+
+void
+ScriptedInputPort::loadState(StateReader &r)
+{
+    r.checkTag("IPRT");
+    const std::string name = r.str();
+    if (name != name_)
+        fatal("input port state is for '", name, "', this port is '",
+              name_, "'");
+    queue_.resize(r.count(1u << 24));
+    for (Item &item : queue_) {
+        item.arrival = r.u64();
+        item.value = r.u32();
+    }
+    emptyPolls_ = r.u64();
+    consumed_ = r.u64();
+    ignoredWrites_ = r.u64();
+}
+
 OutputPort::OutputPort(std::string name)
     : name_(std::move(name))
 {
@@ -58,6 +98,33 @@ void
 OutputPort::write(Addr, Word value, Cycle now)
 {
     records_.push_back({now, value});
+}
+
+void
+OutputPort::saveState(StateWriter &w) const
+{
+    w.tag("OPRT");
+    w.str(name_);
+    w.count(records_.size());
+    for (const Record &rec : records_) {
+        w.u64(rec.cycle);
+        w.u32(rec.value);
+    }
+}
+
+void
+OutputPort::loadState(StateReader &r)
+{
+    r.checkTag("OPRT");
+    const std::string name = r.str();
+    if (name != name_)
+        fatal("output port state is for '", name, "', this port is '",
+              name_, "'");
+    records_.resize(r.count(1u << 24));
+    for (Record &rec : records_) {
+        rec.cycle = r.u64();
+        rec.value = r.u32();
+    }
 }
 
 } // namespace ximd

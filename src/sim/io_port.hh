@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -37,6 +38,17 @@ class IoDevice
 
     /** Human-readable name for diagnostics. */
     virtual std::string name() const = 0;
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    ///
+    /// Devices are attached by fixtures, not owned by the machine, so
+    /// a snapshot stores each window's device state in attachment
+    /// order and restore requires the same windows to be re-attached
+    /// first. Stateless devices can keep the no-op defaults.
+    /// @{
+    virtual void saveState(StateWriter &w) const { (void)w; }
+    virtual void loadState(StateReader &r) { (void)r; }
+    /// @}
 };
 
 /**
@@ -67,6 +79,15 @@ class ScriptedInputPort : public IoDevice
 
     /** True when all scheduled values have been consumed. */
     bool drained() const { return queue_.empty(); }
+
+    /**
+     * Push every not-yet-consumed arrival @p extra cycles into the
+     * future (the fault engine's I/O delay perturbation).
+     */
+    void delayPending(Cycle extra);
+
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     struct Item
@@ -100,6 +121,9 @@ class OutputPort : public IoDevice
 
     /** All words written, in commit order. */
     const std::vector<Record> &records() const { return records_; }
+
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     std::string name_;

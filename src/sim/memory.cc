@@ -120,4 +120,130 @@ Memory::peek(Addr addr) const
     return words_[addr];
 }
 
+std::vector<IoDevice *>
+Memory::attachedDevices() const
+{
+    std::vector<IoDevice *> out;
+    out.reserve(windows_.size());
+    for (const DeviceWindow &w : windows_)
+        out.push_back(w.device);
+    return out;
+}
+
+void
+Memory::saveState(StateWriter &w) const
+{
+    w.tag("MEMY");
+    w.u64(words_.size());
+    w.u8(static_cast<std::uint8_t>(policy_));
+
+    // Run-length encode the word array: (count, value) pairs. The
+    // idealized memory is 2^20 words and almost entirely zero, so
+    // this keeps snapshots compact without a real compressor.
+    std::uint64_t runs = 0;
+    for (std::size_t i = 0; i < words_.size();) {
+        std::size_t j = i + 1;
+        while (j < words_.size() && words_[j] == words_[i])
+            ++j;
+        ++runs;
+        i = j;
+    }
+    w.count(runs);
+    for (std::size_t i = 0; i < words_.size();) {
+        std::size_t j = i + 1;
+        while (j < words_.size() && words_[j] == words_[i])
+            ++j;
+        w.u64(j - i);
+        w.u32(words_[i]);
+        i = j;
+    }
+
+    w.count(pending_.size());
+    for (const PendingStore &p : pending_) {
+        w.u32(p.addr);
+        w.u32(p.value);
+        w.u32(p.fu);
+    }
+    w.u64(loads_);
+    w.u64(stores_);
+
+    w.count(windows_.size());
+    for (const DeviceWindow &win : windows_) {
+        w.u32(win.lo);
+        w.u32(win.hi);
+        w.str(win.device->name());
+        win.device->saveState(w);
+    }
+}
+
+void
+Memory::loadState(StateReader &r)
+{
+    r.checkTag("MEMY");
+    const std::uint64_t size = r.u64();
+    if (size != words_.size())
+        fatal("memory state has ", size, " words, this machine has ",
+              words_.size());
+    const auto policy = static_cast<ConflictPolicy>(r.u8());
+    if (policy != policy_)
+        fatal("memory state was saved under a different conflict "
+              "policy");
+
+    const std::size_t runs = r.count(words_.size());
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < runs; ++i) {
+        const std::uint64_t len = r.u64();
+        const Word value = r.u32();
+        if (len > words_.size() - at)
+            fatal("memory state run overflows the word array at word ",
+                  at);
+        for (std::uint64_t k = 0; k < len; ++k)
+            words_[at++] = value;
+    }
+    if (at != words_.size())
+        fatal("memory state covers ", at, " of ", words_.size(),
+              " words");
+
+    pending_.resize(r.count(words_.size()));
+    for (PendingStore &p : pending_) {
+        p.addr = r.u32();
+        p.value = r.u32();
+        p.fu = r.u32();
+    }
+    loads_ = r.u64();
+    stores_ = r.u64();
+
+    const std::size_t nwin = r.count(1u << 16);
+    if (nwin != windows_.size())
+        fatal("memory state has ", nwin, " device windows, this "
+              "machine has ", windows_.size(),
+              " (restore requires the fixture to re-attach the same "
+              "devices first)");
+    for (DeviceWindow &win : windows_) {
+        const Addr lo = r.u32();
+        const Addr hi = r.u32();
+        const std::string name = r.str();
+        if (lo != win.lo || hi != win.hi || name != win.device->name())
+            fatal("memory state window [", lo, ", ", hi, "] '", name,
+                  "' does not match attached window [", win.lo, ", ",
+                  win.hi, "] '", win.device->name(), "'");
+        win.device->loadState(r);
+    }
+}
+
+void
+Memory::hashContents(Hash64 &h) const
+{
+    // Hash as runs so the cost tracks occupancy, not capacity: the
+    // idealized memory is 2^20 words and campaigns hash every job.
+    for (std::size_t i = 0; i < words_.size();) {
+        std::size_t j = i + 1;
+        while (j < words_.size() && words_[j] == words_[i])
+            ++j;
+        h.u64(j - i);
+        h.u32(words_[i]);
+        i = j;
+    }
+}
+
 } // namespace ximd

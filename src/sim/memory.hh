@@ -63,11 +63,45 @@ class Memory
     /** True when any device window is attached. */
     bool hasDevices() const { return !windows_.empty(); }
 
+    /** True when @p addr falls inside an attached device window. */
+    bool inDeviceWindow(Addr addr) const
+    {
+        return findWindow(addr) != nullptr;
+    }
+
     /** Total loads performed. */
     std::uint64_t loadCount() const { return loads_; }
 
     /** Total stores committed. */
     std::uint64_t storeCount() const { return stores_; }
+
+    /** Devices attached, in attachment order (fault-engine access). */
+    std::vector<IoDevice *> attachedDevices() const;
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /**
+     * Serialize full state. The word array is run-length encoded
+     * (idealized memory is overwhelmingly zero), pending stores and
+     * counters follow, then each attached device's state in
+     * attachment order.
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state saved by saveState(). The memory must have the
+     * same word count and conflict policy, and the same device
+     * windows must already be attached (restore callers re-run their
+     * fixture setup first); throws FatalError otherwise.
+     */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the serialized state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+
+    /** Fold only the architectural contents (RAM words) into @p h. */
+    void hashContents(Hash64 &h) const;
+    /// @}
 
   private:
     struct DeviceWindow

@@ -80,4 +80,53 @@ RegisterFile::poke(RegId r, Word value)
     regs_[r] = value;
 }
 
+void
+RegisterFile::saveState(StateWriter &w) const
+{
+    w.tag("REGS");
+    w.u16(count_);
+    w.u8(static_cast<std::uint8_t>(policy_));
+    for (Word v : regs_)
+        w.u32(v);
+    w.count(pending_.size());
+    for (const PendingWrite &p : pending_) {
+        w.u16(p.reg);
+        w.u32(p.value);
+        w.u32(p.fu);
+    }
+    w.u64(reads_);
+    w.u64(writes_);
+}
+
+void
+RegisterFile::loadState(StateReader &r)
+{
+    r.checkTag("REGS");
+    const RegId count = r.u16();
+    if (count != count_)
+        fatal("register-file state has ", count, " registers, this "
+              "machine has ", count_);
+    const auto policy = static_cast<ConflictPolicy>(r.u8());
+    if (policy != policy_)
+        fatal("register-file state was saved under a different "
+              "conflict policy");
+    for (Word &v : regs_)
+        v = r.u32();
+    pending_.resize(r.count(kNumRegisters * kMaxFus));
+    for (PendingWrite &p : pending_) {
+        p.reg = r.u16();
+        p.value = r.u32();
+        p.fu = r.u32();
+    }
+    reads_ = r.u64();
+    writes_ = r.u64();
+}
+
+void
+RegisterFile::hashContents(Hash64 &h) const
+{
+    for (Word v : regs_)
+        h.u32(v);
+}
+
 } // namespace ximd

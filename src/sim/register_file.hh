@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -61,6 +62,25 @@ class RegisterFile
 
     /** Total committed writes. */
     std::uint64_t writeCount() const { return writes_; }
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /** Serialize full state (contents, queued writes, counters). */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state saved by saveState(). The file must have been
+     * constructed with the same register count and conflict policy;
+     * throws FatalError otherwise.
+     */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the serialized state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+
+    /** Fold only the architectural contents (register values) into @p h. */
+    void hashContents(Hash64 &h) const;
+    /// @}
 
   private:
     struct PendingWrite

@@ -69,6 +69,27 @@ SyncBus::anyDone(std::uint32_t mask) const
     return false;
 }
 
+void
+SyncBus::saveState(StateWriter &w) const
+{
+    w.tag("SYNC");
+    w.count(vals_.size());
+    for (SyncVal v : vals_)
+        w.u8(static_cast<std::uint8_t>(v));
+}
+
+void
+SyncBus::loadState(StateReader &r)
+{
+    r.checkTag("SYNC");
+    const std::size_t n = r.count(kMaxFus);
+    if (n != vals_.size())
+        fatal("sync-bus state has ", n, " FUs, this machine has ",
+              vals_.size());
+    for (auto &v : vals_)
+        v = static_cast<SyncVal>(r.u8());
+}
+
 std::string
 SyncBus::formatted() const
 {

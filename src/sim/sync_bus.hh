@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "isa/control_op.hh"
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -51,6 +52,17 @@ class SyncBus
 
     /** One char per FU: 'D' or 'B'. */
     std::string formatted() const;
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    ///
+    /// SS values are per-cycle combinational state, re-driven from
+    /// the executing parcels at every fetch; they are serialized
+    /// anyway so a snapshot is a complete bit-image of the machine.
+    /// @{
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+    /// @}
 
   private:
     void checkIndex(FuId fu) const;

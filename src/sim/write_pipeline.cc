@@ -70,4 +70,63 @@ WritePipeline::squash()
     mems_.clear();
 }
 
+void
+WritePipeline::saveState(StateWriter &w) const
+{
+    w.tag("PIPE");
+    w.u32(latency_);
+    w.count(regs_.size());
+    for (const RegWrite &x : regs_) {
+        w.u64(x.due);
+        w.u32(x.reg);
+        w.u32(x.value);
+        w.u32(x.fu);
+    }
+    w.count(ccs_.size());
+    for (const CcWrite &x : ccs_) {
+        w.u64(x.due);
+        w.u32(x.fu);
+        w.boolean(x.value);
+    }
+    w.count(mems_.size());
+    for (const MemWrite &x : mems_) {
+        w.u64(x.due);
+        w.u32(x.addr);
+        w.u32(x.value);
+        w.u32(x.fu);
+    }
+}
+
+void
+WritePipeline::loadState(StateReader &r)
+{
+    r.checkTag("PIPE");
+    const unsigned latency = r.u32();
+    if (latency != latency_)
+        fatal("write-pipeline state has latency ", latency,
+              ", this machine has ", latency_);
+    const std::size_t maxInFlight =
+        static_cast<std::size_t>(latency_) * kMaxFus * 4;
+    regs_.resize(r.count(maxInFlight));
+    for (RegWrite &x : regs_) {
+        x.due = r.u64();
+        x.reg = r.u32();
+        x.value = r.u32();
+        x.fu = r.u32();
+    }
+    ccs_.resize(r.count(maxInFlight));
+    for (CcWrite &x : ccs_) {
+        x.due = r.u64();
+        x.fu = r.u32();
+        x.value = r.boolean();
+    }
+    mems_.resize(r.count(maxInFlight));
+    for (MemWrite &x : mems_) {
+        x.due = r.u64();
+        x.addr = r.u32();
+        x.value = r.u32();
+        x.fu = r.u32();
+    }
+}
+
 } // namespace ximd

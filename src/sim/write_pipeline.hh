@@ -27,6 +27,7 @@
 #include "sim/cond_codes.hh"
 #include "sim/memory.hh"
 #include "sim/register_file.hh"
+#include "support/state_io.hh"
 #include "support/types.hh"
 
 namespace ximd {
@@ -59,6 +60,18 @@ class WritePipeline
 
     /** Drop all in-flight writes (machine fault). */
     void squash();
+
+    /// @name Checkpointing (see DESIGN.md section 9).
+    /// @{
+    /** Serialize all in-flight write-backs. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved by saveState(); latencies must match. */
+    void loadState(StateReader &r);
+
+    /** Stable 64-bit hash of the serialized state. */
+    std::uint64_t stateHash() const { return stateHashOf(*this); }
+    /// @}
 
   private:
     struct RegWrite

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Seeded transient-fault injection for robustness campaigns.
+ *
+ * The fault model covers the XIMD-1's state elements and the two
+ * machine-level disturbance channels the paper's architecture exposes
+ * (sections 2.2-2.3, 3.4):
+ *
+ *  - reg-flip:   one bit of one global register flips;
+ *  - cc-flip:    one FU's condition-code register inverts;
+ *  - mem-flip:   one bit of one RAM word flips;
+ *  - stuck-sync: one FU's SS line reads a forced value for a span of
+ *                cycles (a stuck-at fault on the distribution bus);
+ *  - io-delay:   every scripted input port's pending arrivals slip by
+ *                a number of cycles (an external-latency perturbation).
+ *
+ * A FaultPlan is the seeded generator: expandTrial(t) maps trial index
+ * t to a concrete list of FaultEvents as a pure function of (plan
+ * seed, t), so campaigns are reproducible at any thread count. The
+ * FaultInjector applies events through the CycleObserver perturbation
+ * hooks (core/observer.hh): onPerturb() fires before the chosen
+ * cycle's fetch, and nextWake() keeps busy-wait fast-forward from
+ * skipping an injection cycle.
+ */
+
+#ifndef XIMD_SNAPSHOT_FAULT_HH
+#define XIMD_SNAPSHOT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/observer.hh"
+#include "isa/control_op.hh"
+#include "support/json.hh"
+#include "support/result.hh"
+#include "support/types.hh"
+
+namespace ximd::snapshot {
+
+/** The injectable disturbance channels. */
+enum class FaultKind : std::uint8_t {
+    RegFlip,
+    CcFlip,
+    MemFlip,
+    StuckSync,
+    IoDelay,
+};
+
+/** "reg-flip" / "cc-flip" / "mem-flip" / "stuck-sync" / "io-delay". */
+const char *faultKindName(FaultKind kind);
+
+/** Inverse of faultKindName(); null message on unknown names. */
+Result<FaultKind, std::string> faultKindFromName(const std::string &s);
+
+/** One concrete injection: what happens, where, and when. */
+struct FaultEvent
+{
+    Cycle cycle = 0;       ///< Inject before this cycle's fetch.
+    FaultKind kind = FaultKind::RegFlip;
+    FuId fu = 0;           ///< cc-flip / stuck-sync target.
+    RegId reg = 0;         ///< reg-flip target.
+    Addr addr = 0;         ///< mem-flip target.
+    unsigned bit = 0;      ///< flipped bit (0..31).
+    SyncVal stuck = SyncVal::Busy; ///< stuck-sync forced value.
+    Cycle duration = 1;    ///< stuck-sync span in cycles.
+    Cycle delay = 1;       ///< io-delay slip in cycles.
+
+    /** e.g. "cycle 42: reg-flip r7 bit 13". */
+    std::string describe() const;
+};
+
+/** A seeded campaign description (parsed from a JSON plan file). */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+    unsigned trials = 16;
+    unsigned faultsPerTrial = 1;
+    Cycle windowLo = 1;    ///< Earliest injection cycle.
+    Cycle windowHi = 1000; ///< Latest injection cycle.
+    std::vector<FaultKind> kinds; ///< Enabled channels (all if empty).
+    Addr memLo = 0;        ///< mem-flip address range.
+    Addr memHi = 255;
+    /** Per-trial cycle budget; exceeding it classifies as wedged. */
+    Cycle watchdogCycles = 200'000;
+
+    /**
+     * Parse the JSON plan object:
+     *
+     *     { "seed": 7, "trials": 32, "faults_per_trial": 1,
+     *       "window": [1, 500], "kinds": ["reg-flip", "cc-flip"],
+     *       "mem_range": [0, 255], "watchdog": 200000 }
+     *
+     * Every key is optional; unknown keys are an error (a typo must
+     * not silently weaken a campaign).
+     */
+    static Result<FaultPlan, std::string> parse(const json::Value &v);
+
+    /** Read @p path and parse() it. */
+    static Result<FaultPlan, std::string> load(const std::string &path);
+
+    /** The channels actually drawn from (kinds, or all when empty). */
+    std::vector<FaultKind> effectiveKinds() const;
+
+    /**
+     * The concrete events of trial @p trial on a @p numFus-wide
+     * machine — a pure function of (seed, trial), sorted by cycle.
+     */
+    std::vector<FaultEvent> expandTrial(unsigned trial,
+                                        FuId numFus) const;
+
+    /** One-line summary for reports. */
+    std::string describe() const;
+};
+
+/**
+ * Applies a trial's events to a running core via the perturbation
+ * hooks. Attach with Machine::addObserver() before running; events
+ * whose cycle has already passed (resumed runs) inject at the next
+ * executed cycle.
+ */
+class FaultInjector : public CycleObserver
+{
+  public:
+    explicit FaultInjector(std::vector<FaultEvent> events);
+
+    bool perturbs() const override { return true; }
+    Cycle nextWake(const MachineCore &core) const override;
+    void onPerturb(MachineCore &core) override;
+
+    /** Events applied so far. */
+    unsigned injected() const { return injected_; }
+
+    /** Human-readable record of every applied event. */
+    const std::vector<std::string> &log() const { return log_; }
+
+  private:
+    void apply(MachineCore &core, const FaultEvent &e);
+
+    std::vector<FaultEvent> events_; ///< Sorted by cycle.
+    std::size_t next_ = 0;
+    unsigned injected_ = 0;
+    std::vector<std::string> log_;
+};
+
+} // namespace ximd::snapshot
+
+#endif // XIMD_SNAPSHOT_FAULT_HH

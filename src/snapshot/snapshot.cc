@@ -1,0 +1,330 @@
+#include "snapshot/snapshot.hh"
+
+#include <fstream>
+#include <iterator>
+
+#include "isa/disasm.hh"
+#include "support/logging.hh"
+#include "support/state_io.hh"
+
+namespace ximd::snapshot {
+
+namespace {
+
+/** 8-byte container magic. */
+constexpr char kMagic[9] = "XIMDSNAP";
+
+void
+writeMagic(StateWriter &w)
+{
+    for (int i = 0; i < 8; ++i)
+        w.u8(static_cast<std::uint8_t>(kMagic[i]));
+}
+
+bool
+readMagic(StateReader &r)
+{
+    if (r.remaining() < 8)
+        return false;
+    for (int i = 0; i < 8; ++i)
+        if (r.u8() != static_cast<std::uint8_t>(kMagic[i]))
+            return false;
+    return true;
+}
+
+/** Config fields that shape machine state / resumed behaviour. */
+void
+writeConfig(StateWriter &w, const Machine &m)
+{
+    const MachineConfig &c = m.config();
+    w.tag("CONF");
+    w.u8(static_cast<std::uint8_t>(c.mode));
+    w.u32(m.numFus());
+    w.u64(c.memWords);
+    w.u8(static_cast<std::uint8_t>(c.conflictPolicy));
+    w.boolean(c.registeredSync);
+    w.u32(c.resultLatency);
+    w.u64(c.seed);
+    w.boolean(c.recordTrace);
+    w.boolean(c.trackPartitions);
+    w.boolean(c.collectStats);
+}
+
+/** Compare one config field; fills @p err on mismatch. */
+template <typename T>
+bool
+match(const char *name, T saved, T actual, Error &err)
+{
+    if (saved == actual)
+        return true;
+    err.kind = Error::Kind::ConfigMismatch;
+    err.message = std::string("snapshot was taken under a different '")
+        + name + "' setting";
+    return false;
+}
+
+bool
+checkConfig(StateReader &r, const Machine &m, Error &err)
+{
+    r.checkTag("CONF");
+    const MachineConfig &c = m.config();
+    const auto mode = static_cast<Mode>(r.u8());
+    const FuId fus = r.u32();
+    const std::uint64_t memWords = r.u64();
+    const auto policy = static_cast<ConflictPolicy>(r.u8());
+    const bool regSync = r.boolean();
+    const unsigned latency = r.u32();
+    const std::uint64_t seed = r.u64();
+    const bool trace = r.boolean();
+    const bool partitions = r.boolean();
+    const bool stats = r.boolean();
+    return match("mode", mode, c.mode, err) &&
+           match("numFus", fus, m.numFus(), err) &&
+           match("memWords", memWords,
+                 static_cast<std::uint64_t>(c.memWords), err) &&
+           match("conflictPolicy", policy, c.conflictPolicy, err) &&
+           match("registeredSync", regSync, c.registeredSync, err) &&
+           match("resultLatency", latency, c.resultLatency, err) &&
+           match("seed", seed, c.seed, err) &&
+           match("recordTrace", trace, c.recordTrace, err) &&
+           match("trackPartitions", partitions, c.trackPartitions,
+                 err) &&
+           match("collectStats", stats, c.collectStats, err);
+}
+
+} // namespace
+
+const char *
+kindName(Error::Kind kind)
+{
+    switch (kind) {
+      case Error::Kind::BadMagic:
+        return "bad-magic";
+      case Error::Kind::BadVersion:
+        return "bad-version";
+      case Error::Kind::ProgramMismatch:
+        return "program-mismatch";
+      case Error::Kind::ConfigMismatch:
+        return "config-mismatch";
+      case Error::Kind::Corrupt:
+        return "corrupt";
+      case Error::Kind::Io:
+        return "io";
+    }
+    return "unknown";
+}
+
+std::string
+Error::formatted() const
+{
+    return std::string("snapshot error: ") + kindName(kind) + ": " +
+           message;
+}
+
+std::uint64_t
+programDigest(const Program &program)
+{
+    Hash64 h;
+    h.u32(program.width());
+    h.u32(program.size());
+    // Parcels are hashed through their canonical disassembly —
+    // deterministic, covers every executable field, and immune to
+    // struct layout. Register names are suppressed so the symbol
+    // table cannot alter the digest.
+    DisasmOptions opts;
+    opts.useRegNames = false;
+    opts.showSync = true;
+    for (InstAddr a = 0; a < program.size(); ++a)
+        for (FuId fu = 0; fu < program.width(); ++fu)
+            h.str(formatParcel(program, program.parcel(a, fu), opts));
+    for (const auto &[addr, value] : program.memInit()) {
+        h.u32(addr);
+        h.u32(value);
+    }
+    for (const auto &[reg, value] : program.regInit()) {
+        h.u32(reg);
+        h.u32(value);
+    }
+    return h.digest();
+}
+
+std::vector<std::uint8_t>
+save(const Machine &machine, const std::string &label)
+{
+    StateWriter w;
+    writeMagic(w);
+    w.u32(kFormatVersion);
+    w.u64(programDigest(machine.program()));
+    w.str(label);
+    writeConfig(w, machine);
+
+    const std::size_t stateStart = w.size();
+    machine.core().saveState(w);
+    machine.saveObserverState(w);
+    const std::size_t stateEnd = w.size();
+
+    w.u64(fnv1a(w.bytes().data() + stateStart, stateEnd - stateStart));
+    return w.takeBytes();
+}
+
+Result<bool, Error>
+restore(Machine &machine, const std::vector<std::uint8_t> &bytes)
+{
+    StateReader r(bytes);
+    Error err;
+    if (!readMagic(r)) {
+        err.kind = Error::Kind::BadMagic;
+        err.message = "not a snapshot (bad magic)";
+        return {errTag, err};
+    }
+    try {
+        const std::uint32_t version = r.u32();
+        if (version != kFormatVersion) {
+            err.kind = Error::Kind::BadVersion;
+            err.message = "snapshot format version " +
+                          std::to_string(version) +
+                          ", this build reads version " +
+                          std::to_string(kFormatVersion);
+            return {errTag, err};
+        }
+        const std::uint64_t digest = r.u64();
+        const std::uint64_t expected = programDigest(machine.program());
+        if (digest != expected) {
+            err.kind = Error::Kind::ProgramMismatch;
+            err.message = "snapshot was taken of a different program";
+            return {errTag, err};
+        }
+        r.str(); // label: identity metadata, not validated here
+        if (!checkConfig(r, machine, err))
+            return {errTag, err};
+
+        const std::size_t stateStart = r.offset();
+        machine.core().loadState(r);
+        machine.loadObserverState(r);
+        const std::size_t stateEnd = r.offset();
+
+        const std::uint64_t stored = r.u64();
+        const std::uint64_t computed = fnv1a(
+            bytes.data() + stateStart, stateEnd - stateStart);
+        if (stored != computed) {
+            err.kind = Error::Kind::Corrupt;
+            err.message = "state hash mismatch (snapshot corrupted)";
+            return {errTag, err};
+        }
+    } catch (const FatalError &e) {
+        err.kind = Error::Kind::Corrupt;
+        err.message = e.what();
+        return {errTag, err};
+    }
+    return true;
+}
+
+Result<Info, Error>
+peek(const std::vector<std::uint8_t> &bytes)
+{
+    StateReader r(bytes);
+    Error err;
+    if (!readMagic(r)) {
+        err.kind = Error::Kind::BadMagic;
+        err.message = "not a snapshot (bad magic)";
+        return {errTag, err};
+    }
+    Info info;
+    try {
+        info.version = r.u32();
+        if (info.version != kFormatVersion) {
+            err.kind = Error::Kind::BadVersion;
+            err.message = "snapshot format version " +
+                          std::to_string(info.version) +
+                          ", this build reads version " +
+                          std::to_string(kFormatVersion);
+            return {errTag, err};
+        }
+        info.programDigest = r.u64();
+        info.label = r.str();
+        r.checkTag("CONF");
+        info.mode = static_cast<Mode>(r.u8());
+        // Skip the remaining CONF fields, then read the cycle counter
+        // out of the MCOR header.
+        r.u32();     // numFus
+        r.u64();     // memWords
+        r.u8();      // conflictPolicy
+        r.boolean(); // registeredSync
+        r.u32();     // resultLatency
+        r.u64();     // seed
+        r.boolean(); // recordTrace
+        r.boolean(); // trackPartitions
+        r.boolean(); // collectStats
+        r.checkTag("MCOR");
+        r.u8(); // mode (repeated in the core section)
+        info.cycle = r.u64();
+    } catch (const FatalError &e) {
+        err.kind = Error::Kind::Corrupt;
+        err.message = e.what();
+        return {errTag, err};
+    }
+    return info;
+}
+
+Result<bool, Error>
+saveFile(const Machine &machine, const std::string &path,
+         const std::string &label)
+{
+    const std::vector<std::uint8_t> bytes = save(machine, label);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        Error err;
+        err.kind = Error::Kind::Io;
+        err.message = "cannot open '" + path + "' for writing";
+        return {errTag, err};
+    }
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+        Error err;
+        err.kind = Error::Kind::Io;
+        err.message = "short write to '" + path + "'";
+        return {errTag, err};
+    }
+    return true;
+}
+
+namespace {
+
+Result<std::vector<std::uint8_t>, Error>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        Error err;
+        err.kind = Error::Kind::Io;
+        err.message = "cannot open '" + path + "' for reading";
+        return {errTag, err};
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+} // namespace
+
+Result<bool, Error>
+restoreFile(Machine &machine, const std::string &path)
+{
+    auto bytes = readAll(path);
+    if (!bytes)
+        return {errTag, bytes.error()};
+    return restore(machine, *bytes);
+}
+
+Result<Info, Error>
+peekFile(const std::string &path)
+{
+    auto bytes = readAll(path);
+    if (!bytes)
+        return {errTag, bytes.error()};
+    return peek(*bytes);
+}
+
+} // namespace ximd::snapshot

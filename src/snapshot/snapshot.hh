@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Versioned, deterministic full-machine checkpoints.
+ *
+ * A snapshot is a self-describing binary container around the byte
+ * streams MachineCore::saveState() and Machine::saveObserverState()
+ * produce (DESIGN.md section 9):
+ *
+ *     "XIMDSNAP"            8-byte magic
+ *     u32 format version    currently kFormatVersion
+ *     u64 program digest    identifies the exact program
+ *     str label             free-form run identity (caller-chosen)
+ *     CONF section          config fields that shape machine state
+ *     MCOR section          complete execution state (all components)
+ *     OBSV section          stats / trace / partition state
+ *     u64 state hash        FNV-1a of MCOR + OBSV, re-checked on load
+ *
+ * The invariant restore() enforces: a machine restored from
+ * save(M) continues cycle-for-cycle identically to M — same trace
+ * entries, same statistics, same final architectural state. That only
+ * holds when the restore target was built from the same program (the
+ * digest check), with the same state-shaping config (the CONF check),
+ * and with the same devices attached (fixtures re-run their setup
+ * before restoring; Memory::loadState checks the windows). Violations
+ * are reported as snapshot::Error values, not exceptions — campaign
+ * and CLI callers need them as data.
+ *
+ * Versioning: kFormatVersion bumps whenever any component's
+ * saveState() layout changes. There is no cross-version migration —
+ * snapshots are working state for resumable batches, not archives —
+ * so a version mismatch is a structured refusal, never a best-effort
+ * parse.
+ */
+
+#ifndef XIMD_SNAPSHOT_SNAPSHOT_HH
+#define XIMD_SNAPSHOT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "support/result.hh"
+
+namespace ximd::snapshot {
+
+/** Current container format version. */
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/** Why a snapshot could not be restored (or parsed). */
+struct Error
+{
+    enum class Kind : std::uint8_t {
+        BadMagic,        ///< Not a snapshot at all.
+        BadVersion,      ///< Produced by a different format version.
+        ProgramMismatch, ///< Digest differs: wrong program.
+        ConfigMismatch,  ///< State-shaping config field differs.
+        Corrupt,         ///< Truncated stream / hash mismatch.
+        Io,              ///< File could not be read or written.
+    };
+
+    Kind kind = Kind::Corrupt;
+    std::string message;
+
+    /** "snapshot error: <kind>: <message>". */
+    std::string formatted() const;
+};
+
+/** The printable name of @p kind (e.g. "program-mismatch"). */
+const char *kindName(Error::Kind kind);
+
+/**
+ * Stable 64-bit digest identifying a program's executable content:
+ * width, every parcel, and the initial memory / register image.
+ * Symbol tables and labels do not contribute (they never affect
+ * execution).
+ */
+std::uint64_t programDigest(const Program &program);
+
+/** Header fields readable without a restore target. */
+struct Info
+{
+    std::uint32_t version = 0;
+    std::uint64_t programDigest = 0;
+    std::string label;
+    Mode mode = Mode::Ximd;
+    Cycle cycle = 0;
+};
+
+/**
+ * Serialize @p machine into a snapshot. @p label travels in the
+ * header; resume-style callers use it to bind a snapshot to a run
+ * identity (the farm stores the RunSpec label).
+ */
+std::vector<std::uint8_t> save(const Machine &machine,
+                               const std::string &label = "");
+
+/**
+ * Restore @p bytes into @p machine, which must have been constructed
+ * from the identical program and config, with any devices already
+ * attached. On success the machine continues exactly as the saved one
+ * would have. On failure the machine may be partially overwritten and
+ * must be discarded. Returns true or a structured Error.
+ */
+Result<bool, Error> restore(Machine &machine,
+                            const std::vector<std::uint8_t> &bytes);
+
+/** Parse only the header of @p bytes. */
+Result<Info, Error> peek(const std::vector<std::uint8_t> &bytes);
+
+/** save() + write to @p path. */
+Result<bool, Error> saveFile(const Machine &machine,
+                             const std::string &path,
+                             const std::string &label = "");
+
+/** Read @p path + restore(). */
+Result<bool, Error> restoreFile(Machine &machine,
+                                const std::string &path);
+
+/** Read @p path + peek(). */
+Result<Info, Error> peekFile(const std::string &path);
+
+} // namespace ximd::snapshot
+
+#endif // XIMD_SNAPSHOT_SNAPSHOT_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Binary state serialization: the reader/writer pair underneath the
+ * snapshot subsystem (src/snapshot/) plus a stable 64-bit hash.
+ *
+ * Design constraints, in order:
+ *
+ *  - determinism: the byte stream produced for a given machine state is
+ *    identical across hosts, compilers, and thread counts. All scalars
+ *    are written little-endian at fixed widths; containers are written
+ *    as an explicit u64 count followed by elements; no padding, no
+ *    pointers, no host word sizes;
+ *  - self-description for debugging: every component section starts
+ *    with a 4-character tag (checkTag() turns a mis-framed stream into
+ *    a named error instead of garbage state);
+ *  - structured failure: StateReader throws FatalError with a byte
+ *    offset on truncation or tag mismatch. The snapshot layer catches
+ *    it and reports a snapshot::Error — component code stays clean.
+ *
+ * The hash is FNV-1a over the serialized byte stream, so a component's
+ * stateHash() has exactly one source of truth: its saveState().
+ */
+
+#ifndef XIMD_SUPPORT_STATE_IO_HH
+#define XIMD_SUPPORT_STATE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+
+/** FNV-1a 64-bit prime. */
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/** Fold @p n bytes into an FNV-1a 64-bit running hash @p h. */
+inline std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t n,
+      std::uint64_t h = kFnvOffset)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Streaming FNV-1a 64-bit hasher with fixed-width scalar helpers. */
+class Hash64
+{
+  public:
+    Hash64 &u8(std::uint8_t v)
+    {
+        h_ = (h_ ^ v) * kFnvPrime;
+        return *this;
+    }
+
+    Hash64 &u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+        return *this;
+    }
+
+    Hash64 &u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+        return *this;
+    }
+
+    Hash64 &boolean(bool v) { return u8(v ? 1 : 0); }
+
+    Hash64 &str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            u8(static_cast<std::uint8_t>(c));
+        return *this;
+    }
+
+    std::uint64_t digest() const { return h_; }
+
+  private:
+    std::uint64_t h_ = kFnvOffset;
+};
+
+/** Append-only little-endian binary writer. */
+class StateWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** Length-prefixed byte string. */
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            u8(static_cast<std::uint8_t>(c));
+    }
+
+    /** Open a component section: exactly 4 tag characters. */
+    void tag(const char (&t)[5])
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(t[i]));
+    }
+
+    /**
+     * u64 count followed by per-element writes:
+     * `w.count(v.size()); for (x : v) w.u32(x);`
+     */
+    void count(std::size_t n) { u64(n); }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> takeBytes() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+    /** FNV-1a of everything written so far. */
+    std::uint64_t hash() const { return fnv1a(buf_.data(), buf_.size()); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Sequential little-endian reader over a byte buffer (not owned).
+ * Underrun and tag mismatch throw FatalError naming the byte offset.
+ */
+class StateReader
+{
+  public:
+    StateReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit StateReader(const std::vector<std::uint8_t> &bytes)
+        : StateReader(bytes.data(), bytes.size())
+    {
+    }
+
+    std::uint8_t u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t u16()
+    {
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint32_t u32()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    std::string str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /** Read and verify a 4-character section tag. */
+    void checkTag(const char (&t)[5])
+    {
+        const std::size_t at = pos_;
+        char got[5] = {};
+        for (int i = 0; i < 4; ++i)
+            got[i] = static_cast<char>(u8());
+        for (int i = 0; i < 4; ++i) {
+            if (got[i] != t[i])
+                fatal("state stream: expected section '", t,
+                      "' at byte ", at, ", found '", got, "'");
+        }
+    }
+
+    /**
+     * Read a container count and bound it (guards against reserving
+     * gigabytes from a corrupt stream).
+     */
+    std::size_t count(std::size_t maxAllowed)
+    {
+        const std::uint64_t n = u64();
+        if (n > maxAllowed)
+            fatal("state stream: count ", n, " at byte ", pos_ - 8,
+                  " exceeds limit ", maxAllowed);
+        return static_cast<std::size_t>(n);
+    }
+
+    std::size_t offset() const { return pos_; }
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    void need(std::uint64_t n)
+    {
+        if (n > size_ - pos_)
+            fatal("state stream truncated: need ", n, " bytes at byte ",
+                  pos_, ", have ", size_ - pos_);
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Stable 64-bit state hash of any component exposing
+ * saveState(StateWriter&): FNV-1a over its serialized bytes.
+ */
+template <typename T>
+std::uint64_t
+stateHashOf(const T &component)
+{
+    StateWriter w;
+    component.saveState(w);
+    return w.hash();
+}
+
+} // namespace ximd
+
+#endif // XIMD_SUPPORT_STATE_IO_HH

@@ -19,6 +19,19 @@
  *     --no-timing      omit host-timing fields from reports (output
  *                      becomes byte-identical across hosts and -j)
  *     --quiet          suppress per-job progress lines
+ *     --checkpoint-every N   write a snapshot of each running job
+ *                      every N cycles (see --checkpoint-dir)
+ *     --checkpoint-dir DIR   where checkpoints go (default
+ *                      "checkpoints"); one <job-name>.snap per job
+ *     --resume FILE    restore FILE into the job it was saved from
+ *                      (matched by the snapshot's label) before
+ *                      running; the job continues its remaining
+ *                      cycle budget
+ *     --faults FILE    run a fault-injection campaign from the JSON
+ *                      plan FILE instead of a plain batch; prints a
+ *                      classified report (see farm/campaign.hh)
+ *
+ * Options may be spelled "--flag value" or "--flag=value".
  *
  * Per-job results print in spec order regardless of --jobs, and every
  * job's statistics are a pure function of its spec — `xfarm -j1` and
@@ -28,14 +41,17 @@
  */
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "farm/campaign.hh"
 #include "farm/farm.hh"
 #include "farm/suite.hh"
 #include "farm/sweep.hh"
+#include "snapshot/snapshot.hh"
 #include "support/logging.hh"
 
 namespace {
@@ -61,7 +77,14 @@ usage()
         << "  --report         print the aggregate JSON report\n"
         << "  --out FILE       write the aggregate JSON report\n"
         << "  --no-timing      omit host-timing fields from reports\n"
-        << "  --quiet          suppress per-job progress lines\n";
+        << "  --quiet          suppress per-job progress lines\n"
+        << "  --checkpoint-every N  snapshot each job every N cycles\n"
+        << "  --checkpoint-dir DIR  checkpoint directory (default "
+           "'checkpoints')\n"
+        << "  --resume FILE    restore FILE into its job before "
+           "running\n"
+        << "  --faults FILE    run the fault campaign described by "
+           "FILE\n";
     std::exit(2);
 }
 
@@ -77,6 +100,10 @@ struct Options
     bool quiet = false;
     SuiteOptions suite;
     std::vector<std::string> filters;
+    Cycle checkpointEvery = 0;
+    std::string checkpointDir = "checkpoints";
+    std::string resumeFile;
+    std::string faultsFile;
 };
 
 Options
@@ -84,8 +111,21 @@ parseArgs(int argc, char **argv)
 {
     Options o;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept "--flag=value" as well as "--flag value".
+        std::string inline_;
+        bool hasInline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_ = arg.substr(eq + 1);
+                arg.resize(eq);
+                hasInline = true;
+            }
+        }
         auto next = [&]() -> std::string {
+            if (hasInline)
+                return inline_;
             if (++i >= argc)
                 usage();
             return argv[i];
@@ -120,6 +160,15 @@ parseArgs(int argc, char **argv)
             o.noTiming = true;
         } else if (arg == "--quiet") {
             o.quiet = true;
+        } else if (arg == "--checkpoint-every") {
+            o.checkpointEvery =
+                std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--checkpoint-dir") {
+            o.checkpointDir = next();
+        } else if (arg == "--resume") {
+            o.resumeFile = next();
+        } else if (arg == "--faults") {
+            o.faultsFile = next();
         } else {
             usage();
         }
@@ -177,6 +226,93 @@ main(int argc, char **argv)
     if (specs.empty()) {
         std::cerr << "xfarm: no jobs selected\n";
         return 1;
+    }
+
+    // Campaign mode: classify fault trials instead of running a
+    // plain batch.
+    if (!o.faultsFile.empty()) {
+        auto plan = snapshot::FaultPlan::load(o.faultsFile);
+        if (!plan) {
+            std::cerr << "xfarm: " << plan.error() << "\n";
+            return 1;
+        }
+        const CampaignResult camp =
+            runCampaign(specs, plan.value(), o.jobs);
+        if (!o.quiet) {
+            for (const CampaignJob &j : camp.jobs) {
+                std::cout << j.name << ": ";
+                if (!j.baselineOk)
+                    std::cout << "BASELINE FAILED\n";
+                else
+                    std::cout << j.countOf(Outcome::Unaffected)
+                              << " unaffected, "
+                              << j.countOf(Outcome::Degraded)
+                              << " degraded, "
+                              << j.countOf(Outcome::Wedged)
+                              << " wedged, "
+                              << j.countOf(Outcome::Faulted)
+                              << " faulted\n";
+            }
+            std::cout << "plan: " << camp.planSummary << "\n";
+        }
+        if (o.report)
+            std::cout << camp.json() << "\n";
+        if (!o.outFile.empty()) {
+            std::ofstream out(o.outFile);
+            if (!out) {
+                std::cerr << "xfarm: cannot write '" << o.outFile
+                          << "'\n";
+                return 1;
+            }
+            out << camp.json() << "\n";
+        }
+        // Trials are expected to misbehave; only a broken baseline
+        // fails the campaign.
+        for (const CampaignJob &j : camp.jobs)
+            if (!j.baselineOk)
+                return 1;
+        return 0;
+    }
+
+    if (o.checkpointEvery > 0) {
+        std::error_code ec;
+        std::filesystem::create_directories(o.checkpointDir, ec);
+        if (ec) {
+            std::cerr << "xfarm: cannot create '" << o.checkpointDir
+                      << "': " << ec.message() << "\n";
+            return 1;
+        }
+        for (RunSpec &s : specs) {
+            s.checkpointEvery = o.checkpointEvery;
+            std::string file = s.name;
+            for (char &c : file)
+                if (c == '/')
+                    c = '_';
+            s.checkpointPath =
+                o.checkpointDir + "/" + file + ".snap";
+        }
+    }
+
+    if (!o.resumeFile.empty()) {
+        auto info = snapshot::peekFile(o.resumeFile);
+        if (!info) {
+            std::cerr << "xfarm: " << info.error().formatted()
+                      << "\n";
+            return 1;
+        }
+        bool found = false;
+        for (RunSpec &s : specs) {
+            if (s.name == info.value().label) {
+                s.resumeFrom = o.resumeFile;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "xfarm: snapshot label '"
+                      << info.value().label
+                      << "' matches no selected job\n";
+            return 1;
+        }
     }
 
     const BatchResult batch = Farm::run(specs, o.jobs);

@@ -1,0 +1,143 @@
+#include "workloads/randprog.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace ximd::workloads {
+
+namespace {
+
+constexpr unsigned kRegsPerFu = 4;
+
+std::string
+regName(FuId fu, unsigned r)
+{
+    return "f" + std::to_string(fu) + "r" + std::to_string(r);
+}
+
+/** A source operand: one of the FU's own registers or an immediate. */
+std::string
+source(Rng &rng, FuId fu)
+{
+    if (rng.range(0, 2) == 0)
+        return "#" + std::to_string(rng.range(0, 15));
+    return regName(fu, static_cast<unsigned>(
+                           rng.range(0, kRegsPerFu - 1)));
+}
+
+/** One wrap-safe data op for @p fu (no division, bounded shifts). */
+std::string
+dataOp(Rng &rng, const RandProgOptions &o, FuId fu)
+{
+    const Addr lo = o.memBase + fu * o.memWordsPerFu;
+    const std::string dest = regName(
+        fu, static_cast<unsigned>(rng.range(0, kRegsPerFu - 1)));
+    switch (rng.range(0, 9)) {
+      case 0:
+        return "load #" +
+               std::to_string(lo + static_cast<Addr>(rng.range(
+                                       0, o.memWordsPerFu - 1))) +
+               ",#0," + dest;
+      case 1:
+        return "store " + source(rng, fu) + ",#" +
+               std::to_string(lo + static_cast<Addr>(rng.range(
+                                       0, o.memWordsPerFu - 1)));
+      case 2:
+        return "shl " + source(rng, fu) + ",#" +
+               std::to_string(rng.range(1, 3)) + "," + dest;
+      case 3:
+        return "nop";
+      default: {
+        static const char *alu[] = {"iadd", "isub", "and", "or",
+                                    "xor"};
+        return std::string(alu[rng.range(0, 4)]) + " " +
+               source(rng, fu) + "," + source(rng, fu) + "," + dest;
+      }
+    }
+}
+
+/** FU 0's compare flavor (writes cc0). */
+std::string
+compareOp(Rng &rng)
+{
+    static const char *cmp[] = {"lt", "gt", "eq", "ne", "le", "ge"};
+    return std::string(cmp[rng.range(0, 5)]) + " " +
+           regName(0, static_cast<unsigned>(
+                          rng.range(0, kRegsPerFu - 1))) +
+           "," + source(rng, 0);
+}
+
+} // namespace
+
+std::string
+randomLockstepSource(const RandProgOptions &o)
+{
+    if (o.width < 1 || o.width > 8)
+        fatal("randprog: width must be 1..8, got ", o.width);
+    if (o.rows < 2)
+        fatal("randprog: need at least 2 rows, got ", o.rows);
+    if (o.memWordsPerFu < 1)
+        fatal("randprog: empty memory windows");
+
+    Rng rng(o.seed);
+    std::ostringstream os;
+    os << ".fus " << o.width << "\n";
+    for (FuId f = 0; f < o.width; ++f)
+        for (unsigned r = 0; r < kRegsPerFu; ++r)
+            os << ".reg " << regName(f, r) << "\n.init "
+               << regName(f, r) << " " << rng.range(-100, 100)
+               << "\n";
+    for (FuId f = 0; f < o.width; ++f) {
+        os << ".word " << o.memBase + f * o.memWordsPerFu;
+        for (unsigned w = 0; w < o.memWordsPerFu; ++w)
+            os << " " << rng.range(-100, 100);
+        os << "\n";
+    }
+
+    // Row 0 is always a compare so cc0 dominates every branch row.
+    // Ops are drawn per FU even on branch rows, keeping the data and
+    // control streams independent draws of the same generator state.
+    for (unsigned row = 0; row < o.rows; ++row) {
+        const bool canBranch = row > 0 && row + 2 <= o.rows;
+        const bool branch =
+            canBranch &&
+            rng.range(0, 99) < static_cast<std::int64_t>(
+                                   o.branchPercent);
+        std::string control;
+        if (branch) {
+            const unsigned target = static_cast<unsigned>(
+                rng.range(row + 1, o.rows));
+            control = "if cc0 L" + std::to_string(target) + " L" +
+                      std::to_string(row + 1);
+        } else {
+            control = "-> L" + std::to_string(row + 1);
+        }
+        os << "L" << row << ":";
+        for (FuId f = 0; f < o.width; ++f) {
+            std::string op;
+            if (f == 0 && (row == 0 || rng.range(0, 4) == 0))
+                op = compareOp(rng);
+            else
+                op = dataOp(rng, o, f);
+            os << (f ? " || " : " ") << control << " ; " << op;
+        }
+        os << "\n";
+    }
+    os << "L" << o.rows << ":";
+    for (FuId f = 0; f < o.width; ++f)
+        os << (f ? " || " : " ") << "halt";
+    os << "\n";
+    return os.str();
+}
+
+Program
+randomLockstepProgram(const RandProgOptions &o)
+{
+    return assembleString(randomLockstepSource(o));
+}
+
+} // namespace ximd::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Seeded random lockstep programs for differential testing.
+ *
+ * randomLockstepProgram() generates straight-line + forward-branch
+ * programs in which every FU carries the *same* control operation on
+ * every row. Under that restriction an XIMD machine (one instruction
+ * stream per FU, but all streams identical) and a VLIW machine (one
+ * shared stream) execute the same trajectory, so their final
+ * architectural state — registers, memory, condition codes — must
+ * match bit for bit. The differential fuzz suite exploits this:
+ * generate, run both modes, compare Machine::archStateHash().
+ *
+ * Construction rules (these make the programs ximd-lint clean and
+ * fault-free by construction):
+ *  - row 0 is a compare on FU 0, so cc0 dominates every later branch;
+ *  - branches are forward-only ("if cc0 L<target> L<next>" with
+ *    target > row), so every program terminates;
+ *  - each FU owns a disjoint register quartet and a disjoint memory
+ *    window; loads/stores use immediate addresses inside the window;
+ *  - arithmetic is restricted to wrap-safe ops (no division).
+ *
+ * Everything is a pure function of RandProgOptions, so a failing seed
+ * reproduces exactly.
+ */
+
+#ifndef XIMD_WORKLOADS_RANDPROG_HH
+#define XIMD_WORKLOADS_RANDPROG_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace ximd::workloads {
+
+/** Shape of a random lockstep program. */
+struct RandProgOptions
+{
+    std::uint64_t seed = 1;
+    FuId width = 4;            ///< FUs (1..8).
+    unsigned rows = 40;        ///< Instruction rows before the halt.
+    unsigned branchPercent = 25; ///< Chance a row branches (0..100).
+    Addr memBase = 128;        ///< First FU's memory window.
+    unsigned memWordsPerFu = 8; ///< Window size per FU.
+};
+
+/** Assembly text of the program (for corpus dumps / debugging). */
+std::string randomLockstepSource(const RandProgOptions &opts);
+
+/** Assembled program; asserts the generator's invariants. */
+Program randomLockstepProgram(const RandProgOptions &opts);
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_RANDPROG_HH

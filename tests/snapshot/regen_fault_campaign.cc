@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates tests/snapshot/golden/fault_campaign.golden in place.
+ * Run after an *intentional* change to the fault model, campaign
+ * classification, or report format, then review the diff like any
+ * other golden update. Must mirror corpusSpecs()/corpusPlan() in
+ * test_fault_campaign.cc exactly.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "farm/campaign.hh"
+#include "farm/suite.hh"
+
+#ifndef XIMD_SOURCE_DIR
+#error "XIMD_SOURCE_DIR must point at the repo root"
+#endif
+
+int
+main()
+{
+    using namespace ximd;
+    using namespace ximd::farm;
+
+    SuiteOptions opts;
+    opts.n = 32;
+    std::vector<RunSpec> specs;
+    for (RunSpec &s : builtinSuite(opts)) {
+        const std::string &n = s.name;
+        if (n.rfind("minmax/", 0) == 0 ||
+            n.rfind("bitcount/", 0) == 0 || n.rfind("tproc/", 0) == 0)
+            specs.push_back(std::move(s));
+    }
+
+    snapshot::FaultPlan plan;
+    plan.seed = 1991;
+    plan.trials = 5;
+    plan.faultsPerTrial = 2;
+    plan.windowLo = 1;
+    plan.windowHi = 200;
+    plan.watchdogCycles = 20'000;
+
+    const CampaignResult result = runCampaign(specs, plan, 4);
+
+    const std::string path = std::string(XIMD_SOURCE_DIR) +
+                             "/tests/snapshot/golden/"
+                             "fault_campaign.golden";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+    }
+    out << result.json() << "\n";
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}

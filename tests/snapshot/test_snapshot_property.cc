@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The snapshot property over the whole section 4.1 grid:
+ *
+ *   for every suite workload, both modes, several seeds:
+ *     run A to completion;
+ *     run B to a randomized cycle, snapshot, restore into a fresh
+ *     machine C (devices re-attached by the spec's fixture), finish;
+ *     A and C must agree byte-for-byte — statsJson, trace, final
+ *     architectural hash, cycle count.
+ *
+ * This is the strongest statement of "a snapshot boundary is
+ * invisible": not just for toy programs but for every workload the
+ * paper's evaluation runs, including the nonblocking family whose
+ * scripted I/O ports carry pending-input state across the boundary.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "farm/suite.hh"
+#include "snapshot/snapshot.hh"
+#include "support/random.hh"
+
+namespace ximd::farm {
+namespace {
+
+struct Uninterrupted
+{
+    std::string statsJson;
+    std::string trace;
+    std::uint64_t archHash = 0;
+    Cycle cycles = 0;
+};
+
+std::unique_ptr<Machine>
+makeMachine(const RunSpec &spec,
+            std::unique_ptr<JobFixture> &fixture)
+{
+    auto m = std::make_unique<Machine>(spec.program, spec.config);
+    if (spec.fixture) {
+        fixture = spec.fixture(spec);
+        if (fixture)
+            fixture->setUp(*m);
+    }
+    return m;
+}
+
+Uninterrupted
+runStraight(const RunSpec &spec)
+{
+    std::unique_ptr<JobFixture> fixture;
+    auto m = makeMachine(spec, fixture);
+    const RunResult run = m->run(spec.maxCycles);
+    EXPECT_EQ(run.reason, StopReason::Halted) << spec.name;
+    Uninterrupted u;
+    u.statsJson = m->stats().json(0.0);
+    u.trace = m->trace().formatted();
+    u.archHash = m->archStateHash();
+    u.cycles = m->cycle();
+    return u;
+}
+
+/** Snapshot at @p snapCycle, restore into a fresh machine, finish. */
+Uninterrupted
+runInterrupted(const RunSpec &spec, Cycle snapCycle)
+{
+    std::vector<std::uint8_t> bytes;
+    {
+        std::unique_ptr<JobFixture> fixture;
+        auto m = makeMachine(spec, fixture);
+        m->run(snapCycle);
+        bytes = snapshot::save(*m, spec.name);
+    }
+    std::unique_ptr<JobFixture> fixture;
+    auto m = makeMachine(spec, fixture);
+    auto restored = snapshot::restore(*m, bytes);
+    EXPECT_TRUE(restored.hasValue())
+        << spec.name << ": " << restored.error().formatted();
+    const RunResult run = m->run(spec.maxCycles);
+    EXPECT_EQ(run.reason, StopReason::Halted) << spec.name;
+    Uninterrupted u;
+    u.statsJson = m->stats().json(0.0);
+    u.trace = m->trace().formatted();
+    u.archHash = m->archStateHash();
+    u.cycles = m->cycle();
+    return u;
+}
+
+class SnapshotProperty : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SnapshotProperty, SuiteRoundTripsAtRandomCycles)
+{
+    SuiteOptions opts;
+    opts.n = 64;
+    opts.seed = GetParam();
+    std::vector<RunSpec> specs = builtinSuite(opts);
+    // Trace recording makes the comparison total: every cycle's PCs,
+    // CCs and partitions must match, not just the final counters.
+    for (RunSpec &s : specs)
+        s.config.withTrace();
+
+    Rng rng(0xC0FFEE ^ GetParam());
+    for (const RunSpec &spec : specs) {
+        const Uninterrupted ref = runStraight(spec);
+        ASSERT_GE(ref.cycles, 2u) << spec.name;
+        // Two randomized cut points plus the edges of the run.
+        const Cycle cuts[] = {
+            1,
+            static_cast<Cycle>(
+                rng.range(1, static_cast<std::int64_t>(ref.cycles) -
+                                 1)),
+            static_cast<Cycle>(
+                rng.range(1, static_cast<std::int64_t>(ref.cycles) -
+                                 1)),
+            ref.cycles - 1,
+        };
+        for (const Cycle cut : cuts) {
+            const Uninterrupted got = runInterrupted(spec, cut);
+            EXPECT_EQ(got.cycles, ref.cycles)
+                << spec.name << " cut=" << cut;
+            EXPECT_EQ(got.statsJson, ref.statsJson)
+                << spec.name << " cut=" << cut;
+            EXPECT_EQ(got.trace, ref.trace)
+                << spec.name << " cut=" << cut;
+            EXPECT_EQ(got.archHash, ref.archHash)
+                << spec.name << " cut=" << cut;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotProperty,
+                         testing::Values(1, 7, 1991));
+
+} // namespace
+} // namespace ximd::farm

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Snapshot container round-trips and structured rejection.
+ *
+ * The contract under test (snapshot/snapshot.hh): restore(save(M))
+ * into a compatible machine resumes execution cycle-for-cycle
+ * identically, and every way a snapshot can be incompatible —
+ * wrong magic, wrong format version, wrong program, wrong config,
+ * corrupted payload — is refused with the matching Error::Kind
+ * before any state is trusted.
+ */
+
+#include "snapshot/snapshot.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "support/state_io.hh"
+#include "workloads/minmax.hh"
+
+namespace ximd::snapshot {
+namespace {
+
+const std::vector<SWord> kData = {5, -3, 9, 0, 7, -8, 2, 6};
+
+Machine
+makeMachine(const std::vector<SWord> &data = kData)
+{
+    return Machine(workloads::minmaxXimd(data),
+                   MachineConfig::ximd().withTrace());
+}
+
+TEST(Snapshot, RoundTripResumesIdentically)
+{
+    Machine a = makeMachine();
+    a.run(10);
+    const auto bytes = save(a, "round-trip");
+
+    Machine b = makeMachine();
+    auto restored = restore(b, bytes);
+    ASSERT_TRUE(restored.hasValue()) << restored.error().formatted();
+
+    EXPECT_EQ(b.cycle(), a.cycle());
+    EXPECT_EQ(b.stateHash(), a.stateHash());
+
+    // Lockstep from here: every cycle's full state hash must agree
+    // until both halt.
+    while (!a.allHalted() && !b.allHalted()) {
+        a.step();
+        b.step();
+        ASSERT_EQ(b.stateHash(), a.stateHash())
+            << "diverged at cycle " << a.cycle();
+    }
+    EXPECT_TRUE(a.allHalted());
+    EXPECT_TRUE(b.allHalted());
+    EXPECT_EQ(b.stats().json(0.0), a.stats().json(0.0));
+    EXPECT_EQ(b.trace().formatted(), a.trace().formatted());
+    EXPECT_EQ(b.archStateHash(), a.archStateHash());
+}
+
+TEST(Snapshot, SnapshotOfHaltedMachineRestores)
+{
+    Machine a = makeMachine();
+    a.run();
+    ASSERT_TRUE(a.allHalted());
+    const auto bytes = save(a);
+
+    Machine b = makeMachine();
+    auto restored = restore(b, bytes);
+    ASSERT_TRUE(restored.hasValue()) << restored.error().formatted();
+    EXPECT_TRUE(b.allHalted());
+    EXPECT_EQ(b.stateHash(), a.stateHash());
+}
+
+TEST(Snapshot, PeekReadsHeaderOnly)
+{
+    Machine a = makeMachine();
+    a.run(7);
+    const auto bytes = save(a, "peek-label");
+
+    auto info = peek(bytes);
+    ASSERT_TRUE(info.hasValue()) << info.error().formatted();
+    EXPECT_EQ(info.value().version, kFormatVersion);
+    EXPECT_EQ(info.value().label, "peek-label");
+    EXPECT_EQ(info.value().mode, Mode::Ximd);
+    EXPECT_EQ(info.value().cycle, a.cycle());
+    EXPECT_EQ(info.value().programDigest,
+              programDigest(a.program()));
+}
+
+TEST(Snapshot, BadMagicIsRejected)
+{
+    std::vector<std::uint8_t> bytes = {'N', 'O', 'T', 'A',
+                                       'S', 'N', 'A', 'P'};
+    bytes.resize(64, 0);
+    Machine m = makeMachine();
+    auto res = restore(m, bytes);
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::BadMagic);
+}
+
+TEST(Snapshot, EmptyBufferIsRejected)
+{
+    Machine m = makeMachine();
+    auto res = restore(m, {});
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::BadMagic);
+}
+
+TEST(Snapshot, BadVersionIsRejected)
+{
+    Machine a = makeMachine();
+    auto bytes = save(a);
+    // The u32 format version sits right after the 8-byte magic.
+    bytes[8] = 0xFF;
+    Machine b = makeMachine();
+    auto res = restore(b, bytes);
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::BadVersion);
+}
+
+TEST(Snapshot, ProgramMismatchIsRejected)
+{
+    Machine a = makeMachine();
+    a.run(5);
+    const auto bytes = save(a);
+
+    // Same workload, different data — different program digest.
+    Machine b = makeMachine({1, 2, 3, 4});
+    auto res = restore(b, bytes);
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::ProgramMismatch);
+}
+
+TEST(Snapshot, ConfigMismatchIsRejected)
+{
+    Machine a = makeMachine();
+    a.run(5);
+    const auto bytes = save(a);
+
+    Machine b(workloads::minmaxXimd(kData),
+              MachineConfig::ximd().withTrace().withResultLatency(2));
+    auto res = restore(b, bytes);
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::ConfigMismatch);
+}
+
+TEST(Snapshot, ModeMismatchIsConfigMismatch)
+{
+    Machine a = makeMachine();
+    a.run(5);
+    const auto bytes = save(a);
+
+    Machine b(workloads::minmaxXimd(kData),
+              MachineConfig::vliw().withTrace());
+    auto res = restore(b, bytes);
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::ConfigMismatch);
+}
+
+TEST(Snapshot, CorruptPayloadIsRejected)
+{
+    Machine a = makeMachine();
+    a.run(5);
+    auto bytes = save(a);
+    // Flip a bit deep inside the payload: the trailing FNV hash
+    // catches it.
+    bytes[bytes.size() / 2] ^= 0x40;
+    Machine b = makeMachine();
+    auto res = restore(b, bytes);
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::Corrupt);
+}
+
+TEST(Snapshot, TruncatedPayloadIsRejected)
+{
+    Machine a = makeMachine();
+    a.run(5);
+    auto bytes = save(a);
+    bytes.resize(bytes.size() - 9);
+    Machine b = makeMachine();
+    auto res = restore(b, bytes);
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::Corrupt);
+}
+
+TEST(Snapshot, FileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "ximd_snapshot_roundtrip.snap";
+    Machine a = makeMachine();
+    a.run(12);
+    auto saved = saveFile(a, path, "file-label");
+    ASSERT_TRUE(saved.hasValue()) << saved.error().formatted();
+
+    auto info = peekFile(path);
+    ASSERT_TRUE(info.hasValue());
+    EXPECT_EQ(info.value().label, "file-label");
+
+    Machine b = makeMachine();
+    auto res = restoreFile(b, path);
+    ASSERT_TRUE(res.hasValue()) << res.error().formatted();
+    EXPECT_EQ(b.stateHash(), a.stateHash());
+}
+
+TEST(Snapshot, MissingFileIsIoError)
+{
+    Machine m = makeMachine();
+    auto res = restoreFile(m, "/nonexistent/path.snap");
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().kind, Error::Kind::Io);
+}
+
+TEST(Snapshot, ProgramDigestIgnoresLabels)
+{
+    // Two programs differing only in data must differ; the same
+    // program must digest identically across calls.
+    const Program p1 = workloads::minmaxXimd(kData);
+    const Program p2 = workloads::minmaxXimd(kData);
+    const Program p3 = workloads::minmaxXimd({1, 2, 3});
+    EXPECT_EQ(programDigest(p1), programDigest(p2));
+    EXPECT_NE(programDigest(p1), programDigest(p3));
+}
+
+/**
+ * Satellite regression: observer state recorded *before* a restore
+ * must not leak into the restored run. Machine B runs further than
+ * the snapshot point (accumulating extra trace entries and stats),
+ * then restores A's earlier snapshot — its continuation must be
+ * byte-identical to A's, not a merge of both histories.
+ */
+TEST(Snapshot, ObserverStateDoesNotLeakAcrossRestore)
+{
+    Machine a = makeMachine();
+    a.run(6);
+    const auto bytes = save(a);
+
+    Machine b = makeMachine();
+    b.run(20); // B is now *ahead*, with 20 cycles of observer state.
+    ASSERT_GT(b.trace().size(), a.trace().size());
+
+    auto res = restore(b, bytes);
+    ASSERT_TRUE(res.hasValue()) << res.error().formatted();
+    EXPECT_EQ(b.cycle(), a.cycle());
+    EXPECT_EQ(b.trace().size(), a.trace().size());
+    EXPECT_EQ(b.stats().json(0.0), a.stats().json(0.0));
+
+    a.run();
+    b.run();
+    EXPECT_EQ(b.stats().json(0.0), a.stats().json(0.0));
+    EXPECT_EQ(b.trace().formatted(), a.trace().formatted());
+    EXPECT_EQ(b.stateHash(), a.stateHash());
+}
+
+} // namespace
+} // namespace ximd::snapshot

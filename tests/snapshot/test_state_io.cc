@@ -1,0 +1,146 @@
+#include "support/state_io.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace ximd {
+namespace {
+
+TEST(StateIo, PrimitivesRoundTrip)
+{
+    StateWriter w;
+    w.u8(0xAB);
+    w.u16(0xBEEF);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFULL);
+    w.boolean(true);
+    w.boolean(false);
+    w.str("hello");
+    w.str("");
+
+    StateReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(StateIo, LittleEndianLayoutIsStable)
+{
+    // The format is defined as little-endian fixed-width, so the raw
+    // bytes — not just the round trip — are pinned.
+    StateWriter w;
+    w.u32(0x04030201u);
+    const auto &b = w.bytes();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0x01);
+    EXPECT_EQ(b[1], 0x02);
+    EXPECT_EQ(b[2], 0x03);
+    EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(StateIo, TagMismatchIsFatal)
+{
+    StateWriter w;
+    w.tag("REGS");
+    StateReader r(w.bytes());
+    EXPECT_THROW(r.checkTag("MEMY"), FatalError);
+}
+
+TEST(StateIo, TagMatchPasses)
+{
+    StateWriter w;
+    w.tag("REGS");
+    w.u32(7);
+    StateReader r(w.bytes());
+    r.checkTag("REGS");
+    EXPECT_EQ(r.u32(), 7u);
+}
+
+TEST(StateIo, TruncatedStreamIsFatalNotUb)
+{
+    StateWriter w;
+    w.u64(42);
+    std::vector<std::uint8_t> cut(w.bytes().begin(),
+                                  w.bytes().begin() + 3);
+    StateReader r(cut);
+    EXPECT_THROW(r.u64(), FatalError);
+}
+
+TEST(StateIo, TruncatedStringIsFatal)
+{
+    StateWriter w;
+    w.str("truncate me");
+    auto bytes = w.bytes();
+    bytes.resize(bytes.size() - 4);
+    StateReader r(bytes);
+    EXPECT_THROW(r.str(), FatalError);
+}
+
+TEST(StateIo, CountIsBounded)
+{
+    StateWriter w;
+    w.count(1000);
+    {
+        StateReader r(w.bytes());
+        EXPECT_EQ(r.count(1000), 1000u);
+    }
+    {
+        StateReader r(w.bytes());
+        EXPECT_THROW(r.count(999), FatalError);
+    }
+}
+
+TEST(StateIo, HashCoversEveryByte)
+{
+    StateWriter a;
+    a.u32(1);
+    a.u32(2);
+    StateWriter b;
+    b.u32(1);
+    b.u32(3);
+    EXPECT_NE(a.hash(), b.hash());
+
+    StateWriter c;
+    c.u32(1);
+    c.u32(2);
+    EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(StateIo, Hash64MatchesWriterHash)
+{
+    // Hash64 over a value sequence must equal hashing the serialized
+    // bytes — stateHashOf relies on the two staying in lockstep.
+    StateWriter w;
+    w.u8(9);
+    w.u64(77);
+    w.str("xyz");
+    Hash64 h;
+    h.u8(9);
+    h.u64(77);
+    h.str("xyz");
+    EXPECT_EQ(h.digest(), w.hash());
+}
+
+TEST(StateIo, OffsetTracksPosition)
+{
+    StateWriter w;
+    w.u32(5);
+    w.u32(6);
+    StateReader r(w.bytes());
+    EXPECT_EQ(r.offset(), 0u);
+    r.u32();
+    EXPECT_EQ(r.offset(), 4u);
+    EXPECT_EQ(r.remaining(), 4u);
+    r.u32();
+    EXPECT_TRUE(r.atEnd());
+}
+
+} // namespace
+} // namespace ximd
