@@ -14,6 +14,7 @@
 #include "core/ximd_machine.hh"
 #include "sched/compose.hh"
 #include "support/random.hh"
+#include "workloads/ir_threads.hh"
 
 namespace {
 
@@ -25,47 +26,7 @@ using namespace ximd::sched;
 IrProgram
 makeThread(int t, Rng &rng)
 {
-    const unsigned n = static_cast<unsigned>(rng.range(3, 20));
-    const SWord mult = static_cast<SWord>(rng.range(1, 9));
-    const unsigned ilp = static_cast<unsigned>(rng.range(2, 10));
-    const Addr in = 1024 + static_cast<Addr>(t) * 64;
-    const Addr out = 2048 + static_cast<Addr>(t);
-
-    IrBuilder b;
-    const VregId i = b.newVreg();
-    const VregId sum = b.newVreg();
-    b.setInit(i, 0);
-    b.setInit(sum, 0);
-    for (unsigned k = 1; k <= n; ++k)
-        b.setMemInit(in + k, static_cast<Word>(rng.range(0, 999)));
-
-    b.startBlock("head");
-    std::vector<IrValue> vals;
-    for (unsigned j = 0; j < ilp; ++j)
-        vals.push_back(b.emit(
-            Opcode::Iadd,
-            IrValue::immInt(static_cast<SWord>(rng.range(0, 50))),
-            IrValue::immInt(static_cast<SWord>(rng.range(0, 50)))));
-    IrValue acc = vals[0];
-    for (unsigned j = 1; j < ilp; ++j)
-        acc = b.emit(Opcode::Xor, acc, vals[j]);
-    b.jump("loop");
-
-    b.startBlock("loop");
-    b.emitTo(i, Opcode::Iadd, IrValue::reg(i), IrValue::immInt(1));
-    const IrValue v = b.emitLoad(IrValue::immRaw(in), IrValue::reg(i));
-    const IrValue s = b.emit(Opcode::Imult, v, IrValue::immInt(mult));
-    b.emitTo(sum, Opcode::Iadd, IrValue::reg(sum), s);
-    const int cmp = b.emitCompare(
-        Opcode::Eq, IrValue::reg(i),
-        IrValue::immInt(static_cast<SWord>(n)));
-    b.branch(cmp, "end", "loop");
-
-    b.startBlock("end");
-    const IrValue mix = b.emit(Opcode::Iadd, IrValue::reg(sum), acc);
-    b.emitStore(mix, IrValue::immRaw(out));
-    b.halt();
-    return b.finish();
+    return workloads::mixedThread(t, rng);
 }
 
 void

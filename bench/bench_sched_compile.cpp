@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SCHED_COMPILE — host-side cost of the compiler itself, per pipeline
+ * stage. The pass pipeline (sched/pipeline.hh) times every pass; this
+ * bench is the regression currency for those numbers: list scheduling
+ * and codegen for a single thread, modulo scheduling a counted loop,
+ * and the full Figure-13 tile/pack/compose path, plus the textual-IR
+ * round trip the xcc driver sits on.
+ */
+
+#include "bench_util.hh"
+
+#include "sched/ir_print.hh"
+#include "sched/pipeline.hh"
+#include "workloads/ir_threads.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::bench;
+using namespace ximd::sched;
+
+IrProgram
+reduceIr()
+{
+    Rng rng(101);
+    return workloads::reductionThread(0, 8, 3, rng);
+}
+
+void
+printTables()
+{
+    std::cout << "# SCHED_COMPILE: per-pass wall time of the "
+                 "compiler pipeline\n";
+
+    section("pass breakdown, 6-thread compose at width 8");
+    PipelineOptions po;
+    po.verify = true;
+    Compiler cc(po);
+    auto r = cc.compose(workloads::reductionThreadSet(6, 42),
+                        "balanced-groups");
+    if (!r.hasValue()) {
+        std::cerr << r.error().format() << "\n";
+        std::exit(1);
+    }
+    Table t({{"pass", 10}, {"wall ms", 10}, {"rows", 7}});
+    t.header();
+    for (const PassStat &s : cc.stats()) {
+        const auto rows = s.counters.find("rows");
+        t.row({s.pass, fixed(s.wallMs, 3),
+               rows == s.counters.end()
+                   ? "-"
+                   : num(static_cast<std::uint64_t>(rows->second))});
+    }
+    std::cout << "shape: compose dominates; every stage is well under "
+                 "a millisecond for\npaper-sized threads.\n";
+}
+
+void
+compileBlockPath(benchmark::State &state)
+{
+    const IrProgram ir = reduceIr();
+    PipelineOptions po;
+    po.width = static_cast<FuId>(state.range(0));
+    for (auto _ : state) {
+        Compiler cc(po);
+        auto r = cc.compile(ir);
+        benchmark::DoNotOptimize(r.hasValue());
+    }
+}
+BENCHMARK(compileBlockPath)->Arg(1)->Arg(4)->Arg(8)->ArgName("width");
+
+void
+compileModuloLoop(benchmark::State &state)
+{
+    const PipelineLoop loop = workloads::loop12Pipeline(100, 64, 512);
+    for (auto _ : state) {
+        Compiler cc;
+        auto r = cc.compileLoop(loop);
+        benchmark::DoNotOptimize(r.hasValue());
+    }
+}
+BENCHMARK(compileModuloLoop);
+
+void
+compileComposePath(benchmark::State &state)
+{
+    const auto threads = workloads::reductionThreadSet(
+        static_cast<int>(state.range(0)), 42);
+    for (auto _ : state) {
+        Compiler cc;
+        auto r = cc.compose(threads, "balanced-groups");
+        benchmark::DoNotOptimize(r.hasValue());
+    }
+}
+BENCHMARK(compileComposePath)->Arg(2)->Arg(6)->ArgName("threads");
+
+void
+irTextRoundTrip(benchmark::State &state)
+{
+    const std::string text = printIr(reduceIr());
+    for (auto _ : state) {
+        auto p = parseIr(text);
+        benchmark::DoNotOptimize(p.hasValue());
+    }
+}
+BENCHMARK(irTextRoundTrip);
+
+} // namespace
+
+XIMD_BENCH_MAIN(printTables)

@@ -1,70 +1,32 @@
 /**
  * @file
- * The Figure 13 compilation flow, end to end:
+ * The Figure 13 compilation flow, end to end, on the pass pipeline:
  *
- *   1. describe several program threads in the compiler IR;
+ *   1. describe several program threads in the compiler IR
+ *      (workloads::reductionThreadSet);
  *   2. compile each at widths 1..8 and keep the Pareto tiles;
  *   3. pack the tiles into the instruction-memory strip with several
  *      strategies (static code density, the figure's objective);
- *   4. compose a laminar packing into one runnable XIMD program and
- *      execute it — concurrent column groups become concurrent SSETs.
+ *   4. compose a laminar packing into one runnable XIMD program via
+ *      the Compiler facade — whose per-pass stats show where the
+ *      compile time went — and execute it.
  */
 
 #include <iostream>
 
 #include "core/machine.hh"
-#include "sched/compose.hh"
-#include "support/random.hh"
+#include "sched/pipeline.hh"
 #include "support/str.hh"
-
-namespace {
+#include "workloads/ir_threads.hh"
 
 using namespace ximd;
 using namespace ximd::sched;
-
-/** A small reduction thread: out = sum of scaled inputs. */
-IrProgram
-makeThread(int t, unsigned n, SWord mult, Rng &rng)
-{
-    const Addr in = 1024 + static_cast<Addr>(t) * 64;
-    const Addr out = 2048 + static_cast<Addr>(t);
-
-    IrBuilder b;
-    const VregId i = b.newVreg();
-    const VregId sum = b.newVreg();
-    b.setInit(i, 0);
-    b.setInit(sum, 0);
-    for (unsigned k = 1; k <= n; ++k)
-        b.setMemInit(in + k,
-                     static_cast<Word>(rng.range(0, 99)));
-    b.startBlock("loop");
-    b.emitTo(i, Opcode::Iadd, IrValue::reg(i), IrValue::immInt(1));
-    const IrValue v = b.emitLoad(IrValue::immRaw(in), IrValue::reg(i));
-    const IrValue s = b.emit(Opcode::Imult, v, IrValue::immInt(mult));
-    b.emitTo(sum, Opcode::Iadd, IrValue::reg(sum), s);
-    const int cmp = b.emitCompare(
-        Opcode::Eq, IrValue::reg(i),
-        IrValue::immInt(static_cast<SWord>(n)));
-    b.branch(cmp, "end", "loop");
-    b.startBlock("end");
-    b.emitStore(IrValue::reg(sum), IrValue::immRaw(out));
-    b.halt();
-    return b.finish();
-}
-
-} // namespace
 
 int
 main()
 {
     constexpr FuId kWidth = 8;
-    Rng rng(42);
-
-    std::vector<IrProgram> threads;
-    for (int t = 0; t < 6; ++t)
-        threads.push_back(makeThread(
-            t, static_cast<unsigned>(rng.range(4, 16)),
-            static_cast<SWord>(rng.range(1, 7)), rng));
+    const auto threads = workloads::reductionThreadSet(6, 42);
 
     // Step 2: tiles.
     auto tiles = generateTiles(threads, kWidth);
@@ -81,10 +43,9 @@ main()
               << unsigned(kWidth) << ") ===\n";
     std::cout << padRight("strategy", 26) << padLeft("rows", 6)
               << padLeft("utilization", 13) << "\n";
-    PackResult chosen;
-    for (auto pack : {packStacked, packFirstFit, packSkyline,
-                      packBalancedGroups}) {
-        PackResult r = pack(tiles, kWidth);
+    for (const char *name :
+         {"stacked", "first-fit", "skyline", "balanced-groups"}) {
+        PackResult r = packStrategyByName(name)(tiles, kWidth);
         validatePacking(r, tiles, kWidth);
         std::cout << padRight(r.strategy, 26)
                   << padLeft(std::to_string(r.totalHeight), 6)
@@ -92,20 +53,34 @@ main()
                                  "%",
                              13)
                   << "\n";
-        if (r.strategy == "balanced-groups")
-            chosen = r;
     }
 
-    // Step 4: compose the laminar packing and run it.
-    Composed comp = composeThreads(threads, chosen, kWidth);
-    std::cout << "\n=== Composed program ("
-              << comp.program.size() << " rows) ===\n";
+    // Step 4: the pipeline compiles the laminar packing into one
+    // program (tile -> pack -> compose -> verify).
+    PipelineOptions po;
+    po.width = kWidth;
+    po.verify = true;
+    Compiler cc(po);
+    auto composed = cc.compose(threads, "balanced-groups");
+    if (!composed.hasValue()) {
+        std::cerr << composed.error().format() << "\n";
+        return 1;
+    }
+    const Composed &comp = composed.value();
+
+    std::cout << "\n=== Composed program (" << comp.program.size()
+              << " rows) ===\n";
     for (const ComposedThread &t : comp.threads)
         std::cout << "thread " << t.threadId << ": columns "
                   << unsigned(t.col) << ".."
                   << unsigned(t.col + t.width - 1) << ", body rows "
                   << t.bodyStart << ".."
                   << t.bodyStart + t.bodyRows - 1 << "\n";
+
+    std::cout << "\n=== Per-pass stats ===\n";
+    for (const PassStat &s : cc.stats())
+        std::cout << padRight(s.pass, 12)
+                  << padLeft(fixed(s.wallMs, 3) + " ms", 12) << "\n";
 
     Machine m(comp.program,
               MachineConfig::ximd().withMemWords(4096));

@@ -21,6 +21,28 @@ for preset in release sanitize; do
     ctest --preset "$preset" -j "$JOBS"
 done
 
+# Compiler stage: every example kernel must compile through xcc,
+# lint clean, and match its committed golden byte for byte. Catches
+# sched-output drift that no unit test asserts on.
+echo "==> xcc (compile examples/ir, lint, golden diff)"
+XCC=build-release/tools/xcc
+LINT=build-release/tools/ximd-lint
+XCC_OUT="$(mktemp -d)"
+trap 'rm -rf "$XCC_OUT"' EXIT
+"$XCC" --width 4 --verify examples/ir/reduce.ir \
+    -o "$XCC_OUT/reduce_w4.ximd"
+"$XCC" --width 2 --verify examples/ir/chain.ir \
+    -o "$XCC_OUT/chain_w2.ximd"
+"$XCC" --verify examples/ir/scale.ir -o "$XCC_OUT/scale_w8.ximd"
+"$XCC" --compose balanced-groups --width 8 --verify \
+    examples/ir/reduce.ir examples/ir/chain.ir examples/ir/scale.ir \
+    -o "$XCC_OUT/composed_bg.ximd"
+"$LINT" "$XCC_OUT"/*.ximd
+for golden in examples/ir/golden/*.ximd; do
+    diff -u "$golden" "$XCC_OUT/$(basename "$golden")"
+done
+echo "xcc: examples compile, lint clean, goldens match"
+
 # Snapshot / fuzz / fault stage: the serialization substrate and the
 # fault injector poke at raw state buffers, so run those suites again
 # under ASan+UBSan explicitly (they are also part of the full runs

@@ -15,7 +15,8 @@
 # currency for the simulator's host performance. The xfarm scaling
 # sweep (bench_farm_scaling, 1/2/4/8 workers) is additionally
 # summarized as a top-level "xfarm_scaling" section with speedups
-# relative to the 1-worker run.
+# relative to the 1-worker run, and the compiler-pipeline timings
+# (bench_sched_compile) as a top-level "sched_compile" section.
 #
 #   scripts/run_benchmarks.sh [build-dir] [min-time]
 #
@@ -94,6 +95,17 @@ if scaling:
         }
         for jobs, ms in sorted(scaling.items())
     ]
+
+# Compiler timing summary: the sched pipeline's stage costs
+# (bench_sched_compile) as their own section, so compile-time
+# regressions are visible without grepping the flat list.
+sched = [
+    {"name": b["name"], "wall_time_ms": round(b["wall_time_ms"], 4)}
+    for b in merged["benchmarks"]
+    if b["binary"] == "bench_sched_compile"
+]
+if sched:
+    merged["sched_compile"] = sched
 
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)

@@ -1,0 +1,164 @@
+#include "asm/asm_writer.hh"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+namespace {
+
+/** Registers print as rN: unambiguous regardless of name bindings. */
+std::string
+regText(RegId r)
+{
+    return "r" + std::to_string(r);
+}
+
+/** Immediates print as raw unsigned words: bit-exact for floats too. */
+std::string
+immText(Word w)
+{
+    return "#" + std::to_string(w);
+}
+
+std::string
+operandText(const Operand &o)
+{
+    if (o.isReg())
+        return regText(o.regId());
+    return immText(o.immValue());
+}
+
+std::string
+dataText(const DataOp &d)
+{
+    if (d.isNop())
+        return "nop";
+    const OpInfo &info = opInfo(d.op);
+    std::ostringstream os;
+    os << info.name;
+    bool first = true;
+    auto emit = [&](const std::string &s) {
+        os << (first ? " " : ",") << s;
+        first = false;
+    };
+    if (info.numSrcs >= 1)
+        emit(operandText(d.a));
+    if (info.numSrcs >= 2)
+        emit(operandText(d.b));
+    if (info.hasDest)
+        emit(regText(d.dest));
+    return os.str();
+}
+
+std::string
+ctrlText(const ControlOp &c)
+{
+    std::ostringstream os;
+    auto mask = [&]() {
+        if (c.mask == ~0u)
+            return std::string();
+        std::ostringstream m;
+        m << "(";
+        bool first = true;
+        for (FuId i = 0; i < kMaxFus; ++i) {
+            if (c.mask & (1u << i)) {
+                if (!first)
+                    m << ",";
+                m << unsigned(i);
+                first = false;
+            }
+        }
+        m << ")";
+        return m.str();
+    };
+    switch (c.kind) {
+      case CondKind::Always:
+        os << "-> " << c.t1;
+        break;
+      case CondKind::CcTrue:
+        os << "if cc" << unsigned(c.index) << " " << c.t1 << " "
+           << c.t2;
+        break;
+      case CondKind::SyncDone:
+        os << "if ss" << unsigned(c.index) << " " << c.t1 << " "
+           << c.t2;
+        break;
+      case CondKind::AllSync:
+        os << "if all" << mask() << " " << c.t1 << " " << c.t2;
+        break;
+      case CondKind::AnySync:
+        os << "if any" << mask() << " " << c.t1 << " " << c.t2;
+        break;
+      case CondKind::Halt:
+        os << "halt";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+writeAssembly(const Program &prog)
+{
+    std::ostringstream os;
+    os << ".fus " << unsigned(prog.width()) << "\n";
+
+    // Register names, by index so auto-allocation never interferes.
+    for (const auto &[r, name] : prog.regNames())
+        os << ".reg " << name << " " << unsigned(r) << "\n";
+
+    // The assembler pre-defines maxint/minint and would reject a
+    // redefinition, so those builtins are never re-emitted.
+    for (const auto &[name, value] : prog.symbols()) {
+        if ((name == "maxint" && value == 0x7FFFFFFFu) ||
+            (name == "minint" && value == 0x80000000u))
+            continue;
+        os << ".const " << name << " " << value << "\n";
+    }
+
+    // Initializers keep program order (later writes win, like the
+    // loader); .init accepts the rN numeric form for unnamed regs.
+    for (const auto &[r, value] : prog.regInit())
+        os << ".init r" << unsigned(r) << " " << value << "\n";
+
+    // Memory initializers, coalescing runs of consecutive addresses.
+    const auto &mem = prog.memInit();
+    for (std::size_t i = 0; i < mem.size();) {
+        std::size_t j = i + 1;
+        while (j < mem.size() && mem[j].first == mem[j - 1].first + 1)
+            ++j;
+        os << ".word " << mem[i].first;
+        for (std::size_t k = i; k < j; ++k)
+            os << " " << mem[k].second;
+        os << "\n";
+        i = j;
+    }
+
+    // Labels by address so each can prefix its row.
+    std::multimap<InstAddr, std::string> labelsAt;
+    for (const auto &[name, addr] : prog.labels())
+        labelsAt.emplace(addr, name);
+
+    for (InstAddr a = 0; a < prog.size(); ++a) {
+        for (auto [it, end] = labelsAt.equal_range(a); it != end; ++it)
+            os << it->second << ":\n";
+        const InstRow &row = prog.row(a);
+        for (FuId fu = 0; fu < prog.width(); ++fu) {
+            if (fu)
+                os << " || ";
+            os << ctrlText(row[fu].ctrl) << " ; "
+               << dataText(row[fu].data);
+            if (row[fu].sync == SyncVal::Done)
+                os << " ; done";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ximd

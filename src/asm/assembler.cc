@@ -200,8 +200,15 @@ AsmContext::handleDirective(std::string_view body, int line)
         std::string name, valTok;
         if (!(is >> name >> valTok))
             err(line, word + " expects a register name and a value");
+        RegId reg;
         auto it = regs_.find(name);
-        if (it == regs_.end())
+        if (it != regs_.end())
+            reg = it->second;
+        else if (name.size() >= 2 && name[0] == 'r' &&
+                 name.find_first_not_of("0123456789", 1) ==
+                     std::string::npos)
+            reg = parseRegister(name, line); // rN numeric form
+        else
             err(line, "unknown register '" + name +
                           "' (declare with .reg first)");
         Word v;
@@ -214,7 +221,7 @@ AsmContext::handleDirective(std::string_view body, int line)
         } else {
             v = parseIntValue(valTok, line);
         }
-        regInit_.emplace_back(it->second, v);
+        regInit_.emplace_back(reg, v);
         return;
     }
 

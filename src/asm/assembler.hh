@@ -15,6 +15,7 @@
  *   .word ADDR V0 V1 ...      initial memory words at ADDR
  *   .float ADDR F0 F1 ...     initial memory floats at ADDR
  *   .init NAME VALUE          initial integer value of register NAME
+ *                             (NAME may be the rN numeric form)
  *   .initf NAME VALUE         initial float value of register NAME
  *   LABEL:                    label the next instruction row
  *   P0 || P1 || ... || Pn-1   one instruction row, one parcel per FU

@@ -1,0 +1,31 @@
+#include "core/latency_check.hh"
+
+#include "support/logging.hh"
+
+namespace ximd {
+
+std::string
+LatencyCheck::message() const
+{
+    if (!mismatch())
+        return "";
+    return cat("program compiled for result latency ", compiledFor,
+               " but the machine runs at latency ", machine,
+               (compiledFor < machine
+                    ? " (reads would observe stale registers)"
+                    : " (correct, but drain rows are wasted)"));
+}
+
+LatencyCheck
+checkCompiledLatency(const Program &prog, unsigned resultLatency)
+{
+    LatencyCheck c;
+    c.machine = resultLatency;
+    if (const auto stamp = prog.symbol(kRawLatencySymbol)) {
+        c.stamped = true;
+        c.compiledFor = static_cast<unsigned>(*stamp);
+    }
+    return c;
+}
+
+} // namespace ximd

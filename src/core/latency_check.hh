@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The compiled-latency contract between compiler and machine.
+ *
+ * Code scheduled for CodegenOptions::rawLatency = L is only correct on
+ * a machine with MachineConfig::resultLatency = L: at lower machine
+ * latency it merely wastes drain rows, but at higher machine latency
+ * reads observe stale registers and the program is silently wrong.
+ * Historically nothing connected the two knobs.
+ *
+ * The compiler now stamps every Program it emits with the reserved
+ * symbol kRawLatencySymbol ("__rawlat") carrying the latency it
+ * scheduled for; checkCompiledLatency() compares that stamp against
+ * the machine latency a run is about to use. Hand-written assembly has
+ * no stamp and is never flagged (stamped == false).
+ *
+ * Symbols with a "__" prefix are reserved for toolchain metadata like
+ * this one; the assembly writer round-trips them as ordinary `.const`
+ * lines.
+ */
+
+#ifndef XIMD_CORE_LATENCY_CHECK_HH
+#define XIMD_CORE_LATENCY_CHECK_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace ximd {
+
+/** Reserved symbol naming the result latency a program was compiled
+ *  for. Stamped by emitScheduled / pipelineLoop / composeThreads. */
+inline constexpr const char *kRawLatencySymbol = "__rawlat";
+
+/** Outcome of comparing a program's latency stamp to the machine's. */
+struct LatencyCheck
+{
+    bool stamped = false;     ///< Program carries a __rawlat symbol.
+    unsigned compiledFor = 0; ///< The stamp (valid when stamped).
+    unsigned machine = 0;     ///< The machine's resultLatency.
+
+    /** True when the code was compiled for a different latency. */
+    bool
+    mismatch() const
+    {
+        return stamped && compiledFor != machine;
+    }
+
+    /** Human-readable account of a mismatch (empty when none). */
+    std::string message() const;
+};
+
+/**
+ * Compare @p prog's latency stamp against a machine about to run it
+ * with MachineConfig::resultLatency = @p resultLatency.
+ */
+LatencyCheck checkCompiledLatency(const Program &prog,
+                                  unsigned resultLatency);
+
+} // namespace ximd
+
+#endif // XIMD_CORE_LATENCY_CHECK_HH

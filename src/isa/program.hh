@@ -63,6 +63,12 @@ class Program
     /** Address of @p label, if defined. */
     std::optional<InstAddr> label(const std::string &name) const;
 
+    /** Every label, by name (asm writer, listings). */
+    const std::map<std::string, InstAddr> &labels() const
+    {
+        return labels_;
+    }
+
     /** Label attached to @p addr, if any (first one set). */
     std::optional<std::string> labelAt(InstAddr addr) const;
 
@@ -75,6 +81,12 @@ class Program
     /** Value of a named constant; fatal when undefined. */
     Word symbolOrDie(const std::string &name) const;
 
+    /** Every named constant (asm writer, tools). */
+    const std::map<std::string, Word> &symbols() const
+    {
+        return symbols_;
+    }
+
     /** Give register @p r a symbolic name (for listings and tests). */
     void nameRegister(const std::string &name, RegId r);
 
@@ -83,6 +95,12 @@ class Program
 
     /** Name bound to register @p r, if any. */
     std::optional<std::string> regName(RegId r) const;
+
+    /** Every register-name binding, by register (asm writer). */
+    const std::map<RegId, std::string> &regNames() const
+    {
+        return regNames_;
+    }
 
     /** Request that memory[addr] = value before execution starts. */
     void addMemInit(Addr addr, Word value);

@@ -36,26 +36,28 @@ lowerOp(const IrOp &op, RegId regBase)
 
 } // namespace
 
-CodegenResult
-generateCode(const IrProgram &prog, const CodegenOptions &opts)
+CompileResult<CodegenResult>
+emitScheduled(const IrProgram &prog,
+              const std::vector<BlockSchedule> &schedules,
+              const CodegenOptions &opts)
 {
-    prog.validate();
     if (opts.regBase + prog.numVregs > kNumRegisters)
-        fatal("register file exhausted: ", prog.numVregs,
-              " vregs at base ", opts.regBase);
+        return compileError("codegen",
+                            cat("register file exhausted: ",
+                                prog.numVregs, " vregs at base ",
+                                opts.regBase));
+    XIMD_ASSERT(schedules.size() == prog.blocks.size(),
+                "one schedule per block required");
 
-    // Pass 1: schedule every block and lay out addresses.
-    std::vector<BlockSchedule> schedules;
+    // Lay out block addresses.
     std::map<std::string, InstAddr> blockAddr;
     InstAddr next = 0;
-    for (const IrBlock &b : prog.blocks) {
-        schedules.push_back(
-            scheduleBlock(b, opts.width, opts.rawLatency));
-        blockAddr[b.name] = next;
-        next += schedules.back().numRows();
+    for (std::size_t bi = 0; bi < prog.blocks.size(); ++bi) {
+        blockAddr[prog.blocks[bi].name] = next;
+        next += schedules[bi].numRows();
     }
 
-    // Pass 2: emit parcels.
+    // Emit parcels.
     CodegenResult result;
     result.program = Program(opts.width);
     result.blockAddr = blockAddr;
@@ -127,12 +129,35 @@ generateCode(const IrProgram &prog, const CodegenOptions &opts)
             out.nameRegister("v" + std::to_string(v),
                              static_cast<RegId>(opts.regBase + v));
     }
+    out.setSymbol(kRawLatencySymbol, opts.rawLatency);
 
     out.validate();
     // Debug builds run the full static verifier over every emitted
     // program: the compiler must honor the contract it compiles to.
     analysis::debugVerify(out);
     return result;
+}
+
+CompileResult<CodegenResult>
+generateCodeChecked(const IrProgram &prog, const CodegenOptions &opts)
+{
+    if (auto v = prog.validateChecked(); !v)
+        return v.error();
+
+    std::vector<BlockSchedule> schedules;
+    for (const IrBlock &b : prog.blocks) {
+        auto s = scheduleBlockChecked(b, opts.width, opts.rawLatency);
+        if (!s)
+            return s.error();
+        schedules.push_back(std::move(s).value());
+    }
+    return emitScheduled(prog, schedules, opts);
+}
+
+CodegenResult
+generateCode(const IrProgram &prog, const CodegenOptions &opts)
+{
+    return valueOrFatal(generateCodeChecked(prog, opts));
 }
 
 } // namespace ximd::sched

@@ -18,9 +18,12 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
+#include "core/latency_check.hh" // kRawLatencySymbol, the stamp we emit
 #include "isa/program.hh"
 #include "sched/ir.hh"
+#include "sched/list_scheduler.hh"
 
 namespace ximd::sched {
 
@@ -54,6 +57,22 @@ struct CodegenResult
  */
 CodegenResult generateCode(const IrProgram &prog,
                            const CodegenOptions &opts = {});
+
+/** Non-throwing form of generateCode (pass "codegen"). */
+CompileResult<CodegenResult>
+generateCodeChecked(const IrProgram &prog,
+                    const CodegenOptions &opts = {});
+
+/**
+ * Emission half of codegen: lay out and emit @p prog from
+ * already-computed block schedules (one per block, in block order).
+ * The pass pipeline uses this so scheduling and emission are separate
+ * observable passes; generateCode() composes the two.
+ */
+CompileResult<CodegenResult>
+emitScheduled(const IrProgram &prog,
+              const std::vector<BlockSchedule> &schedules,
+              const CodegenOptions &opts = {});
 
 } // namespace ximd::sched
 

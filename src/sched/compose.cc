@@ -9,17 +9,21 @@
 
 namespace ximd::sched {
 
-Composed
-composeThreads(const std::vector<IrProgram> &threads,
-               const PackResult &packing, FuId machineWidth,
-               RegId regsPerThread)
+CompileResult<Composed>
+composeThreadsChecked(const std::vector<IrProgram> &threads,
+                      const PackResult &packing, FuId machineWidth,
+                      RegId regsPerThread)
 {
+    auto err = [](std::string msg) {
+        return CompileResult<Composed>(
+            compileError("compose", std::move(msg)));
+    };
+
     if (machineWidth == 0 || machineWidth > kMaxFus)
-        fatal("composeThreads: bad machine width ", machineWidth);
+        return err(cat("bad machine width ", machineWidth));
     if (packing.placements.size() != threads.size())
-        fatal("composeThreads: packing covers ",
-              packing.placements.size(), " of ", threads.size(),
-              " threads");
+        return err(cat("packing covers ", packing.placements.size(),
+                       " of ", threads.size(), " threads"));
 
     // Synchronization-signal discipline: a masked start barrier reads
     // every masked FU's 1-bit SS, and an FU parked at *another*
@@ -38,10 +42,11 @@ composeThreads(const std::vector<IrProgram> &threads,
             const bool disjoint = a.col + a.width <= b.col ||
                                   b.col + b.width <= a.col;
             if (!equal && !disjoint)
-                fatal("composeThreads: threads ", a.threadId, " and ",
-                      b.threadId, " occupy partially overlapping "
-                      "column ranges; start-barrier sync signals "
-                      "would alias (use a laminar packing)");
+                return err(cat(
+                    "threads ", a.threadId, " and ", b.threadId,
+                    " occupy partially overlapping column ranges; "
+                    "start-barrier sync signals would alias (use a "
+                    "laminar packing)"));
         }
     }
 
@@ -72,22 +77,25 @@ composeThreads(const std::vector<IrProgram> &threads,
     for (const Placement &p : packing.placements) {
         const auto t = static_cast<std::size_t>(p.threadId);
         if (t >= numThreads)
-            fatal("composeThreads: placement for unknown thread ",
-                  p.threadId);
+            return err(cat("placement for unknown thread ",
+                           p.threadId));
         if (threads[t].numVregs > regsPerThread)
-            fatal("thread ", p.threadId, " needs ",
-                  threads[t].numVregs, " vregs; only ", regsPerThread,
-                  " reserved per thread");
+            return err(cat("thread ", p.threadId, " needs ",
+                           threads[t].numVregs, " vregs; only ",
+                           regsPerThread, " reserved per thread"));
         CodegenOptions opts;
         opts.width = p.width;
         opts.regBase = static_cast<RegId>(t * regsPerThread);
         opts.nameVregs = false;
         compiled[t].place = &p;
-        compiled[t].code = generateCode(threads[t], opts);
+        auto code = generateCodeChecked(threads[t], opts);
+        if (!code)
+            return code.error();
+        compiled[t].code = std::move(code).value();
         if (compiled[t].code.program.size() != p.height)
-            fatal("thread ", p.threadId, " compiled to ",
-                  compiled[t].code.program.size(),
-                  " rows but was packed as ", p.height);
+            return err(cat("thread ", p.threadId, " compiled to ",
+                           compiled[t].code.program.size(),
+                           " rows but was packed as ", p.height));
     }
 
     // Per-column tile chains, ordered by packed row.
@@ -196,11 +204,25 @@ composeThreads(const std::vector<IrProgram> &threads,
                                          DataOp::nop());
     }
 
+    // Composition compiles every tile at the default single-cycle
+    // latency; stamp the composed program accordingly.
+    prog.setSymbol(kRawLatencySymbol, 1);
+
     prog.validate();
     // Composition introduces the sync protocol (start barriers,
     // final barrier); self-check the whole contract in debug builds.
     analysis::debugVerify(prog);
     return out;
+}
+
+Composed
+composeThreads(const std::vector<IrProgram> &threads,
+               const PackResult &packing, FuId machineWidth,
+               RegId regsPerThread)
+{
+    return valueOrFatal(
+        composeThreadsChecked(threads, packing, machineWidth,
+                              regsPerThread));
 }
 
 } // namespace ximd::sched

@@ -72,6 +72,13 @@ Composed composeThreads(const std::vector<IrProgram> &threads,
                         const PackResult &packing, FuId machineWidth,
                         RegId regsPerThread = 24);
 
+/** Non-throwing form (pass "compose"): non-laminar packings,
+ *  register overflow etc. come back as CompileError. */
+CompileResult<Composed>
+composeThreadsChecked(const std::vector<IrProgram> &threads,
+                      const PackResult &packing, FuId machineWidth,
+                      RegId regsPerThread = 24);
+
 } // namespace ximd::sched
 
 #endif // XIMD_SCHED_COMPOSE_HH

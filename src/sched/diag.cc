@@ -1,0 +1,34 @@
+#include "sched/diag.hh"
+
+#include <sstream>
+
+namespace ximd::sched {
+
+std::string
+CompileError::format() const
+{
+    std::ostringstream os;
+    os << "sched:" << (pass.empty() ? "?" : pass) << ": ";
+    if (line >= 0)
+        os << "line " << line << ": ";
+    if (!block.empty())
+        os << "block '" << block << "': ";
+    if (op >= 0)
+        os << "op " << op << ": ";
+    os << message;
+    return os.str();
+}
+
+CompileError
+compileError(std::string pass, std::string message, std::string block,
+             int op)
+{
+    CompileError e;
+    e.pass = std::move(pass);
+    e.block = std::move(block);
+    e.op = op;
+    e.message = std::move(message);
+    return e;
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structured compile-time errors for the sched layer.
+ *
+ * The compiler stages historically threw FatalError with a formatted
+ * message. That suits one interactive run, but the pass pipeline
+ * (pipeline.hh) and the xcc driver need failures as data: which pass,
+ * which block, which op — so a driver can render one uniform report
+ * and a batch caller can fail one job instead of the process.
+ *
+ * Every stage therefore has a *Checked entry point returning
+ * CompileResult<T>; the historical throwing form survives as a thin
+ * wrapper that formats the error and calls fatal(), preserving the
+ * FatalError contract existing callers and tests rely on.
+ */
+
+#ifndef XIMD_SCHED_DIAG_HH
+#define XIMD_SCHED_DIAG_HH
+
+#include <string>
+
+#include "support/result.hh"
+
+namespace ximd::sched {
+
+/** One structured compile failure. */
+struct CompileError
+{
+    std::string pass;  ///< Stage that rejected the input ("codegen").
+    std::string block; ///< Basic block, empty when not block-scoped.
+    int op = -1;       ///< Op index inside the block, -1 when n/a.
+    int line = -1;     ///< 1-based source line (IR text), -1 when n/a.
+    std::string message;
+
+    /** "sched:<pass>: [line <l>:] [block '<b>'] [op <n>:] <msg>". */
+    std::string format() const;
+};
+
+/** Build an error located at a pass (and optionally block/op). */
+CompileError compileError(std::string pass, std::string message,
+                          std::string block = "", int op = -1);
+
+/** Unit success type for passes that only mutate the context. */
+struct Ok
+{
+};
+
+template <typename T> using CompileResult = Result<T, CompileError>;
+
+/**
+ * Unwrap a CompileResult or throw FatalError with the formatted
+ * error — the bridge the legacy throwing wrappers use.
+ */
+template <typename T>
+T
+valueOrFatal(CompileResult<T> r)
+{
+    if (!r)
+        fatal(r.error().format());
+    return std::move(r).value();
+}
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_DIAG_HH

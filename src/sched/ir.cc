@@ -16,45 +16,51 @@ IrProgram::findBlock(const std::string &name) const
     return nullptr;
 }
 
-void
-IrProgram::validate() const
+CompileResult<Ok>
+IrProgram::validateChecked() const
 {
+    auto err = [](std::string msg, std::string block = "",
+                  int op = -1) {
+        return CompileResult<Ok>(
+            compileError("ir", std::move(msg), std::move(block), op));
+    };
+
     if (blocks.empty())
-        fatal("IR program has no blocks");
+        return err("IR program has no blocks");
 
     std::map<std::string, int> byName;
     for (std::size_t i = 0; i < blocks.size(); ++i) {
         const IrBlock &b = blocks[i];
         if (b.name.empty())
-            fatal("IR block ", i, " has no name");
+            return err(cat("IR block ", i, " has no name"));
         if (!byName.emplace(b.name, static_cast<int>(i)).second)
-            fatal("duplicate IR block name '", b.name, "'");
+            return err(cat("duplicate IR block name '", b.name, "'"));
     }
 
-    auto checkValue = [&](const IrValue &v, const IrBlock &b) {
-        if (v.isVreg() && (v.vreg < 0 || v.vreg >= numVregs))
-            fatal("block '", b.name, "': vreg ", v.vreg,
-                  " out of range");
-    };
-
     for (const IrBlock &b : blocks) {
-        for (const IrOp &op : b.ops) {
+        for (std::size_t oi = 0; oi < b.ops.size(); ++oi) {
+            const IrOp &op = b.ops[oi];
+            const int at = static_cast<int>(oi);
             const OpInfo &info = opInfo(op.op);
             if (info.numSrcs >= 1 && op.a.isNone())
-                fatal("block '", b.name, "': '", info.name,
-                      "' missing source a");
+                return err(cat("'", info.name, "' missing source a"),
+                           b.name, at);
             if (info.numSrcs >= 2 && op.b.isNone())
-                fatal("block '", b.name, "': '", info.name,
-                      "' missing source b");
-            checkValue(op.a, b);
-            checkValue(op.b, b);
-            if (info.hasDest &&
-                (op.dest < 0 || op.dest >= numVregs))
-                fatal("block '", b.name, "': '", info.name,
-                      "' bad destination vreg ", op.dest);
+                return err(cat("'", info.name, "' missing source b"),
+                           b.name, at);
+            for (const IrValue *v : {&op.a, &op.b})
+                if (v->isVreg() &&
+                    (v->vreg < 0 || v->vreg >= numVregs))
+                    return err(cat("vreg ", v->vreg, " out of range"),
+                               b.name, at);
+            if (info.hasDest && (op.dest < 0 || op.dest >= numVregs))
+                return err(cat("'", info.name,
+                               "' bad destination vreg ", op.dest),
+                           b.name, at);
             if (!info.hasDest && op.dest != kNoVreg)
-                fatal("block '", b.name, "': '", info.name,
-                      "' cannot have a destination");
+                return err(cat("'", info.name,
+                               "' cannot have a destination"),
+                           b.name, at);
         }
         const Terminator &t = b.term;
         switch (t.kind) {
@@ -62,19 +68,23 @@ IrProgram::validate() const
             break;
           case Terminator::Kind::Jump:
             if (!byName.count(t.taken))
-                fatal("block '", b.name, "': jump to unknown block '",
-                      t.taken, "'");
+                return err(cat("jump to unknown block '", t.taken,
+                               "'"),
+                           b.name);
             break;
           case Terminator::Kind::CondBranch:
             if (!byName.count(t.taken) || !byName.count(t.fallthrough))
-                fatal("block '", b.name,
-                      "': branch to unknown block");
+                return err(cat("branch to unknown block '",
+                               byName.count(t.taken) ? t.fallthrough
+                                                     : t.taken,
+                               "'"),
+                           b.name);
             if (t.compareIdx < 0 ||
                 t.compareIdx >= static_cast<int>(b.ops.size()) ||
                 !b.ops[t.compareIdx].isCompare())
-                fatal("block '", b.name,
-                      "': branch condition is not a compare in this "
-                      "block");
+                return err(
+                    "branch condition is not a compare in this block",
+                    b.name, t.compareIdx);
             break;
         }
     }
@@ -82,8 +92,15 @@ IrProgram::validate() const
     for (const auto &[v, value] : vregInit) {
         (void)value;
         if (v < 0 || v >= numVregs)
-            fatal("vreg initializer out of range: ", v);
+            return err(cat("vreg initializer out of range: ", v));
     }
+    return Ok{};
+}
+
+void
+IrProgram::validate() const
+{
+    valueOrFatal(validateChecked());
 }
 
 VregId

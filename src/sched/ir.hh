@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "isa/opcode.hh"
+#include "sched/diag.hh"
 #include "support/types.hh"
 
 namespace ximd::sched {
@@ -127,6 +128,9 @@ struct IrProgram
     std::vector<std::pair<Addr, Word>> memInit;
 
     const IrBlock *findBlock(const std::string &name) const;
+
+    /** Structural checks as data (pass "ir", with block/op location). */
+    CompileResult<Ok> validateChecked() const;
 
     /** Structural checks; throws FatalError on malformed programs. */
     void validate() const;

@@ -1,0 +1,302 @@
+#include "sched/ir_print.hh"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+namespace {
+
+std::string
+valueText(const IrValue &v)
+{
+    if (v.isVreg())
+        return "v" + std::to_string(v.vreg);
+    if (v.isImm())
+        return "#" + std::to_string(v.imm);
+    return "?";
+}
+
+/** Split @p s on whitespace and commas. */
+std::vector<std::string>
+tokens(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+struct Parser
+{
+    IrProgram prog;
+    IrBlock *cur = nullptr;
+    bool open = false;
+    CompileError err;
+    bool failed = false;
+
+    bool
+    fail(int line, std::string msg)
+    {
+        if (!failed) {
+            err = compileError("ir-parse", std::move(msg),
+                               cur ? cur->name : "");
+            err.line = line;
+            failed = true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(const std::string &tok, int line, IrValue &out)
+    {
+        if (tok.size() >= 2 && tok[0] == 'v') {
+            try {
+                out = IrValue::reg(std::stoi(tok.substr(1)));
+            } catch (...) {
+                return fail(line, "bad vreg '" + tok + "'");
+            }
+            return true;
+        }
+        if (tok.size() >= 2 && tok[0] == '#') {
+            try {
+                out = IrValue::immRaw(static_cast<Word>(
+                    std::stoull(tok.substr(1), nullptr, 0)));
+            } catch (...) {
+                return fail(line, "bad immediate '" + tok + "'");
+            }
+            return true;
+        }
+        return fail(line, "bad value '" + tok + "' (vN or #WORD)");
+    }
+
+    bool
+    parseSources(const std::vector<std::string> &toks, std::size_t at,
+                 int line, const OpInfo &info, IrOp &op)
+    {
+        const std::size_t want = info.numSrcs;
+        if (toks.size() - at != want)
+            return fail(line, cat("'", info.name, "' wants ", want,
+                                  " sources, got ", toks.size() - at));
+        if (want >= 1 && !parseValue(toks[at], line, op.a))
+            return false;
+        if (want >= 2 && !parseValue(toks[at + 1], line, op.b))
+            return false;
+        return true;
+    }
+
+    bool
+    closeBlock(Terminator t, int line)
+    {
+        if (!open)
+            return fail(line, "terminator outside a block");
+        cur->term = std::move(t);
+        open = false;
+        return true;
+    }
+
+    bool
+    parseLine(std::string_view raw, int line)
+    {
+        const auto comment = raw.find("//");
+        if (comment != std::string_view::npos)
+            raw = raw.substr(0, comment);
+        auto toks = tokens(raw);
+        if (toks.empty())
+            return true;
+        const std::string &head = toks[0];
+
+        if (head == ".vregs") {
+            if (toks.size() != 2)
+                return fail(line, ".vregs wants a count");
+            try {
+                prog.numVregs = std::stoi(toks[1]);
+            } catch (...) {
+                return fail(line, "bad .vregs count");
+            }
+            return true;
+        }
+        if (head == ".vinit" || head == ".minit") {
+            if (toks.size() != 3)
+                return fail(line, head + " wants 2 arguments");
+            try {
+                const auto v = static_cast<Word>(
+                    std::stoull(toks[2], nullptr, 0));
+                if (head == ".vinit") {
+                    if (toks[1].empty() || toks[1][0] != 'v')
+                        return fail(line, ".vinit wants vN");
+                    prog.vregInit.emplace_back(
+                        std::stoi(toks[1].substr(1)), v);
+                } else {
+                    prog.memInit.emplace_back(
+                        static_cast<Addr>(
+                            std::stoull(toks[1], nullptr, 0)),
+                        v);
+                }
+            } catch (...) {
+                return fail(line, "bad " + head + " arguments");
+            }
+            return true;
+        }
+        if (head == "block") {
+            if (open)
+                return fail(line, "block '" + cur->name +
+                                      "' not terminated");
+            if (toks.size() != 2 || toks[1].empty() ||
+                toks[1].back() != ':')
+                return fail(line, "block wants 'block NAME:'");
+            IrBlock b;
+            b.name = toks[1].substr(0, toks[1].size() - 1);
+            prog.blocks.push_back(std::move(b));
+            cur = &prog.blocks.back();
+            open = true;
+            return true;
+        }
+        if (head == "jump") {
+            if (toks.size() != 2)
+                return fail(line, "jump wants a target");
+            Terminator t;
+            t.kind = Terminator::Kind::Jump;
+            t.taken = toks[1];
+            return closeBlock(std::move(t), line);
+        }
+        if (head == "branch") {
+            if (toks.size() != 4)
+                return fail(line,
+                            "branch wants 'branch K TAKEN FALLTHRU'");
+            Terminator t;
+            t.kind = Terminator::Kind::CondBranch;
+            try {
+                t.compareIdx = std::stoi(toks[1]);
+            } catch (...) {
+                return fail(line, "bad branch compare index");
+            }
+            t.taken = toks[2];
+            t.fallthrough = toks[3];
+            return closeBlock(std::move(t), line);
+        }
+        if (head == "halt") {
+            Terminator t;
+            t.kind = Terminator::Kind::Halt;
+            return closeBlock(std::move(t), line);
+        }
+
+        // An op line: either "vN = MNEMONIC ..." or "MNEMONIC ...".
+        if (!open)
+            return fail(line, "op outside a block");
+        IrOp op;
+        std::size_t at = 0;
+        if (toks.size() >= 2 && toks[1] == "=") {
+            if (toks.size() < 3)
+                return fail(line, "missing mnemonic after '='");
+            if (head.empty() || head[0] != 'v')
+                return fail(line, "destination must be vN");
+            try {
+                op.dest = std::stoi(head.substr(1));
+            } catch (...) {
+                return fail(line, "bad destination '" + head + "'");
+            }
+            at = 2;
+        }
+        const auto opc = parseOpcode(toks[at]);
+        if (!opc)
+            return fail(line, "unknown mnemonic '" + toks[at] + "'");
+        op.op = *opc;
+        const OpInfo &info = opInfo(*opc);
+        if (info.hasDest && at == 0)
+            return fail(line, cat("'", info.name,
+                                  "' needs a destination ('vN = ...')"));
+        if (!info.hasDest && at != 0)
+            return fail(line, cat("'", info.name,
+                                  "' cannot have a destination"));
+        if (!parseSources(toks, at + 1, line, info, op))
+            return false;
+        cur->ops.push_back(op);
+        return true;
+    }
+};
+
+} // namespace
+
+std::string
+printIr(const IrProgram &prog)
+{
+    std::ostringstream os;
+    os << ".vregs " << prog.numVregs << "\n";
+    for (const auto &[v, value] : prog.vregInit)
+        os << ".vinit v" << v << " " << value << "\n";
+    for (const auto &[a, value] : prog.memInit)
+        os << ".minit " << a << " " << value << "\n";
+    for (const IrBlock &b : prog.blocks) {
+        os << "block " << b.name << ":\n";
+        for (const IrOp &op : b.ops) {
+            const OpInfo &info = opInfo(op.op);
+            os << "  ";
+            if (info.hasDest)
+                os << "v" << op.dest << " = ";
+            os << info.name;
+            if (info.numSrcs >= 1)
+                os << " " << valueText(op.a);
+            if (info.numSrcs >= 2)
+                os << ", " << valueText(op.b);
+            os << "\n";
+        }
+        switch (b.term.kind) {
+          case Terminator::Kind::Halt:
+            os << "  halt\n";
+            break;
+          case Terminator::Kind::Jump:
+            os << "  jump " << b.term.taken << "\n";
+            break;
+          case Terminator::Kind::CondBranch:
+            os << "  branch " << b.term.compareIdx << " "
+               << b.term.taken << " " << b.term.fallthrough << "\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+CompileResult<IrProgram>
+parseIr(std::string_view source)
+{
+    Parser p;
+    int line = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+        const auto nl = source.find('\n', pos);
+        const auto end = nl == std::string_view::npos ? source.size()
+                                                      : nl;
+        ++line;
+        if (!p.parseLine(source.substr(pos, end - pos), line))
+            return p.err;
+        if (nl == std::string_view::npos)
+            break;
+        pos = nl + 1;
+    }
+    if (p.open) {
+        p.fail(line, "block '" + p.cur->name + "' not terminated");
+        return p.err;
+    }
+    if (auto v = p.prog.validateChecked(); !v) {
+        CompileError e = v.error();
+        e.pass = "ir-parse";
+        return e;
+    }
+    return std::move(p.prog);
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text form of the compiler IR: printer and parser, round-trip exact.
+ *
+ * The format is line oriented (`//` starts a comment):
+ *
+ *   .vregs N                   virtual-register count
+ *   .vinit vN VALUE            initial vreg value (raw word)
+ *   .minit ADDR VALUE          initial memory word
+ *   block NAME:                start a basic block
+ *     vN = MNEMONIC SRC[, SRC] op with a destination
+ *     MNEMONIC SRC, SRC        compare (no destination)
+ *     store SRC, SRC           store VALUE, ADDR
+ *     jump NAME                terminators close the block
+ *     branch K NAME1 NAME2     K = op index of the compare; NAME1
+ *                              taken, NAME2 fallthrough
+ *     halt
+ *
+ * SRC is vN or #VALUE; VALUE is an unsigned raw word (bit-exact, so
+ * float immediates survive). printIr(parseIr(text)) reproduces text
+ * up to whitespace; parseIr(printIr(p)) reproduces p exactly.
+ *
+ * This is the xcc driver's input format and the payload of the pass
+ * pipeline's --dump-after=<pass> IR dumps, which makes those dumps
+ * usable as golden files AND as compiler inputs.
+ */
+
+#ifndef XIMD_SCHED_IR_PRINT_HH
+#define XIMD_SCHED_IR_PRINT_HH
+
+#include <string>
+#include <string_view>
+
+#include "sched/ir.hh"
+
+namespace ximd::sched {
+
+/** Render @p prog in the text form above. */
+std::string printIr(const IrProgram &prog);
+
+/**
+ * Parse the text form. Errors (pass "ir-parse") carry the 1-based
+ * source line. The parsed program is validated before it is returned.
+ */
+CompileResult<IrProgram> parseIr(std::string_view source);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_IR_PRINT_HH

@@ -6,13 +6,17 @@
 
 namespace ximd::sched {
 
-BlockSchedule
-scheduleBlock(const IrBlock &block, FuId width, unsigned rawLatency)
+CompileResult<BlockSchedule>
+scheduleBlockChecked(const IrBlock &block, FuId width,
+                     unsigned rawLatency)
 {
     if (width == 0 || width > kMaxFus)
-        fatal("scheduleBlock: bad width ", width);
+        return compileError("schedule", cat("bad width ", width),
+                            block.name);
     if (rawLatency < 1)
-        fatal("scheduleBlock: bad result latency ", rawLatency);
+        return compileError("schedule",
+                            cat("bad result latency ", rawLatency),
+                            block.name);
 
     const int n = static_cast<int>(block.ops.size());
     Ddg ddg(block, rawLatency);
@@ -95,6 +99,12 @@ scheduleBlock(const IrBlock &block, FuId width, unsigned rawLatency)
             sched.cycles.emplace_back();
     }
     return sched;
+}
+
+BlockSchedule
+scheduleBlock(const IrBlock &block, FuId width, unsigned rawLatency)
+{
+    return valueOrFatal(scheduleBlockChecked(block, width, rawLatency));
 }
 
 } // namespace ximd::sched

@@ -55,6 +55,12 @@ struct BlockSchedule
 BlockSchedule scheduleBlock(const IrBlock &block, FuId width,
                             unsigned rawLatency = 1);
 
+/** Non-throwing form: bad width/latency come back as CompileError
+ *  (pass "schedule") instead of FatalError. */
+CompileResult<BlockSchedule>
+scheduleBlockChecked(const IrBlock &block, FuId width,
+                     unsigned rawLatency = 1);
+
 } // namespace ximd::sched
 
 #endif // XIMD_SCHED_LIST_SCHEDULER_HH

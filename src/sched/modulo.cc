@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/verify.hh"
+#include "sched/codegen.hh"
 #include "support/logging.hh"
 
 namespace ximd::sched {
@@ -40,9 +41,9 @@ lowerOp(const PipeOp &op, const PipelineLoop &loop, unsigned set)
     if (info.numSrcs >= 2)
         d.b = lowerVal(op.b, loop, set);
     if (info.hasDest) {
-        if (op.destLocal < 0 || op.destLocal >= loop.numLocals)
-            fatal("pipeline op '", info.name, "' has bad destination "
-                  "local ", op.destLocal);
+        XIMD_ASSERT(op.destLocal >= 0 &&
+                        op.destLocal < loop.numLocals,
+                    "dest local validated before lowering");
         d.dest = static_cast<RegId>(
             loop.localBase +
             set * static_cast<unsigned>(loop.numLocals) +
@@ -54,18 +55,24 @@ lowerOp(const PipeOp &op, const PipelineLoop &loop, unsigned set)
 
 } // namespace
 
-Program
-pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
+CompileResult<Program>
+pipelineLoopChecked(const PipelineLoop &loop, FuId width,
+                    PipelineInfo *info)
 {
+    auto err = [](std::string msg, int op = -1) {
+        return CompileResult<Program>(
+            compileError("modulo", std::move(msg), "", op));
+    };
+
     const auto n_ops = loop.body.size();
     if (n_ops == 0)
-        fatal("pipelineLoop: empty body");
+        return err("empty body");
     if (n_ops + 2 > width)
-        fatal("pipelineLoop: ", n_ops, " body ops + induction + exit "
-              "test exceed width ", width, " (II = 1 infeasible; use "
-              "the list-scheduled loop instead)");
+        return err(cat(n_ops, " body ops + induction + exit test "
+                       "exceed width ", width, " (II = 1 infeasible; "
+                       "use the list-scheduled loop instead)"));
     if (loop.tripCount < 1)
-        fatal("pipelineLoop: tripCount must be >= 1");
+        return err("tripCount must be >= 1");
 
     // ASAP levels over the iteration-local dataflow; def before use,
     // single definition per local.
@@ -86,25 +93,33 @@ pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
                 continue;
             if (v->local < 0 || v->local >= loop.numLocals ||
                 !defined[static_cast<std::size_t>(v->local)])
-                fatal("pipeline op ", i, " reads local ", v->local,
-                      " before its definition");
+                return err(cat("reads local ", v->local,
+                               " before its definition"),
+                           static_cast<int>(i));
             lvl = std::max(
                 lvl, defLevel[static_cast<std::size_t>(v->local)] + 1);
         }
         level[i] = lvl;
+        if (opInfo(op.op).hasDest && op.destLocal < 0)
+            return err("missing destination local",
+                       static_cast<int>(i));
         if (op.destLocal >= 0) {
             if (op.destLocal >= loop.numLocals)
-                fatal("pipeline op ", i, " bad dest local");
+                return err(cat("bad dest local ", op.destLocal),
+                           static_cast<int>(i));
             if (defined[static_cast<std::size_t>(op.destLocal)])
-                fatal("pipeline local ", op.destLocal,
-                      " defined twice (locals are single-assignment)");
+                return err(cat("local ", op.destLocal,
+                               " defined twice (locals are "
+                               "single-assignment)"),
+                           static_cast<int>(i));
             defined[static_cast<std::size_t>(op.destLocal)] = true;
             defLevel[static_cast<std::size_t>(op.destLocal)] = lvl;
         }
         if (readsInduction[i] && lvl != 0)
-            fatal("pipeline op ", i, " reads the induction variable "
-                  "at stage ", lvl, "; only stage 0 sees the correct "
-                  "value");
+            return err(cat("reads the induction variable at stage ",
+                           lvl, "; only stage 0 sees the correct "
+                           "value"),
+                       static_cast<int>(i));
     }
 
     int maxLevel = 0;
@@ -122,18 +137,17 @@ pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
     const unsigned P = depth == 1 ? 0 : E; // prologue rows
 
     if (loop.tripCount + depth < 3)
-        fatal("pipelineLoop: tripCount too small for the exit test "
-              "(need tripCount + depth >= 3)");
+        return err("tripCount too small for the exit test (need "
+                   "tripCount + depth >= 3)");
 
     // Register layout checks.
     const unsigned regsNeeded =
         loop.localBase + E * static_cast<unsigned>(loop.numLocals);
     if (regsNeeded > kNumRegisters)
-        fatal("pipelineLoop: needs ", regsNeeded, " registers");
+        return err(cat("needs ", regsNeeded, " registers"));
     if (loop.inductionReg >= loop.localBase &&
         loop.inductionReg < regsNeeded)
-        fatal("pipelineLoop: induction register collides with the "
-              "local sets");
+        return err("induction register collides with the local sets");
 
     const Word kend = loop.tripCount + depth - 2;
     const FuId incSlot = static_cast<FuId>(n_ops);
@@ -189,6 +203,8 @@ pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
     out.setLabel("LEND", lend);
     out.addRegInit(loop.inductionReg, 1);
     out.setSymbol("KEND", kend);
+    // Modulo scheduling assumes single-cycle results throughout.
+    out.setSymbol(kRawLatencySymbol, 1);
 
     if (info) {
         info->depth = depth;
@@ -201,6 +217,12 @@ pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
     out.validate();
     analysis::debugVerify(out);
     return out;
+}
+
+Program
+pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
+{
+    return valueOrFatal(pipelineLoopChecked(loop, width, info));
 }
 
 } // namespace ximd::sched

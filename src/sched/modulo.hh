@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "isa/program.hh"
+#include "sched/diag.hh"
 
 namespace ximd::sched {
 
@@ -121,6 +122,16 @@ struct PipelineInfo
  */
 Program pipelineLoop(const PipelineLoop &loop, FuId width,
                      PipelineInfo *info = nullptr);
+
+/**
+ * Non-throwing form: every restriction violation (infeasible II,
+ * def-before-use, induction read past stage 0, ...) comes back as a
+ * CompileError (pass "modulo", op = body index) instead of
+ * FatalError.
+ */
+CompileResult<Program>
+pipelineLoopChecked(const PipelineLoop &loop, FuId width,
+                    PipelineInfo *info = nullptr);
 
 } // namespace ximd::sched
 

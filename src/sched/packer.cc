@@ -342,25 +342,34 @@ packBalancedGroups(const std::vector<TileSet> &sets, FuId machineWidth)
     return best;
 }
 
-unsigned
-validatePacking(const PackResult &result,
-                const std::vector<TileSet> &sets, FuId machineWidth)
+CompileResult<unsigned>
+validatePackingChecked(const PackResult &result,
+                       const std::vector<TileSet> &sets,
+                       FuId machineWidth)
 {
+    auto err = [](std::string msg) {
+        return CompileResult<unsigned>(
+            compileError("pack", std::move(msg)));
+    };
+
     if (result.placements.size() != sets.size())
-        fatal("packing places ", result.placements.size(),
-              " tiles for ", sets.size(), " threads");
+        return err(cat("packing places ", result.placements.size(),
+                       " tiles for ", sets.size(), " threads"));
 
     std::vector<bool> seen(sets.size(), false);
     unsigned height = 0;
     for (const Placement &p : result.placements) {
         if (p.threadId < 0 ||
             p.threadId >= static_cast<int>(sets.size()))
-            fatal("placement names unknown thread ", p.threadId);
+            return err(cat("placement names unknown thread ",
+                           p.threadId));
         if (seen[static_cast<std::size_t>(p.threadId)])
-            fatal("thread ", p.threadId, " placed twice");
+            return err(cat("thread ", p.threadId,
+                           " placed twice"));
         seen[static_cast<std::size_t>(p.threadId)] = true;
         if (p.col + p.width > machineWidth)
-            fatal("thread ", p.threadId, " exceeds machine width");
+            return err(cat("thread ", p.threadId,
+                           " exceeds machine width"));
         // The placement must correspond to a compilable shape of the
         // thread: a saved Pareto tile or any exact-width compile.
         const TileSet &set = sets[static_cast<std::size_t>(p.threadId)];
@@ -370,8 +379,8 @@ validatePacking(const PackResult &result,
         if (!known && p.width <= set.heightAtWidth.size())
             known = set.heightAt(p.width) == p.height;
         if (!known)
-            fatal("thread ", p.threadId,
-                  " placed with an unknown tile shape");
+            return err(cat("thread ", p.threadId,
+                           " placed with an unknown tile shape"));
         height = std::max(height, p.row + p.height);
     }
     // Pairwise overlap.
@@ -385,14 +394,22 @@ validatePacking(const PackResult &result,
             const bool rowOverlap =
                 a.row < b.row + b.height && b.row < a.row + a.height;
             if (colOverlap && rowOverlap)
-                fatal("threads ", a.threadId, " and ", b.threadId,
-                      " overlap");
+                return err(cat("threads ", a.threadId, " and ",
+                               b.threadId, " overlap"));
         }
     }
     if (height != result.totalHeight)
-        fatal("recorded packing height ", result.totalHeight,
-              " differs from actual ", height);
+        return err(cat("recorded packing height ", result.totalHeight,
+                       " differs from actual ", height));
     return height;
+}
+
+unsigned
+validatePacking(const PackResult &result,
+                const std::vector<TileSet> &sets, FuId machineWidth)
+{
+    return valueOrFatal(
+        validatePackingChecked(result, sets, machineWidth));
 }
 
 } // namespace ximd::sched

@@ -94,6 +94,12 @@ unsigned validatePacking(const PackResult &result,
                          const std::vector<TileSet> &sets,
                          FuId machineWidth);
 
+/** Non-throwing form of validatePacking (pass "pack"). */
+CompileResult<unsigned>
+validatePackingChecked(const PackResult &result,
+                       const std::vector<TileSet> &sets,
+                       FuId machineWidth);
+
 } // namespace ximd::sched
 
 #endif // XIMD_SCHED_PACKER_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The compiler's pass pipeline: an explicit, observable spine over
+ * the sched stages.
+ *
+ * Historically each stage (ir validation, DDG construction, list
+ * scheduling, code generation, modulo scheduling, tiling, packing,
+ * composition) was a bare function call; drivers that wanted timing,
+ * dumps, or uniform error reporting had to wrap every call site. The
+ * pipeline reifies the stages as Pass objects run by a PassManager
+ * over a shared CompileContext:
+ *
+ *   - every pass is timed (wall clock) and reports counters (ops
+ *     scheduled, rows emitted, II/depth achieved, rows packed, ...);
+ *   - a dump hook fires after every pass, so a driver can render the
+ *     IR / DDG / program state at any pipeline point (xcc
+ *     --dump-after=<pass>);
+ *   - failures are structured CompileErrors (diag.hh), not throws;
+ *   - with verifyBetween set, the manager re-validates the IR and
+ *     runs the full static verifier (analysis::verify) over any
+ *     emitted program after every pass — the compiler checks the
+ *     contract it compiles to at every step, not only at the end.
+ *
+ * The Compiler facade assembles the standard pass sequences:
+ *
+ *   compile():     validate-ir [merge-blocks] build-ddg
+ *                  list-schedule codegen [verify]
+ *   compileLoop(): modulo [verify]
+ *   compose():     tile pack compose [verify]
+ *
+ * Byte-for-byte, compile()/compileLoop()/compose() produce the same
+ * Programs as the legacy entry points (generateCode, pipelineLoop,
+ * composeThreads) — pinned by tests/sched/test_pipeline_equivalence.
+ */
+
+#ifndef XIMD_SCHED_PIPELINE_HH
+#define XIMD_SCHED_PIPELINE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/codegen.hh"
+#include "sched/compose.hh"
+#include "sched/ddg.hh"
+#include "sched/diag.hh"
+#include "sched/ir.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/modulo.hh"
+#include "sched/packer.hh"
+#include "sched/tile.hh"
+
+namespace ximd::sched {
+
+/** Options for a pipeline run (superset of CodegenOptions). */
+struct PipelineOptions
+{
+    FuId width = kDefaultFus;
+    RegId regBase = 0;
+    bool nameVregs = true;
+    unsigned rawLatency = 1;
+
+    /** Run mergeStraightLineBlocks before scheduling. */
+    bool mergeBlocks = false;
+
+    /** compose(): architectural registers reserved per thread. */
+    RegId regsPerThread = 24;
+
+    /** Re-verify IR and emitted program after every pass. */
+    bool verifyBetween = false;
+
+    /** Append a final static-verification pass. */
+    bool verify = false;
+
+    CodegenOptions
+    codegen() const
+    {
+        CodegenOptions o;
+        o.width = width;
+        o.regBase = regBase;
+        o.nameVregs = nameVregs;
+        o.rawLatency = rawLatency;
+        return o;
+    }
+};
+
+/** Timing and counters for one executed pass. */
+struct PassStat
+{
+    std::string pass;
+    double wallMs = 0.0;
+    std::map<std::string, double> counters;
+};
+
+/** State flowing through the pipeline. */
+struct CompileContext
+{
+    PipelineOptions opts;
+
+    // Block path.
+    IrProgram ir;
+    std::vector<Ddg> ddgs;               ///< One per block.
+    std::vector<BlockSchedule> schedules; ///< One per block.
+    CodegenResult code;
+
+    // Loop path.
+    PipelineLoop loop;
+    PipelineInfo pipeInfo;
+
+    // Compose path.
+    std::vector<IrProgram> threads;
+    std::vector<TileSet> tiles;
+    PackResult packing;
+    Composed composed;
+
+    /** The final program (whichever path produced it). */
+    Program program{1};
+    bool hasProgram = false;
+
+    std::vector<PassStat> stats;
+};
+
+/** One pipeline stage. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name ("list-schedule", "codegen", ...). */
+    virtual std::string name() const = 0;
+
+    /** Transform @p cx; fill @p stat.counters with what happened. */
+    virtual CompileResult<Ok> run(CompileContext &cx,
+                                  PassStat &stat) = 0;
+};
+
+/** Called after each pass completes (dump hook). */
+using PassHook =
+    std::function<void(const std::string &pass,
+                       const CompileContext &cx)>;
+
+/** Runs passes in order: timing, hooks, inter-pass verification. */
+class PassManager
+{
+  public:
+    void add(std::unique_ptr<Pass> pass);
+
+    /** Install the after-each-pass hook (dumps, tracing). */
+    void setAfterPass(PassHook hook) { hook_ = std::move(hook); }
+
+    /**
+     * Run every pass over @p cx. Stops at the first failing pass;
+     * cx.stats records one entry per pass that ran (the failing one
+     * included). With cx.opts.verifyBetween, validates cx.ir and
+     * statically verifies cx.program after every pass.
+     */
+    CompileResult<Ok> run(CompileContext &cx);
+
+    /** Names of the registered passes, in order. */
+    std::vector<std::string> passNames() const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    PassHook hook_;
+};
+
+/// @name Standard pass factories.
+/// @{
+std::unique_ptr<Pass> makeValidateIrPass();
+std::unique_ptr<Pass> makeMergeBlocksPass();
+std::unique_ptr<Pass> makeBuildDdgPass();
+std::unique_ptr<Pass> makeListSchedulePass();
+std::unique_ptr<Pass> makeCodegenPass();
+std::unique_ptr<Pass> makeModuloPass();
+std::unique_ptr<Pass> makeTilePass();
+std::unique_ptr<Pass> makePackPass(std::string strategy);
+std::unique_ptr<Pass> makeComposePass(RegId regsPerThread = 24);
+std::unique_ptr<Pass> makeVerifyPass();
+/// @}
+
+/** Render cx.stats as JSON (xcc --stats-json). */
+std::string statsJson(const std::vector<PassStat> &stats);
+
+/**
+ * Facade over the standard pipelines. One Compiler instance holds the
+ * options and the dump hook; each compile call builds the pass
+ * sequence, runs it, and leaves the context (stats included)
+ * available via context().
+ */
+class Compiler
+{
+  public:
+    explicit Compiler(PipelineOptions opts = {}) : opts_(opts) {}
+
+    void setAfterPass(PassHook hook) { hook_ = std::move(hook); }
+
+    /** Blocks -> scheduled VLIW-style program. */
+    CompileResult<CodegenResult> compile(IrProgram ir);
+
+    /** Counted loop -> modulo-scheduled (II = 1) program. */
+    CompileResult<Program> compileLoop(PipelineLoop loop);
+
+    /** Threads -> tiles -> packed strip -> composed XIMD program. */
+    CompileResult<Composed> compose(std::vector<IrProgram> threads,
+                                    const std::string &strategy);
+
+    const CompileContext &context() const { return cx_; }
+    const std::vector<PassStat> &stats() const { return cx_.stats; }
+    std::string statsJson() const { return sched::statsJson(cx_.stats); }
+
+  private:
+    CompileResult<Ok> runPipeline(PassManager &pm);
+
+    PipelineOptions opts_;
+    PassHook hook_;
+    CompileContext cx_;
+};
+
+/** Pack-strategy lookup ("stacked", "first-fit", "skyline",
+ *  "balanced-groups", "exhaustive"); null when unknown. */
+using PackFn = PackResult (*)(const std::vector<TileSet> &, FuId);
+PackFn packStrategyByName(const std::string &name);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_PIPELINE_HH

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * xcc — the compiler driver over the sched pass pipeline.
+ *
+ * Input is the textual IR of sched/ir_print.hh (one `.ir` file per
+ * thread); output is assembler source (`.ximd`) that xsim / vsim /
+ * ximd-lint consume directly. One input compiles through the block
+ * pipeline (validate-ir [merge-blocks] build-ddg list-schedule
+ * codegen); several inputs with --compose go through the Figure-13
+ * path (tile, pack, compose) into one XIMD program.
+ *
+ * Usage:
+ *   xcc [options] kernel.ir [more.ir ...]
+ *     --emit ximd|ir|ddg  what to write (default ximd)
+ *     --width N           functional units to schedule for
+ *     --latency N         data-path result latency to compile for
+ *     --reg-base N        first physical register for vregs
+ *     --no-names          do not bind v<N> register names
+ *     --merge-blocks      straighten jump-only chains first
+ *     --compose STRAT     pack threads with STRAT (stacked, first-fit,
+ *                         skyline, balanced-groups, exhaustive) and
+ *                         compose them into one program
+ *     --regs-per-thread N architectural registers per thread (24)
+ *     --verify            run the static verifier as a final pass
+ *     --verify-between    re-verify IR and program after every pass
+ *     --dump-after PASS   print pipeline state after PASS to stderr
+ *                         (repeatable; PASS may be 'all')
+ *     --stats-json        print per-pass timings/counters to stderr
+ *     -o FILE             write output to FILE (default stdout)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/asm_writer.hh"
+#include "sched/ir_print.hh"
+#include "sched/pipeline.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::sched;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: xcc [options] kernel.ir [more.ir ...]\n"
+        << "  --emit ximd|ir|ddg  what to write (default ximd)\n"
+        << "  --width N           functional units to schedule for\n"
+        << "  --latency N         data-path result latency\n"
+        << "  --reg-base N        first physical register for vregs\n"
+        << "  --no-names          do not bind v<N> register names\n"
+        << "  --merge-blocks      straighten jump-only chains first\n"
+        << "  --compose STRAT     pack + compose inputs as threads\n"
+        << "                      (stacked, first-fit, skyline,\n"
+        << "                      balanced-groups, exhaustive)\n"
+        << "  --regs-per-thread N registers per composed thread\n"
+        << "  --verify            final static-verification pass\n"
+        << "  --verify-between    re-verify after every pass\n"
+        << "  --dump-after PASS   dump state after PASS (or 'all')\n"
+        << "  --stats-json        per-pass stats JSON to stderr\n"
+        << "  -o FILE             output file (default stdout)\n";
+    std::exit(2);
+}
+
+struct Options
+{
+    std::vector<std::string> files;
+    std::string output;
+    std::string emit = "ximd";
+    std::string compose; ///< Pack strategy; empty = block pipeline.
+    std::set<std::string> dumpAfter;
+    bool statsJson = false;
+    PipelineOptions pipe;
+};
+
+unsigned
+parseCount(const std::string &text)
+{
+    try {
+        const int n = std::stoi(text);
+        if (n < 0)
+            usage();
+        return static_cast<unsigned>(n);
+    } catch (...) {
+        usage();
+    }
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--emit") {
+            o.emit = next();
+        } else if (arg.rfind("--emit=", 0) == 0) {
+            o.emit = arg.substr(7);
+        } else if (arg == "--width") {
+            o.pipe.width = static_cast<FuId>(parseCount(next()));
+        } else if (arg.rfind("--width=", 0) == 0) {
+            o.pipe.width = static_cast<FuId>(parseCount(arg.substr(8)));
+        } else if (arg == "--latency") {
+            o.pipe.rawLatency = parseCount(next());
+        } else if (arg.rfind("--latency=", 0) == 0) {
+            o.pipe.rawLatency = parseCount(arg.substr(10));
+        } else if (arg == "--reg-base") {
+            o.pipe.regBase = static_cast<RegId>(parseCount(next()));
+        } else if (arg.rfind("--reg-base=", 0) == 0) {
+            o.pipe.regBase =
+                static_cast<RegId>(parseCount(arg.substr(11)));
+        } else if (arg == "--no-names") {
+            o.pipe.nameVregs = false;
+        } else if (arg == "--merge-blocks") {
+            o.pipe.mergeBlocks = true;
+        } else if (arg == "--compose") {
+            o.compose = next();
+        } else if (arg.rfind("--compose=", 0) == 0) {
+            o.compose = arg.substr(10);
+        } else if (arg == "--regs-per-thread") {
+            o.pipe.regsPerThread =
+                static_cast<RegId>(parseCount(next()));
+        } else if (arg.rfind("--regs-per-thread=", 0) == 0) {
+            o.pipe.regsPerThread =
+                static_cast<RegId>(parseCount(arg.substr(18)));
+        } else if (arg == "--verify") {
+            o.pipe.verify = true;
+        } else if (arg == "--verify-between") {
+            o.pipe.verifyBetween = true;
+        } else if (arg == "--dump-after") {
+            o.dumpAfter.insert(next());
+        } else if (arg.rfind("--dump-after=", 0) == 0) {
+            o.dumpAfter.insert(arg.substr(13));
+        } else if (arg == "--stats-json") {
+            o.statsJson = true;
+        } else if (arg == "-o") {
+            o.output = next();
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            o.files.push_back(arg);
+        }
+    }
+    if (o.files.empty())
+        usage();
+    if (o.files.size() > 1 && o.compose.empty()) {
+        std::cerr << "xcc: several inputs need --compose\n";
+        usage();
+    }
+    if (o.emit != "ximd" && o.emit != "ir" && o.emit != "ddg")
+        usage();
+    if (!o.compose.empty() && o.emit != "ximd") {
+        std::cerr << "xcc: --compose only supports --emit=ximd\n";
+        usage();
+    }
+    return o;
+}
+
+CompileResult<IrProgram>
+parseIrFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        CompileError e = compileError("ir-parse",
+                                      "cannot open '" + path + "'");
+        return e;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseIr(text.str());
+}
+
+/** Textual DDG dump: per-block node/edge lists with latencies. */
+std::string
+formatDdgs(const CompileContext &cx)
+{
+    std::ostringstream os;
+    for (std::size_t b = 0; b < cx.ddgs.size(); ++b) {
+        const Ddg &g = cx.ddgs[b];
+        os << "ddg " << cx.ir.blocks[b].name << ": " << g.numNodes()
+           << " ops, " << g.edges().size() << " edges, critical path "
+           << g.criticalPathLength() << "\n";
+        for (const DdgEdge &e : g.edges())
+            os << "  " << e.from << " -> " << e.to << " lat "
+               << e.latency << "\n";
+    }
+    return os.str();
+}
+
+/** Textual schedule dump: per-block cycle rows of op indices. */
+std::string
+formatSchedules(const CompileContext &cx)
+{
+    std::ostringstream os;
+    for (std::size_t b = 0; b < cx.schedules.size(); ++b) {
+        const BlockSchedule &s = cx.schedules[b];
+        os << "schedule " << cx.ir.blocks[b].name << ": "
+           << s.numRows() << " rows\n";
+        for (std::size_t c = 0; c < s.cycles.size(); ++c) {
+            os << "  cycle " << c << ":";
+            for (int op : s.cycles[c])
+                os << " " << op;
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+formatTiles(const CompileContext &cx)
+{
+    std::ostringstream os;
+    for (const TileSet &set : cx.tiles) {
+        os << "tiles thread " << set.threadId << ":";
+        for (const Tile &t : set.impls)
+            os << " " << t.width << "x" << t.height;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+formatPacking(const CompileContext &cx)
+{
+    std::ostringstream os;
+    os << "packing " << cx.packing.strategy << ": height "
+       << cx.packing.totalHeight << "\n";
+    for (const Placement &p : cx.packing.placements)
+        os << "  thread " << p.threadId << ": " << p.width << "x"
+           << p.height << " at col " << p.col << " row " << p.row
+           << "\n";
+    return os.str();
+}
+
+/** Render whatever @p pass just produced in @p cx. */
+std::string
+renderAfter(const std::string &pass, const CompileContext &cx)
+{
+    if (pass == "validate-ir" || pass == "merge-blocks")
+        return printIr(cx.ir);
+    if (pass == "build-ddg")
+        return formatDdgs(cx);
+    if (pass == "list-schedule")
+        return formatSchedules(cx);
+    if (pass == "tile")
+        return formatTiles(cx);
+    if (pass == "pack")
+        return formatPacking(cx);
+    // codegen / modulo / compose / verify: the emitted program.
+    if (cx.hasProgram)
+        return writeAssembly(cx.program);
+    return "";
+}
+
+int
+runCompiler(const Options &o)
+{
+    Compiler compiler(o.pipe);
+    std::set<std::string> dumped;
+    if (!o.dumpAfter.empty()) {
+        compiler.setAfterPass([&](const std::string &pass,
+                                  const CompileContext &cx) {
+            if (!o.dumpAfter.count(pass) && !o.dumpAfter.count("all"))
+                return;
+            dumped.insert(pass);
+            std::cerr << "// --- after " << pass << " ---\n"
+                      << renderAfter(pass, cx);
+        });
+    }
+
+    // Front end: parse every input.
+    std::vector<IrProgram> threads;
+    for (const std::string &file : o.files) {
+        auto ir = parseIrFile(file);
+        if (!ir) {
+            std::cerr << "xcc: " << file << ": "
+                      << ir.error().format() << "\n";
+            return 1;
+        }
+        threads.push_back(std::move(ir).value());
+    }
+
+    // Middle + back end through the pipeline.
+    std::string out;
+    if (!o.compose.empty()) {
+        auto composed =
+            compiler.compose(std::move(threads), o.compose);
+        if (!composed) {
+            std::cerr << "xcc: " << composed.error().format() << "\n";
+        } else {
+            out = writeAssembly(composed.value().program);
+        }
+    } else {
+        auto code = compiler.compile(std::move(threads[0]));
+        if (!code) {
+            std::cerr << "xcc: " << code.error().format() << "\n";
+        } else if (o.emit == "ir") {
+            out = printIr(compiler.context().ir);
+        } else if (o.emit == "ddg") {
+            out = formatDdgs(compiler.context());
+        } else {
+            out = writeAssembly(code.value().program);
+        }
+    }
+
+    const bool failed = out.empty() && o.emit == "ximd";
+    for (const std::string &want : o.dumpAfter)
+        if (want != "all" && !dumped.count(want))
+            std::cerr << "xcc: warning: no pass named '" << want
+                      << "' ran (passes: validate-ir merge-blocks "
+                         "build-ddg list-schedule codegen modulo "
+                         "tile pack compose verify)\n";
+    if (o.statsJson)
+        std::cerr << compiler.statsJson();
+    if (failed)
+        return 1;
+
+    if (o.output.empty()) {
+        std::cout << out;
+    } else {
+        std::ofstream os(o.output);
+        if (!os) {
+            std::cerr << "xcc: cannot write '" << o.output << "'\n";
+            return 1;
+        }
+        os << out;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+    try {
+        return runCompiler(o);
+    } catch (const FatalError &e) {
+        std::cerr << "xcc: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -16,6 +16,9 @@
  *                      incompatible with --trace/--stats/--stats-json
  *     --list           print the assembled program and exit
  *     --max-cycles N   cycle budget (default 100000000)
+ *     --latency N      data-path result latency (default 1); warns
+ *                      when the program's __rawlat stamp disagrees,
+ *                      and refuses to run under --verify
  *     --reg NAME       print a named register's final value
  *                      (repeatable)
  *     --mem ADDR[:N]   print N memory words from ADDR (default 1)
@@ -32,6 +35,7 @@
 
 #include "analysis/verify.hh"
 #include "asm/assembler.hh"
+#include "core/latency_check.hh"
 #include "core/machine.hh"
 #include "isa/disasm.hh"
 #include "support/logging.hh"
@@ -66,6 +70,7 @@ usage()
         << "  --no-trace       disable all observation (fastest)\n"
         << "  --list           print the assembled program and exit\n"
         << "  --max-cycles N   cycle budget\n"
+        << "  --latency N      data-path result latency (default 1)\n"
         << "  --reg NAME       print a named register (repeatable)\n"
         << "  --mem ADDR[:N]   print N memory words from ADDR\n"
         << "  --registered-ss  ablation: registered sync signals\n"
@@ -84,6 +89,7 @@ struct Options
     bool list = false;
     bool verify = false;
     bool registeredSync = false;
+    unsigned latency = 1;
     Cycle maxCycles = 0;
     std::vector<std::string> regs;
     std::vector<std::pair<Addr, unsigned>> mems;
@@ -131,6 +137,12 @@ parseArgs(int argc, char **argv)
             o.registeredSync = true;
         } else if (arg == "--max-cycles") {
             o.maxCycles = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--latency") {
+            o.latency = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (arg.rfind("--latency=", 0) == 0) {
+            o.latency = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 10, nullptr, 0));
         } else if (arg == "--reg") {
             o.regs.push_back(next());
         } else if (arg == "--mem") {
@@ -164,6 +176,7 @@ runMachine(Program prog, const Options &o)
     MachineConfig cfg = MachineConfig{}
                             .withMode(o.mode)
                             .withTrace(o.trace)
+                            .withResultLatency(o.latency)
                             .withRegisteredSync(o.registeredSync);
     if (o.noTrace)
         cfg.withoutObservers();
@@ -228,6 +241,19 @@ main(int argc, char **argv)
         if (o.list) {
             std::cout << formatProgram(prog);
             return 0;
+        }
+        // Latency-1 code on a latency-3 machine is silently wrong;
+        // the compiler's __rawlat stamp makes it diagnosable.
+        const LatencyCheck lat = checkCompiledLatency(prog, o.latency);
+        if (lat.mismatch()) {
+            std::cerr << gTool << ": warning: " << lat.message()
+                      << "\n";
+            if (o.verify) {
+                std::cerr << gTool
+                          << ": refusing to simulate: latency "
+                             "mismatch under --verify\n";
+                return 1;
+            }
         }
         if (o.verify) {
             const analysis::DiagnosticList diags =

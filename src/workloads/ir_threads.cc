@@ -1,0 +1,135 @@
+#include "workloads/ir_threads.hh"
+
+namespace ximd::workloads {
+
+using sched::IrBuilder;
+using sched::IrProgram;
+using sched::IrValue;
+using sched::PipelineLoop;
+using sched::PipeOp;
+using sched::PipeVal;
+using sched::VregId;
+
+IrProgram
+reductionThread(int t, unsigned n, SWord mult, Rng &rng)
+{
+    const Addr in = 1024 + static_cast<Addr>(t) * 64;
+    const Addr out = 2048 + static_cast<Addr>(t);
+
+    IrBuilder b;
+    const VregId i = b.newVreg();
+    const VregId sum = b.newVreg();
+    b.setInit(i, 0);
+    b.setInit(sum, 0);
+    for (unsigned k = 1; k <= n; ++k)
+        b.setMemInit(in + k, static_cast<Word>(rng.range(0, 99)));
+    b.startBlock("loop");
+    b.emitTo(i, Opcode::Iadd, IrValue::reg(i), IrValue::immInt(1));
+    const IrValue v = b.emitLoad(IrValue::immRaw(in), IrValue::reg(i));
+    const IrValue s = b.emit(Opcode::Imult, v, IrValue::immInt(mult));
+    b.emitTo(sum, Opcode::Iadd, IrValue::reg(sum), s);
+    const int cmp =
+        b.emitCompare(Opcode::Eq, IrValue::reg(i),
+                      IrValue::immInt(static_cast<SWord>(n)));
+    b.branch(cmp, "end", "loop");
+    b.startBlock("end");
+    b.emitStore(IrValue::reg(sum), IrValue::immRaw(out));
+    b.halt();
+    return b.finish();
+}
+
+IrProgram
+mixedThread(int t, Rng &rng)
+{
+    const unsigned n = static_cast<unsigned>(rng.range(3, 20));
+    const SWord mult = static_cast<SWord>(rng.range(1, 9));
+    const unsigned ilp = static_cast<unsigned>(rng.range(2, 10));
+    const Addr in = 1024 + static_cast<Addr>(t) * 64;
+    const Addr out = 2048 + static_cast<Addr>(t);
+
+    IrBuilder b;
+    const VregId i = b.newVreg();
+    const VregId sum = b.newVreg();
+    b.setInit(i, 0);
+    b.setInit(sum, 0);
+    for (unsigned k = 1; k <= n; ++k)
+        b.setMemInit(in + k, static_cast<Word>(rng.range(0, 999)));
+
+    b.startBlock("head");
+    std::vector<IrValue> vals;
+    for (unsigned j = 0; j < ilp; ++j)
+        vals.push_back(b.emit(
+            Opcode::Iadd,
+            IrValue::immInt(static_cast<SWord>(rng.range(0, 50))),
+            IrValue::immInt(static_cast<SWord>(rng.range(0, 50)))));
+    IrValue acc = vals[0];
+    for (unsigned j = 1; j < ilp; ++j)
+        acc = b.emit(Opcode::Xor, acc, vals[j]);
+    b.jump("loop");
+
+    b.startBlock("loop");
+    b.emitTo(i, Opcode::Iadd, IrValue::reg(i), IrValue::immInt(1));
+    const IrValue v = b.emitLoad(IrValue::immRaw(in), IrValue::reg(i));
+    const IrValue s = b.emit(Opcode::Imult, v, IrValue::immInt(mult));
+    b.emitTo(sum, Opcode::Iadd, IrValue::reg(sum), s);
+    const int cmp =
+        b.emitCompare(Opcode::Eq, IrValue::reg(i),
+                      IrValue::immInt(static_cast<SWord>(n)));
+    b.branch(cmp, "end", "loop");
+
+    b.startBlock("end");
+    const IrValue mix = b.emit(Opcode::Iadd, IrValue::reg(sum), acc);
+    b.emitStore(mix, IrValue::immRaw(out));
+    b.halt();
+    return b.finish();
+}
+
+std::vector<IrProgram>
+reductionThreadSet(int count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<IrProgram> threads;
+    threads.reserve(static_cast<std::size_t>(count));
+    for (int t = 0; t < count; ++t)
+        threads.push_back(reductionThread(
+            t, static_cast<unsigned>(rng.range(4, 16)),
+            static_cast<SWord>(rng.range(1, 7)), rng));
+    return threads;
+}
+
+PipelineLoop
+loop12Pipeline(Word n, Addr y0, Addr x0)
+{
+    PipelineLoop loop;
+    loop.numLocals = 4; // y0, y1, x, ax
+    loop.tripCount = n;
+    PipeOp ld0{Opcode::Load, PipeVal::immRaw(y0), PipeVal::induction(),
+               0};
+    PipeOp ld1{Opcode::Load, PipeVal::immRaw(y0 + 1),
+               PipeVal::induction(), 1};
+    PipeOp ax{Opcode::Iadd, PipeVal::induction(), PipeVal::immRaw(x0),
+              3};
+    PipeOp sub{Opcode::Fsub, PipeVal::localVal(1), PipeVal::localVal(0),
+               2};
+    PipeOp st{Opcode::Store, PipeVal::localVal(2), PipeVal::localVal(3),
+              -1};
+    loop.body = {ld0, ld1, ax, sub, st};
+    return loop;
+}
+
+PipelineLoop
+scalePipeline(Word n, Addr a0, Addr z0)
+{
+    PipelineLoop loop;
+    loop.numLocals = 3; // a, z, az
+    loop.tripCount = n;
+    loop.body = {
+        {Opcode::Load, PipeVal::immRaw(a0), PipeVal::induction(), 0},
+        {Opcode::Iadd, PipeVal::induction(), PipeVal::immRaw(z0), 2},
+        {Opcode::Imult, PipeVal::localVal(0), PipeVal::immInt(3), 1},
+        {Opcode::Store, PipeVal::localVal(1), PipeVal::localVal(2), -1},
+    };
+    return loop;
+}
+
+} // namespace ximd::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic compiler-IR workloads for the Figure 13 tiling study.
+ *
+ * These are the threads the tiling/packing/composition pipeline
+ * compiles: small reduction loops and mixed reduction+ILP shapes, all
+ * drawn from a seeded Rng so every consumer (examples, benches, the
+ * pipeline-equivalence golden) sees byte-identical inputs. The
+ * pipelined-loop builders mirror the paper's Loop 12 and a simple
+ * vector scale for the modulo scheduler.
+ */
+
+#ifndef XIMD_WORKLOADS_IR_THREADS_HH
+#define XIMD_WORKLOADS_IR_THREADS_HH
+
+#include <vector>
+
+#include "sched/ir.hh"
+#include "sched/modulo.hh"
+#include "support/random.hh"
+
+namespace ximd::workloads {
+
+/**
+ * A small reduction thread: out = sum of scaled inputs.
+ * Reads n words at 1024 + 64t + 1.., writes the sum to 2048 + t.
+ */
+sched::IrProgram reductionThread(int t, unsigned n, SWord mult,
+                                 Rng &rng);
+
+/**
+ * Mixed-shape thread: a reduction loop plus some straight-line ILP
+ * (the bench_fig13 shape). Same memory layout as reductionThread.
+ */
+sched::IrProgram mixedThread(int t, Rng &rng);
+
+/**
+ * The compile_and_pack thread mix: @p count reduction threads with
+ * sizes and multipliers drawn from Rng(@p seed).
+ */
+std::vector<sched::IrProgram> reductionThreadSet(int count,
+                                                 std::uint64_t seed);
+
+/** Loop 12 as a PipelineLoop: X(k) = Y(k+1) - Y(k). Depth 3. */
+sched::PipelineLoop loop12Pipeline(Word n, Addr y0, Addr x0);
+
+/** Vector scale: Z(k) = 3 * A(k). Depth 2. */
+sched::PipelineLoop scalePipeline(Word n, Addr a0, Addr z0);
+
+} // namespace ximd::workloads
+
+#endif // XIMD_WORKLOADS_IR_THREADS_HH

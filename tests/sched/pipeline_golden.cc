@@ -1,0 +1,133 @@
+#include "pipeline_golden.hh"
+
+#include <sstream>
+
+#include "asm/asm_writer.hh"
+#include "sched/compose.hh"
+#include "support/logging.hh"
+#include "workloads/ir_threads.hh"
+
+namespace ximd::sched {
+
+namespace {
+
+GoldenCase
+blockCase(std::string name, IrProgram ir, FuId width,
+          unsigned rawLatency, RegId regBase = 0, bool nameVregs = true)
+{
+    GoldenCase c;
+    c.name = std::move(name);
+    c.kind = GoldenCase::Kind::Block;
+    c.ir = std::move(ir);
+    c.opts.width = width;
+    c.opts.rawLatency = rawLatency;
+    c.opts.regBase = regBase;
+    c.opts.nameVregs = nameVregs;
+    return c;
+}
+
+GoldenCase
+loopCase(std::string name, PipelineLoop loop, FuId width)
+{
+    GoldenCase c;
+    c.name = std::move(name);
+    c.kind = GoldenCase::Kind::Loop;
+    c.loop = std::move(loop);
+    c.width = width;
+    return c;
+}
+
+GoldenCase
+composeCase(std::string name, std::vector<IrProgram> threads,
+            std::string strategy, FuId width)
+{
+    GoldenCase c;
+    c.name = std::move(name);
+    c.kind = GoldenCase::Kind::Compose;
+    c.threads = std::move(threads);
+    c.strategy = std::move(strategy);
+    c.width = width;
+    return c;
+}
+
+IrProgram
+reduce101()
+{
+    Rng rng(101);
+    return workloads::reductionThread(0, 8, 3, rng);
+}
+
+IrProgram
+mixed202()
+{
+    Rng rng(202);
+    return workloads::mixedThread(0, rng);
+}
+
+} // namespace
+
+std::vector<GoldenCase>
+goldenCases()
+{
+    std::vector<GoldenCase> cases;
+    cases.push_back(blockCase("reduce_w4_l1", reduce101(), 4, 1));
+    cases.push_back(blockCase("reduce_w8_l1", reduce101(), 8, 1));
+    cases.push_back(blockCase("reduce_w2_l3", reduce101(), 2, 3));
+    cases.push_back(
+        blockCase("reduce_w8_l3_base16", reduce101(), 8, 3, 16, false));
+    cases.push_back(blockCase("mixed_w8_l1", mixed202(), 8, 1));
+    cases.push_back(blockCase("mixed_w4_l3", mixed202(), 4, 3));
+    cases.push_back(blockCase("mixed_w1_l1", mixed202(), 1, 1));
+    cases.push_back(loopCase(
+        "loop12_w8", workloads::loop12Pipeline(20, 64, 128), 8));
+    cases.push_back(loopCase(
+        "loop12_w7", workloads::loop12Pipeline(20, 64, 128), 7));
+    cases.push_back(
+        loopCase("scale_w8", workloads::scalePipeline(12, 64, 128), 8));
+    cases.push_back(composeCase("compose_stacked_6",
+                                workloads::reductionThreadSet(6, 42),
+                                "stacked", 8));
+    cases.push_back(composeCase("compose_balanced_6",
+                                workloads::reductionThreadSet(6, 42),
+                                "balanced-groups", 8));
+    return cases;
+}
+
+Program
+compileGoldenCase(const GoldenCase &c)
+{
+    switch (c.kind) {
+      case GoldenCase::Kind::Block:
+        return generateCode(c.ir, c.opts).program;
+      case GoldenCase::Kind::Loop:
+        return pipelineLoop(c.loop, c.width);
+      case GoldenCase::Kind::Compose: {
+        auto tiles = generateTiles(c.threads, c.width);
+        PackResult packing;
+        if (c.strategy == "stacked")
+            packing = packStacked(tiles, c.width);
+        else if (c.strategy == "balanced-groups")
+            packing = packBalancedGroups(tiles, c.width);
+        else
+            fatal("unknown golden pack strategy: ", c.strategy);
+        return composeThreads(c.threads, packing, c.width).program;
+      }
+    }
+    fatal("unreachable golden case kind");
+}
+
+std::string
+serializeForGolden(const std::string &name, const Program &prog)
+{
+    std::ostringstream os;
+    os << "== " << name << " ==\n";
+    std::istringstream in(writeAssembly(prog));
+    for (std::string line; std::getline(in, line);) {
+        if (line.rfind(".const __", 0) == 0)
+            continue;
+        os << line << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared fixture for the pipeline-equivalence golden.
+ *
+ * goldenCases() enumerates deterministic compilation inputs — straight
+ * IR programs at several widths/latencies, modulo-scheduled loops, and
+ * packed multi-thread compositions. The regen tool compiled them with
+ * the pre-refactor stage entry points and committed the serialized
+ * result (golden/pipeline_equivalence.golden); the equivalence test
+ * recompiles the same cases through the pass pipeline and diffs.
+ *
+ * serializeForGolden() drops reserved "__"-prefixed symbols (e.g. the
+ * stamped raw latency) so metadata added by the pipeline does not
+ * perturb the pre-refactor capture.
+ */
+
+#ifndef XIMD_TESTS_SCHED_PIPELINE_GOLDEN_HH
+#define XIMD_TESTS_SCHED_PIPELINE_GOLDEN_HH
+
+#include <string>
+#include <vector>
+
+#include "sched/codegen.hh"
+#include "sched/ir.hh"
+#include "sched/modulo.hh"
+
+namespace ximd::sched {
+
+/** One deterministic compilation input. */
+struct GoldenCase
+{
+    enum class Kind { Block, Loop, Compose };
+
+    std::string name;
+    Kind kind = Kind::Block;
+
+    IrProgram ir;        ///< Kind::Block input.
+    CodegenOptions opts; ///< Kind::Block options.
+
+    PipelineLoop loop; ///< Kind::Loop input.
+
+    std::vector<IrProgram> threads; ///< Kind::Compose inputs.
+    std::string strategy;           ///< Pack strategy name.
+
+    FuId width = 8; ///< Machine width for Loop/Compose.
+};
+
+/** The full deterministic case list (stable order and content). */
+std::vector<GoldenCase> goldenCases();
+
+/** Compile one case through the stage entry points. */
+Program compileGoldenCase(const GoldenCase &c);
+
+/**
+ * Serialize for golden comparison: "== name ==" header plus the
+ * program's assembly text, minus reserved "__"-prefixed constants.
+ */
+std::string serializeForGolden(const std::string &name,
+                               const Program &prog);
+
+} // namespace ximd::sched
+
+#endif // XIMD_TESTS_SCHED_PIPELINE_GOLDEN_HH

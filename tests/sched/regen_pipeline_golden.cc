@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerate tests/sched/golden/pipeline_equivalence.golden.
+ *
+ * Run by hand only when the sched output is *intentionally* changed;
+ * the committed golden otherwise pins the compiler's exact output so
+ * refactors of the pass pipeline stay byte-identical.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "pipeline_golden.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ximd::sched;
+
+    std::string path = std::string(XIMD_SOURCE_DIR) +
+                       "/tests/sched/golden/pipeline_equivalence.golden";
+    if (argc > 1)
+        path = argv[1];
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+    }
+    for (const GoldenCase &c : goldenCases())
+        out << serializeForGolden(c.name, compileGoldenCase(c));
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}

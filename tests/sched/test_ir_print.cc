@@ -1,0 +1,134 @@
+/** Round-trip and error tests for the textual IR (sched/ir_print.hh). */
+
+#include <gtest/gtest.h>
+
+#include "asm/asm_writer.hh"
+#include "sched/codegen.hh"
+#include "sched/ir_print.hh"
+#include "workloads/ir_threads.hh"
+
+using namespace ximd;
+using namespace ximd::sched;
+
+namespace {
+
+const char *kReduceText = R"(.vregs 4
+.vinit v0 0
+.vinit v1 0
+.minit 1025 7
+block loop:
+  v0 = iadd v0, #1
+  v2 = load #1024, v0
+  v3 = imult v2, #3
+  v1 = iadd v1, v3
+  eq v0, #8
+  branch 4 end loop
+block end:
+  store v1, #2048
+  halt
+)";
+
+TEST(IrPrint, ParseThenPrintIsCanonical)
+{
+    auto p = parseIr(kReduceText);
+    ASSERT_TRUE(p.hasValue()) << p.error().format();
+    EXPECT_EQ(printIr(p.value()), kReduceText);
+}
+
+TEST(IrPrint, PrintThenParseReproducesProgram)
+{
+    Rng rng(101);
+    const IrProgram orig = workloads::reductionThread(0, 8, 3, rng);
+    auto back = parseIr(printIr(orig));
+    ASSERT_TRUE(back.hasValue()) << back.error().format();
+    // Same text again...
+    EXPECT_EQ(printIr(back.value()), printIr(orig));
+    // ...and the same compiled program, which is the bar that matters.
+    EXPECT_EQ(writeAssembly(generateCode(back.value()).program),
+              writeAssembly(generateCode(orig).program));
+}
+
+TEST(IrPrint, MixedThreadRoundTrips)
+{
+    Rng rng(202);
+    const IrProgram orig = workloads::mixedThread(0, rng);
+    auto back = parseIr(printIr(orig));
+    ASSERT_TRUE(back.hasValue()) << back.error().format();
+    EXPECT_EQ(printIr(back.value()), printIr(orig));
+}
+
+TEST(IrPrint, CommentsAndBlankLinesIgnored)
+{
+    auto p = parseIr("// a comment\n\n.vregs 1\n"
+                     "block b: // trailing\n  v0 = iadd #1, #2\n"
+                     "  halt\n");
+    ASSERT_TRUE(p.hasValue()) << p.error().format();
+    EXPECT_EQ(p.value().blocks.size(), 1u);
+    EXPECT_EQ(p.value().blocks[0].ops.size(), 1u);
+}
+
+TEST(IrPrint, RawImmediatesAreBitExact)
+{
+    // 0x40490FDB is pi as an IEEE-754 float; the round trip must not
+    // go through a decimal that loses bits.
+    auto p = parseIr(".vregs 1\nblock b:\n"
+                     "  v0 = fadd #0x40490FDB, #0x40490FDB\n  halt\n");
+    ASSERT_TRUE(p.hasValue()) << p.error().format();
+    EXPECT_EQ(p.value().blocks[0].ops[0].a.imm, 0x40490FDBu);
+    auto back = parseIr(printIr(p.value()));
+    ASSERT_TRUE(back.hasValue());
+    EXPECT_EQ(back.value().blocks[0].ops[0].a.imm, 0x40490FDBu);
+}
+
+struct BadCase
+{
+    const char *text;
+    int line;          ///< Expected 1-based error line.
+    const char *needle; ///< Substring of the message.
+};
+
+TEST(IrPrint, ErrorsCarryLineAndPass)
+{
+    const BadCase cases[] = {
+        {".vregs 1\nblock b:\n  v0 = frobnicate v0\n  halt\n", 3,
+         "unknown mnemonic"},
+        {".vregs 1\n  v0 = iadd #1, #2\n", 2, "outside a block"},
+        {".vregs 1\nblock b:\n  v0 = iadd #1\n  halt\n", 3,
+         "wants 2 sources"},
+        {".vregs 1\nblock b:\n  v0 = eq v0, #1\n  halt\n", 3,
+         "cannot have a destination"},
+        {".vregs 1\nblock b:\n  iadd #1, #2\n  halt\n", 3,
+         "needs a destination"},
+        {".vregs 1\nblock b:\n  v0 = iadd q3, #2\n  halt\n", 3,
+         "bad value"},
+        {".vregs 1\nblock b:\n  branch x end b\n  halt\n", 3,
+         "bad branch compare index"},
+        // Reported at end of input, where the terminator is missing.
+        {".vregs 1\nblock b:\n  v0 = iadd #1, #2\n", 4,
+         "not terminated"},
+    };
+    for (const BadCase &c : cases) {
+        auto p = parseIr(c.text);
+        ASSERT_FALSE(p.hasValue()) << c.text;
+        EXPECT_EQ(p.error().pass, "ir-parse") << c.text;
+        EXPECT_EQ(p.error().line, c.line) << c.text;
+        EXPECT_NE(p.error().message.find(c.needle), std::string::npos)
+            << p.error().format();
+        // format() renders the line for tooling.
+        EXPECT_NE(p.error().format().find("line"), std::string::npos);
+    }
+}
+
+TEST(IrPrint, SemanticErrorsComeFromValidation)
+{
+    // Parses fine, but the branch targets a block that does not exist;
+    // the validator's diagnostic is re-tagged to the parse pass.
+    auto p = parseIr(".vregs 1\nblock b:\n  eq #1, #2\n"
+                     "  branch 0 nowhere b\n");
+    ASSERT_FALSE(p.hasValue());
+    EXPECT_EQ(p.error().pass, "ir-parse");
+    EXPECT_NE(p.error().message.find("nowhere"), std::string::npos)
+        << p.error().format();
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+/** PassManager / Compiler facade tests (sched/pipeline.hh). */
+
+#include <gtest/gtest.h>
+
+#include "asm/asm_writer.hh"
+#include "sched/compose.hh"
+#include "sched/ir_print.hh"
+#include "sched/pipeline.hh"
+#include "workloads/ir_threads.hh"
+
+using namespace ximd;
+using namespace ximd::sched;
+
+namespace {
+
+IrProgram
+reduceIr()
+{
+    Rng rng(101);
+    return workloads::reductionThread(0, 8, 3, rng);
+}
+
+std::vector<std::string>
+passSequence(const Compiler &cc)
+{
+    std::vector<std::string> names;
+    for (const PassStat &s : cc.stats())
+        names.push_back(s.pass);
+    return names;
+}
+
+TEST(Pipeline, CompileMatchesLegacyEntryPoint)
+{
+    PipelineOptions po;
+    po.width = 4;
+    Compiler cc(po);
+    auto r = cc.compile(reduceIr());
+    ASSERT_TRUE(r.hasValue()) << r.error().format();
+
+    CodegenOptions co;
+    co.width = 4;
+    EXPECT_EQ(writeAssembly(r.value().program),
+              writeAssembly(generateCode(reduceIr(), co).program));
+}
+
+TEST(Pipeline, StatsRecordEveryPassInOrder)
+{
+    Compiler cc;
+    ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
+    EXPECT_EQ(passSequence(cc),
+              (std::vector<std::string>{"validate-ir", "build-ddg",
+                                        "list-schedule", "codegen"}));
+    for (const PassStat &s : cc.stats())
+        EXPECT_GE(s.wallMs, 0.0) << s.pass;
+}
+
+TEST(Pipeline, CountersReflectTheCompilation)
+{
+    Compiler cc;
+    ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
+    const auto &stats = cc.stats();
+    EXPECT_EQ(stats[0].counters.at("blocks"), 2);  // loop + end
+    EXPECT_EQ(stats[0].counters.at("ops"), 6);
+    EXPECT_GT(stats[1].counters.at("edges"), 0);
+    EXPECT_EQ(stats[2].counters.at("ops_scheduled"), 6);
+    EXPECT_GT(stats[3].counters.at("rows"), 0);
+    EXPECT_EQ(stats[3].counters.at("raw_latency"), 1);
+}
+
+TEST(Pipeline, OptionalPassesAppearWhenEnabled)
+{
+    PipelineOptions po;
+    po.mergeBlocks = true;
+    po.verify = true;
+    Compiler cc(po);
+    ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
+    EXPECT_EQ(passSequence(cc),
+              (std::vector<std::string>{"validate-ir", "merge-blocks",
+                                        "build-ddg", "list-schedule",
+                                        "codegen", "verify"}));
+}
+
+TEST(Pipeline, DumpHookFiresAfterEveryPass)
+{
+    Compiler cc;
+    std::vector<std::string> seen;
+    cc.setAfterPass([&](const std::string &pass,
+                        const CompileContext &cx) {
+        seen.push_back(pass);
+        // The context is live at hook time: by codegen the program
+        // exists, before it only the IR does.
+        if (pass == "codegen")
+            EXPECT_TRUE(cx.hasProgram);
+        if (pass == "validate-ir")
+            EXPECT_FALSE(cx.hasProgram);
+    });
+    ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
+    EXPECT_EQ(seen,
+              (std::vector<std::string>{"validate-ir", "build-ddg",
+                                        "list-schedule", "codegen"}));
+}
+
+TEST(Pipeline, VerifyBetweenAcceptsAHealthyCompile)
+{
+    PipelineOptions po;
+    po.verifyBetween = true;
+    Compiler cc(po);
+    auto r = cc.compile(reduceIr());
+    EXPECT_TRUE(r.hasValue()) << r.error().format();
+}
+
+TEST(Pipeline, BadIrFailsStructurallyNotByThrow)
+{
+    IrProgram ir = reduceIr();
+    ir.blocks[0].term.taken = "nowhere";
+    Compiler cc;
+    CompileResult<CodegenResult> r = CodegenResult{};
+    EXPECT_NO_THROW(r = cc.compile(std::move(ir)));
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "validate-ir");
+    EXPECT_EQ(r.error().block, "loop");
+    EXPECT_NE(r.error().message.find("nowhere"), std::string::npos);
+    // Only the failing pass ran; its stat entry is still recorded.
+    EXPECT_EQ(passSequence(cc),
+              (std::vector<std::string>{"validate-ir"}));
+}
+
+TEST(Pipeline, StatsJsonNamesPassesAndCounters)
+{
+    Compiler cc;
+    ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
+    const std::string json = cc.statsJson();
+    EXPECT_NE(json.find("\"passes\""), std::string::npos);
+    EXPECT_NE(json.find("\"pass\": \"codegen\""), std::string::npos);
+    EXPECT_NE(json.find("\"ops_scheduled\": 6"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_ms\""), std::string::npos);
+}
+
+TEST(Pipeline, LoopPathMatchesLegacyModulo)
+{
+    PipelineOptions po;
+    po.width = 8;
+    Compiler cc(po);
+    auto r = cc.compileLoop(workloads::loop12Pipeline(20, 64, 128));
+    ASSERT_TRUE(r.hasValue()) << r.error().format();
+    EXPECT_EQ(
+        writeAssembly(r.value()),
+        writeAssembly(
+            pipelineLoop(workloads::loop12Pipeline(20, 64, 128), 8)));
+    ASSERT_EQ(cc.stats().size(), 1u);
+    EXPECT_EQ(cc.stats()[0].pass, "modulo");
+    EXPECT_EQ(cc.stats()[0].counters.at("ii"), 1);
+    EXPECT_GT(cc.stats()[0].counters.at("kernel_rows"), 0);
+}
+
+TEST(Pipeline, ComposePathMatchesLegacyCompose)
+{
+    const auto threads = workloads::reductionThreadSet(6, 42);
+    PipelineOptions po;
+    po.width = 8;
+    Compiler cc(po);
+    auto r = cc.compose(threads, "balanced-groups");
+    ASSERT_TRUE(r.hasValue()) << r.error().format();
+
+    auto tiles = generateTiles(threads, 8);
+    auto packing = packBalancedGroups(tiles, 8);
+    EXPECT_EQ(writeAssembly(r.value().program),
+              writeAssembly(
+                  composeThreads(threads, packing, 8).program));
+    EXPECT_EQ(passSequence(cc),
+              (std::vector<std::string>{"tile", "pack", "compose"}));
+    EXPECT_GT(cc.stats()[1].counters.at("utilization_pct"), 0.0);
+}
+
+TEST(Pipeline, UnknownPackStrategyIsAStructuredError)
+{
+    Compiler cc;
+    auto r = cc.compose(workloads::reductionThreadSet(2, 42),
+                        "best-effort");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "pack");
+    EXPECT_NE(r.error().message.find("unknown pack strategy"),
+              std::string::npos);
+    // The failing pass still left a stat entry (tile, then pack).
+    EXPECT_EQ(passSequence(cc),
+              (std::vector<std::string>{"tile", "pack"}));
+}
+
+TEST(Pipeline, PackStrategyLookupCoversAllFive)
+{
+    for (const char *name :
+         {"stacked", "first-fit", "skyline", "balanced-groups",
+          "exhaustive"})
+        EXPECT_NE(packStrategyByName(name), nullptr) << name;
+    EXPECT_EQ(packStrategyByName("quantum"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * The refactor's byte-identity pin: every golden case compiled
+ * through the new pass pipeline must serialize exactly as the
+ * pre-refactor stage entry points did (captured in
+ * golden/pipeline_equivalence.golden before the pipeline existed).
+ */
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "pipeline_golden.hh"
+#include "sched/pipeline.hh"
+
+using namespace ximd;
+using namespace ximd::sched;
+
+namespace {
+
+std::string
+compileThroughPipeline(const GoldenCase &c)
+{
+    PipelineOptions po;
+    switch (c.kind) {
+      case GoldenCase::Kind::Block: {
+        po.width = c.opts.width;
+        po.regBase = c.opts.regBase;
+        po.nameVregs = c.opts.nameVregs;
+        po.rawLatency = c.opts.rawLatency;
+        Compiler cc(po);
+        auto r = cc.compile(c.ir);
+        EXPECT_TRUE(r.hasValue())
+            << c.name << ": " << r.error().format();
+        return serializeForGolden(c.name, r.value().program);
+      }
+      case GoldenCase::Kind::Loop: {
+        po.width = c.width;
+        Compiler cc(po);
+        auto r = cc.compileLoop(c.loop);
+        EXPECT_TRUE(r.hasValue())
+            << c.name << ": " << r.error().format();
+        return serializeForGolden(c.name, r.value());
+      }
+      case GoldenCase::Kind::Compose: {
+        po.width = c.width;
+        Compiler cc(po);
+        auto r = cc.compose(c.threads, c.strategy);
+        EXPECT_TRUE(r.hasValue())
+            << c.name << ": " << r.error().format();
+        return serializeForGolden(c.name, r.value().program);
+      }
+    }
+    ADD_FAILURE() << "unreachable case kind";
+    return "";
+}
+
+TEST(PipelineEquivalence, PipelineMatchesLegacyPerCase)
+{
+    for (const GoldenCase &c : goldenCases())
+        EXPECT_EQ(compileThroughPipeline(c),
+                  serializeForGolden(c.name, compileGoldenCase(c)))
+            << c.name;
+}
+
+TEST(PipelineEquivalence, PipelineMatchesPreRefactorCapture)
+{
+    std::ifstream in(XIMD_SOURCE_DIR
+                     "/tests/sched/golden/pipeline_equivalence.golden");
+    ASSERT_TRUE(in) << "missing golden capture";
+    std::ostringstream want;
+    want << in.rdbuf();
+
+    std::ostringstream got;
+    for (const GoldenCase &c : goldenCases())
+        got << compileThroughPipeline(c);
+    EXPECT_EQ(got.str(), want.str())
+        << "pipeline output drifted from the pre-refactor capture; "
+           "if the change is intentional, rerun regen_pipeline_golden";
+}
+
+TEST(PipelineEquivalence, VerifyBetweenDoesNotPerturbOutput)
+{
+    // The inter-pass verifier must be an observer, not a transform.
+    for (const GoldenCase &c : goldenCases()) {
+        if (c.kind != GoldenCase::Kind::Block)
+            continue;
+        PipelineOptions po;
+        po.width = c.opts.width;
+        po.regBase = c.opts.regBase;
+        po.nameVregs = c.opts.nameVregs;
+        po.rawLatency = c.opts.rawLatency;
+        po.verifyBetween = true;
+        po.verify = true;
+        Compiler cc(po);
+        auto r = cc.compile(c.ir);
+        ASSERT_TRUE(r.hasValue())
+            << c.name << ": " << r.error().format();
+        EXPECT_EQ(serializeForGolden(c.name, r.value().program),
+                  serializeForGolden(c.name, compileGoldenCase(c)))
+            << c.name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * Edge-of-the-envelope sched tests: latency-3 code generation
+ * executing on a latency-3 machine, the compiled-latency stamp,
+ * packer overflow, single-FU tiling, and structured modulo errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/latency_check.hh"
+#include "core/machine.hh"
+#include "sched/codegen.hh"
+#include "sched/compose.hh"
+#include "sched/modulo.hh"
+#include "sched/packer.hh"
+#include "sched/pipeline.hh"
+#include "workloads/ir_threads.hh"
+
+using namespace ximd;
+using namespace ximd::sched;
+
+namespace {
+
+IrProgram
+reduceIr()
+{
+    Rng rng(101);
+    return workloads::reductionThread(0, 8, 3, rng);
+}
+
+Word
+runAndReadMem(Program prog, unsigned latency, Addr addr)
+{
+    Machine m(std::move(prog),
+              MachineConfig{}.withResultLatency(latency));
+    const RunResult r = m.run();
+    EXPECT_TRUE(r.ok()) << r.faultMessage;
+    return m.peekMem(addr);
+}
+
+TEST(SchedEdges, Latency3CodeExecutesCorrectlyAtLatency3)
+{
+    CodegenOptions l1, l3;
+    l3.rawLatency = 3;
+    const Word want = runAndReadMem(
+        generateCode(reduceIr(), l1).program, 1, 2048);
+    EXPECT_EQ(runAndReadMem(generateCode(reduceIr(), l3).program, 3,
+                            2048),
+              want);
+}
+
+TEST(SchedEdges, Latency1CodeIsWrongAtLatency3AndStampSaysSo)
+{
+    // The silent failure the __rawlat stamp exists to catch: the
+    // latency-1 schedule reads registers before the latency-3 pipe
+    // has written them back, so the reduction misses addends.
+    const Program prog = generateCode(reduceIr()).program;
+    EXPECT_NE(runAndReadMem(prog, 3, 2048),
+              runAndReadMem(prog, 1, 2048));
+
+    const LatencyCheck check = checkCompiledLatency(prog, 3);
+    EXPECT_TRUE(check.stamped);
+    EXPECT_EQ(check.compiledFor, 1u);
+    EXPECT_TRUE(check.mismatch());
+    EXPECT_NE(check.message().find("stale"), std::string::npos);
+}
+
+TEST(SchedEdges, LatencyStampMatchesCodegenOptions)
+{
+    CodegenOptions o;
+    o.rawLatency = 3;
+    const Program prog = generateCode(reduceIr(), o).program;
+    EXPECT_EQ(prog.symbol(kRawLatencySymbol), std::optional<Word>{3});
+    EXPECT_FALSE(checkCompiledLatency(prog, 3).mismatch());
+    EXPECT_TRUE(checkCompiledLatency(prog, 1).mismatch());
+}
+
+TEST(SchedEdges, HandWrittenProgramsHaveNoStamp)
+{
+    const Program p(2);
+    const LatencyCheck check = checkCompiledLatency(p, 3);
+    EXPECT_FALSE(check.stamped);
+    EXPECT_FALSE(check.mismatch());
+    EXPECT_TRUE(check.message().empty());
+}
+
+TEST(SchedEdges, PackerRejectsColumnOverflow)
+{
+    TileSet set;
+    set.threadId = 0;
+    set.impls = {Tile{0, 4, 5}};
+    set.heightAtWidth = {20, 10, 7, 5, 5, 5, 5, 5};
+
+    PackResult packing;
+    packing.strategy = "manual";
+    packing.placements = {Placement{0, 4, 5, /*col=*/6, /*row=*/0}};
+    packing.totalHeight = 5;
+
+    auto v = validatePackingChecked(packing, {set}, 8);
+    ASSERT_FALSE(v.hasValue());
+    EXPECT_EQ(v.error().pass, "pack");
+    EXPECT_NO_THROW((void)validatePackingChecked(packing, {set}, 8));
+}
+
+TEST(SchedEdges, PackerRejectsOverlappingPlacements)
+{
+    auto threads = workloads::reductionThreadSet(2, 42);
+    auto tiles = generateTiles(threads, 8);
+    PackResult packing;
+    packing.strategy = "manual";
+    packing.placements = {
+        Placement{0, 4, tiles[0].heightAt(4), 0, 0},
+        Placement{1, 4, tiles[1].heightAt(4), 2, 0}, // cols 2-5 overlap
+    };
+    packing.totalHeight =
+        std::max(tiles[0].heightAt(4), tiles[1].heightAt(4));
+    auto v = validatePackingChecked(packing, tiles, 8);
+    ASSERT_FALSE(v.hasValue());
+    EXPECT_EQ(v.error().pass, "pack");
+}
+
+TEST(SchedEdges, SingleFuTilesComposeAndRun)
+{
+    // Width-1 tiles are the degenerate end of Figure 13: every thread
+    // serializes onto one FU, side by side.
+    const auto threads = workloads::reductionThreadSet(2, 42);
+    const auto tiles = generateTiles(threads, 1);
+    for (const TileSet &s : tiles) {
+        ASSERT_EQ(s.impls.size(), 1u);
+        EXPECT_EQ(s.impls[0].width, 1);
+        EXPECT_EQ(s.impls[0].height, s.heightAt(1));
+    }
+
+    PipelineOptions po;
+    po.width = 2;
+    Compiler cc(po);
+    auto r = cc.compose(threads, "balanced-groups");
+    ASSERT_TRUE(r.hasValue()) << r.error().format();
+    for (const ComposedThread &t : r.value().threads)
+        EXPECT_EQ(t.width, 1);
+
+    Machine m(r.value().program, MachineConfig{});
+    EXPECT_TRUE(m.run().ok());
+    EXPECT_EQ(m.peekMem(2048), runAndReadMem(
+        generateCode(threads[0]).program, 1, 2048));
+}
+
+TEST(SchedEdges, ModuloRejectsInfeasibleWidthStructurally)
+{
+    // 5 body ops + induction + compare = 7 slots; width 4 cannot
+    // reach II = 1, which historically was a FatalError throw.
+    const PipelineLoop loop = workloads::loop12Pipeline(20, 64, 128);
+    CompileResult<Program> r = Program{1};
+    EXPECT_NO_THROW(r = pipelineLoopChecked(loop, 4));
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "modulo");
+}
+
+TEST(SchedEdges, ModuloRejectsMissingDestStructurally)
+{
+    PipelineLoop loop = workloads::scalePipeline(8, 64, 128);
+    loop.body[0].destLocal = -1; // a load with nowhere to land
+    auto r = pipelineLoopChecked(loop, 8);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "modulo");
+    EXPECT_EQ(r.error().op, 0);
+    EXPECT_NE(r.error().message.find("destination"), std::string::npos);
+}
+
+TEST(SchedEdges, ModuloRejectsZeroTripCountStructurally)
+{
+    PipelineLoop loop = workloads::scalePipeline(8, 64, 128);
+    loop.tripCount = 0;
+    auto r = pipelineLoopChecked(loop, 8);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "modulo");
+}
+
+TEST(SchedEdges, CodegenRegisterExhaustionIsStructured)
+{
+    CodegenOptions o;
+    o.regBase = 253; // 4 vregs cannot fit above 253 of 256.
+    auto r = generateCodeChecked(reduceIr(), o);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "codegen");
+}
+
+} // namespace
