@@ -43,6 +43,43 @@ for golden in examples/ir/golden/*.ximd; do
 done
 echo "xcc: examples compile, lint clean, goldens match"
 
+# Race-lint stage: the cross-stream race engine over the shipped
+# corpus. The good examples and every xcc-compiled golden must come
+# back clean (exit 0); each bad-corpus program must be rejected
+# (exit 1) with its expected diagnostic kind.
+echo "==> race-lint (ximd-lint --race over goldens and examples)"
+"$LINT" --race --json \
+    examples/programs/minmax.ximd \
+    examples/programs/barrier.ximd \
+    examples/ir/golden/*.ximd > /dev/null
+for bad in race_mem:mem-race race_cc_sync:cc-race \
+           lost_signal:lost-signal unbounded_wait:unbounded-wait; do
+    prog="examples/programs/${bad%%:*}.ximd"
+    check="${bad##*:}"
+    if "$LINT" --race --json "$prog" > "$XCC_OUT/race.json"; then
+        echo "race-lint: $prog unexpectedly clean" >&2
+        exit 1
+    fi
+    grep -q "\"check\": \"$check\"" "$XCC_OUT/race.json" || {
+        echo "race-lint: $prog missing expected $check" >&2
+        exit 1
+    }
+done
+echo "race-lint: good corpus clean, bad corpus rejected"
+
+# clang-tidy stage: bugprone/concurrency/performance profiles from
+# .clang-tidy over the analysis and core sources, using the release
+# build's compile_commands.json. Gated on the tool being installed so
+# minimal containers still pass CI.
+if command -v clang-tidy > /dev/null 2>&1; then
+    echo "==> clang-tidy (src/analysis + src/core)"
+    clang-tidy -p build-release --quiet \
+        src/analysis/*.cc src/core/*.cc
+    echo "clang-tidy: clean"
+else
+    echo "==> clang-tidy not installed; skipping stage"
+fi
+
 # Snapshot / fuzz / fault stage: the serialization substrate and the
 # fault injector poke at raw state buffers, so run those suites again
 # under ASan+UBSan explicitly (they are also part of the full runs

@@ -28,6 +28,13 @@ checkName(Check c)
       case Check::SelfDeadlock:        return "deadlock";
       case Check::CrossStreamDeadlock: return "deadlock";
       case Check::MalformedDataOp:     return "malformed-data-op";
+      case Check::RegRace:             return "reg-race";
+      case Check::MemRace:             return "mem-race";
+      case Check::MemMaybeRace:        return "mem-maybe-race";
+      case Check::CcRace:              return "cc-race";
+      case Check::LostSignal:          return "lost-signal";
+      case Check::UnboundedWait:       return "unbounded-wait";
+      case Check::RaceBudget:          return "race-budget";
       case Check::AsmParse:            return "asm-parse";
       case Check::LoadFailed:          return "load-failed";
       case Check::RunFailed:           return "run-failed";
@@ -47,6 +54,29 @@ DiagnosticList::warning(Check c, InstAddr row, int fu, std::string msg)
 {
     diags_.push_back(
         {Severity::Warning, c, row, fu, std::move(msg)});
+}
+
+void
+DiagnosticList::merge(const DiagnosticList &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+void
+DiagnosticList::attachLines(const Program &prog)
+{
+    for (Diagnostic &d : diags_) {
+        if (d.check == Check::AsmParse ||
+            d.check == Check::LoadFailed ||
+            d.check == Check::RunFailed)
+            continue;
+        if (d.line == 0)
+            d.line = prog.rowLine(d.row);
+        if (d.otherLine == 0 && d.otherRow >= 0)
+            d.otherLine =
+                prog.rowLine(static_cast<InstAddr>(d.otherRow));
+    }
 }
 
 std::size_t
@@ -101,7 +131,22 @@ DiagnosticList::formatOne(const Diagnostic &d, const Program *prog)
     }
     if (d.fu >= 0)
         os << " fu" << d.fu;
+    if (d.line > 0)
+        os << " line " << d.line;
     os << ": " << d.message;
+    if (d.otherRow >= 0) {
+        os << " [other site: row " << d.otherRow;
+        if (prog) {
+            if (auto label =
+                    prog->labelAt(static_cast<InstAddr>(d.otherRow)))
+                os << " (" << *label << ")";
+        }
+        if (d.otherFu >= 0)
+            os << " fu" << d.otherFu;
+        if (d.otherLine > 0)
+            os << " line " << d.otherLine;
+        os << "]";
+    }
     return os.str();
 }
 

@@ -59,6 +59,15 @@ enum class Check : std::uint8_t {
     // Structural checks (verify.cc).
     MalformedDataOp,    ///< Operand shape rejected by the ISA.
 
+    // Happens-before / may-happen-in-parallel race checks (race.hh).
+    RegRace,       ///< Cross-stream register access with ambiguous order.
+    MemRace,       ///< Cross-stream memory access, proven overlapping.
+    MemMaybeRace,  ///< Cross-stream memory access, possible overlap.
+    CcRace,        ///< Cross-stream condition-code access, ambiguous.
+    LostSignal,    ///< Wait on a DONE the partner can no longer drive.
+    UnboundedWait, ///< Busy-wait loop whose exit compare is constant.
+    RaceBudget,    ///< Product-state budget exhausted; pair downgraded.
+
     // Front-end failures (asm/assembler.hh Result API; `row` holds the
     // source line for AsmParse and is meaningless for LoadFailed).
     AsmParse,   ///< Assembly source rejected by the assembler.
@@ -80,6 +89,15 @@ struct Diagnostic
     int fu = -1; ///< Column, or -1 when the finding spans the row.
     std::string message;
 
+    // Optional provenance, filled by checks that relate two program
+    // points (the race engine) or know source lines. Rendering only
+    // changes when these are set, so existing checks keep their exact
+    // output format.
+    int otherRow = -1; ///< Second site's row, or -1 when absent.
+    int otherFu = -1;  ///< Second site's FU, or -1 when absent.
+    int line = 0;      ///< 1-based source line of `row`; 0 unknown.
+    int otherLine = 0; ///< 1-based source line of `otherRow`.
+
     bool isError() const { return severity == Severity::Error; }
 };
 
@@ -89,6 +107,18 @@ class DiagnosticList
   public:
     void error(Check c, InstAddr row, int fu, std::string msg);
     void warning(Check c, InstAddr row, int fu, std::string msg);
+
+    /** Append a fully-built finding (race engine two-site reports). */
+    void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+    /** Append every finding of @p other. */
+    void merge(const DiagnosticList &other);
+
+    /**
+     * Fill each finding's line provenance from @p prog's row→source
+     * map (rows the assembler saw; no-op for rows without one).
+     */
+    void attachLines(const Program &prog);
 
     const std::vector<Diagnostic> &all() const { return diags_; }
     bool empty() const { return diags_.empty(); }

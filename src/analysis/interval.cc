@@ -1,0 +1,577 @@
+#include "analysis/interval.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace ximd::analysis {
+
+namespace {
+
+constexpr std::int64_t kI32Min =
+    std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kI32Max =
+    std::numeric_limits<std::int32_t>::max();
+
+/** Join or widen loops converge within this many visits per row. */
+constexpr unsigned kWidenAfter = 64;
+
+std::int64_t
+clampLo(std::int64_t v)
+{
+    return std::max(v, -Interval::kInf);
+}
+
+std::int64_t
+clampHi(std::int64_t v)
+{
+    return std::min(v, Interval::kInf);
+}
+
+} // namespace
+
+Interval
+Interval::join(const Interval &a, const Interval &b)
+{
+    if (a.isEmpty())
+        return b;
+    if (b.isEmpty())
+        return a;
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval
+Interval::widen(const Interval &prev, const Interval &next)
+{
+    if (prev.isEmpty())
+        return next;
+    if (next.isEmpty())
+        return prev;
+    Interval w = prev;
+    if (next.lo < prev.lo)
+        w.lo = -kInf;
+    if (next.hi > prev.hi)
+        w.hi = kInf;
+    return w;
+}
+
+bool
+Interval::overlaps(const Interval &a, const Interval &b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return false;
+    return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+Interval
+Interval::add(const Interval &o) const
+{
+    if (isEmpty() || o.isEmpty())
+        return empty();
+    const std::int64_t lo2 = clampLo(lo + o.lo);
+    const std::int64_t hi2 = clampHi(hi + o.hi);
+    // The machine wraps mod 2^32: any result outside int32 may alias
+    // anything, so the sum is only exact when it provably fits.
+    if (lo2 < kI32Min || hi2 > kI32Max)
+        return top();
+    return {lo2, hi2};
+}
+
+Interval
+Interval::sub(const Interval &o) const
+{
+    if (isEmpty() || o.isEmpty())
+        return empty();
+    const std::int64_t lo2 = clampLo(lo - o.hi);
+    const std::int64_t hi2 = clampHi(hi - o.lo);
+    if (lo2 < kI32Min || hi2 > kI32Max)
+        return top();
+    return {lo2, hi2};
+}
+
+std::string
+Interval::toString() const
+{
+    if (isEmpty())
+        return "empty";
+    if (isTop())
+        return "top";
+    std::ostringstream os;
+    os << (lo <= -kInf ? std::string("(-inf")
+                       : "[" + std::to_string(lo));
+    os << ",";
+    os << (hi >= kInf ? std::string("+inf)")
+                      : std::to_string(hi) + "]");
+    return os.str();
+}
+
+std::vector<char>
+externallyWrittenRegs(const Program &prog, const ProgramCfg &cfg,
+                      const std::vector<FuId> &members)
+{
+    std::vector<char> inClass(prog.width(), 0);
+    for (FuId m : members)
+        inClass[m] = 1;
+    std::vector<char> ext(kNumRegisters, 0);
+    for (FuId fu = 0; fu < prog.width(); ++fu) {
+        if (inClass[fu])
+            continue;
+        for (InstAddr r = 0; r < prog.size(); ++r) {
+            if (!cfg.executable(r, fu))
+                continue;
+            const DataOp &d = prog.parcel(r, fu).data;
+            if (d.hasDest())
+                ext[d.dest] = 1;
+        }
+    }
+    return ext;
+}
+
+ClassIntervalAnalysis::ClassIntervalAnalysis(
+    const Program &prog, const StreamCfg &cfg,
+    std::vector<FuId> members, std::vector<char> externalReg)
+    : prog_(prog), cfg_(cfg), members_(std::move(members)),
+      externalReg_(std::move(externalReg))
+{
+    const InstAddr rows = prog_.size();
+    in_.assign(rows, State(kNumRegisters, Interval::empty()));
+    factsIn_.assign(rows, std::vector<CcFact>(members_.size()));
+    visited_.assign(rows, 0);
+    visits_.assign(rows, 0);
+    run();
+}
+
+bool
+ClassIntervalAnalysis::visited(InstAddr row) const
+{
+    return row < visited_.size() && visited_[row];
+}
+
+Interval
+ClassIntervalAnalysis::regAt(InstAddr row, RegId r) const
+{
+    if (!visited(row) || r >= kNumRegisters)
+        return Interval::top();
+    return in_[row][r];
+}
+
+Interval
+ClassIntervalAnalysis::evalIn(const State &st,
+                              const Operand &op) const
+{
+    if (op.isImm())
+        return Interval::single(static_cast<SWord>(op.immValue()));
+    if (op.isReg()) {
+        if (op.regId() >= kNumRegisters ||
+            externalReg_[op.regId()])
+            return Interval::top();
+        return st[op.regId()];
+    }
+    return Interval::top();
+}
+
+Interval
+ClassIntervalAnalysis::evalOperand(InstAddr row,
+                                   const Operand &op) const
+{
+    if (op.isImm())
+        return Interval::single(static_cast<SWord>(op.immValue()));
+    if (!visited(row))
+        return Interval::top();
+    return evalIn(in_[row], op);
+}
+
+Interval
+ClassIntervalAnalysis::loadAddr(InstAddr row, FuId fu) const
+{
+    const DataOp &d = prog_.parcel(row, fu).data;
+    return evalOperand(row, d.a).add(evalOperand(row, d.b));
+}
+
+Interval
+ClassIntervalAnalysis::storeAddr(InstAddr row, FuId fu) const
+{
+    return evalOperand(row, prog_.parcel(row, fu).data.b);
+}
+
+Interval
+ClassIntervalAnalysis::storeValue(InstAddr row, FuId fu) const
+{
+    return evalOperand(row, prog_.parcel(row, fu).data.a);
+}
+
+std::optional<bool>
+ClassIntervalAnalysis::compareOutcome(InstAddr row, FuId fu) const
+{
+    if (!visited(row))
+        return std::nullopt;
+    const DataOp &d = prog_.parcel(row, fu).data;
+    if (opInfo(d.op).cls != OpClass::IntCompare)
+        return std::nullopt;
+    const Interval a = evalIn(in_[row], d.a);
+    const Interval b = evalIn(in_[row], d.b);
+    if (a.isEmpty() || b.isEmpty())
+        return std::nullopt;
+    switch (d.op) {
+      case Opcode::Eq:
+        if (a.isSingle() && b.isSingle())
+            return a.lo == b.lo;
+        if (!Interval::overlaps(a, b))
+            return false;
+        return std::nullopt;
+      case Opcode::Ne:
+        if (a.isSingle() && b.isSingle())
+            return a.lo != b.lo;
+        if (!Interval::overlaps(a, b))
+            return true;
+        return std::nullopt;
+      case Opcode::Lt:
+        if (a.hi < b.lo)
+            return true;
+        if (a.lo >= b.hi)
+            return false;
+        return std::nullopt;
+      case Opcode::Le:
+        if (a.hi <= b.lo)
+            return true;
+        if (a.lo > b.hi)
+            return false;
+        return std::nullopt;
+      case Opcode::Gt:
+        if (a.lo > b.hi)
+            return true;
+        if (a.hi <= b.lo)
+            return false;
+        return std::nullopt;
+      case Opcode::Ge:
+        if (a.lo >= b.hi)
+            return true;
+        if (a.hi < b.lo)
+            return false;
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+ClassIntervalAnalysis::State
+ClassIntervalAnalysis::transfer(InstAddr row, const State &in) const
+{
+    State out = in;
+    // All members execute the row in the same cycle; reads observe
+    // beginning-of-cycle state, so evaluate every write from `in`
+    // before applying any of them.
+    std::vector<std::pair<RegId, Interval>> writes;
+    for (FuId m : members_) {
+        const DataOp &d = prog_.parcel(row, m).data;
+        if (!d.hasDest())
+            continue;
+        Interval v = Interval::top();
+        switch (d.op) {
+          case Opcode::Iadd:
+            v = evalIn(in, d.a).add(evalIn(in, d.b));
+            break;
+          case Opcode::Isub:
+            v = evalIn(in, d.a).sub(evalIn(in, d.b));
+            break;
+          case Opcode::Mov:
+            v = evalIn(in, d.a);
+            break;
+          case Opcode::Ineg:
+            v = Interval::single(0).sub(evalIn(in, d.a));
+            break;
+          case Opcode::Imult: {
+            const Interval a = evalIn(in, d.a);
+            const Interval b = evalIn(in, d.b);
+            if (a.isSingle() && b.isSingle()) {
+                const std::int64_t p = a.lo * b.lo;
+                if (p >= kI32Min && p <= kI32Max)
+                    v = Interval::single(p);
+            }
+            break;
+          }
+          default:
+            // Loads, divisions, logic/shift ops, float ops: ⊤.
+            break;
+        }
+        writes.emplace_back(d.dest, v);
+    }
+    std::vector<char> seen(kNumRegisters, 0);
+    for (const auto &[dest, v] : writes) {
+        if (externalReg_[dest])
+            continue; // pinned to ⊤
+        out[dest] = seen[dest] ? Interval::join(out[dest], v) : v;
+        seen[dest] = 1;
+    }
+    return out;
+}
+
+namespace {
+
+/** Trim @p v to the values where `regLeft ? v op K : K op v` is
+ *  @p outcome. Endpoint-precision for Eq/Ne keeps counter loops
+ *  (`iadd r,#1,r` + `eq r,#N`) exactly bounded. */
+Interval
+refine(Interval v, Opcode op, bool regLeft, std::int64_t k,
+       bool outcome)
+{
+    // Normalize to a relation with the register on the left.
+    if (!regLeft) {
+        switch (op) {
+          case Opcode::Lt: op = Opcode::Gt; break;
+          case Opcode::Le: op = Opcode::Ge; break;
+          case Opcode::Gt: op = Opcode::Lt; break;
+          case Opcode::Ge: op = Opcode::Le; break;
+          default: break; // Eq/Ne symmetric
+        }
+    }
+    // Normalize to the true outcome.
+    if (!outcome) {
+        switch (op) {
+          case Opcode::Eq: op = Opcode::Ne; break;
+          case Opcode::Ne: op = Opcode::Eq; break;
+          case Opcode::Lt: op = Opcode::Ge; break;
+          case Opcode::Le: op = Opcode::Gt; break;
+          case Opcode::Gt: op = Opcode::Le; break;
+          case Opcode::Ge: op = Opcode::Lt; break;
+          default: break;
+        }
+    }
+    switch (op) {
+      case Opcode::Eq:
+        if (!v.contains(k))
+            return Interval::empty();
+        return Interval::single(k);
+      case Opcode::Ne:
+        if (v.isSingle() && v.lo == k)
+            return Interval::empty();
+        if (v.lo == k)
+            v.lo = k + 1;
+        if (v.hi == k)
+            v.hi = k - 1;
+        return v;
+      case Opcode::Lt:
+        v.hi = std::min(v.hi, k - 1);
+        return v;
+      case Opcode::Le:
+        v.hi = std::min(v.hi, k);
+        return v;
+      case Opcode::Gt:
+        v.lo = std::max(v.lo, k + 1);
+        return v;
+      case Opcode::Ge:
+        v.lo = std::max(v.lo, k);
+        return v;
+      default:
+        return v;
+    }
+}
+
+} // namespace
+
+bool
+ClassIntervalAnalysis::joinInto(InstAddr row, const State &state,
+                                const std::vector<CcFact> &facts)
+{
+    if (!visited_[row]) {
+        visited_[row] = 1;
+        in_[row] = state;
+        factsIn_[row] = facts;
+        visits_[row] = 1;
+        return true;
+    }
+    bool changed = false;
+    const bool widen = visits_[row] > kWidenAfter;
+    for (RegId r = 0; r < kNumRegisters; ++r) {
+        const Interval merged =
+            widen ? Interval::widen(in_[row][r],
+                                    Interval::join(in_[row][r],
+                                                   state[r]))
+                  : Interval::join(in_[row][r], state[r]);
+        if (!(merged == in_[row][r])) {
+            in_[row][r] = merged;
+            changed = true;
+        }
+    }
+    // Facts join by agreement (must-analysis).
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        CcFact &cur = factsIn_[row][i];
+        if (cur.valid && !(cur == facts[i])) {
+            cur = CcFact{};
+            changed = true;
+        }
+    }
+    if (changed)
+        ++visits_[row];
+    return changed;
+}
+
+void
+ClassIntervalAnalysis::propagate(InstAddr row, const State &out,
+                                 std::vector<char> &dirty)
+{
+    const FuId rep = members_.front();
+    const ControlOp &c = prog_.parcel(row, rep).ctrl;
+
+    // Registers written this row (facts about them go stale).
+    std::vector<char> wrote(kNumRegisters, 0);
+    for (FuId m : members_) {
+        const DataOp &d = prog_.parcel(row, m).data;
+        if (d.hasDest())
+            wrote[d.dest] = 1;
+    }
+
+    // Outgoing facts: kill on overwrite, then gen from this row's
+    // compares (the new cc commits at end of cycle, so it governs
+    // the successors).
+    std::vector<CcFact> outFacts = factsIn_[row];
+    for (CcFact &f : outFacts)
+        if (f.valid &&
+            (wrote[f.reg] || (!f.isImm && wrote[f.kreg])))
+            f = CcFact{};
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        const FuId m = members_[i];
+        const DataOp &d = prog_.parcel(row, m).data;
+        if (opInfo(d.op).cls != OpClass::IntCompare)
+            continue;
+        outFacts[i] = CcFact{};
+        const bool aReg = d.a.isReg();
+        const bool bReg = d.b.isReg();
+        CcFact f;
+        f.op = d.op;
+        if (aReg && d.b.isImm()) {
+            f.reg = d.a.regId();
+            f.regLeft = true;
+            f.isImm = true;
+            f.imm = static_cast<SWord>(d.b.immValue());
+        } else if (bReg && d.a.isImm()) {
+            f.reg = d.b.regId();
+            f.regLeft = false;
+            f.isImm = true;
+            f.imm = static_cast<SWord>(d.a.immValue());
+        } else if (aReg && bReg) {
+            f.reg = d.a.regId();
+            f.regLeft = true;
+            f.kreg = d.b.regId();
+        } else {
+            continue;
+        }
+        if (f.reg >= kNumRegisters || externalReg_[f.reg] ||
+            wrote[f.reg])
+            continue;
+        if (!f.isImm && (f.kreg >= kNumRegisters ||
+                         externalReg_[f.kreg] || wrote[f.kreg]))
+            continue;
+        f.valid = true;
+        outFacts[i] = f;
+    }
+
+    // A cc-true branch on a member's fact refines each out-edge.
+    const CcFact *guard = nullptr;
+    if (c.kind == CondKind::CcTrue) {
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (members_[i] != c.index)
+                continue;
+            const CcFact &f = factsIn_[row][i];
+            // The branch reads the beginning-of-cycle cc, which the
+            // incoming fact describes — unless this row just
+            // invalidated the compared values.
+            if (f.valid && !wrote[f.reg] &&
+                (f.isImm || !wrote[f.kreg]))
+                guard = &f;
+            break;
+        }
+    }
+
+    auto send = [&](InstAddr succ, std::optional<bool> outcome) {
+        if (succ >= prog_.size())
+            return;
+        if (guard && outcome) {
+            std::int64_t k = guard->imm;
+            bool haveK = guard->isImm;
+            if (!haveK) {
+                const Interval ki = out[guard->kreg];
+                if (ki.isSingle()) {
+                    k = ki.lo;
+                    haveK = true;
+                }
+            }
+            if (haveK) {
+                State refined = out;
+                refined[guard->reg] =
+                    refine(out[guard->reg], guard->op,
+                           guard->regLeft, k, *outcome);
+                if (refined[guard->reg].isEmpty())
+                    return; // edge infeasible
+                if (joinInto(succ, refined, outFacts))
+                    dirty[succ] = 1;
+                return;
+            }
+        }
+        if (joinInto(succ, out, outFacts))
+            dirty[succ] = 1;
+    };
+
+    switch (c.kind) {
+      case CondKind::Halt:
+        break;
+      case CondKind::Always:
+        send(c.t1, std::nullopt);
+        break;
+      case CondKind::CcTrue:
+        send(c.t1, true);
+        if (c.t2 != c.t1)
+            send(c.t2, false);
+        break;
+      default:
+        send(c.t1, std::nullopt);
+        if (c.t2 != c.t1)
+            send(c.t2, std::nullopt);
+        break;
+    }
+}
+
+void
+ClassIntervalAnalysis::run()
+{
+    if (prog_.empty())
+        return;
+
+    // Entry state: initializers as singletons, everything else 0
+    // (the register file zero-fills), externals ⊤.
+    State entry(kNumRegisters, Interval::single(0));
+    for (const auto &[reg, value] : prog_.regInit())
+        entry[reg] = Interval::single(static_cast<SWord>(value));
+    for (RegId r = 0; r < kNumRegisters; ++r)
+        if (externalReg_[r])
+            entry[r] = Interval::top();
+
+    visited_[0] = 1;
+    in_[0] = entry;
+    visits_[0] = 1;
+
+    std::deque<InstAddr> work;
+    std::vector<char> queued(prog_.size(), 0);
+    work.push_back(0);
+    queued[0] = 1;
+    while (!work.empty()) {
+        const InstAddr row = work.front();
+        work.pop_front();
+        queued[row] = 0;
+        if (!cfg_.isReachable(row))
+            continue;
+        std::vector<char> dirty(prog_.size(), 0);
+        const State out = transfer(row, in_[row]);
+        propagate(row, out, dirty);
+        for (InstAddr s = 0; s < prog_.size(); ++s)
+            if (dirty[s] && !queued[s]) {
+                work.push_back(s);
+                queued[s] = 1;
+            }
+    }
+}
+
+} // namespace ximd::analysis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lockstep-class partition of a program's functional units.
+ *
+ * Two FUs whose columns carry the *same* control operation at every
+ * row either of them can reach execute identical PC trajectories
+ * forever: both sequencers start at row 0, and identical condition
+ * fields read the same globally-visible CC / SS-bus values, so every
+ * branch resolves the same way in both columns (induction over
+ * cycles). The race engine exploits this: accesses inside one
+ * lockstep class are deterministically interleaved and can never race
+ * with each other, so the cross-stream analysis only has to reason
+ * about *pairs of classes* — e.g. the differential-fuzz corpus (all
+ * eight columns identical) collapses to a single class and is
+ * trivially race-free by construction.
+ */
+
+#ifndef XIMD_ANALYSIS_LOCKSTEP_HH
+#define XIMD_ANALYSIS_LOCKSTEP_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "isa/program.hh"
+
+namespace ximd::analysis {
+
+/** The partition: classOf[fu] indexes members[]. */
+struct LockstepClasses
+{
+    std::vector<int> classOf;          ///< Per FU, its class index.
+    std::vector<std::vector<FuId>> members; ///< Per class, its FUs.
+
+    std::size_t count() const { return members.size(); }
+
+    /** Lowest-numbered FU of class @p c (its CFG represents all). */
+    FuId representative(int c) const { return members[c].front(); }
+
+    bool sameClass(FuId a, FuId b) const
+    {
+        return classOf[a] == classOf[b];
+    }
+};
+
+/**
+ * Partition @p prog's FUs into lockstep classes. Two FUs share a
+ * class iff their control operations agree on every row reachable by
+ * the first (which then implies the reachable sets coincide).
+ */
+LockstepClasses computeLockstepClasses(const Program &prog,
+                                       const ProgramCfg &cfg);
+
+} // namespace ximd::analysis
+
+#endif // XIMD_ANALYSIS_LOCKSTEP_HH

@@ -526,8 +526,10 @@ AsmContext::assemble()
         prog_.addMemInit(addr, value);
     for (const auto &[reg, value] : regInit_)
         prog_.addRegInit(reg, value);
-    for (const RawRow &raw : rows_)
-        prog_.addRow(parseRow(raw));
+    for (const RawRow &raw : rows_) {
+        const InstAddr addr = prog_.addRow(parseRow(raw));
+        prog_.setRowLine(addr, raw.line);
+    }
 
     for (const auto &[name, addr] : labels_) {
         if (addr >= prog_.size())

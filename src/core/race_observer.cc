@@ -1,0 +1,168 @@
+#include "core/race_observer.hh"
+
+#include <map>
+#include <sstream>
+
+#include "core/machine_core.hh"
+#include "support/logging.hh"
+
+namespace ximd {
+
+std::string
+RaceObserver::Event::toString() const
+{
+    std::ostringstream os;
+    os << "cycle " << cycle << ": ";
+    switch (kind) {
+      case LocKind::Reg:
+        os << "r" << loc;
+        break;
+      case LocKind::Mem:
+        os << "M[" << loc << "]";
+        break;
+      case LocKind::Cc:
+        os << "cc" << loc;
+        break;
+    }
+    os << " " << (writeA ? "write" : "read") << " fu"
+       << static_cast<int>(fuA) << "@row" << rowA << " / "
+       << (writeB ? "write" : "read") << " fu"
+       << static_cast<int>(fuB) << "@row" << rowB;
+    return os.str();
+}
+
+RaceObserver::RaceObserver(const Program &prog) : prog_(prog)
+{
+    shapes_.resize(static_cast<std::size_t>(prog.size()) *
+                   prog.width());
+    for (InstAddr r = 0; r < prog.size(); ++r) {
+        for (FuId fu = 0; fu < prog.width(); ++fu) {
+            Shape &s = shapes_[static_cast<std::size_t>(r) *
+                                   prog.width() +
+                               fu];
+            const Parcel &p = prog.parcel(r, fu);
+            const DataOp &d = p.data;
+            for (const Operand *op : {&d.a, &d.b})
+                if (op->isReg())
+                    s.regReads.push_back(op->regId());
+            if (d.hasDest()) {
+                s.writesReg = true;
+                s.regDest = d.dest;
+            }
+            const OpClass cls = opInfo(d.op).cls;
+            s.loads = cls == OpClass::MemLoad;
+            s.stores = cls == OpClass::MemStore;
+            s.writesCc = setsCondCode(d.op);
+            if (p.ctrl.kind == CondKind::CcTrue) {
+                s.readsCc = true;
+                s.ccRead = p.ctrl.index;
+            }
+        }
+    }
+}
+
+const RaceObserver::Shape &
+RaceObserver::shapeAt(InstAddr row, FuId fu) const
+{
+    return shapes_[static_cast<std::size_t>(row) * prog_.width() +
+                   fu];
+}
+
+void
+RaceObserver::recordPairs(Cycle cycle, const MachineCore &core,
+                          LocKind kind, std::uint32_t loc,
+                          const std::vector<Touch> &touches)
+{
+    for (std::size_t i = 0; i < touches.size(); ++i) {
+        for (std::size_t j = i + 1; j < touches.size(); ++j) {
+            const Touch &a = touches[i];
+            const Touch &b = touches[j];
+            if (a.fu == b.fu)
+                continue;
+            if (!a.write && !b.write)
+                continue;
+            // Lockstep read-old: a write and a read from the same
+            // row under the same control op are the deterministic
+            // VLIW-style idiom, not a conflict.
+            if (a.write != b.write && a.row == b.row &&
+                prog_.parcel(a.row, a.fu).ctrl ==
+                    prog_.parcel(b.row, b.fu).ctrl)
+                continue;
+            // Keep the pair in (fu-ascending) canonical order.
+            const Touch &x = a.fu < b.fu ? a : b;
+            const Touch &y = a.fu < b.fu ? b : a;
+            if (!seen_
+                     .insert({static_cast<std::uint8_t>(kind), loc,
+                              x.row, x.fu, y.row, y.fu})
+                     .second)
+                continue;
+            Event e;
+            e.cycle = cycle;
+            e.kind = kind;
+            e.loc = loc;
+            e.rowA = x.row;
+            e.fuA = x.fu;
+            e.writeA = x.write;
+            e.rowB = y.row;
+            e.fuB = y.fu;
+            e.writeB = y.write;
+            events_.push_back(e);
+        }
+    }
+    (void)core;
+}
+
+void
+RaceObserver::onCycle(const MachineCore &core)
+{
+    // Beginning-of-cycle state: pcs name the rows about to execute,
+    // registers hold the values every operand (including address
+    // expressions) will read this cycle.
+    const Cycle cyc = core.cycle();
+    std::map<std::pair<std::uint8_t, std::uint32_t>,
+             std::vector<Touch>>
+        byLoc;
+    auto touch = [&](LocKind kind, std::uint32_t loc, FuId fu,
+                     InstAddr row, bool write) {
+        byLoc[{static_cast<std::uint8_t>(kind), loc}].push_back(
+            {fu, row, write});
+    };
+    auto val = [&](const Operand &op) -> Word {
+        if (op.isImm())
+            return op.immValue();
+        if (op.isReg())
+            return core.readReg(op.regId());
+        return 0;
+    };
+    // A VLIW core advances only the shared sequencer (pc 0).
+    const bool vliw = core.mode() == Mode::Vliw;
+    for (FuId fu = 0; fu < core.numFus(); ++fu) {
+        if (core.haltedFu(fu))
+            continue;
+        const InstAddr row = core.pc(vliw ? 0 : fu);
+        if (row >= prog_.size())
+            continue;
+        const Shape &s = shapeAt(row, fu);
+        for (RegId r : s.regReads)
+            touch(LocKind::Reg, r, fu, row, false);
+        if (s.writesReg)
+            touch(LocKind::Reg, s.regDest, fu, row, true);
+        const DataOp &d = prog_.parcel(row, fu).data;
+        if (s.loads)
+            touch(LocKind::Mem, val(d.a) + val(d.b), fu, row,
+                  false);
+        if (s.stores)
+            touch(LocKind::Mem, val(d.b), fu, row, true);
+        if (s.writesCc)
+            touch(LocKind::Cc, fu, fu, row, true);
+        if (s.readsCc)
+            touch(LocKind::Cc, s.ccRead, fu, row, false);
+    }
+    for (const auto &[key, touches] : byLoc)
+        if (touches.size() > 1)
+            recordPairs(cyc, core,
+                        static_cast<LocKind>(key.first), key.second,
+                        touches);
+}
+
+} // namespace ximd

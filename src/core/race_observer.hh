@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dynamic cross-stream conflict detection (runtime side of the race
+ * engine).
+ *
+ * The static analysis (analysis/race.hh) predicts which shared-state
+ * accesses can collide; this observer watches a real execution and
+ * records every *same-cycle* conflicting access pair it sees — two
+ * FUs touching the same register, memory word, or condition code in
+ * one cycle with at least one side writing.
+ *
+ * Two deliberate exclusions keep the signal meaningful:
+ *  - read/read pairs (never a conflict);
+ *  - write/read pairs between FUs executing the *same row with the
+ *    same control op* — the lockstep read-old idiom (the reader sees
+ *    the beginning-of-cycle value by construction; scheduler-emitted
+ *    code does this on almost every row).
+ *
+ * Same-cycle W/W on one location is a machine fault for registers
+ * (write-port conflict) but is still recorded here first: the event
+ * list survives the fault and names both sites.
+ *
+ * The cross-validation contract (tests/fuzz/test_race_corpus.cc):
+ * on an *unperturbed* run, every event this observer records must
+ * match a diagnostic or a covered() pair of the static RaceReport.
+ * Fault injection (e.g. a stuck SS line) can steer execution outside
+ * the unperturbed state space, producing events the static report
+ * does not know — which is exactly how the fault tests prove the
+ * observer actually fires.
+ */
+
+#ifndef XIMD_CORE_RACE_OBSERVER_HH
+#define XIMD_CORE_RACE_OBSERVER_HH
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "core/observer.hh"
+#include "isa/program.hh"
+
+namespace ximd {
+
+/** Watches an execution for same-cycle conflicting accesses. */
+class RaceObserver : public CycleObserver
+{
+  public:
+    enum class LocKind : std::uint8_t { Reg, Mem, Cc };
+
+    /** One observed same-cycle conflicting access pair. */
+    struct Event
+    {
+        Cycle cycle = 0;
+        LocKind kind = LocKind::Reg;
+        std::uint32_t loc = 0; ///< Register, address, or cc index.
+        InstAddr rowA = 0;
+        FuId fuA = 0;
+        bool writeA = false;
+        InstAddr rowB = 0;
+        FuId fuB = 0;
+        bool writeB = false;
+
+        /** "cycle 12: M[100] write fu0@row4 / read fu1@row4". */
+        std::string toString() const;
+    };
+
+    /** @p prog must be the program the observed core executes. */
+    explicit RaceObserver(const Program &prog);
+
+    void onCycle(const MachineCore &core) override;
+
+    const std::vector<Event> &events() const { return events_; }
+
+  private:
+    /** Static per-(row, fu) access shape, precomputed from @p prog. */
+    struct Shape
+    {
+        std::vector<RegId> regReads;
+        bool writesReg = false;
+        RegId regDest = 0;
+        bool loads = false;  ///< Address = val(a) + val(b).
+        bool stores = false; ///< Address = val(b).
+        bool writesCc = false;
+        bool readsCc = false;
+        std::uint8_t ccRead = 0;
+    };
+
+    struct Touch
+    {
+        FuId fu;
+        InstAddr row;
+        bool write;
+    };
+
+    const Shape &shapeAt(InstAddr row, FuId fu) const;
+    void recordPairs(Cycle cycle, const MachineCore &core,
+                     LocKind kind, std::uint32_t loc,
+                     const std::vector<Touch> &touches);
+
+    const Program &prog_;
+    std::vector<Shape> shapes_; ///< row-major [row * width + fu]
+    std::vector<Event> events_;
+    /** Site-tuple dedup: one event per distinct pair of sites. */
+    std::set<std::tuple<std::uint8_t, std::uint32_t, InstAddr, FuId,
+                        InstAddr, FuId>>
+        seen_;
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_RACE_OBSERVER_HH

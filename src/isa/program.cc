@@ -154,6 +154,22 @@ Program::addRegInit(RegId r, Word value)
 }
 
 void
+Program::setRowLine(InstAddr addr, int line)
+{
+    if (addr >= rows_.size())
+        fatal("row ", addr, " out of range in setRowLine");
+    if (rowLines_.size() < rows_.size())
+        rowLines_.resize(rows_.size(), 0);
+    rowLines_[addr] = line;
+}
+
+int
+Program::rowLine(InstAddr addr) const
+{
+    return addr < rowLines_.size() ? rowLines_[addr] : 0;
+}
+
+void
 Program::validate() const
 {
     const auto n = static_cast<InstAddr>(rows_.size());

@@ -114,6 +114,17 @@ class Program
     /** Request that register r = value before execution starts. */
     void addRegInit(RegId r, Word value);
 
+    /**
+     * Bind instruction row @p addr to the 1-based source line it was
+     * assembled from. Purely diagnostic provenance: tools use it to
+     * point findings back at the listing; it never affects execution
+     * or the snapshot digest.
+     */
+    void setRowLine(InstAddr addr, int line);
+
+    /** Source line of row @p addr, or 0 when unknown. */
+    int rowLine(InstAddr addr) const;
+
     /** All initial-register requests, in insertion order. */
     const std::vector<std::pair<RegId, Word>> &regInit() const
     {
@@ -137,6 +148,7 @@ class Program
     std::map<RegId, std::string> regNames_;
     std::vector<std::pair<Addr, Word>> memInit_;
     std::vector<std::pair<RegId, Word>> regInit_;
+    std::vector<int> rowLines_; ///< 1-based source lines; 0 unknown.
 };
 
 } // namespace ximd

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "analysis/race.hh"
 #include "analysis/verify.hh"
 #include "support/logging.hh"
 
@@ -269,6 +270,39 @@ class VerifyPass : public Pass
     }
 };
 
+class RaceCheckPass : public Pass
+{
+  public:
+    std::string name() const override { return "race-check"; }
+
+    CompileResult<Ok>
+    run(CompileContext &cx, PassStat &stat) override
+    {
+        if (!cx.hasProgram)
+            return compileError("race-check",
+                                "no program to analyze");
+        const analysis::RaceReport report =
+            analysis::analyzeRaces(cx.program);
+        stat.counters["classes"] =
+            static_cast<double>(report.classes);
+        stat.counters["pairs"] =
+            static_cast<double>(report.pairsAnalyzed);
+        stat.counters["product_states"] =
+            static_cast<double>(report.productStates);
+        stat.counters["races"] =
+            static_cast<double>(report.diags.errorCount());
+        stat.counters["covered"] =
+            static_cast<double>(report.covered.size());
+        if (report.diags.hasErrors())
+            return compileError(
+                "race-check",
+                cat("emitted program fails cross-stream race "
+                    "analysis:\n",
+                    report.diags.formatted(&cx.program)));
+        return Ok{};
+    }
+};
+
 /** verifyBetween support: check the context invariants hold. */
 CompileResult<Ok>
 checkInvariants(const std::string &pass, CompileContext &cx)
@@ -287,6 +321,16 @@ checkInvariants(const std::string &pass, CompileContext &cx)
         } catch (const FatalError &e) {
             return compileError(
                 "verify", cat("after pass '", pass, "': ", e.what()));
+        }
+        if (cx.opts.analyzeRace) {
+            const analysis::RaceReport report =
+                analysis::analyzeRaces(cx.program);
+            if (report.diags.hasErrors())
+                return compileError(
+                    "race-check",
+                    cat("after pass '", pass,
+                        "': cross-stream race analysis failed:\n",
+                        report.diags.formatted(&cx.program)));
         }
     }
     return Ok{};
@@ -390,6 +434,12 @@ makeVerifyPass()
     return std::make_unique<VerifyPass>();
 }
 
+std::unique_ptr<Pass>
+makeRaceCheckPass()
+{
+    return std::make_unique<RaceCheckPass>();
+}
+
 std::string
 statsJson(const std::vector<PassStat> &stats)
 {
@@ -451,6 +501,8 @@ Compiler::compile(IrProgram ir)
     pm.add(makeCodegenPass());
     if (opts_.verify)
         pm.add(makeVerifyPass());
+    if (opts_.analyzeRace)
+        pm.add(makeRaceCheckPass());
     if (auto r = runPipeline(pm); !r)
         return r.error();
     return cx_.code;
@@ -467,6 +519,8 @@ Compiler::compileLoop(PipelineLoop loop)
     pm.add(makeModuloPass());
     if (opts_.verify)
         pm.add(makeVerifyPass());
+    if (opts_.analyzeRace)
+        pm.add(makeRaceCheckPass());
     if (auto r = runPipeline(pm); !r)
         return r.error();
     return cx_.program;
@@ -486,6 +540,8 @@ Compiler::compose(std::vector<IrProgram> threads,
     pm.add(makeComposePass(opts_.regsPerThread));
     if (opts_.verify)
         pm.add(makeVerifyPass());
+    if (opts_.analyzeRace)
+        pm.add(makeRaceCheckPass());
     if (auto r = runPipeline(pm); !r)
         return r.error();
     return cx_.composed;

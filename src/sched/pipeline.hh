@@ -74,6 +74,15 @@ struct PipelineOptions
     /** Append a final static-verification pass. */
     bool verify = false;
 
+    /**
+     * Append a cross-stream race-analysis pass (analysis::analyzeRaces)
+     * after verify: the emitted program must be free of cross-stream
+     * races, lost signals, and unbounded busy-waits. With verifyBetween
+     * also set, the race engine re-runs after every program-producing
+     * pass.
+     */
+    bool analyzeRace = false;
+
     CodegenOptions
     codegen() const
     {
@@ -178,6 +187,7 @@ std::unique_ptr<Pass> makeTilePass();
 std::unique_ptr<Pass> makePackPass(std::string strategy);
 std::unique_ptr<Pass> makeComposePass(RegId regsPerThread = 24);
 std::unique_ptr<Pass> makeVerifyPass();
+std::unique_ptr<Pass> makeRaceCheckPass();
 /// @}
 
 /** Render cx.stats as JSON (xcc --stats-json). */

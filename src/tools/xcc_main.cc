@@ -22,6 +22,9 @@
  *                         compose them into one program
  *     --regs-per-thread N architectural registers per thread (24)
  *     --verify            run the static verifier as a final pass
+ *     --analyze=race      run the cross-stream race engine as a final
+ *                         pass (rejects races / lost signals /
+ *                         unbounded busy-waits in the emitted code)
  *     --verify-between    re-verify IR and program after every pass
  *     --dump-after PASS   print pipeline state after PASS to stderr
  *                         (repeatable; PASS may be 'all')
@@ -62,6 +65,7 @@ usage()
         << "                      balanced-groups, exhaustive)\n"
         << "  --regs-per-thread N registers per composed thread\n"
         << "  --verify            final static-verification pass\n"
+        << "  --analyze=race      final cross-stream race analysis\n"
         << "  --verify-between    re-verify after every pass\n"
         << "  --dump-after PASS   dump state after PASS (or 'all')\n"
         << "  --stats-json        per-pass stats JSON to stderr\n"
@@ -137,6 +141,14 @@ parseArgs(int argc, char **argv)
                 static_cast<RegId>(parseCount(arg.substr(18)));
         } else if (arg == "--verify") {
             o.pipe.verify = true;
+        } else if (arg == "--analyze") {
+            if (next() != "race")
+                usage();
+            o.pipe.analyzeRace = true;
+        } else if (arg.rfind("--analyze=", 0) == 0) {
+            if (arg.substr(10) != "race")
+                usage();
+            o.pipe.analyzeRace = true;
         } else if (arg == "--verify-between") {
             o.pipe.verifyBetween = true;
         } else if (arg == "--dump-after") {
@@ -321,7 +333,7 @@ runCompiler(const Options &o)
             std::cerr << "xcc: warning: no pass named '" << want
                       << "' ran (passes: validate-ir merge-blocks "
                          "build-ddg list-schedule codegen modulo "
-                         "tile pack compose verify)\n";
+                         "tile pack compose verify race-check)\n";
     if (o.statsJson)
         std::cerr << compiler.statsJson();
     if (failed)

@@ -4,28 +4,38 @@
  *
  * Assembles each input file and runs the full analysis pipeline
  * (src/analysis/): per-FU control-flow graphs, register/CC dataflow,
- * and cross-stream conflict and deadlock detection. No simulation is
- * performed; everything reported is derived from the program text
- * alone.
+ * and cross-stream conflict and deadlock detection. With --race the
+ * happens-before/MHP race engine also runs: lockstep-class
+ * partitioning, per-class-pair product exploration, and interval
+ * bounding of addresses and waits (see analysis/race.hh). No
+ * simulation is performed; everything reported is derived from the
+ * program text alone.
  *
  * Usage:
  *   ximd-lint [options] program.ximd [more.ximd ...]
+ *     --race      also run the cross-stream race engine
+ *     --json      machine-readable report on stdout
  *     --werror    treat warnings as errors (exit status)
  *     --no-warn   suppress warning-severity findings
  *     --quiet     print only the per-file summary lines
  *
- * Exit status: 0 when every file is clean, 1 when any file has
- * errors (or warnings under --werror) or fails to assemble, 2 on
- * usage errors.
+ * Exit status (stable, scripted against by ci.sh):
+ *   0  every file assembled and is clean
+ *   1  at least one file has findings (errors, or warnings under
+ *      --werror), including files that fail to assemble
+ *   2  usage error, or an input file could not be read
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/race.hh"
 #include "analysis/verify.hh"
 #include "asm/assembler.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace {
@@ -37,15 +47,20 @@ usage()
 {
     std::cerr
         << "usage: ximd-lint [options] program.ximd [more.ximd ...]\n"
+        << "  --race      also run the cross-stream race engine\n"
+        << "  --json      machine-readable report on stdout\n"
         << "  --werror    treat warnings as errors\n"
         << "  --no-warn   suppress warning-severity findings\n"
-        << "  --quiet     print only per-file summaries\n";
+        << "  --quiet     print only per-file summaries\n"
+        << "exit status: 0 clean, 1 findings, 2 usage or I/O error\n";
     std::exit(2);
 }
 
 struct Options
 {
     std::vector<std::string> files;
+    bool race = false;
+    bool jsonOut = false;
     bool werror = false;
     bool noWarn = false;
     bool quiet = false;
@@ -57,7 +72,11 @@ parseArgs(int argc, char **argv)
     Options o;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--werror")
+        if (arg == "--race")
+            o.race = true;
+        else if (arg == "--json")
+            o.jsonOut = true;
+        else if (arg == "--werror")
             o.werror = true;
         else if (arg == "--no-warn")
             o.noWarn = true;
@@ -73,34 +92,118 @@ parseArgs(int argc, char **argv)
     return o;
 }
 
-/** Lint one file; true when it should fail the run. */
-bool
-lintFile(const std::string &path, const Options &o)
+json::Value
+diagToJson(const analysis::Diagnostic &d)
 {
+    json::Value o = json::Value::object();
+    o.set("severity", d.isError() ? "error" : "warning");
+    o.set("check", std::string(analysis::checkName(d.check)));
+    o.set("row", static_cast<std::int64_t>(d.row));
+    o.set("fu", d.fu);
+    if (d.line > 0)
+        o.set("line", d.line);
+    o.set("message", d.message);
+    if (d.otherRow >= 0) {
+        o.set("otherRow", d.otherRow);
+        o.set("otherFu", d.otherFu);
+        if (d.otherLine > 0)
+            o.set("otherLine", d.otherLine);
+    }
+    return o;
+}
+
+/** Per-file lint outcome for the exit status. */
+enum class FileStatus { Clean, Findings, IoError };
+
+FileStatus
+lintFile(const std::string &path, const Options &o,
+         json::Value &jsonFiles)
+{
+    // An unreadable input is an invocation problem (exit 2), not a
+    // finding about the program; probe before handing to the
+    // assembler so the two failure kinds stay distinguishable.
+    if (!std::ifstream(path).good()) {
+        std::cerr << path << ": error: cannot read file\n";
+        return FileStatus::IoError;
+    }
+
+    json::Value jf = json::Value::object();
+    jf.set("path", path);
+
     Program prog(1);
     try {
         prog = assembleFile(path);
     } catch (const FatalError &e) {
-        std::cout << path << ": error: " << e.what() << "\n";
-        return true;
+        if (o.jsonOut) {
+            jf.set("assembled", false);
+            jf.set("error", std::string(e.what()));
+            jsonFiles.push(std::move(jf));
+        } else {
+            std::cout << path << ": error: " << e.what() << "\n";
+        }
+        return FileStatus::Findings;
     }
 
     analysis::AnalyzeOptions opts;
     opts.warnings = !o.noWarn;
-    const analysis::DiagnosticList diags = analysis::analyze(prog, opts);
+    analysis::DiagnosticList diags = analysis::analyze(prog, opts);
 
-    if (!o.quiet)
+    analysis::RaceReport race;
+    if (o.race) {
+        analysis::RaceOptions ropts;
+        ropts.warnings = !o.noWarn;
+        race = analysis::analyzeRaces(prog, ropts);
+        diags.merge(race.diags);
+    }
+
+    if (o.jsonOut) {
+        jf.set("assembled", true);
+        json::Value jd = json::Value::array();
         for (const auto &d : diags.all())
-            std::cout << path << ": "
-                      << analysis::DiagnosticList::formatOne(d, &prog)
-                      << "\n";
+            jd.push(diagToJson(d));
+        jf.set("diagnostics", std::move(jd));
+        jf.set("errors",
+               static_cast<std::int64_t>(diags.errorCount()));
+        jf.set("warnings",
+               static_cast<std::int64_t>(diags.warningCount()));
+        if (o.race) {
+            json::Value jr = json::Value::object();
+            jr.set("classes",
+                   static_cast<std::int64_t>(race.classes));
+            jr.set("pairs",
+                   static_cast<std::int64_t>(race.pairsAnalyzed));
+            jr.set("productStates",
+                   static_cast<std::int64_t>(race.productStates));
+            jr.set("budgetExceeded", race.budgetExceeded);
+            jr.set("skippedOnBaseErrors", race.baseErrors);
+            json::Value jc = json::Value::array();
+            for (const analysis::SitePair &sp : race.covered) {
+                json::Value js = json::Value::object();
+                js.set("rowA", static_cast<std::int64_t>(sp.rowA));
+                js.set("fuA", sp.fuA);
+                js.set("rowB", static_cast<std::int64_t>(sp.rowB));
+                js.set("fuB", sp.fuB);
+                jc.push(std::move(js));
+            }
+            jr.set("covered", std::move(jc));
+            jf.set("race", std::move(jr));
+        }
+        jsonFiles.push(std::move(jf));
+    } else {
+        if (!o.quiet)
+            for (const auto &d : diags.all())
+                std::cout
+                    << path << ": "
+                    << analysis::DiagnosticList::formatOne(d, &prog)
+                    << "\n";
+        const std::string summary = diags.summary();
+        std::cout << path << ": "
+                  << (summary.empty() ? "clean" : summary) << "\n";
+    }
 
-    const std::string summary = diags.summary();
-    std::cout << path << ": "
-              << (summary.empty() ? "clean" : summary) << "\n";
-
-    return diags.hasErrors() ||
-           (o.werror && diags.warningCount() > 0);
+    const bool failed = diags.hasErrors() ||
+                        (o.werror && diags.warningCount() > 0);
+    return failed ? FileStatus::Findings : FileStatus::Clean;
 }
 
 } // namespace
@@ -109,8 +212,27 @@ int
 main(int argc, char **argv)
 {
     const Options o = parseArgs(argc, argv);
-    bool failed = false;
-    for (const std::string &f : o.files)
-        failed |= lintFile(f, o);
-    return failed ? 1 : 0;
+    json::Value jsonFiles = json::Value::array();
+    bool findings = false;
+    bool ioError = false;
+    for (const std::string &f : o.files) {
+        switch (lintFile(f, o, jsonFiles)) {
+          case FileStatus::Clean:
+            break;
+          case FileStatus::Findings:
+            findings = true;
+            break;
+          case FileStatus::IoError:
+            ioError = true;
+            break;
+        }
+    }
+    if (o.jsonOut) {
+        json::Value top = json::Value::object();
+        top.set("files", std::move(jsonFiles));
+        std::cout << top.dump(2) << "\n";
+    }
+    if (ioError)
+        return 2;
+    return findings ? 1 : 0;
 }

@@ -25,10 +25,14 @@
  *     --registered-ss  ablation: register the sync-signal bus
  *     --verify         statically verify after assembly; refuse to
  *                      simulate a program with errors
+ *     --race-check     watch the run with the dynamic race observer;
+ *                      print every same-cycle cross-stream conflict
+ *                      and exit non-zero if any occurred
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +41,7 @@
 #include "asm/assembler.hh"
 #include "core/latency_check.hh"
 #include "core/machine.hh"
+#include "core/race_observer.hh"
 #include "isa/disasm.hh"
 #include "support/logging.hh"
 
@@ -74,7 +79,8 @@ usage()
         << "  --reg NAME       print a named register (repeatable)\n"
         << "  --mem ADDR[:N]   print N memory words from ADDR\n"
         << "  --registered-ss  ablation: registered sync signals\n"
-        << "  --verify         refuse to simulate on static errors\n";
+        << "  --verify         refuse to simulate on static errors\n"
+        << "  --race-check     report dynamic cross-stream conflicts\n";
     std::exit(2);
 }
 
@@ -88,6 +94,7 @@ struct Options
     bool noTrace = false;
     bool list = false;
     bool verify = false;
+    bool raceCheck = false;
     bool registeredSync = false;
     unsigned latency = 1;
     Cycle maxCycles = 0;
@@ -133,6 +140,8 @@ parseArgs(int argc, char **argv)
             o.list = true;
         } else if (arg == "--verify") {
             o.verify = true;
+        } else if (arg == "--race-check") {
+            o.raceCheck = true;
         } else if (arg == "--registered-ss") {
             o.registeredSync = true;
         } else if (arg == "--max-cycles") {
@@ -182,6 +191,12 @@ runMachine(Program prog, const Options &o)
         cfg.withoutObservers();
 
     Machine machine(std::move(prog), cfg);
+    std::unique_ptr<RaceObserver> raceObserver;
+    if (o.raceCheck) {
+        raceObserver =
+            std::make_unique<RaceObserver>(machine.program());
+        machine.addObserver(raceObserver.get());
+    }
     const RunResult result = machine.run(o.maxCycles);
 
     switch (result.reason) {
@@ -215,6 +230,17 @@ runMachine(Program prog, const Options &o)
         std::cout << machine.stats().json(cfg.cycleTimeNs);
     if (o.trace)
         std::cout << "\n" << machine.trace().formatted();
+
+    if (raceObserver) {
+        for (const RaceObserver::Event &e : raceObserver->events())
+            std::cout << gTool << ": race-check: " << e.toString()
+                      << "\n";
+        if (raceObserver->events().empty())
+            std::cout << gTool
+                      << ": race-check: no cross-stream conflicts\n";
+        else
+            return 1;
+    }
 
     return result.ok() ? 0 : 1;
 }

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the interval value domain (analysis/interval.hh):
+ * lattice operations, wrap-sound arithmetic, and the per-class
+ * forward analysis with guard refinement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/interval.hh"
+#include "asm/assembler.hh"
+
+namespace ximd::analysis {
+namespace {
+
+TEST(Interval, LatticeBasics)
+{
+    const Interval a = Interval::range(0, 4);
+    const Interval b = Interval::range(3, 9);
+    EXPECT_EQ(Interval::join(a, b), Interval::range(0, 9));
+    EXPECT_TRUE(Interval::overlaps(a, b));
+    EXPECT_FALSE(Interval::overlaps(Interval::range(0, 2),
+                                    Interval::range(3, 4)));
+    EXPECT_TRUE(Interval::empty().isEmpty());
+    EXPECT_TRUE(Interval::top().isTop());
+    EXPECT_TRUE(Interval::single(7).isSingle());
+    EXPECT_TRUE(Interval::single(7).contains(7));
+}
+
+TEST(Interval, WideningReachesSentinels)
+{
+    const Interval prev = Interval::range(0, 4);
+    const Interval grown = Interval::range(0, 5);
+    const Interval w = Interval::widen(prev, grown);
+    EXPECT_GE(w.hi, Interval::kInf);
+    EXPECT_EQ(w.lo, 0);
+}
+
+TEST(Interval, AddIsWrapSound)
+{
+    EXPECT_EQ(Interval::single(3).add(Interval::single(4)),
+              Interval::single(7));
+    // A sum that can leave int32 must go to top, because the machine
+    // wraps mod 2^32 and the wrapped value can be anything.
+    const Interval big = Interval::single(2147483647);
+    EXPECT_TRUE(big.add(Interval::single(1)).isTop());
+    EXPECT_EQ(Interval::single(5).sub(Interval::single(2)),
+              Interval::single(3));
+}
+
+ClassIntervalAnalysis
+analyze(const Program &prog, const ProgramCfg &cfg,
+        std::vector<FuId> members)
+{
+    return ClassIntervalAnalysis(
+        prog, cfg.streams[members.front()], members,
+        externallyWrittenRegs(prog, cfg, members));
+}
+
+TEST(ClassIntervals, ConstantPropagatesAndDecidesCompare)
+{
+    const Program prog = assembleString(".fus 1\n"
+                                        ".reg a 0\n"
+                                        "L0: -> L1 ; mov #3,a\n"
+                                        "L1: -> L2 ; eq a,#5\n"
+                                        "L2: halt ; nop\n");
+    const ProgramCfg cfg = buildCfg(prog);
+    const ClassIntervalAnalysis ia = analyze(prog, cfg, {0});
+    EXPECT_TRUE(ia.visited(1));
+    EXPECT_EQ(ia.regAt(1, 0), Interval::single(3));
+    const auto outcome = ia.compareOutcome(1, 0);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_FALSE(*outcome);
+}
+
+TEST(ClassIntervals, GuardRefinementBoundsLoopCounter)
+{
+    // i counts 0..4; the backedge is guarded by `eq i,#4`, so inside
+    // the loop body i stays in [0,3] and at the exit i is exactly 4.
+    const Program prog =
+        assembleString(".fus 1\n"
+                       ".reg i 0\n"
+                       "L0: -> L1 ; mov #0,i\n"
+                       "L1: -> L2 ; eq i,#4\n"
+                       "L2: if cc0 L4 L3 ; nop\n"
+                       "L3: -> L1 ; iadd i,#1,i\n"
+                       "L4: halt ; nop\n");
+    const ProgramCfg cfg = buildCfg(prog);
+    const ClassIntervalAnalysis ia = analyze(prog, cfg, {0});
+    EXPECT_EQ(ia.regAt(4, 0), Interval::single(4));
+    const Interval body = ia.regAt(3, 0);
+    EXPECT_FALSE(body.isTop());
+    EXPECT_TRUE(body.contains(0));
+    EXPECT_TRUE(body.contains(3));
+    EXPECT_FALSE(body.contains(4));
+    // The compare itself sees both outcomes, so it is not constant.
+    EXPECT_FALSE(ia.compareOutcome(1, 0).has_value());
+}
+
+TEST(ClassIntervals, ExternallyWrittenRegisterIsTop)
+{
+    // FU1 (outside the analyzed class) also writes a, so a foreign
+    // write can land between any two cycles: a must stay top.
+    const Program prog = assembleString(
+        ".fus 2\n"
+        ".reg a 0\n"
+        "L0: -> L1 ; mov #3,a || -> L1 ; mov #7,a\n"
+        "L1: halt ; nop       || halt ; nop\n");
+    const ProgramCfg cfg = buildCfg(prog);
+    const std::vector<char> ext =
+        externallyWrittenRegs(prog, cfg, {0});
+    ASSERT_GT(ext.size(), 0u);
+    EXPECT_TRUE(ext[0]);
+    const ClassIntervalAnalysis ia(prog, cfg.streams[0], {0}, ext);
+    EXPECT_TRUE(ia.regAt(1, 0).isTop());
+}
+
+TEST(ClassIntervals, LoadProducesTop)
+{
+    const Program prog = assembleString(".fus 1\n"
+                                        ".reg t 0\n"
+                                        "L0: -> L1 ; load #8,#0,t\n"
+                                        "L1: halt ; nop\n");
+    const ProgramCfg cfg = buildCfg(prog);
+    const ClassIntervalAnalysis ia = analyze(prog, cfg, {0});
+    EXPECT_TRUE(ia.regAt(1, 0).isTop());
+    EXPECT_EQ(ia.loadAddr(0, 0), Interval::single(8));
+}
+
+} // namespace
+} // namespace ximd::analysis

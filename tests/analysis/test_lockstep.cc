@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the lockstep-class partition (analysis/lockstep.hh):
+ * identical columns collapse, divergent control splits, and
+ * unreachable rows are ignored.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/lockstep.hh"
+#include "asm/assembler.hh"
+
+namespace ximd::analysis {
+namespace {
+
+LockstepClasses
+classesOf(const Program &prog)
+{
+    const ProgramCfg cfg = buildCfg(prog);
+    return computeLockstepClasses(prog, cfg);
+}
+
+TEST(Lockstep, IdenticalColumnsFormOneClass)
+{
+    const Program prog = assembleString(
+        ".fus 4\n"
+        "L0: -> L1 ; nop        || -> L1 ; nop "
+        "   || -> L1 ; nop      || -> L1 ; nop\n"
+        "L1: halt ; nop         || halt ; nop "
+        "   || halt ; nop       || halt ; nop\n");
+    const LockstepClasses cls = classesOf(prog);
+    EXPECT_EQ(cls.count(), 1u);
+    EXPECT_EQ(cls.members[0].size(), 4u);
+    EXPECT_TRUE(cls.sameClass(0, 3));
+    EXPECT_EQ(cls.representative(0), 0u);
+}
+
+TEST(Lockstep, DivergentControlSplits)
+{
+    // FU0 branches at L0; FU1 falls straight through.
+    const Program prog = assembleString(
+        ".fus 2\n"
+        "L0: if cc0 L1 L2 ; nop || -> L1 ; nop\n"
+        "L1: -> L2 ; nop        || -> L2 ; nop\n"
+        "L2: halt ; nop         || halt ; nop\n");
+    const LockstepClasses cls = classesOf(prog);
+    EXPECT_EQ(cls.count(), 2u);
+    EXPECT_FALSE(cls.sameClass(0, 1));
+    EXPECT_EQ(cls.classOf[0], 0);
+    EXPECT_EQ(cls.classOf[1], 1);
+}
+
+TEST(Lockstep, UnreachableDifferenceDoesNotSplit)
+{
+    // Both columns halt at row 0; their row-1 control fields differ
+    // but neither FU can reach row 1.
+    const Program prog = assembleString(
+        ".fus 2\n"
+        "L0: halt ; nop   || halt ; nop\n"
+        "L1: -> L1 ; nop  || halt ; nop\n");
+    const LockstepClasses cls = classesOf(prog);
+    EXPECT_EQ(cls.count(), 1u);
+    EXPECT_TRUE(cls.sameClass(0, 1));
+}
+
+TEST(Lockstep, PartitionCoversEveryFu)
+{
+    const Program prog = assembleString(
+        ".fus 3\n"
+        "L0: -> L1 ; nop  || if cc1 L1 L0 ; nop || -> L1 ; nop\n"
+        "L1: halt ; nop   || halt ; nop         || halt ; nop\n");
+    const LockstepClasses cls = classesOf(prog);
+    EXPECT_EQ(cls.count(), 2u);
+    std::size_t total = 0;
+    for (const auto &m : cls.members)
+        total += m.size();
+    EXPECT_EQ(total, 3u);
+    EXPECT_TRUE(cls.sameClass(0, 2));
+    EXPECT_FALSE(cls.sameClass(0, 1));
+}
+
+} // namespace
+} // namespace ximd::analysis

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the dynamic race observer (core/race_observer.hh): what
+ * it records, what it deliberately ignores, and the stuck-SS fault
+ * scenario where a statically ordered handshake races at run time.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/race.hh"
+#include "asm/assembler.hh"
+#include "core/machine.hh"
+#include "core/race_observer.hh"
+
+#ifndef XIMD_SOURCE_DIR
+#error "XIMD_SOURCE_DIR must point at the repo root"
+#endif
+
+namespace ximd {
+namespace {
+
+/** FU1 waits for FU0's DONE before loading what FU0 stored. */
+const char *const kHandshake =
+    ".fus 2\n"
+    ".reg u 0\n"
+    "L00: -> L01 ; nop             || if ss0 L01 L00 ; nop\n"
+    "L01: -> L02 ; nop             || -> L03 ; nop\n"
+    "L02: -> L03 ; store #7,#100   || -> L03 ; nop\n"
+    "L03: -> L04 ; nop ; done      || -> L04 ; load #100,#0,u\n"
+    "L04: halt ; nop               || halt ; nop\n";
+
+TEST(RaceObserver, SynchronizedHandshakeProducesNoEvents)
+{
+    Program prog = assembleString(kHandshake);
+    Machine m(std::move(prog), MachineConfig{});
+    RaceObserver obs(m.program());
+    m.addObserver(&obs);
+    const RunResult r = m.run(1000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.readReg(0), 7u); // the load saw the store
+    EXPECT_TRUE(obs.events().empty());
+}
+
+TEST(RaceObserver, StuckSyncSignalTripsTheObserver)
+{
+    // Fault injection: SS0 stuck at DONE releases FU1's wait
+    // immediately, so the load lands in the same cycle as the store —
+    // a dynamic conflict the unperturbed program can never exhibit.
+    Program prog = assembleString(kHandshake);
+    Machine m(std::move(prog), MachineConfig{});
+    RaceObserver obs(m.program());
+    m.addObserver(&obs);
+    m.core().forceSync(0, SyncVal::Done, 10);
+    const RunResult r = m.run(1000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    ASSERT_FALSE(obs.events().empty());
+    const RaceObserver::Event &e = obs.events().front();
+    EXPECT_EQ(e.kind, RaceObserver::LocKind::Mem);
+    EXPECT_EQ(e.loc, 100u);
+    EXPECT_NE(e.fuA, e.fuB);
+    EXPECT_NE(e.toString().find("M[100]"), std::string::npos);
+
+    // The fault may escape the static report (the contract only
+    // binds unperturbed runs): this program is statically clean.
+    EXPECT_TRUE(analysis::analyzeRaces(m.program()).clean());
+}
+
+TEST(RaceObserver, MinmaxEventsMatchStaticCoveredPairs)
+{
+    // The unperturbed cross-validation contract on a real workload:
+    // every dynamic event appears in the static report's covered set
+    // (minmax has no races, only benign lockstep read-old pairs).
+    Program prog = assembleFile(std::string(XIMD_SOURCE_DIR) +
+                                "/examples/programs/minmax.ximd");
+    const analysis::RaceReport report = analysis::analyzeRaces(prog);
+    ASSERT_TRUE(report.clean());
+
+    Machine m(std::move(prog), MachineConfig{});
+    RaceObserver obs(m.program());
+    m.addObserver(&obs);
+    const RunResult r = m.run(1000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_FALSE(obs.events().empty());
+    for (const RaceObserver::Event &e : obs.events()) {
+        bool matched = false;
+        for (const analysis::SitePair &p : report.covered) {
+            const bool fwd = p.rowA == e.rowA &&
+                             p.fuA == static_cast<int>(e.fuA) &&
+                             p.rowB == e.rowB &&
+                             p.fuB == static_cast<int>(e.fuB);
+            const bool rev = p.rowA == e.rowB &&
+                             p.fuA == static_cast<int>(e.fuB) &&
+                             p.rowB == e.rowA &&
+                             p.fuB == static_cast<int>(e.fuA);
+            if (fwd || rev) {
+                matched = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(matched)
+            << "dynamic event escaped the static report: "
+            << e.toString();
+    }
+}
+
+TEST(RaceObserver, EventsAreDedupedAcrossCycles)
+{
+    // Two decoupled loops hit the same store/load pair on M[100]
+    // every other cycle; the observer must record the site pair once,
+    // not once per iteration.
+    Program prog = assembleString(
+        ".fus 2\n"
+        ".reg u 0\n"
+        "L0: -> L1 ; nop             || -> L2 ; nop\n"
+        "L1: -> L0 ; store #1,#100   || -> L2 ; nop\n"
+        "L2: -> L3 ; nop             || -> L3 ; load #100,#0,u\n"
+        "L3: -> L2 ; nop             || -> L2 ; nop\n");
+    Machine m(std::move(prog), MachineConfig{});
+    RaceObserver obs(m.program());
+    m.addObserver(&obs);
+    const RunResult r = m.run(40);
+    ASSERT_EQ(r.reason, StopReason::MaxCycles);
+    ASSERT_EQ(obs.events().size(), 1u);
+    const RaceObserver::Event &e = obs.events().front();
+    EXPECT_EQ(e.kind, RaceObserver::LocKind::Mem);
+    EXPECT_EQ(e.loc, 100u);
+}
+
+} // namespace
+} // namespace ximd

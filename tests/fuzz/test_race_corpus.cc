@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Dynamic cross-validation of the static race engine.
+ *
+ * The engine's soundness contract: on an unperturbed run, every
+ * same-cycle cross-stream conflict the RaceObserver records must
+ * appear in the static report — either as a diagnostic or as a
+ * covered (proven-benign) pair. This suite drives the contract over
+ * the built-in workload grid and a slice of the random-program corpus
+ * in both sequencing modes.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/race.hh"
+#include "core/machine.hh"
+#include "core/race_observer.hh"
+#include "farm/suite.hh"
+#include "workloads/randprog.hh"
+
+namespace ximd {
+namespace {
+
+/** True when @p e matches @p p in either site order. */
+bool
+sameSites(const RaceObserver::Event &e, const analysis::SitePair &p)
+{
+    const bool fwd = p.rowA == e.rowA &&
+                     p.fuA == static_cast<int>(e.fuA) &&
+                     p.rowB == e.rowB &&
+                     p.fuB == static_cast<int>(e.fuB);
+    const bool rev = p.rowA == e.rowB &&
+                     p.fuA == static_cast<int>(e.fuB) &&
+                     p.rowB == e.rowA &&
+                     p.fuB == static_cast<int>(e.fuA);
+    return fwd || rev;
+}
+
+/** True when @p e matches a reported diagnostic's two sites. */
+bool
+matchesDiag(const RaceObserver::Event &e,
+            const analysis::Diagnostic &d)
+{
+    if (d.otherRow < 0)
+        return false;
+    analysis::SitePair p;
+    p.rowA = d.row;
+    p.fuA = d.fu;
+    p.rowB = static_cast<InstAddr>(d.otherRow);
+    p.fuB = d.otherFu;
+    return sameSites(e, p);
+}
+
+/**
+ * Run @p machine with a RaceObserver attached and assert every event
+ * is accounted for by @p report.
+ */
+void
+checkRun(Machine &machine, const analysis::RaceReport &report,
+         const std::string &label)
+{
+    RaceObserver obs(machine.program());
+    machine.addObserver(&obs);
+    machine.run(2'000'000);
+    for (const RaceObserver::Event &e : obs.events()) {
+        bool matched = false;
+        for (const analysis::SitePair &p : report.covered)
+            if (sameSites(e, p)) {
+                matched = true;
+                break;
+            }
+        if (!matched)
+            for (const analysis::Diagnostic &d : report.diags.all())
+                if (matchesDiag(e, d)) {
+                    matched = true;
+                    break;
+                }
+        EXPECT_TRUE(matched)
+            << label << ": dynamic conflict escaped the static "
+            << "report: " << e.toString();
+    }
+}
+
+TEST(RaceCorpus, WorkloadGridEventsAreStaticallyAccounted)
+{
+    for (const farm::RunSpec &spec : farm::builtinSuite()) {
+        if (spec.loadError)
+            continue;
+        ASSERT_TRUE(spec.program);
+        const analysis::RaceReport report =
+            analysis::analyzeRaces(spec.program->program());
+        EXPECT_TRUE(report.clean()) << spec.name;
+
+        Machine machine(spec.program, spec.config);
+        std::unique_ptr<farm::JobFixture> fixture;
+        if (spec.fixture) {
+            fixture = spec.fixture(spec);
+            if (fixture)
+                fixture->setUp(machine);
+        }
+        checkRun(machine, report, spec.name);
+    }
+}
+
+TEST(RaceCorpus, RandprogEventsAreStaticallyAccounted)
+{
+    // Lockstep programs have a single class: the observer's
+    // same-row/same-ctrl exclusion makes events impossible, which is
+    // exactly what "one class, nothing to race" predicts.
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        workloads::RandProgOptions o;
+        o.seed = seed;
+        o.width = 1 + seed % 8;
+        o.rows = 20 + seed % 60;
+        o.branchPercent = 10 + seed % 40;
+        const Program prog = workloads::randomLockstepProgram(o);
+        const analysis::RaceReport report =
+            analysis::analyzeRaces(prog);
+        EXPECT_TRUE(report.clean()) << "seed " << seed;
+
+        for (const Mode mode : {Mode::Ximd, Mode::Vliw}) {
+            Machine machine(Program(prog),
+                            MachineConfig{}.withMode(mode));
+            checkRun(machine, report,
+                     "seed " + std::to_string(seed) +
+                         (mode == Mode::Vliw ? "/vliw" : "/ximd"));
+        }
+    }
+}
+
+} // namespace
+} // namespace ximd
