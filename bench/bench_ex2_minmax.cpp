@@ -106,21 +106,25 @@ printTables()
 }
 
 void
-simulateMinmax(benchmark::State &state)
+simulateMinmax(benchmark::State &state, Backend backend)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
     const auto data = makeData(n, 7);
-    Program x = minmaxXimd(data);
+    const auto prog = PreparedProgram::make(minmaxXimd(data));
+    const MachineConfig cfg = MachineConfig{}.withBackend(backend);
     Cycle cycles = 0;
     for (auto _ : state) {
-        XimdMachine m(x);
+        XimdMachine m(prog, cfg);
         m.run();
         cycles += m.cycle();
     }
     state.counters["machine_cycles_per_s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
-BENCHMARK(simulateMinmax)->Arg(256)->Arg(4096)->ArgName("N");
+BENCHMARK_CAPTURE(simulateMinmax, interp, Backend::Interp)
+    ->Arg(256)->Arg(4096)->ArgName("N");
+BENCHMARK_CAPTURE(simulateMinmax, threaded, Backend::Threaded)
+    ->Arg(256)->Arg(4096)->ArgName("N");
 
 } // namespace
 

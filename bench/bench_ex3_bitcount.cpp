@@ -156,21 +156,25 @@ printTables()
 }
 
 void
-simulateBitcount(benchmark::State &state)
+simulateBitcount(benchmark::State &state, Backend backend)
 {
     const auto data = makeData(static_cast<std::size_t>(state.range(0)),
                                0.5, 1);
-    Program prog = bitcountXimd(data);
+    const auto prog = PreparedProgram::make(bitcountXimd(data));
+    const MachineConfig cfg = MachineConfig{}.withBackend(backend);
     Cycle cycles = 0;
     for (auto _ : state) {
-        XimdMachine m(prog);
+        XimdMachine m(prog, cfg);
         m.run();
         cycles += m.cycle();
     }
     state.counters["machine_cycles_per_s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
-BENCHMARK(simulateBitcount)->Arg(64)->Arg(1024)->ArgName("N");
+BENCHMARK_CAPTURE(simulateBitcount, interp, Backend::Interp)
+    ->Arg(64)->Arg(1024)->ArgName("N");
+BENCHMARK_CAPTURE(simulateBitcount, threaded, Backend::Threaded)
+    ->Arg(64)->Arg(1024)->ArgName("N");
 
 } // namespace
 

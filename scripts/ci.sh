@@ -67,6 +67,28 @@ for bad in race_mem:mem-race race_cc_sync:cc-race \
 done
 echo "race-lint: good corpus clean, bad corpus rejected"
 
+# Execution-backend stage: the threaded-code backend must be
+# observationally identical to the interpreter. Run the golden and
+# differential suites that pin that, then drive the batch engine
+# under both backends and require the reports to agree on everything
+# except the self-describing backend/predecode labels.
+echo "==> backend (interp vs threaded: goldens, fuzz, xfarm parity)"
+ctest --test-dir build-release -j "$JOBS" --output-on-failure \
+    -R 'Backend\.|BackendDifferential|GoldenEquivalence|DifferentialFuzz|cli_xsim_backend|cli_xfarm_backend'
+XFARM=build-release/tools/xfarm
+"$XFARM" --quiet --n 64 --no-timing --backend=interp \
+    --out "$XCC_OUT/farm_interp.json"
+"$XFARM" --quiet --n 64 --no-timing --backend=threaded \
+    --out "$XCC_OUT/farm_threaded.json"
+for f in farm_interp farm_threaded; do
+    sed -e 's/"backend": "[a-z]*"/"backend": "-"/' \
+        -e 's/"predecode": "[a-z]*"/"predecode": "-"/' \
+        "$XCC_OUT/$f.json" > "$XCC_OUT/$f.norm.json"
+done
+diff -u "$XCC_OUT/farm_interp.norm.json" \
+        "$XCC_OUT/farm_threaded.norm.json"
+echo "backend: threaded matches the interpreter across the suite"
+
 # clang-tidy stage: bugprone/concurrency/performance profiles from
 # .clang-tidy over the analysis and core sources, using the release
 # build's compile_commands.json. Gated on the tool being installed so
@@ -101,5 +123,12 @@ echo "==> build (tsan: farm targets)"
 cmake --build --preset tsan -j "$JOBS" --target test_farm xfarm
 echo "==> test (tsan: farm determinism)"
 ctest --preset tsan -j "$JOBS"
+
+# The threaded backend shares flattened token tables between worker
+# threads via PreparedProgram; drive a forced-threaded batch under
+# TSAN to prove the sharing is race-free.
+echo "==> tsan (xfarm batch, threaded backend forced)"
+build-tsan/tools/xfarm --quiet -j8 --n 64 --backend=threaded \
+    --filter minmax --filter bitcount
 
 echo "ci: all configurations clean"

@@ -15,8 +15,10 @@
 # currency for the simulator's host performance. The xfarm scaling
 # sweep (bench_farm_scaling, 1/2/4/8 workers) is additionally
 # summarized as a top-level "xfarm_scaling" section with speedups
-# relative to the 1-worker run, and the compiler-pipeline timings
-# (bench_sched_compile) as a top-level "sched_compile" section.
+# relative to the 1-worker run, the compiler-pipeline timings
+# (bench_sched_compile) as a top-level "sched_compile" section, and
+# the simulate*/interp-vs-threaded pairs as a top-level
+# "execution_backends" section with per-row cycles/s and speedup.
 #
 #   scripts/run_benchmarks.sh [build-dir] [min-time]
 #
@@ -106,6 +108,33 @@ sched = [
 ]
 if sched:
     merged["sched_compile"] = sched
+
+# Execution-backend summary: every simulate*/<backend>/... row pairs
+# an interpreter run with its threaded-code twin; report simulated
+# cycles/s for both and the speedup, keyed by the backend-free name.
+pairs = {}
+for b in merged["benchmarks"]:
+    name = b["name"]
+    if not name.startswith("simulate") or "/" not in name:
+        continue
+    parts = name.split("/")
+    if len(parts) < 2 or parts[1] not in ("interp", "threaded"):
+        continue
+    key = parts[0] + "/" + "/".join(parts[2:])
+    pairs.setdefault(key, {})[parts[1]] = b.get(
+        "machine_cycles_per_s")
+backends = []
+for key, row in sorted(pairs.items()):
+    interp, threaded = row.get("interp"), row.get("threaded")
+    backends.append({
+        "name": key,
+        "interp_cycles_per_s": interp,
+        "threaded_cycles_per_s": threaded,
+        "speedup": round(threaded / interp, 3)
+        if interp and threaded else None,
+    })
+if backends:
+    merged["execution_backends"] = backends
 
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)

@@ -1,0 +1,23 @@
+#include "core/exec_backend.hh"
+
+#include "core/interp_backend.hh"
+#include "core/threaded_backend.hh"
+#include "support/logging.hh"
+
+namespace ximd {
+
+ExecBackend::~ExecBackend() = default;
+
+std::unique_ptr<ExecBackend>
+makeExecBackend(Backend kind, MachineCore &core)
+{
+    switch (kind) {
+      case Backend::Interp:
+        return std::make_unique<InterpBackend>(core);
+      case Backend::Threaded:
+        return std::make_unique<ThreadedBackend>(core);
+    }
+    panic("makeExecBackend: unknown backend kind");
+}
+
+} // namespace ximd

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The reference interpreter backend: the five-phase cycle loop,
+ * exactly as MachineCore::step() executed it before the backend split,
+ * firing every CycleObserver hook each cycle.
+ *
+ * The loop lives in static functions (stepCore / runCoreTo) so that
+ * other backends can delegate single cycles to the interpreter when
+ * full per-cycle fidelity is needed — the threaded backend does this
+ * for active sync overrides and for its partition-resynchronization
+ * cycles — without constructing a second backend instance.
+ */
+
+#ifndef XIMD_CORE_INTERP_BACKEND_HH
+#define XIMD_CORE_INTERP_BACKEND_HH
+
+#include "core/exec_backend.hh"
+
+namespace ximd {
+
+/** Reference interpreter; the semantic oracle for all backends. */
+class InterpBackend final : public ExecBackend
+{
+  public:
+    explicit InterpBackend(MachineCore &core) : ExecBackend(core) {}
+
+    const char *name() const override { return "interp"; }
+    bool step() override { return stepCore(core_); }
+    void runTo(Cycle limit) override { runCoreTo(core_, limit); }
+
+    /** Execute one five-phase cycle with per-cycle observer hooks. */
+    static bool stepCore(MachineCore &core);
+
+    /**
+     * The interpreter run loop: step until halt/fault/@p limit,
+     * attempting busy-wait fast-forward after each spinning cycle.
+     */
+    static void runCoreTo(MachineCore &core, Cycle limit);
+
+  private:
+    /** Execute one predecoded data op for @p fu (queues writes). */
+    static void executeParcel(MachineCore &core, const DecodedParcel &d,
+                              FuId fu);
+};
+
+} // namespace ximd
+
+#endif // XIMD_CORE_INTERP_BACKEND_HH

@@ -8,6 +8,12 @@ modeName(Mode mode)
     return mode == Mode::Ximd ? "ximd" : "vliw";
 }
 
+const char *
+backendName(Backend backend)
+{
+    return backend == Backend::Interp ? "interp" : "threaded";
+}
+
 Machine::Machine(Program program, MachineConfig config)
     : Machine(PreparedProgram::make(std::move(program)), config)
 {

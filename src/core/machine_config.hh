@@ -39,11 +39,33 @@ enum class Mode : std::uint8_t {
 /** "ximd" / "vliw". */
 const char *modeName(Mode mode);
 
+/**
+ * Execution backend driving the five-phase cycle loop (see
+ * core/exec_backend.hh and DESIGN.md section 12).
+ */
+enum class Backend : std::uint8_t {
+    Interp,   ///< Reference interpreter; the semantic oracle.
+    Threaded, ///< Token-threaded dispatch over flattened streams.
+};
+
+/** "interp" / "threaded". */
+const char *backendName(Backend backend);
+
 /** Machine parameters. The FU count comes from the program's width. */
 struct MachineConfig
 {
     /** Sequencing discipline (used by Machine and the farm). */
     Mode mode = Mode::Ximd;
+
+    /**
+     * Execution backend. The threaded backend is the default; it is
+     * observationally equivalent to the interpreter and the core
+     * auto-demotes to Backend::Interp whenever an attached observer
+     * (trace, race check, fault injection) or configuration (result
+     * latency > 1, registered sync, device windows) needs per-cycle
+     * fidelity. MachineCore::demotionReason() explains a demotion.
+     */
+    Backend backend = Backend::Threaded;
 
     /** Words of idealized shared memory. */
     std::size_t memWords = 1u << 20;
@@ -131,6 +153,7 @@ struct MachineConfig
     }
 
     MachineConfig &withMode(Mode m) { mode = m; return *this; }
+    MachineConfig &withBackend(Backend b) { backend = b; return *this; }
     MachineConfig &withStats(bool on = true) { collectStats = on; return *this; }
     MachineConfig &withTrace(bool on = true) { recordTrace = on; return *this; }
     MachineConfig &withPartitions(bool on = true) { trackPartitions = on; return *this; }

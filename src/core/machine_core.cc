@@ -2,48 +2,10 @@
 
 #include <algorithm>
 
-#include "sim/alu.hh"
+#include "core/exec_backend.hh"
 #include "support/logging.hh"
 
 namespace ximd {
-
-namespace {
-
-/** Sequence one predecoded parcel (mirrors evaluateControlOp). */
-NextPc
-evalControl(const DecodedParcel &d, const CondCodeFile &ccs,
-            const SyncBus &ss)
-{
-    NextPc next;
-    bool cond;
-    switch (d.ckind) {
-      case CondKind::Halt:
-        next.halt = true;
-        return next;
-      case CondKind::Always:
-        cond = true;
-        break;
-      case CondKind::CcTrue:
-        cond = ccs.read(d.cindex);
-        break;
-      case CondKind::SyncDone:
-        cond = ss.get(d.cindex) == SyncVal::Done;
-        break;
-      case CondKind::AllSync:
-        cond = ss.allDone(d.cmask);
-        break;
-      case CondKind::AnySync:
-        cond = ss.anyDone(d.cmask);
-        break;
-      default:
-        panic("evalControl: bad condition kind");
-    }
-    next.taken = cond;
-    next.pc = cond ? d.t1 : d.t2;
-    return next;
-}
-
-} // namespace
 
 MachineCore::MachineCore(Program program, MachineConfig config,
                          Mode mode)
@@ -75,6 +37,8 @@ MachineCore::MachineCore(std::shared_ptr<const PreparedProgram> prepared,
         validateVliwProgram();
     applyMemInit();
 }
+
+MachineCore::~MachineCore() = default;
 
 void
 MachineCore::validateVliwProgram() const
@@ -198,85 +162,6 @@ MachineCore::notifyDone()
 }
 
 void
-MachineCore::executeParcel(const DecodedParcel &d, FuId fu)
-{
-    const auto src = [this](const DecodedSrc &s) {
-        return s.isReg ? regs_.read(static_cast<RegId>(s.value))
-                       : s.value;
-    };
-
-    switch (d.cls) {
-      case OpClass::Nop:
-        return;
-
-      case OpClass::IntAlu: {
-        Word result;
-        switch (d.op) {
-          case Opcode::Ineg:
-            result = intToWord(-wordToInt(src(d.a)));
-            break;
-          case Opcode::Not:
-            result = ~src(d.a);
-            break;
-          case Opcode::Mov:
-            result = src(d.a);
-            break;
-          default:
-            result = alu::intBinary(d.op, src(d.a), src(d.b));
-            break;
-        }
-        pipe_.pushReg(cycle_, d.dest, result, fu);
-        return;
-      }
-
-      case OpClass::IntCompare:
-        pipe_.pushCc(cycle_, fu,
-                     alu::intCompare(d.op, src(d.a), src(d.b)));
-        return;
-
-      case OpClass::FloatAlu: {
-        Word result;
-        if (d.op == Opcode::Fneg)
-            result = floatToWord(-wordToFloat(src(d.a)));
-        else
-            result = alu::floatBinary(d.op, src(d.a), src(d.b));
-        pipe_.pushReg(cycle_, d.dest, result, fu);
-        return;
-      }
-
-      case OpClass::FloatCompare:
-        pipe_.pushCc(cycle_, fu,
-                     alu::floatCompare(d.op, src(d.a), src(d.b)));
-        return;
-
-      case OpClass::Convert: {
-        const Word a = src(d.a);
-        Word result;
-        if (d.op == Opcode::Itof)
-            result = floatToWord(static_cast<float>(wordToInt(a)));
-        else
-            result = intToWord(static_cast<SWord>(wordToFloat(a)));
-        pipe_.pushReg(cycle_, d.dest, result, fu);
-        return;
-      }
-
-      case OpClass::MemLoad: {
-        const Addr addr = src(d.a) + src(d.b);
-        pipe_.pushReg(cycle_, d.dest, mem_.load(addr, cycle_), fu);
-        return;
-      }
-
-      case OpClass::MemStore: {
-        const Word value = src(d.a);
-        const Addr addr = src(d.b);
-        pipe_.pushStore(cycle_, addr, value, fu);
-        return;
-      }
-    }
-    panic("executeParcel: unhandled op class for ", opcodeName(d.op));
-}
-
-void
 MachineCore::buildEvents()
 {
     const FuId n = numFus();
@@ -301,136 +186,62 @@ MachineCore::buildEvents()
     }
 }
 
+Backend
+MachineCore::effectiveBackend() const
+{
+    return demotionReason().empty() ? config_.backend : Backend::Interp;
+}
+
+const char *
+MachineCore::effectiveBackendName() const
+{
+    return backendName(effectiveBackend());
+}
+
+std::string
+MachineCore::demotionReason() const
+{
+    if (config_.backend == Backend::Interp)
+        return {};
+    if (!perturbers_.empty())
+        return std::string("observer '") +
+               perturbers_.front()->observerName() +
+               "' schedules perturbations";
+    for (const CycleObserver *o : observers_) {
+        if (!o->acceptsBlocks())
+            return std::string("observer '") + o->observerName() +
+                   "' requires per-cycle fidelity";
+    }
+    if (config_.resultLatency != 1)
+        return "result latency > 1 keeps the write pipeline in flight";
+    if (config_.registeredSync)
+        return "registered sync distribution needs per-cycle stepping";
+    if (mem_.hasDevices())
+        return "memory-mapped devices need per-cycle access ordering";
+    return {};
+}
+
+void
+MachineCore::ensureBackend()
+{
+    // Recomputed on every step()/run() entry: observers and devices
+    // may attach between runs, and each attachment can change the
+    // demotion verdict. Backend instances are stateless across runs
+    // (the threaded backend resynchronizes from core state), so
+    // swapping kinds at a cycle boundary is always safe.
+    const Backend kind = effectiveBackend();
+    if (backend_ && backendKind_ == kind)
+        return;
+    backend_ = makeExecBackend(kind, *this);
+    backendKind_ = kind;
+    backend_->prepare();
+}
+
 bool
 MachineCore::step()
 {
-    // Even with every FU halted, in-flight write-backs must drain
-    // (resultLatency > 1) before the machine is architecturally done.
-    if (faulted_ || (allHalted() && pipe_.empty()))
-        return false;
-
-    const FuId n = numFus();
-    spinHint_ = false;
-
-    // Beginning-of-cycle observation, then scheduled perturbation
-    // (fault injection) against the state the cycle is about to read.
-    for (CycleObserver *o : observers_)
-        o->onCycle(*this);
-    for (CycleObserver *o : perturbers_)
-        o->onPerturb(*this);
-
-    // Fetch; in XIMD mode also drive the sync bus from the executing
-    // parcels' SS fields.
-    if (mode_ == Mode::Ximd) {
-        sync_.beginCycle(); // halted FUs read DONE
-        for (FuId fu = 0; fu < n; ++fu) {
-            if (haltedFus_[fu]) {
-                fetched_[fu] = nullptr;
-                continue;
-            }
-            fetched_[fu] = &decoded_->at(pcs_[fu], fu);
-            sync_.set(fu, fetched_[fu]->sync);
-        }
-        if (!syncOverrides_.empty())
-            applySyncOverrides(sync_);
-    } else {
-        // The single PC selects one row for every lane; a halted VLIW
-        // only drains in-flight write-backs.
-        const DecodedParcel *row =
-            haltedFus_[0] ? nullptr : &decoded_->at(pcs_[0], 0);
-        for (FuId fu = 0; fu < n; ++fu)
-            fetched_[fu] = row ? row + fu : nullptr;
-    }
-
-    // Execute data operations against beginning-of-cycle state.
-    try {
-        for (FuId fu = 0; fu < n; ++fu) {
-            if (fetched_[fu])
-                executeParcel(*fetched_[fu], fu);
-        }
-    } catch (const FatalError &e) {
-        fault(e.what());
-        return false;
-    }
-
-    // Sequence: select next PCs. CC values are still the beginning-
-    // of-cycle ones (commit happens below); SS values are the current
-    // cycle's fields (or the previous cycle's, under the registered-
-    // sync ablation). A VLIW is steered by FU0's control op alone.
-    if (mode_ == Mode::Ximd) {
-        const SyncBus *branchSync = &sync_;
-        if (config_.registeredSync) {
-            for (FuId fu = 0; fu < n; ++fu)
-                regSync_.set(fu, syncPrev_[fu]);
-            branchSync = &regSync_;
-        }
-        bool anyLive = false;
-        bool allSpin = true;
-        for (FuId fu = 0; fu < n; ++fu) {
-            if (!fetched_[fu])
-                continue;
-            anyLive = true;
-            next_[fu] = evalControl(*fetched_[fu], ccs_, *branchSync);
-            if (!(fetched_[fu]->canSelfSpin && !next_[fu].halt &&
-                  next_[fu].pc == pcs_[fu]))
-                allSpin = false;
-        }
-        spinHint_ = anyLive && allSpin;
-    } else {
-        if (fetched_[0]) {
-            next_[0] = evalControl(*fetched_[0], ccs_, sync_);
-            spinHint_ = fetched_[0]->canSelfSpin && !next_[0].halt &&
-                        next_[0].pc == pcs_[0];
-        } else {
-            next_[0] = NextPc{};
-            next_[0].halt = true; // draining in-flight write-backs
-        }
-    }
-
-    // Snapshot the cycle's events before PCs advance (busy-wait
-    // detection compares against this cycle's PCs).
-    if (!observers_.empty())
-        buildEvents();
-
-    // Commit the write-backs due this cycle.
-    try {
-        pipe_.drainInto(cycle_, regs_, mem_, ccs_);
-        regs_.commit();
-        mem_.commit(cycle_);
-        ccs_.commit();
-    } catch (const FatalError &e) {
-        fault(e.what());
-        return false;
-    }
-
-    // Advance control state.
-    if (mode_ == Mode::Ximd) {
-        for (FuId fu = 0; fu < n; ++fu) {
-            if (!fetched_[fu])
-                continue;
-            if (next_[fu].halt)
-                haltedFus_[fu] = true;
-            else
-                pcs_[fu] = next_[fu].pc;
-        }
-        for (FuId fu = 0; fu < n; ++fu)
-            syncPrev_[fu] = sync_.get(fu);
-    } else {
-        if (next_[0].halt)
-            std::fill(haltedFus_.begin(), haltedFus_.end(), true);
-        else
-            pcs_[0] = next_[0].pc;
-    }
-
-    // End-of-cycle observation.
-    for (CycleObserver *o : observers_)
-        o->onCommit(*this, events_);
-
-    ++cycle_;
-
-    if (allHalted() && pipe_.empty())
-        notifyDone();
-    return true;
+    ensureBackend();
+    return backend_->step();
 }
 
 bool
@@ -483,7 +294,7 @@ MachineCore::tryFastForward(Cycle limit)
             if (d.cls != OpClass::Nop)
                 return false;
             fetched_[fu] = &d;
-            next_[fu] = evalControl(d, ccs_, sync_);
+            next_[fu] = evalDecodedControl(d, ccs_, sync_);
             if (next_[fu].halt || next_[fu].pc != pcs_[fu])
                 return false;
         }
@@ -494,7 +305,7 @@ MachineCore::tryFastForward(Cycle limit)
                 return false;
             fetched_[fu] = row + fu;
         }
-        next_[0] = evalControl(row[0], ccs_, sync_);
+        next_[0] = evalDecodedControl(row[0], ccs_, sync_);
         if (next_[0].halt || next_[0].pc != pcs_[0])
             return false;
     }
@@ -522,12 +333,8 @@ MachineCore::run(Cycle maxCycles)
         maxCycles ? maxCycles : config_.defaultMaxCycles;
     const Cycle limit = cycle_ + budget;
 
-    while (cycle_ < limit && step()) {
-        // A successful skip may be partial (capped at an observer's
-        // wake cycle), so keep stepping from wherever it landed.
-        if (config_.fastForward && spinHint_)
-            tryFastForward(limit);
-    }
+    ensureBackend();
+    backend_->runTo(limit);
 
     RunResult result;
     result.cycles = cycle_;
@@ -630,6 +437,8 @@ MachineCore::loadState(StateReader &r)
     // hint must not survive a restore (it refers to the pre-restore
     // cycle's fetch).
     spinHint_ = false;
+    if (backend_)
+        backend_->onStateLoaded();
 }
 
 std::uint64_t

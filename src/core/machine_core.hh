@@ -56,6 +56,8 @@
 
 namespace ximd {
 
+class ExecBackend;
+
 /**
  * The execution engine shared by XimdMachine and VliwMachine.
  *
@@ -96,6 +98,8 @@ class MachineCore
     MachineCore(const MachineCore &) = delete;
     MachineCore &operator=(const MachineCore &) = delete;
 
+    ~MachineCore(); // out of line: backend_ points to an incomplete type
+
     /// @name Pre-run setup.
     /// @{
     Memory &memory() { return mem_; }
@@ -120,6 +124,32 @@ class MachineCore
 
     /** Run until halt/fault or @p maxCycles (0: config default). */
     RunResult run(Cycle maxCycles = 0);
+    /// @}
+
+    /// @name Execution backend (see core/exec_backend.hh).
+    /// @{
+    /** The backend the configuration asked for. */
+    Backend selectedBackend() const { return config_.backend; }
+
+    /**
+     * The backend that will actually drive the next step()/run():
+     * the selected one, demoted to Backend::Interp when
+     * demotionReason() is nonempty.
+     */
+    Backend effectiveBackend() const;
+
+    /** backendName(effectiveBackend()). */
+    const char *effectiveBackendName() const;
+
+    /**
+     * Why the selected backend cannot run — empty when it can. A fast
+     * backend needs block-fidelity observers (CycleObserver::
+     * acceptsBlocks), no perturbation hooks, unit result latency,
+     * combinational sync, and no device windows; the first violated
+     * requirement is named, e.g. "observer 'trace' requires per-cycle
+     * fidelity".
+     */
+    std::string demotionReason() const;
     /// @}
 
     /// @name Observation.
@@ -204,12 +234,18 @@ class MachineCore
     /// @}
 
   private:
+    // The execution backends drive the five-phase loop directly over
+    // the core's state; see the access contract in exec_backend.hh.
+    friend class ExecBackend;
+    friend class InterpBackend;
+    friend class ThreadedBackend;
+
     void validateVliwProgram() const;
     void applyMemInit();
     void fault(const std::string &msg);
 
-    /** Execute one predecoded data op for @p fu (queues writes). */
-    void executeParcel(const DecodedParcel &d, FuId fu);
+    /** (Re)instantiate backend_ when the effective kind changed. */
+    void ensureBackend();
 
     /** Fill events_ from the cycle's fetch/sequence results. */
     void buildEvents();
@@ -262,6 +298,11 @@ class MachineCore
     std::vector<CycleObserver *> observers_;
     /** Subset of observers_ whose perturbs() returned true. */
     std::vector<CycleObserver *> perturbers_;
+
+    /** Active execution backend (lazily built by ensureBackend()). */
+    std::unique_ptr<ExecBackend> backend_;
+    /** The kind backend_ implements (valid when backend_ != null). */
+    Backend backendKind_ = Backend::Interp;
 
     // Per-cycle scratch, sized once (no allocation inside step()).
     std::vector<const DecodedParcel *> fetched_;

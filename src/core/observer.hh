@@ -48,6 +48,7 @@
 #ifndef XIMD_CORE_OBSERVER_HH
 #define XIMD_CORE_OBSERVER_HH
 
+#include <array>
 #include <vector>
 
 #include "isa/control_op.hh"
@@ -60,6 +61,37 @@ class MachineCore;
 
 /** nextWake() value meaning "no scheduled perturbation". */
 inline constexpr Cycle kNeverWake = ~Cycle(0);
+
+/**
+ * Bulk accounting for a block of cycles executed by a fast backend
+ * (core/exec_backend.hh). A block-capable observer receives one
+ * onBlock() carrying the exact sums its per-cycle hooks would have
+ * accumulated over the same cycles; the backend guarantees the block
+ * never spans a fault (the faulting cycle's counts are excluded, as
+ * onCommit() would have been skipped).
+ */
+struct BlockStats
+{
+    Cycle cycles = 0;              ///< Committed cycles in the block.
+    std::uint64_t parcels = 0;     ///< Executed parcels (incl. nops).
+    /** Executed parcels by OpClass (indexed by static_cast). */
+    std::array<std::uint64_t, 8> classCounts{};
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t busyWaitFuCycles = 0;
+    /**
+     * Cycles spent with each beginning-of-cycle stream count, exactly
+     * as StatsObserver::onCycle would have charged them. Index 0 is
+     * unused (a block cycle always has a live FU).
+     */
+    std::array<Cycle, kMaxFus + 1> partitionCycles{};
+    /**
+     * SSET assignment after the block's last committed cycle (one id
+     * per FU, -1 for halted), or null when the backend did not track
+     * partitions. Lets PartitionObserver resynchronize its tracker.
+     */
+    const std::vector<int> *finalSsetIds = nullptr;
+};
 
 /** What one FU did during one committed cycle. */
 struct FuEvent
@@ -79,6 +111,31 @@ class CycleObserver
 {
   public:
     virtual ~CycleObserver() = default;
+
+    /** Short identifier used in backend-demotion diagnostics. */
+    virtual const char *observerName() const { return "observer"; }
+
+    /**
+     * Fidelity contract with fast execution backends. An observer
+     * returning true promises that one onBlock() call is equivalent
+     * to the per-cycle hook sequence it replaces; observers that keep
+     * per-cycle records (traces, race checks) must return false, which
+     * demotes a threaded core back to per-cycle interpretation.
+     */
+    virtual bool acceptsBlocks() const { return false; }
+
+    /**
+     * True when onBlock() needs partitionCycles / finalSsetIds filled
+     * in (the backend skips SSET grouping when no observer asks).
+     */
+    virtual bool wantsPartitions() const { return false; }
+
+    /** Bulk replacement for per-cycle hooks over a block of cycles. */
+    virtual void onBlock(const MachineCore &core, const BlockStats &blk)
+    {
+        (void)core;
+        (void)blk;
+    }
 
     /** Beginning of a cycle that will execute, before fetch. */
     virtual void onCycle(const MachineCore &core) { (void)core; }

@@ -21,6 +21,17 @@ PartitionObserver::onCommit(const MachineCore &core,
 }
 
 void
+PartitionObserver::onBlock(const MachineCore &core, const BlockStats &blk)
+{
+    (void)core;
+    // The backend mirrored the tracker's grouping per block cycle;
+    // adopt its final assignment so the tracker reads correctly after
+    // the block (and any following per-cycle stretch starts in sync).
+    if (blk.finalSsetIds)
+        tracker_.setAssignments(*blk.finalSsetIds);
+}
+
+void
 StatsObserver::onCycle(const MachineCore &core)
 {
     if ((tracker_ || fixedStreams_) && !core.allHalted())
@@ -65,6 +76,35 @@ StatsObserver::onFastForward(const MachineCore &core, Cycle skipped,
     }
     stats_.countCycles(skipped);
     (void)core;
+}
+
+void
+StatsObserver::onBlock(const MachineCore &core, const BlockStats &blk)
+{
+    // One bulk fold of everything the per-cycle hooks would have
+    // accumulated over the block's committed cycles (the backend
+    // builds BlockStats to match onCycle/onCommit exactly, including
+    // the beginning-of-cycle stream histogram).
+    (void)core;
+    if (tracker_) {
+        for (unsigned s = 1; s <= kMaxFus; ++s)
+            if (blk.partitionCycles[s])
+                stats_.countPartitions(s, blk.partitionCycles[s]);
+    } else if (fixedStreams_) {
+        stats_.countPartitions(fixedStreams_, blk.cycles);
+    }
+    for (std::size_t c = 0; c < blk.classCounts.size(); ++c)
+        if (blk.classCounts[c])
+            stats_.countParcels(static_cast<OpClass>(c),
+                                blk.classCounts[c]);
+    if (blk.takenBranches)
+        stats_.countConditionalBranches(true, blk.takenBranches);
+    if (blk.condBranches > blk.takenBranches)
+        stats_.countConditionalBranches(
+            false, blk.condBranches - blk.takenBranches);
+    if (countBusyWaits_ && blk.busyWaitFuCycles)
+        stats_.countBusyWaits(blk.busyWaitFuCycles);
+    stats_.countCycles(blk.cycles);
 }
 
 void

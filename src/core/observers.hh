@@ -31,8 +31,14 @@ class PartitionObserver : public CycleObserver
     {
     }
 
+    const char *observerName() const override { return "partition"; }
+    bool acceptsBlocks() const override { return true; }
+    bool wantsPartitions() const override { return true; }
+
     void onCommit(const MachineCore &core,
                   const std::vector<FuEvent> &events) override;
+    void onBlock(const MachineCore &core,
+                 const BlockStats &blk) override;
 
     // onFastForward: nothing to do — a busy-wait fixpoint repeats the
     // control behaviour of the cycle that was stepped just before the
@@ -65,11 +71,17 @@ class StatsObserver : public CycleObserver
     {
     }
 
+    const char *observerName() const override { return "stats"; }
+    bool acceptsBlocks() const override { return true; }
+    bool wantsPartitions() const override { return tracker_ != nullptr; }
+
     void onCycle(const MachineCore &core) override;
     void onCommit(const MachineCore &core,
                   const std::vector<FuEvent> &events) override;
     void onFastForward(const MachineCore &core, Cycle skipped,
                        const std::vector<FuEvent> &events) override;
+    void onBlock(const MachineCore &core,
+                 const BlockStats &blk) override;
 
   private:
     unsigned streams() const
@@ -92,6 +104,10 @@ class TraceObserver : public CycleObserver
     {
     }
 
+    // Keeps per-cycle records: acceptsBlocks() stays false, demoting a
+    // threaded core back to per-cycle interpretation.
+    const char *observerName() const override { return "trace"; }
+
     void onCycle(const MachineCore &core) override;
     void onFastForward(const MachineCore &core, Cycle skipped,
                        const std::vector<FuEvent> &events) override;
@@ -106,6 +122,8 @@ class VliwTraceObserver : public CycleObserver
 {
   public:
     explicit VliwTraceObserver(Trace &trace) : trace_(trace) {}
+
+    const char *observerName() const override { return "vliw-trace"; }
 
     void onCycle(const MachineCore &core) override;
     void onFastForward(const MachineCore &core, Cycle skipped,

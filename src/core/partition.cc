@@ -48,6 +48,14 @@ PartitionTracker::update(const std::vector<FuControl> &controls)
 }
 
 void
+PartitionTracker::setAssignments(const std::vector<int> &ids)
+{
+    XIMD_ASSERT(ids.size() == numFus_,
+                "assignment vector size mismatch");
+    ssetIds_ = ids;
+}
+
+void
 PartitionTracker::renumber()
 {
     // Dense ids in order of first appearance (lowest member FU first).

@@ -58,6 +58,14 @@ class PartitionTracker
     /** Fold one cycle's executed control behaviour into the partition. */
     void update(const std::vector<FuControl> &controls);
 
+    /**
+     * Overwrite the per-FU assignment wholesale with ids computed
+     * elsewhere (a block backend's SSET grouping; see
+     * CycleObserver::onBlock). Ids must already be dense in order of
+     * first FU appearance, -1 for halted FUs.
+     */
+    void setAssignments(const std::vector<int> &ids);
+
     /** SSET id of @p fu (-1 when halted). Ids are dense from 0. */
     int ssetOf(FuId fu) const;
 

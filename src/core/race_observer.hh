@@ -69,6 +69,10 @@ class RaceObserver : public CycleObserver
     /** @p prog must be the program the observed core executes. */
     explicit RaceObserver(const Program &prog);
 
+    // Needs every cycle's pre-fetch state: acceptsBlocks() stays
+    // false, demoting a threaded core back to the interpreter.
+    const char *observerName() const override { return "race-check"; }
+
     void onCycle(const MachineCore &core) override;
 
     const std::vector<Event> &events() const { return events_; }

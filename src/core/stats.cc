@@ -148,11 +148,20 @@ RunStats::formatted() const
 }
 
 std::string
-RunStats::json(double cycleNs) const
+RunStats::json(double cycleNs, const std::string &backend) const
 {
     std::ostringstream os;
-    os << "{\n"
-       << "  \"cycles\": " << cycles_ << ",\n"
+    os << "{\n";
+    if (!backend.empty()) {
+        // Which execution configuration produced these numbers: the
+        // effective backend, and the program representation it
+        // dispatches over (the interpreter walks DecodedParcel rows,
+        // the threaded backend the flattened per-FU token streams).
+        os << "  \"backend\": \"" << backend << "\",\n"
+           << "  \"predecode\": \""
+           << (backend == "threaded" ? "flat" : "decoded") << "\",\n";
+    }
+    os << "  \"cycles\": " << cycles_ << ",\n"
        << "  \"parcels\": " << parcels_ << ",\n"
        << "  \"data_ops\": " << dataOps() << ",\n"
        << "  \"int_alu\": " << byClass(OpClass::IntAlu) << ",\n"

@@ -123,9 +123,12 @@ class RunStats
     /**
      * Machine-readable JSON object (integers and fixed-point doubles;
      * stable key order). @p cycleNs scales mips/mflops; pass the
-     * machine's configured cycle time.
+     * machine's configured cycle time. A non-empty @p backend names
+     * the execution backend that produced the numbers and adds
+     * "backend" / "predecode" fields so the record is self-describing.
      */
-    std::string json(double cycleNs) const;
+    std::string json(double cycleNs,
+                     const std::string &backend = "") const;
 
   private:
     FuId numFus_;

@@ -112,7 +112,9 @@ Farm::runOne(const RunSpec &spec)
         res.ran = true;
         res.run = run;
         res.stats = machine.stats();
-        res.statsJson = res.stats.json(spec.config.cycleTimeNs);
+        res.backend = machine.core().effectiveBackendName();
+        res.statsJson =
+            res.stats.json(spec.config.cycleTimeNs, res.backend);
         res.archHash = machine.archStateHash();
 
         if (run.reason == StopReason::Fault) {
@@ -221,6 +223,7 @@ BatchResult::json(bool includeTiming) const
         o.set("ok", j.ok());
         if (j.ran) {
             o.set("stop", stopName(j.run.reason));
+            o.set("backend", j.backend);
             o.set("cycles", static_cast<std::uint64_t>(j.run.cycles));
             // Per-job stats are kept as structured JSON so the report
             // nests cleanly; the raw string is what determinism tests

@@ -123,6 +123,13 @@ struct JobResult
     RunStats stats{1};
 
     /**
+     * Effective execution backend that drove the run ("interp" /
+     * "threaded") — the configured one after any observer-fidelity
+     * demotion. Meaningful when `ran`.
+     */
+    std::string backend;
+
+    /**
      * stats.json(cycleTimeNs) captured at completion. A pure function
      * of the RunSpec — byte-identical across thread counts — which is
      * what the determinism tests compare.

@@ -22,10 +22,11 @@ sweepError(std::string message)
 }
 
 /** Axis keys, in the canonical nesting order for expansion. */
-constexpr std::array<std::string_view, 9> kAxisKeys = {
-    "workload",        "program",       "mode",
-    "n",               "seed",          "max_cycles",
+constexpr std::array<std::string_view, 10> kAxisKeys = {
+    "workload",        "program",        "mode",
+    "n",               "seed",           "max_cycles",
     "registered_sync", "result_latency", "fast_forward",
+    "backend",
 };
 
 bool
@@ -176,6 +177,18 @@ class Expander
             !getBool("fast_forward", config.fastForward)) {
             return false;
         }
+
+        std::string backendStr = backendName(config.backend);
+        if (!getString("backend", backendStr))
+            return false;
+        if (backendStr == "interp")
+            config.backend = Backend::Interp;
+        else if (backendStr == "threaded")
+            config.backend = Backend::Threaded;
+        else
+            return fail("'backend' must be \"interp\" or "
+                        "\"threaded\", got \"" +
+                        backendStr + "\"");
 
         std::string workload;
         std::string program;

@@ -111,6 +111,118 @@ class DecodedProgram
 };
 
 /**
+ * Exec-dispatch token kind for the token-threaded backend.
+ *
+ * Most kinds name exactly one opcode, so a threaded handler calls the
+ * ALU helper with a compile-time-constant opcode and the per-op switch
+ * folds away. The first group is the superinstruction fusion for
+ * control-only parcels (data op is a nop): fetch, execute, and
+ * sequence collapse into a single dispatch — Jump / HaltTok for
+ * unconditional flow and the Poll* family for the busy-wait poll
+ * idiom (spin on a CC or sync-signal condition).
+ */
+enum class ExecKind : std::uint8_t {
+    // Fused control-only tokens.
+    Nop,     ///< Nop data op with a conditional CC/SS control op that
+             ///< did not match a fused form (never emitted today).
+    Jump,    ///< nop + unconditional branch.
+    HaltTok, ///< nop + halt.
+    PollCc,  ///< nop + branch on CCk.
+    PollSs,  ///< nop + branch on SSk == DONE.
+    PollAll, ///< nop + branch on ALL(mask) DONE.
+    PollAny, ///< nop + branch on ANY(mask) DONE.
+    // Data-op tokens; sequencing runs through the shared control path.
+    Iadd, Isub, Imult, Idiv, Imod, Ineg, And, Or, Xor, Not, Shl, Shr,
+    Sar, Mov,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Fadd, Fsub, Fmult, Fdiv, Fneg,
+    Feq, Fne, Flt, Fle, Fgt, Fge,
+    Itof, Ftoi,
+    Load, Store,
+};
+
+/** Number of ExecKind values (dispatch-table size). */
+inline constexpr unsigned kNumExecKinds =
+    static_cast<unsigned>(ExecKind::Store) + 1;
+
+/**
+ * One parcel flattened into a threaded execute record. Everything the
+ * threaded backend's dispatch loop reads per cycle is precomputed
+ * here; the backend only adds per-core operand pointers on top.
+ */
+struct FlatParcel
+{
+    ExecKind kind = ExecKind::Nop;
+    CondKind ckind = CondKind::Always;
+    std::uint8_t cindex = 0;  ///< CC or SS index.
+    std::uint8_t cls = 0;     ///< OpClass as an array index.
+    std::uint8_t readCount = 0; ///< Register reads the exec performs.
+    std::uint8_t flags = 0;
+    RegId dest = 0;
+    std::uint16_t keyId = 0;  ///< Interned SSET-grouping key.
+    std::uint32_t ssDoneBit = 0; ///< 1u<<fu when the SS field is DONE.
+    std::uint32_t cmask = 0;  ///< Branch mask, premasked to real FUs.
+    Word aVal = 0;            ///< Register index or immediate bits.
+    Word bVal = 0;
+    InstAddr t1 = 0;
+    InstAddr t2 = 0;
+
+    static constexpr std::uint8_t kAReg = 1u << 0;
+    static constexpr std::uint8_t kBReg = 1u << 1;
+    static constexpr std::uint8_t kConditional = 1u << 2;
+    static constexpr std::uint8_t kCanSelfSpin = 1u << 3;
+    /** On FU0 records: every lane of this row is a nop (VLIW spin). */
+    static constexpr std::uint8_t kRowAllNop = 1u << 4;
+};
+
+/**
+ * The threading tables of one program: FlatParcel records laid out
+ * column-major — one contiguous stream per FU, indexed by address —
+ * plus the interned SSET-grouping keys.
+ *
+ * The grouping keys reproduce PartitionTracker::update()'s keying
+ * statically: every parcel's key — (kind, index, raw mask, T1, T2)
+ * for conditional control, (Always, T1) for unconditional — is known
+ * at decode time, so the threaded backend computes per-cycle SSET
+ * partitions by comparing small integers instead of tuples.
+ *
+ * Immutable after construction and shared through PreparedProgram
+ * exactly like DecodedProgram.
+ */
+class FlatProgram
+{
+  public:
+    FlatProgram() = default;
+
+    /** Flatten @p decoded (which must outlive nothing — all copied). */
+    explicit FlatProgram(const DecodedProgram &decoded);
+
+    FuId width() const { return width_; }
+    InstAddr size() const { return size_; }
+
+    /** Record for (row @p addr, FU @p fu); no bounds check. */
+    const FlatParcel &at(InstAddr addr, FuId fu) const
+    {
+        return parcels_[static_cast<std::size_t>(fu) * size_ + addr];
+    }
+
+    /** FU @p fu's contiguous instruction stream (size() records). */
+    const FlatParcel *stream(FuId fu) const
+    {
+        return parcels_.data() + static_cast<std::size_t>(fu) * size_;
+    }
+
+    /** Number of distinct interned grouping keys. */
+    unsigned numKeys() const { return numKeys_; }
+
+  private:
+    FuId width_ = 0;
+    InstAddr size_ = 0;
+    unsigned numKeys_ = 0;
+    std::vector<FlatParcel> parcels_;
+};
+
+/**
  * A validated Program together with its predecode, frozen for
  * execution.
  *
@@ -137,6 +249,10 @@ class PreparedProgram
 
     const Program &program() const { return program_; }
     const DecodedProgram &decoded() const { return decoded_; }
+
+    /** The threaded backend's flattened per-FU streams. */
+    const FlatProgram &flat() const { return flat_; }
+
     FuId width() const { return program_.width(); }
 
   private:
@@ -144,6 +260,7 @@ class PreparedProgram
 
     Program program_;
     DecodedProgram decoded_;
+    FlatProgram flat_;
 };
 
 } // namespace ximd

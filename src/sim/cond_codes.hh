@@ -71,6 +71,11 @@ class CondCodeFile
     /// @}
 
   private:
+    // The threaded execution backend (core/threaded_backend.cc)
+    // mirrors the CC values into a flat array for its block runs and
+    // writes values + ever-written flags back at block boundaries.
+    friend class ThreadedBackend;
+
     void checkIndex(FuId fu) const;
 
     std::vector<bool> cur_;

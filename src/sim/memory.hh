@@ -104,6 +104,11 @@ class Memory
     /// @}
 
   private:
+    // The threaded execution backend (core/threaded_backend.cc)
+    // accesses the word array directly (it only runs with no device
+    // windows attached) and bulk-updates the counters.
+    friend class ThreadedBackend;
+
     struct DeviceWindow
     {
         Addr lo;

@@ -83,6 +83,11 @@ class RegisterFile
     /// @}
 
   private:
+    // The threaded execution backend (core/threaded_backend.cc) reads
+    // and commits register values directly and bulk-updates the
+    // counters; it must preserve exactly what saveState() serializes.
+    friend class ThreadedBackend;
+
     struct PendingWrite
     {
         RegId reg;

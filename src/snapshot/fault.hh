@@ -124,6 +124,7 @@ class FaultInjector : public CycleObserver
   public:
     explicit FaultInjector(std::vector<FaultEvent> events);
 
+    const char *observerName() const override { return "fault-injector"; }
     bool perturbs() const override { return true; }
     Cycle nextWake(const MachineCore &core) const override;
     void onPerturb(MachineCore &core) override;

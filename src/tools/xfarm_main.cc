@@ -6,6 +6,12 @@
  *   xfarm [options]
  *     --sweep FILE     expand FILE (sweep JSON, see farm/sweep.hh)
  *                      instead of the built-in section 4.1 suite
+ *     --backend interp|threaded
+ *                      force one execution backend on every selected
+ *                      job, overriding sweep-file axes (default: each
+ *                      job's own setting; jobs demote to interp on
+ *                      their own when an observer needs per-cycle
+ *                      fidelity)
  *     --jobs N         worker threads (default: hardware concurrency)
  *     --filter SUBSTR  keep jobs whose name contains SUBSTR
  *                      (repeatable; a job matching any is kept)
@@ -44,6 +50,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +73,9 @@ usage()
         << "usage: xfarm [options]\n"
         << "  --sweep FILE     run a sweep file instead of the "
            "built-in suite\n"
+        << "  --backend interp|threaded\n"
+        << "                   force one execution backend on every "
+           "job\n"
         << "  --jobs N         worker threads (default: hardware)\n"
         << "  --filter SUBSTR  keep jobs whose name contains SUBSTR\n"
         << "  --list           print job names and exit\n"
@@ -92,6 +102,7 @@ struct Options
 {
     std::string sweepFile;
     std::string outFile;
+    std::optional<Backend> backend;
     unsigned jobs = 0;
     bool list = false;
     bool statsJson = false;
@@ -132,6 +143,14 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--sweep") {
             o.sweepFile = next();
+        } else if (arg == "--backend") {
+            const std::string b = next();
+            if (b == "interp")
+                o.backend = Backend::Interp;
+            else if (b == "threaded")
+                o.backend = Backend::Threaded;
+            else
+                usage();
         } else if (arg == "--jobs" || arg == "-j") {
             o.jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 0));
@@ -208,6 +227,11 @@ main(int argc, char **argv)
         specs = std::move(loaded.value());
     } else {
         specs = builtinSuite(o.suite);
+    }
+
+    if (o.backend) {
+        for (RunSpec &s : specs)
+            s.config.backend = *o.backend;
     }
 
     if (!o.filters.empty()) {

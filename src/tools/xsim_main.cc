@@ -9,6 +9,11 @@
  * Usage:
  *   xsim [options] program.ximd
  *     --mode ximd|vliw sequencing discipline (default: tool name)
+ *     --backend interp|threaded
+ *                      execution backend (default threaded); demotes
+ *                      to interp with a warning when an attached
+ *                      observer or configuration needs per-cycle
+ *                      fidelity
  *     --trace          print the Figure-10-style address trace
  *     --stats          print run statistics
  *     --stats-json     print run statistics as JSON
@@ -69,6 +74,8 @@ usage()
         << "usage: " << gTool << " [options] program.ximd\n"
         << "  --mode ximd|vliw sequencing discipline (default: "
         << (gTool == "vsim" ? "vliw" : "ximd") << ")\n"
+        << "  --backend interp|threaded\n"
+        << "                   execution backend (default threaded)\n"
         << "  --trace          print the address trace\n"
         << "  --stats          print run statistics\n"
         << "  --stats-json     print run statistics as JSON\n"
@@ -88,6 +95,8 @@ struct Options
 {
     std::string file;
     Mode mode = Mode::Ximd;
+    Backend backend = Backend::Threaded;
+    bool backendExplicit = false;
     bool trace = false;
     bool stats = false;
     bool statsJson = false;
@@ -112,6 +121,16 @@ parseMode(const std::string &text)
     usage();
 }
 
+Backend
+parseBackend(const std::string &text)
+{
+    if (text == "interp")
+        return Backend::Interp;
+    if (text == "threaded")
+        return Backend::Threaded;
+    usage();
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
@@ -128,6 +147,12 @@ parseArgs(int argc, char **argv)
             o.mode = parseMode(next());
         } else if (arg.rfind("--mode=", 0) == 0) {
             o.mode = parseMode(arg.substr(7));
+        } else if (arg == "--backend") {
+            o.backend = parseBackend(next());
+            o.backendExplicit = true;
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            o.backend = parseBackend(arg.substr(10));
+            o.backendExplicit = true;
         } else if (arg == "--trace") {
             o.trace = true;
         } else if (arg == "--stats") {
@@ -186,7 +211,8 @@ runMachine(Program prog, const Options &o)
                             .withMode(o.mode)
                             .withTrace(o.trace)
                             .withResultLatency(o.latency)
-                            .withRegisteredSync(o.registeredSync);
+                            .withRegisteredSync(o.registeredSync)
+                            .withBackend(o.backend);
     if (o.noTrace)
         cfg.withoutObservers();
 
@@ -197,6 +223,21 @@ runMachine(Program prog, const Options &o)
             std::make_unique<RaceObserver>(machine.program());
         machine.addObserver(raceObserver.get());
     }
+
+    // Warn once, before the run, when an explicitly requested fast
+    // backend cannot keep observer hook timing and demotes to the
+    // interpreter (same architectural results, per-cycle speed). The
+    // default-threaded case demotes silently: the user asked for
+    // nothing, so there is nothing to disappoint.
+    if (o.backendExplicit && o.backend == Backend::Threaded) {
+        const std::string reason = machine.core().demotionReason();
+        if (!reason.empty())
+            std::cerr << gTool
+                      << ": warning: --backend=threaded demoted to "
+                         "interp: "
+                      << reason << "\n";
+    }
+
     const RunResult result = machine.run(o.maxCycles);
 
     switch (result.reason) {
@@ -227,7 +268,8 @@ runMachine(Program prog, const Options &o)
     if (o.stats)
         std::cout << "\n" << machine.stats().formatted();
     if (o.statsJson)
-        std::cout << machine.stats().json(cfg.cycleTimeNs);
+        std::cout << machine.stats().json(
+            cfg.cycleTimeNs, machine.core().effectiveBackendName());
     if (o.trace)
         std::cout << "\n" << machine.trace().formatted();
 

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Execution-backend tier: selection, demotion, and equivalence.
+ *
+ * MachineCore::demotionReason() is the contract between the fast
+ * threaded backend and everything observing the machine: any
+ * configuration the block backend cannot serve with full fidelity
+ * must name the first violated requirement and fall back to the
+ * interpreter. These tests pin that contract, the reporting plumbing
+ * (effectiveBackendName, RunStats::json backend fields), and the
+ * architectural equivalence of the two backends on the paper kernels.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/observer.hh"
+#include "core/partition.hh"
+#include "sim/io_port.hh"
+#include "snapshot/fault.hh"
+#include "workloads/kernels.hh"
+
+namespace {
+
+using namespace ximd;
+
+/** Minimal observer that insists on per-cycle onCycle delivery. */
+class PerCycleObserver : public CycleObserver
+{
+  public:
+    const char *observerName() const override { return "per-cycle"; }
+    void onCycle(const MachineCore &core) override { (void)core; }
+};
+
+/**
+ * Minimal observer content with folded per-block delivery. Cycles the
+ * backend steps per-cycle (e.g. to seed the SSET grouping) arrive via
+ * onCycle as usual, so a block observer counts both channels.
+ */
+class BlockObserver : public CycleObserver
+{
+  public:
+    const char *observerName() const override { return "blocky"; }
+    bool acceptsBlocks() const override { return true; }
+    void onCycle(const MachineCore &core) override
+    {
+        (void)core;
+        ++cycles;
+    }
+    void onBlock(const MachineCore &core,
+                 const BlockStats &blk) override
+    {
+        (void)core;
+        cycles += blk.cycles;
+    }
+    Cycle cycles = 0;
+};
+
+TEST(Backend, DefaultConfigSelectsThreadedAndRunsIt)
+{
+    Machine m(workloads::minmaxPaper(true));
+    EXPECT_EQ(m.core().selectedBackend(), Backend::Threaded);
+    EXPECT_EQ(m.core().demotionReason(), "");
+    EXPECT_EQ(m.core().effectiveBackend(), Backend::Threaded);
+    EXPECT_STREQ(m.core().effectiveBackendName(), "threaded");
+}
+
+TEST(Backend, InterpSelectionIsHonored)
+{
+    Machine m(workloads::minmaxPaper(true),
+              MachineConfig{}.withBackend(Backend::Interp));
+    EXPECT_EQ(m.core().effectiveBackend(), Backend::Interp);
+    EXPECT_STREQ(m.core().effectiveBackendName(), "interp");
+    EXPECT_EQ(m.core().demotionReason(), "");
+}
+
+TEST(Backend, BackendNameIsStable)
+{
+    EXPECT_STREQ(backendName(Backend::Interp), "interp");
+    EXPECT_STREQ(backendName(Backend::Threaded), "threaded");
+}
+
+TEST(Backend, TraceObserverDemotes)
+{
+    Machine m(workloads::minmaxPaper(true),
+              MachineConfig{}.withTrace());
+    EXPECT_EQ(m.core().selectedBackend(), Backend::Threaded);
+    EXPECT_EQ(m.core().demotionReason(),
+              "observer 'trace' requires per-cycle fidelity");
+    EXPECT_EQ(m.core().effectiveBackend(), Backend::Interp);
+    EXPECT_STREQ(m.core().effectiveBackendName(), "interp");
+}
+
+TEST(Backend, CustomPerCycleObserverDemotesByName)
+{
+    Machine m(workloads::minmaxPaper(true));
+    PerCycleObserver obs;
+    m.addObserver(&obs);
+    EXPECT_EQ(m.core().demotionReason(),
+              "observer 'per-cycle' requires per-cycle fidelity");
+}
+
+TEST(Backend, PerturbingObserverDemotes)
+{
+    snapshot::FaultPlan plan;
+    snapshot::FaultInjector injector(plan.expandTrial(1, 4));
+    Machine m(workloads::minmaxPaper(true));
+    m.addObserver(&injector);
+    EXPECT_EQ(m.core().demotionReason(),
+              "observer 'fault-injector' schedules perturbations");
+}
+
+TEST(Backend, ResultLatencyDemotes)
+{
+    Machine m(workloads::minmaxPaper(true),
+              MachineConfig{}.withResultLatency(3));
+    EXPECT_EQ(m.core().demotionReason(),
+              "result latency > 1 keeps the write pipeline in "
+              "flight");
+}
+
+TEST(Backend, RegisteredSyncDemotes)
+{
+    Machine m(workloads::bitcount1Paper(
+                  std::vector<Word>(16, 1)),
+              MachineConfig{}.withRegisteredSync());
+    EXPECT_EQ(m.core().demotionReason(),
+              "registered sync distribution needs per-cycle "
+              "stepping");
+}
+
+TEST(Backend, MappedDeviceDemotes)
+{
+    OutputPort port("out");
+    Machine m(workloads::minmaxPaper(true));
+    m.attachDevice(4000, 4000, &port);
+    EXPECT_EQ(m.core().demotionReason(),
+              "memory-mapped devices need per-cycle access ordering");
+}
+
+TEST(Backend, StockStatsAndPartitionObserversAcceptBlocks)
+{
+    // The default observer set (stats + partitions, no trace) must not
+    // demote — that is the whole point of the block protocol.
+    Machine m(workloads::minmaxPaper(true), MachineConfig{});
+    EXPECT_EQ(m.core().demotionReason(), "");
+}
+
+TEST(Backend, BlockObserverSeesEveryCycleOnce)
+{
+    BlockObserver blocks;
+    Machine threaded(workloads::minmaxPaper(true), MachineConfig{});
+    threaded.addObserver(&blocks);
+    ASSERT_EQ(threaded.core().demotionReason(), "");
+    const RunResult run = threaded.run(1000);
+    EXPECT_EQ(run.reason, StopReason::Halted);
+    EXPECT_EQ(blocks.cycles, run.cycles);
+}
+
+TEST(Backend, ThreadedMatchesInterpObservables)
+{
+    // Same program, same observers, both backends: identical cycle
+    // count, architectural state, statistics and partition history.
+    const Program prog = workloads::minmaxPaper(true);
+    Machine interp(prog,
+                   MachineConfig{}.withBackend(Backend::Interp));
+    Machine threaded(prog,
+                     MachineConfig{}.withBackend(Backend::Threaded));
+    const RunResult ri = interp.run(1000);
+    const RunResult rt = threaded.run(1000);
+    EXPECT_EQ(ri.reason, rt.reason);
+    EXPECT_EQ(ri.cycles, rt.cycles);
+    EXPECT_EQ(interp.archStateHash(), threaded.archStateHash());
+    EXPECT_EQ(interp.stats().formatted(),
+              threaded.stats().formatted());
+    EXPECT_EQ(interp.partitions().formatted(),
+              threaded.partitions().formatted());
+}
+
+TEST(Backend, SetAssignmentsOverwritesPartition)
+{
+    PartitionTracker tracker(4);
+    tracker.setAssignments({0, 0, 1, -1});
+    EXPECT_EQ(tracker.numSsets(), 2u);
+    EXPECT_TRUE(tracker.sameSset(0, 1));
+    EXPECT_FALSE(tracker.sameSset(0, 2));
+    EXPECT_EQ(tracker.ssetOf(3), -1);
+    EXPECT_EQ(tracker.formatted(), "{0,1}{2}");
+}
+
+TEST(Backend, StatsJsonNamesBackendAndPredecode)
+{
+    RunStats stats(4);
+    const std::string threaded = stats.json(10.0, "threaded");
+    EXPECT_NE(threaded.find("\"backend\": \"threaded\""),
+              std::string::npos);
+    EXPECT_NE(threaded.find("\"predecode\": \"flat\""),
+              std::string::npos);
+
+    const std::string interp = stats.json(10.0, "interp");
+    EXPECT_NE(interp.find("\"backend\": \"interp\""),
+              std::string::npos);
+    EXPECT_NE(interp.find("\"predecode\": \"decoded\""),
+              std::string::npos);
+
+    // Callers that do not name a backend get the legacy document.
+    const std::string bare = stats.json(10.0);
+    EXPECT_EQ(bare.find("\"backend\""), std::string::npos);
+    EXPECT_EQ(bare.find("\"predecode\""), std::string::npos);
+}
+
+} // namespace

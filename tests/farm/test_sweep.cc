@@ -99,6 +99,24 @@ TEST(Sweep, ConfigAxesReachTheMachineConfig)
     EXPECT_EQ(specs[0].maxCycles, 1234u);
 }
 
+TEST(Sweep, BackendAxisExpandsAndValidates)
+{
+    const auto specs = expandOk(R"({
+        "runs": [{
+            "workload": "minmax",
+            "backend": ["interp", "threaded"]
+        }]
+    })");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].config.backend, Backend::Interp);
+    EXPECT_EQ(specs[1].config.backend, Backend::Threaded);
+
+    EXPECT_NE(expandErr(R"({"runs": [{"workload": "minmax",
+                                      "backend": "jit"}]})")
+                  .find("'backend' must be"),
+              std::string::npos);
+}
+
 TEST(Sweep, StructuralErrorsFailTheLoad)
 {
     EXPECT_NE(expandErr("not json").find("sweep:"),
