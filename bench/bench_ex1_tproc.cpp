@@ -91,8 +91,8 @@ printTables()
     Table t2({{"width", 7}, {"rows", 7}, {"cycles", 9}});
     t2.header();
     for (FuId w : {1u, 2u, 4u, 8u}) {
-        auto code = sched::generateCode(tprocIr(a, b, c, d),
-                                        {.width = w});
+        auto code = orDie(sched::generateCodeChecked(
+            tprocIr(a, b, c, d), {.width = w}));
         XimdMachine m(code.program);
         m.run();
         if (static_cast<SWord>(wordToInt(m.peekMem(100))) !=
@@ -125,8 +125,8 @@ compileTproc(benchmark::State &state)
 {
     const auto ir = tprocIr(1, 2, 3, 4);
     for (auto _ : state) {
-        auto code = sched::generateCode(
-            ir, {.width = static_cast<FuId>(state.range(0))});
+        auto code = orDie(sched::generateCodeChecked(
+            ir, {.width = static_cast<FuId>(state.range(0))}));
         benchmark::DoNotOptimize(code.program.size());
     }
 }

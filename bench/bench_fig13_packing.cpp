@@ -58,7 +58,7 @@ printTables()
         const PackResult bg = packBalancedGroups(tiles, kWidth);
         const PackResult ex = packExhaustive(tiles, kWidth);
         for (const PackResult *r : {&st, &ff, &sk, &bg, &ex})
-            validatePacking(*r, tiles, kWidth);
+            orDie(validatePackingChecked(*r, tiles, kWidth));
 
         unsigned best = std::min(
             {ff.totalHeight, sk.totalHeight, bg.totalHeight,
@@ -104,7 +104,8 @@ printTables()
         t2.header();
         for (auto pack : {packStacked, packBalancedGroups}) {
             const PackResult r = pack(tiles, kWidth);
-            Composed comp = composeThreads(threads, r, kWidth);
+            Composed comp =
+                orDie(composeThreadsChecked(threads, r, kWidth));
             MachineConfig cfg;
             cfg.memWords = 8192;
             XimdMachine m(comp.program, cfg);

@@ -50,7 +50,7 @@ moduloLoop12(Word n, Addr y0, Addr x0)
         {Opcode::Store, PipeVal::localVal(2), PipeVal::localVal(3),
          -1},
     };
-    return pipelineLoop(loop, 8);
+    return orDie(pipelineLoopChecked(loop, 8));
 }
 
 Cycle

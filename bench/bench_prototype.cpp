@@ -181,8 +181,8 @@ printTables()
         Word results[2];
         int idx = 0;
         for (unsigned latency : {1u, 3u}) {
-            auto code = sched::generateCode(
-                ir, {.width = 8, .rawLatency = latency});
+            auto code = orDie(sched::generateCodeChecked(
+                ir, {.width = 8, .rawLatency = latency}));
             MachineConfig cfg;
             cfg.resultLatency = latency;
             XimdMachine m(code.program, cfg);

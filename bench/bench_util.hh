@@ -10,13 +10,32 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "sched/diag.hh"
 #include "support/str.hh"
 
 namespace ximd::bench {
+
+/**
+ * Unwrap a sched CompileResult at the application layer: print the
+ * structured error and exit non-zero. The benches use this with the
+ * *Checked compiler entry points; the throwing wrappers they used to
+ * call are deprecated (DESIGN.md section 8).
+ */
+template <typename T>
+T
+orDie(sched::CompileResult<T> r)
+{
+    if (!r) {
+        std::cerr << r.error().format() << "\n";
+        std::exit(1);
+    }
+    return std::move(r).value();
+}
 
 /** Fixed-width table writer. */
 class Table

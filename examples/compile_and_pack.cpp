@@ -46,7 +46,10 @@ main()
     for (const char *name :
          {"stacked", "first-fit", "skyline", "balanced-groups"}) {
         PackResult r = packStrategyByName(name)(tiles, kWidth);
-        validatePacking(r, tiles, kWidth);
+        if (auto v = validatePackingChecked(r, tiles, kWidth); !v) {
+            std::cerr << v.error().format() << "\n";
+            return 1;
+        }
         std::cout << padRight(r.strategy, 26)
                   << padLeft(std::to_string(r.totalHeight), 6)
                   << padLeft(fixed(r.utilization(kWidth) * 100, 1) +

@@ -89,6 +89,27 @@ diff -u "$XCC_OUT/farm_interp.norm.json" \
         "$XCC_OUT/farm_threaded.norm.json"
 echo "backend: threaded matches the interpreter across the suite"
 
+# Batch-parity stage: the SoA lockstep engine must be architecturally
+# indistinguishable from the scalar farm. Run the batch/service unit
+# suites, then diff whole-suite reports scalar-vs-batched with only
+# the self-describing backend labels normalized — cycles, stats,
+# arch hashes and failure strings must match byte for byte.
+echo "==> batch-parity (scalar vs batched xfarm reports)"
+ctest --test-dir build-release -j "$JOBS" --output-on-failure \
+    -R 'BatchEngine|BatchRunner|BatchParity|Service\.|Schema|cli_xfarm_batch'
+"$XFARM" --quiet --n 64 --no-timing \
+    --out "$XCC_OUT/farm_scalar.json"
+"$XFARM" --quiet --n 64 --no-timing --batch --width 256 \
+    --out "$XCC_OUT/farm_batched.json"
+for f in farm_scalar farm_batched; do
+    sed -e 's/"backend": "[a-z]*"/"backend": "-"/' \
+        -e 's/"predecode": "[a-z]*"/"predecode": "-"/' \
+        "$XCC_OUT/$f.json" > "$XCC_OUT/$f.norm.json"
+done
+diff -u "$XCC_OUT/farm_scalar.norm.json" \
+        "$XCC_OUT/farm_batched.norm.json"
+echo "batch-parity: batched matches the scalar farm across the suite"
+
 # clang-tidy stage: bugprone/concurrency/performance profiles from
 # .clang-tidy over the analysis and core sources, using the release
 # build's compile_commands.json. Gated on the tool being installed so
@@ -130,5 +151,26 @@ ctest --preset tsan -j "$JOBS"
 echo "==> tsan (xfarm batch, threaded backend forced)"
 build-tsan/tools/xfarm --quiet -j8 --n 64 --backend=threaded \
     --filter minmax --filter bitcount
+
+# The service runs one worker thread against connection threads; drive
+# a real daemon through accept, submit, blocking results, drain, and
+# the SIGTERM drain path under TSAN.
+echo "==> tsan (xfarm service: accept, submit, drain)"
+SOCK="$XCC_OUT/tsan_xfarm.sock"
+build-tsan/tools/xfarm --serve "$SOCK" --quiet &
+SRV=$!
+for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+printf '%s\n' \
+    '{"cmd":"ping"}' \
+    '{"cmd":"submit","suite":{"n":64,"filter":["minmax"]}}' \
+    '{"cmd":"results","batch":0,"wait":true}' \
+    '{"cmd":"drain"}' \
+    | build-tsan/tools/xfarm --connect "$SOCK" > /dev/null
+kill -TERM "$SRV"
+wait "$SRV"
+echo "tsan: service accept/drain clean"
 
 echo "ci: all configurations clean"

@@ -109,6 +109,29 @@ sched = [
 if sched:
     merged["sched_compile"] = sched
 
+# Batch-throughput summary: batchThroughput/<width> rows (width 1 is
+# the scalar farm) with jobs/s, aggregate simulated cycles/s and the
+# speedup over the scalar baseline. The width-256 row is the gating
+# number (>= 3x scalar, DESIGN.md section 13).
+widths = {
+    int(b["name"].rsplit("/", 1)[1]): b
+    for b in merged["benchmarks"]
+    if b["binary"] == "bench_batch_throughput"
+    and b["name"].startswith("batchThroughput/")
+}
+if widths:
+    base = widths.get(1, {}).get("jobs_per_s")
+    merged["batch_throughput"] = [
+        {
+            "width": w,
+            "jobs_per_s": b.get("jobs_per_s"),
+            "machine_cycles_per_s": b.get("machine_cycles_per_s"),
+            "speedup": round(b["jobs_per_s"] / base, 3)
+            if base and b.get("jobs_per_s") else None,
+        }
+        for w, b in sorted(widths.items())
+    ]
+
 # Execution-backend summary: every simulate*/<backend>/... row pairs
 # an interpreter run with its threaded-code twin; report simulated
 # cycles/s for both and the speedup, keyed by the backend-free name.

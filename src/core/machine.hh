@@ -35,6 +35,7 @@
 #include <memory>
 #include <string>
 
+#include "core/arch_view.hh"
 #include "core/machine_config.hh"
 #include "core/machine_core.hh"
 #include "core/observers.hh"
@@ -47,7 +48,7 @@
 namespace ximd {
 
 /** A fully-wired simulator: core + configured observers. */
-class Machine
+class Machine : public ArchView
 {
   public:
     /** Build around @p program (validated and predecoded here). */
@@ -94,7 +95,10 @@ class Machine
 
     /// @name Observation.
     /// @{
-    const Program &program() const { return core_.program(); }
+    const Program &program() const override
+    {
+        return core_.program();
+    }
     const MachineConfig &config() const { return core_.config(); }
     Mode mode() const { return core_.mode(); }
     FuId numFus() const { return core_.numFus(); }
@@ -116,13 +120,16 @@ class Machine
     Word readReg(RegId r) const { return core_.readReg(r); }
 
     /** Read a register by its symbolic program name; fatal if unknown. */
-    Word readRegByName(const std::string &name) const
+    Word readRegByName(const std::string &name) const override
     {
         return core_.readRegByName(name);
     }
 
     /** Read a memory word (RAM only). */
-    Word peekMem(Addr addr) const { return core_.peekMem(addr); }
+    Word peekMem(Addr addr) const override
+    {
+        return core_.peekMem(addr);
+    }
 
     /** The underlying execution core (advanced uses). */
     MachineCore &core() { return core_; }

@@ -151,15 +151,17 @@ std::string
 RunStats::json(double cycleNs, const std::string &backend) const
 {
     std::ostringstream os;
-    os << "{\n";
+    os << "{\n"
+       << "  \"schema\": " << kStatsJsonSchema << ",\n";
     if (!backend.empty()) {
         // Which execution configuration produced these numbers: the
         // effective backend, and the program representation it
-        // dispatches over (the interpreter walks DecodedParcel rows,
-        // the threaded backend the flattened per-FU token streams).
+        // dispatches over (the interpreter walks DecodedParcel rows;
+        // the threaded and batch executors the flattened per-FU token
+        // streams).
         os << "  \"backend\": \"" << backend << "\",\n"
            << "  \"predecode\": \""
-           << (backend == "threaded" ? "flat" : "decoded") << "\",\n";
+           << (backend == "interp" ? "decoded" : "flat") << "\",\n";
     }
     os << "  \"cycles\": " << cycles_ << ",\n"
        << "  \"parcels\": " << parcels_ << ",\n"

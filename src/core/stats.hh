@@ -22,6 +22,15 @@
 
 namespace ximd {
 
+/**
+ * Version stamped into every machine-readable JSON document the
+ * simulator emits (`"schema": N` on --stats-json output, xfarm job
+ * records, and campaign triage reports). Service clients key their
+ * parsers on it; bump it on any key addition, removal, or rename and
+ * update the key-set pin in tests/farm/test_schema.cc.
+ */
+inline constexpr unsigned kStatsJsonSchema = 1;
+
 /** Counters accumulated over one simulation run. */
 class RunStats
 {

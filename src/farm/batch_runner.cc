@@ -1,0 +1,174 @@
+#include "farm/batch_runner.hh"
+
+#include <chrono>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "batch/batch_engine.hh"
+#include "farm/farm.hh"
+
+namespace ximd::farm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+analysis::Diagnostic
+runFailure(std::string message)
+{
+    return {analysis::Severity::Error, analysis::Check::RunFailed, 0,
+            -1, std::move(message)};
+}
+
+constexpr unsigned kDefaultWidth = 256;
+
+/**
+ * Everything that changes execution semantics inside the engine; specs
+ * agreeing on this (and on the program) may share lanes. Per-job
+ * fields — cycle budget, seed, cycleTimeNs — stay per-lane.
+ */
+using CohortKey = std::tuple<const PreparedProgram *, Mode, std::size_t,
+                             ConflictPolicy, bool, bool, bool>;
+
+CohortKey
+cohortKeyOf(const RunSpec &spec)
+{
+    return {spec.program.get(),
+            spec.config.mode,
+            spec.config.memWords,
+            spec.config.conflictPolicy,
+            spec.config.collectStats,
+            spec.config.trackPartitions,
+            spec.config.fastForward};
+}
+
+/** Map one retired lane back onto the scalar JobResult contract. */
+JobResult
+laneToJobResult(const RunSpec &spec, const batch::LaneResult &lane)
+{
+    JobResult res;
+    res.name = spec.name;
+    if (!lane.ran) {
+        // Construction failed: the scalar path reports the
+        // FatalError's message through the same catch-all.
+        res.error = runFailure(lane.error);
+        return res;
+    }
+    res.ran = true;
+    res.run = lane.run;
+    res.stats = lane.stats;
+    res.backend = "batch";
+    res.statsJson =
+        res.stats.json(spec.config.cycleTimeNs, res.backend);
+    res.archHash = lane.archHash;
+    if (lane.run.reason == StopReason::Fault) {
+        res.error =
+            runFailure("simulation fault: " + lane.run.faultMessage);
+    } else if (lane.run.reason == StopReason::MaxCycles) {
+        res.error = runFailure("cycle budget exhausted after " +
+                               std::to_string(lane.run.cycles) +
+                               " cycles");
+    } else if (!lane.checkError.empty()) {
+        res.error = runFailure(lane.checkError);
+    }
+    return res;
+}
+
+} // namespace
+
+const char *
+batchDemotionReason(const RunSpec &spec)
+{
+    if (spec.loadError)
+        return "spec carries a load error";
+    if (!spec.program)
+        return "spec has no program";
+    if (spec.fixture)
+        return "job fixture attaches devices or per-run hooks";
+    if (spec.checkpointEvery > 0 && !spec.checkpointPath.empty())
+        return "periodic checkpoints observe every boundary";
+    if (!spec.resumeFrom.empty())
+        return "snapshot resume restores mid-run machine state";
+    if (spec.config.backend == Backend::Interp)
+        return "interpreter backend forced by configuration";
+    if (spec.config.recordTrace)
+        return "trace observer needs per-cycle fidelity";
+    if (spec.config.resultLatency != 1)
+        return "multi-cycle result latency needs the write pipeline";
+    if (spec.config.registeredSync)
+        return "registered sync distribution needs per-cycle state";
+    return nullptr;
+}
+
+BatchResult
+BatchRunner::run(const std::vector<RunSpec> &specs, unsigned threads,
+                 unsigned width)
+{
+    if (width == 0)
+        width = kDefaultWidth;
+
+    const auto start = Clock::now();
+
+    // Split the batch: cohorts (first-seen order, members in spec
+    // order) vs. scalar-fallback indices.
+    std::map<CohortKey, std::vector<std::size_t>> cohorts;
+    std::vector<std::size_t> scalar;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (batchDemotionReason(specs[i]))
+            scalar.push_back(i);
+        else
+            cohorts[cohortKeyOf(specs[i])].push_back(i);
+    }
+
+    BatchResult batch;
+    batch.jobs.resize(specs.size());
+
+    // Scalar fallback first, through the ordinary farm pool — its
+    // results scatter back into spec order.
+    batch.threads = 1;
+    if (!scalar.empty()) {
+        std::vector<RunSpec> fallback;
+        fallback.reserve(scalar.size());
+        for (std::size_t i : scalar)
+            fallback.push_back(specs[i]);
+        BatchResult ran = Farm::run(fallback, threads);
+        batch.threads = ran.threads;
+        for (std::size_t k = 0; k < scalar.size(); ++k)
+            batch.jobs[scalar[k]] = std::move(ran.jobs[k]);
+    }
+
+    // Each cohort shares one engine; lanes retire and refill inside.
+    for (const auto &[key, members] : cohorts) {
+        (void)key;
+        const RunSpec &first = specs[members.front()];
+        batch::EngineConfig ec;
+        ec.mode = first.config.mode;
+        ec.memWords = first.config.memWords;
+        ec.conflictPolicy = first.config.conflictPolicy;
+        ec.collectStats = first.config.collectStats;
+        ec.trackPartitions = first.config.trackPartitions;
+        ec.fastForward = first.config.fastForward;
+        const unsigned lanes = static_cast<unsigned>(
+            std::min<std::size_t>(width, members.size()));
+        batch::BatchEngine engine(first.program, ec, lanes);
+        for (std::size_t i : members) {
+            const RunSpec &spec = specs[i];
+            engine.submit(spec.maxCycles
+                              ? spec.maxCycles
+                              : spec.config.defaultMaxCycles,
+                          spec.check);
+        }
+        engine.runAll();
+        for (std::size_t k = 0; k < members.size(); ++k)
+            batch.jobs[members[k]] =
+                laneToJobResult(specs[members[k]], engine.result(k));
+    }
+
+    batch.wallMillis =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    return batch;
+}
+
+} // namespace ximd::farm

@@ -201,6 +201,8 @@ std::string
 CampaignResult::json() const
 {
     json::Value root = json::Value::object();
+    root.set("schema",
+             static_cast<std::uint64_t>(kStatsJsonSchema));
     root.set("plan", planSummary);
 
     json::Value arr = json::Value::array();

@@ -124,10 +124,17 @@ Farm::runOne(const RunSpec &spec)
             res.error = runFailure("cycle budget exhausted after " +
                                    std::to_string(run.cycles) +
                                    " cycles");
-        } else if (fixture) {
-            std::string msg = fixture->check(machine, run);
-            if (!msg.empty())
-                res.error = runFailure(std::move(msg));
+        } else {
+            if (fixture) {
+                std::string msg = fixture->check(machine, run);
+                if (!msg.empty())
+                    res.error = runFailure(std::move(msg));
+            }
+            if (!res.error && spec.check) {
+                std::string msg = spec.check(machine, run);
+                if (!msg.empty())
+                    res.error = runFailure(std::move(msg));
+            }
         }
     } catch (const std::exception &e) {
         // Machine construction or fixture setup rejected the job
@@ -208,6 +215,8 @@ std::string
 BatchResult::json(bool includeTiming) const
 {
     json::Value root = json::Value::object();
+    root.set("schema",
+             static_cast<std::uint64_t>(kStatsJsonSchema));
     root.set("job_count",
              static_cast<std::uint64_t>(jobs.size()));
     root.set("failures", static_cast<std::uint64_t>(failures()));

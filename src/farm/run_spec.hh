@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.hh"
+#include "core/arch_view.hh"
 #include "core/machine.hh"
 #include "core/machine_config.hh"
 #include "core/run_result.hh"
@@ -71,6 +72,22 @@ class JobFixture
 using FixtureFactory =
     std::function<std::unique_ptr<JobFixture>(const RunSpec &)>;
 
+/**
+ * Pure post-run verification: reads only final architectural state
+ * through ArchView, returns an empty string on pass or a failure
+ * description (which becomes a Check::RunFailed diagnostic).
+ *
+ * This is the batchable counterpart to JobFixture::check. A fixture
+ * holds per-run objects and may attach devices, so a fixture job must
+ * run on its own scalar Machine; a ResultCheck consumes nothing but
+ * the end state, so checked jobs stay eligible for the lockstep batch
+ * engine. Prefer a ResultCheck unless the job really needs setUp.
+ * Checks run only for runs that halt cleanly — a fault or an
+ * exhausted cycle budget already failed the job.
+ */
+using ResultCheck =
+    std::function<std::string(const ArchView &, const RunResult &)>;
+
 /** Everything needed to execute one simulation. */
 struct RunSpec
 {
@@ -91,6 +108,9 @@ struct RunSpec
 
     /** Optional per-run environment builder (may be empty). */
     FixtureFactory fixture;
+
+    /** Optional post-run state check (may be empty; batchable). */
+    ResultCheck check;
 
     /// @name Checkpoint / resume (src/snapshot/).
     ///

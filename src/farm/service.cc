@@ -1,0 +1,362 @@
+#include "farm/service.hh"
+
+#include <utility>
+
+#include "core/stats.hh"
+#include "farm/batch_runner.hh"
+#include "farm/farm.hh"
+#include "farm/suite.hh"
+#include "farm/sweep.hh"
+#include "snapshot/snapshot.hh"
+#include "support/json.hh"
+
+namespace ximd::farm {
+
+namespace {
+
+const char *
+stopName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Halted:    return "halted";
+      case StopReason::MaxCycles: return "max-cycles";
+      case StopReason::Fault:     return "fault";
+    }
+    return "unknown";
+}
+
+json::Value
+responseBase()
+{
+    json::Value v = json::Value::object();
+    v.set("schema", static_cast<std::uint64_t>(kStatsJsonSchema));
+    return v;
+}
+
+void
+emitError(const Service::LineSink &out, const std::string &message)
+{
+    json::Value v = responseBase();
+    v.set("ok", false);
+    v.set("error", message);
+    out(v.dump(0));
+}
+
+const char *
+stateName(bool queued, bool running)
+{
+    return queued ? "queued" : running ? "running" : "done";
+}
+
+} // namespace
+
+Service::Service() : worker_([this] { workerLoop(); }) {}
+
+Service::~Service()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+void
+Service::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        Batch *next = nullptr;
+        cv_.wait(lock, [&] {
+            if (stop_)
+                return true;
+            for (const auto &b : batches_)
+                if (b->state == State::Queued) {
+                    next = b.get();
+                    return true;
+                }
+            return false;
+        });
+        if (stop_)
+            return;
+        next->state = State::Running;
+        lock.unlock();
+        // Execution happens unlocked: submits, status polls, and
+        // result waits stay responsive during a long batch.
+        BatchResult result =
+            next->useBatch
+                ? BatchRunner::run(next->specs, next->threads,
+                                   next->width)
+                : Farm::run(next->specs, next->threads);
+        lock.lock();
+        next->result = std::move(result);
+        next->state = State::Done;
+        doneCv_.notify_all();
+    }
+}
+
+Service::Batch *
+Service::findLocked(std::size_t id)
+{
+    for (const auto &b : batches_)
+        if (b->id == id)
+            return b.get();
+    return nullptr;
+}
+
+void
+Service::emitStatus(const Batch &b, const LineSink &out)
+{
+    json::Value v = responseBase();
+    v.set("ok", true);
+    v.set("event", "status");
+    v.set("batch", static_cast<std::uint64_t>(b.id));
+    v.set("state", stateName(b.state == State::Queued,
+                             b.state == State::Running));
+    v.set("jobs", static_cast<std::uint64_t>(b.specs.size()));
+    if (b.state == State::Done)
+        v.set("failures",
+              static_cast<std::uint64_t>(b.result.failures()));
+    out(v.dump(0));
+}
+
+void
+Service::emitResults(const Batch &b, const LineSink &out)
+{
+    // One line per job, in spec order, with no host-timing fields:
+    // the stream is a pure function of the submission.
+    for (const JobResult &j : b.result.jobs) {
+        json::Value v = responseBase();
+        v.set("event", "job");
+        v.set("batch", static_cast<std::uint64_t>(b.id));
+        v.set("name", j.name);
+        v.set("ok", j.ok());
+        if (j.ran) {
+            v.set("stop", stopName(j.run.reason));
+            v.set("backend", j.backend);
+            v.set("cycles",
+                  static_cast<std::uint64_t>(j.run.cycles));
+            auto stats = json::parse(j.statsJson);
+            if (stats.hasValue())
+                v.set("stats", std::move(stats.value()));
+        }
+        if (j.error)
+            v.set("error",
+                  analysis::DiagnosticList::formatOne(*j.error));
+        out(v.dump(0));
+    }
+    json::Value v = responseBase();
+    v.set("event", "done");
+    v.set("batch", static_cast<std::uint64_t>(b.id));
+    v.set("jobs", static_cast<std::uint64_t>(b.result.jobs.size()));
+    v.set("failures",
+          static_cast<std::uint64_t>(b.result.failures()));
+    out(v.dump(0));
+}
+
+Service::Action
+Service::handleLine(const std::string &line, const LineSink &out)
+{
+    auto parsed = json::parse(line);
+    if (!parsed.hasValue()) {
+        emitError(out, "bad request: " + parsed.error().formatted());
+        return Action::Continue;
+    }
+    const json::Value req = std::move(parsed.value());
+    const json::Value *cmd = req.find("cmd");
+    if (!cmd || !cmd->isString()) {
+        emitError(out, "request needs a string \"cmd\"");
+        return Action::Continue;
+    }
+
+    if (cmd->asString() == "ping") {
+        json::Value v = responseBase();
+        v.set("ok", true);
+        v.set("event", "pong");
+        out(v.dump(0));
+        return Action::Continue;
+    }
+
+    if (cmd->asString() == "submit") {
+        std::vector<RunSpec> specs;
+        if (const json::Value *sweep = req.find("sweep")) {
+            auto loaded = parseSweep(sweep->dump(0));
+            if (!loaded.hasValue()) {
+                emitError(out,
+                          analysis::DiagnosticList::formatOne(
+                              loaded.error()));
+                return Action::Continue;
+            }
+            specs = std::move(loaded.value());
+        } else if (const json::Value *suite = req.find("suite")) {
+            SuiteOptions so;
+            if (const json::Value *n = suite->find("n"))
+                so.n = static_cast<unsigned>(n->asInt());
+            if (const json::Value *seed = suite->find("seed"))
+                so.seed =
+                    static_cast<std::uint64_t>(seed->asInt());
+            if (const json::Value *ax = suite->find("regsync_axis"))
+                so.registeredSyncAxis = ax->asBool();
+            specs = builtinSuite(so);
+            if (const json::Value *filter = suite->find("filter")) {
+                std::vector<RunSpec> kept;
+                for (RunSpec &s : specs)
+                    for (const json::Value &f : filter->items())
+                        if (s.name.find(f.asString()) !=
+                            std::string::npos) {
+                            kept.push_back(std::move(s));
+                            break;
+                        }
+                specs = std::move(kept);
+            }
+        } else {
+            emitError(out, "submit needs \"sweep\" or \"suite\"");
+            return Action::Continue;
+        }
+        if (specs.empty()) {
+            emitError(out, "submission selects no jobs");
+            return Action::Continue;
+        }
+
+        // Warm start: restore an XIMDSNAP file into the job it was
+        // saved from, matched by the snapshot's label.
+        if (const json::Value *resume = req.find("resume")) {
+            auto info = snapshot::peekFile(resume->asString());
+            if (!info.hasValue()) {
+                emitError(out, info.error().formatted());
+                return Action::Continue;
+            }
+            bool found = false;
+            for (RunSpec &s : specs)
+                if (s.name == info.value().label) {
+                    s.resumeFrom = resume->asString();
+                    found = true;
+                }
+            if (!found) {
+                emitError(out, "snapshot label '" +
+                                   info.value().label +
+                                   "' matches no submitted job");
+                return Action::Continue;
+            }
+        }
+
+        auto batch = std::make_unique<Batch>();
+        batch->specs = std::move(specs);
+        if (const json::Value *b = req.find("batch"))
+            batch->useBatch = b->asBool();
+        if (const json::Value *t = req.find("threads"))
+            batch->threads = static_cast<unsigned>(t->asInt());
+        if (const json::Value *w = req.find("width"))
+            batch->width = static_cast<unsigned>(w->asInt());
+
+        std::size_t id;
+        std::size_t jobs;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (draining_) {
+                emitError(out,
+                          "service is draining; not accepting jobs");
+                return Action::Continue;
+            }
+            id = batches_.size();
+            batch->id = id;
+            jobs = batch->specs.size();
+            batches_.push_back(std::move(batch));
+        }
+        cv_.notify_all();
+
+        json::Value v = responseBase();
+        v.set("ok", true);
+        v.set("event", "submitted");
+        v.set("batch", static_cast<std::uint64_t>(id));
+        v.set("jobs", static_cast<std::uint64_t>(jobs));
+        out(v.dump(0));
+        return Action::Continue;
+    }
+
+    if (cmd->asString() == "status") {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (const json::Value *id = req.find("batch")) {
+            const Batch *b =
+                findLocked(static_cast<std::size_t>(id->asInt()));
+            if (!b) {
+                emitError(out, "no such batch");
+                return Action::Continue;
+            }
+            emitStatus(*b, out);
+        } else {
+            for (const auto &b : batches_)
+                emitStatus(*b, out);
+            if (batches_.empty()) {
+                json::Value v = responseBase();
+                v.set("ok", true);
+                v.set("event", "status");
+                v.set("batches", static_cast<std::uint64_t>(0));
+                out(v.dump(0));
+            }
+        }
+        return Action::Continue;
+    }
+
+    if (cmd->asString() == "results") {
+        const json::Value *id = req.find("batch");
+        if (!id) {
+            emitError(out, "results needs \"batch\"");
+            return Action::Continue;
+        }
+        const json::Value *wait = req.find("wait");
+        std::unique_lock<std::mutex> lock(mu_);
+        Batch *b =
+            findLocked(static_cast<std::size_t>(id->asInt()));
+        if (!b) {
+            emitError(out, "no such batch");
+            return Action::Continue;
+        }
+        if (wait && wait->asBool())
+            doneCv_.wait(lock,
+                         [&] { return b->state == State::Done; });
+        if (b->state != State::Done) {
+            emitStatus(*b, out);
+            return Action::Continue;
+        }
+        emitResults(*b, out);
+        return Action::Continue;
+    }
+
+    if (cmd->asString() == "drain") {
+        drain();
+        json::Value v = responseBase();
+        v.set("ok", true);
+        v.set("event", "drained");
+        out(v.dump(0));
+        return Action::Continue;
+    }
+
+    if (cmd->asString() == "shutdown") {
+        drain();
+        json::Value v = responseBase();
+        v.set("ok", true);
+        v.set("event", "bye");
+        out(v.dump(0));
+        return Action::Shutdown;
+    }
+
+    emitError(out, "unknown cmd '" + cmd->asString() + "'");
+    return Action::Continue;
+}
+
+void
+Service::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    doneCv_.wait(lock, [&] {
+        for (const auto &b : batches_)
+            if (b->state != State::Done)
+                return false;
+        return true;
+    });
+}
+
+} // namespace ximd::farm

@@ -226,42 +226,26 @@ programKey(const std::string &workload, Mode mode, unsigned n,
  * campaigns (farm/campaign.hh) separate "degraded but correct" from
  * "produced wrong answers". Inputs are regenerated from (n, seed)
  * with the same recipe buildProgram used.
+ *
+ * These are RunSpec::check functions, not fixtures: they read only
+ * final state through ArchView, which keeps every deterministic
+ * workload eligible for the batch engine (farm/batch_runner.hh).
  */
-class ResultCheckFixture : public JobFixture
+ResultCheck
+referenceCheck(const std::string &workload, unsigned n,
+               std::uint64_t seed)
 {
-  public:
-    using Checker = std::function<std::string(const Machine &)>;
-
-    explicit ResultCheckFixture(Checker checker)
-        : checker_(std::move(checker))
-    {
-    }
-
-    std::string check(const Machine &machine,
-                      const RunResult &result) override
-    {
-        (void)result;
-        return checker_(machine);
-    }
-
-  private:
-    Checker checker_;
-};
-
-FixtureFactory
-resultCheckFactory(const std::string &workload, unsigned n,
-                   std::uint64_t seed)
-{
-    ResultCheckFixture::Checker checker;
     if (workload == "tproc") {
-        checker = [](const Machine &m) -> std::string {
+        return [](const ArchView &m, const RunResult &) -> std::string {
             if (wordToInt(m.readRegByName("f")) !=
                 workloads::referenceTproc(3, -4, 7, 11))
                 return "tproc: f differs from reference";
             return {};
         };
-    } else if (workload == "minmax") {
-        checker = [n, seed](const Machine &m) -> std::string {
+    }
+    if (workload == "minmax") {
+        return [n, seed](const ArchView &m,
+                         const RunResult &) -> std::string {
             Rng rng(seed);
             const auto data = signedData(rng, n);
             const auto [lo, hi] = workloads::referenceMinmax(data);
@@ -271,8 +255,10 @@ resultCheckFactory(const std::string &workload, unsigned n,
                 return "minmax: max differs from reference";
             return {};
         };
-    } else if (workload == "multisearch") {
-        checker = [n, seed](const Machine &m) -> std::string {
+    }
+    if (workload == "multisearch") {
+        return [n, seed](const ArchView &m,
+                         const RunResult &) -> std::string {
             Rng rng(seed);
             const auto data = signedData(rng, n);
             const auto expect =
@@ -285,9 +271,10 @@ resultCheckFactory(const std::string &workload, unsigned n,
             }
             return {};
         };
-    } else if (workload == "bitcount" ||
-               workload == "bitcount-lockstep") {
-        checker = [n, seed](const Machine &m) -> std::string {
+    }
+    if (workload == "bitcount" || workload == "bitcount-lockstep") {
+        return [n, seed](const ArchView &m,
+                         const RunResult &) -> std::string {
             const unsigned rounded = std::max(4u, (n + 3u) & ~3u);
             std::vector<Word> data(rounded);
             Rng rng(seed);
@@ -304,11 +291,7 @@ resultCheckFactory(const std::string &workload, unsigned n,
         };
     }
     // loop12 (float pipeline) keeps its coverage in tests/workloads/.
-    if (!checker)
-        return {};
-    return [checker](const RunSpec &) {
-        return std::make_unique<ResultCheckFixture>(checker);
-    };
+    return {};
 }
 
 } // namespace
@@ -359,8 +342,7 @@ makeWorkloadSpec(const WorkloadRequest &req, ProgramCache *cache)
     if (def.usesIo)
         spec.fixture = nonblockingFixtureFactory();
     else
-        spec.fixture =
-            resultCheckFactory(req.workload, req.n, req.seed);
+        spec.check = referenceCheck(req.workload, req.n, req.seed);
 
     try {
         const std::string key =

@@ -55,8 +55,9 @@ struct CodegenResult
  * Compile @p prog for options @p opts.
  * Throws FatalError when the register file cannot hold the vregs.
  */
-CodegenResult generateCode(const IrProgram &prog,
-                           const CodegenOptions &opts = {});
+[[deprecated("use generateCodeChecked()")]] CodegenResult
+generateCode(const IrProgram &prog,
+             const CodegenOptions &opts = {});
 
 /** Non-throwing form of generateCode (pass "codegen"). */
 CompileResult<CodegenResult>

@@ -68,9 +68,10 @@ struct Composed
  * @param regsPerThread physical registers reserved per thread
  *                      (thread t gets base t * regsPerThread).
  */
-Composed composeThreads(const std::vector<IrProgram> &threads,
-                        const PackResult &packing, FuId machineWidth,
-                        RegId regsPerThread = 24);
+[[deprecated("use composeThreadsChecked()")]] Composed
+composeThreads(const std::vector<IrProgram> &threads,
+               const PackResult &packing, FuId machineWidth,
+               RegId regsPerThread = 24);
 
 /** Non-throwing form (pass "compose"): non-laminar packings,
  *  register overflow etc. come back as CompileError. */

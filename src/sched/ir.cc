@@ -235,14 +235,14 @@ IrBuilder::finish()
     if (open_)
         fatal("IR block '", prog_.blocks.back().name,
               "' not terminated");
-    prog_.validate();
+    valueOrFatal(prog_.validateChecked());
     return std::move(prog_);
 }
 
 IrProgram
 mergeStraightLineBlocks(IrProgram prog)
 {
-    prog.validate();
+    valueOrFatal(prog.validateChecked());
 
     bool changed = true;
     while (changed) {
@@ -300,7 +300,7 @@ mergeStraightLineBlocks(IrProgram prog)
             }
         }
     }
-    prog.validate();
+    valueOrFatal(prog.validateChecked());
     return prog;
 }
 
@@ -396,7 +396,7 @@ std::vector<Word>
 interpretIr(const IrProgram &prog, std::vector<Word> &memory,
             std::uint64_t maxSteps)
 {
-    prog.validate();
+    valueOrFatal(prog.validateChecked());
     std::vector<Word> vregs(
         static_cast<std::size_t>(prog.numVregs), 0);
     for (const auto &[v, val] : prog.vregInit)

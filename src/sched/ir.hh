@@ -133,7 +133,7 @@ struct IrProgram
     CompileResult<Ok> validateChecked() const;
 
     /** Structural checks; throws FatalError on malformed programs. */
-    void validate() const;
+    [[deprecated("use validateChecked()")]] void validate() const;
 };
 
 /** Convenience builder. */

@@ -52,8 +52,9 @@ struct BlockSchedule
  *    are added when necessary;
  *  - at least one row, so the terminator has a home.
  */
-BlockSchedule scheduleBlock(const IrBlock &block, FuId width,
-                            unsigned rawLatency = 1);
+[[deprecated("use scheduleBlockChecked()")]] BlockSchedule
+scheduleBlock(const IrBlock &block, FuId width,
+              unsigned rawLatency = 1);
 
 /** Non-throwing form: bad width/latency come back as CompileError
  *  (pass "schedule") instead of FatalError. */

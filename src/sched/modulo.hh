@@ -120,8 +120,9 @@ struct PipelineInfo
  * both xsim and vsim). @p info, when non-null, receives the pipeline
  * shape.
  */
-Program pipelineLoop(const PipelineLoop &loop, FuId width,
-                     PipelineInfo *info = nullptr);
+[[deprecated("use pipelineLoopChecked()")]] Program
+pipelineLoop(const PipelineLoop &loop, FuId width,
+             PipelineInfo *info = nullptr);
 
 /**
  * Non-throwing form: every restriction violation (infeasible II,

@@ -90,9 +90,10 @@ PackResult packBalancedGroups(const std::vector<TileSet> &sets,
  * the strip, pairwise non-overlapping, recorded height correct.
  * Throws FatalError on violation; returns the height.
  */
-unsigned validatePacking(const PackResult &result,
-                         const std::vector<TileSet> &sets,
-                         FuId machineWidth);
+[[deprecated("use validatePackingChecked()")]] unsigned
+validatePacking(const PackResult &result,
+                const std::vector<TileSet> &sets,
+                FuId machineWidth);
 
 /** Non-throwing form of validatePacking (pass "pack"). */
 CompileResult<unsigned>

@@ -10,7 +10,7 @@ staticHeight(const IrProgram &thread, FuId width)
 {
     unsigned rows = 0;
     for (const IrBlock &b : thread.blocks)
-        rows += scheduleBlock(b, width).numRows();
+        rows += valueOrFatal(scheduleBlockChecked(b, width)).numRows();
     return rows;
 }
 
@@ -24,7 +24,7 @@ generateTiles(const std::vector<IrProgram> &threads, FuId maxWidth)
 
     std::vector<TileSet> sets;
     for (std::size_t t = 0; t < threads.size(); ++t) {
-        threads[t].validate();
+        valueOrFatal(threads[t].validateChecked());
         TileSet set;
         set.threadId = static_cast<int>(t);
         unsigned best = ~0u;

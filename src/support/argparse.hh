@@ -1,0 +1,272 @@
+/**
+ * @file
+ * The one command-line convention shared by every tool.
+ *
+ * xsim, vsim, xcc, xfarm and ximd-lint accept the same option
+ * grammar: `--flag`, `--option VALUE`, `--option=VALUE`, short
+ * aliases with either a separate or an attached value (`-j 8`,
+ * `-j8`, `-o out.ximd`), and bare positionals. Before this header
+ * each tool hand-rolled that loop with slightly different `=`
+ * handling and ad-hoc usage text; now a tool declares its surface
+ * once and gets parsing, a uniformly formatted `--help`, and the
+ * common exit contract for free.
+ *
+ * Exit-status contract (stable, scripted against by ci.sh):
+ *   0  (kExitOk)      the tool did what was asked
+ *   1  (kExitFailure) ran, but the work failed (job failures, lint
+ *                     findings, simulation fault, unwritable output)
+ *   2  (kExitUsage)   the invocation itself was wrong (unknown
+ *                     option, missing value, unparsable number,
+ *                     missing input file operand)
+ * `--help` prints the full help text to stdout and exits 0.
+ *
+ * The parser is deliberately callback-based rather than
+ * declarative-struct-based: tools bind straight into their existing
+ * Options fields, so porting a tool does not change its Options
+ * shape, only deletes its parse loop.
+ */
+
+#ifndef XIMD_SUPPORT_ARGPARSE_HH
+#define XIMD_SUPPORT_ARGPARSE_HH
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace ximd::argparse {
+
+inline constexpr int kExitOk = 0;      ///< Work done.
+inline constexpr int kExitFailure = 1; ///< Ran, but the work failed.
+inline constexpr int kExitUsage = 2;   ///< Bad invocation.
+
+/** Declarative-enough command-line parser; see the file comment. */
+class Parser
+{
+  public:
+    /**
+     * @param tool      name used in "usage:" and error prefixes.
+     * @param operands  the operand part of the usage line, e.g.
+     *                  "[options] program.ximd".
+     */
+    Parser(std::string tool, std::string operands)
+        : tool_(std::move(tool)), operands_(std::move(operands))
+    {
+    }
+
+    /** Extra lines printed after the option list in --help. */
+    void footer(std::string text) { footer_ = std::move(text); }
+
+    /** `--name` (no value). @p alias may be a short form like "-q". */
+    void
+    flag(const std::string &name, const std::string &help,
+         std::function<void()> set, const std::string &alias = {})
+    {
+        specs_.push_back(
+            {name, alias, {}, help,
+             [set = std::move(set)](const std::string &) {
+                 set();
+                 return true;
+             },
+             false});
+    }
+
+    /**
+     * `--name VALUE` / `--name=VALUE` (and `-a VALUE` / `-aVALUE`
+     * when @p alias is set). @p set returns false to reject the
+     * value, which is reported as a usage error.
+     */
+    void
+    option(const std::string &name, const std::string &metavar,
+           const std::string &help,
+           std::function<bool(const std::string &)> set,
+           const std::string &alias = {})
+    {
+        specs_.push_back(
+            {name, alias, metavar, help, std::move(set), true});
+    }
+
+    /**
+     * Bare (non-option) operands, in order. The caller checks
+     * arity after parse(); fail() reports violations uniformly.
+     */
+    void
+    positional(std::function<void(const std::string &)> add)
+    {
+        positional_ = std::move(add);
+    }
+
+    /** Usage error: print the message and the usage line, exit 2. */
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        std::cerr << tool_ << ": " << message << "\n"
+                  << usageLine() << tool_ << " --help for details\n";
+        std::exit(kExitUsage);
+    }
+
+    std::string
+    helpText() const
+    {
+        std::string out = usageLine();
+        for (const Spec &s : specs_) {
+            std::string lhs = "  " + s.name;
+            if (!s.alias.empty())
+                lhs += ", " + s.alias;
+            if (s.takesValue)
+                lhs += " " + s.metavar;
+            // Two-column layout; long invocations wrap onto their
+            // own line so the help column stays aligned.
+            if (lhs.size() < kHelpCol) {
+                lhs.append(kHelpCol - lhs.size(), ' ');
+            } else {
+                lhs += "\n";
+                lhs.append(kHelpCol, ' ');
+            }
+            out += lhs;
+            // Indent continuation lines of multi-line help.
+            for (const char c : s.help) {
+                out += c;
+                if (c == '\n')
+                    out.append(kHelpCol, ' ');
+            }
+            out += "\n";
+        }
+        if (!footer_.empty())
+            out += footer_ + "\n";
+        return out;
+    }
+
+    /**
+     * Consume argv. `--help`/`-h` prints help and exits 0; any
+     * grammar violation exits 2 via fail(). After this returns,
+     * every callback has run, in command-line order.
+     */
+    void
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                std::cout << helpText();
+                std::exit(kExitOk);
+            }
+            if (arg.empty() || arg[0] != '-' || arg == "-") {
+                if (!positional_)
+                    fail("unexpected operand '" + arg + "'");
+                positional_(arg);
+                continue;
+            }
+            const Spec *spec = nullptr;
+            std::string value;
+            bool haveValue = false;
+            if (arg.rfind("--", 0) == 0) {
+                std::string name = arg;
+                const std::size_t eq = name.find('=');
+                if (eq != std::string::npos) {
+                    value = name.substr(eq + 1);
+                    name.resize(eq);
+                    haveValue = true;
+                }
+                spec = findLong(name);
+                if (!spec)
+                    fail("unknown option '" + name + "'");
+            } else {
+                // Short alias: exact, or with an attached value.
+                for (const Spec &s : specs_) {
+                    if (s.alias.empty())
+                        continue;
+                    if (arg == s.alias) {
+                        spec = &s;
+                        break;
+                    }
+                    if (s.takesValue &&
+                        arg.rfind(s.alias, 0) == 0) {
+                        spec = &s;
+                        value = arg.substr(s.alias.size());
+                        haveValue = true;
+                        break;
+                    }
+                }
+                if (!spec)
+                    fail("unknown option '" + arg + "'");
+            }
+            if (spec->takesValue && !haveValue) {
+                if (++i >= argc)
+                    fail("option '" + spec->name +
+                         "' needs a value");
+                value = argv[i];
+            } else if (!spec->takesValue && haveValue) {
+                fail("option '" + spec->name +
+                     "' does not take a value");
+            }
+            if (!spec->set(value))
+                fail("bad value '" + value + "' for option '" +
+                     spec->name + "'");
+        }
+    }
+
+    /// @name Value parsers for option() callbacks.
+    ///
+    /// Return-by-bool so a malformed number becomes the uniform
+    /// "bad value" usage error rather than silently parsing as 0.
+    /// @{
+    template <typename T>
+    static bool
+    parseNumber(const std::string &text, T &out)
+    {
+        if (text.empty())
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(text.c_str(), &end, 0);
+        if (errno != 0 || end == text.c_str() || *end != '\0')
+            return false;
+        if (v > static_cast<unsigned long long>(
+                    static_cast<T>(~static_cast<T>(0))))
+            return false;
+        out = static_cast<T>(v);
+        return true;
+    }
+    /// @}
+
+  private:
+    struct Spec
+    {
+        std::string name;
+        std::string alias;
+        std::string metavar;
+        std::string help;
+        std::function<bool(const std::string &)> set;
+        bool takesValue;
+    };
+
+    static constexpr std::size_t kHelpCol = 22;
+
+    std::string
+    usageLine() const
+    {
+        return "usage: " + tool_ + " " + operands_ + "\n";
+    }
+
+    const Spec *
+    findLong(const std::string &name) const
+    {
+        for (const Spec &s : specs_)
+            if (s.name == name)
+                return &s;
+        return nullptr;
+    }
+
+    std::string tool_;
+    std::string operands_;
+    std::string footer_;
+    std::vector<Spec> specs_;
+    std::function<void(const std::string &)> positional_;
+};
+
+} // namespace ximd::argparse
+
+#endif // XIMD_SUPPORT_ARGPARSE_HH

@@ -42,36 +42,13 @@
 #include "asm/asm_writer.hh"
 #include "sched/ir_print.hh"
 #include "sched/pipeline.hh"
+#include "support/argparse.hh"
 #include "support/logging.hh"
 
 namespace {
 
 using namespace ximd;
 using namespace ximd::sched;
-
-[[noreturn]] void
-usage()
-{
-    std::cerr
-        << "usage: xcc [options] kernel.ir [more.ir ...]\n"
-        << "  --emit ximd|ir|ddg  what to write (default ximd)\n"
-        << "  --width N           functional units to schedule for\n"
-        << "  --latency N         data-path result latency\n"
-        << "  --reg-base N        first physical register for vregs\n"
-        << "  --no-names          do not bind v<N> register names\n"
-        << "  --merge-blocks      straighten jump-only chains first\n"
-        << "  --compose STRAT     pack + compose inputs as threads\n"
-        << "                      (stacked, first-fit, skyline,\n"
-        << "                      balanced-groups, exhaustive)\n"
-        << "  --regs-per-thread N registers per composed thread\n"
-        << "  --verify            final static-verification pass\n"
-        << "  --analyze=race      final cross-stream race analysis\n"
-        << "  --verify-between    re-verify after every pass\n"
-        << "  --dump-after PASS   dump state after PASS (or 'all')\n"
-        << "  --stats-json        per-pass stats JSON to stderr\n"
-        << "  -o FILE             output file (default stdout)\n";
-    std::exit(2);
-}
 
 struct Options
 {
@@ -84,99 +61,82 @@ struct Options
     PipelineOptions pipe;
 };
 
-unsigned
-parseCount(const std::string &text)
+template <typename T>
+std::function<bool(const std::string &)>
+intoNumber(T &field)
 {
-    try {
-        const int n = std::stoi(text);
-        if (n < 0)
-            usage();
-        return static_cast<unsigned>(n);
-    } catch (...) {
-        usage();
-    }
+    return [&field](const std::string &text) {
+        return argparse::Parser::parseNumber(text, field);
+    };
 }
 
 Options
 parseArgs(int argc, char **argv)
 {
     Options o;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (++i >= argc)
-                usage();
-            return argv[i];
-        };
-        if (arg == "--emit") {
-            o.emit = next();
-        } else if (arg.rfind("--emit=", 0) == 0) {
-            o.emit = arg.substr(7);
-        } else if (arg == "--width") {
-            o.pipe.width = static_cast<FuId>(parseCount(next()));
-        } else if (arg.rfind("--width=", 0) == 0) {
-            o.pipe.width = static_cast<FuId>(parseCount(arg.substr(8)));
-        } else if (arg == "--latency") {
-            o.pipe.rawLatency = parseCount(next());
-        } else if (arg.rfind("--latency=", 0) == 0) {
-            o.pipe.rawLatency = parseCount(arg.substr(10));
-        } else if (arg == "--reg-base") {
-            o.pipe.regBase = static_cast<RegId>(parseCount(next()));
-        } else if (arg.rfind("--reg-base=", 0) == 0) {
-            o.pipe.regBase =
-                static_cast<RegId>(parseCount(arg.substr(11)));
-        } else if (arg == "--no-names") {
-            o.pipe.nameVregs = false;
-        } else if (arg == "--merge-blocks") {
-            o.pipe.mergeBlocks = true;
-        } else if (arg == "--compose") {
-            o.compose = next();
-        } else if (arg.rfind("--compose=", 0) == 0) {
-            o.compose = arg.substr(10);
-        } else if (arg == "--regs-per-thread") {
-            o.pipe.regsPerThread =
-                static_cast<RegId>(parseCount(next()));
-        } else if (arg.rfind("--regs-per-thread=", 0) == 0) {
-            o.pipe.regsPerThread =
-                static_cast<RegId>(parseCount(arg.substr(18)));
-        } else if (arg == "--verify") {
-            o.pipe.verify = true;
-        } else if (arg == "--analyze") {
-            if (next() != "race")
-                usage();
-            o.pipe.analyzeRace = true;
-        } else if (arg.rfind("--analyze=", 0) == 0) {
-            if (arg.substr(10) != "race")
-                usage();
-            o.pipe.analyzeRace = true;
-        } else if (arg == "--verify-between") {
-            o.pipe.verifyBetween = true;
-        } else if (arg == "--dump-after") {
-            o.dumpAfter.insert(next());
-        } else if (arg.rfind("--dump-after=", 0) == 0) {
-            o.dumpAfter.insert(arg.substr(13));
-        } else if (arg == "--stats-json") {
-            o.statsJson = true;
-        } else if (arg == "-o") {
-            o.output = next();
-        } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-        } else {
-            o.files.push_back(arg);
-        }
-    }
+    argparse::Parser p("xcc", "[options] kernel.ir [more.ir ...]");
+    p.option("--emit", "ximd|ir|ddg",
+             "what to write (default ximd)",
+             [&](const std::string &v) {
+                 o.emit = v;
+                 return v == "ximd" || v == "ir" || v == "ddg";
+             });
+    p.option("--width", "N", "functional units to schedule for",
+             intoNumber(o.pipe.width));
+    p.option("--latency", "N", "data-path result latency",
+             intoNumber(o.pipe.rawLatency));
+    p.option("--reg-base", "N",
+             "first physical register for vregs",
+             intoNumber(o.pipe.regBase));
+    p.flag("--no-names", "do not bind v<N> register names",
+           [&] { o.pipe.nameVregs = false; });
+    p.flag("--merge-blocks", "straighten jump-only chains first",
+           [&] { o.pipe.mergeBlocks = true; });
+    p.option("--compose", "STRAT",
+             "pack + compose inputs as threads\n(stacked, "
+             "first-fit, skyline,\nbalanced-groups, exhaustive)",
+             [&](const std::string &v) {
+                 o.compose = v;
+                 return true;
+             });
+    p.option("--regs-per-thread", "N",
+             "registers per composed thread",
+             intoNumber(o.pipe.regsPerThread));
+    p.flag("--verify", "final static-verification pass",
+           [&] { o.pipe.verify = true; });
+    p.option("--analyze", "race",
+             "final cross-stream race analysis",
+             [&](const std::string &v) {
+                 o.pipe.analyzeRace = true;
+                 return v == "race";
+             });
+    p.flag("--verify-between", "re-verify after every pass",
+           [&] { o.pipe.verifyBetween = true; });
+    p.option("--dump-after", "PASS",
+             "dump state after PASS (or 'all')",
+             [&](const std::string &v) {
+                 o.dumpAfter.insert(v);
+                 return true;
+             });
+    p.flag("--stats-json", "per-pass stats JSON to stderr",
+           [&] { o.statsJson = true; });
+    p.option("--out", "FILE", "output file (default stdout)",
+             [&](const std::string &v) {
+                 o.output = v;
+                 return true;
+             },
+             "-o");
+    p.positional(
+        [&](const std::string &f) { o.files.push_back(f); });
+    p.footer("exit status: 0 compiled, 1 compile/verify failure, "
+             "2 usage error");
+    p.parse(argc, argv);
     if (o.files.empty())
-        usage();
-    if (o.files.size() > 1 && o.compose.empty()) {
-        std::cerr << "xcc: several inputs need --compose\n";
-        usage();
-    }
-    if (o.emit != "ximd" && o.emit != "ir" && o.emit != "ddg")
-        usage();
-    if (!o.compose.empty() && o.emit != "ximd") {
-        std::cerr << "xcc: --compose only supports --emit=ximd\n";
-        usage();
-    }
+        p.fail("at least one kernel file is required");
+    if (o.files.size() > 1 && o.compose.empty())
+        p.fail("several inputs need --compose");
+    if (!o.compose.empty() && o.emit != "ximd")
+        p.fail("--compose only supports --emit=ximd");
     return o;
 }
 

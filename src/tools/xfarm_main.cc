@@ -1,64 +1,57 @@
 /**
  * @file
- * xfarm — run many simulations in parallel and report the batch.
+ * xfarm — run many simulations in parallel and report the batch, or
+ * serve batches over a socket.
  *
- * Usage:
- *   xfarm [options]
- *     --sweep FILE     expand FILE (sweep JSON, see farm/sweep.hh)
- *                      instead of the built-in section 4.1 suite
- *     --backend interp|threaded
- *                      force one execution backend on every selected
- *                      job, overriding sweep-file axes (default: each
- *                      job's own setting; jobs demote to interp on
- *                      their own when an observer needs per-cycle
- *                      fidelity)
- *     --jobs N         worker threads (default: hardware concurrency)
- *     --filter SUBSTR  keep jobs whose name contains SUBSTR
- *                      (repeatable; a job matching any is kept)
- *     --list           print job names and exit (after filtering)
- *     --n N            built-in suite input size (default 256)
- *     --seed S         built-in suite base seed (default 1)
- *     --regsync-axis   add registered-sync ablation variants
- *     --stats-json     print each job's stats JSON in spec order
- *     --report         print the aggregate JSON report to stdout
- *     --out FILE       write the aggregate JSON report to FILE
- *     --no-timing      omit host-timing fields from reports (output
- *                      becomes byte-identical across hosts and -j)
- *     --quiet          suppress per-job progress lines
- *     --checkpoint-every N   write a snapshot of each running job
- *                      every N cycles (see --checkpoint-dir)
- *     --checkpoint-dir DIR   where checkpoints go (default
- *                      "checkpoints"); one <job-name>.snap per job
- *     --resume FILE    restore FILE into the job it was saved from
- *                      (matched by the snapshot's label) before
- *                      running; the job continues its remaining
- *                      cycle budget
- *     --faults FILE    run a fault-injection campaign from the JSON
- *                      plan FILE instead of a plain batch; prints a
- *                      classified report (see farm/campaign.hh)
+ * Three modes:
  *
- * Options may be spelled "--flag value" or "--flag=value".
+ *  - One-shot (default): expand the built-in section 4.1 suite or a
+ *    --sweep file into RunSpecs, run them on the worker pool (or,
+ *    with --batch, through the SoA lockstep engine where eligible —
+ *    see farm/batch_runner.hh), print/save reports, exit.
+ *
+ *  - Daemon (--serve SOCKET): bind an AF_UNIX socket and answer the
+ *    JSON-lines protocol of farm/service.hh — submit sweeps/suites,
+ *    poll status, stream results, warm-start from XIMDSNAP
+ *    snapshots. SIGTERM/SIGINT drain queued batches, then exit 0.
+ *
+ *  - Client (--connect SOCKET): forward stdin lines to a serving
+ *    xfarm and print its response lines; `xfarm --connect S <
+ *    requests.jsonl` scripts a daemon end to end.
  *
  * Per-job results print in spec order regardless of --jobs, and every
  * job's statistics are a pure function of its spec — `xfarm -j1` and
- * `xfarm -j8` emit byte-identical --stats-json output.
+ * `xfarm -j8` emit byte-identical --stats-json output, and a served
+ * batch's results stream is byte-identical across thread counts.
  *
- * Exit status: 0 when every job passed, 1 otherwise.
+ * Exit status: 0 when every job passed (or the daemon drained
+ * cleanly), 1 on job failures or I/O errors, 2 on usage errors.
+ * Run `xfarm --help` for the option list.
  */
 
-#include <cstdlib>
+#include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "farm/batch_runner.hh"
 #include "farm/campaign.hh"
 #include "farm/farm.hh"
+#include "farm/service.hh"
 #include "farm/suite.hh"
 #include "farm/sweep.hh"
 #include "snapshot/snapshot.hh"
+#include "support/argparse.hh"
 #include "support/logging.hh"
 
 namespace {
@@ -66,44 +59,16 @@ namespace {
 using namespace ximd;
 using namespace ximd::farm;
 
-[[noreturn]] void
-usage()
-{
-    std::cerr
-        << "usage: xfarm [options]\n"
-        << "  --sweep FILE     run a sweep file instead of the "
-           "built-in suite\n"
-        << "  --backend interp|threaded\n"
-        << "                   force one execution backend on every "
-           "job\n"
-        << "  --jobs N         worker threads (default: hardware)\n"
-        << "  --filter SUBSTR  keep jobs whose name contains SUBSTR\n"
-        << "  --list           print job names and exit\n"
-        << "  --n N            built-in suite input size\n"
-        << "  --seed S         built-in suite base seed\n"
-        << "  --regsync-axis   add registered-sync ablation variants\n"
-        << "  --stats-json     print per-job stats JSON in spec "
-           "order\n"
-        << "  --report         print the aggregate JSON report\n"
-        << "  --out FILE       write the aggregate JSON report\n"
-        << "  --no-timing      omit host-timing fields from reports\n"
-        << "  --quiet          suppress per-job progress lines\n"
-        << "  --checkpoint-every N  snapshot each job every N cycles\n"
-        << "  --checkpoint-dir DIR  checkpoint directory (default "
-           "'checkpoints')\n"
-        << "  --resume FILE    restore FILE into its job before "
-           "running\n"
-        << "  --faults FILE    run the fault campaign described by "
-           "FILE\n";
-    std::exit(2);
-}
-
 struct Options
 {
     std::string sweepFile;
     std::string outFile;
+    std::string serveSocket;
+    std::string connectSocket;
     std::optional<Backend> backend;
     unsigned jobs = 0;
+    unsigned width = 0;
+    bool batch = false;
     bool list = false;
     bool statsJson = false;
     bool report = false;
@@ -121,77 +86,117 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options o;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        // Accept "--flag=value" as well as "--flag value".
-        std::string inline_;
-        bool hasInline = false;
-        if (arg.rfind("--", 0) == 0) {
-            const std::size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_ = arg.substr(eq + 1);
-                arg.resize(eq);
-                hasInline = true;
-            }
-        }
-        auto next = [&]() -> std::string {
-            if (hasInline)
-                return inline_;
-            if (++i >= argc)
-                usage();
-            return argv[i];
-        };
-        if (arg == "--sweep") {
-            o.sweepFile = next();
-        } else if (arg == "--backend") {
-            const std::string b = next();
-            if (b == "interp")
-                o.backend = Backend::Interp;
-            else if (b == "threaded")
-                o.backend = Backend::Threaded;
-            else
-                usage();
-        } else if (arg == "--jobs" || arg == "-j") {
-            o.jobs = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
-        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-            o.jobs = static_cast<unsigned>(
-                std::strtoul(arg.c_str() + 2, nullptr, 0));
-        } else if (arg == "--filter") {
-            o.filters.push_back(next());
-        } else if (arg == "--list") {
-            o.list = true;
-        } else if (arg == "--n") {
-            o.suite.n = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
-        } else if (arg == "--seed") {
-            o.suite.seed =
-                std::strtoull(next().c_str(), nullptr, 0);
-        } else if (arg == "--regsync-axis") {
-            o.suite.registeredSyncAxis = true;
-        } else if (arg == "--stats-json") {
-            o.statsJson = true;
-        } else if (arg == "--report") {
-            o.report = true;
-        } else if (arg == "--out") {
-            o.outFile = next();
-        } else if (arg == "--no-timing") {
-            o.noTiming = true;
-        } else if (arg == "--quiet") {
-            o.quiet = true;
-        } else if (arg == "--checkpoint-every") {
-            o.checkpointEvery =
-                std::strtoull(next().c_str(), nullptr, 0);
-        } else if (arg == "--checkpoint-dir") {
-            o.checkpointDir = next();
-        } else if (arg == "--resume") {
-            o.resumeFile = next();
-        } else if (arg == "--faults") {
-            o.faultsFile = next();
-        } else {
-            usage();
-        }
-    }
+    argparse::Parser p("xfarm", "[options]");
+    p.option("--sweep", "FILE",
+             "run a sweep file instead of the built-in suite",
+             [&](const std::string &v) {
+                 o.sweepFile = v;
+                 return true;
+             });
+    p.option("--backend", "interp|threaded",
+             "force one execution backend on every job",
+             [&](const std::string &v) {
+                 if (v == "interp")
+                     o.backend = Backend::Interp;
+                 else if (v == "threaded")
+                     o.backend = Backend::Threaded;
+                 else
+                     return false;
+                 return true;
+             });
+    p.option("--jobs", "N",
+             "worker threads (default: hardware)",
+             [&](const std::string &v) {
+                 return argparse::Parser::parseNumber(v, o.jobs);
+             },
+             "-j");
+    p.flag("--batch",
+           "run eligible jobs through the SoA lockstep\nengine "
+           "(same results, backend \"batch\")",
+           [&] { o.batch = true; });
+    p.option("--width", "N",
+             "lanes per batch engine (default 256)",
+             [&](const std::string &v) {
+                 return argparse::Parser::parseNumber(v, o.width);
+             });
+    p.option("--filter", "SUBSTR",
+             "keep jobs whose name contains SUBSTR",
+             [&](const std::string &v) {
+                 o.filters.push_back(v);
+                 return true;
+             });
+    p.flag("--list", "print job names and exit",
+           [&] { o.list = true; });
+    p.option("--n", "N", "built-in suite input size",
+             [&](const std::string &v) {
+                 return argparse::Parser::parseNumber(v, o.suite.n);
+             });
+    p.option("--seed", "S", "built-in suite base seed",
+             [&](const std::string &v) {
+                 return argparse::Parser::parseNumber(v,
+                                                     o.suite.seed);
+             });
+    p.flag("--regsync-axis",
+           "add registered-sync ablation variants",
+           [&] { o.suite.registeredSyncAxis = true; });
+    p.flag("--stats-json",
+           "print per-job stats JSON in spec order",
+           [&] { o.statsJson = true; });
+    p.flag("--report", "print the aggregate JSON report",
+           [&] { o.report = true; });
+    p.option("--out", "FILE", "write the aggregate JSON report",
+             [&](const std::string &v) {
+                 o.outFile = v;
+                 return true;
+             });
+    p.flag("--no-timing",
+           "omit host-timing fields from reports",
+           [&] { o.noTiming = true; });
+    p.flag("--quiet", "suppress per-job progress lines",
+           [&] { o.quiet = true; });
+    p.option("--checkpoint-every", "N",
+             "snapshot each job every N cycles",
+             [&](const std::string &v) {
+                 return argparse::Parser::parseNumber(
+                     v, o.checkpointEvery);
+             });
+    p.option("--checkpoint-dir", "DIR",
+             "checkpoint directory (default 'checkpoints')",
+             [&](const std::string &v) {
+                 o.checkpointDir = v;
+                 return true;
+             });
+    p.option("--resume", "FILE",
+             "restore FILE into its job before running",
+             [&](const std::string &v) {
+                 o.resumeFile = v;
+                 return true;
+             });
+    p.option("--faults", "FILE",
+             "run the fault campaign described by FILE",
+             [&](const std::string &v) {
+                 o.faultsFile = v;
+                 return true;
+             });
+    p.option("--serve", "SOCKET",
+             "serve the JSON-lines protocol on an AF_UNIX\nsocket "
+             "until SIGTERM (see farm/service.hh)",
+             [&](const std::string &v) {
+                 o.serveSocket = v;
+                 return true;
+             });
+    p.option("--connect", "SOCKET",
+             "forward stdin lines to a serving xfarm and\nprint "
+             "its responses",
+             [&](const std::string &v) {
+                 o.connectSocket = v;
+                 return true;
+             });
+    p.footer("exit status: 0 all jobs passed / daemon drained, "
+             "1 failures or I/O error, 2 usage error");
+    p.parse(argc, argv);
+    if (!o.serveSocket.empty() && !o.connectSocket.empty())
+        p.fail("--serve and --connect are mutually exclusive");
     return o;
 }
 
@@ -207,12 +212,185 @@ matchesFilters(const std::string &name,
     return false;
 }
 
+// ---- Daemon / client transports ------------------------------------
+
+volatile std::sig_atomic_t gStop = 0;
+
+void
+onSignal(int)
+{
+    gStop = 1;
+}
+
+bool
+fillUnixAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * One connection at a time: read lines, answer through
+ * Service::handleLine, close on client EOF. Requests on one
+ * connection are handled in arrival order, so by the time the client
+ * half-closes, every response it is owed has been written — which is
+ * what lets the --connect client treat write-side EOF as "flush and
+ * hang up". The 200 ms polls keep SIGTERM responsive while idle.
+ */
+int
+serveMain(const std::string &path, bool quiet)
+{
+    ::unlink(path.c_str());
+    sockaddr_un addr;
+    if (!fillUnixAddr(path, addr)) {
+        std::cerr << "xfarm: socket path too long: '" << path
+                  << "'\n";
+        return argparse::kExitFailure;
+    }
+    const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0 ||
+        ::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listenFd, 8) < 0) {
+        std::cerr << "xfarm: cannot serve on '" << path
+                  << "': " << std::strerror(errno) << "\n";
+        if (listenFd >= 0)
+            ::close(listenFd);
+        return argparse::kExitFailure;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!quiet)
+        std::cerr << "xfarm: serving on " << path << "\n";
+
+    Service service;
+    bool shutdownRequested = false;
+    while (!gStop && !shutdownRequested) {
+        pollfd lp{listenFd, POLLIN, 0};
+        if (::poll(&lp, 1, 200) <= 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const Service::LineSink sink =
+            [fd](const std::string &line) {
+                writeAll(fd, line + "\n");
+            };
+        std::string buf;
+        char chunk[4096];
+        while (!shutdownRequested) {
+            pollfd cp{fd, POLLIN, 0};
+            const int pr = ::poll(&cp, 1, 200);
+            if (gStop)
+                break;
+            if (pr <= 0)
+                continue;
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n <= 0)
+                break;
+            buf.append(chunk, static_cast<std::size_t>(n));
+            std::size_t nl;
+            while ((nl = buf.find('\n')) != std::string::npos) {
+                const std::string line = buf.substr(0, nl);
+                buf.erase(0, nl + 1);
+                if (line.empty())
+                    continue;
+                if (service.handleLine(line, sink) ==
+                    Service::Action::Shutdown) {
+                    shutdownRequested = true;
+                    break;
+                }
+            }
+        }
+        ::close(fd);
+    }
+
+    // Graceful exit: whether by SIGTERM or a shutdown request,
+    // queued work finishes before the socket disappears.
+    service.drain();
+    ::close(listenFd);
+    ::unlink(path.c_str());
+    if (!quiet)
+        std::cerr << "xfarm: drained, exiting\n";
+    return argparse::kExitOk;
+}
+
+int
+connectMain(const std::string &path)
+{
+    sockaddr_un addr;
+    if (!fillUnixAddr(path, addr)) {
+        std::cerr << "xfarm: socket path too long: '" << path
+                  << "'\n";
+        return argparse::kExitFailure;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        std::cerr << "xfarm: cannot connect to '" << path
+                  << "': " << std::strerror(errno) << "\n";
+        if (fd >= 0)
+            ::close(fd);
+        return argparse::kExitFailure;
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Responses stream on their own thread so a long results stream
+    // cannot deadlock against buffered requests.
+    std::thread reader([fd] {
+        char chunk[4096];
+        for (;;) {
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n <= 0)
+                break;
+            std::cout.write(chunk, n);
+            std::cout.flush();
+        }
+    });
+
+    std::string line;
+    bool writeOk = true;
+    while (writeOk && std::getline(std::cin, line))
+        writeOk = writeAll(fd, line + "\n");
+    ::shutdown(fd, SHUT_WR);
+    reader.join();
+    ::close(fd);
+    return writeOk ? argparse::kExitOk : argparse::kExitFailure;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options o = parseArgs(argc, argv);
+
+    if (!o.serveSocket.empty())
+        return serveMain(o.serveSocket, o.quiet);
+    if (!o.connectSocket.empty())
+        return connectMain(o.connectSocket);
 
     std::vector<RunSpec> specs;
     if (!o.sweepFile.empty()) {
@@ -339,7 +517,9 @@ main(int argc, char **argv)
         }
     }
 
-    const BatchResult batch = Farm::run(specs, o.jobs);
+    const BatchResult batch =
+        o.batch ? BatchRunner::run(specs, o.jobs, o.width)
+                : Farm::run(specs, o.jobs);
 
     if (!o.quiet) {
         for (const JobResult &j : batch.jobs) {

@@ -35,26 +35,13 @@
 #include "analysis/race.hh"
 #include "analysis/verify.hh"
 #include "asm/assembler.hh"
+#include "support/argparse.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 
 namespace {
 
 using namespace ximd;
-
-[[noreturn]] void
-usage()
-{
-    std::cerr
-        << "usage: ximd-lint [options] program.ximd [more.ximd ...]\n"
-        << "  --race      also run the cross-stream race engine\n"
-        << "  --json      machine-readable report on stdout\n"
-        << "  --werror    treat warnings as errors\n"
-        << "  --no-warn   suppress warning-severity findings\n"
-        << "  --quiet     print only per-file summaries\n"
-        << "exit status: 0 clean, 1 findings, 2 usage or I/O error\n";
-    std::exit(2);
-}
 
 struct Options
 {
@@ -70,25 +57,25 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options o;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--race")
-            o.race = true;
-        else if (arg == "--json")
-            o.jsonOut = true;
-        else if (arg == "--werror")
-            o.werror = true;
-        else if (arg == "--no-warn")
-            o.noWarn = true;
-        else if (arg == "--quiet")
-            o.quiet = true;
-        else if (!arg.empty() && arg[0] == '-')
-            usage();
-        else
-            o.files.push_back(arg);
-    }
+    argparse::Parser p("ximd-lint",
+                       "[options] program.ximd [more.ximd ...]");
+    p.flag("--race", "also run the cross-stream race engine",
+           [&] { o.race = true; });
+    p.flag("--json", "machine-readable report on stdout",
+           [&] { o.jsonOut = true; });
+    p.flag("--werror", "treat warnings as errors",
+           [&] { o.werror = true; });
+    p.flag("--no-warn", "suppress warning-severity findings",
+           [&] { o.noWarn = true; });
+    p.flag("--quiet", "print only per-file summaries",
+           [&] { o.quiet = true; });
+    p.positional(
+        [&](const std::string &f) { o.files.push_back(f); });
+    p.footer("exit status: 0 clean, 1 findings, 2 usage or I/O "
+             "error");
+    p.parse(argc, argv);
     if (o.files.empty())
-        usage();
+        p.fail("at least one program file is required");
     return o;
 }
 

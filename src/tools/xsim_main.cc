@@ -48,6 +48,7 @@
 #include "core/machine.hh"
 #include "core/race_observer.hh"
 #include "isa/disasm.hh"
+#include "support/argparse.hh"
 #include "support/logging.hh"
 
 namespace {
@@ -66,30 +67,6 @@ toolName(const char *argv0)
 }
 
 std::string gTool = "xsim";
-
-[[noreturn]] void
-usage()
-{
-    std::cerr
-        << "usage: " << gTool << " [options] program.ximd\n"
-        << "  --mode ximd|vliw sequencing discipline (default: "
-        << (gTool == "vsim" ? "vliw" : "ximd") << ")\n"
-        << "  --backend interp|threaded\n"
-        << "                   execution backend (default threaded)\n"
-        << "  --trace          print the address trace\n"
-        << "  --stats          print run statistics\n"
-        << "  --stats-json     print run statistics as JSON\n"
-        << "  --no-trace       disable all observation (fastest)\n"
-        << "  --list           print the assembled program and exit\n"
-        << "  --max-cycles N   cycle budget\n"
-        << "  --latency N      data-path result latency (default 1)\n"
-        << "  --reg NAME       print a named register (repeatable)\n"
-        << "  --mem ADDR[:N]   print N memory words from ADDR\n"
-        << "  --registered-ss  ablation: registered sync signals\n"
-        << "  --verify         refuse to simulate on static errors\n"
-        << "  --race-check     report dynamic cross-stream conflicts\n";
-    std::exit(2);
-}
 
 struct Options
 {
@@ -111,96 +88,99 @@ struct Options
     std::vector<std::pair<Addr, unsigned>> mems;
 };
 
-Mode
-parseMode(const std::string &text)
-{
-    if (text == "ximd")
-        return Mode::Ximd;
-    if (text == "vliw")
-        return Mode::Vliw;
-    usage();
-}
-
-Backend
-parseBackend(const std::string &text)
-{
-    if (text == "interp")
-        return Backend::Interp;
-    if (text == "threaded")
-        return Backend::Threaded;
-    usage();
-}
-
 Options
 parseArgs(int argc, char **argv)
 {
     Options o;
     o.mode = gTool == "vsim" ? Mode::Vliw : Mode::Ximd;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (++i >= argc)
-                usage();
-            return argv[i];
-        };
-        if (arg == "--mode") {
-            o.mode = parseMode(next());
-        } else if (arg.rfind("--mode=", 0) == 0) {
-            o.mode = parseMode(arg.substr(7));
-        } else if (arg == "--backend") {
-            o.backend = parseBackend(next());
-            o.backendExplicit = true;
-        } else if (arg.rfind("--backend=", 0) == 0) {
-            o.backend = parseBackend(arg.substr(10));
-            o.backendExplicit = true;
-        } else if (arg == "--trace") {
-            o.trace = true;
-        } else if (arg == "--stats") {
-            o.stats = true;
-        } else if (arg == "--stats-json") {
-            o.statsJson = true;
-        } else if (arg == "--no-trace") {
-            o.noTrace = true;
-        } else if (arg == "--list") {
-            o.list = true;
-        } else if (arg == "--verify") {
-            o.verify = true;
-        } else if (arg == "--race-check") {
-            o.raceCheck = true;
-        } else if (arg == "--registered-ss") {
-            o.registeredSync = true;
-        } else if (arg == "--max-cycles") {
-            o.maxCycles = std::strtoull(next().c_str(), nullptr, 0);
-        } else if (arg == "--latency") {
-            o.latency = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
-        } else if (arg.rfind("--latency=", 0) == 0) {
-            o.latency = static_cast<unsigned>(
-                std::strtoul(arg.c_str() + 10, nullptr, 0));
-        } else if (arg == "--reg") {
-            o.regs.push_back(next());
-        } else if (arg == "--mem") {
-            const std::string spec = next();
-            const auto colon = spec.find(':');
-            const Addr addr = static_cast<Addr>(
-                std::strtoul(spec.c_str(), nullptr, 0));
-            unsigned count = 1;
-            if (colon != std::string::npos)
-                count = static_cast<unsigned>(std::strtoul(
-                    spec.c_str() + colon + 1, nullptr, 0));
-            o.mems.emplace_back(addr, count);
-        } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-        } else if (o.file.empty()) {
-            o.file = arg;
-        } else {
-            usage();
-        }
-    }
+    argparse::Parser p(gTool, "[options] program.ximd");
+    p.option("--mode", "ximd|vliw",
+             std::string("sequencing discipline (default: ") +
+                 (gTool == "vsim" ? "vliw" : "ximd") + ")",
+             [&](const std::string &v) {
+                 if (v == "ximd")
+                     o.mode = Mode::Ximd;
+                 else if (v == "vliw")
+                     o.mode = Mode::Vliw;
+                 else
+                     return false;
+                 return true;
+             });
+    p.option("--backend", "interp|threaded",
+             "execution backend (default threaded)",
+             [&](const std::string &v) {
+                 if (v == "interp")
+                     o.backend = Backend::Interp;
+                 else if (v == "threaded")
+                     o.backend = Backend::Threaded;
+                 else
+                     return false;
+                 o.backendExplicit = true;
+                 return true;
+             });
+    p.flag("--trace", "print the address trace",
+           [&] { o.trace = true; });
+    p.flag("--stats", "print run statistics",
+           [&] { o.stats = true; });
+    p.flag("--stats-json", "print run statistics as JSON",
+           [&] { o.statsJson = true; });
+    p.flag("--no-trace", "disable all observation (fastest)",
+           [&] { o.noTrace = true; });
+    p.flag("--list", "print the assembled program and exit",
+           [&] { o.list = true; });
+    p.option("--max-cycles", "N", "cycle budget",
+             [&](const std::string &v) {
+                 return argparse::Parser::parseNumber(v,
+                                                     o.maxCycles);
+             });
+    p.option("--latency", "N",
+             "data-path result latency (default 1)",
+             [&](const std::string &v) {
+                 return argparse::Parser::parseNumber(v, o.latency);
+             });
+    p.option("--reg", "NAME",
+             "print a named register (repeatable)",
+             [&](const std::string &v) {
+                 o.regs.push_back(v);
+                 return true;
+             });
+    p.option("--mem", "ADDR[:N]",
+             "print N memory words from ADDR",
+             [&](const std::string &spec) {
+                 const auto colon = spec.find(':');
+                 Addr addr = 0;
+                 unsigned count = 1;
+                 if (!argparse::Parser::parseNumber(
+                         spec.substr(0, colon), addr))
+                     return false;
+                 if (colon != std::string::npos &&
+                     !argparse::Parser::parseNumber(
+                         spec.substr(colon + 1), count))
+                     return false;
+                 o.mems.emplace_back(addr, count);
+                 return true;
+             });
+    p.flag("--registered-ss",
+           "ablation: registered sync signals",
+           [&] { o.registeredSync = true; });
+    p.flag("--verify", "refuse to simulate on static errors",
+           [&] { o.verify = true; });
+    p.flag("--race-check",
+           "report dynamic cross-stream conflicts",
+           [&] { o.raceCheck = true; });
+    p.positional([&](const std::string &f) {
+        if (!o.file.empty())
+            p.fail("only one program file is accepted");
+        o.file = f;
+    });
+    p.footer("exit status: 0 ran to halt, 1 fault/verify/check "
+             "failure, 2 usage error");
+    p.parse(argc, argv);
     if (o.file.empty())
-        usage();
+        p.fail("a program file is required");
     if (o.noTrace && (o.trace || o.stats || o.statsJson))
-        usage(); // --no-trace disables exactly what those print
+        p.fail("--no-trace disables exactly what "
+               "--trace/--stats/--stats-json print");
     return o;
 }
 

@@ -30,6 +30,10 @@
 #include "workloads/minmax.hh"
 #include "workloads/nonblocking.hh"
 
+// The legacy throwing wrappers stay covered until their removal
+// (DESIGN.md section 8); silence their deprecation warnings.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #ifndef XIMD_SOURCE_DIR
 #define XIMD_SOURCE_DIR "."
 #endif
