@@ -1,0 +1,122 @@
+/**
+ * @file
+ * EXACT_SCHED — host-side cost and payoff of the exact scheduler tier
+ * (sched/exact.hh). The reproduction tables sweep the seeded random-
+ * loop corpus (workloads/randprog.hh) at several widths and report the
+ * optimality-gap histogram — how often and by how much the greedy
+ * list scheduler leaves rows on the table — together with solve-time
+ * and search-node statistics. The timing loops price one exact solve
+ * against one heuristic solve and pin the cost of the budget-exhausted
+ * fallback path.
+ */
+
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/exact.hh"
+#include "sched/list_scheduler.hh"
+#include "workloads/randprog.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::bench;
+using namespace ximd::sched;
+
+IrProgram
+corpusLoop(std::uint64_t seed)
+{
+    workloads::RandLoopOptions lo;
+    lo.seed = seed;
+    lo.bodyOps = 2 + static_cast<unsigned>(seed % 14);
+    lo.tripCount = 4;
+    return workloads::randomLoopIr(lo);
+}
+
+void
+printTables()
+{
+    std::cout << "# EXACT_SCHED: exact modulo scheduler vs the "
+                 "heuristic tier\n";
+
+    constexpr std::uint64_t kSeeds = 100;
+    for (FuId width : {FuId(1), FuId(2), FuId(4)}) {
+        section("random-loop corpus, " + num(kSeeds) +
+                " seeds, width " + num(width));
+        std::map<unsigned, unsigned> gapHist; // heuristic gap -> count
+        unsigned proven = 0, timeouts = 0;
+        std::uint64_t nodes = 0, maxNodes = 0;
+        double solveMs = 0;
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            const IrProgram ir = corpusLoop(seed);
+            ExactLoopStat st;
+            orDie(exactScheduleBlockChecked(ir.blocks[0], width, 1,
+                                            {}, &st));
+            ++gapHist[st.heuristicGap()];
+            proven += st.proven;
+            timeouts += st.timedOut;
+            nodes += st.nodes;
+            maxNodes = std::max(maxNodes, st.nodes);
+            solveMs += st.solveMs;
+        }
+        Table t({{"heuristic gap", 14}, {"loops", 7}});
+        t.header();
+        for (const auto &[gap, count] : gapHist)
+            t.row({num(gap) + " rows", num(count)});
+        std::cout << "proven minimal: " << proven << "/" << kSeeds
+                  << ", timeouts: " << timeouts
+                  << ", search nodes: " << nodes
+                  << " total (max " << maxNodes
+                  << "), solve time: " << fixed(solveMs, 2)
+                  << " ms total\n";
+    }
+    std::cout << "\nshape: the heuristic is optimal on most loops; "
+                 "where it is not, the gap\nis a row or two and the "
+                 "proof costs well under a millisecond per block.\n";
+}
+
+void
+exactSolve(benchmark::State &state)
+{
+    const IrProgram ir = corpusLoop(7);
+    const FuId width = static_cast<FuId>(state.range(0));
+    for (auto _ : state) {
+        auto r = exactScheduleBlockChecked(ir.blocks[0], width, 1);
+        benchmark::DoNotOptimize(r.hasValue());
+    }
+}
+BENCHMARK(exactSolve)->Arg(1)->Arg(2)->Arg(4)->ArgName("width");
+
+void
+heuristicSolve(benchmark::State &state)
+{
+    const IrProgram ir = corpusLoop(7);
+    const FuId width = static_cast<FuId>(state.range(0));
+    for (auto _ : state) {
+        auto r = scheduleBlockChecked(ir.blocks[0], width, 1);
+        benchmark::DoNotOptimize(r.hasValue());
+    }
+}
+BENCHMARK(heuristicSolve)->Arg(1)->Arg(2)->Arg(4)->ArgName("width");
+
+void
+exactFallback(benchmark::State &state)
+{
+    // Node cap 1: every iteration prices the search-exhausted path
+    // (propagate, give up, fall back to the heuristic schedule).
+    const IrProgram ir = corpusLoop(7);
+    ExactOptions opts;
+    opts.budgetMs = 0;
+    opts.maxNodes = 1;
+    for (auto _ : state) {
+        auto r = exactScheduleBlockChecked(ir.blocks[0], 1, 1, opts);
+        benchmark::DoNotOptimize(r.hasValue());
+    }
+}
+BENCHMARK(exactFallback);
+
+} // namespace
+
+XIMD_BENCH_MAIN(printTables)

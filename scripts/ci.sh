@@ -34,6 +34,8 @@ trap 'rm -rf "$XCC_OUT"' EXIT
 "$XCC" --width 2 --verify examples/ir/chain.ir \
     -o "$XCC_OUT/chain_w2.ximd"
 "$XCC" --verify examples/ir/scale.ir -o "$XCC_OUT/scale_w8.ximd"
+"$XCC" --width 4 --verify --schedule=exact examples/ir/loop12.ir \
+    -o "$XCC_OUT/loop12_w4.ximd"
 "$XCC" --compose balanced-groups --width 8 --verify \
     examples/ir/reduce.ir examples/ir/chain.ir examples/ir/scale.ir \
     -o "$XCC_OUT/composed_bg.ximd"
@@ -109,6 +111,35 @@ done
 diff -u "$XCC_OUT/farm_scalar.norm.json" \
         "$XCC_OUT/farm_batched.norm.json"
 echo "batch-parity: batched matches the scalar farm across the suite"
+
+# Exact-scheduler stage: the exact tier must prove every paper kernel
+# minimal within the default budget (no timeout fallback in CI), and
+# the optimality-gap report must match its pinned golden apart from
+# wall-clock solve times. Search-node counts stay in the diff: the
+# branch-and-bound order is deterministic, so a node-count change
+# means the search itself changed.
+echo "==> exact-parity (exact vs heuristic scheduler tiers)"
+ctest --test-dir build-release -j "$JOBS" --output-on-failure \
+    -R 'ExactSched|ExactParity|cli_xcc_schedule'
+: > "$XCC_OUT/exact_gap.txt"
+for kernel in reduce:4 chain:2 scale:8 loop12:4; do
+    name="${kernel%%:*}"
+    width="${kernel##*:}"
+    "$XCC" --width "$width" --verify --schedule=exact --stats-json \
+        "examples/ir/$name.ir" -o "$XCC_OUT/exact_$name.ximd" \
+        2> "$XCC_OUT/exact_stats.json"
+    if grep -q '"timeout": true' "$XCC_OUT/exact_stats.json"; then
+        echo "exact-parity: $name fell back on timeout" >&2
+        exit 1
+    fi
+    grep '"block"' "$XCC_OUT/exact_stats.json" \
+        | sed -e "s|^ *|$name w$width |" \
+              -e 's/"solve_ms": [0-9.e+-]*/"solve_ms": -/' \
+        >> "$XCC_OUT/exact_gap.txt"
+done
+"$LINT" "$XCC_OUT"/exact_*.ximd
+diff -u tests/sched/golden/exact_gap.golden "$XCC_OUT/exact_gap.txt"
+echo "exact-parity: kernels proven minimal, gap report matches golden"
 
 # clang-tidy stage: bugprone/concurrency/performance profiles from
 # .clang-tidy over the analysis and core sources, using the release

@@ -109,6 +109,35 @@ sched = [
 if sched:
     merged["sched_compile"] = sched
 
+# Exact-scheduler summary (bench_exact_sched): per-width solve time
+# for the exact tier next to the heuristic baseline plus the
+# budget-exhausted fallback cost, so search-cost regressions are
+# visible without grepping the flat list. The gap histogram itself is
+# deterministic (printed by the binary's reproduction tables and
+# pinned by the ci exact-parity stage), so only timings live here.
+exact_rows = {
+    b["name"]: round(b["wall_time_ms"], 5)
+    for b in merged["benchmarks"]
+    if b["binary"] == "bench_exact_sched"
+}
+if exact_rows:
+    solves = []
+    for name, ms in sorted(exact_rows.items()):
+        if not name.startswith("exactSolve/"):
+            continue
+        width = name.rsplit(":", 1)[1]
+        heur = exact_rows.get("heuristicSolve/width:" + width)
+        solves.append({
+            "width": int(width),
+            "exact_ms": ms,
+            "heuristic_ms": heur,
+            "slowdown": round(ms / heur, 3) if heur else None,
+        })
+    merged["exact_sched"] = {
+        "solves": solves,
+        "fallback_ms": exact_rows.get("exactFallback"),
+    }
+
 # Batch-throughput summary: batchThroughput/<width> rows (width 1 is
 # the scalar farm) with jobs/s, aggregate simulated cycles/s and the
 # speedup over the scalar baseline. The width-256 row is the gating

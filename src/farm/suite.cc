@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "sched/pipeline.hh"
 #include "sim/io_port.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
@@ -13,6 +14,7 @@
 #include "workloads/loop12.hh"
 #include "workloads/minmax.hh"
 #include "workloads/nonblocking.hh"
+#include "workloads/randprog.hh"
 #include "workloads/reference.hh"
 
 namespace ximd::farm {
@@ -147,6 +149,11 @@ defs()
         {"multisearch",         {true, true, true, false}},
         {"bitcount",            {true, true, true, false}},
         {"bitcount-lockstep",   {false, true, true, false}},
+        // Compiled random loops (workloads/randprog.hh), one per
+        // scheduler tier — the exact-vs-heuristic sweep axis. Same
+        // (n, seed) pair = same loop, so paired jobs are comparable.
+        {"randloop",            {true, true, true, false}},
+        {"randloop-exact",      {true, true, true, false}},
         {"nonblocking",         {true, false, false, true}},
         {"nonblocking-barrier", {true, false, false, true}},
         {"nonblocking-memflag", {true, false, false, true}},
@@ -189,6 +196,20 @@ buildProgram(const std::string &workload, Mode mode, unsigned n,
                    ? workloads::bitcountXimd(data)
                    : workloads::bitcountVliwSerial(data);
     }
+    if (workload == "randloop" || workload == "randloop-exact") {
+        workloads::RandLoopOptions lo;
+        lo.seed = seed;
+        lo.bodyOps = 2 + n % 11;
+        lo.tripCount = 3 + static_cast<unsigned>(seed % 5);
+        sched::PipelineOptions po;
+        po.schedule = workload == "randloop-exact"
+                          ? sched::ScheduleTier::Exact
+                          : sched::ScheduleTier::Heuristic;
+        po.verify = true;
+        sched::Compiler c(po);
+        return valueOrFatal(c.compile(workloads::randomLoopIr(lo)))
+            .program;
+    }
     if (workload == "nonblocking")
         return workloads::nonblockingXimd();
     if (workload == "nonblocking-barrier")
@@ -210,7 +231,8 @@ programKey(const std::string &workload, Mode mode, unsigned n,
 {
     std::string key = workload;
     const bool modeInvariant =
-        workload == "tproc" || workload == "loop12";
+        workload == "tproc" || workload == "loop12" ||
+        workload == "randloop" || workload == "randloop-exact";
     if (!modeInvariant)
         key += std::string("/") + modeName(mode);
     if (def.usesData)
@@ -290,6 +312,28 @@ referenceCheck(const std::string &workload, unsigned n,
             return {};
         };
     }
+    if (workload == "randloop" || workload == "randloop-exact") {
+        return [n, seed](const ArchView &m,
+                         const RunResult &) -> std::string {
+            workloads::RandLoopOptions lo;
+            lo.seed = seed;
+            lo.bodyOps = 2 + n % 11;
+            lo.tripCount = 3 + static_cast<unsigned>(seed % 5);
+            const sched::IrProgram ir = workloads::randomLoopIr(lo);
+            std::vector<Word> mem(4096, 0);
+            const std::vector<Word> vregs =
+                sched::interpretIr(ir, mem, 1u << 20);
+            if (m.readRegByName("v1") != vregs[1])
+                return "randloop: accumulator differs from "
+                       "interpretIr reference";
+            for (Addr a = lo.outBase;
+                 a <= lo.outBase + lo.tripCount; ++a)
+                if (m.peekMem(a) != mem[a])
+                    return "randloop: mem[" + std::to_string(a) +
+                           "] differs from interpretIr reference";
+            return {};
+        };
+    }
     // loop12 (float pipeline) keeps its coverage in tests/workloads/.
     return {};
 }
@@ -306,6 +350,8 @@ suiteWorkloads()
         "multisearch",
         "bitcount",
         "bitcount-lockstep",
+        "randloop",
+        "randloop-exact",
         "nonblocking",
         "nonblocking-barrier",
         "nonblocking-memflag",

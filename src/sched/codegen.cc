@@ -109,7 +109,7 @@ emitScheduled(const IrProgram &prog,
             const auto &cyc = sched.cycles[c];
             for (FuId fu = 0; fu < opts.width; ++fu) {
                 DataOp d = DataOp::nop();
-                if (fu < cyc.size())
+                if (fu < cyc.size() && cyc[fu] >= 0)
                     d = lowerOp(b.ops[static_cast<std::size_t>(
                                     cyc[fu])],
                                 opts.regBase);

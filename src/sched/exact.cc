@@ -1,0 +1,359 @@
+#include "sched/exact.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    const auto dt = Clock::now() - t0;
+    return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/**
+ * Rows the block must keep open at and after op @p i's issue row:
+ * rows >= issue(i) + tail(i). Encodes the same end-of-block rules the
+ * list scheduler pads for — the rawLatency-1 write-back drain before
+ * control leaves the block, and CC registration (rawLatency rows
+ * between a branch compare's issue and the branching row).
+ */
+int
+tailRows(const IrBlock &b, int i, unsigned rawLatency)
+{
+    int tail = rawLatency > 1 ? static_cast<int>(rawLatency) : 1;
+    if (b.term.kind == Terminator::Kind::CondBranch &&
+        b.term.compareIdx == i)
+        tail = std::max(tail, static_cast<int>(rawLatency) + 1);
+    return tail;
+}
+
+/**
+ * Depth-first branch and bound for one decision problem: does a
+ * schedule of the block's DDG into L rows of `width` slots exist?
+ * Deterministic: op selection and row order are fully tie-broken, so
+ * identical inputs explore identical trees (and the node counter
+ * makes even capped searches reproducible).
+ */
+struct Searcher
+{
+    const IrBlock &block;
+    const Ddg &ddg;
+    int n;
+    int width;
+    unsigned rawLatency;
+    int L = 0;
+
+    std::vector<int> tail;    ///< Per-op end-of-block tail rows.
+    std::vector<int> cycleOf; ///< -1 = not yet placed.
+    std::vector<int> usage;   ///< Ops placed per row.
+
+    std::uint64_t nodes = 0;
+    std::uint64_t maxNodes;
+    Clock::time_point deadline;
+    bool useDeadline;
+    bool timedOut = false;
+
+    Searcher(const IrBlock &b, const Ddg &d, int width_,
+             unsigned rawLatency_, const ExactOptions &opts,
+             Clock::time_point t0)
+        : block(b), ddg(d), n(static_cast<int>(b.ops.size())),
+          width(width_), rawLatency(rawLatency_),
+          maxNodes(opts.maxNodes),
+          deadline(t0 + std::chrono::milliseconds(opts.budgetMs)),
+          useDeadline(opts.budgetMs > 0)
+    {
+        tail.resize(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            tail[static_cast<std::size_t>(i)] =
+                tailRows(block, i, rawLatency);
+    }
+
+    bool
+    budgetExhausted()
+    {
+        if (nodes >= maxNodes) {
+            timedOut = true;
+            return true;
+        }
+        // The wall clock is sampled every 256 placements: cheap, and
+        // irrelevant to the search order (which stays deterministic).
+        if (useDeadline && (nodes & 0xFF) == 0 &&
+            Clock::now() > deadline) {
+            timedOut = true;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Recompute every op's [est, lst] issue window from the current
+     * placements. DDG edges always point forward in program order, so
+     * one forward sweep (est from preds) and one backward sweep (lst
+     * from succs) reach the fixpoint. Returns false when any window
+     * empties, a row is overcommitted by single-row windows, or fewer
+     * free slots remain than unplaced ops.
+     */
+    bool
+    propagate(std::vector<int> &est, std::vector<int> &lst) const
+    {
+        for (int i = 0; i < n; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            if (cycleOf[ui] >= 0)
+                est[ui] = lst[ui] = cycleOf[ui];
+            else {
+                est[ui] = 0;
+                lst[ui] = L - tail[ui];
+            }
+        }
+        for (int i = 0; i < n; ++i)
+            for (const DdgEdge &e : ddg.succs(i)) {
+                auto &t = est[static_cast<std::size_t>(e.to)];
+                t = std::max(
+                    t, est[static_cast<std::size_t>(i)] + e.latency);
+            }
+        for (int i = n - 1; i >= 0; --i)
+            for (const DdgEdge &e : ddg.preds(i)) {
+                auto &f = lst[static_cast<std::size_t>(e.from)];
+                f = std::min(
+                    f, lst[static_cast<std::size_t>(i)] - e.latency);
+            }
+
+        std::vector<int> forced(static_cast<std::size_t>(L), 0);
+        int unplaced = 0;
+        for (int i = 0; i < n; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            if (est[ui] > lst[ui])
+                return false;
+            if (est[ui] == lst[ui] &&
+                ++forced[static_cast<std::size_t>(est[ui])] > width)
+                return false;
+            if (cycleOf[ui] < 0)
+                ++unplaced;
+        }
+        int freeSlots = 0;
+        for (int t = 0; t < L; ++t)
+            freeSlots += width - usage[static_cast<std::size_t>(t)];
+        return freeSlots >= unplaced;
+    }
+
+    bool
+    dfs(int placed)
+    {
+        std::vector<int> est(static_cast<std::size_t>(n));
+        std::vector<int> lst(static_cast<std::size_t>(n));
+        if (!propagate(est, lst))
+            return false;
+        if (placed == n)
+            return true;
+
+        // Most-constrained op first: smallest window, then earlier
+        // deadline, then program order.
+        int pick = -1;
+        for (int i = 0; i < n; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            if (cycleOf[ui] >= 0)
+                continue;
+            if (pick < 0)
+                pick = i;
+            else {
+                const auto up = static_cast<std::size_t>(pick);
+                const int wi = lst[ui] - est[ui];
+                const int wp = lst[up] - est[up];
+                if (wi < wp || (wi == wp && lst[ui] < lst[up]))
+                    pick = i;
+            }
+        }
+        XIMD_ASSERT(pick >= 0, "unplaced op not found");
+
+        const auto up = static_cast<std::size_t>(pick);
+        for (int t = est[up]; t <= lst[up]; ++t) {
+            const auto ut = static_cast<std::size_t>(t);
+            if (usage[ut] >= width)
+                continue;
+            ++nodes;
+            if (budgetExhausted())
+                return false;
+            cycleOf[up] = t;
+            ++usage[ut];
+            if (dfs(placed + 1))
+                return true;
+            cycleOf[up] = -1;
+            --usage[ut];
+            if (timedOut)
+                return false;
+        }
+        return false;
+    }
+
+    /** Try to fit the block into @p rows rows. */
+    bool
+    decide(int rows)
+    {
+        L = rows;
+        cycleOf.assign(static_cast<std::size_t>(n), -1);
+        usage.assign(static_cast<std::size_t>(L), 0);
+        return dfs(0);
+    }
+};
+
+/**
+ * Turn the search's op->row assignment into a BlockSchedule whose
+ * CC-setting ops (compares) sit in the same FU slot they occupy in
+ * the heuristic schedule, padding with explicit -1 nop slots. The
+ * exact- and heuristic-scheduled programs then write every condition
+ * code on the same FU, making final architectural state — which
+ * includes the per-FU CC file — identical across tiers.
+ */
+BlockSchedule
+canonicalize(const IrBlock &block, const std::vector<int> &cycleOf,
+             int rows, int width, const BlockSchedule &heuristic)
+{
+    std::map<int, int> pinSlot; // op index -> heuristic FU slot
+    for (const auto &cyc : heuristic.cycles)
+        for (std::size_t s = 0; s < cyc.size(); ++s)
+            if (cyc[s] >= 0 &&
+                block.ops[static_cast<std::size_t>(cyc[s])]
+                    .isCompare())
+                pinSlot[cyc[s]] = static_cast<int>(s);
+
+    BlockSchedule out;
+    out.cycles.assign(static_cast<std::size_t>(rows), {});
+    for (int t = 0; t < rows; ++t) {
+        std::vector<int> members;
+        for (std::size_t i = 0; i < cycleOf.size(); ++i)
+            if (cycleOf[i] == t)
+                members.push_back(static_cast<int>(i));
+
+        std::vector<int> row(static_cast<std::size_t>(width), -1);
+        auto firstFree = [&row]() {
+            for (std::size_t s = 0; s < row.size(); ++s)
+                if (row[s] < 0)
+                    return static_cast<int>(s);
+            XIMD_ASSERT(false, "schedule row over capacity");
+            return -1;
+        };
+        for (int op : members) { // pinned compares claim slots first
+            auto it = pinSlot.find(op);
+            if (it == pinSlot.end())
+                continue;
+            const int s =
+                row[static_cast<std::size_t>(it->second)] < 0
+                    ? it->second
+                    : firstFree();
+            row[static_cast<std::size_t>(s)] = op;
+        }
+        for (int op : members) {
+            if (pinSlot.count(op))
+                continue;
+            row[static_cast<std::size_t>(firstFree())] = op;
+        }
+        while (!row.empty() && row.back() < 0)
+            row.pop_back();
+        out.cycles[static_cast<std::size_t>(t)] = std::move(row);
+    }
+    return out;
+}
+
+} // namespace
+
+CompileResult<BlockSchedule>
+exactScheduleBlockChecked(const IrBlock &block, FuId width,
+                          unsigned rawLatency,
+                          const ExactOptions &opts,
+                          ExactLoopStat *stat)
+{
+    if (width == 0 || width > kMaxFus)
+        return compileError("exact-schedule",
+                            cat("bad width ", width), block.name);
+    if (rawLatency < 1)
+        return compileError("exact-schedule",
+                            cat("bad result latency ", rawLatency),
+                            block.name);
+
+    // The heuristic schedule is both the fallback and the initial
+    // upper bound on the candidate row count.
+    auto h = scheduleBlockChecked(block, width, rawLatency);
+    if (!h)
+        return h.error();
+    const BlockSchedule heuristic = std::move(h).value();
+    const unsigned heurRows = heuristic.numRows();
+
+    const auto t0 = Clock::now();
+    const int n = static_cast<int>(block.ops.size());
+    const int w = static_cast<int>(width);
+    Ddg ddg(block, rawLatency);
+
+    ExactLoopStat st;
+    st.block = block.name;
+    st.ops = static_cast<unsigned>(n);
+    st.resMii = static_cast<unsigned>((n + w - 1) / w);
+    st.heuristicIi = heurRows;
+
+    // RecMII: unlimited-width ASAP plus each op's end-of-block tail.
+    {
+        std::vector<int> est(static_cast<std::size_t>(n), 0);
+        int need = 0;
+        for (int i = 0; i < n; ++i) {
+            for (const DdgEdge &e : ddg.succs(i)) {
+                auto &t = est[static_cast<std::size_t>(e.to)];
+                t = std::max(
+                    t, est[static_cast<std::size_t>(i)] + e.latency);
+            }
+            need = std::max(need, est[static_cast<std::size_t>(i)] +
+                                      tailRows(block, i, rawLatency));
+        }
+        st.recMii = static_cast<unsigned>(need);
+    }
+    st.mii = std::max(1u, std::max(st.resMii, st.recMii));
+    XIMD_ASSERT(heurRows >= st.mii,
+                "heuristic schedule beats the MII lower bound");
+
+    Searcher search(block, ddg, w, rawLatency, opts, t0);
+    BlockSchedule result;
+    for (unsigned L = st.mii;; ++L) {
+        if (L >= heurRows) {
+            // Every shorter row count is refuted, and the heuristic
+            // schedule witnesses feasibility at heurRows: the
+            // heuristic is optimal. Emit it unchanged (byte-identical
+            // codegen to the heuristic tier).
+            st.tier = "heuristic";
+            st.proven = true;
+            st.achievedIi = st.minimalIi = heurRows;
+            result = heuristic;
+            break;
+        }
+        const bool feasible = search.decide(static_cast<int>(L));
+        if (search.timedOut) {
+            st.tier = "heuristic";
+            st.timedOut = true;
+            st.achievedIi = heurRows;
+            st.minimalIi = L; // best refuted-below lower bound
+            result = heuristic;
+            break;
+        }
+        if (feasible) {
+            st.tier = "exact";
+            st.proven = true;
+            st.achievedIi = st.minimalIi = L;
+            result = canonicalize(block, search.cycleOf,
+                                  static_cast<int>(L), w, heuristic);
+            break;
+        }
+    }
+    st.nodes = search.nodes;
+    st.solveMs = msSince(t0);
+    if (stat)
+        *stat = st;
+    return result;
+}
+
+} // namespace ximd::sched

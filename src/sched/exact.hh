@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Exact (provably II-minimal) scheduling of loop kernels by bounded
+ * branch and bound — the compiler's ground-truth tier.
+ *
+ * The heuristic tier (list_scheduler.hh) is greedy: it never answers
+ * how far its schedules are from optimal. Following the shape of
+ * Roorda's SMT-based optimal software pipelining (PAPERS.md), this
+ * module solves the same per-kernel scheduling problem exactly, as a
+ * sequence of decision problems over the existing DDG:
+ *
+ *   for II = MII, MII+1, ... : does a schedule with II rows exist?
+ *
+ * where MII = max(ResMII, RecMII) with ResMII = ceil(ops / width) and
+ * RecMII the longest dependence chain through the kernel including
+ * the write-back drain and compare-visibility tails. Under the
+ * repository's blocked-iteration execution model (a loop kernel block
+ * re-executes only after its last row, there is no cross-iteration
+ * overlap and no rotating register file), the initiation interval of
+ * a loop IS its kernel row count, so minimizing rows is exactly the
+ * modulo-scheduling objective and the first feasible candidate is the
+ * provably minimal II.
+ *
+ * Each decision problem is solved by depth-first branch and bound
+ * with full constraint propagation: every op carries an [est, lst]
+ * issue window (ASAP from predecessor latencies, ALAP from the row
+ * deadline through successor latencies), the op with the tightest
+ * window is placed first (ties: smaller lst, then program order —
+ * fully deterministic), per-row occupancy never exceeds the machine
+ * width, and a placement that empties any window backtracks. The
+ * encoding covers the same constraints the heuristic honors:
+ * RAW/WAR/WAW and memory latencies from the DDG, <= width ops per
+ * row, the rawLatency-1 drain rows before control leaves the block,
+ * and compare results registered rawLatency rows before a CondBranch.
+ *
+ * The search is budgeted (wall-clock milliseconds plus a
+ * deterministic node cap). On exhaustion the tier falls back to the
+ * heuristic schedule and reports the best proven lower bound, so
+ * `optimality_gap = achieved_ii - minimal_ii` is exact when `proven`
+ * and an upper bound otherwise.
+ *
+ * Emission parity: the winning exact schedule pins every compare op
+ * to the FU slot it occupied in the heuristic schedule (padding with
+ * explicit nop slots, see BlockSchedule), so the exact- and
+ * heuristic-scheduled programs retire compares on the same condition
+ * code — final architectural state (registers, memory, CCs, hence
+ * Machine::archStateHash) is identical across tiers by construction.
+ */
+
+#ifndef XIMD_SCHED_EXACT_HH
+#define XIMD_SCHED_EXACT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sched/ddg.hh"
+#include "sched/diag.hh"
+#include "sched/ir.hh"
+#include "sched/list_scheduler.hh"
+
+namespace ximd::sched {
+
+/** Budget for one block's exact search. */
+struct ExactOptions
+{
+    /**
+     * Wall-clock budget in milliseconds; 0 = no wall-clock limit
+     * (the node cap still applies, keeping every search finite and
+     * bit-reproducible).
+     */
+    unsigned budgetMs = 100;
+
+    /**
+     * Deterministic cap on branch-and-bound placement attempts.
+     * Exceeding it counts as a timeout; because the search order is
+     * deterministic, a node-capped outcome is identical run to run.
+     */
+    std::uint64_t maxNodes = 2'000'000;
+};
+
+/** What the exact tier learned about one block (loop kernel). */
+struct ExactLoopStat
+{
+    std::string block;
+    bool loop = false;  ///< Block is the target of a CFG back edge.
+    unsigned ops = 0;
+
+    unsigned resMii = 0; ///< ceil(ops / width).
+    unsigned recMii = 0; ///< Dependence-chain + drain/compare tail.
+    unsigned mii = 0;    ///< max(1, resMii, recMii).
+
+    unsigned heuristicIi = 0; ///< List-scheduled rows.
+    unsigned achievedIi = 0;  ///< Rows of the emitted schedule.
+    unsigned minimalIi = 0;   ///< Proven minimum, else best lower bound.
+
+    bool proven = false;   ///< achievedIi == true minimum, proved.
+    bool timedOut = false; ///< Budget exhausted; heuristic emitted.
+    std::string tier = "heuristic"; ///< Which schedule was emitted.
+
+    std::uint64_t nodes = 0; ///< Placement attempts explored.
+    double solveMs = 0.0;    ///< Wall time of the exact search.
+
+    /** achieved - minimal: 0 when proven, an upper bound otherwise. */
+    unsigned
+    optimalityGap() const
+    {
+        return achievedIi > minimalIi ? achievedIi - minimalIi : 0;
+    }
+
+    /** How far the heuristic is from the proven/bounded optimum. */
+    unsigned
+    heuristicGap() const
+    {
+        return heuristicIi > minimalIi ? heuristicIi - minimalIi : 0;
+    }
+};
+
+/**
+ * Exactly schedule @p block for @p width at result latency
+ * @p rawLatency. Returns the emitted schedule: the proven-minimal one
+ * when the search finishes within budget, the heuristic schedule
+ * otherwise (never fails when the heuristic succeeds). @p stat, when
+ * non-null, receives the full outcome including which tier won.
+ */
+CompileResult<BlockSchedule>
+exactScheduleBlockChecked(const IrBlock &block, FuId width,
+                          unsigned rawLatency,
+                          const ExactOptions &opts = {},
+                          ExactLoopStat *stat = nullptr);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_EXACT_HH

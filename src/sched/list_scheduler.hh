@@ -27,7 +27,14 @@ namespace ximd::sched {
 /** Schedule of one block: per-cycle lists of op indices. */
 struct BlockSchedule
 {
-    /** cycles[c] = ops issued in cycle c (at most `width` each). */
+    /**
+     * cycles[c] = ops issued in cycle c (at most `width` each). The
+     * list index is the FU slot the op executes on. A -1 entry is an
+     * explicit nop slot: the exact tier (sched/exact.hh) uses it to
+     * pin compare ops to the FU slot the heuristic schedule chose,
+     * keeping the per-FU condition-code file identical across tiers.
+     * The list scheduler itself never emits -1.
+     */
     std::vector<std::vector<int>> cycles;
 
     /** Rows the block occupies (>= cycles.size(), see below). */

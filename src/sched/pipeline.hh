@@ -46,6 +46,7 @@
 #include "sched/compose.hh"
 #include "sched/ddg.hh"
 #include "sched/diag.hh"
+#include "sched/exact.hh"
 #include "sched/ir.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/modulo.hh"
@@ -53,6 +54,14 @@
 #include "sched/tile.hh"
 
 namespace ximd::sched {
+
+/** Which scheduler fills block rows in compile(). */
+enum class ScheduleTier
+{
+    Heuristic, ///< Greedy list scheduler (fast, no optimality claim).
+    Exact,     ///< Branch-and-bound exact tier (sched/exact.hh),
+               ///< falling back to the heuristic on budget timeout.
+};
 
 /** Options for a pipeline run (superset of CodegenOptions). */
 struct PipelineOptions
@@ -64,6 +73,12 @@ struct PipelineOptions
 
     /** Run mergeStraightLineBlocks before scheduling. */
     bool mergeBlocks = false;
+
+    /** Scheduler tier for compile() (xcc --schedule=...). */
+    ScheduleTier schedule = ScheduleTier::Heuristic;
+
+    /** Per-block budget for the exact tier. */
+    ExactOptions exact;
 
     /** compose(): architectural registers reserved per thread. */
     RegId regsPerThread = 24;
@@ -129,6 +144,14 @@ struct CompileContext
     bool hasProgram = false;
 
     std::vector<PassStat> stats;
+
+    /**
+     * Per-loop optimality report, one entry per block, filled by the
+     * exact-schedule pass (and by modulo for the loop path, where
+     * II = 1 is minimal by construction). Drives the "loops" section
+     * of statsJson.
+     */
+    std::vector<ExactLoopStat> loopStats;
 };
 
 /** One pipeline stage. */
@@ -181,6 +204,7 @@ std::unique_ptr<Pass> makeValidateIrPass();
 std::unique_ptr<Pass> makeMergeBlocksPass();
 std::unique_ptr<Pass> makeBuildDdgPass();
 std::unique_ptr<Pass> makeListSchedulePass();
+std::unique_ptr<Pass> makeExactSchedulePass();
 std::unique_ptr<Pass> makeCodegenPass();
 std::unique_ptr<Pass> makeModuloPass();
 std::unique_ptr<Pass> makeTilePass();
@@ -190,7 +214,15 @@ std::unique_ptr<Pass> makeVerifyPass();
 std::unique_ptr<Pass> makeRaceCheckPass();
 /// @}
 
-/** Render cx.stats as JSON (xcc --stats-json). */
+/**
+ * Render cx.stats as JSON (xcc --stats-json), schema 2: a "schema"
+ * tag, the per-pass timing/counters array, and — when @p loops is
+ * non-empty — a per-loop optimality report ("loops") plus the
+ * "exact_timeouts" total. Schema 1 was the untagged passes-only
+ * shape emitted before the exact tier existed.
+ */
+std::string statsJson(const std::vector<PassStat> &stats,
+                      const std::vector<ExactLoopStat> &loops);
 std::string statsJson(const std::vector<PassStat> &stats);
 
 /**
@@ -218,7 +250,11 @@ class Compiler
 
     const CompileContext &context() const { return cx_; }
     const std::vector<PassStat> &stats() const { return cx_.stats; }
-    std::string statsJson() const { return sched::statsJson(cx_.stats); }
+    std::string
+    statsJson() const
+    {
+        return sched::statsJson(cx_.stats, cx_.loopStats);
+    }
 
   private:
     CompileResult<Ok> runPipeline(PassManager &pm);

@@ -14,6 +14,11 @@
  *     --emit ximd|ir|ddg  what to write (default ximd)
  *     --width N           functional units to schedule for
  *     --latency N         data-path result latency to compile for
+ *     --schedule TIER     heuristic (default) or
+ *                         exact[:budget-ms[:max-nodes]] — the exact
+ *                         tier proves per-block II minimality within
+ *                         its budget and falls back to the heuristic
+ *                         schedule on timeout (warning, exit 0)
  *     --reg-base N        first physical register for vregs
  *     --no-names          do not bind v<N> register names
  *     --merge-blocks      straighten jump-only chains first
@@ -70,6 +75,34 @@ intoNumber(T &field)
     };
 }
 
+/** --schedule=heuristic | exact[:budget-ms[:max-nodes]]. */
+bool
+parseScheduleTier(const std::string &v, PipelineOptions &pipe)
+{
+    if (v == "heuristic") {
+        pipe.schedule = ScheduleTier::Heuristic;
+        return true;
+    }
+    if (v.rfind("exact", 0) != 0)
+        return false;
+    pipe.schedule = ScheduleTier::Exact;
+    std::string rest = v.substr(5);
+    if (rest.empty())
+        return true;
+    if (rest[0] != ':')
+        return false;
+    rest = rest.substr(1);
+    const auto colon = rest.find(':');
+    if (!argparse::Parser::parseNumber(rest.substr(0, colon),
+                                       pipe.exact.budgetMs))
+        return false;
+    if (colon != std::string::npos &&
+        !argparse::Parser::parseNumber(rest.substr(colon + 1),
+                                       pipe.exact.maxNodes))
+        return false;
+    return true;
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
@@ -85,6 +118,13 @@ parseArgs(int argc, char **argv)
              intoNumber(o.pipe.width));
     p.option("--latency", "N", "data-path result latency",
              intoNumber(o.pipe.rawLatency));
+    p.option("--schedule", "TIER",
+             "heuristic (default) or\n"
+             "exact[:budget-ms[:max-nodes]]:\nprove II-minimal "
+             "schedules, falling back\nto the heuristic on timeout",
+             [&](const std::string &v) {
+                 return parseScheduleTier(v, o.pipe);
+             });
     p.option("--reg-base", "N",
              "first physical register for vregs",
              intoNumber(o.pipe.regBase));
@@ -137,6 +177,9 @@ parseArgs(int argc, char **argv)
         p.fail("several inputs need --compose");
     if (!o.compose.empty() && o.emit != "ximd")
         p.fail("--compose only supports --emit=ximd");
+    if (!o.compose.empty() &&
+        o.pipe.schedule == ScheduleTier::Exact)
+        p.fail("--schedule=exact only applies to the block pipeline");
     return o;
 }
 
@@ -182,8 +225,13 @@ formatSchedules(const CompileContext &cx)
            << s.numRows() << " rows\n";
         for (std::size_t c = 0; c < s.cycles.size(); ++c) {
             os << "  cycle " << c << ":";
-            for (int op : s.cycles[c])
-                os << " " << op;
+            for (int op : s.cycles[c]) {
+                // -1 = explicit nop slot (exact-tier CC pinning).
+                if (op < 0)
+                    os << " .";
+                else
+                    os << " " << op;
+            }
             os << "\n";
         }
     }
@@ -224,7 +272,7 @@ renderAfter(const std::string &pass, const CompileContext &cx)
         return printIr(cx.ir);
     if (pass == "build-ddg")
         return formatDdgs(cx);
-    if (pass == "list-schedule")
+    if (pass == "list-schedule" || pass == "exact-schedule")
         return formatSchedules(cx);
     if (pass == "tile")
         return formatTiles(cx);
@@ -287,13 +335,25 @@ runCompiler(const Options &o)
         }
     }
 
+    // Exhausted exact budgets are warnings, not errors: the emitted
+    // program is the (always-valid) heuristic schedule.
+    for (const ExactLoopStat &l : compiler.context().loopStats)
+        if (l.timedOut)
+            std::cerr << "xcc: warning: exact schedule for block '"
+                      << l.block << "' exhausted its budget ("
+                      << l.nodes << " nodes); emitted the heuristic "
+                      << "schedule (ii " << l.achievedIi
+                      << ", proven lower bound " << l.minimalIi
+                      << ")\n";
+
     const bool failed = out.empty() && o.emit == "ximd";
     for (const std::string &want : o.dumpAfter)
         if (want != "all" && !dumped.count(want))
             std::cerr << "xcc: warning: no pass named '" << want
                       << "' ran (passes: validate-ir merge-blocks "
-                         "build-ddg list-schedule codegen modulo "
-                         "tile pack compose verify race-check)\n";
+                         "build-ddg list-schedule exact-schedule "
+                         "codegen modulo tile pack compose verify "
+                         "race-check)\n";
     if (o.statsJson)
         std::cerr << compiler.statsJson();
     if (failed)

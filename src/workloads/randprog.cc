@@ -140,4 +140,89 @@ randomLockstepProgram(const RandProgOptions &o)
     return assembleString(randomLockstepSource(o));
 }
 
+sched::IrProgram
+randomLoopIr(const RandLoopOptions &o)
+{
+    XIMD_ASSERT(o.tripCount >= 1, "randomLoopIr: tripCount >= 1");
+    using sched::IrValue;
+    using sched::VregId;
+    Rng rng(o.seed ^ 0xC0DE'5EED'1991'0403ULL);
+    sched::IrBuilder b;
+
+    const VregId vInd = b.newVreg(); // v0: induction counter
+    const VregId vAcc = b.newVreg(); // v1: accumulator
+    b.setInit(vInd, 0);
+    b.setInit(vAcc, static_cast<Word>(rng.range(0, 999)));
+    for (unsigned k = 1; k <= o.tripCount; ++k)
+        b.setMemInit(o.inBase + k,
+                     static_cast<Word>(rng.range(0, 100000)));
+
+    b.startBlock("loop");
+    b.emitTo(vInd, Opcode::Iadd, IrValue::reg(vInd),
+             IrValue::immInt(1));
+
+    // Wrap-safe integer/bitwise body over the live values. Word
+    // arithmetic wraps identically in the machine and in
+    // interpretIr, so nothing here can fault or diverge.
+    static const Opcode kArith[] = {Opcode::Iadd, Opcode::Isub,
+                                    Opcode::Imult, Opcode::Xor,
+                                    Opcode::And,   Opcode::Or};
+    std::vector<VregId> live = {vInd, vAcc};
+    const auto liveSrc = [&] {
+        return IrValue::reg(live[static_cast<std::size_t>(rng.range(
+            0, static_cast<int>(live.size()) - 1))]);
+    };
+    bool stored = false;
+    for (unsigned i = 0; i < o.bodyOps; ++i) {
+        switch (rng.range(0, 5)) {
+          case 0: { // load from the input window
+            const IrValue v = b.emitLoad(
+                IrValue::immInt(static_cast<SWord>(o.inBase)),
+                IrValue::reg(vInd));
+            live.push_back(v.vreg);
+            break;
+          }
+          case 1: // fold a value into the accumulator (RAW chain)
+            b.emitTo(vAcc,
+                     kArith[static_cast<std::size_t>(rng.range(0, 2))],
+                     IrValue::reg(vAcc), liveSrc());
+            break;
+          case 2: { // store to this iteration's output slot
+            if (stored)
+                break; // one store/iteration: no in-loop WAW on memory
+            const IrValue addr = b.emit(
+                Opcode::Iadd, IrValue::reg(vInd),
+                IrValue::immInt(static_cast<SWord>(o.outBase)));
+            b.emitStore(liveSrc(), addr);
+            live.push_back(addr.vreg);
+            stored = true;
+            break;
+          }
+          default: { // fresh temp from two live/immediate sources
+            const IrValue rhs =
+                rng.chance(0.3)
+                    ? IrValue::immInt(
+                          static_cast<SWord>(rng.range(1, 63)))
+                    : liveSrc();
+            const IrValue v = b.emit(
+                kArith[static_cast<std::size_t>(rng.range(0, 5))],
+                liveSrc(), rhs);
+            live.push_back(v.vreg);
+            break;
+          }
+        }
+    }
+
+    const int cmp = b.emitCompare(
+        Opcode::Eq, IrValue::reg(vInd),
+        IrValue::immInt(static_cast<SWord>(o.tripCount)));
+    b.branch(cmp, "end", "loop");
+
+    b.startBlock("end");
+    b.emitStore(IrValue::reg(vAcc),
+                IrValue::immInt(static_cast<SWord>(o.outBase)));
+    b.halt();
+    return b.finish();
+}
+
 } // namespace ximd::workloads

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "isa/program.hh"
+#include "sched/ir.hh"
 
 namespace ximd::workloads {
 
@@ -49,6 +50,34 @@ std::string randomLockstepSource(const RandProgOptions &opts);
 
 /** Assembled program; asserts the generator's invariants. */
 Program randomLockstepProgram(const RandProgOptions &opts);
+
+/**
+ * Shape of a random counted loop in compiler IR (the exact-scheduler
+ * corpus, sched/exact.hh).
+ */
+struct RandLoopOptions
+{
+    std::uint64_t seed = 1;
+    unsigned bodyOps = 8;    ///< Random body ops (besides
+                             ///< induction/compare, 0..~24).
+    unsigned tripCount = 6;  ///< Loop iterations (>= 1).
+    Addr inBase = 1100;      ///< Input array base (trip words).
+    Addr outBase = 2100;     ///< Output array base.
+};
+
+/**
+ * Seeded random counted loop: a loop block whose induction variable
+ * v0 counts 1..tripCount, a wrap-safe random body (loads from
+ * inBase+v0, integer/bitwise arithmetic over the live values, an
+ * occasional store to outBase+v0, an accumulator in v1), exactly one
+ * compare feeding the back branch, and an end block that stores the
+ * accumulator to outBase and halts. Valid and verifier-clean by
+ * construction; a pure function of the options, so a failing seed
+ * reproduces exactly. One compare per block keeps per-FU condition
+ * codes comparable across scheduler tiers (see sched/exact.hh).
+ * Reference semantics: sched::interpretIr.
+ */
+sched::IrProgram randomLoopIr(const RandLoopOptions &opts);
 
 } // namespace ximd::workloads
 
