@@ -1,0 +1,23 @@
+// Livermore loop 1: hydro fragment.
+//   x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])
+// Inputs are filled by a deterministic seeding loop so the kernel is
+// self-contained (the simulator starts from zeroed memory).
+int n = 64;
+float q = 0.5;
+float r = 2.0;
+float t = 0.25;
+float x[64];
+float y[64];
+float z[128];
+
+int k;
+for (k = 0; k < n; k = k + 1) {
+    y[k] = 1.0 + k * 0.5;
+}
+for (k = 0; k < n + 11; k = k + 1) {
+    z[k] = 2.0 + k * 0.25;
+}
+
+for (k = 0; k < n; k = k + 1) {
+    x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+}

@@ -1,0 +1,14 @@
+// Livermore loop 12: first difference.
+//   x[k] = y[k+1] - y[k]
+int n = 64;
+float x[64];
+float y[65];
+
+int k;
+for (k = 0; k < n + 1; k = k + 1) {
+    y[k] = 1.0 + k * k * 0.5;
+}
+
+for (k = 0; k < n; k = k + 1) {
+    x[k] = y[k + 1] - y[k];
+}

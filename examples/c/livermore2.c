@@ -1,0 +1,28 @@
+// Livermore loop 2: ICCG excerpt (incomplete Cholesky, conjugate
+// gradient). The original do-while over a halving stride is
+// restructured as a while with an inner for; n must be a power of
+// two so the pointer arithmetic telescopes to 2n-1.
+int n = 64;
+float x[128];
+float v[128];
+
+int k;
+for (k = 0; k < 2 * n; k = k + 1) {
+    x[k] = 0.25 + k * 0.0625;
+    v[k] = 1.0 + k * 0.03125;
+}
+
+int ii = n;
+int ipntp = 0;
+int ipnt;
+int i;
+while (ii > 0) {
+    ipnt = ipntp;
+    ipntp = ipntp + ii;
+    ii = ii / 2;
+    i = ipntp - 1;
+    for (k = ipnt + 1; k < ipntp; k = k + 2) {
+        i = i + 1;
+        x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+    }
+}

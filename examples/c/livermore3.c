@@ -1,0 +1,20 @@
+// Livermore loop 3: inner product.
+//   q += z[k] * x[k]
+int n = 64;
+float q = 0.0;
+float x[64];
+float z[64];
+
+int k;
+for (k = 0; k < n; k = k + 1) {
+    x[k] = 0.5 + k * 0.25;
+    z[k] = 1.0 + k * 0.125;
+}
+
+for (k = 0; k < n; k = k + 1) {
+    q = q + z[k] * x[k];
+}
+
+// Park the reduction where the harness can read it back.
+float result[1];
+result[0] = q;

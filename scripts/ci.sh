@@ -45,6 +45,25 @@ for golden in examples/ir/golden/*.ximd; do
 done
 echo "xcc: examples compile, lint clean, goldens match"
 
+# Frontend stage: the Livermore kernels must compile from C source
+# through regalloc and the scheduler, lint clean (static and race),
+# and match their committed goldens byte for byte — including the
+# forced-spill configuration (5 registers; livermore3's peak live
+# pressure is 6, so the allocator really spills).
+echo "==> frontend (xcc --input=c: compile, lint, golden diff)"
+for kernel in livermore1 livermore2 livermore3 livermore12; do
+    "$XCC" --input=c --verify "examples/c/$kernel.c" \
+        -o "$XCC_OUT/$kernel.ximd"
+done
+"$XCC" --input=c --num-regs=5 --spill --verify \
+    examples/c/livermore3.c -o "$XCC_OUT/livermore3_spill.ximd"
+"$LINT" "$XCC_OUT"/livermore*.ximd
+"$LINT" --race "$XCC_OUT"/livermore*.ximd > /dev/null
+for golden in examples/c/golden/*.ximd; do
+    diff -u "$golden" "$XCC_OUT/$(basename "$golden")"
+done
+echo "frontend: Livermore kernels compile, lint clean, goldens match"
+
 # Race-lint stage: the cross-stream race engine over the shipped
 # corpus. The good examples and every xcc-compiled golden must come
 # back clean (exit 0); each bad-corpus program must be rejected

@@ -109,6 +109,29 @@ sched = [
 if sched:
     merged["sched_compile"] = sched
 
+# Frontend/Livermore summary (bench_frontend_compile): per-kernel
+# lex+parse+lower, direct and spilling allocation, and the full
+# C-to-assembly compile, so frontend and allocator regressions are
+# visible without grepping the flat list.
+LIVERMORE = ["livermore1", "livermore2", "livermore3", "livermore12"]
+front = {
+    b["name"]: round(b["wall_time_ms"], 5)
+    for b in merged["benchmarks"]
+    if b["binary"] == "bench_frontend_compile"
+}
+if front:
+    kernels = []
+    for i, kernel in enumerate(LIVERMORE):
+        arg = "/kernel:%d" % i
+        kernels.append({
+            "kernel": kernel,
+            "lower_ms": front.get("frontendLower" + arg),
+            "alloc_direct_ms": front.get("allocateDirect" + arg),
+            "alloc_spill_ms": front.get("allocateSpill" + arg),
+            "full_compile_ms": front.get("fullCompile" + arg),
+        })
+    merged["livermore_frontend"] = kernels
+
 # Exact-scheduler summary (bench_exact_sched): per-width solve time
 # for the exact tier next to the heuristic baseline plus the
 # budget-exhausted fallback cost, so search-cost regressions are

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Abstract syntax for the C-like kernel language.
+ *
+ * The shapes mirror the grammar in DESIGN.md §15: expressions over
+ * int/float scalars and arrays, relational conditions (only legal in
+ * if/while/for heads, exactly where the IR consumes condition codes),
+ * and structured statements. Every node carries its 1-based source
+ * line for diagnostics and per-op line stamping.
+ */
+
+#ifndef XIMD_FRONTEND_AST_HH
+#define XIMD_FRONTEND_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ximd::frontend {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    enum class Kind : std::uint8_t
+    {
+        IntLit,   ///< intVal
+        FloatLit, ///< floatVal
+        Var,      ///< name
+        Index,    ///< name[lhs]
+        Unary,    ///< op ('-') applied to lhs
+        Binary,   ///< lhs op rhs, op in + - * / %
+    };
+
+    Kind kind = Kind::IntLit;
+    int line = 1;
+    SWord intVal = 0;
+    float floatVal = 0;
+    std::string name;
+    char op = 0;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** Relational operator in a condition. */
+enum class RelOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/** A condition: `lhs rel rhs` (the only context producing a CC). */
+struct Cond
+{
+    RelOp rel = RelOp::Eq;
+    ExprPtr lhs;
+    ExprPtr rhs;
+    int line = 1;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    enum class Kind : std::uint8_t
+    {
+        Decl,   ///< int/float name [size]? (= init)? ;
+        Assign, ///< target = value ;
+        If,     ///< if (cond) then [else els]
+        While,  ///< while (cond) bodyStmt
+        For,    ///< for (init; cond; step) bodyStmt
+        Block,  ///< { body... }
+    };
+
+    Kind kind = Kind::Block;
+    int line = 1;
+
+    // Decl.
+    bool isFloat = false;
+    std::string name;
+    int arraySize = -1; ///< -1 = scalar.
+    ExprPtr init;       ///< Optional scalar initializer.
+
+    // Assign.
+    ExprPtr target; ///< Var or Index expression.
+    ExprPtr value;
+
+    // If / While / For.
+    std::unique_ptr<Cond> cond;
+    StmtPtr thenStmt; ///< If-then, While/For body.
+    StmtPtr elseStmt;
+    StmtPtr forInit; ///< Assign or empty.
+    StmtPtr forStep; ///< Assign or empty.
+
+    // Block.
+    std::vector<StmtPtr> body;
+};
+
+/** A parsed translation unit: top-level statements in order. */
+struct CProgram
+{
+    std::vector<StmtPtr> stmts;
+};
+
+} // namespace ximd::frontend
+
+#endif // XIMD_FRONTEND_AST_HH

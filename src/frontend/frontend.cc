@@ -1,0 +1,19 @@
+#include "frontend/frontend.hh"
+
+#include "frontend/parser.hh"
+
+namespace ximd::frontend {
+
+sched::CompileResult<sched::IrProgram>
+compileC(const std::string &source, const LowerOptions &opts)
+{
+    auto tokens = lex(source);
+    if (!tokens)
+        return tokens.error();
+    auto ast = parse(tokens.value());
+    if (!ast)
+        return ast.error();
+    return lower(ast.value(), opts);
+}
+
+} // namespace ximd::frontend

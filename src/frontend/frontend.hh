@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Frontend facade: C-like kernel source -> sched IR.
+ *
+ * Chains the stages (lex -> parse -> lower) so drivers need one call.
+ * The result is an ordinary IrProgram over unbounded virtual
+ * registers; the pipeline's regalloc pass decides the physical
+ * mapping (xcc --input=c [--spill]).
+ */
+
+#ifndef XIMD_FRONTEND_FRONTEND_HH
+#define XIMD_FRONTEND_FRONTEND_HH
+
+#include <string>
+
+#include "frontend/lower.hh"
+#include "sched/diag.hh"
+#include "sched/ir.hh"
+
+namespace ximd::frontend {
+
+/** Compile C-like @p source to IR (passes "c-parse" / "c-lower"). */
+sched::CompileResult<sched::IrProgram>
+compileC(const std::string &source, const LowerOptions &opts = {});
+
+} // namespace ximd::frontend
+
+#endif // XIMD_FRONTEND_FRONTEND_HH

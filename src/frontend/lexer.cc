@@ -1,0 +1,214 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace ximd::frontend {
+
+using sched::compileError;
+using sched::CompileResult;
+
+std::string
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::Eof:      return "end of input";
+      case Tok::Ident:    return "identifier";
+      case Tok::IntLit:   return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::KwInt:    return "'int'";
+      case Tok::KwFloat:  return "'float'";
+      case Tok::KwIf:     return "'if'";
+      case Tok::KwElse:   return "'else'";
+      case Tok::KwWhile:  return "'while'";
+      case Tok::KwFor:    return "'for'";
+      case Tok::Plus:     return "'+'";
+      case Tok::Minus:    return "'-'";
+      case Tok::Star:     return "'*'";
+      case Tok::Slash:    return "'/'";
+      case Tok::Percent:  return "'%'";
+      case Tok::Assign:   return "'='";
+      case Tok::EqEq:     return "'=='";
+      case Tok::NotEq:    return "'!='";
+      case Tok::Lt:       return "'<'";
+      case Tok::Le:       return "'<='";
+      case Tok::Gt:       return "'>'";
+      case Tok::Ge:       return "'>='";
+      case Tok::LParen:   return "'('";
+      case Tok::RParen:   return "')'";
+      case Tok::LBrace:   return "'{'";
+      case Tok::RBrace:   return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Semi:     return "';'";
+    }
+    return "?";
+}
+
+CompileResult<std::vector<Token>>
+lex(const std::string &source)
+{
+    static const std::map<std::string, Tok> keywords = {
+        {"int", Tok::KwInt},     {"float", Tok::KwFloat},
+        {"if", Tok::KwIf},       {"else", Tok::KwElse},
+        {"while", Tok::KwWhile}, {"for", Tok::KwFor},
+    };
+
+    auto err = [](std::string msg, int line) {
+        sched::CompileError e =
+            compileError("c-parse", std::move(msg));
+        e.line = line;
+        return CompileResult<std::vector<Token>>(std::move(e));
+    };
+
+    std::vector<Token> out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto push = [&](Tok kind, std::string text = "") {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            const int open = line;
+            i += 2;
+            while (i + 1 < n &&
+                   !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                return err("unterminated /* comment", open);
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) ||
+            c == '_') {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(source[j])) ||
+                    source[j] == '_'))
+                ++j;
+            std::string word = source.substr(i, j - i);
+            const auto kw = keywords.find(word);
+            push(kw != keywords.end() ? kw->second : Tok::Ident,
+                 std::move(word));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            bool isFloat = false;
+            while (j < n && std::isdigit(static_cast<unsigned char>(
+                                source[j])))
+                ++j;
+            if (j < n && source[j] == '.') {
+                isFloat = true;
+                ++j;
+                while (j < n &&
+                       std::isdigit(
+                           static_cast<unsigned char>(source[j])))
+                    ++j;
+            }
+            std::string num = source.substr(i, j - i);
+            Token t;
+            t.line = line;
+            t.text = num;
+            if (isFloat) {
+                t.kind = Tok::FloatLit;
+                t.floatVal = std::strtof(num.c_str(), nullptr);
+            } else {
+                t.kind = Tok::IntLit;
+                t.intVal = static_cast<SWord>(
+                    std::strtol(num.c_str(), nullptr, 10));
+            }
+            out.push_back(std::move(t));
+            i = j;
+            continue;
+        }
+
+        auto two = [&](char next) {
+            return i + 1 < n && source[i + 1] == next;
+        };
+        switch (c) {
+          case '+': push(Tok::Plus); ++i; continue;
+          case '-': push(Tok::Minus); ++i; continue;
+          case '*': push(Tok::Star); ++i; continue;
+          case '/': push(Tok::Slash); ++i; continue;
+          case '%': push(Tok::Percent); ++i; continue;
+          case '(': push(Tok::LParen); ++i; continue;
+          case ')': push(Tok::RParen); ++i; continue;
+          case '{': push(Tok::LBrace); ++i; continue;
+          case '}': push(Tok::RBrace); ++i; continue;
+          case '[': push(Tok::LBracket); ++i; continue;
+          case ']': push(Tok::RBracket); ++i; continue;
+          case ';': push(Tok::Semi); ++i; continue;
+          case '=':
+            if (two('=')) {
+                push(Tok::EqEq);
+                i += 2;
+            } else {
+                push(Tok::Assign);
+                ++i;
+            }
+            continue;
+          case '!':
+            if (two('=')) {
+                push(Tok::NotEq);
+                i += 2;
+                continue;
+            }
+            return err("stray '!' (only '!=' is supported)", line);
+          case '<':
+            if (two('=')) {
+                push(Tok::Le);
+                i += 2;
+            } else {
+                push(Tok::Lt);
+                ++i;
+            }
+            continue;
+          case '>':
+            if (two('=')) {
+                push(Tok::Ge);
+                i += 2;
+            } else {
+                push(Tok::Gt);
+                ++i;
+            }
+            continue;
+          default:
+            return err(cat("unexpected character '", c, "'"), line);
+        }
+    }
+    push(Tok::Eof);
+    return out;
+}
+
+} // namespace ximd::frontend

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tokenizer for the C-like kernel language (xcc --input=c).
+ *
+ * The language is the minimal imperative subset the Livermore loops
+ * need: int/float scalars and arrays, arithmetic expressions,
+ * assignments, if/while/for. Tokens carry the 1-based source line so
+ * parse and lowering diagnostics (and the IR's per-op line stamps)
+ * point back into the .c file.
+ */
+
+#ifndef XIMD_FRONTEND_LEXER_HH
+#define XIMD_FRONTEND_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "sched/diag.hh"
+#include "support/types.hh"
+
+namespace ximd::frontend {
+
+enum class Tok : std::uint8_t
+{
+    Eof,
+    Ident,
+    IntLit,
+    FloatLit,
+    KwInt,
+    KwFloat,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    Percent,  // %
+    Assign,   // =
+    EqEq,     // ==
+    NotEq,    // !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+};
+
+struct Token
+{
+    Tok kind = Tok::Eof;
+    std::string text;   ///< Identifier spelling / literal spelling.
+    SWord intVal = 0;   ///< IntLit value.
+    float floatVal = 0; ///< FloatLit value.
+    int line = 1;       ///< 1-based source line.
+};
+
+/** Spelling of @p t for diagnostics ("'=='", "identifier", ...). */
+std::string tokName(Tok t);
+
+/**
+ * Tokenize @p source (pass "c-parse"). Recognizes //- and C-style
+ * comments; rejects unknown characters and unterminated comments
+ * with the offending line.
+ */
+sched::CompileResult<std::vector<Token>>
+lex(const std::string &source);
+
+} // namespace ximd::frontend
+
+#endif // XIMD_FRONTEND_LEXER_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AST -> IR lowering (pass "c-lower").
+ *
+ * Maps the C-like surface onto the sched IR's model:
+ *
+ *   - int/float scalars become virtual registers (the allocator later
+ *     decides which live in the physical window and which spill);
+ *   - arrays become contiguous words in data memory starting at
+ *     LowerOptions::dataBase, one word per element;
+ *   - arithmetic picks the integer or float opcode by operand type,
+ *     inserting Itof/Ftoi conversions (int literals fold to float
+ *     immediates bit-exactly — the datapath's Itof is
+ *     static_cast<float>, so folding and converting agree);
+ *   - conditions lower to compare ops consumed by block terminators;
+ *     if/while/for become the obvious CFG diamonds and loops;
+ *   - top-level literal initializers outside all control flow become
+ *     .vinit entries instead of Mov ops.
+ *
+ * Every emitted op is stamped with its source line, so allocator
+ * pressure diagnostics point back into the .c file.
+ */
+
+#ifndef XIMD_FRONTEND_LOWER_HH
+#define XIMD_FRONTEND_LOWER_HH
+
+#include "frontend/ast.hh"
+#include "sched/ir.hh"
+
+namespace ximd::frontend {
+
+struct LowerOptions
+{
+    /** First data-memory word used for arrays. */
+    Addr dataBase = 1024;
+};
+
+/** Lower @p prog to IR (pass "c-lower"). */
+sched::CompileResult<sched::IrProgram>
+lower(const CProgram &prog, const LowerOptions &opts = {});
+
+} // namespace ximd::frontend
+
+#endif // XIMD_FRONTEND_LOWER_HH

@@ -1,0 +1,331 @@
+#include "frontend/parser.hh"
+
+#include "support/logging.hh"
+
+namespace ximd::frontend {
+
+using sched::compileError;
+using sched::CompileError;
+using sched::CompileResult;
+
+namespace {
+
+/** Internal unwind carrying the structured error; never escapes
+ *  parse(). */
+struct Fail
+{
+    CompileError error;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::vector<Token> &tokens)
+        : toks_(tokens)
+    {
+    }
+
+    CProgram
+    run()
+    {
+        CProgram prog;
+        while (peek().kind != Tok::Eof)
+            prog.stmts.push_back(parseStmt());
+        return prog;
+    }
+
+  private:
+    const Token &peek(std::size_t ahead = 0) const
+    {
+        const std::size_t i = pos_ + ahead;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+
+    const Token &take() { return toks_[pos_++]; }
+
+    [[noreturn]] void
+    fail(int line, std::string msg) const
+    {
+        CompileError e = compileError("c-parse", std::move(msg));
+        e.line = line;
+        throw Fail{std::move(e)};
+    }
+
+    const Token &
+    expect(Tok kind, const char *where)
+    {
+        if (peek().kind != kind)
+            fail(peek().line,
+                 cat("expected ", tokName(kind), " ", where,
+                     ", got ", tokName(peek().kind)));
+        return take();
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        switch (peek().kind) {
+          case Tok::KwInt:
+          case Tok::KwFloat:
+            return parseDecl();
+          case Tok::KwIf:
+            return parseIf();
+          case Tok::KwWhile:
+            return parseWhile();
+          case Tok::KwFor:
+            return parseFor();
+          case Tok::LBrace:
+            return parseBlock();
+          case Tok::Ident: {
+            StmtPtr s = parseSimpleAssign();
+            expect(Tok::Semi, "after assignment");
+            return s;
+          }
+          default:
+            fail(peek().line, cat("expected a statement, got ",
+                                  tokName(peek().kind)));
+        }
+    }
+
+    StmtPtr
+    parseDecl()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Decl;
+        s->line = peek().line;
+        s->isFloat = take().kind == Tok::KwFloat;
+        s->name = expect(Tok::Ident, "in declaration").text;
+        if (peek().kind == Tok::LBracket) {
+            take();
+            const Token &size =
+                expect(Tok::IntLit, "as array size");
+            if (size.intVal <= 0)
+                fail(size.line, cat("array '", s->name,
+                                    "' needs a positive size"));
+            s->arraySize = size.intVal;
+            expect(Tok::RBracket, "after array size");
+            if (peek().kind == Tok::Assign)
+                fail(peek().line,
+                     cat("array '", s->name,
+                         "' cannot take an initializer"));
+        } else if (peek().kind == Tok::Assign) {
+            take();
+            s->init = parseExpr();
+        }
+        expect(Tok::Semi, "after declaration");
+        return s;
+    }
+
+    /** `ident ("[" expr "]")? "=" expr`, no trailing semicolon. */
+    StmtPtr
+    parseSimpleAssign()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Assign;
+        s->line = peek().line;
+        s->target = parsePrimary();
+        if (s->target->kind != Expr::Kind::Var &&
+            s->target->kind != Expr::Kind::Index)
+            fail(s->line, "assignment target must be a variable "
+                          "or array element");
+        expect(Tok::Assign, "in assignment");
+        s->value = parseExpr();
+        return s;
+    }
+
+    StmtPtr
+    parseIf()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::If;
+        s->line = take().line; // 'if'
+        expect(Tok::LParen, "after 'if'");
+        s->cond = parseCond();
+        expect(Tok::RParen, "after condition");
+        s->thenStmt = parseStmt();
+        if (peek().kind == Tok::KwElse) {
+            take();
+            s->elseStmt = parseStmt();
+        }
+        return s;
+    }
+
+    StmtPtr
+    parseWhile()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::While;
+        s->line = take().line; // 'while'
+        expect(Tok::LParen, "after 'while'");
+        s->cond = parseCond();
+        expect(Tok::RParen, "after condition");
+        s->thenStmt = parseStmt();
+        return s;
+    }
+
+    StmtPtr
+    parseFor()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::For;
+        s->line = take().line; // 'for'
+        expect(Tok::LParen, "after 'for'");
+        if (peek().kind != Tok::Semi)
+            s->forInit = parseSimpleAssign();
+        expect(Tok::Semi, "after for-initializer");
+        s->cond = parseCond();
+        expect(Tok::Semi, "after for-condition");
+        if (peek().kind != Tok::RParen)
+            s->forStep = parseSimpleAssign();
+        expect(Tok::RParen, "after for-step");
+        s->thenStmt = parseStmt();
+        return s;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Block;
+        s->line = take().line; // '{'
+        while (peek().kind != Tok::RBrace) {
+            if (peek().kind == Tok::Eof)
+                fail(peek().line, "unterminated '{' block");
+            s->body.push_back(parseStmt());
+        }
+        take(); // '}'
+        return s;
+    }
+
+    std::unique_ptr<Cond>
+    parseCond()
+    {
+        auto c = std::make_unique<Cond>();
+        c->lhs = parseExpr();
+        c->line = peek().line;
+        switch (peek().kind) {
+          case Tok::EqEq:  c->rel = RelOp::Eq; break;
+          case Tok::NotEq: c->rel = RelOp::Ne; break;
+          case Tok::Lt:    c->rel = RelOp::Lt; break;
+          case Tok::Le:    c->rel = RelOp::Le; break;
+          case Tok::Gt:    c->rel = RelOp::Gt; break;
+          case Tok::Ge:    c->rel = RelOp::Ge; break;
+          default:
+            fail(peek().line,
+                 cat("expected a relational operator, got ",
+                     tokName(peek().kind)));
+        }
+        take();
+        c->rhs = parseExpr();
+        return c;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        ExprPtr e = parseTerm();
+        while (peek().kind == Tok::Plus ||
+               peek().kind == Tok::Minus) {
+            const char op = peek().kind == Tok::Plus ? '+' : '-';
+            const int line = take().line;
+            auto bin = std::make_unique<Expr>();
+            bin->kind = Expr::Kind::Binary;
+            bin->line = line;
+            bin->op = op;
+            bin->lhs = std::move(e);
+            bin->rhs = parseTerm();
+            e = std::move(bin);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseTerm()
+    {
+        ExprPtr e = parseUnary();
+        while (peek().kind == Tok::Star ||
+               peek().kind == Tok::Slash ||
+               peek().kind == Tok::Percent) {
+            const char op = peek().kind == Tok::Star    ? '*'
+                            : peek().kind == Tok::Slash ? '/'
+                                                        : '%';
+            const int line = take().line;
+            auto bin = std::make_unique<Expr>();
+            bin->kind = Expr::Kind::Binary;
+            bin->line = line;
+            bin->op = op;
+            bin->lhs = std::move(e);
+            bin->rhs = parseUnary();
+            e = std::move(bin);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (peek().kind == Tok::Minus) {
+            auto u = std::make_unique<Expr>();
+            u->kind = Expr::Kind::Unary;
+            u->line = take().line;
+            u->op = '-';
+            u->lhs = parseUnary();
+            return u;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        auto e = std::make_unique<Expr>();
+        e->line = peek().line;
+        switch (peek().kind) {
+          case Tok::IntLit:
+            e->kind = Expr::Kind::IntLit;
+            e->intVal = take().intVal;
+            return e;
+          case Tok::FloatLit:
+            e->kind = Expr::Kind::FloatLit;
+            e->floatVal = take().floatVal;
+            return e;
+          case Tok::LParen: {
+            take();
+            ExprPtr inner = parseExpr();
+            expect(Tok::RParen, "to close '('");
+            return inner;
+          }
+          case Tok::Ident:
+            e->name = take().text;
+            if (peek().kind == Tok::LBracket) {
+                take();
+                e->kind = Expr::Kind::Index;
+                e->lhs = parseExpr();
+                expect(Tok::RBracket, "after array index");
+            } else {
+                e->kind = Expr::Kind::Var;
+            }
+            return e;
+          default:
+            fail(peek().line, cat("expected an expression, got ",
+                                  tokName(peek().kind)));
+        }
+    }
+
+    const std::vector<Token> &toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+CompileResult<CProgram>
+parse(const std::vector<Token> &tokens)
+{
+    try {
+        return Parser(tokens).run();
+    } catch (Fail &f) {
+        return std::move(f.error);
+    }
+}
+
+} // namespace ximd::frontend

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Recursive-descent parser for the C-like kernel language
+ * (pass "c-parse").
+ *
+ * Grammar (DESIGN.md §15):
+ *
+ *   program  := stmt*
+ *   stmt     := decl | assign | if | while | for | block
+ *   decl     := ("int"|"float") ident ("[" intlit "]")?
+ *               ("=" expr)? ";"
+ *   assign   := ident ("[" expr "]")? "=" expr ";"
+ *   if       := "if" "(" cond ")" stmt ("else" stmt)?
+ *   while    := "while" "(" cond ")" stmt
+ *   for      := "for" "(" simple? ";" cond ";" simple? ")" stmt
+ *   cond     := expr relop expr
+ *   expr     := term (("+"|"-") term)*
+ *   term     := unary (("*"|"/"|"%") unary)*
+ *   unary    := "-" unary | primary
+ *   primary  := intlit | floatlit | ident ("[" expr "]")?
+ *             | "(" expr ")"
+ *
+ * where `simple` is an assignment without the trailing semicolon.
+ * Conditions appear only in if/while/for heads — the IR consumes
+ * compare results exclusively through branch terminators, so the
+ * language has no boolean-valued expressions.
+ */
+
+#ifndef XIMD_FRONTEND_PARSER_HH
+#define XIMD_FRONTEND_PARSER_HH
+
+#include "frontend/ast.hh"
+#include "frontend/lexer.hh"
+#include "sched/diag.hh"
+
+namespace ximd::frontend {
+
+/** Parse @p tokens into an AST (pass "c-parse"). */
+sched::CompileResult<CProgram>
+parse(const std::vector<Token> &tokens);
+
+} // namespace ximd::frontend
+
+#endif // XIMD_FRONTEND_PARSER_HH

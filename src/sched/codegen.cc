@@ -41,11 +41,15 @@ emitScheduled(const IrProgram &prog,
               const std::vector<BlockSchedule> &schedules,
               const CodegenOptions &opts)
 {
-    if (opts.regBase + prog.numVregs > kNumRegisters)
-        return compileError("codegen",
-                            cat("register file exhausted: ",
-                                prog.numVregs, " vregs at base ",
-                                opts.regBase));
+    // Allocation already fit the vregs into the window; this guards
+    // callers that skip the regalloc pass.
+    if (static_cast<unsigned>(prog.numVregs) >
+        opts.alloc.window.capacity())
+        return compileError(
+            "codegen", cat("register window exhausted: ",
+                           prog.numVregs, " vregs at base ",
+                           opts.alloc.window.base,
+                           " (run the regalloc pass)"));
     XIMD_ASSERT(schedules.size() == prog.blocks.size(),
                 "one schedule per block required");
 
@@ -112,7 +116,7 @@ emitScheduled(const IrProgram &prog,
                 if (fu < cyc.size() && cyc[fu] >= 0)
                     d = lowerOp(b.ops[static_cast<std::size_t>(
                                     cyc[fu])],
-                                opts.regBase);
+                                opts.alloc.window.base);
                 row.push_back(Parcel(ctrl, d));
             }
             out.addRow(std::move(row));
@@ -121,13 +125,15 @@ emitScheduled(const IrProgram &prog,
     }
 
     for (const auto &[v, value] : prog.vregInit)
-        out.addRegInit(static_cast<RegId>(opts.regBase + v), value);
+        out.addRegInit(
+            static_cast<RegId>(opts.alloc.window.base + v), value);
     for (const auto &[a, value] : prog.memInit)
         out.addMemInit(a, value);
     if (opts.nameVregs) {
         for (VregId v = 0; v < prog.numVregs; ++v)
-            out.nameRegister("v" + std::to_string(v),
-                             static_cast<RegId>(opts.regBase + v));
+            out.nameRegister(
+                "v" + std::to_string(v),
+                static_cast<RegId>(opts.alloc.window.base + v));
     }
     out.setSymbol(kRawLatencySymbol, opts.rawLatency);
 
@@ -144,20 +150,18 @@ generateCodeChecked(const IrProgram &prog, const CodegenOptions &opts)
     if (auto v = prog.validateChecked(); !v)
         return v.error();
 
+    IrProgram allocated = prog;
+    if (auto a = allocateRegisters(allocated, opts.alloc); !a)
+        return a.error();
+
     std::vector<BlockSchedule> schedules;
-    for (const IrBlock &b : prog.blocks) {
+    for (const IrBlock &b : allocated.blocks) {
         auto s = scheduleBlockChecked(b, opts.width, opts.rawLatency);
         if (!s)
             return s.error();
         schedules.push_back(std::move(s).value());
     }
-    return emitScheduled(prog, schedules, opts);
-}
-
-CodegenResult
-generateCode(const IrProgram &prog, const CodegenOptions &opts)
-{
-    return valueOrFatal(generateCodeChecked(prog, opts));
+    return emitScheduled(allocated, schedules, opts);
 }
 
 } // namespace ximd::sched

@@ -7,10 +7,11 @@
  * exactly what the paper's retargetable VLIW compiler produced for
  * each thread (section 4.2).
  *
- * Register allocation maps vreg v to physical register regBase + v.
- * With 256 global registers and threads compiled into disjoint bases,
- * this direct map never spills for the thread sizes the tiling study
- * uses; graph-coloring reuse is future work.
+ * Register assignment is the regalloc pass's job (regalloc.hh):
+ * codegen consumes allocated IR, where every vreg id is already a
+ * window-relative physical index, and simply adds the window base.
+ * The same RegWindow contract serves the modulo pipeliner's fixed
+ * layout and per-thread composition.
  */
 
 #ifndef XIMD_SCHED_CODEGEN_HH
@@ -24,14 +25,15 @@
 #include "isa/program.hh"
 #include "sched/ir.hh"
 #include "sched/list_scheduler.hh"
+#include "sched/regalloc.hh"
 
 namespace ximd::sched {
 
 /** Code-generation parameters. */
 struct CodegenOptions
 {
-    FuId width = kDefaultFus; ///< Functional units to schedule for.
-    RegId regBase = 0;        ///< First physical register to use.
+    FuId width = kDefaultFus;   ///< Functional units to schedule for.
+    RegAllocOptions alloc = {}; ///< Register window + spill policy.
     bool nameVregs = true;    ///< Bind "v<N>" register names.
 
     /**
@@ -52,14 +54,11 @@ struct CodegenResult
 };
 
 /**
- * Compile @p prog for options @p opts.
- * Throws FatalError when the register file cannot hold the vregs.
+ * Compile @p prog for options @p opts: validate, allocate registers
+ * (direct or spilling, per opts.alloc), schedule each block, emit.
+ * Failures come back as CompileError ("regalloc", "list-schedule",
+ * "codegen", ...).
  */
-[[deprecated("use generateCodeChecked()")]] CodegenResult
-generateCode(const IrProgram &prog,
-             const CodegenOptions &opts = {});
-
-/** Non-throwing form of generateCode (pass "codegen"). */
 CompileResult<CodegenResult>
 generateCodeChecked(const IrProgram &prog,
                     const CodegenOptions &opts = {});
@@ -68,7 +67,7 @@ generateCodeChecked(const IrProgram &prog,
  * Emission half of codegen: lay out and emit @p prog from
  * already-computed block schedules (one per block, in block order).
  * The pass pipeline uses this so scheduling and emission are separate
- * observable passes; generateCode() composes the two.
+ * observable passes; generateCodeChecked() composes the two.
  */
 CompileResult<CodegenResult>
 emitScheduled(const IrProgram &prog,

@@ -12,7 +12,7 @@ namespace ximd::sched {
 CompileResult<Composed>
 composeThreadsChecked(const std::vector<IrProgram> &threads,
                       const PackResult &packing, FuId machineWidth,
-                      RegId regsPerThread)
+                      const ComposeOptions &copts)
 {
     auto err = [](std::string msg) {
         return CompileResult<Composed>(
@@ -79,18 +79,18 @@ composeThreadsChecked(const std::vector<IrProgram> &threads,
         if (t >= numThreads)
             return err(cat("placement for unknown thread ",
                            p.threadId));
-        if (threads[t].numVregs > regsPerThread)
-            return err(cat("thread ", p.threadId, " needs ",
-                           threads[t].numVregs, " vregs; only ",
-                           regsPerThread, " reserved per thread"));
         CodegenOptions opts;
         opts.width = p.width;
-        opts.regBase = static_cast<RegId>(t * regsPerThread);
+        opts.alloc = copts.threadAlloc(t);
         opts.nameVregs = false;
         compiled[t].place = &p;
         auto code = generateCodeChecked(threads[t], opts);
-        if (!code)
-            return code.error();
+        if (!code) {
+            // Locate window/allocation failures at the thread.
+            CompileError e = code.error();
+            e.message = cat("thread ", p.threadId, ": ", e.message);
+            return e;
+        }
         compiled[t].code = std::move(code).value();
         if (compiled[t].code.program.size() != p.height)
             return err(cat("thread ", p.threadId, " compiled to ",
@@ -191,7 +191,7 @@ composeThreadsChecked(const std::vector<IrProgram> &threads,
         info.barrierRow = barrierRowOf(t);
         info.bodyStart = base;
         info.bodyRows = p.height;
-        info.regBase = static_cast<RegId>(t * regsPerThread);
+        info.regBase = copts.threadAlloc(t).window.base;
         out.threads.push_back(info);
     }
 
@@ -213,16 +213,6 @@ composeThreadsChecked(const std::vector<IrProgram> &threads,
     // final barrier); self-check the whole contract in debug builds.
     analysis::debugVerify(prog);
     return out;
-}
-
-Composed
-composeThreads(const std::vector<IrProgram> &threads,
-               const PackResult &packing, FuId machineWidth,
-               RegId regsPerThread)
-{
-    return valueOrFatal(
-        composeThreadsChecked(threads, packing, machineWidth,
-                              regsPerThread));
 }
 
 } // namespace ximd::sched

@@ -34,6 +34,7 @@
 
 #include "isa/program.hh"
 #include "sched/packer.hh"
+#include "sched/regalloc.hh"
 
 namespace ximd::sched {
 
@@ -59,26 +60,45 @@ struct Composed
     Composed() : program(1) {}
 };
 
+/** Per-thread storage policy for composition: thread t gets the
+ *  register window [t*regsPerThread, (t+1)*regsPerThread) and, with
+ *  spilling on, the slot region spillBase + t*spillSlotsPerThread. */
+struct ComposeOptions
+{
+    RegId regsPerThread = 24;
+    bool spill = false;
+    Addr spillBase = kDefaultSpillBase;
+    unsigned spillSlotsPerThread = kDefaultSpillSlots;
+
+    /** The allocation contract thread @p t compiles under. */
+    RegAllocOptions
+    threadAlloc(std::size_t t) const
+    {
+        RegAllocOptions a;
+        a.window.base = static_cast<RegId>(t * regsPerThread);
+        a.window.count = regsPerThread;
+        a.spill = spill;
+        a.spillBase = spillBase +
+                      static_cast<Addr>(t) * spillSlotsPerThread;
+        a.spillSlots = spillSlotsPerThread;
+        return a;
+    }
+};
+
 /**
- * Compose @p threads according to @p packing.
+ * Compose @p threads according to @p packing (pass "compose"):
+ * non-laminar packings, register-window overflow etc. come back as
+ * CompileError.
  *
  * @param threads       one IrProgram per thread (ids = indices).
  * @param packing       a validated packing of those threads.
  * @param machineWidth  FU count of the target machine.
- * @param regsPerThread physical registers reserved per thread
- *                      (thread t gets base t * regsPerThread).
+ * @param opts          per-thread register windows / spill regions.
  */
-[[deprecated("use composeThreadsChecked()")]] Composed
-composeThreads(const std::vector<IrProgram> &threads,
-               const PackResult &packing, FuId machineWidth,
-               RegId regsPerThread = 24);
-
-/** Non-throwing form (pass "compose"): non-laminar packings,
- *  register overflow etc. come back as CompileError. */
 CompileResult<Composed>
 composeThreadsChecked(const std::vector<IrProgram> &threads,
                       const PackResult &packing, FuId machineWidth,
-                      RegId regsPerThread = 24);
+                      const ComposeOptions &opts = {});
 
 } // namespace ximd::sched
 

@@ -8,10 +8,10 @@
  * which block, which op — so a driver can render one uniform report
  * and a batch caller can fail one job instead of the process.
  *
- * Every stage therefore has a *Checked entry point returning
- * CompileResult<T>; the historical throwing form survives as a thin
- * wrapper that formats the error and calls fatal(), preserving the
- * FatalError contract existing callers and tests rely on.
+ * Every stage therefore exposes a *Checked entry point returning
+ * CompileResult<T>. Callers that want the historical throwing
+ * behavior compose valueOrFatal(...) explicitly — it formats the
+ * error and calls fatal(), preserving the FatalError contract.
  */
 
 #ifndef XIMD_SCHED_DIAG_HH

@@ -97,12 +97,6 @@ IrProgram::validateChecked() const
     return Ok{};
 }
 
-void
-IrProgram::validate() const
-{
-    valueOrFatal(validateChecked());
-}
-
 VregId
 IrBuilder::newVreg()
 {
@@ -147,6 +141,7 @@ IrBuilder::emitTo(VregId dest, Opcode op, IrValue a, IrValue b)
     o.a = a;
     o.b = b;
     o.dest = dest;
+    o.line = line_;
     cur().ops.push_back(o);
 }
 
@@ -159,6 +154,7 @@ IrBuilder::emitCompare(Opcode op, IrValue a, IrValue b)
     o.op = op;
     o.a = a;
     o.b = b;
+    o.line = line_;
     cur().ops.push_back(o);
     return static_cast<int>(cur().ops.size()) - 1;
 }
@@ -170,6 +166,7 @@ IrBuilder::emitStore(IrValue value, IrValue addr)
     o.op = Opcode::Store;
     o.a = value;
     o.b = addr;
+    o.line = line_;
     cur().ops.push_back(o);
 }
 
@@ -181,6 +178,7 @@ IrBuilder::emitLoad(IrValue a, IrValue b)
     o.a = a;
     o.b = b;
     o.dest = newVreg();
+    o.line = line_;
     cur().ops.push_back(o);
     return IrValue::reg(o.dest);
 }

@@ -90,6 +90,7 @@ struct IrOp
     IrValue a;
     IrValue b;
     VregId dest = kNoVreg; ///< kNoVreg for compares/stores.
+    int line = -1; ///< 1-based source line (IR text or C), -1 = n/a.
 
     bool isCompare() const { return setsCondCode(op); }
     bool isLoad() const { return op == Opcode::Load; }
@@ -131,9 +132,6 @@ struct IrProgram
 
     /** Structural checks as data (pass "ir", with block/op location). */
     CompileResult<Ok> validateChecked() const;
-
-    /** Structural checks; throws FatalError on malformed programs. */
-    [[deprecated("use validateChecked()")]] void validate() const;
 };
 
 /** Convenience builder. */
@@ -174,6 +172,9 @@ class IrBuilder
     /** Request memory[addr] = value before execution. */
     void setMemInit(Addr addr, Word value);
 
+    /** Source line stamped on subsequently emitted ops (-1 = none). */
+    void setLine(int line) { line_ = line; }
+
     /** Finish: validates and returns the program. */
     IrProgram finish();
 
@@ -182,6 +183,7 @@ class IrBuilder
 
     IrProgram prog_;
     bool open_ = false;
+    int line_ = -1;
 };
 
 /**

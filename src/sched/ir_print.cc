@@ -224,6 +224,7 @@ struct Parser
                                   "' cannot have a destination"));
         if (!parseSources(toks, at + 1, line, info, op))
             return false;
+        op.line = line;
         cur->ops.push_back(op);
         return true;
     }

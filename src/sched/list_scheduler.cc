@@ -101,10 +101,4 @@ scheduleBlockChecked(const IrBlock &block, FuId width,
     return sched;
 }
 
-BlockSchedule
-scheduleBlock(const IrBlock &block, FuId width, unsigned rawLatency)
-{
-    return valueOrFatal(scheduleBlockChecked(block, width, rawLatency));
-}
-
 } // namespace ximd::sched

@@ -58,13 +58,9 @@ struct BlockSchedule
  *    (rawLatency cycles after issue) by the last row — trailing rows
  *    are added when necessary;
  *  - at least one row, so the terminator has a home.
+ *
+ * Bad width/latency come back as CompileError (pass "schedule").
  */
-[[deprecated("use scheduleBlockChecked()")]] BlockSchedule
-scheduleBlock(const IrBlock &block, FuId width,
-              unsigned rawLatency = 1);
-
-/** Non-throwing form: bad width/latency come back as CompileError
- *  (pass "schedule") instead of FatalError. */
 CompileResult<BlockSchedule>
 scheduleBlockChecked(const IrBlock &block, FuId width,
                      unsigned rawLatency = 1);

@@ -4,6 +4,7 @@
 
 #include "analysis/verify.hh"
 #include "sched/codegen.hh"
+#include "sched/regalloc.hh"
 #include "support/logging.hh"
 
 namespace ximd::sched {
@@ -140,11 +141,13 @@ pipelineLoopChecked(const PipelineLoop &loop, FuId width,
         return err("tripCount too small for the exit test (need "
                    "tripCount + depth >= 3)");
 
-    // Register layout checks.
+    // Register layout checks, through the shared window contract:
+    // the pipeliner's fixed expansion layout must fit the register
+    // file just like any allocated unit fits its window.
     const unsigned regsNeeded =
         loop.localBase + E * static_cast<unsigned>(loop.numLocals);
-    if (regsNeeded > kNumRegisters)
-        return err(cat("needs ", regsNeeded, " registers"));
+    if (auto w = checkWindow("modulo", RegWindow{}, regsNeeded); !w)
+        return w.error();
     if (loop.inductionReg >= loop.localBase &&
         loop.inductionReg < regsNeeded)
         return err("induction register collides with the local sets");
@@ -217,12 +220,6 @@ pipelineLoopChecked(const PipelineLoop &loop, FuId width,
     out.validate();
     analysis::debugVerify(out);
     return out;
-}
-
-Program
-pipelineLoop(const PipelineLoop &loop, FuId width, PipelineInfo *info)
-{
-    return valueOrFatal(pipelineLoopChecked(loop, width, info));
 }
 
 } // namespace ximd::sched

@@ -118,17 +118,9 @@ struct PipelineInfo
 /**
  * Generate the pipelined program (single instruction stream, runs on
  * both xsim and vsim). @p info, when non-null, receives the pipeline
- * shape.
- */
-[[deprecated("use pipelineLoopChecked()")]] Program
-pipelineLoop(const PipelineLoop &loop, FuId width,
-             PipelineInfo *info = nullptr);
-
-/**
- * Non-throwing form: every restriction violation (infeasible II,
- * def-before-use, induction read past stage 0, ...) comes back as a
- * CompileError (pass "modulo", op = body index) instead of
- * FatalError.
+ * shape. Every restriction violation (infeasible II, def-before-use,
+ * induction read past stage 0, ...) comes back as a CompileError
+ * (pass "modulo", op = body index).
  */
 CompileResult<Program>
 pipelineLoopChecked(const PipelineLoop &loop, FuId width,

@@ -404,12 +404,4 @@ validatePackingChecked(const PackResult &result,
     return height;
 }
 
-unsigned
-validatePacking(const PackResult &result,
-                const std::vector<TileSet> &sets, FuId machineWidth)
-{
-    return valueOrFatal(
-        validatePackingChecked(result, sets, machineWidth));
-}
-
 } // namespace ximd::sched

@@ -87,15 +87,9 @@ PackResult packBalancedGroups(const std::vector<TileSet> &sets,
 
 /**
  * Check structural validity: one placement per thread, tiles inside
- * the strip, pairwise non-overlapping, recorded height correct.
- * Throws FatalError on violation; returns the height.
+ * the strip, pairwise non-overlapping, recorded height correct
+ * (pass "pack"); returns the height.
  */
-[[deprecated("use validatePackingChecked()")]] unsigned
-validatePacking(const PackResult &result,
-                const std::vector<TileSet> &sets,
-                FuId machineWidth);
-
-/** Non-throwing form of validatePacking (pass "pack"). */
 CompileResult<unsigned>
 validatePackingChecked(const PackResult &result,
                        const std::vector<TileSet> &sets,

@@ -65,6 +65,29 @@ class MergeBlocksPass : public Pass
     }
 };
 
+class RegAllocPass : public Pass
+{
+  public:
+    std::string name() const override { return "regalloc"; }
+
+    CompileResult<Ok>
+    run(CompileContext &cx, PassStat &stat) override
+    {
+        auto a = allocateRegisters(cx.ir, cx.opts.alloc);
+        if (!a)
+            return a.error();
+        cx.alloc = std::move(a).value();
+        stat.counters["regs_used"] = cx.alloc.regsUsed;
+        stat.counters["max_pressure"] = cx.alloc.maxPressure;
+        stat.counters["spilled_vregs"] = cx.alloc.spilledVregs;
+        stat.counters["spill_stores"] = cx.alloc.spillStores;
+        stat.counters["spill_reloads"] = cx.alloc.spillReloads;
+        stat.counters["slots_used"] = cx.alloc.slotsUsed;
+        stat.counters["rounds"] = cx.alloc.rounds;
+        return Ok{};
+    }
+};
+
 class BuildDdgPass : public Pass
 {
   public:
@@ -294,10 +317,7 @@ class PackPass : public Pass
 class ComposePass : public Pass
 {
   public:
-    explicit ComposePass(RegId regsPerThread)
-        : regsPerThread_(regsPerThread)
-    {
-    }
+    explicit ComposePass(ComposeOptions opts) : opts_(opts) {}
 
     std::string name() const override { return "compose"; }
 
@@ -305,8 +325,7 @@ class ComposePass : public Pass
     run(CompileContext &cx, PassStat &stat) override
     {
         auto comp = composeThreadsChecked(cx.threads, cx.packing,
-                                          cx.opts.width,
-                                          regsPerThread_);
+                                          cx.opts.width, opts_);
         if (!comp)
             return comp.error();
         cx.composed = std::move(comp).value();
@@ -320,7 +339,7 @@ class ComposePass : public Pass
     }
 
   private:
-    RegId regsPerThread_;
+    ComposeOptions opts_;
 };
 
 class VerifyPass : public Pass
@@ -464,6 +483,12 @@ makeMergeBlocksPass()
 }
 
 std::unique_ptr<Pass>
+makeRegAllocPass()
+{
+    return std::make_unique<RegAllocPass>();
+}
+
+std::unique_ptr<Pass>
 makeBuildDdgPass()
 {
     return std::make_unique<BuildDdgPass>();
@@ -506,9 +531,9 @@ makePackPass(std::string strategy)
 }
 
 std::unique_ptr<Pass>
-makeComposePass(RegId regsPerThread)
+makeComposePass(ComposeOptions opts)
 {
-    return std::make_unique<ComposePass>(regsPerThread);
+    return std::make_unique<ComposePass>(opts);
 }
 
 std::unique_ptr<Pass>
@@ -616,6 +641,7 @@ Compiler::compile(IrProgram ir)
     pm.add(makeValidateIrPass());
     if (opts_.mergeBlocks)
         pm.add(makeMergeBlocksPass());
+    pm.add(makeRegAllocPass());
     pm.add(makeBuildDdgPass());
     if (opts_.schedule == ScheduleTier::Exact)
         pm.add(makeExactSchedulePass());
@@ -660,7 +686,7 @@ Compiler::compose(std::vector<IrProgram> threads,
     PassManager pm;
     pm.add(makeTilePass());
     pm.add(makePackPass(strategy));
-    pm.add(makeComposePass(opts_.regsPerThread));
+    pm.add(makeComposePass(opts_.compose()));
     if (opts_.verify)
         pm.add(makeVerifyPass());
     if (opts_.analyzeRace)

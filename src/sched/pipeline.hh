@@ -23,14 +23,15 @@
  *
  * The Compiler facade assembles the standard pass sequences:
  *
- *   compile():     validate-ir [merge-blocks] build-ddg
+ *   compile():     validate-ir [merge-blocks] regalloc build-ddg
  *                  list-schedule codegen [verify]
  *   compileLoop(): modulo [verify]
  *   compose():     tile pack compose [verify]
  *
  * Byte-for-byte, compile()/compileLoop()/compose() produce the same
- * Programs as the legacy entry points (generateCode, pipelineLoop,
- * composeThreads) — pinned by tests/sched/test_pipeline_equivalence.
+ * Programs as the single-call entry points (generateCodeChecked,
+ * pipelineLoopChecked, composeThreadsChecked) — pinned by
+ * tests/sched/test_pipeline_equivalence.
  */
 
 #ifndef XIMD_SCHED_PIPELINE_HH
@@ -67,7 +68,10 @@ enum class ScheduleTier
 struct PipelineOptions
 {
     FuId width = kDefaultFus;
-    RegId regBase = 0;
+
+    /** Register window + spill policy for the regalloc pass. */
+    RegAllocOptions alloc = {};
+
     bool nameVregs = true;
     unsigned rawLatency = 1;
 
@@ -103,10 +107,21 @@ struct PipelineOptions
     {
         CodegenOptions o;
         o.width = width;
-        o.regBase = regBase;
+        o.alloc = alloc;
         o.nameVregs = nameVregs;
         o.rawLatency = rawLatency;
         return o;
+    }
+
+    ComposeOptions
+    compose() const
+    {
+        ComposeOptions c;
+        c.regsPerThread = regsPerThread;
+        c.spill = alloc.spill;
+        c.spillBase = alloc.spillBase;
+        c.spillSlotsPerThread = alloc.spillSlots;
+        return c;
     }
 };
 
@@ -125,6 +140,7 @@ struct CompileContext
 
     // Block path.
     IrProgram ir;
+    Allocation alloc;                    ///< Regalloc result.
     std::vector<Ddg> ddgs;               ///< One per block.
     std::vector<BlockSchedule> schedules; ///< One per block.
     CodegenResult code;
@@ -202,6 +218,7 @@ class PassManager
 /// @{
 std::unique_ptr<Pass> makeValidateIrPass();
 std::unique_ptr<Pass> makeMergeBlocksPass();
+std::unique_ptr<Pass> makeRegAllocPass();
 std::unique_ptr<Pass> makeBuildDdgPass();
 std::unique_ptr<Pass> makeListSchedulePass();
 std::unique_ptr<Pass> makeExactSchedulePass();
@@ -209,7 +226,7 @@ std::unique_ptr<Pass> makeCodegenPass();
 std::unique_ptr<Pass> makeModuloPass();
 std::unique_ptr<Pass> makeTilePass();
 std::unique_ptr<Pass> makePackPass(std::string strategy);
-std::unique_ptr<Pass> makeComposePass(RegId regsPerThread = 24);
+std::unique_ptr<Pass> makeComposePass(ComposeOptions opts = {});
 std::unique_ptr<Pass> makeVerifyPass();
 std::unique_ptr<Pass> makeRaceCheckPass();
 /// @}

@@ -1,0 +1,532 @@
+#include "sched/regalloc.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace ximd::sched {
+
+namespace {
+
+/** Per-block layout-order position range. */
+struct BlockSpan
+{
+    int first = 0; ///< Position of the first op (or the block itself).
+    int last = 0;  ///< Position of the last op (== first when empty).
+};
+
+std::vector<BlockSpan>
+layoutPositions(const IrProgram &prog)
+{
+    std::vector<BlockSpan> spans;
+    spans.reserve(prog.blocks.size());
+    int pos = 0;
+    for (const IrBlock &b : prog.blocks) {
+        BlockSpan s;
+        s.first = pos;
+        // Empty blocks still occupy one position so live-through
+        // ranges cover them.
+        const int width =
+            std::max<int>(1, static_cast<int>(b.ops.size()));
+        s.last = pos + width - 1;
+        pos += width;
+        spans.push_back(s);
+    }
+    return spans;
+}
+
+bool
+opHasDest(const IrOp &op)
+{
+    return opInfo(op.op).hasDest;
+}
+
+} // namespace
+
+Liveness
+computeLiveness(const IrProgram &prog)
+{
+    const std::size_t numBlocks = prog.blocks.size();
+    const auto numVregs = static_cast<std::size_t>(prog.numVregs);
+
+    std::map<std::string, std::size_t> byName;
+    for (std::size_t i = 0; i < numBlocks; ++i)
+        byName[prog.blocks[i].name] = i;
+
+    // Successors, upward-exposed uses, and defs per block.
+    std::vector<std::vector<std::size_t>> succ(numBlocks);
+    std::vector<std::vector<char>> ue(numBlocks),
+        def(numBlocks);
+    for (std::size_t i = 0; i < numBlocks; ++i) {
+        const IrBlock &b = prog.blocks[i];
+        ue[i].assign(numVregs, 0);
+        def[i].assign(numVregs, 0);
+        for (const IrOp &op : b.ops) {
+            for (const IrValue *v : {&op.a, &op.b})
+                if (v->isVreg() &&
+                    !def[i][static_cast<std::size_t>(v->vreg)])
+                    ue[i][static_cast<std::size_t>(v->vreg)] = 1;
+            if (opHasDest(op))
+                def[i][static_cast<std::size_t>(op.dest)] = 1;
+        }
+        switch (b.term.kind) {
+          case Terminator::Kind::Jump:
+            succ[i].push_back(byName.at(b.term.taken));
+            break;
+          case Terminator::Kind::CondBranch:
+            succ[i].push_back(byName.at(b.term.taken));
+            succ[i].push_back(byName.at(b.term.fallthrough));
+            break;
+          case Terminator::Kind::Halt:
+            break;
+        }
+    }
+
+    // liveIn/liveOut to a fixpoint (backward dataflow).
+    std::vector<std::vector<char>> liveIn(numBlocks),
+        liveOut(numBlocks);
+    for (std::size_t i = 0; i < numBlocks; ++i) {
+        liveIn[i].assign(numVregs, 0);
+        liveOut[i].assign(numVregs, 0);
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = numBlocks; i-- > 0;) {
+            for (std::size_t s : succ[i])
+                for (std::size_t v = 0; v < numVregs; ++v)
+                    if (liveIn[s][v] && !liveOut[i][v]) {
+                        liveOut[i][v] = 1;
+                        changed = true;
+                    }
+            for (std::size_t v = 0; v < numVregs; ++v) {
+                const char in =
+                    ue[i][v] || (liveOut[i][v] && !def[i][v]);
+                if (in && !liveIn[i][v]) {
+                    liveIn[i][v] = 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Intervals: extend at every touch point and block boundary.
+    Liveness lv;
+    lv.intervals.resize(numVregs);
+    for (std::size_t v = 0; v < numVregs; ++v)
+        lv.intervals[v].vreg = static_cast<VregId>(v);
+    auto extend = [&](VregId v, int pos) {
+        LiveInterval &iv =
+            lv.intervals[static_cast<std::size_t>(v)];
+        if (!iv.live()) {
+            iv.start = iv.end = pos;
+        } else {
+            iv.start = std::min(iv.start, pos);
+            iv.end = std::max(iv.end, pos);
+        }
+    };
+    const std::vector<BlockSpan> spans = layoutPositions(prog);
+    for (std::size_t i = 0; i < numBlocks; ++i) {
+        const IrBlock &b = prog.blocks[i];
+        std::vector<char> live = liveOut[i];
+        for (std::size_t v = 0; v < numVregs; ++v)
+            if (live[v])
+                extend(static_cast<VregId>(v), spans[i].last);
+        for (std::size_t oi = b.ops.size(); oi-- > 0;) {
+            const IrOp &op = b.ops[oi];
+            const int pos = spans[i].first + static_cast<int>(oi);
+            if (opHasDest(op)) {
+                extend(op.dest, pos);
+                live[static_cast<std::size_t>(op.dest)] = 0;
+            }
+            for (const IrValue *v : {&op.a, &op.b})
+                if (v->isVreg()) {
+                    extend(v->vreg, pos);
+                    live[static_cast<std::size_t>(v->vreg)] = 1;
+                }
+        }
+        for (std::size_t v = 0; v < numVregs; ++v)
+            if (live[v])
+                extend(static_cast<VregId>(v), spans[i].first);
+    }
+
+    // Peak pressure: sweep interval events over the position line.
+    const int totalPos =
+        numBlocks == 0 ? 0 : spans.back().last + 1;
+    std::vector<int> delta(
+        static_cast<std::size_t>(totalPos) + 1, 0);
+    for (const LiveInterval &iv : lv.intervals) {
+        if (!iv.live())
+            continue;
+        ++delta[static_cast<std::size_t>(iv.start)];
+        --delta[static_cast<std::size_t>(iv.end) + 1];
+    }
+    int pressure = 0, peakPos = -1;
+    unsigned peak = 0;
+    for (int p = 0; p < totalPos; ++p) {
+        pressure += delta[static_cast<std::size_t>(p)];
+        if (static_cast<unsigned>(pressure) > peak) {
+            peak = static_cast<unsigned>(pressure);
+            peakPos = p;
+        }
+    }
+    lv.peak.pressure = peak;
+    if (peakPos >= 0) {
+        for (std::size_t i = 0; i < numBlocks; ++i) {
+            if (peakPos < spans[i].first || peakPos > spans[i].last)
+                continue;
+            const IrBlock &b = prog.blocks[i];
+            lv.peak.block = b.name;
+            if (!b.ops.empty()) {
+                const int oi = peakPos - spans[i].first;
+                lv.peak.op = oi;
+                lv.peak.line =
+                    b.ops[static_cast<std::size_t>(oi)].line;
+            }
+            break;
+        }
+    }
+    return lv;
+}
+
+CompileResult<Ok>
+checkWindow(const std::string &pass, const RegWindow &window,
+            unsigned regsNeeded)
+{
+    if (regsNeeded <= window.capacity())
+        return Ok{};
+    return compileError(
+        pass, cat("needs ", regsNeeded, " registers; window [",
+                  window.base, "..", window.base + window.count,
+                  ") holds ", window.capacity()));
+}
+
+namespace {
+
+/** Locate the pressure point in a CompileError (satellite of every
+ *  exhaustion diagnostic: block, op and source line of the peak). */
+CompileError
+exhaustionError(const RegAllocOptions &opts, const Liveness &lv,
+                std::string what)
+{
+    CompileError e = compileError(
+        "regalloc",
+        cat("register window [", opts.window.base, "..",
+            opts.window.base + opts.window.count, ") exhausted: ",
+            std::move(what), "; peak live pressure ",
+            lv.peak.pressure,
+            lv.peak.block.empty()
+                ? std::string()
+                : cat(" in block '", lv.peak.block, "'"),
+            lv.peak.op >= 0 ? cat(" at op ", lv.peak.op)
+                            : std::string(),
+            opts.spill
+                ? std::string()
+                : std::string("; recompile with --spill or widen "
+                              "the window")),
+        lv.peak.block, lv.peak.op);
+    e.line = lv.peak.line;
+    return e;
+}
+
+/** Rewrite every use/def of the vregs in @p slots into reloads from
+ *  and stores to their spill slots. Fresh temps are appended to
+ *  @p prog (and flagged unspillable); block compare indices are
+ *  remapped over the inserted ops. */
+void
+rewriteSpills(IrProgram &prog, const std::map<VregId, Addr> &slots,
+              std::vector<char> &unspillable, Allocation &alloc)
+{
+    auto newTemp = [&] {
+        const VregId t = prog.numVregs++;
+        unspillable.push_back(1);
+        return t;
+    };
+
+    for (IrBlock &b : prog.blocks) {
+        std::vector<IrOp> out;
+        out.reserve(b.ops.size());
+        std::vector<int> idxMap(b.ops.size(), -1);
+        for (std::size_t i = 0; i < b.ops.size(); ++i) {
+            IrOp op = b.ops[i];
+            auto reload = [&](IrValue &v) -> VregId {
+                const Addr addr = slots.at(v.vreg);
+                const VregId t = newTemp();
+                IrOp ld;
+                ld.op = Opcode::Load;
+                ld.a = IrValue::immRaw(addr);
+                ld.b = IrValue::immRaw(0);
+                ld.dest = t;
+                ld.line = op.line;
+                out.push_back(ld);
+                ++alloc.spillReloads;
+                v = IrValue::reg(t);
+                return t;
+            };
+            if (op.a.isVreg() && slots.count(op.a.vreg)) {
+                const VregId was = op.a.vreg;
+                const VregId t = reload(op.a);
+                // One reload feeds both sources of `op vS, vS`.
+                if (op.b.isVreg() && op.b.vreg == was)
+                    op.b = IrValue::reg(t);
+            }
+            if (op.b.isVreg() && slots.count(op.b.vreg))
+                reload(op.b);
+            idxMap[i] = static_cast<int>(out.size());
+            const bool spillDest =
+                opHasDest(op) && slots.count(op.dest) != 0;
+            Addr destAddr = 0;
+            VregId destTemp = kNoVreg;
+            if (spillDest) {
+                destAddr = slots.at(op.dest);
+                destTemp = newTemp();
+                op.dest = destTemp;
+            }
+            const int opLine = op.line;
+            out.push_back(op);
+            if (spillDest) {
+                IrOp st;
+                st.op = Opcode::Store;
+                st.a = IrValue::reg(destTemp);
+                st.b = IrValue::immRaw(destAddr);
+                st.line = opLine;
+                out.push_back(st);
+                ++alloc.spillStores;
+            }
+        }
+        if (b.term.kind == Terminator::Kind::CondBranch)
+            b.term.compareIdx =
+                idxMap[static_cast<std::size_t>(b.term.compareIdx)];
+        b.ops = std::move(out);
+    }
+
+    // Initial values of spilled vregs become memory initializers of
+    // their slots.
+    std::vector<std::pair<VregId, Word>> keep;
+    for (const auto &[v, value] : prog.vregInit) {
+        const auto it = slots.find(v);
+        if (it != slots.end())
+            prog.memInit.emplace_back(it->second, value);
+        else
+            keep.emplace_back(v, value);
+    }
+    prog.vregInit = std::move(keep);
+}
+
+/** One linear scan. On success fills @p regIdxOf (window-relative
+ *  index per live vreg) and returns true; otherwise appends the
+ *  chosen victims to @p spillSet (empty set + false = stuck). */
+bool
+linearScan(const Liveness &lv, unsigned capacity,
+           const std::vector<char> &unspillable,
+           std::vector<int> &regIdxOf, std::vector<VregId> &spillSet,
+           unsigned &regsUsed)
+{
+    struct Active
+    {
+        int end = 0;
+        VregId vreg = kNoVreg;
+        unsigned reg = 0;
+    };
+
+    std::vector<const LiveInterval *> order;
+    for (const LiveInterval &iv : lv.intervals)
+        if (iv.live())
+            order.push_back(&iv);
+    std::sort(order.begin(), order.end(),
+              [](const LiveInterval *a, const LiveInterval *b) {
+                  return a->start != b->start ? a->start < b->start
+                                              : a->vreg < b->vreg;
+              });
+
+    std::set<unsigned> free;
+    for (unsigned r = 0; r < capacity; ++r)
+        free.insert(r);
+    std::vector<Active> active;
+    regIdxOf.assign(lv.intervals.size(), -1);
+    regsUsed = 0;
+
+    auto spillable = [&](VregId v) {
+        return !unspillable[static_cast<std::size_t>(v)];
+    };
+
+    for (const LiveInterval *cur : order) {
+        // Expire intervals that ended strictly before this start.
+        for (std::size_t i = active.size(); i-- > 0;) {
+            if (active[i].end < cur->start) {
+                free.insert(active[i].reg);
+                active.erase(active.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            }
+        }
+        if (!free.empty()) {
+            const unsigned r = *free.begin();
+            free.erase(free.begin());
+            regIdxOf[static_cast<std::size_t>(cur->vreg)] =
+                static_cast<int>(r);
+            regsUsed = std::max(regsUsed, r + 1);
+            active.push_back({cur->end, cur->vreg, r});
+            continue;
+        }
+        // Window full: spill the spillable interval that ends
+        // furthest away (ties: larger vreg id — deterministic).
+        Active *victim = nullptr;
+        for (Active &a : active)
+            if (spillable(a.vreg) &&
+                (!victim || a.end > victim->end ||
+                 (a.end == victim->end && a.vreg > victim->vreg)))
+                victim = &a;
+        if (victim && spillable(cur->vreg) &&
+            (cur->end > victim->end ||
+             (cur->end == victim->end && cur->vreg > victim->vreg)))
+            victim = nullptr; // The current interval is the victim.
+        if (victim) {
+            spillSet.push_back(victim->vreg);
+            regIdxOf[static_cast<std::size_t>(victim->vreg)] = -1;
+            const unsigned r = victim->reg;
+            active.erase(active.begin() + (victim - active.data()));
+            regIdxOf[static_cast<std::size_t>(cur->vreg)] =
+                static_cast<int>(r);
+            regsUsed = std::max(regsUsed, r + 1);
+            active.push_back({cur->end, cur->vreg, r});
+        } else if (spillable(cur->vreg)) {
+            spillSet.push_back(cur->vreg);
+        } else {
+            return false; // Only unspillable temps compete.
+        }
+    }
+    return true;
+}
+
+/** Collapse vreg ids onto their assigned window-relative indices so
+ *  the DDG sees physical reuse as WAR/WAW edges. */
+void
+collapseToIndices(IrProgram &prog, const Liveness &lv,
+                  const std::vector<int> &regIdxOf, unsigned regsUsed,
+                  Allocation &alloc)
+{
+    auto remap = [&](IrValue &v) {
+        if (v.isVreg())
+            v = IrValue::reg(
+                regIdxOf[static_cast<std::size_t>(v.vreg)]);
+    };
+    for (IrBlock &b : prog.blocks)
+        for (IrOp &op : b.ops) {
+            remap(op.a);
+            remap(op.b);
+            if (opHasDest(op))
+                op.dest =
+                    regIdxOf[static_cast<std::size_t>(op.dest)];
+        }
+    std::vector<std::pair<VregId, Word>> inits;
+    for (const auto &[v, value] : prog.vregInit) {
+        const auto vi = static_cast<std::size_t>(v);
+        // An initializer is observable only when its vreg is live at
+        // position 0 (entry); dead initializers cannot ride along —
+        // after collapsing, their register now belongs to whichever
+        // interval occupies it first.
+        if (regIdxOf[vi] >= 0 && lv.intervals[vi].start == 0)
+            inits.emplace_back(regIdxOf[vi], value);
+        else
+            ++alloc.deadInitsDropped;
+    }
+    prog.vregInit = std::move(inits);
+    prog.numVregs = static_cast<int>(regsUsed);
+}
+
+} // namespace
+
+CompileResult<Allocation>
+allocateRegisters(IrProgram &prog, const RegAllocOptions &opts)
+{
+    if (auto v = prog.validateChecked(); !v) {
+        CompileError e = v.error();
+        e.pass = "regalloc";
+        return e;
+    }
+
+    const unsigned capacity = opts.window.capacity();
+    const auto originalVregs =
+        static_cast<std::size_t>(prog.numVregs);
+    Allocation alloc;
+    alloc.homes.assign(originalVregs, VregHome{});
+
+    if (!opts.spill) {
+        // Direct strategy: the identity map vreg -> base + vreg.
+        if (static_cast<unsigned>(prog.numVregs) > capacity) {
+            const Liveness lv = computeLiveness(prog);
+            return exhaustionError(
+                opts, lv, cat(prog.numVregs, " vregs"));
+        }
+        const Liveness lv = computeLiveness(prog);
+        for (std::size_t v = 0; v < originalVregs; ++v) {
+            alloc.homes[v].kind = VregHome::Kind::Reg;
+            alloc.homes[v].reg = static_cast<RegId>(
+                opts.window.base + v);
+        }
+        alloc.regsUsed = static_cast<unsigned>(prog.numVregs);
+        alloc.maxPressure = lv.peak.pressure;
+        alloc.rounds = 1;
+        return alloc;
+    }
+
+    // Linear scan with iterative spilling: scan, rewrite the chosen
+    // victims into Load/Store through their slots, rescan — each
+    // round retires at least one original vreg, so this terminates.
+    std::vector<char> unspillable(originalVregs, 0);
+    std::vector<int> regIdxOf;
+    Liveness lv;
+    for (;;) {
+        ++alloc.rounds;
+        lv = computeLiveness(prog);
+        std::vector<VregId> spillSet;
+        unsigned regsUsed = 0;
+        const bool scanned = linearScan(lv, capacity, unspillable,
+                                        regIdxOf, spillSet,
+                                        regsUsed);
+        if (!scanned)
+            return exhaustionError(
+                opts, lv,
+                cat("cannot stage spill reloads through ", capacity,
+                    " registers (need at least 4)"));
+        if (spillSet.empty()) {
+            alloc.regsUsed = regsUsed;
+            alloc.maxPressure = lv.peak.pressure;
+            break;
+        }
+        std::map<VregId, Addr> slots;
+        for (VregId v : spillSet) {
+            if (alloc.slotsUsed >= opts.spillSlots)
+                return compileError(
+                    "regalloc",
+                    cat("spill region exhausted: ", opts.spillSlots,
+                        " slots at base ", opts.spillBase,
+                        " (raise --spill-slots)"));
+            const Addr addr = opts.spillBase + alloc.slotsUsed++;
+            slots[v] = addr;
+            // Victims are always original vregs; temps never spill.
+            alloc.homes[static_cast<std::size_t>(v)].kind =
+                VregHome::Kind::Slot;
+            alloc.homes[static_cast<std::size_t>(v)].addr = addr;
+            ++alloc.spilledVregs;
+        }
+        rewriteSpills(prog, slots, unspillable, alloc);
+    }
+
+    for (std::size_t v = 0; v < originalVregs; ++v) {
+        if (alloc.homes[v].kind == VregHome::Kind::Slot)
+            continue;
+        if (regIdxOf[v] >= 0) {
+            alloc.homes[v].kind = VregHome::Kind::Reg;
+            alloc.homes[v].reg = static_cast<RegId>(
+                opts.window.base +
+                static_cast<unsigned>(regIdxOf[v]));
+        }
+    }
+    collapseToIndices(prog, lv, regIdxOf, alloc.regsUsed, alloc);
+    return alloc;
+}
+
+} // namespace ximd::sched

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Register allocation: virtual registers -> a physical window, with
+ * optional spill-to-memory.
+ *
+ * The IR (ir.hh) is written over unbounded virtual registers;
+ * physical registers are a product of this pass, not an input. Every
+ * consumer of allocated IR — straight-line codegen, the modulo
+ * pipeliner's fixed layout, and thread composition — goes through the
+ * same RegWindow contract instead of carrying its own reg-base /
+ * regs-per-thread convention.
+ *
+ * Two strategies:
+ *
+ *   - Direct (spill = false, the default): the identity map
+ *     vreg v -> window.base + v. This is the historical layout and
+ *     keeps every pinned golden byte-identical; it fails with a
+ *     pressure-point diagnostic when the window cannot hold numVregs.
+ *
+ *   - LinearScan (spill = true): lifetime intervals over the layout
+ *     order (Poletto/Sarkar), smallest free register first, and when
+ *     the window is full the interval with the furthest end is
+ *     spilled to a deterministic memory slot. Spills are rewritten
+ *     into the IR as ordinary Load/Store ops *before* scheduling, so
+ *     the list, exact, and modulo tiers see them like any other
+ *     memory op. After a successful scan the IR is collapsed so that
+ *     vreg ids ARE window-relative physical indices — register reuse
+ *     then shows up as ordinary WAR/WAW edges in the DDG, which is
+ *     what makes scheduling after allocation sound.
+ *
+ * Spill slots live in a reserved region (default base 0x10000, well
+ * above the workloads' data at 1024..): slot s of a unit sits at
+ * spillBase + s. Composition gives thread t the sub-region
+ * spillBase + t * spillSlots, mirroring its register window.
+ */
+
+#ifndef XIMD_SCHED_REGALLOC_HH
+#define XIMD_SCHED_REGALLOC_HH
+
+#include <string>
+#include <vector>
+
+#include "sched/diag.hh"
+#include "sched/ir.hh"
+#include "support/types.hh"
+
+namespace ximd::sched {
+
+/** Default base address of the spill region. */
+inline constexpr Addr kDefaultSpillBase = 0x10000;
+
+/** Default spill-slot count per compilation unit. */
+inline constexpr unsigned kDefaultSpillSlots = 64;
+
+/** The physical-register range a compilation unit may use. */
+struct RegWindow
+{
+    RegId base = 0;
+    unsigned count = kNumRegisters;
+
+    /** Usable registers: count clipped to the register file. */
+    unsigned
+    capacity() const
+    {
+        if (base >= kNumRegisters)
+            return 0;
+        const unsigned room = kNumRegisters - base;
+        return count < room ? count : room;
+    }
+};
+
+/** Allocation parameters (the shared interface CodegenOptions,
+ *  compose and the pipeline all embed). */
+struct RegAllocOptions
+{
+    RegWindow window = {};
+
+    /** Spill to memory instead of failing on window exhaustion. */
+    bool spill = false;
+
+    /** First address of this unit's spill region. */
+    Addr spillBase = kDefaultSpillBase;
+
+    /** Slots available in the region; exhaustion is an error. */
+    unsigned spillSlots = kDefaultSpillSlots;
+};
+
+/**
+ * One vreg's lifetime as a closed position interval over the layout
+ * order (positions number every op, block by block; empty blocks
+ * still occupy one position so live-through ranges cover them).
+ */
+struct LiveInterval
+{
+    VregId vreg = kNoVreg;
+    int start = -1; ///< First position live; -1 = never live.
+    int end = -1;   ///< Last position live (inclusive).
+
+    bool live() const { return start >= 0; }
+};
+
+/** Where register pressure peaks (exhaustion diagnostics). */
+struct PressurePoint
+{
+    unsigned pressure = 0;
+    std::string block;
+    int op = -1;   ///< Op index inside the block; -1 for empty blocks.
+    int line = -1; ///< Source line of that op, when known.
+};
+
+/** Liveness over a program: per-vreg intervals plus the peak. */
+struct Liveness
+{
+    std::vector<LiveInterval> intervals; ///< Indexed by vreg.
+    PressurePoint peak;
+};
+
+/** Compute lifetime intervals (iterative dataflow over the CFG,
+ *  then one backward walk per block). @p prog must validate. */
+Liveness computeLiveness(const IrProgram &prog);
+
+/** Final home of one ORIGINAL vreg after allocation. */
+struct VregHome
+{
+    enum class Kind : std::uint8_t
+    {
+        Dead, ///< Never live; no storage assigned.
+        Reg,  ///< In register `reg` (absolute physical id).
+        Slot, ///< Spilled to memory address `addr`.
+    };
+
+    Kind kind = Kind::Dead;
+    RegId reg = 0;
+    Addr addr = 0;
+};
+
+/** Allocation result and counters (pipeline pass stats). */
+struct Allocation
+{
+    /** Indexed by the vreg ids the program had on entry. */
+    std::vector<VregHome> homes;
+
+    unsigned regsUsed = 0;     ///< Distinct physical registers.
+    unsigned spilledVregs = 0; ///< Original vregs sent to memory.
+    unsigned spillStores = 0;  ///< Store ops inserted.
+    unsigned spillReloads = 0; ///< Load ops inserted.
+    unsigned slotsUsed = 0;
+    unsigned deadInitsDropped = 0;
+    unsigned maxPressure = 0; ///< Peak live intervals, final IR.
+    unsigned rounds = 0;      ///< Spill iterations until fixpoint.
+
+    bool spilled() const { return spilledVregs > 0; }
+};
+
+/**
+ * Allocate @p prog's virtual registers into @p opts.window,
+ * rewriting the program in place (pass "regalloc").
+ *
+ * Postcondition on success: every vreg id in @p prog is a
+ * window-relative physical index (codegen maps id i to register
+ * window.base + i), and numVregs <= window.capacity(). Under the
+ * direct strategy the program is untouched. Under linear scan the
+ * vreg ids are collapsed onto their assigned indices and spill
+ * Load/Store ops appear inline, so downstream DDG construction sees
+ * physical-register reuse as WAR/WAW dependences.
+ *
+ * Failure modes: window exhausted (direct; reports the pressure
+ * point and suggests --spill), spill region exhausted, or a window
+ * too small to stage reloads through (< 4 registers with spilling).
+ */
+CompileResult<Allocation> allocateRegisters(IrProgram &prog,
+                                            const RegAllocOptions &opts);
+
+/**
+ * Shared capacity check for fixed-layout register consumers (the
+ * modulo pipeliner): @p regsNeeded registers must fit in @p window.
+ */
+CompileResult<Ok> checkWindow(const std::string &pass,
+                              const RegWindow &window,
+                              unsigned regsNeeded);
+
+} // namespace ximd::sched
+
+#endif // XIMD_SCHED_REGALLOC_HH

@@ -3,14 +3,16 @@
  * xcc — the compiler driver over the sched pass pipeline.
  *
  * Input is the textual IR of sched/ir_print.hh (one `.ir` file per
- * thread); output is assembler source (`.ximd`) that xsim / vsim /
- * ximd-lint consume directly. One input compiles through the block
- * pipeline (validate-ir [merge-blocks] build-ddg list-schedule
- * codegen); several inputs with --compose go through the Figure-13
- * path (tile, pack, compose) into one XIMD program.
+ * thread) or, with --input=c, a C-like kernel source lowered through
+ * the frontend; output is assembler source (`.ximd`) that xsim /
+ * vsim / ximd-lint consume directly. One input compiles through the
+ * block pipeline (validate-ir [merge-blocks] regalloc build-ddg
+ * list-schedule codegen); several inputs with --compose go through
+ * the Figure-13 path (tile, pack, compose) into one XIMD program.
  *
  * Usage:
  *   xcc [options] kernel.ir [more.ir ...]
+ *     --input ir|c        input language (default ir)
  *     --emit ximd|ir|ddg  what to write (default ximd)
  *     --width N           functional units to schedule for
  *     --latency N         data-path result latency to compile for
@@ -19,7 +21,12 @@
  *                         tier proves per-block II minimality within
  *                         its budget and falls back to the heuristic
  *                         schedule on timeout (warning, exit 0)
- *     --reg-base N        first physical register for vregs
+ *     --reg-base N        base of the physical register window
+ *     --num-regs N        size of the physical register window
+ *     --spill             spill excess vregs to memory instead of
+ *                         failing on window exhaustion
+ *     --spill-base A      base address of the spill-slot region
+ *     --spill-slots N     spill slots available in that region
  *     --no-names          do not bind v<N> register names
  *     --merge-blocks      straighten jump-only chains first
  *     --compose STRAT     pack threads with STRAT (stacked, first-fit,
@@ -45,6 +52,7 @@
 #include <vector>
 
 #include "asm/asm_writer.hh"
+#include "frontend/frontend.hh"
 #include "sched/ir_print.hh"
 #include "sched/pipeline.hh"
 #include "support/argparse.hh"
@@ -59,6 +67,7 @@ struct Options
 {
     std::vector<std::string> files;
     std::string output;
+    std::string input = "ir";
     std::string emit = "ximd";
     std::string compose; ///< Pack strategy; empty = block pipeline.
     std::set<std::string> dumpAfter;
@@ -108,6 +117,12 @@ parseArgs(int argc, char **argv)
 {
     Options o;
     argparse::Parser p("xcc", "[options] kernel.ir [more.ir ...]");
+    p.option("--input", "ir|c",
+             "input language (default ir)",
+             [&](const std::string &v) {
+                 o.input = v;
+                 return v == "ir" || v == "c";
+             });
     p.option("--emit", "ximd|ir|ddg",
              "what to write (default ximd)",
              [&](const std::string &v) {
@@ -126,8 +141,21 @@ parseArgs(int argc, char **argv)
                  return parseScheduleTier(v, o.pipe);
              });
     p.option("--reg-base", "N",
-             "first physical register for vregs",
-             intoNumber(o.pipe.regBase));
+             "base of the physical register window",
+             intoNumber(o.pipe.alloc.window.base));
+    p.option("--num-regs", "N",
+             "size of the physical register window",
+             intoNumber(o.pipe.alloc.window.count));
+    p.flag("--spill",
+           "spill excess vregs to memory instead of\nfailing on "
+           "window exhaustion",
+           [&] { o.pipe.alloc.spill = true; });
+    p.option("--spill-base", "A",
+             "base address of the spill-slot region",
+             intoNumber(o.pipe.alloc.spillBase));
+    p.option("--spill-slots", "N",
+             "spill slots available in that region",
+             intoNumber(o.pipe.alloc.spillSlots));
     p.flag("--no-names", "do not bind v<N> register names",
            [&] { o.pipe.nameVregs = false; });
     p.flag("--merge-blocks", "straighten jump-only chains first",
@@ -184,16 +212,24 @@ parseArgs(int argc, char **argv)
 }
 
 CompileResult<IrProgram>
-parseIrFile(const std::string &path)
+parseInputFile(const Options &o, const std::string &path,
+               std::string &loweredIr)
 {
     std::ifstream in(path);
     if (!in) {
-        CompileError e = compileError("ir-parse",
-                                      "cannot open '" + path + "'");
+        CompileError e =
+            compileError(o.input == "c" ? "c-parse" : "ir-parse",
+                         "cannot open '" + path + "'");
         return e;
     }
     std::ostringstream text;
     text << in.rdbuf();
+    if (o.input == "c") {
+        auto ir = frontend::compileC(text.str());
+        if (ir)
+            loweredIr = printIr(ir.value());
+        return ir;
+    }
     return parseIr(text.str());
 }
 
@@ -268,7 +304,8 @@ formatPacking(const CompileContext &cx)
 std::string
 renderAfter(const std::string &pass, const CompileContext &cx)
 {
-    if (pass == "validate-ir" || pass == "merge-blocks")
+    if (pass == "validate-ir" || pass == "merge-blocks" ||
+        pass == "regalloc")
         return printIr(cx.ir);
     if (pass == "build-ddg")
         return formatDdgs(cx);
@@ -300,14 +337,22 @@ runCompiler(const Options &o)
         });
     }
 
-    // Front end: parse every input.
+    // Front end: parse (and with --input=c, lower) every input.
     std::vector<IrProgram> threads;
     for (const std::string &file : o.files) {
-        auto ir = parseIrFile(file);
+        std::string loweredIr;
+        auto ir = parseInputFile(o, file, loweredIr);
         if (!ir) {
             std::cerr << "xcc: " << file << ": "
                       << ir.error().format() << "\n";
             return 1;
+        }
+        // "lower" is a frontend stage, not a pipeline pass; dump it
+        // here, right after the frontend produced the IR.
+        if (!loweredIr.empty() &&
+            (o.dumpAfter.count("lower") || o.dumpAfter.count("all"))) {
+            dumped.insert("lower");
+            std::cerr << "// --- after lower ---\n" << loweredIr;
         }
         threads.push_back(std::move(ir).value());
     }
@@ -350,9 +395,10 @@ runCompiler(const Options &o)
     for (const std::string &want : o.dumpAfter)
         if (want != "all" && !dumped.count(want))
             std::cerr << "xcc: warning: no pass named '" << want
-                      << "' ran (passes: validate-ir merge-blocks "
-                         "build-ddg list-schedule exact-schedule "
-                         "codegen modulo tile pack compose verify "
+                      << "' ran (passes: lower validate-ir "
+                         "merge-blocks regalloc build-ddg "
+                         "list-schedule exact-schedule codegen "
+                         "modulo tile pack compose verify "
                          "race-check)\n";
     if (o.statsJson)
         std::cerr << compiler.statsJson();

@@ -30,9 +30,6 @@
 #include "workloads/minmax.hh"
 #include "workloads/nonblocking.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #ifndef XIMD_SOURCE_DIR
 #define XIMD_SOURCE_DIR "."
@@ -180,7 +177,7 @@ TEST(VerifySched, CodegenOutputIsCleanAtEveryWidth)
     for (FuId w = 1; w <= 4; ++w) {
         sched::CodegenOptions opts;
         opts.width = w;
-        expectClean(sched::generateCode(thread, opts).program,
+        expectClean(sched::valueOrFatal(sched::generateCodeChecked(thread, opts)).program,
                     "generateCode width " + std::to_string(w));
     }
 }
@@ -202,7 +199,7 @@ TEST(VerifySched, PipelinedLoopIsClean)
          sched::PipeVal::localVal(2), -1},
     };
     for (FuId w : {6, 8})
-        expectClean(sched::pipelineLoop(loop, w),
+        expectClean(sched::valueOrFatal(sched::pipelineLoopChecked(loop, w)),
                     "pipelineLoop width " + std::to_string(w));
 }
 
@@ -218,7 +215,9 @@ TEST(VerifySched, ComposedMultiThreadProgramIsClean)
                       sched::packSkyline}) {
         const sched::PackResult packing = pack(sets, width);
         const sched::Composed composed =
-            sched::composeThreads(threads, packing, width, 8);
+            sched::valueOrFatal(sched::composeThreadsChecked(
+                threads, packing, width,
+                sched::ComposeOptions{.regsPerThread = 8}));
         expectClean(composed.program, "composed program");
     }
 }

@@ -14,9 +14,6 @@
 #include "support/logging.hh"
 #include "support/random.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace ximd {
 namespace {
@@ -135,8 +132,8 @@ TEST(Pipeline, SchedulerStretchesSchedulesWithLatency)
     b.halt();
     IrProgram ir = b.finish();
 
-    const auto r1 = generateCode(ir, {.width = 4, .rawLatency = 1});
-    const auto r3 = generateCode(ir, {.width = 4, .rawLatency = 3});
+    const auto r1 = valueOrFatal(generateCodeChecked(ir, {.width = 4, .rawLatency = 1}));
+    const auto r3 = valueOrFatal(generateCodeChecked(ir, {.width = 4, .rawLatency = 3}));
     EXPECT_GT(r3.program.size(), r1.program.size());
 
     XimdMachine m1(r1.program, latencyCfg(1));
@@ -162,7 +159,7 @@ TEST(Pipeline, ResearchModelCodeBreaksOnPrototypePipe)
     b.halt();
     IrProgram ir = b.finish();
 
-    const auto r1 = generateCode(ir, {.width = 4, .rawLatency = 1});
+    const auto r1 = valueOrFatal(generateCodeChecked(ir, {.width = 4, .rawLatency = 1}));
     XimdMachine m(r1.program, latencyCfg(3));
     ASSERT_TRUE(m.run(1000).ok());
     EXPECT_NE(m.peekMem(60), 9u); // stale x: 0 * 3
@@ -216,9 +213,9 @@ TEST_P(PipelineCodegenProperty, MatchesInterpreter)
     std::vector<Word> refMem(1024, 0);
     const auto refVregs = interpretIr(ir, refMem);
 
-    const auto code = generateCode(
+    const auto code = valueOrFatal(generateCodeChecked(
         ir,
-        {.width = static_cast<FuId>(width), .rawLatency = latency});
+        {.width = static_cast<FuId>(width), .rawLatency = latency}));
     MachineConfig cfg = latencyCfg(latency);
     cfg.memWords = 1024;
     XimdMachine m(code.program, cfg);

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Frontend tests: lexer, parser, and AST -> IR lowering
+ * (src/frontend/, the xcc --input=c path).
+ *
+ * Semantics are pinned two ways: interpretIr on the lowered program
+ * (the IR-level oracle), and full compiles through the pipeline run
+ * on the machine where it matters (the Livermore kernels get that
+ * treatment in the CLI tests; here we stay at the IR level so
+ * failures point at the frontend, not the scheduler).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.hh"
+#include "frontend/lexer.hh"
+#include "frontend/parser.hh"
+#include "sched/ir_print.hh"
+#include "support/types.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::frontend;
+using sched::IrProgram;
+using sched::interpretIr;
+
+/** Compile or fail the test with the formatted diagnostic. */
+IrProgram
+compileOrDie(const std::string &src)
+{
+    auto r = compileC(src);
+    EXPECT_TRUE(r.hasValue())
+        << (r.hasValue() ? "" : r.error().format());
+    return std::move(r).value();
+}
+
+/** Lower and interpret: returns data memory (4096 words). */
+std::vector<Word>
+runC(const std::string &src)
+{
+    IrProgram ir = compileOrDie(src);
+    std::vector<Word> mem(4096, 0);
+    interpretIr(ir, mem);
+    return mem;
+}
+
+// ---------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsAndLiterals)
+{
+    auto r = lex("int a = 1; a = a * 2 + 3.5; // trailing\n"
+                 "/* block\n comment */ a = a / 2;");
+    ASSERT_TRUE(r.hasValue());
+    const auto &toks = r.value();
+    EXPECT_EQ(toks.front().kind, Tok::KwInt);
+    bool sawFloat = false;
+    for (const Token &t : toks)
+        if (t.kind == Tok::FloatLit) {
+            sawFloat = true;
+            EXPECT_FLOAT_EQ(t.floatVal, 3.5f);
+        }
+    EXPECT_TRUE(sawFloat);
+    EXPECT_EQ(toks.back().kind, Tok::Eof);
+    // The post-comment statement carries line 3.
+    EXPECT_EQ(toks[toks.size() - 2].line, 3);
+}
+
+TEST(Lexer, RejectsUnknownCharacter)
+{
+    auto r = lex("int a = 1 @ 2;");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "c-parse");
+    EXPECT_EQ(r.error().line, 1);
+}
+
+TEST(Lexer, RejectsUnterminatedComment)
+{
+    auto r = lex("int a;\n/* never closed");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "c-parse");
+}
+
+TEST(Lexer, RejectsBareBang)
+{
+    auto r = lex("int a = !1;");
+    ASSERT_FALSE(r.hasValue());
+}
+
+// ---------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------
+
+TEST(Parser, BuildsDeclAndLoopAst)
+{
+    auto toks = lex("int n = 4;\n"
+                    "float x[8];\n"
+                    "int k;\n"
+                    "for (k = 0; k < n; k = k + 1) { x[k] = 1.0; }");
+    ASSERT_TRUE(toks.hasValue());
+    auto prog = parse(toks.value());
+    ASSERT_TRUE(prog.hasValue());
+    const CProgram &p = prog.value();
+    ASSERT_EQ(p.stmts.size(), 4u);
+    EXPECT_EQ(p.stmts[0]->kind, Stmt::Kind::Decl);
+    EXPECT_FALSE(p.stmts[0]->isFloat);
+    EXPECT_EQ(p.stmts[1]->arraySize, 8);
+    EXPECT_TRUE(p.stmts[1]->isFloat);
+    EXPECT_EQ(p.stmts[3]->kind, Stmt::Kind::For);
+    ASSERT_NE(p.stmts[3]->thenStmt, nullptr);
+    EXPECT_EQ(p.stmts[3]->thenStmt->kind, Stmt::Kind::Block);
+}
+
+TEST(Parser, ErrorNamesLineAndToken)
+{
+    auto toks = lex("int a = 1;\nint b = ;");
+    ASSERT_TRUE(toks.hasValue());
+    auto prog = parse(toks.value());
+    ASSERT_FALSE(prog.hasValue());
+    EXPECT_EQ(prog.error().pass, "c-parse");
+    EXPECT_EQ(prog.error().line, 2);
+}
+
+TEST(Parser, RejectsArrayInitializer)
+{
+    auto toks = lex("float x[4] = 1.0;");
+    ASSERT_TRUE(toks.hasValue());
+    EXPECT_FALSE(parse(toks.value()).hasValue());
+}
+
+TEST(Parser, RejectsNonPositiveArraySize)
+{
+    auto toks = lex("float x[0];");
+    ASSERT_TRUE(toks.hasValue());
+    EXPECT_FALSE(parse(toks.value()).hasValue());
+}
+
+TEST(Parser, RejectsConditionOutsideControlHead)
+{
+    auto toks = lex("int a;\na = 1 < 2;");
+    ASSERT_TRUE(toks.hasValue());
+    EXPECT_FALSE(parse(toks.value()).hasValue());
+}
+
+// ---------------------------------------------------------------
+// Lowering: shapes.
+// ---------------------------------------------------------------
+
+TEST(Lower, TopLevelLiteralInitsBecomeVinit)
+{
+    IrProgram ir = compileOrDie("int a = 7;\nfloat f = 2.5;\n"
+                                "int b;\nb = a;");
+    // Two .vinit entries, no Mov for them.
+    EXPECT_EQ(ir.vregInit.size(), 2u);
+    const std::string text = sched::printIr(ir);
+    EXPECT_NE(text.find(".vinit"), std::string::npos);
+    EXPECT_EQ(ir.blocks.front().name, "entry");
+}
+
+TEST(Lower, OpsCarrySourceLines)
+{
+    IrProgram ir = compileOrDie("int a;\n"
+                                "a = 1 + 2;\n"
+                                "a = a * 3;\n");
+    ASSERT_FALSE(ir.blocks.empty());
+    std::vector<int> lines;
+    for (const auto &op : ir.blocks.front().ops)
+        lines.push_back(op.line);
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 2);
+    EXPECT_EQ(lines[1], 3);
+}
+
+TEST(Lower, IntLiteralFoldsToFloatBitExactly)
+{
+    // 3 folds to 3.0f at compile time; the datapath's Itof is
+    // static_cast<float>, so folding and converting agree.
+    auto mem = runC("float f[1];\nfloat g;\ng = 3 * 0.5;\n"
+                    "f[0] = g;");
+    EXPECT_FLOAT_EQ(wordToFloat(mem[1024]), 1.5f);
+}
+
+TEST(Lower, FloatToIntConversionTruncates)
+{
+    auto mem = runC("int r[1];\nint i;\nfloat f = 7.9;\n"
+                    "i = f;\nr[0] = i;");
+    EXPECT_EQ(static_cast<SWord>(mem[1024]), 7);
+}
+
+// ---------------------------------------------------------------
+// Lowering: semantics via the IR interpreter.
+// ---------------------------------------------------------------
+
+TEST(Lower, ScalarArithmetic)
+{
+    auto mem = runC("int r[4];\nint a = 10;\nint b = 3;\n"
+                    "r[0] = a + b;\nr[1] = a - b;\n"
+                    "r[2] = a * b;\nr[3] = a / b;");
+    EXPECT_EQ(mem[1024], 13u);
+    EXPECT_EQ(mem[1025], 7u);
+    EXPECT_EQ(mem[1026], 30u);
+    EXPECT_EQ(mem[1027], 3u);
+}
+
+TEST(Lower, ModuloAndUnaryMinus)
+{
+    auto mem = runC("int r[2];\nint a = 17;\n"
+                    "r[0] = a % 5;\nr[1] = 0 - (0 - a);");
+    EXPECT_EQ(mem[1024], 2u);
+    EXPECT_EQ(mem[1025], 17u);
+}
+
+TEST(Lower, IfElseTakesBothArms)
+{
+    const char *src = "int r[2];\nint a = 5;\n"
+                      "if (a > 3) { r[0] = 1; } else { r[0] = 2; }\n"
+                      "if (a > 9) { r[1] = 1; } else { r[1] = 2; }";
+    auto mem = runC(src);
+    EXPECT_EQ(mem[1024], 1u);
+    EXPECT_EQ(mem[1025], 2u);
+}
+
+TEST(Lower, WhileLoopRuns)
+{
+    auto mem = runC("int r[1];\nint i = 0;\nint s = 0;\n"
+                    "while (i < 10) { i = i + 1; s = s + i; }\n"
+                    "r[0] = s;");
+    EXPECT_EQ(mem[1024], 55u);
+}
+
+TEST(Lower, ForOverArrayIndices)
+{
+    auto mem = runC("int n = 8;\nint x[8];\nint k;\n"
+                    "for (k = 0; k < n; k = k + 1) { x[k] = k * k; }");
+    for (unsigned k = 0; k < 8; ++k)
+        EXPECT_EQ(mem[1024 + k], k * k);
+}
+
+TEST(Lower, NestedLoopsAndDynamicIndexing)
+{
+    // x[i*4 + j] = i + j over a 4x4 grid.
+    auto mem = runC(
+        "int x[16];\nint i;\nint j;\n"
+        "for (i = 0; i < 4; i = i + 1) {\n"
+        "  for (j = 0; j < 4; j = j + 1) { x[i * 4 + j] = i + j; }\n"
+        "}");
+    for (unsigned i = 0; i < 4; ++i)
+        for (unsigned j = 0; j < 4; ++j)
+            EXPECT_EQ(mem[1024 + i * 4 + j], i + j);
+}
+
+TEST(Lower, ArraysPackContiguously)
+{
+    auto mem = runC("int a[2];\nint b[3];\n"
+                    "a[0] = 1; a[1] = 2;\n"
+                    "b[0] = 3; b[1] = 4; b[2] = 5;");
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(mem[1024 + i], i + 1);
+}
+
+TEST(Lower, FloatReduction)
+{
+    auto mem = runC("float r[1];\nfloat q = 0.0;\nint k;\n"
+                    "float z[4];\n"
+                    "for (k = 0; k < 4; k = k + 1) {"
+                    "  z[k] = 1.0 + k * 0.5; }\n"
+                    "for (k = 0; k < 4; k = k + 1) {"
+                    "  q = q + z[k]; }\n"
+                    "r[0] = q;");
+    EXPECT_FLOAT_EQ(wordToFloat(mem[1024]), 1.0f + 1.5f + 2.0f + 2.5f);
+}
+
+// ---------------------------------------------------------------
+// Lowering: structured errors.
+// ---------------------------------------------------------------
+
+TEST(LowerErrors, UnknownVariable)
+{
+    auto r = compileC("int a;\na = ghost + 1;");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "c-lower");
+    EXPECT_EQ(r.error().line, 2);
+}
+
+TEST(LowerErrors, Redeclaration)
+{
+    auto r = compileC("int a;\nfloat a;");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "c-lower");
+}
+
+TEST(LowerErrors, IndexingAScalar)
+{
+    auto r = compileC("int a;\na[0] = 1;");
+    ASSERT_FALSE(r.hasValue());
+}
+
+TEST(LowerErrors, ArrayUsedAsScalar)
+{
+    auto r = compileC("int a[4];\nint b;\nb = a;");
+    ASSERT_FALSE(r.hasValue());
+}
+
+TEST(LowerErrors, FloatModulo)
+{
+    auto r = compileC("float f = 1.5;\nfloat g;\ng = f % 2.0;");
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "c-lower");
+}
+
+// ---------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------
+
+TEST(Frontend, CompilationIsDeterministic)
+{
+    const char *src = "int n = 8;\nfloat x[8];\nint k;\n"
+                      "for (k = 0; k < n; k = k + 1) {"
+                      "  x[k] = 0.5 + k * 2.0; }";
+    EXPECT_EQ(sched::printIr(compileOrDie(src)),
+              sched::printIr(compileOrDie(src)));
+}
+
+} // namespace

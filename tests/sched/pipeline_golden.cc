@@ -7,10 +7,6 @@
 #include "support/logging.hh"
 #include "workloads/ir_threads.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace ximd::sched {
 
 namespace {
@@ -25,7 +21,7 @@ blockCase(std::string name, IrProgram ir, FuId width,
     c.ir = std::move(ir);
     c.opts.width = width;
     c.opts.rawLatency = rawLatency;
-    c.opts.regBase = regBase;
+    c.opts.alloc.window.base = regBase;
     c.opts.nameVregs = nameVregs;
     return c;
 }
@@ -102,9 +98,10 @@ compileGoldenCase(const GoldenCase &c)
 {
     switch (c.kind) {
       case GoldenCase::Kind::Block:
-        return generateCode(c.ir, c.opts).program;
+        return valueOrFatal(generateCodeChecked(c.ir, c.opts))
+            .program;
       case GoldenCase::Kind::Loop:
-        return pipelineLoop(c.loop, c.width);
+        return valueOrFatal(pipelineLoopChecked(c.loop, c.width));
       case GoldenCase::Kind::Compose: {
         auto tiles = generateTiles(c.threads, c.width);
         PackResult packing;
@@ -114,7 +111,9 @@ compileGoldenCase(const GoldenCase &c)
             packing = packBalancedGroups(tiles, c.width);
         else
             fatal("unknown golden pack strategy: ", c.strategy);
-        return composeThreads(c.threads, packing, c.width).program;
+        return valueOrFatal(composeThreadsChecked(
+                   c.threads, packing, c.width))
+            .program;
       }
     }
     fatal("unreachable golden case kind");

@@ -5,7 +5,7 @@
  * goldenCases() enumerates deterministic compilation inputs — straight
  * IR programs at several widths/latencies, modulo-scheduled loops, and
  * packed multi-thread compositions. The regen tool compiled them with
- * the pre-refactor stage entry points and committed the serialized
+ * the single-call stage entry points and committed the serialized
  * result (golden/pipeline_equivalence.golden); the equivalence test
  * recompiles the same cases through the pass pipeline and diffs.
  *

@@ -7,9 +7,6 @@
 #include "support/logging.hh"
 #include "support/random.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace ximd::sched {
 namespace {
@@ -37,7 +34,7 @@ sumLoop(SWord n)
 TEST(Codegen, SumLoopRunsOnBothMachines)
 {
     IrProgram ir = sumLoop(10);
-    CodegenResult code = generateCode(ir, {.width = 4});
+    CodegenResult code = valueOrFatal(generateCodeChecked(ir, {.width = 4}));
 
     XimdMachine x(code.program);
     ASSERT_TRUE(x.run().ok());
@@ -52,7 +49,7 @@ TEST(Codegen, SumLoopRunsOnBothMachines)
 TEST(Codegen, BlockAddressesAndLabels)
 {
     IrProgram ir = sumLoop(3);
-    CodegenResult code = generateCode(ir, {.width = 4});
+    CodegenResult code = valueOrFatal(generateCodeChecked(ir, {.width = 4}));
     ASSERT_TRUE(code.blockAddr.count("loop"));
     ASSERT_TRUE(code.blockAddr.count("end"));
     EXPECT_EQ(code.blockAddr.at("loop"), 0u);
@@ -63,7 +60,7 @@ TEST(Codegen, BlockAddressesAndLabels)
 TEST(Codegen, RegBaseOffsetsAllRegisters)
 {
     IrProgram ir = sumLoop(4);
-    CodegenResult code = generateCode(ir, {.width = 2, .regBase = 50});
+    CodegenResult code = valueOrFatal(generateCodeChecked(ir, {.width = 2, .alloc = {.window = {.base = 50}}}));
     XimdMachine m(code.program);
     ASSERT_TRUE(m.run().ok());
     // vreg 1 (sum) lives at r51.
@@ -82,7 +79,7 @@ TEST(Codegen, RegisterFileExhaustionCaught)
         b.emit(Opcode::Iadd, IrValue::immInt(i), IrValue::immInt(1));
     b.halt();
     IrProgram ir = b.finish();
-    EXPECT_THROW(generateCode(ir, {.width = 4, .regBase = 250}),
+    EXPECT_THROW(valueOrFatal(generateCodeChecked(ir, {.width = 4, .alloc = {.window = {.base = 250}}})),
                  FatalError);
 }
 
@@ -99,8 +96,8 @@ TEST(Codegen, WidthOneSerializes)
     b.halt();
     IrProgram ir = b.finish();
 
-    CodegenResult narrow = generateCode(ir, {.width = 1});
-    CodegenResult wide = generateCode(ir, {.width = 4});
+    CodegenResult narrow = valueOrFatal(generateCodeChecked(ir, {.width = 1}));
+    CodegenResult wide = valueOrFatal(generateCodeChecked(ir, {.width = 4}));
     EXPECT_GT(narrow.program.size(), wide.program.size());
 
     XimdMachine m1(narrow.program);
@@ -170,7 +167,7 @@ TEST_P(CodegenProperty, SimulatorMatchesInterpreter)
 
     // Machine.
     CodegenResult code =
-        generateCode(ir, {.width = static_cast<FuId>(width)});
+        valueOrFatal(generateCodeChecked(ir, {.width = static_cast<FuId>(width)}));
     MachineConfig cfg;
     cfg.memWords = 1024;
     XimdMachine m(code.program, cfg);

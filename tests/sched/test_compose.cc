@@ -7,9 +7,6 @@
 #include "support/logging.hh"
 #include "support/random.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace ximd::sched {
 namespace {
@@ -98,7 +95,7 @@ TEST(Compose, StackedPackingRunsSequentially)
     Fixture f(3);
     auto tiles = generateTiles(f.threads, 8);
     PackResult pack = packStacked(tiles, 8);
-    Composed comp = composeThreads(f.threads, pack, 8);
+    Composed comp = valueOrFatal(composeThreadsChecked(f.threads, pack, 8));
     f.runAndCheck(comp);
 }
 
@@ -107,7 +104,7 @@ TEST(Compose, BalancedGroupsRunConcurrently)
     Fixture f(4);
     auto tiles = generateTiles(f.threads, 8);
     PackResult pack = packBalancedGroups(tiles, 8);
-    Composed comp = composeThreads(f.threads, pack, 8);
+    Composed comp = valueOrFatal(composeThreadsChecked(f.threads, pack, 8));
     f.runAndCheck(comp);
     // Multiple concurrent streams must appear.
     bool multi = false;
@@ -123,12 +120,12 @@ TEST(Compose, ConcurrentGroupsFasterThanStacked)
     auto tiles = generateTiles(f.threads, 8);
 
     PackResult stacked = packStacked(tiles, 8);
-    Composed compStacked = composeThreads(f.threads, stacked, 8);
+    Composed compStacked = valueOrFatal(composeThreadsChecked(f.threads, stacked, 8));
     f.runAndCheck(compStacked);
     const Cycle stackedCycles = f.lastCycles;
 
     PackResult grouped = packBalancedGroups(tiles, 8);
-    Composed compGrouped = composeThreads(f.threads, grouped, 8);
+    Composed compGrouped = valueOrFatal(composeThreadsChecked(f.threads, grouped, 8));
     f.runAndCheck(compGrouped);
     const Cycle groupedCycles = f.lastCycles;
 
@@ -155,7 +152,7 @@ TEST(Compose, RejectsPartiallyOverlappingColumns)
     b.row = a.height;
     pack.placements = {a, b};
     pack.totalHeight = b.row + b.height;
-    EXPECT_THROW(composeThreads(f.threads, pack, 8), FatalError);
+    EXPECT_THROW(valueOrFatal(composeThreadsChecked(f.threads, pack, 8)), FatalError);
 }
 
 TEST(Compose, ManualLaminarSideBySide)
@@ -178,7 +175,7 @@ TEST(Compose, ManualLaminarSideBySide)
     b.row = 0;
     pack.placements = {a, b};
     pack.totalHeight = std::max(a.height, b.height);
-    Composed comp = composeThreads(f.threads, pack, 8);
+    Composed comp = valueOrFatal(composeThreadsChecked(f.threads, pack, 8));
     f.runAndCheck(comp);
     // Two threads side by side: some cycles with >= 2 streams.
     bool multi = false;
@@ -193,7 +190,7 @@ TEST(Compose, ThreadInfoDescribesLayout)
     Fixture f(2);
     auto tiles = generateTiles(f.threads, 8);
     PackResult pack = packStacked(tiles, 8);
-    Composed comp = composeThreads(f.threads, pack, 8);
+    Composed comp = valueOrFatal(composeThreadsChecked(f.threads, pack, 8));
     ASSERT_EQ(comp.threads.size(), 2u);
     EXPECT_EQ(comp.threads[0].barrierRow, 1u);
     EXPECT_EQ(comp.threads[1].barrierRow, 2u);
@@ -209,7 +206,8 @@ TEST(Compose, RegisterBudgetEnforced)
     Fixture f(1);
     auto tiles = generateTiles(f.threads, 8);
     PackResult pack = packStacked(tiles, 8);
-    EXPECT_THROW(composeThreads(f.threads, pack, 8, 2), FatalError);
+    EXPECT_THROW(valueOrFatal(composeThreadsChecked(f.threads, pack, 8,
+                                      ComposeOptions{.regsPerThread = 2})), FatalError);
 }
 
 TEST(Compose, ManyThreadsManySeeds)
@@ -219,7 +217,7 @@ TEST(Compose, ManyThreadsManySeeds)
         auto tiles = generateTiles(f.threads, 8);
         for (auto pack : {packStacked, packBalancedGroups}) {
             Composed comp =
-                composeThreads(f.threads, pack(tiles, 8), 8);
+                valueOrFatal(composeThreadsChecked(f.threads, pack(tiles, 8), 8));
             f.runAndCheck(comp);
         }
     }

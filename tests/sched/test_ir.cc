@@ -6,9 +6,6 @@
 #include "sched/codegen.hh"
 #include "support/logging.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace ximd::sched {
 namespace {
@@ -38,7 +35,7 @@ TEST(Ir, BuilderProducesValidProgram)
     IrProgram p = sumLoop(5);
     EXPECT_EQ(p.blocks.size(), 2u);
     EXPECT_EQ(p.numVregs, 2);
-    EXPECT_NO_THROW(p.validate());
+    EXPECT_TRUE(p.validateChecked().hasValue());
     EXPECT_NE(p.findBlock("loop"), nullptr);
     EXPECT_EQ(p.findBlock("nope"), nullptr);
 }
@@ -109,7 +106,7 @@ TEST(Ir, ValidateRejectsNonCompareCondition)
     blk.term.taken = "a";
     blk.term.fallthrough = "a";
     p.blocks.push_back(blk);
-    EXPECT_THROW(p.validate(), FatalError);
+    EXPECT_FALSE(p.validateChecked().hasValue());
 }
 
 TEST(Ir, ValidateRejectsDuplicateBlocks)
@@ -265,8 +262,8 @@ TEST(Ir, MergeShrinksSchedules)
     IrProgram ir = b.finish();
     IrProgram merged = mergeStraightLineBlocks(ir);
 
-    const auto before = generateCode(ir, {.width = 8});
-    const auto after = generateCode(merged, {.width = 8});
+    const auto before = valueOrFatal(generateCodeChecked(ir, {.width = 8}));
+    const auto after = valueOrFatal(generateCodeChecked(merged, {.width = 8}));
     EXPECT_LT(after.program.size(), before.program.size());
 
     XimdMachine m(after.program);

@@ -7,9 +7,6 @@
 #include "sched/ir_print.hh"
 #include "workloads/ir_threads.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 using namespace ximd;
 using namespace ximd::sched;
@@ -48,8 +45,8 @@ TEST(IrPrint, PrintThenParseReproducesProgram)
     // Same text again...
     EXPECT_EQ(printIr(back.value()), printIr(orig));
     // ...and the same compiled program, which is the bar that matters.
-    EXPECT_EQ(writeAssembly(generateCode(back.value()).program),
-              writeAssembly(generateCode(orig).program));
+    EXPECT_EQ(writeAssembly(valueOrFatal(generateCodeChecked(back.value())).program),
+              writeAssembly(valueOrFatal(generateCodeChecked(orig)).program));
 }
 
 TEST(IrPrint, MixedThreadRoundTrips)

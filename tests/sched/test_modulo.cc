@@ -7,9 +7,6 @@
 #include "support/logging.hh"
 #include "support/random.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace ximd::sched {
 namespace {
@@ -57,7 +54,7 @@ TEST(Modulo, Loop12MatchesReference)
     const Word n = 20;
     const Addr y0 = 64, x0 = 128;
     PipelineInfo info;
-    Program p = pipelineLoop(loop12(n, y0, x0), 8, &info);
+    Program p = valueOrFatal(pipelineLoopChecked(loop12(n, y0, x0), 8, &info));
 
     EXPECT_EQ(info.depth, 3u);
     EXPECT_EQ(info.expansion, 2u);
@@ -81,7 +78,7 @@ TEST(Modulo, InitiationIntervalIsOne)
 {
     const Word n = 500;
     PipelineInfo info;
-    Program p = pipelineLoop(loop12(n, 64, 1024), 8, &info);
+    Program p = valueOrFatal(pipelineLoopChecked(loop12(n, 64, 1024), 8, &info));
     XimdMachine m(p);
     ASSERT_TRUE(m.run(10000).ok());
     EXPECT_EQ(m.cycle(), n + info.depth);
@@ -89,7 +86,7 @@ TEST(Modulo, InitiationIntervalIsOne)
 
 TEST(Modulo, RunsIdenticallyOnVliw)
 {
-    Program p = pipelineLoop(scaleLoop(12, 64, 128), 8);
+    Program p = valueOrFatal(pipelineLoopChecked(scaleLoop(12, 64, 128), 8));
     XimdMachine x(p);
     VliwMachine v(p);
     for (Word k = 1; k <= 14; ++k) {
@@ -107,7 +104,7 @@ TEST(Modulo, ScaleLoopDepthThree)
 {
     // load (stage 0) -> mult (stage 1) -> store (sunk to stage 2).
     PipelineInfo info;
-    Program p = pipelineLoop(scaleLoop(10, 64, 128), 8, &info);
+    Program p = valueOrFatal(pipelineLoopChecked(scaleLoop(10, 64, 128), 8, &info));
     EXPECT_EQ(info.depth, 3u);
     EXPECT_EQ(info.expansion, 2u);
     XimdMachine m(p);
@@ -122,7 +119,7 @@ TEST(Modulo, ScaleLoopDepthThree)
 TEST(Modulo, TinyTripCounts)
 {
     for (Word n : {1u, 2u, 3u, 4u}) {
-        Program p = pipelineLoop(loop12(n, 64, 128), 8);
+        Program p = valueOrFatal(pipelineLoopChecked(loop12(n, 64, 128), 8));
         XimdMachine m(p);
         for (Word k = 1; k <= n + 3; ++k)
             m.memory().poke(64 + k, floatToWord(float(k * k)));
@@ -138,8 +135,8 @@ TEST(Modulo, TinyTripCounts)
 TEST(Modulo, RejectsTooManyOpsForWidth)
 {
     PipelineLoop loop = loop12(10, 64, 128);
-    EXPECT_THROW(pipelineLoop(loop, 6), FatalError); // 5 ops + 2 > 6
-    EXPECT_NO_THROW(pipelineLoop(loop, 7));
+    EXPECT_THROW(valueOrFatal(pipelineLoopChecked(loop, 6)), FatalError); // 5 ops + 2 > 6
+    EXPECT_NO_THROW(valueOrFatal(pipelineLoopChecked(loop, 7)));
 }
 
 TEST(Modulo, RejectsLateInductionRead)
@@ -152,7 +149,7 @@ TEST(Modulo, RejectsLateInductionRead)
         // Reads induction at stage 1: illegal.
         {Opcode::Iadd, PipeVal::localVal(0), PipeVal::induction(), 1},
     };
-    EXPECT_THROW(pipelineLoop(loop, 8), FatalError);
+    EXPECT_THROW(valueOrFatal(pipelineLoopChecked(loop, 8)), FatalError);
 }
 
 TEST(Modulo, RejectsDoubleDefinedLocal)
@@ -164,7 +161,7 @@ TEST(Modulo, RejectsDoubleDefinedLocal)
         {Opcode::Iadd, PipeVal::immInt(1), PipeVal::immInt(2), 0},
         {Opcode::Iadd, PipeVal::immInt(3), PipeVal::immInt(4), 0},
     };
-    EXPECT_THROW(pipelineLoop(loop, 8), FatalError);
+    EXPECT_THROW(valueOrFatal(pipelineLoopChecked(loop, 8)), FatalError);
 }
 
 TEST(Modulo, RejectsUseBeforeDef)
@@ -175,7 +172,7 @@ TEST(Modulo, RejectsUseBeforeDef)
     loop.body = {
         {Opcode::Iadd, PipeVal::localVal(1), PipeVal::immInt(2), 0},
     };
-    EXPECT_THROW(pipelineLoop(loop, 8), FatalError);
+    EXPECT_THROW(valueOrFatal(pipelineLoopChecked(loop, 8)), FatalError);
 }
 
 TEST(Modulo, FourTapFirDeepPipeline)
@@ -212,7 +209,7 @@ TEST(Modulo, FourTapFirDeepPipeline)
                          PipeVal::localVal(11), -1});
 
     PipelineInfo info;
-    Program p = pipelineLoop(loop, 16, &info);
+    Program p = valueOrFatal(pipelineLoopChecked(loop, 16, &info));
     EXPECT_EQ(info.depth, 6u);
     EXPECT_EQ(info.expansion, 5u);
 
@@ -261,7 +258,7 @@ TEST(Modulo, RandomArithmeticPipelines)
              -1},
         };
         PipelineInfo info;
-        Program p = pipelineLoop(loop, 8, &info);
+        Program p = valueOrFatal(pipelineLoopChecked(loop, 8, &info));
         // load -> mult -> xor -> store: four stages.
         EXPECT_EQ(info.depth, 4u);
 

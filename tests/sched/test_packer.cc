@@ -5,9 +5,6 @@
 #include "support/logging.hh"
 #include "support/random.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace ximd::sched {
 namespace {
@@ -63,7 +60,7 @@ TEST(Packer, StackedBaselineHeightIsSum)
 {
     auto sets = sampleSets();
     PackResult r = packStacked(sets, 8);
-    validatePacking(r, sets, 8);
+    valueOrFatal(validatePackingChecked(r, sets, 8));
     EXPECT_EQ(r.totalHeight, 5u + 4u + 3u + 3u);
     for (const Placement &p : r.placements)
         EXPECT_EQ(p.width, 8u);
@@ -73,14 +70,14 @@ TEST(Packer, FirstFitValidAndBeatsNothing)
 {
     auto sets = sampleSets();
     PackResult r = packFirstFit(sets, 8);
-    EXPECT_EQ(validatePacking(r, sets, 8), r.totalHeight);
+    EXPECT_EQ(valueOrFatal(validatePackingChecked(r, sets, 8)), r.totalHeight);
 }
 
 TEST(Packer, SkylineValidAndCompetitive)
 {
     auto sets = sampleSets();
     PackResult sky = packSkyline(sets, 8);
-    validatePacking(sky, sets, 8);
+    valueOrFatal(validatePackingChecked(sky, sets, 8));
     PackResult stacked = packStacked(sets, 8);
     // Packing narrower tiles side by side must not lose to full-width
     // stacking on this tile family.
@@ -92,7 +89,7 @@ TEST(Packer, ExhaustiveIsOptimalAmongStrategies)
 {
     auto sets = sampleSets();
     PackResult ex = packExhaustive(sets, 8);
-    validatePacking(ex, sets, 8);
+    valueOrFatal(validatePackingChecked(ex, sets, 8));
     EXPECT_LE(ex.totalHeight, packSkyline(sets, 8).totalHeight);
     EXPECT_LE(ex.totalHeight, packFirstFit(sets, 8).totalHeight);
     EXPECT_LE(ex.totalHeight, packStacked(sets, 8).totalHeight);
@@ -104,7 +101,7 @@ TEST(Packer, BalancedGroupsIsLaminar)
 {
     auto sets = sampleSets();
     PackResult r = packBalancedGroups(sets, 8);
-    validatePacking(r, sets, 8);
+    valueOrFatal(validatePackingChecked(r, sets, 8));
     for (std::size_t i = 0; i < r.placements.size(); ++i) {
         for (std::size_t j = i + 1; j < r.placements.size(); ++j) {
             const Placement &a = r.placements[i];
@@ -126,7 +123,7 @@ TEST(Packer, BalancedGroupsBeatsStackedOnManySmallThreads)
                                8));
     PackResult grouped = packBalancedGroups(sets, 8);
     PackResult stacked = packStacked(sets, 8);
-    validatePacking(grouped, sets, 8);
+    valueOrFatal(validatePackingChecked(grouped, sets, 8));
     EXPECT_LT(grouped.totalHeight, stacked.totalHeight);
 }
 
@@ -137,7 +134,7 @@ TEST(Packer, SingleThreadAllStrategiesAgree)
     for (auto pack : {packStacked, packFirstFit, packSkyline,
                       packExhaustive, packBalancedGroups}) {
         PackResult r = pack(sets, 4);
-        validatePacking(r, sets, 4);
+        valueOrFatal(validatePackingChecked(r, sets, 4));
         EXPECT_EQ(r.placements.size(), 1u);
         EXPECT_EQ(r.placements[0].row, 0u);
     }
@@ -150,7 +147,7 @@ TEST(Packer, ValidateCatchesOverlap)
     // Corrupt: move a placement onto another.
     r.placements[1].col = r.placements[0].col;
     r.placements[1].row = r.placements[0].row;
-    EXPECT_THROW(validatePacking(r, sets, 8), FatalError);
+    EXPECT_THROW(valueOrFatal(validatePackingChecked(r, sets, 8)), FatalError);
 }
 
 TEST(Packer, ValidateCatchesWrongHeight)
@@ -158,7 +155,7 @@ TEST(Packer, ValidateCatchesWrongHeight)
     auto sets = sampleSets();
     PackResult r = packStacked(sets, 8);
     r.totalHeight += 1;
-    EXPECT_THROW(validatePacking(r, sets, 8), FatalError);
+    EXPECT_THROW(valueOrFatal(validatePackingChecked(r, sets, 8)), FatalError);
 }
 
 TEST(Packer, ValidateCatchesUnknownShape)
@@ -166,7 +163,7 @@ TEST(Packer, ValidateCatchesUnknownShape)
     auto sets = sampleSets();
     PackResult r = packStacked(sets, 8);
     r.placements[0].height += 1;
-    EXPECT_THROW(validatePacking(r, sets, 8), FatalError);
+    EXPECT_THROW(valueOrFatal(validatePackingChecked(r, sets, 8)), FatalError);
 }
 
 TEST(Packer, RandomFamiliesAllStrategiesValid)
@@ -190,7 +187,7 @@ TEST(Packer, RandomFamiliesAllStrategiesValid)
         for (auto pack : {packStacked, packFirstFit, packSkyline,
                           packExhaustive, packBalancedGroups}) {
             PackResult r = pack(sets, width);
-            EXPECT_EQ(validatePacking(r, sets, width), r.totalHeight);
+            EXPECT_EQ(valueOrFatal(validatePackingChecked(r, sets, width)), r.totalHeight);
         }
     }
 }

@@ -8,9 +8,6 @@
 #include "sched/pipeline.hh"
 #include "workloads/ir_threads.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 using namespace ximd;
 using namespace ximd::sched;
@@ -44,7 +41,7 @@ TEST(Pipeline, CompileMatchesLegacyEntryPoint)
     CodegenOptions co;
     co.width = 4;
     EXPECT_EQ(writeAssembly(r.value().program),
-              writeAssembly(generateCode(reduceIr(), co).program));
+              writeAssembly(valueOrFatal(generateCodeChecked(reduceIr(), co)).program));
 }
 
 TEST(Pipeline, StatsRecordEveryPassInOrder)
@@ -52,8 +49,9 @@ TEST(Pipeline, StatsRecordEveryPassInOrder)
     Compiler cc;
     ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
     EXPECT_EQ(passSequence(cc),
-              (std::vector<std::string>{"validate-ir", "build-ddg",
-                                        "list-schedule", "codegen"}));
+              (std::vector<std::string>{"validate-ir", "regalloc",
+                                        "build-ddg", "list-schedule",
+                                        "codegen"}));
     for (const PassStat &s : cc.stats())
         EXPECT_GE(s.wallMs, 0.0) << s.pass;
 }
@@ -65,10 +63,12 @@ TEST(Pipeline, CountersReflectTheCompilation)
     const auto &stats = cc.stats();
     EXPECT_EQ(stats[0].counters.at("blocks"), 2);  // loop + end
     EXPECT_EQ(stats[0].counters.at("ops"), 6);
-    EXPECT_GT(stats[1].counters.at("edges"), 0);
-    EXPECT_EQ(stats[2].counters.at("ops_scheduled"), 6);
-    EXPECT_GT(stats[3].counters.at("rows"), 0);
-    EXPECT_EQ(stats[3].counters.at("raw_latency"), 1);
+    EXPECT_EQ(stats[1].counters.at("regs_used"), 4);
+    EXPECT_EQ(stats[1].counters.at("spilled_vregs"), 0);
+    EXPECT_GT(stats[2].counters.at("edges"), 0);
+    EXPECT_EQ(stats[3].counters.at("ops_scheduled"), 6);
+    EXPECT_GT(stats[4].counters.at("rows"), 0);
+    EXPECT_EQ(stats[4].counters.at("raw_latency"), 1);
 }
 
 TEST(Pipeline, OptionalPassesAppearWhenEnabled)
@@ -80,8 +80,9 @@ TEST(Pipeline, OptionalPassesAppearWhenEnabled)
     ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
     EXPECT_EQ(passSequence(cc),
               (std::vector<std::string>{"validate-ir", "merge-blocks",
-                                        "build-ddg", "list-schedule",
-                                        "codegen", "verify"}));
+                                        "regalloc", "build-ddg",
+                                        "list-schedule", "codegen",
+                                        "verify"}));
 }
 
 TEST(Pipeline, DumpHookFiresAfterEveryPass)
@@ -100,8 +101,9 @@ TEST(Pipeline, DumpHookFiresAfterEveryPass)
     });
     ASSERT_TRUE(cc.compile(reduceIr()).hasValue());
     EXPECT_EQ(seen,
-              (std::vector<std::string>{"validate-ir", "build-ddg",
-                                        "list-schedule", "codegen"}));
+              (std::vector<std::string>{"validate-ir", "regalloc",
+                                        "build-ddg", "list-schedule",
+                                        "codegen"}));
 }
 
 TEST(Pipeline, VerifyBetweenAcceptsAHealthyCompile)
@@ -150,7 +152,7 @@ TEST(Pipeline, LoopPathMatchesLegacyModulo)
     EXPECT_EQ(
         writeAssembly(r.value()),
         writeAssembly(
-            pipelineLoop(workloads::loop12Pipeline(20, 64, 128), 8)));
+            valueOrFatal(pipelineLoopChecked(workloads::loop12Pipeline(20, 64, 128), 8))));
     ASSERT_EQ(cc.stats().size(), 1u);
     EXPECT_EQ(cc.stats()[0].pass, "modulo");
     EXPECT_EQ(cc.stats()[0].counters.at("ii"), 1);
@@ -170,7 +172,7 @@ TEST(Pipeline, ComposePathMatchesLegacyCompose)
     auto packing = packBalancedGroups(tiles, 8);
     EXPECT_EQ(writeAssembly(r.value().program),
               writeAssembly(
-                  composeThreads(threads, packing, 8).program));
+                  valueOrFatal(composeThreadsChecked(threads, packing, 8)).program));
     EXPECT_EQ(passSequence(cc),
               (std::vector<std::string>{"tile", "pack", "compose"}));
     EXPECT_GT(cc.stats()[1].counters.at("utilization_pct"), 0.0);

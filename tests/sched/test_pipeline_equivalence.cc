@@ -25,7 +25,7 @@ compileThroughPipeline(const GoldenCase &c)
     switch (c.kind) {
       case GoldenCase::Kind::Block: {
         po.width = c.opts.width;
-        po.regBase = c.opts.regBase;
+        po.alloc = c.opts.alloc;
         po.nameVregs = c.opts.nameVregs;
         po.rawLatency = c.opts.rawLatency;
         Compiler cc(po);
@@ -87,7 +87,7 @@ TEST(PipelineEquivalence, VerifyBetweenDoesNotPerturbOutput)
             continue;
         PipelineOptions po;
         po.width = c.opts.width;
-        po.regBase = c.opts.regBase;
+        po.alloc = c.opts.alloc;
         po.nameVregs = c.opts.nameVregs;
         po.rawLatency = c.opts.rawLatency;
         po.verifyBetween = true;

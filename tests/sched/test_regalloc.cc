@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Register-allocation tests (sched/regalloc.hh).
+ *
+ * Three layers:
+ *
+ *  - unit: liveness intervals and the pressure peak, the direct
+ *    strategy's identity contract, linear-scan collapse, spill
+ *    rewriting (counters, init migration, determinism) and every
+ *    structured failure mode;
+ *  - semantics: an allocated program must still mean the same thing,
+ *    checked against sched::interpretIr on the pre-allocation IR;
+ *  - machine parity: spilled and unspilled compiles of the same
+ *    source must leave identical data memory, and one spilled
+ *    program must hash identically (archStateHash) on the interp
+ *    and threaded backends — over the workload grid and a 50-seed
+ *    random-loop corpus squeezed into artificially small windows.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "sched/ir_print.hh"
+#include "sched/pipeline.hh"
+#include "sched/regalloc.hh"
+#include "support/random.hh"
+#include "workloads/ir_threads.hh"
+#include "workloads/randprog.hh"
+
+namespace {
+
+using namespace ximd;
+using namespace ximd::sched;
+
+/** n values all live at once: computed up front, summed at the end.
+ *  Peak pressure == n, so window capacities below n must spill. */
+IrProgram
+wideLive(int n)
+{
+    IrBuilder b;
+    std::vector<VregId> vs;
+    for (int i = 0; i < n; ++i)
+        vs.push_back(b.newVreg());
+    b.startBlock("entry");
+    for (int i = 0; i < n; ++i)
+        b.emitTo(vs[static_cast<std::size_t>(i)], Opcode::Iadd,
+                 IrValue::immInt(i + 1), IrValue::immInt(i + 1));
+    IrValue sum = IrValue::reg(vs[0]);
+    for (int i = 1; i < n; ++i)
+        sum = b.emit(Opcode::Iadd, sum,
+                     IrValue::reg(vs[static_cast<std::size_t>(i)]));
+    b.emitStore(sum, IrValue::immInt(100));
+    b.halt();
+    return b.finish();
+}
+
+/** Serial temps: each value dies before the next is born, so linear
+ *  scan fits any number of them into a handful of registers. */
+IrProgram
+serialTemps(int n)
+{
+    IrBuilder b;
+    b.startBlock("entry");
+    IrValue acc = IrValue::immInt(0);
+    for (int i = 0; i < n; ++i)
+        acc = b.emit(Opcode::Iadd, acc, IrValue::immInt(i + 1));
+    b.emitStore(acc, IrValue::immInt(100));
+    b.halt();
+    return b.finish();
+}
+
+/** The sum loop every IR test uses: two vregs, both loop-carried. */
+IrProgram
+sumLoop(SWord n)
+{
+    IrBuilder b;
+    const VregId i = b.newVreg();
+    const VregId sum = b.newVreg();
+    b.setInit(i, 0);
+    b.setInit(sum, 0);
+    b.startBlock("loop");
+    b.emitTo(i, Opcode::Iadd, IrValue::reg(i), IrValue::immInt(1));
+    b.emitTo(sum, Opcode::Iadd, IrValue::reg(sum), IrValue::reg(i));
+    const int cmp = b.emitCompare(Opcode::Eq, IrValue::reg(i),
+                                  IrValue::immInt(n));
+    b.branch(cmp, "end", "loop");
+    b.startBlock("end");
+    b.emitStore(IrValue::reg(sum), IrValue::immInt(100));
+    b.halt();
+    return b.finish();
+}
+
+// ---------------------------------------------------------------
+// Liveness.
+// ---------------------------------------------------------------
+
+TEST(Liveness, StraightLineIntervals)
+{
+    // v0 born at op 0, last used at op 2; v1 born at 1, used at 2.
+    IrBuilder b;
+    b.startBlock("entry");
+    const IrValue a = b.emit(Opcode::Iadd, IrValue::immInt(1),
+                             IrValue::immInt(2));
+    const IrValue c = b.emit(Opcode::Imult, a, IrValue::immInt(3));
+    b.emitStore(b.emit(Opcode::Iadd, a, c), IrValue::immInt(9));
+    b.halt();
+    IrProgram p = b.finish();
+
+    const Liveness lv = computeLiveness(p);
+    ASSERT_EQ(lv.intervals.size(), 3u);
+    EXPECT_EQ(lv.intervals[0].start, 0);
+    EXPECT_EQ(lv.intervals[0].end, 2);
+    EXPECT_EQ(lv.intervals[1].start, 1);
+    EXPECT_EQ(lv.intervals[1].end, 2);
+    EXPECT_TRUE(lv.intervals[2].live());
+    EXPECT_EQ(lv.peak.block, "entry");
+    EXPECT_GE(lv.peak.pressure, 2u);
+}
+
+TEST(Liveness, LoopCarriedVregsCoverTheLoop)
+{
+    IrProgram p = sumLoop(5);
+    const Liveness lv = computeLiveness(p);
+    // Both vregs are live around the backedge: their intervals span
+    // the whole loop block.
+    EXPECT_EQ(lv.intervals[0].start, 0);
+    EXPECT_EQ(lv.intervals[1].start, 0);
+    EXPECT_GE(lv.intervals[0].end, 2);
+    EXPECT_EQ(lv.peak.pressure, 2u);
+}
+
+TEST(Liveness, PeakPointsAtTheWidestOp)
+{
+    IrProgram p = wideLive(5);
+    const Liveness lv = computeLiveness(p);
+    // The five preloaded values plus the first sum temp.
+    EXPECT_EQ(lv.peak.pressure, 6u);
+    EXPECT_EQ(lv.peak.block, "entry");
+    EXPECT_GE(lv.peak.op, 0);
+}
+
+TEST(Liveness, UnusedVregIsDead)
+{
+    IrBuilder b;
+    b.newVreg(); // v0: never touched.
+    b.startBlock("entry");
+    b.emitStore(IrValue::immInt(1), IrValue::immInt(0));
+    b.halt();
+    IrProgram p = b.finish();
+    const Liveness lv = computeLiveness(p);
+    EXPECT_FALSE(lv.intervals[0].live());
+}
+
+// ---------------------------------------------------------------
+// Direct strategy.
+// ---------------------------------------------------------------
+
+TEST(RegallocDirect, IdentityMapLeavesProgramUntouched)
+{
+    IrProgram p = sumLoop(5);
+    const std::string before = printIr(p);
+    auto r = allocateRegisters(p, {.window = {10, 8}});
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_EQ(printIr(p), before);
+    const Allocation &a = r.value();
+    EXPECT_EQ(a.regsUsed, 2u);
+    EXPECT_EQ(a.spilledVregs, 0u);
+    ASSERT_EQ(a.homes.size(), 2u);
+    EXPECT_EQ(a.homes[0].kind, VregHome::Kind::Reg);
+    EXPECT_EQ(a.homes[0].reg, 10);
+    EXPECT_EQ(a.homes[1].reg, 11);
+}
+
+TEST(RegallocDirect, ExhaustionReportsPressurePoint)
+{
+    IrProgram p = wideLive(6);
+    auto r = allocateRegisters(p, {.window = {0, 4}});
+    ASSERT_FALSE(r.hasValue());
+    const CompileError &e = r.error();
+    EXPECT_EQ(e.pass, "regalloc");
+    EXPECT_EQ(e.block, "entry");
+    EXPECT_NE(e.message.find("peak live pressure"), std::string::npos)
+        << e.message;
+    EXPECT_NE(e.message.find("--spill"), std::string::npos);
+}
+
+TEST(RegallocDirect, WindowClipsAtRegisterFile)
+{
+    RegWindow w{static_cast<RegId>(kNumRegisters - 2), 100};
+    EXPECT_EQ(w.capacity(), 2u);
+    IrProgram p = sumLoop(3);
+    EXPECT_TRUE(allocateRegisters(p, {.window = w}).hasValue());
+    IrProgram q = wideLive(3);
+    EXPECT_FALSE(allocateRegisters(q, {.window = w}).hasValue());
+}
+
+TEST(Regalloc, CheckWindowContract)
+{
+    EXPECT_TRUE(checkWindow("modulo", {0, 24}, 24).hasValue());
+    auto r = checkWindow("modulo", {0, 24}, 25);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "modulo");
+}
+
+// ---------------------------------------------------------------
+// Linear scan + spilling.
+// ---------------------------------------------------------------
+
+TEST(RegallocSpill, SerialTempsFitWithoutSpilling)
+{
+    IrProgram p = serialTemps(12);
+    std::vector<Word> memBefore(256, 0);
+    interpretIr(p, memBefore);
+
+    auto r = allocateRegisters(
+        p, {.window = {0, 4}, .spill = true, .spillBase = 128});
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_EQ(r.value().spilledVregs, 0u);
+    EXPECT_LE(r.value().regsUsed, 4u);
+    // Collapse postcondition: vreg ids are window-relative indices.
+    EXPECT_LE(p.numVregs, 4);
+
+    std::vector<Word> memAfter(256, 0);
+    interpretIr(p, memAfter);
+    EXPECT_EQ(memAfter[100], memBefore[100]);
+    EXPECT_EQ(memAfter[100], 78u); // 1 + ... + 12
+}
+
+TEST(RegallocSpill, HighPressureSpillsAndPreservesSemantics)
+{
+    IrProgram p = wideLive(8);
+    std::vector<Word> memBefore(1024, 0);
+    interpretIr(p, memBefore);
+
+    auto r = allocateRegisters(
+        p, {.window = {0, 4}, .spill = true, .spillBase = 512});
+    ASSERT_TRUE(r.hasValue());
+    const Allocation &a = r.value();
+    EXPECT_TRUE(a.spilled());
+    EXPECT_GT(a.spillStores, 0u);
+    EXPECT_GT(a.spillReloads, 0u);
+    EXPECT_EQ(a.slotsUsed, a.spilledVregs);
+    EXPECT_LE(a.maxPressure, 4u);
+    EXPECT_LE(p.numVregs, 4);
+    // Spilled homes carry their slot addresses.
+    unsigned slots = 0;
+    for (const VregHome &h : a.homes)
+        if (h.kind == VregHome::Kind::Slot) {
+            ++slots;
+            EXPECT_GE(h.addr, 512u);
+            EXPECT_LT(h.addr, 512u + a.slotsUsed);
+        }
+    EXPECT_EQ(slots, a.spilledVregs);
+
+    std::vector<Word> memAfter(1024, 0);
+    interpretIr(p, memAfter);
+    EXPECT_EQ(memAfter[100], memBefore[100]);
+}
+
+TEST(RegallocSpill, SpilledVregInitBecomesMemInit)
+{
+    // Make the *initialized* vregs the long-lived ones so the
+    // furthest-end heuristic picks one of them.
+    IrBuilder b;
+    std::vector<VregId> vs;
+    for (int i = 0; i < 6; ++i) {
+        vs.push_back(b.newVreg());
+        b.setInit(vs.back(), 10 * (i + 1));
+    }
+    b.startBlock("entry");
+    IrValue sum = IrValue::reg(vs[0]);
+    for (int i = 1; i < 6; ++i)
+        sum = b.emit(Opcode::Iadd, sum,
+                     IrValue::reg(vs[static_cast<std::size_t>(i)]));
+    b.emitStore(sum, IrValue::immInt(100));
+    b.halt();
+    IrProgram p = b.finish();
+
+    auto r = allocateRegisters(
+        p, {.window = {0, 4}, .spill = true, .spillBase = 512});
+    ASSERT_TRUE(r.hasValue());
+    ASSERT_TRUE(r.value().spilled());
+
+    // Every spilled vreg's init must have migrated to its slot.
+    std::map<Addr, Word> memInit(p.memInit.begin(), p.memInit.end());
+    for (std::size_t v = 0; v < r.value().homes.size(); ++v) {
+        const VregHome &h = r.value().homes[v];
+        if (h.kind != VregHome::Kind::Slot)
+            continue;
+        ASSERT_TRUE(memInit.count(h.addr)) << "slot " << h.addr;
+        EXPECT_EQ(memInit[h.addr], 10u * (v + 1));
+    }
+
+    std::vector<Word> mem(1024, 0);
+    interpretIr(p, mem);
+    EXPECT_EQ(mem[100], 10u + 20 + 30 + 40 + 50 + 60);
+}
+
+TEST(RegallocSpill, DeadInitIsDropped)
+{
+    IrBuilder b;
+    const VregId dead = b.newVreg();
+    b.setInit(dead, 99);
+    b.startBlock("entry");
+    b.emitStore(IrValue::immInt(1), IrValue::immInt(0));
+    b.halt();
+    IrProgram p = b.finish();
+
+    auto r = allocateRegisters(p, {.window = {0, 4}, .spill = true});
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_EQ(r.value().deadInitsDropped, 1u);
+    EXPECT_EQ(r.value().homes[0].kind, VregHome::Kind::Dead);
+    EXPECT_TRUE(p.vregInit.empty());
+}
+
+TEST(RegallocSpill, AllocationIsDeterministic)
+{
+    IrProgram p1 = wideLive(10);
+    IrProgram p2 = wideLive(10);
+    const RegAllocOptions o{
+        .window = {0, 5}, .spill = true, .spillBase = 512};
+    auto r1 = allocateRegisters(p1, o);
+    auto r2 = allocateRegisters(p2, o);
+    ASSERT_TRUE(r1.hasValue());
+    ASSERT_TRUE(r2.hasValue());
+    EXPECT_EQ(printIr(p1), printIr(p2));
+    EXPECT_EQ(r1.value().spilledVregs, r2.value().spilledVregs);
+    EXPECT_EQ(r1.value().rounds, r2.value().rounds);
+}
+
+TEST(RegallocSpill, SpillRegionExhaustedIsStructured)
+{
+    IrProgram p = wideLive(10);
+    auto r = allocateRegisters(
+        p,
+        {.window = {0, 4}, .spill = true, .spillBase = 512,
+         .spillSlots = 1});
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "regalloc");
+    EXPECT_NE(r.error().message.find("spill region exhausted"),
+              std::string::npos)
+        << r.error().message;
+}
+
+TEST(RegallocSpill, WindowTooSmallToStageReloads)
+{
+    IrProgram p = wideLive(8);
+    auto r = allocateRegisters(p, {.window = {0, 2}, .spill = true});
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().pass, "regalloc");
+    EXPECT_NE(r.error().message.find("need at least 4"),
+              std::string::npos)
+        << r.error().message;
+}
+
+// ---------------------------------------------------------------
+// Machine parity: spilled vs unspilled, both backends.
+// ---------------------------------------------------------------
+
+Program
+compileWindowed(IrProgram ir, unsigned regs, bool spill)
+{
+    PipelineOptions po;
+    po.width = 4;
+    po.verify = true;
+    po.alloc.window = {0, regs};
+    po.alloc.spill = spill;
+    Compiler c(po);
+    auto r = c.compile(std::move(ir));
+    EXPECT_TRUE(r.hasValue())
+        << (r.hasValue() ? "" : r.error().format());
+    return r.value().program;
+}
+
+std::uint64_t
+runAndHash(const Program &prog, Backend backend)
+{
+    Machine m(prog, MachineConfig{}.withBackend(backend));
+    const RunResult r = m.run(1'000'000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    return m.archStateHash();
+}
+
+/** Final data memory over [base, base+n) after a run to halt. */
+std::vector<Word>
+runAndPeek(const Program &prog, Backend backend, Addr base,
+           unsigned n)
+{
+    Machine m(prog, MachineConfig{}.withBackend(backend));
+    const RunResult r = m.run(1'000'000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    std::vector<Word> out;
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(m.peekMem(base + i));
+    return out;
+}
+
+TEST(RegallocParity, WorkloadGridSpilledVsUnspilled)
+{
+    struct Job
+    {
+        const char *name;
+        IrProgram ir;
+        Addr watchBase;
+        unsigned watchWords;
+    };
+    Rng rng(7);
+    Rng rng2(11);
+    std::vector<Job> jobs;
+    jobs.push_back({"reduction",
+                    workloads::reductionThread(0, 8, 3, rng), 2048,
+                    1});
+    jobs.push_back({"mixed", workloads::mixedThread(0, rng2), 2048,
+                    1});
+    jobs.push_back({"wide", wideLive(10), 100, 1});
+    jobs.push_back({"sum", sumLoop(10), 100, 1});
+
+    unsigned spilledPrograms = 0;
+    for (Job &job : jobs) {
+        const Program full =
+            compileWindowed(job.ir, kNumRegisters, false);
+        const auto want = runAndPeek(full, Backend::Interp,
+                                     job.watchBase, job.watchWords);
+        for (unsigned regs : {4u, 5u, 6u}) {
+            IrProgram copy = job.ir;
+            {
+                IrProgram probe = job.ir;
+                auto a = allocateRegisters(
+                    probe, {.window = {0, regs}, .spill = true});
+                ASSERT_TRUE(a.hasValue()) << job.name;
+                if (a.value().spilled())
+                    ++spilledPrograms;
+            }
+            const Program tight =
+                compileWindowed(std::move(copy), regs, true);
+            // Same program, both backends: identical full arch state.
+            EXPECT_EQ(runAndHash(tight, Backend::Interp),
+                      runAndHash(tight, Backend::Threaded))
+                << job.name << " regs=" << regs;
+            // Spilled vs unspilled: identical data memory.
+            EXPECT_EQ(runAndPeek(tight, Backend::Interp,
+                                 job.watchBase, job.watchWords),
+                      want)
+                << job.name << " regs=" << regs;
+            EXPECT_EQ(runAndPeek(tight, Backend::Threaded,
+                                 job.watchBase, job.watchWords),
+                      want)
+                << job.name << " regs=" << regs;
+        }
+    }
+    // The grid must actually exercise the spiller.
+    EXPECT_GT(spilledPrograms, 0u);
+}
+
+TEST(RegallocParity, RandomLoopCorpusUnderTinyWindows)
+{
+    unsigned spilledPrograms = 0;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const workloads::RandLoopOptions lo{
+            .seed = seed,
+            .bodyOps = static_cast<unsigned>(2 + seed % 10),
+            .tripCount = static_cast<unsigned>(3 + seed % 4)};
+        const IrProgram ir = workloads::randomLoopIr(lo);
+
+        // Oracle: the IR interpreter on the virtual-register form.
+        std::vector<Word> oracle(4096, 0);
+        interpretIr(ir, oracle);
+
+        // Did this seed spill at the tight window?
+        {
+            IrProgram probe = ir;
+            auto a = allocateRegisters(
+                probe, {.window = {0, 4}, .spill = true});
+            ASSERT_TRUE(a.hasValue()) << "seed " << seed;
+            if (a.value().spilled())
+                ++spilledPrograms;
+        }
+
+        const Program full = compileWindowed(ir, kNumRegisters,
+                                             false);
+        const Program tight = compileWindowed(ir, 4, true);
+
+        EXPECT_EQ(runAndHash(tight, Backend::Interp),
+                  runAndHash(tight, Backend::Threaded))
+            << "seed " << seed;
+
+        // Output region: outBase..outBase+tripCount (the loop's
+        // stores plus the final accumulator store).
+        const unsigned watch = lo.tripCount + 1;
+        const auto fullMem = runAndPeek(full, Backend::Interp,
+                                        lo.outBase, watch);
+        const auto tightMem = runAndPeek(tight, Backend::Interp,
+                                         lo.outBase, watch);
+        EXPECT_EQ(tightMem, fullMem) << "seed " << seed;
+        EXPECT_EQ(runAndPeek(tight, Backend::Threaded, lo.outBase,
+                             watch),
+                  fullMem)
+            << "seed " << seed;
+        for (unsigned i = 0; i < watch; ++i)
+            EXPECT_EQ(tightMem[i], oracle[lo.outBase + i])
+                << "seed " << seed << " word " << i;
+    }
+    // Tiny windows must squeeze a healthy share of the corpus.
+    EXPECT_GT(spilledPrograms, 10u);
+}
+
+} // namespace

@@ -15,9 +15,6 @@
 #include "sched/pipeline.hh"
 #include "workloads/ir_threads.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 using namespace ximd;
 using namespace ximd::sched;
@@ -46,8 +43,8 @@ TEST(SchedEdges, Latency3CodeExecutesCorrectlyAtLatency3)
     CodegenOptions l1, l3;
     l3.rawLatency = 3;
     const Word want = runAndReadMem(
-        generateCode(reduceIr(), l1).program, 1, 2048);
-    EXPECT_EQ(runAndReadMem(generateCode(reduceIr(), l3).program, 3,
+        valueOrFatal(generateCodeChecked(reduceIr(), l1)).program, 1, 2048);
+    EXPECT_EQ(runAndReadMem(valueOrFatal(generateCodeChecked(reduceIr(), l3)).program, 3,
                             2048),
               want);
 }
@@ -57,7 +54,7 @@ TEST(SchedEdges, Latency1CodeIsWrongAtLatency3AndStampSaysSo)
     // The silent failure the __rawlat stamp exists to catch: the
     // latency-1 schedule reads registers before the latency-3 pipe
     // has written them back, so the reduction misses addends.
-    const Program prog = generateCode(reduceIr()).program;
+    const Program prog = valueOrFatal(generateCodeChecked(reduceIr())).program;
     EXPECT_NE(runAndReadMem(prog, 3, 2048),
               runAndReadMem(prog, 1, 2048));
 
@@ -72,7 +69,7 @@ TEST(SchedEdges, LatencyStampMatchesCodegenOptions)
 {
     CodegenOptions o;
     o.rawLatency = 3;
-    const Program prog = generateCode(reduceIr(), o).program;
+    const Program prog = valueOrFatal(generateCodeChecked(reduceIr(), o)).program;
     EXPECT_EQ(prog.symbol(kRawLatencySymbol), std::optional<Word>{3});
     EXPECT_FALSE(checkCompiledLatency(prog, 3).mismatch());
     EXPECT_TRUE(checkCompiledLatency(prog, 1).mismatch());
@@ -145,7 +142,7 @@ TEST(SchedEdges, SingleFuTilesComposeAndRun)
     Machine m(r.value().program, MachineConfig{});
     EXPECT_TRUE(m.run().ok());
     EXPECT_EQ(m.peekMem(2048), runAndReadMem(
-        generateCode(threads[0]).program, 1, 2048));
+        valueOrFatal(generateCodeChecked(threads[0])).program, 1, 2048));
 }
 
 TEST(SchedEdges, ModuloRejectsInfeasibleWidthStructurally)
@@ -179,13 +176,19 @@ TEST(SchedEdges, ModuloRejectsZeroTripCountStructurally)
     EXPECT_EQ(r.error().pass, "modulo");
 }
 
-TEST(SchedEdges, CodegenRegisterExhaustionIsStructured)
+TEST(SchedEdges, RegallocWindowExhaustionIsStructured)
 {
     CodegenOptions o;
-    o.regBase = 253; // 4 vregs cannot fit above 253 of 256.
+    o.alloc.window.base = 253; // 4 vregs cannot fit above 253 of 256.
     auto r = generateCodeChecked(reduceIr(), o);
     ASSERT_FALSE(r.hasValue());
-    EXPECT_EQ(r.error().pass, "codegen");
+    EXPECT_EQ(r.error().pass, "regalloc");
+    // The diagnostic reports the live-range pressure point and the
+    // escape hatch.
+    EXPECT_NE(r.error().message.find("peak live pressure"),
+              std::string::npos);
+    EXPECT_NE(r.error().message.find("--spill"), std::string::npos);
+    EXPECT_FALSE(r.error().block.empty());
 }
 
 } // namespace

@@ -4,9 +4,6 @@
 
 #include "support/random.hh"
 
-// The legacy throwing wrappers stay covered until their removal
-// (DESIGN.md section 8); silence their deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace ximd::sched {
 namespace {
@@ -55,14 +52,14 @@ TEST(ListScheduler, ParallelIndependentOps)
         b.ops.push_back(add(v, IrValue::immInt(v), IrValue::immInt(1)));
     b.term.kind = Terminator::Kind::Halt;
 
-    BlockSchedule s4 = scheduleBlock(b, 4);
+    BlockSchedule s4 = valueOrFatal(scheduleBlockChecked(b, 4));
     checkSchedule(b, s4, 4);
     EXPECT_EQ(s4.numRows(), 2u);
 
-    BlockSchedule s8 = scheduleBlock(b, 8);
+    BlockSchedule s8 = valueOrFatal(scheduleBlockChecked(b, 8));
     EXPECT_EQ(s8.numRows(), 1u);
 
-    BlockSchedule s1 = scheduleBlock(b, 1);
+    BlockSchedule s1 = valueOrFatal(scheduleBlockChecked(b, 1));
     EXPECT_EQ(s1.numRows(), 8u);
 }
 
@@ -74,7 +71,7 @@ TEST(ListScheduler, ChainForcesSequentialCycles)
     b.ops.push_back(add(1, IrValue::reg(0), IrValue::immInt(1)));
     b.ops.push_back(add(2, IrValue::reg(1), IrValue::immInt(1)));
     b.term.kind = Terminator::Kind::Halt;
-    BlockSchedule s = scheduleBlock(b, 8);
+    BlockSchedule s = valueOrFatal(scheduleBlockChecked(b, 8));
     checkSchedule(b, s, 8);
     EXPECT_EQ(s.numRows(), 3u);
 }
@@ -86,7 +83,7 @@ TEST(ListScheduler, WarAllowsSameCycle)
     b.ops.push_back(add(0, IrValue::reg(1), IrValue::immInt(1)));
     b.ops.push_back(add(1, IrValue::immInt(2), IrValue::immInt(3)));
     b.term.kind = Terminator::Kind::Halt;
-    BlockSchedule s = scheduleBlock(b, 8);
+    BlockSchedule s = valueOrFatal(scheduleBlockChecked(b, 8));
     checkSchedule(b, s, 8);
     EXPECT_EQ(s.numRows(), 1u);
 }
@@ -97,7 +94,7 @@ TEST(ListScheduler, EmptyBlockStillHasARow)
     b.name = "b";
     b.term.kind = Terminator::Kind::Jump;
     b.term.taken = "b";
-    BlockSchedule s = scheduleBlock(b, 4);
+    BlockSchedule s = valueOrFatal(scheduleBlockChecked(b, 4));
     EXPECT_EQ(s.numRows(), 1u);
 }
 
@@ -116,7 +113,7 @@ TEST(ListScheduler, CompareGetsACycleBeforeBranch)
     b.term.compareIdx = 0;
     b.term.taken = "b";
     b.term.fallthrough = "b";
-    BlockSchedule s = scheduleBlock(b, 4);
+    BlockSchedule s = valueOrFatal(scheduleBlockChecked(b, 4));
     EXPECT_EQ(s.numRows(), 2u);
 }
 
@@ -135,7 +132,7 @@ TEST(ListScheduler, CompareEarlyEnoughNeedsNoPadding)
     b.term.compareIdx = 0;
     b.term.taken = "b";
     b.term.fallthrough = "b";
-    BlockSchedule s = scheduleBlock(b, 1);
+    BlockSchedule s = valueOrFatal(scheduleBlockChecked(b, 1));
     checkSchedule(b, s, 1);
     EXPECT_EQ(s.numRows(), 3u); // no extra padding row
 }
@@ -166,7 +163,7 @@ TEST_P(RandomBlockSchedule, AlwaysLegal)
         b.ops.push_back(add(vregs++, a, bb));
     }
     b.term.kind = Terminator::Kind::Halt;
-    BlockSchedule s = scheduleBlock(b, static_cast<FuId>(width));
+    BlockSchedule s = valueOrFatal(scheduleBlockChecked(b, static_cast<FuId>(width)));
     checkSchedule(b, s, static_cast<FuId>(width));
     // Lower bounds: critical path and resource pressure.
     Ddg ddg(b);
